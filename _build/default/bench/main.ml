@@ -1,0 +1,749 @@
+(* Benchmark harness for every experiment in DESIGN.md §5.
+
+   The paper (ICDE'94, formal) has no numbered tables or figures; per
+   DESIGN.md each theorem / worked example / quantified claim is an
+   experiment.  For each experiment this harness prints a paper-style
+   table of measured numbers; EXPERIMENTS.md records the expected vs
+   observed shape.  A Bechamel micro-benchmark suite (one grouped
+   Test.make per experiment) runs at the end.
+
+     dune exec bench/main.exe            -- full run
+     dune exec bench/main.exe quick      -- smaller sizes, short quota *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_engine
+module W = Mxra_workload
+module Opt = Mxra_optimizer
+module Ext = Mxra_ext
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let best_of_3 f =
+  let _, t1 = time_ms f in
+  let _, t2 = time_ms f in
+  let _, t3 = time_ms f in
+  Float.min t1 (Float.min t2 t3)
+
+let header title = Format.printf "@.=== %s ===@." title
+let row fmt = Format.printf fmt
+
+(* Wrap every operator of an expression in δ: "set semantics", where
+   each operation pays for duplicate removal (the Section 1 cost
+   claim). *)
+let rec setify = function
+  | (Expr.Rel _ | Expr.Const _) as e -> Expr.Unique e
+  | e -> Expr.Unique (Expr.map_children setify e)
+
+(* ---------------------------------------------------------------- E1 *)
+
+(* §1: "the high costs of duplicate removal in database operations is
+   often prohibitive".  Same logical pipeline under bag semantics vs
+   δ-after-every-operator set semantics. *)
+let e1_dup_removal () =
+  header "E1  duplicate-removal cost (bag vs set pipelines)";
+  row "  %8s %4s | %10s %10s %8s | %12s %12s@." "n" "dup" "bag ms" "set ms"
+    "slowdn" "bag out" "set out";
+  let sizes = if quick then [ 1_000; 4_000 ] else [ 1_000; 4_000; 16_000 ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun dup ->
+          let rng = W.Rng.make (n + dup) in
+          let schema = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ] in
+          let r = W.Synth.relation ~rng ~schema ~size:n ~dup_factor:dup () in
+          let s = W.Synth.relation ~rng ~schema ~size:(n / 2) ~dup_factor:dup () in
+          let db = Database.of_relations [ ("r", r); ("s", s) ] in
+          let pipeline =
+            Expr.project_attrs [ 2 ]
+              (Expr.select
+                 (Pred.lt (Scalar.attr 2) (Scalar.attr 3))
+                 (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3))
+                    (Expr.rel "r") (Expr.rel "s")))
+          in
+          let bag_out = ref 0 and set_out = ref 0 in
+          let bag_ms =
+            best_of_3 (fun () ->
+                bag_out := Relation.cardinal (Exec.run_expr db pipeline))
+          in
+          let set_ms =
+            best_of_3 (fun () ->
+                set_out := Relation.cardinal (Exec.run_expr db (setify pipeline)))
+          in
+          row "  %8d %4d | %10.2f %10.2f %7.1fx | %12d %12d@." n dup bag_ms
+            set_ms (set_ms /. bag_ms) !bag_out !set_out)
+        [ 1; 4; 16 ])
+    sizes
+
+(* ---------------------------------------------------------------- E2 *)
+
+(* Theorem 3.1: ∩ and ⋈ are derived operators.  The derived forms are
+   semantically equal (checked) and the native implementations are the
+   fast path. *)
+let e2_derived_operators () =
+  header "E2  Theorem 3.1: derived vs native operators";
+  row "  %8s | %12s %14s | %10s %10s %14s@." "n" "native \xe2\x88\xa9 ms"
+    "E1-(E1-E2) ms" "hash ms" "merge ms" "sel(E1xE2) ms";
+  let sizes = if quick then [ 1_000 ] else [ 1_000; 2_000; 4_000 ] in
+  List.iter
+    (fun n ->
+      let rng = W.Rng.make n in
+      let r = W.Synth.two_column_int ~rng ~size:n ~distinct:(n / 4) in
+      let s = W.Synth.two_column_int ~rng ~size:n ~distinct:(n / 4) in
+      let db = Database.of_relations [ ("r", r); ("s", s) ] in
+      let inter = Expr.intersect (Expr.rel "r") (Expr.rel "s") in
+      let derived =
+        Expr.diff (Expr.rel "r") (Expr.diff (Expr.rel "r") (Expr.rel "s"))
+      in
+      assert (Relation.equal (Eval.eval db inter) (Eval.eval db derived));
+      let inter_ms = best_of_3 (fun () -> Exec.run_expr db inter) in
+      let derived_ms = best_of_3 (fun () -> Exec.run_expr db derived) in
+      (* join: hash plan vs the literal σ∘× (full product); the planner
+         would fuse σ∘×, so build the product plan by hand. *)
+      let jn =
+        Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "r")
+          (Expr.rel "s")
+      in
+      let join_ms = best_of_3 (fun () -> Exec.run_expr db jn) in
+      let merge_plan = Planner.plan ~join_algorithm:Planner.Merge db jn in
+      assert (Relation.equal (Exec.run db merge_plan) (Eval.eval db jn));
+      let merge_ms = best_of_3 (fun () -> Exec.run db merge_plan) in
+      let product_plan =
+        Physical.Filter
+          ( Pred.eq (Scalar.attr 1) (Scalar.attr 3),
+            Physical.Cross_product (Physical.Seq_scan "r", Physical.Seq_scan "s") )
+      in
+      assert (Relation.equal (Exec.run db product_plan) (Eval.eval db jn));
+      let product_ms = best_of_3 (fun () -> Exec.run db product_plan) in
+      row "  %8d | %12.2f %14.2f | %10.2f %10.2f %14.2f@." n inter_ms
+        derived_ms join_ms merge_ms product_ms)
+    sizes
+
+(* ---------------------------------------------------------------- E3 *)
+
+(* Theorem 3.2: σ and π distribute over ⊎ — the rewrite is free (same
+   work), which is exactly why the optimizer may always apply it; δ does
+   NOT distribute, and the correct form of the law costs the inner δs. *)
+let e3_distribution () =
+  header "E3  Theorem 3.2: distribution over union";
+  let n = if quick then 20_000 else 80_000 in
+  let rng = W.Rng.make 3 in
+  let r1 = W.Synth.two_column_int ~rng ~size:n ~distinct:(n / 8) in
+  let r2 = W.Synth.two_column_int ~rng ~size:n ~distinct:(n / 8) in
+  let db = Database.of_relations [ ("e1", r1); ("e2", r2) ] in
+  let p = Pred.lt (Scalar.attr 1) (Scalar.int (n / 16)) in
+  let lhs = Expr.select p (Expr.union (Expr.rel "e1") (Expr.rel "e2")) in
+  let rhs =
+    Expr.union (Expr.select p (Expr.rel "e1")) (Expr.select p (Expr.rel "e2"))
+  in
+  assert (Relation.equal (Exec.run_expr db lhs) (Exec.run_expr db rhs));
+  let lhs_ms = best_of_3 (fun () -> Exec.run_expr db lhs) in
+  let rhs_ms = best_of_3 (fun () -> Exec.run_expr db rhs) in
+  row "  sel(E1+E2): %.2f ms   selE1+selE2: %.2f ms   equal results: yes@."
+    lhs_ms rhs_ms;
+  let proj e = Expr.project_attrs [ 1 ] e in
+  let plhs = proj (Expr.union (Expr.rel "e1") (Expr.rel "e2")) in
+  let prhs = Expr.union (proj (Expr.rel "e1")) (proj (Expr.rel "e2")) in
+  assert (Relation.equal (Exec.run_expr db plhs) (Exec.run_expr db prhs));
+  let plhs_ms = best_of_3 (fun () -> Exec.run_expr db plhs) in
+  let prhs_ms = best_of_3 (fun () -> Exec.run_expr db prhs) in
+  row "  pi(E1+E2):  %.2f ms   piE1+piE2:   %.2f ms   equal results: yes@."
+    plhs_ms prhs_ms;
+  (* The δ non-law, quantified: how far apart the two sides are. *)
+  let naive =
+    Expr.union (Expr.unique (Expr.rel "e1")) (Expr.unique (Expr.rel "e2"))
+  in
+  let correct = Expr.unique (Expr.union (Expr.rel "e1") (Expr.rel "e2")) in
+  let card_naive = Relation.cardinal (Exec.run_expr db naive) in
+  let card_correct = Relation.cardinal (Exec.run_expr db correct) in
+  row "  delta non-law: |dE1 + dE2| = %d  vs  |d(E1+E2)| = %d  (differ: %b)@."
+    card_naive card_correct
+    (card_naive <> card_correct)
+
+(* ---------------------------------------------------------------- E4 *)
+
+(* Theorem 3.3: associativity enables join reordering.  A 3-way join
+   with one small relation: association order changes intermediate
+   sizes by orders of magnitude; the optimizer must pick a good one. *)
+let e4_join_order () =
+  header "E4  Theorem 3.3: join association order";
+  let big = if quick then 4_000 else 20_000 in
+  let rng = W.Rng.make 4 in
+  let a = W.Synth.two_column_int ~rng ~size:(big / 4) ~distinct:500 in
+  let b = W.Synth.two_column_int ~rng ~size:big ~distinct:500 in
+  let c = W.Synth.two_column_int ~rng ~size:60 ~distinct:500 in
+  let db = Database.of_relations [ ("a", a); ("b", b); ("c", c) ] in
+  let stats = Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  (* Conditions in flat indexing over a ⊕ b ⊕ c = %1..%6. *)
+  let ab = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  let bc = Pred.eq (Scalar.attr 4) (Scalar.attr 5) in
+  let left_deep =
+    Expr.join bc (Expr.join ab (Expr.rel "a") (Expr.rel "b")) (Expr.rel "c")
+  in
+  (* a ⋈ (b × c) — the pathological order materialising big × 60. *)
+  let bad =
+    Expr.join (Pred.And (ab, bc)) (Expr.rel "a")
+      (Expr.Product (Expr.rel "b", Expr.rel "c"))
+  in
+  let optimized = Opt.Optimizer.optimize ~stats ~schemas bad in
+  let reference = Exec.run_expr db left_deep in
+  assert (Relation.equal reference (Exec.run_expr db bad));
+  assert (Relation.equal reference (Exec.run_expr db optimized));
+  row "  %-30s | %10s %12s %14s@." "order" "est cost" "measured ms"
+    "tuples moved";
+  let report name e =
+    let est = Cost.cost ~stats ~schemas e in
+    let plan = Planner.plan db e in
+    let ms = best_of_3 (fun () -> Exec.run db plan) in
+    row "  %-30s | %10.0f %12.2f %14d@." name est ms
+      (Exec.tuples_moved db plan)
+  in
+  report "(a join b) join c [left-deep]" left_deep;
+  report "a join (b x c) [pathological]" bad;
+  report "optimizer (from pathological)" optimized
+
+(* ---------------------------------------------------------------- E5 *)
+
+(* Example 3.2: inserting a projection "to reduce the size of
+   intermediate results" — measured, plus the optimizer doing it
+   automatically. *)
+let e5_early_projection () =
+  header "E5  Example 3.2: early projection";
+  let sizes = if quick then [ 10_000 ] else [ 10_000; 50_000 ] in
+  (* "To reduce the size of intermediate results": the intermediate in
+     question is the input of Γ — the relation PRISMA would materialise
+     and ship between processors.  We report its volume (tuples x width)
+     per variant, plus end-to-end pipeline time and total traffic. *)
+  let agg_input_cells db e =
+    match e with
+    | Expr.GroupBy (_, _, child) ->
+        let r = Exec.run_expr db child in
+        Relation.cardinal r * Schema.arity (Relation.schema r)
+    | _ -> 0
+  in
+  row "  %8s | %-22s %10s %16s %14s@." "beers" "variant" "ms"
+    "agg-input cells" "total cells";
+  List.iter
+    (fun n ->
+      let db =
+        W.Beer.generate ~rng:(W.Rng.make n) ~breweries:(n / 100) ~beers:n ()
+      in
+      let auto = Opt.Optimizer.optimize_db db W.Beer.example_3_2 in
+      let reference = Exec.run_expr db W.Beer.example_3_2 in
+      assert (
+        Relation.equal reference (Exec.run_expr db W.Beer.example_3_2_reduced));
+      assert (Relation.equal reference (Exec.run_expr db auto));
+      let report name e =
+        let plan = Planner.plan db e in
+        let ms = best_of_3 (fun () -> Exec.run db plan) in
+        row "  %8d | %-22s %10.2f %16d %14d@." n name ms
+          (agg_input_cells db e) (Exec.cells_moved db plan)
+      in
+      report "full (paper, no pi)" W.Beer.example_3_2;
+      report "reduced (paper, pi)" W.Beer.example_3_2_reduced;
+      report "optimizer (automatic)" auto)
+    sizes
+
+(* ---------------------------------------------------------------- E6 *)
+
+(* §4: transactions with atomicity.  Throughput under abort ratios; the
+   invariant (total balance conserved by transfers) holds exactly when
+   aborts roll back completely. *)
+let e6_transactions () =
+  header "E6  transactions: throughput and atomicity";
+  let accounts = 200 in
+  let batch = if quick then 200 else 1_000 in
+  let schema = Schema.of_list [ ("id", Domain.DInt); ("balance", Domain.DInt) ] in
+  let initial =
+    Database.of_relations
+      [
+        ( "acct",
+          Relation.of_list schema
+            (List.init accounts (fun i ->
+                 Tuple.of_list [ Value.Int i; Value.Int 1000 ])) );
+      ]
+  in
+  let total db =
+    match
+      Relation.to_list
+        (Eval.eval db (Expr.aggregate Aggregate.Sum 2 (Expr.rel "acct")))
+    with
+    | [ t ] -> ( match Tuple.attr t 1 with Value.Int n -> n | _ -> 0)
+    | _ -> 0
+  in
+  let upd id delta =
+    Statement.Update
+      ( "acct",
+        Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int id)) (Expr.rel "acct"),
+        [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int delta) ] )
+  in
+  (* A transfer moves money between two accounts; a poisoned transfer
+     fails *between* its two updates — if abort were not atomic, money
+     would leak. *)
+  let transfer rng ~poison i =
+    let src = W.Rng.int rng accounts and dst = W.Rng.int rng accounts in
+    let amount = 1 + W.Rng.int rng 50 in
+    let debit = upd src (-amount) and credit = upd dst amount in
+    Transaction.make
+      ~name:(Printf.sprintf "t%d" i)
+      (if poison then [ debit; Statement.Insert ("missing", Expr.rel "acct"); credit ]
+       else [ debit; credit ])
+  in
+  row "  %10s | %10s %10s %10s %10s@." "abort %" "txn/s" "committed" "aborted"
+    "conserved";
+  List.iter
+    (fun abort_pct ->
+      let rng = W.Rng.make abort_pct in
+      let txns =
+        List.init batch (fun i ->
+            transfer rng ~poison:(W.Rng.int rng 100 < abort_pct) i)
+      in
+      let (final, outcomes), ms =
+        time_ms (fun () -> Transaction.run_all initial txns)
+      in
+      let committed =
+        List.length (List.filter Transaction.committed outcomes)
+      in
+      row "  %10d | %10.0f %10d %10d %10b@." abort_pct
+        (float_of_int batch /. (ms /. 1000.0))
+        committed (batch - committed)
+        (total final = total initial))
+    [ 0; 25; 50 ]
+
+(* ---------------------------------------------------------------- E7 *)
+
+(* Conclusions: parallel operators (PRISMA).  Simulated speedup of
+   partitioned Γ and ⋈ as fragments grow, uniform and skewed. *)
+let e7_parallel () =
+  header "E7  parallel operators (simulated, partitioned)";
+  let n = if quick then 20_000 else 100_000 in
+  let rng = W.Rng.make 7 in
+  let uniform = W.Synth.two_column_int ~rng ~size:n ~distinct:512 in
+  let skewed =
+    W.Synth.relation ~rng
+      ~schema:(Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ])
+      ~size:n ~dup_factor:4 ~skew:1.2 ()
+  in
+  let jn = n / 3 in
+  let left, right =
+    W.Synth.join_pair ~rng ~left:jn ~right:(jn / 4) ~key_range:2048
+  in
+  row "  %4s | %14s | %14s | %14s@." "p" "grp uniform" "grp zipf(1.2)"
+    "join uniform";
+  List.iter
+    (fun parts ->
+      let g1 =
+        Ext.Parallel.par_group_by ~parts ~attrs:[ 1 ]
+          ~aggs:[ (Aggregate.Sum, 2) ] uniform
+      in
+      let g2 =
+        Ext.Parallel.par_group_by ~parts ~attrs:[ 1 ]
+          ~aggs:[ (Aggregate.Sum, 2) ] skewed
+      in
+      let j = Ext.Parallel.par_join ~parts ~left_key:1 ~right_key:1 left right in
+      row "  %4d | %10.2fx sp | %10.2fx sp | %10.2fx sp@." parts
+        g1.Ext.Parallel.speedup g2.Ext.Parallel.speedup j.Ext.Parallel.speedup)
+    [ 1; 2; 4; 8; 16 ]
+
+(* ---------------------------------------------------------------- E8 *)
+
+(* Conclusions: the transitive closure extension — semi-naive vs naive
+   across graph sizes. *)
+let e8_closure () =
+  header "E8  transitive closure scaling";
+  row "  %6s %7s | %9s %6s | %12s %12s@." "nodes" "edges" "pairs" "rounds"
+    "semi-naive" "naive";
+  let sizes = if quick then [ 100; 200 ] else [ 100; 200; 400; 800 ] in
+  List.iter
+    (fun nodes ->
+      let rng = W.Rng.make nodes in
+      let g = W.Synth.chain_relation ~rng ~nodes ~extra_edges:nodes in
+      let closure = Ext.Closure.closure g in
+      assert (Relation.equal closure (Ext.Closure.closure_naive g));
+      let semi = best_of_3 (fun () -> Ext.Closure.closure g) in
+      let naive =
+        if nodes > 400 then Float.nan
+        else best_of_3 (fun () -> Ext.Closure.closure_naive g)
+      in
+      row "  %6d %7d | %9d %6d | %9.1f ms %9.1f ms@." nodes
+        (Relation.cardinal g) (Relation.cardinal closure)
+        (Ext.Closure.iterations g) semi naive)
+    sizes
+
+(* ---------------------------------------------------------------- E9 *)
+
+(* §3.3's purpose: rewriting pays.  A pool of random queries, optimized
+   vs not: estimated cost, measured runtime, and the guarantee that no
+   result ever changes. *)
+let e9_optimizer_gain () =
+  header "E9  optimizer gain on random queries";
+  let pool = if quick then 40 else 120 in
+  let improved = ref 0 and unchanged = ref 0 in
+  let sum_before = ref 0.0 and sum_after = ref 0.0 in
+  let ms_before = ref 0.0 and ms_after = ref 0.0 in
+  let mismatches = ref 0 in
+  for seed = 1 to pool do
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let db = scen.W.Gen_expr.db in
+    let stats = Stats.env_of_database db in
+    let schemas = Typecheck.env_of_database db in
+    let e = scen.W.Gen_expr.expr in
+    let optimized = Opt.Optimizer.optimize ~stats ~schemas e in
+    let cb = Cost.cost ~stats ~schemas e in
+    let ca = Cost.cost ~stats ~schemas optimized in
+    sum_before := !sum_before +. cb;
+    sum_after := !sum_after +. ca;
+    if ca < cb -. 1e-9 then incr improved else incr unchanged;
+    let r1, t1 = time_ms (fun () -> Exec.run_expr db e) in
+    let r2, t2 = time_ms (fun () -> Exec.run_expr db optimized) in
+    ms_before := !ms_before +. t1;
+    ms_after := !ms_after +. t2;
+    if not (Relation.equal r1 r2) then incr mismatches
+  done;
+  row
+    "  queries: %d   cost improved: %d   unchanged: %d   result mismatches: \
+     %d@."
+    pool !improved !unchanged !mismatches;
+  row "  mean est. cost: %.0f -> %.0f   total runtime: %.1f ms -> %.1f ms@."
+    (!sum_before /. float_of_int pool)
+    (!sum_after /. float_of_int pool)
+    !ms_before !ms_after;
+  (* Ablation: which phase buys what, on the σ-over-products shape the
+     pushdown rules target. *)
+  let rng = W.Rng.make 909 in
+  let r = W.Synth.two_column_int ~rng ~size:5_000 ~distinct:400 in
+  let s = W.Synth.two_column_int ~rng ~size:5_000 ~distinct:400 in
+  let t = W.Synth.two_column_int ~rng ~size:100 ~distinct:400 in
+  let db = Database.of_relations [ ("r", r); ("s", s); ("t", t) ] in
+  let stats = Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  let query =
+    Expr.project_attrs [ 2 ]
+      (Expr.select
+         (Pred.conj
+            [
+              Pred.eq (Scalar.attr 1) (Scalar.attr 3);
+              Pred.eq (Scalar.attr 3) (Scalar.attr 5);
+              Pred.lt (Scalar.attr 2) (Scalar.int 100);
+            ])
+         (Expr.product (Expr.product (Expr.rel "r") (Expr.rel "s"))
+            (Expr.rel "t")))
+  in
+  let stages =
+    [
+      ("raw", query);
+      ("selection pushdown only", Opt.Rules.push_selections schemas query);
+      ("+ projection narrowing", Opt.Rules.normalize schemas query);
+      ("+ join reordering (full)", Opt.Optimizer.optimize ~stats ~schemas query);
+    ]
+  in
+  let reference = Exec.run_expr db query in
+  row "  ablation on pi(sel((r x s) x t)):@.";
+  row "    %-28s | %10s %12s@." "phase" "est cost" "measured ms";
+  List.iter
+    (fun (name, e) ->
+      assert (Relation.equal reference (Exec.run_expr db e));
+      let ms = best_of_3 (fun () -> Exec.run_expr db e) in
+      row "    %-28s | %10.0f %12.2f@." name (Cost.cost ~stats ~schemas e) ms)
+    stages
+
+(* --------------------------------------------------------------- E10 *)
+
+(* SQL correspondence: the paper's SQL statements and friends, each
+   checked equivalent to its algebraic counterpart and timed through
+   translate + optimize + execute. *)
+let e10_sql () =
+  header "E10  SQL front-end round trips";
+  let db =
+    W.Beer.generate ~rng:(W.Rng.make 10) ~breweries:100
+      ~beers:(if quick then 5_000 else 20_000)
+      ()
+  in
+  let env = Typecheck.env_of_database db in
+  let queries =
+    [
+      ( "Ex 3.2 (paper)",
+        "SELECT country, AVG(alcperc) FROM beer, brewery WHERE beer.brewery \
+         = brewery.name GROUP BY country",
+        Some W.Beer.example_3_2 );
+      ( "Ex 3.1 shape",
+        "SELECT beer.name FROM beer, brewery WHERE beer.brewery = \
+         brewery.name AND country = 'NL'",
+        Some W.Beer.example_3_1 );
+      ("distinct", "SELECT DISTINCT brewery FROM beer", None);
+      ( "group-max",
+        "SELECT brewery, MAX(alcperc) FROM beer GROUP BY brewery",
+        None );
+      ("global agg", "SELECT CNT(*), AVG(alcperc) FROM beer", None);
+    ]
+  in
+  row "  %-16s | %10s %10s %10s@." "query" "rows" "ms" "= algebra";
+  List.iter
+    (fun (name, sql, reference) ->
+      let e = Mxra_sql.Translate.query_of_string env sql in
+      let optimized = Opt.Optimizer.optimize_db db e in
+      let result = ref (Relation.empty Schema.unit) in
+      let ms = best_of_3 (fun () -> result := Exec.run_expr db optimized) in
+      let agrees =
+        match reference with
+        | None -> "n/a"
+        | Some alg ->
+            if Relation.equal !result (Exec.run_expr db alg) then "yes"
+            else "NO"
+      in
+      row "  %-16s | %10d %10.2f %10s@." name (Relation.cardinal !result) ms
+        agrees)
+    queries
+
+(* --------------------------------------------------------------- E11 *)
+
+(* Durability (Definition 4.3 cites [Gray 81]'s ACID): cost of the
+   write-ahead log per committed transaction, and recovery time as the
+   log grows. *)
+let e11_durability () =
+  header "E11  durability: WAL overhead and recovery";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mxra-bench-store"
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let schema = Schema.of_list [ ("id", Domain.DInt); ("v", Domain.DInt) ] in
+  let initial =
+    Database.of_relations
+      [ ("t", Relation.of_list schema
+                (List.init 100 (fun i ->
+                     Tuple.of_list [ Value.Int i; Value.Int 0 ]))) ]
+  in
+  let txn i =
+    Transaction.make
+      [
+        Statement.Update
+          ( "t",
+            Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int (i mod 100)))
+              (Expr.rel "t"),
+            [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int 1) ] );
+      ]
+  in
+  let batch = if quick then 100 else 400 in
+  (* In-memory baseline. *)
+  let _, mem_ms =
+    time_ms (fun () ->
+        Transaction.run_all initial (List.init batch txn))
+  in
+  (* Same batch through the store. *)
+  let store = Mxra_storage.Store.open_dir dir in
+  Out_channel.with_open_text (Filename.concat dir "snapshot.xra") (fun oc ->
+      Out_channel.output_string oc (Mxra_storage.Codec.encode_database initial));
+  Mxra_storage.Store.close store;
+  let store = Mxra_storage.Store.open_dir dir in
+  let _, wal_ms =
+    time_ms (fun () ->
+        List.iter
+          (fun i -> ignore (Mxra_storage.Store.commit store (txn i)))
+          (List.init batch Fun.id))
+  in
+  let durable_state = Mxra_storage.Store.database store in
+  Mxra_storage.Store.close store;
+  let recovered, recover_ms =
+    time_ms (fun () -> Mxra_storage.Store.recover_dir dir)
+  in
+  row "  %8s | %12s %12s %10s | %12s@." "txns" "memory ms" "durable ms"
+    "overhead" "recover ms";
+  row "  %8d | %12.1f %12.1f %9.2fx | %12.1f@." batch mem_ms wal_ms
+    (wal_ms /. mem_ms) recover_ms;
+  row "  recovery faithful: %b@."
+    (Database.equal_states durable_state recovered)
+
+(* --------------------------------------------------------------- E12 *)
+
+(* Isolation (Definition 4.3: "T is executed in isolation"): interleaved
+   strict-2PL execution vs the serial scheduler — throughput, lock
+   traffic, and the serializability guarantee. *)
+let e12_isolation () =
+  header "E12  isolation: interleaved 2PL vs serial execution";
+  let schema = Schema.of_list [ ("id", Domain.DInt); ("v", Domain.DInt) ] in
+  (* Partitioned working sets: transactions touch one of [hot] tables,
+     so lock conflicts scale with contention. *)
+  let make_db tables =
+    Database.of_relations
+      (List.init tables (fun t ->
+           ( Printf.sprintf "t%d" t,
+             Relation.of_list schema
+               (List.init 50 (fun i ->
+                    Tuple.of_list [ Value.Int i; Value.Int 0 ])) )))
+  in
+  let txn rng tables i =
+    let name = Printf.sprintf "t%d" (W.Rng.int rng tables) in
+    Transaction.make
+      ~name:(string_of_int i)
+      [
+        Statement.Update
+          ( name,
+            Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int (i mod 50)))
+              (Expr.rel name),
+            [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int 1) ] );
+      ]
+  in
+  let batch = if quick then 150 else 400 in
+  row "  %8s | %10s %10s | %8s %10s | %12s@." "tables" "serial/s"
+    "2PL/s" "blocks" "deadlocks" "serializable";
+  List.iter
+    (fun tables ->
+      let db = make_db tables in
+      let rng = W.Rng.make tables in
+      let txns = List.init batch (txn rng tables) in
+      let _, serial_ms = time_ms (fun () -> Transaction.run_all db txns) in
+      let result, sched_ms =
+        time_ms (fun () -> Mxra_concurrency.Scheduler.run ~seed:1 db txns)
+      in
+      row "  %8d | %10.0f %10.0f | %8d %10d | %12b@." tables
+        (float_of_int batch /. (serial_ms /. 1000.0))
+        (float_of_int batch /. (sched_ms /. 1000.0))
+        result.Mxra_concurrency.Scheduler.stats.Mxra_concurrency.Scheduler.blocks
+        result.Mxra_concurrency.Scheduler.stats
+          .Mxra_concurrency.Scheduler.deadlocks
+        (Mxra_concurrency.Scheduler.equivalent_serial db txns result))
+    [ 1; 4; 16 ]
+
+(* ------------------------------------------------- bechamel suite *)
+
+let bechamel_suite () =
+  header "Bechamel micro-benchmarks (OLS estimate per run, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  (* Shared inputs, prepared once. *)
+  let rng = W.Rng.make 2026 in
+  let n = if quick then 2_000 else 8_000 in
+  let r = W.Synth.two_column_int ~rng ~size:n ~distinct:(n / 4) in
+  let s = W.Synth.two_column_int ~rng ~size:n ~distinct:(n / 4) in
+  let db = Database.of_relations [ ("r", r); ("s", s) ] in
+  let beer_db = W.Beer.generate ~rng ~breweries:50 ~beers:n () in
+  let join_expr =
+    Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "r")
+      (Expr.rel "s")
+  in
+  let pipeline =
+    Expr.project_attrs [ 2 ]
+      (Expr.select (Pred.lt (Scalar.attr 2) (Scalar.attr 3)) join_expr)
+  in
+  let graph = W.Synth.chain_relation ~rng ~nodes:150 ~extra_edges:150 in
+  let stage = Staged.stage in
+  let tests =
+    Test.make_grouped ~name:"mxra"
+      [
+        Test.make_grouped ~name:"E1-dup-removal"
+          [
+            Test.make ~name:"bag-pipeline"
+              (stage (fun () -> Exec.run_expr db pipeline));
+            Test.make ~name:"set-pipeline"
+              (stage (fun () -> Exec.run_expr db (setify pipeline)));
+          ];
+        Test.make_grouped ~name:"E2-thm31"
+          [
+            Test.make ~name:"native-intersect"
+              (stage (fun () ->
+                   Exec.run_expr db
+                     (Expr.intersect (Expr.rel "r") (Expr.rel "s"))));
+            Test.make ~name:"derived-intersect"
+              (stage (fun () ->
+                   Exec.run_expr db
+                     (Expr.diff (Expr.rel "r")
+                        (Expr.diff (Expr.rel "r") (Expr.rel "s")))));
+            Test.make ~name:"hash-join"
+              (stage (fun () -> Exec.run_expr db join_expr));
+          ];
+        Test.make_grouped ~name:"E3-thm32"
+          [
+            Test.make ~name:"select-union"
+              (stage (fun () ->
+                   Exec.run_expr db
+                     (Expr.select
+                        (Pred.lt (Scalar.attr 1) (Scalar.int 100))
+                        (Expr.union (Expr.rel "r") (Expr.rel "s")))));
+            Test.make ~name:"distributed"
+              (stage (fun () ->
+                   let p = Pred.lt (Scalar.attr 1) (Scalar.int 100) in
+                   Exec.run_expr db
+                     (Expr.union
+                        (Expr.select p (Expr.rel "r"))
+                        (Expr.select p (Expr.rel "s")))));
+          ];
+        Test.make_grouped ~name:"E5-early-projection"
+          [
+            Test.make ~name:"full"
+              (stage (fun () -> Exec.run_expr beer_db W.Beer.example_3_2));
+            Test.make ~name:"reduced"
+              (stage (fun () ->
+                   Exec.run_expr beer_db W.Beer.example_3_2_reduced));
+          ];
+        Test.make_grouped ~name:"E8-closure"
+          [
+            Test.make ~name:"semi-naive"
+              (stage (fun () -> Ext.Closure.closure graph));
+            Test.make ~name:"naive"
+              (stage (fun () -> Ext.Closure.closure_naive graph));
+          ];
+        Test.make_grouped ~name:"E9-E10-frontends"
+          [
+            Test.make ~name:"optimize-ex32"
+              (stage (fun () ->
+                   Opt.Optimizer.optimize_db beer_db W.Beer.example_3_2));
+            Test.make ~name:"sql-translate"
+              (stage (fun () ->
+                   Mxra_sql.Translate.query_of_string
+                     (Typecheck.env_of_database beer_db)
+                     "SELECT country, AVG(alcperc) FROM beer, brewery WHERE \
+                      beer.brewery = brewery.name GROUP BY country"));
+          ];
+      ]
+  in
+  let quota = Time.second (if quick then 0.1 else 0.4) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> Float.nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then row "  %-44s %14s@." name "n/a"
+      else if ns > 1e6 then row "  %-44s %11.3f ms@." name (ns /. 1e6)
+      else row "  %-44s %11.1f ns@." name ns)
+    rows
+
+let () =
+  Format.printf
+    "mxra benchmark harness: experiments E1..E10 of DESIGN.md section 5%s@."
+    (if quick then " (quick mode)" else "");
+  e1_dup_removal ();
+  e2_derived_operators ();
+  e3_distribution ();
+  e4_join_order ();
+  e5_early_projection ();
+  e6_transactions ();
+  e7_parallel ();
+  e8_closure ();
+  e9_optimizer_gain ();
+  e10_sql ();
+  e11_durability ();
+  e12_isolation ();
+  bechamel_suite ();
+  Format.printf "@.done.@."

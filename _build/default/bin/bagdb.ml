@@ -1,0 +1,161 @@
+(* bagdb: non-interactive runner for XRA and SQL scripts.
+
+     bagdb run script.xra            execute an XRA script
+     bagdb sql script.sql            execute a SQL script
+     bagdb explain 'EXPR'            optimize an XRA expression, show plans
+
+   Both runners can preload the paper's beer database (--beer) or a
+   generated one (--gen-beers N), and report per-query timings and
+   engine statistics (--stats). *)
+
+open Mxra_relational
+open Mxra_core
+module Xra = Mxra_xra
+module Sql = Mxra_sql
+
+let preload beer gen_beers =
+  if gen_beers > 0 then
+    Mxra_workload.Beer.generate
+      ~rng:(Mxra_workload.Rng.make 42)
+      ~breweries:(max 4 (gen_beers / 50))
+      ~beers:gen_beers ()
+  else if beer then Mxra_workload.Beer.tiny
+  else Database.empty
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let run_query ~optimize ~stats db e =
+  let e = if optimize then Mxra_optimizer.Optimizer.optimize_db db e else e in
+  let plan = Mxra_engine.Planner.plan db e in
+  let result, elapsed = time (fun () -> Mxra_engine.Exec.run db plan) in
+  Format.printf "%a@." Relation.pp_table result;
+  if stats then
+    Format.printf "-- %.3f ms, %d tuples moved@." (elapsed *. 1000.0)
+      (Mxra_engine.Exec.tuples_moved db plan)
+
+let exec_statement ~optimize ~stats db stmt =
+  match stmt with
+  | Statement.Query e ->
+      run_query ~optimize ~stats db e;
+      db
+  | Statement.Insert _ | Statement.Delete _ | Statement.Update _
+  | Statement.Assign _ -> (
+      match Transaction.run db (Transaction.make [ stmt ]) with
+      | Transaction.Committed { state; _ } -> state
+      | Transaction.Aborted { state; reason } ->
+          Format.eprintf "aborted: %s@." reason;
+          state)
+
+let run_xra ~optimize ~stats db path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  let step db = function
+    | Xra.Parser.Cmd_statement stmt -> exec_statement ~optimize ~stats db stmt
+    | Xra.Parser.Cmd_transaction program -> (
+        match Transaction.run db (Transaction.make program) with
+        | Transaction.Committed { state; outputs } ->
+            List.iter (Format.printf "%a@." Relation.pp_table) outputs;
+            state
+        | Transaction.Aborted { state; reason } ->
+            Format.eprintf "aborted: %s@." reason;
+            state)
+    | Xra.Parser.Cmd_create (name, schema) -> Database.create name schema db
+  in
+  ignore (List.fold_left step db (Xra.Parser.script_of_string source))
+
+let run_sql ~optimize ~stats db path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  let step db ast =
+    match Sql.Translate.translate (Typecheck.env_of_database db) ast with
+    | Sql.Translate.Query e ->
+        run_query ~optimize ~stats db e;
+        db
+    | Sql.Translate.Statement stmt -> exec_statement ~optimize ~stats db stmt
+    | Sql.Translate.Create (name, schema) -> Database.create name schema db
+  in
+  ignore (List.fold_left step db (Sql.Sql_parser.parse_script source))
+
+let explain db src =
+  let e = Xra.Parser.expr_of_string src in
+  let stats_env = Mxra_engine.Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  let optimized, report =
+    Mxra_optimizer.Optimizer.explain ~stats:stats_env ~schemas e
+  in
+  Format.printf "input:      %s@." (Expr.to_string e);
+  Format.printf "optimized:  %s@." (Expr.to_string optimized);
+  Format.printf "est. cost:  %.0f -> %.0f tuples@."
+    report.Mxra_optimizer.Optimizer.input_cost
+    report.Mxra_optimizer.Optimizer.output_cost;
+  Format.printf "physical:@.%s@."
+    (Mxra_engine.Physical.to_string (Mxra_engine.Planner.plan db optimized))
+
+(* --- command line ----------------------------------------------------- *)
+
+open Cmdliner
+
+let beer_flag =
+  Arg.(value & flag & info [ "beer" ] ~doc:"Preload the paper's beer database.")
+
+let gen_flag =
+  Arg.(value & opt int 0 & info [ "gen-beers" ] ~doc:"Preload a generated beer database of $(docv) rows." ~docv:"N")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-query timing and tuple traffic.")
+
+let no_optimize_flag =
+  Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip the logical optimizer.")
+
+let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+let expr_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR")
+
+let guarded f =
+  match f () with
+  | () -> 0
+  | exception Xra.Parser.Parse_error (msg, pos) ->
+      Format.eprintf "parse error at %d: %s@." pos msg; 1
+  | exception Xra.Lexer.Lex_error (msg, pos) ->
+      Format.eprintf "lex error at %d: %s@." pos msg; 1
+  | exception Sql.Sql_parser.Parse_error (msg, pos) ->
+      Format.eprintf "sql parse error at %d: %s@." pos msg; 1
+  | exception Sql.Sql_lexer.Lex_error (msg, pos) ->
+      Format.eprintf "sql lex error at %d: %s@." pos msg; 1
+  | exception Sql.Translate.Translate_error msg ->
+      Format.eprintf "sql error: %s@." msg; 1
+  | exception Typecheck.Type_error msg ->
+      Format.eprintf "type error: %s@." msg; 1
+  | exception Database.Unknown_relation name ->
+      Format.eprintf "unknown relation: %s@." name; 1
+  | exception Database.Duplicate_relation name ->
+      Format.eprintf "relation exists: %s@." name; 1
+
+let run_cmd =
+  let action beer gen stats no_opt path =
+    guarded (fun () ->
+        run_xra ~optimize:(not no_opt) ~stats (preload beer gen) path)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute an XRA script.")
+    Term.(const action $ beer_flag $ gen_flag $ stats_flag $ no_optimize_flag $ path_arg)
+
+let sql_cmd =
+  let action beer gen stats no_opt path =
+    guarded (fun () ->
+        run_sql ~optimize:(not no_opt) ~stats (preload beer gen) path)
+  in
+  Cmd.v (Cmd.info "sql" ~doc:"Execute a SQL script.")
+    Term.(const action $ beer_flag $ gen_flag $ stats_flag $ no_optimize_flag $ path_arg)
+
+let explain_cmd =
+  let action beer gen expr =
+    guarded (fun () -> explain (preload beer gen) expr)
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Optimize an XRA expression and show plans.")
+    Term.(const action $ beer_flag $ gen_flag $ expr_arg)
+
+let () =
+  let doc = "a multi-set extended relational algebra database (ICDE 1994)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "bagdb" ~doc) [ run_cmd; sql_cmd; explain_cmd ]))

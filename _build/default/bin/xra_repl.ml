@@ -1,0 +1,188 @@
+(* Interactive XRA shell: the multi-set extended relational algebra as a
+   database language, the way PRISMA/DB exposed it.
+
+   Statements auto-commit (each runs as a single-statement transaction);
+   a begin ... end bracket runs atomically.  Queries are optimized and
+   executed by the physical engine.  Meta commands start with a dot:
+
+     .help               this text
+     .quit               leave
+     .tables             list relations
+     .show NAME          print a relation
+     .schema NAME        print a schema
+     .beer               load the paper's beer database
+     .sql STMT           run one SQL statement instead of XRA
+     .plan EXPR          show the optimized physical plan of an expression
+     .load FILE          run an XRA script file *)
+
+open Mxra_relational
+open Mxra_core
+module Xra = Mxra_xra
+module Sql = Mxra_sql
+
+let print_relation r = Format.printf "%a@." Relation.pp_table r
+
+let run_query db e =
+  let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
+  Mxra_engine.Exec.run_expr db optimized
+
+let exec_statement db stmt =
+  match stmt with
+  | Statement.Query e ->
+      print_relation (run_query db e);
+      db
+  | Statement.Insert _ | Statement.Delete _ | Statement.Update _
+  | Statement.Assign _ -> (
+      match Transaction.run db (Transaction.make [ stmt ]) with
+      | Transaction.Committed { state; _ } ->
+          Format.printf "ok@.";
+          state
+      | Transaction.Aborted { state; reason } ->
+          Format.printf "aborted: %s@." reason;
+          state)
+
+let exec_transaction db program =
+  match Transaction.run db (Transaction.make program) with
+  | Transaction.Committed { state; outputs } ->
+      List.iter print_relation outputs;
+      Format.printf "committed (t=%d)@." (Database.logical_time state);
+      state
+  | Transaction.Aborted { state; reason } ->
+      Format.printf "aborted: %s@." reason;
+      state
+
+let exec_command db = function
+  | Xra.Parser.Cmd_statement stmt -> exec_statement db stmt
+  | Xra.Parser.Cmd_transaction program -> exec_transaction db program
+  | Xra.Parser.Cmd_create (name, schema) ->
+      let db = Database.create name schema db in
+      Format.printf "created %s %s@." name (Schema.to_string schema);
+      db
+
+let exec_sql db src =
+  match Sql.Translate.translate_string (Typecheck.env_of_database db) src with
+  | Sql.Translate.Query e ->
+      print_relation (run_query db e);
+      db
+  | Sql.Translate.Statement stmt -> exec_statement db stmt
+  | Sql.Translate.Create (name, schema) ->
+      exec_command db (Xra.Parser.Cmd_create (name, schema))
+
+let show_plan db src =
+  let e = Xra.Parser.expr_of_string src in
+  let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
+  Format.printf "logical (optimized):@.  %s@." (Expr.to_string optimized);
+  Format.printf "physical:@.%s@."
+    (Mxra_engine.Physical.to_string (Mxra_engine.Planner.plan db optimized))
+
+let help () =
+  print_string
+    "XRA shell.  Statements: insert(R,E)  delete(R,E)  update(R,E,[a,...])\n\
+    \  R := E   ?E   begin s1; s2 end   create R (a:int, b:str)\n\
+     Expressions: union diff product intersect join[p] select[p]\n\
+    \  project[a,...] unique groupby[keys; AGG(%i),...] rel[(..)]{..}\n\
+     Meta: .help .quit .tables .show R .schema R .beer .sql STMT .plan E\n\
+    \  .load FILE .save DIR .open DIR .import FILE R .export R FILE\n"
+
+let rec run_script db path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  List.fold_left exec_command db (Xra.Parser.script_of_string source)
+
+and dispatch db line =
+  let trimmed = String.trim line in
+  if trimmed = "" then db
+  else if String.length trimmed > 0 && trimmed.[0] = '.' then
+    match String.split_on_char ' ' trimmed with
+    | ".help" :: _ -> help (); db
+    | ".tables" :: _ ->
+        List.iter print_endline (Database.relation_names db);
+        db
+    | [ ".show"; name ] ->
+        print_relation (Database.find name db);
+        db
+    | [ ".schema"; name ] ->
+        Format.printf "%a@." Schema.pp (Database.schema_of name db);
+        db
+    | ".beer" :: _ ->
+        Format.printf "loaded beer database@.";
+        Mxra_workload.Beer.tiny
+    | ".sql" :: rest -> exec_sql db (String.concat " " rest)
+    | ".plan" :: rest -> show_plan db (String.concat " " rest); db
+    | [ ".load"; path ] -> run_script db path
+    | [ ".save"; dir ] ->
+        let store = Mxra_storage.Store.open_dir dir in
+        (* Saving writes the current state as a fresh snapshot. *)
+        Mxra_storage.Store.close store;
+        Out_channel.with_open_text
+          (Filename.concat dir "snapshot.xra")
+          (fun oc ->
+            Out_channel.output_string oc
+              (Mxra_storage.Codec.encode_database db));
+        Out_channel.with_open_text (Filename.concat dir "wal.xra")
+          (fun _ -> ());
+        Format.printf "saved to %s@." dir;
+        db
+    | [ ".open"; dir ] ->
+        let recovered = Mxra_storage.Store.recover_dir dir in
+        Format.printf "opened %s (%d relations, t=%d)@." dir
+          (List.length (Database.relation_names recovered))
+          (Database.logical_time recovered);
+        recovered
+    | [ ".import"; path; name ] ->
+        let r = Mxra_workload.Csv.read_file path in
+        let db = Database.create_with name r db in
+        Format.printf "imported %d tuples into %s@." (Relation.cardinal r) name;
+        db
+    | [ ".export"; name; path ] ->
+        Mxra_workload.Csv.write_file path (Database.find name db);
+        Format.printf "exported %s to %s@." name path;
+        db
+    | _ ->
+        Format.printf "unknown meta command; try .help@.";
+        db
+  else exec_command db (Xra.Parser.command_of_string trimmed)
+
+let safely f db =
+  match f db with
+  | db -> db
+  | exception Xra.Parser.Parse_error (msg, pos) ->
+      Format.printf "parse error at %d: %s@." pos msg;
+      db
+  | exception Xra.Lexer.Lex_error (msg, pos) ->
+      Format.printf "lex error at %d: %s@." pos msg;
+      db
+  | exception Typecheck.Type_error msg ->
+      Format.printf "type error: %s@." msg;
+      db
+  | exception Statement.Exec_error msg ->
+      Format.printf "error: %s@." msg;
+      db
+  | exception Sql.Translate.Translate_error msg ->
+      Format.printf "sql error: %s@." msg;
+      db
+  | exception Sql.Sql_parser.Parse_error (msg, pos) ->
+      Format.printf "sql parse error at %d: %s@." pos msg;
+      db
+  | exception Database.Unknown_relation name ->
+      Format.printf "unknown relation: %s@." name;
+      db
+  | exception Database.Duplicate_relation name ->
+      Format.printf "relation exists: %s@." name;
+      db
+  | exception Mxra_workload.Csv.Csv_error (msg, line) ->
+      Format.printf "csv error at line %d: %s@." line msg;
+      db
+  | exception Sys_error msg ->
+      Format.printf "i/o error: %s@." msg;
+      db
+
+let () =
+  print_endline "mxra :: multi-set extended relational algebra shell (.help)";
+  let rec loop db =
+    print_string "xra> ";
+    match In_channel.input_line stdin with
+    | None -> print_newline ()
+    | Some ".quit" | Some ".q" -> ()
+    | Some line -> loop (safely (fun db -> dispatch db line) db)
+  in
+  loop Database.empty

@@ -1,0 +1,1 @@
+examples/beer_analytics.ml: Aggregate Database Eval Expr Format Mxra_core Mxra_engine Mxra_optimizer Mxra_relational Mxra_sql Mxra_workload Pred Relation Scalar Statement Tuple Typecheck Unix Value

@@ -1,0 +1,1 @@
+examples/beer_analytics.mli:

@@ -1,0 +1,1 @@
+examples/integrity_catalog.ml: Database Domain Expr Format List Mxra_core Mxra_ext Mxra_relational Pred Relation Scalar Schema Statement Transaction Tuple Typecheck Value

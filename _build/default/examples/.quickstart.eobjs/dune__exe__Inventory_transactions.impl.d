@@ -1,0 +1,1 @@
+examples/inventory_transactions.ml: Database Domain Eval Expr Format List Mxra_core Mxra_relational Pred Printf Relation Scalar Schema Statement Transaction Tuple Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Database Domain Eval Expr Format Mxra_core Mxra_engine Mxra_optimizer Mxra_relational Mxra_xra Relation Schema Tuple Value

@@ -1,0 +1,6 @@
+-- The paper's SQL correspondence, runnable via: bagdb sql --beer analytics.sql
+SELECT country, AVG(alcperc) FROM beer, brewery
+  WHERE beer.brewery = brewery.name GROUP BY country;
+SELECT DISTINCT beer.name FROM beer, brewery
+  WHERE beer.brewery = brewery.name AND country = 'NL';
+SELECT brewery, CNT(name), MAX(alcperc) FROM beer GROUP BY brewery;

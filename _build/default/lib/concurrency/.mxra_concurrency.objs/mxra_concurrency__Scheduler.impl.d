@@ -1,0 +1,1 @@
+lib/concurrency/scheduler.ml: Aggregate Array Database Expr Fun List Map Mxra_core Mxra_relational Mxra_workload Relation Scalar Statement String Transaction Typecheck

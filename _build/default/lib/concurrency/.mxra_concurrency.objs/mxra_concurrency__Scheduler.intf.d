@@ -1,0 +1,1 @@
+lib/concurrency/scheduler.mli: Database Mxra_core Mxra_relational Transaction

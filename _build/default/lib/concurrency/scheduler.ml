@@ -1,0 +1,354 @@
+open Mxra_relational
+open Mxra_core
+
+type outcome =
+  | Committed
+  | Aborted of string
+
+type stats = {
+  steps : int;
+  blocks : int;
+  deadlocks : int;
+}
+
+type result = {
+  final : Database.t;
+  outcomes : outcome list;
+  commit_order : int list;
+  stats : stats;
+}
+
+(* --- lock table --------------------------------------------------------- *)
+
+type lock_mode =
+  | Shared
+  | Exclusive
+
+module Names = Map.Make (String)
+
+type lock_state = {
+  mode : lock_mode;
+  holders : int list;  (* transaction indices *)
+}
+
+(* --- per-transaction execution state ------------------------------------ *)
+
+type txn_status =
+  | Running
+  | Blocked of (string * lock_mode)  (* the lock it waits for *)
+  | Finished of outcome
+
+type txn_exec = {
+  txn : Transaction.t;
+  index : int;
+  mutable remaining : Statement.t list;
+  mutable temps : (string * Relation.t) list;
+  mutable held : (string * lock_mode) list;
+  mutable before_images : Relation.t Names.t;  (* first-write backups *)
+  mutable status : txn_status;
+}
+
+(* Relations a statement reads (expressions) and writes (the target). *)
+let accesses stmt =
+  match stmt with
+  | Statement.Insert (name, e) | Statement.Delete (name, e) ->
+      (Expr.relations e, Some name)
+  | Statement.Update (name, e, _) -> (name :: Expr.relations e, Some name)
+  | Statement.Assign (_, e) | Statement.Query e -> (Expr.relations e, None)
+
+let mode_compatible existing requested =
+  match (existing, requested) with
+  | Shared, Shared -> true
+  | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive -> false
+
+(* --- the scheduler ------------------------------------------------------- *)
+
+type scheduler = {
+  mutable shared : Database.t;
+  mutable locks : lock_state Names.t;
+  txns : txn_exec array;
+  mutable n_steps : int;
+  mutable n_blocks : int;
+  mutable n_deadlocks : int;
+  mutable commits : int list;  (* reverse commit order *)
+}
+
+let holds t name mode =
+  List.exists
+    (fun (n, m) ->
+      n = name && (m = mode || (m = Exclusive && mode = Shared)))
+    t.held
+
+(* Try to take one lock; true on success. *)
+let try_lock sched t name mode =
+  if holds t name mode then true
+  else
+    match Names.find_opt name sched.locks with
+    | None ->
+        sched.locks <- Names.add name { mode; holders = [ t.index ] } sched.locks;
+        t.held <- (name, mode) :: t.held;
+        true
+    | Some state ->
+        let others = List.filter (fun h -> h <> t.index) state.holders in
+        if others = [] then begin
+          (* Sole holder: possibly upgrade Shared -> Exclusive. *)
+          let mode' =
+            match (state.mode, mode) with
+            | Exclusive, _ | _, Exclusive -> Exclusive
+            | Shared, Shared -> Shared
+          in
+          sched.locks <- Names.add name { mode = mode'; holders = [ t.index ] } sched.locks;
+          t.held <- (name, mode') :: List.remove_assoc name t.held;
+          true
+        end
+        else if mode_compatible state.mode mode then begin
+          sched.locks <-
+            Names.add name
+              { state with holders = t.index :: state.holders }
+              sched.locks;
+          t.held <- (name, mode) :: t.held;
+          true
+        end
+        else false
+
+(* Locks needed by the next statement of [t] (persistent relations only;
+   temporaries are private). *)
+let needed_locks sched t stmt =
+  let is_temp name = List.mem_assoc name t.temps in
+  let is_persistent name = Database.mem name sched.shared && not (is_temp name) in
+  let reads, write = accesses stmt in
+  let shared_needs =
+    List.filter is_persistent reads
+    |> List.filter (fun n -> Some n <> write)
+    |> List.sort_uniq String.compare
+  in
+  let exclusive_needs =
+    match write with Some n when is_persistent n -> [ n ] | _ -> []
+  in
+  List.map (fun n -> (n, Shared)) shared_needs
+  @ List.map (fun n -> (n, Exclusive)) exclusive_needs
+
+(* Wait-for: who currently blocks a (name, mode) request of [t]. *)
+let blockers sched t (name, mode) =
+  match Names.find_opt name sched.locks with
+  | None -> []
+  | Some state ->
+      if mode_compatible state.mode mode && state.mode = Shared && mode = Shared
+      then []
+      else List.filter (fun h -> h <> t.index) state.holders
+
+let rec wait_for_cycle sched visiting from =
+  if List.mem from visiting then true
+  else
+    match sched.txns.(from).status with
+    | Blocked want ->
+        List.exists
+          (fun holder -> wait_for_cycle sched (from :: visiting) holder)
+          (blockers sched sched.txns.(from) want)
+    | Running | Finished _ -> false
+
+let release_locks sched t =
+  List.iter
+    (fun (name, _) ->
+      match Names.find_opt name sched.locks with
+      | None -> ()
+      | Some state ->
+          let holders = List.filter (fun h -> h <> t.index) state.holders in
+          sched.locks <-
+            (if holders = [] then Names.remove name sched.locks
+             else Names.add name { state with holders } sched.locks))
+    t.held;
+  t.held <- [];
+  (* Anyone waiting may be runnable again. *)
+  Array.iter
+    (fun other ->
+      match other.status with
+      | Blocked _ -> other.status <- Running
+      | Running | Finished _ -> ())
+    sched.txns
+
+let view_of sched t =
+  List.fold_left
+    (fun db (name, r) -> Database.assign_temporary name r db)
+    sched.shared t.temps
+
+let absorb sched t view =
+  let temps =
+    List.filter_map
+      (fun name ->
+        if Database.is_temporary name view then
+          Some (name, Database.find name view)
+        else None)
+      (Database.relation_names view)
+  in
+  t.temps <- temps;
+  sched.shared <- Database.drop_temporaries view
+
+let backup_before_write sched t stmt =
+  match accesses stmt with
+  | _, Some name when not (List.mem_assoc name t.temps) ->
+      if Database.mem name sched.shared
+         && not (Names.mem name t.before_images)
+      then
+        t.before_images <-
+          Names.add name (Database.find name sched.shared) t.before_images
+  | _, _ -> ()
+
+let undo sched t =
+  Names.iter
+    (fun name r -> sched.shared <- Database.set name r sched.shared)
+    t.before_images;
+  t.before_images <- Names.empty;
+  t.temps <- []
+
+let finish sched t outcome =
+  (match outcome with
+  | Committed -> sched.commits <- t.index :: sched.commits
+  | Aborted _ -> undo sched t);
+  t.temps <- [];
+  t.status <- Finished outcome;
+  release_locks sched t
+
+(* One scheduling step of transaction [t]: acquire locks for its next
+   statement, then run it; empty statement list means the end bracket. *)
+let step sched t =
+  match t.remaining with
+  | [] ->
+      let guard_fires =
+        match t.txn.Transaction.abort_if with
+        | None -> false
+        | Some cond -> (
+            match cond (view_of sched t) with
+            | fires -> fires
+            | exception _ -> true)
+      in
+      if guard_fires then finish sched t (Aborted "abort_if condition held")
+      else finish sched t Committed
+  | stmt :: rest -> (
+      let wanted = needed_locks sched t stmt in
+      let missing =
+        List.filter (fun (n, m) -> not (try_lock sched t n m)) wanted
+      in
+      match missing with
+      | want :: _ ->
+          sched.n_blocks <- sched.n_blocks + 1;
+          t.status <- Blocked want;
+          if wait_for_cycle sched [] t.index then begin
+            sched.n_deadlocks <- sched.n_deadlocks + 1;
+            finish sched t (Aborted "deadlock victim")
+          end
+      | [] -> (
+          sched.n_steps <- sched.n_steps + 1;
+          backup_before_write sched t stmt;
+          match Statement.exec (view_of sched t) stmt with
+          | view', _output ->
+              absorb sched t view';
+              t.remaining <- rest
+          | exception Statement.Exec_error msg ->
+              finish sched t (Aborted msg)
+          | exception Typecheck.Type_error msg ->
+              finish sched t (Aborted msg)
+          | exception Scalar.Eval_error msg -> finish sched t (Aborted msg)
+          | exception Aggregate.Undefined kind ->
+              finish sched t
+                (Aborted (Aggregate.name kind ^ " of an empty multi-set"))
+          | exception Database.Unknown_relation name ->
+              finish sched t (Aborted ("unknown relation " ^ name))
+          | exception Database.Duplicate_relation name ->
+              finish sched t (Aborted ("duplicate relation " ^ name))
+          | exception Relation.Schema_mismatch msg ->
+              finish sched t (Aborted msg)))
+
+let run ~seed db txns =
+  let rng = Mxra_workload.Rng.make seed in
+  let sched =
+    {
+      shared = db;
+      locks = Names.empty;
+      txns =
+        Array.of_list
+          (List.mapi
+             (fun index txn ->
+               {
+                 txn;
+                 index;
+                 remaining = txn.Transaction.body;
+                 temps = [];
+                 held = [];
+                 before_images = Names.empty;
+                 status = Running;
+               })
+             txns);
+      n_steps = 0;
+      n_blocks = 0;
+      n_deadlocks = 0;
+      commits = [];
+    }
+  in
+  let runnable () =
+    Array.to_list sched.txns
+    |> List.filter (fun t ->
+           match t.status with
+           | Running -> true
+           | Blocked want ->
+               (* Re-check availability lazily. *)
+               blockers sched t want = []
+           | Finished _ -> false)
+  in
+  let rec loop () =
+    match runnable () with
+    | [] ->
+        (* Everything finished, or every live transaction is blocked —
+           the latter is a deadlock the cycle detector should have
+           broken; break it defensively by aborting one. *)
+        let live =
+          Array.to_list sched.txns
+          |> List.filter (fun t ->
+                 match t.status with
+                 | Finished _ -> false
+                 | Running | Blocked _ -> true)
+        in
+        (match live with
+        | [] -> ()
+        | victim :: _ ->
+            sched.n_deadlocks <- sched.n_deadlocks + 1;
+            finish sched victim (Aborted "deadlock victim");
+            loop ())
+    | candidates ->
+        let t = Mxra_workload.Rng.pick rng candidates in
+        t.status <- Running;
+        step sched t;
+        loop ()
+  in
+  loop ();
+  (* Advance the clock once per transaction, matching run_all. *)
+  let final =
+    List.fold_left
+      (fun db _ -> Database.tick db)
+      sched.shared
+      (List.init (List.length txns) Fun.id)
+  in
+  {
+    final;
+    outcomes =
+      Array.to_list sched.txns
+      |> List.map (fun t ->
+             match t.status with
+             | Finished outcome -> outcome
+             | Running | Blocked _ -> Aborted "scheduler ended early");
+    commit_order = List.rev sched.commits;
+    stats =
+      {
+        steps = sched.n_steps;
+        blocks = sched.n_blocks;
+        deadlocks = sched.n_deadlocks;
+      };
+  }
+
+let equivalent_serial db txns result =
+  let committed =
+    List.map (List.nth txns) result.commit_order
+  in
+  let serial, outcomes = Transaction.run_all db committed in
+  List.for_all Transaction.committed outcomes
+  && Database.equal_states serial result.final

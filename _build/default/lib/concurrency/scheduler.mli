@@ -1,0 +1,55 @@
+(** Interleaved transaction execution under strict two-phase locking.
+
+    The paper's isolation story (Definition 4.3: "T is executed in
+    isolation"; only pre- and post-transaction states are visible) is
+    realised by {!Mxra_core.Transaction.run_all} as serial execution.
+    This module is the concurrency substrate that justifies the serial
+    semantics under interleaving: transactions execute one statement at
+    a time in an arbitrary (seeded) interleaving, guarded by strict 2PL
+    at relation granularity —
+
+    - a statement takes a shared lock on every relation its expressions
+      read and an exclusive lock on the relation it updates;
+    - locks are held until commit or abort (strictness);
+    - a blocked transaction waits; a wait-for cycle (deadlock) aborts
+      the requesting transaction, undoing its writes from before-images
+      taken at first write (safe: exclusive locks kept anyone else out);
+    - temporaries ([R := E]) are transaction-private, never locked.
+
+    Strict 2PL makes every schedule conflict-equivalent to the serial
+    execution of the committed transactions in commit order — which is
+    exactly what the property tests check against
+    {!Mxra_core.Transaction.run_all}. *)
+
+open Mxra_relational
+open Mxra_core
+
+type outcome =
+  | Committed
+  | Aborted of string
+      (** Reason: a statement failure, the [abort_if] guard, or
+          [deadlock victim]. *)
+
+type stats = {
+  steps : int;  (** Statements executed (including undone ones). *)
+  blocks : int;  (** Times a transaction had to wait for a lock. *)
+  deadlocks : int;  (** Wait-for cycles broken by aborting a victim. *)
+}
+
+type result = {
+  final : Database.t;
+  outcomes : outcome list;  (** Per input transaction, in input order. *)
+  commit_order : int list;
+      (** Indices of committed transactions in commit order — the serial
+          order the schedule is equivalent to. *)
+  stats : stats;
+}
+
+val run : seed:int -> Database.t -> Transaction.t list -> result
+(** Execute the batch under a seeded pseudo-random interleaving.
+    [seed] fully determines the schedule, so failures reproduce. *)
+
+val equivalent_serial : Database.t -> Transaction.t list -> result -> bool
+(** Check the 2PL guarantee: replaying the committed transactions
+    serially in [commit_order] from the same initial state yields a
+    state equal to [final]. *)

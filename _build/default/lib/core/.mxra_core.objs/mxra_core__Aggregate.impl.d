@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Domain Format List Mxra_relational Scalar String Value

@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Eval Expr List Mxra_relational Pred Relation Scalar Schema Typecheck

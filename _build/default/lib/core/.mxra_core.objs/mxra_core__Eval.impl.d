@@ -1,0 +1,1 @@
+lib/core/eval.ml: Aggregate Database Expr Format List Map Mxra_relational Pred Relation Scalar Schema Tuple Typecheck

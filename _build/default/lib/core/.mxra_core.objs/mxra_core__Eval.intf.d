@@ -1,0 +1,1 @@
+lib/core/eval.mli: Aggregate Database Expr Mxra_relational Pred Relation Scalar

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Aggregate Format List Mxra_relational Pred Relation Scalar Schema String

@@ -1,0 +1,1 @@
+lib/core/expr.mli: Aggregate Format Mxra_relational Pred Relation Scalar

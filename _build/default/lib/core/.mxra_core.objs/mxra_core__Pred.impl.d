@@ -1,0 +1,1 @@
+lib/core/pred.ml: Format Int List Mxra_relational Scalar Term Tuple Value

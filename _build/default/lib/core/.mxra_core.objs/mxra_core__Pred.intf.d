@@ -1,0 +1,1 @@
+lib/core/pred.mli: Format Mxra_relational Scalar Schema Term Tuple

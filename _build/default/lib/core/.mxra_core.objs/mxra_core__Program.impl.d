@@ -1,0 +1,1 @@
+lib/core/program.ml: Database Format List Mxra_relational Statement

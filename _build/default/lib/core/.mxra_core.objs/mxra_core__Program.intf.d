@@ -1,0 +1,1 @@
+lib/core/program.mli: Database Format Mxra_relational Relation Statement

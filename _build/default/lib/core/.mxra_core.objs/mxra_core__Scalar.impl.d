@@ -1,0 +1,1 @@
+lib/core/scalar.ml: Domain Float Format Int List Mxra_relational Schema Term Tuple Value

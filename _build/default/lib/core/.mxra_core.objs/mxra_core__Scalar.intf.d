@@ -1,0 +1,1 @@
+lib/core/scalar.mli: Domain Format Mxra_relational Schema Term Tuple Value

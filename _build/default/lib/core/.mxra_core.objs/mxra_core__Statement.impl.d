@@ -1,0 +1,1 @@
+lib/core/statement.ml: Database Domain Eval Expr Format List Mxra_relational Relation Scalar Schema Typecheck

@@ -1,0 +1,1 @@
+lib/core/statement.mli: Database Expr Format Mxra_relational Relation Scalar

@@ -1,0 +1,1 @@
+lib/core/term.ml: Mxra_relational Value

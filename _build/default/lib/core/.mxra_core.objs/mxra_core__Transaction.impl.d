@@ -1,0 +1,1 @@
+lib/core/transaction.ml: Aggregate Database List Mxra_relational Printf Program Relation Scalar Statement Typecheck

@@ -1,0 +1,1 @@
+lib/core/transaction.mli: Database Mxra_relational Program Relation

@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Aggregate Database Expr Format Int List Mxra_relational Option Pred Printf Relation Scalar Schema String

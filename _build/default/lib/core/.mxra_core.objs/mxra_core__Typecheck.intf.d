@@ -1,0 +1,1 @@
+lib/core/typecheck.mli: Aggregate Database Expr Mxra_relational Schema

@@ -1,0 +1,369 @@
+open Mxra_relational
+
+let equivalent_on db e1 e2 =
+  let r1 = Eval.eval db e1 and r2 = Eval.eval db e2 in
+  Schema.compatible (Relation.schema r1) (Relation.schema r2)
+  && Relation.equal r1 r2
+
+let arity_of env e =
+  match Typecheck.infer env e with
+  | schema -> Some (Schema.arity schema)
+  | exception Typecheck.Type_error _ -> None
+
+(* Theorem 3.1 *)
+
+let derive_intersect = function
+  | Expr.Intersect (e1, e2) -> Some (Expr.Diff (e1, Expr.Diff (e1, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let underive_intersect = function
+  | Expr.Diff (e1, Expr.Diff (e1', e2)) when Expr.equal e1 e1' ->
+      Some (Expr.Intersect (e1, e2))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let derive_join = function
+  | Expr.Join (p, e1, e2) -> Some (Expr.Select (p, Expr.Product (e1, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let underive_join = function
+  | Expr.Select (p, Expr.Product (e1, e2)) -> Some (Expr.Join (p, e1, e2))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+(* Theorem 3.2 *)
+
+let distribute_select_union = function
+  | Expr.Select (p, Expr.Union (e1, e2)) ->
+      Some (Expr.Union (Expr.Select (p, e1), Expr.Select (p, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let factor_select_union = function
+  | Expr.Union (Expr.Select (p, e1), Expr.Select (q, e2)) when Pred.equal p q
+    ->
+      Some (Expr.Select (p, Expr.Union (e1, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let distribute_project_union = function
+  | Expr.Project (exprs, Expr.Union (e1, e2)) ->
+      Some (Expr.Union (Expr.Project (exprs, e1), Expr.Project (exprs, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let factor_project_union = function
+  | Expr.Union (Expr.Project (l1, e1), Expr.Project (l2, e2))
+    when List.length l1 = List.length l2 && List.for_all2 Scalar.equal l1 l2
+    ->
+      Some (Expr.Project (l1, Expr.Union (e1, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let unique_union = function
+  | Expr.Unique (Expr.Union (e1, e2)) ->
+      Some (Expr.Unique (Expr.Union (Expr.Unique e1, Expr.Unique e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+(* Theorem 3.3: associativity.  For ⊎, ∩ and × the regrouping is plain;
+   tuple concatenation is associative so no reindexing is needed for ×. *)
+
+let assoc_left_product = function
+  | Expr.Product (e1, Expr.Product (e2, e3)) ->
+      Some (Expr.Product (Expr.Product (e1, e2), e3))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let assoc_right_product = function
+  | Expr.Product (Expr.Product (e1, e2), e3) ->
+      Some (Expr.Product (e1, Expr.Product (e2, e3)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let assoc_left_union = function
+  | Expr.Union (e1, Expr.Union (e2, e3)) ->
+      Some (Expr.Union (Expr.Union (e1, e2), e3))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let assoc_right_union = function
+  | Expr.Union (Expr.Union (e1, e2), e3) ->
+      Some (Expr.Union (e1, Expr.Union (e2, e3)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let assoc_left_intersect = function
+  | Expr.Intersect (e1, Expr.Intersect (e2, e3)) ->
+      Some (Expr.Intersect (Expr.Intersect (e1, e2), e3))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let assoc_right_intersect = function
+  | Expr.Intersect (Expr.Intersect (e1, e2), e3) ->
+      Some (Expr.Intersect (e1, Expr.Intersect (e2, e3)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+(* Join associativity.  All conditions live in the flat schema
+   E1 ⊕ E2 ⊕ E3 once the inner condition is reindexed, so the regrouping
+   is a matter of splitting conjuncts by footprint. *)
+
+let within lo hi p =
+  List.for_all (fun i -> lo <= i && i <= hi) (Pred.attrs_used p)
+
+let assoc_left_join env = function
+  | Expr.Join (p1, e1, Expr.Join (p2, e2, e3)) -> (
+      match (arity_of env e1, arity_of env e2) with
+      | Some a1, Some a2 ->
+          (* Flat indexing: p1 already is over E1⊕E2⊕E3; p2 is over
+             E2⊕E3 and shifts up by a1. *)
+          let p2' = Pred.shift a1 p2 in
+          let inner, outer =
+            List.partition (within 1 (a1 + a2)) (Pred.conjuncts p1)
+          in
+          let inner_cond = Pred.simplify (Pred.conj inner) in
+          let outer_cond = Pred.simplify (Pred.conj (outer @ [ p2' ])) in
+          Some (Expr.Join (outer_cond, Expr.Join (inner_cond, e1, e2), e3))
+      | None, _ | _, None -> None)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let assoc_right_join env = function
+  | Expr.Join (p2, Expr.Join (p1, e1, e2), e3) -> (
+      match (arity_of env e1, arity_of env e2, arity_of env e3) with
+      | Some a1, Some a2, Some a3 ->
+          (* p1 is over E1⊕E2 (flat-compatible); p2 over E1⊕E2⊕E3.
+             Conjuncts of p2 inside E2⊕E3 shift down by a1 into the new
+             inner join; everything else stays in the new outer join. *)
+          let keep, push =
+            List.partition
+              (fun c -> not (within (a1 + 1) (a1 + a2 + a3) c))
+              (Pred.conjuncts p2)
+          in
+          let inner_cond =
+            Pred.simplify (Pred.conj (List.map (Pred.shift (-a1)) push))
+          in
+          let outer_cond =
+            Pred.simplify (Pred.conj (Pred.conjuncts p1 @ keep))
+          in
+          Some (Expr.Join (outer_cond, e1, Expr.Join (inner_cond, e2, e3)))
+      | None, _, _ | _, None, _ | _, _, None -> None)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+(* Classical extras *)
+
+let commute_union = function
+  | Expr.Union (e1, e2) -> Some (Expr.Union (e2, e1))
+  | Expr.Rel _ | Expr.Const _ | Expr.Diff _ | Expr.Product _ | Expr.Select _
+  | Expr.Project _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let commute_intersect = function
+  | Expr.Intersect (e1, e2) -> Some (Expr.Intersect (e2, e1))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+(* π that restores the E1 ⊕ E2 column order after swapping to E2 × E1. *)
+let swap_projection a1 a2 =
+  List.init a1 (fun i -> Scalar.attr (a2 + i + 1))
+  @ List.init a2 (fun i -> Scalar.attr (i + 1))
+
+(* Reindexing of a condition across the swap: attributes of E1 move up
+   by a2, attributes of E2 move down by a1. *)
+let swap_subst a1 a2 i = if i <= a1 then i + a2 else i - a1
+
+let commute_product env = function
+  | Expr.Product (e1, e2) -> (
+      match (arity_of env e1, arity_of env e2) with
+      | Some a1, Some a2 ->
+          Some
+            (Expr.Project (swap_projection a1 a2, Expr.Product (e2, e1)))
+      | None, _ | _, None -> None)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Select _
+  | Expr.Project _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let commute_join env = function
+  | Expr.Join (p, e1, e2) -> (
+      match (arity_of env e1, arity_of env e2) with
+      | Some a1, Some a2 ->
+          let p' = Pred.rename (swap_subst a1 a2) p in
+          Some (Expr.Project (swap_projection a1 a2, Expr.Join (p', e2, e1)))
+      | None, _ | _, None -> None)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let cascade_select = function
+  | Expr.Select (Pred.And (p, q), e) ->
+      Some (Expr.Select (p, Expr.Select (q, e)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let merge_select = function
+  | Expr.Select (p, Expr.Select (q, e)) ->
+      Some (Expr.Select (Pred.And (p, q), e))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let commute_select = function
+  | Expr.Select (p, Expr.Select (q, e)) ->
+      Some (Expr.Select (q, Expr.Select (p, e)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let select_into_join = function
+  | Expr.Select (p, Expr.Join (q, e1, e2)) ->
+      Some (Expr.Join (Pred.And (q, p), e1, e2))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let distribute_select_diff = function
+  | Expr.Select (p, Expr.Diff (e1, e2)) ->
+      Some (Expr.Diff (Expr.Select (p, e1), Expr.Select (p, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let distribute_select_intersect = function
+  | Expr.Select (p, Expr.Intersect (e1, e2)) ->
+      Some (Expr.Intersect (Expr.Select (p, e1), Expr.Select (p, e2)))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let idempotent_unique = function
+  | Expr.Unique (Expr.Unique e) -> Some (Expr.Unique e)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let commute_unique_select = function
+  | Expr.Unique (Expr.Select (p, e)) ->
+      Some (Expr.Select (p, Expr.Unique e))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let distribute_unique_product = function
+  | Expr.Unique (Expr.Product (e1, e2)) ->
+      Some (Expr.Product (Expr.Unique e1, Expr.Unique e2))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let distribute_unique_intersect = function
+  | Expr.Unique (Expr.Intersect (e1, e2)) ->
+      Some (Expr.Intersect (Expr.Unique e1, Expr.Unique e2))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+let distribute_unique_join = function
+  | Expr.Unique (Expr.Join (p, e1, e2)) ->
+      Some (Expr.Join (p, Expr.Unique e1, Expr.Unique e2))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+type rule = {
+  rule_name : string;
+  apply : Typecheck.env -> Expr.t -> Expr.t option;
+}
+
+let pure name f = { rule_name = name; apply = (fun _env e -> f e) }
+let with_env name f = { rule_name = name; apply = f }
+
+let all_rules =
+  [
+    pure "derive_intersect" derive_intersect;
+    pure "underive_intersect" underive_intersect;
+    pure "derive_join" derive_join;
+    pure "underive_join" underive_join;
+    pure "distribute_select_union" distribute_select_union;
+    pure "factor_select_union" factor_select_union;
+    pure "distribute_project_union" distribute_project_union;
+    pure "factor_project_union" factor_project_union;
+    pure "unique_union" unique_union;
+    pure "assoc_left_product" assoc_left_product;
+    pure "assoc_right_product" assoc_right_product;
+    pure "assoc_left_union" assoc_left_union;
+    pure "assoc_right_union" assoc_right_union;
+    pure "assoc_left_intersect" assoc_left_intersect;
+    pure "assoc_right_intersect" assoc_right_intersect;
+    with_env "assoc_left_join" assoc_left_join;
+    with_env "assoc_right_join" assoc_right_join;
+    pure "commute_union" commute_union;
+    pure "commute_intersect" commute_intersect;
+    with_env "commute_product" commute_product;
+    with_env "commute_join" commute_join;
+    pure "cascade_select" cascade_select;
+    pure "merge_select" merge_select;
+    pure "commute_select" commute_select;
+    pure "select_into_join" select_into_join;
+    pure "distribute_select_diff" distribute_select_diff;
+    pure "distribute_select_intersect" distribute_select_intersect;
+    pure "idempotent_unique" idempotent_unique;
+    pure "commute_unique_select" commute_unique_select;
+    pure "distribute_unique_product" distribute_unique_product;
+    pure "distribute_unique_intersect" distribute_unique_intersect;
+    pure "distribute_unique_join" distribute_unique_join;
+  ]

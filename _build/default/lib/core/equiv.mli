@@ -1,0 +1,151 @@
+(** Expression equivalences (Section 3.3).
+
+    "Expression equivalence is important for query optimization.  The
+    equivalences in the normal set relational algebra generally hold for
+    the multi-set relational algebra as well."  This module states the
+    paper's equivalences as syntactic rewrites and provides a semantic
+    equivalence check used by the property-test suite to verify every
+    rewrite (both the paper's theorems and the extra classical rules the
+    optimizer uses).
+
+    Each [rewrite_*] function maps an expression matching the left-hand
+    side of its law to the right-hand side and returns [None] when the
+    root does not match; the transformation is purely syntactic and —
+    by the corresponding theorem — semantics-preserving.  Rules that
+    must reindex attributes across a product boundary additionally need
+    operand arities and take a {!Typecheck.env}; they return [None] when
+    an operand's schema cannot be inferred. *)
+
+open Mxra_relational
+
+(** {1 Semantic equivalence} *)
+
+val equivalent_on : Database.t -> Expr.t -> Expr.t -> bool
+(** Both sides evaluate (under {!Eval}) to equal relations on the given
+    database state.  This is equivalence {e at one state}; the laws claim
+    it at every state, which the test suite approximates over generated
+    states. *)
+
+(** {1 Theorem 3.1 — intersection and join are derived operators} *)
+
+val derive_intersect : Expr.t -> Expr.t option
+(** [E1 ∩ E2  ⇒  E1 − (E1 − E2)]. *)
+
+val underive_intersect : Expr.t -> Expr.t option
+(** [E1 − (E1 − E2)  ⇒  E1 ∩ E2] — the converse direction, needing
+    syntactic equality of the two occurrences of [E1]. *)
+
+val derive_join : Expr.t -> Expr.t option
+(** [E1 ⋈_φ E2  ⇒  σ_φ(E1 × E2)]. *)
+
+val underive_join : Expr.t -> Expr.t option
+(** [σ_φ(E1 × E2)  ⇒  E1 ⋈_φ E2] — the join-introduction rewrite the
+    optimizer prefers. *)
+
+(** {1 Theorem 3.2 — distribution over union} *)
+
+val distribute_select_union : Expr.t -> Expr.t option
+(** [σ_φ(E1 ⊎ E2)  ⇒  σ_φ E1 ⊎ σ_φ E2]. *)
+
+val factor_select_union : Expr.t -> Expr.t option
+(** [σ_φ E1 ⊎ σ_φ E2  ⇒  σ_φ(E1 ⊎ E2)] (same [φ] both sides). *)
+
+val distribute_project_union : Expr.t -> Expr.t option
+(** [π_α(E1 ⊎ E2)  ⇒  π_α E1 ⊎ π_α E2]. *)
+
+val factor_project_union : Expr.t -> Expr.t option
+
+val unique_union : Expr.t -> Expr.t option
+(** The paper's non-distribution relation for [δ]:
+    [δ(E1 ⊎ E2)  ⇒  δ(δE1 ⊎ δE2)].  (Plain distribution
+    [δ(E1 ⊎ E2) = δE1 ⊎ δE2] is {e false}; a test exhibits the
+    counterexample.) *)
+
+(** {1 Theorem 3.3 — associativity} *)
+
+val assoc_left_product : Expr.t -> Expr.t option
+(** [E1 × (E2 × E3)  ⇒  (E1 × E2) × E3]. *)
+
+val assoc_right_product : Expr.t -> Expr.t option
+
+val assoc_left_union : Expr.t -> Expr.t option
+val assoc_right_union : Expr.t -> Expr.t option
+val assoc_left_intersect : Expr.t -> Expr.t option
+val assoc_right_intersect : Expr.t -> Expr.t option
+
+val assoc_left_join : Typecheck.env -> Expr.t -> Expr.t option
+(** [E1 ⋈_φ1 (E2 ⋈_φ2 E3)  ⇒  (E1 ⋈_φ1|12 E2) ⋈_{φ1|rest ∧ φ2↑} E3]:
+    the inner condition [φ2] is reindexed up by [arity E1]; conjuncts of
+    [φ1] whose footprint lies within [E1 ⊕ E2] become the new inner
+    condition, the rest join the outer one.  Theorem 3.3 states the law
+    for conditions on the appropriate operand pairs; splitting by
+    footprint realises that side condition. *)
+
+val assoc_right_join : Typecheck.env -> Expr.t -> Expr.t option
+(** [(E1 ⋈_φ1 E2) ⋈_φ2 E3  ⇒  E1 ⋈_{φ1 ∧ φ2|keep} (E2 ⋈_{φ2|23↓} E3)]. *)
+
+(** {1 Further classical equivalences (bag-valid)}
+
+    Not spelled out in the paper ("a complete list is omitted for
+    reasons of brevity") but all in the set-algebra canon it appeals to,
+    and all verified bag-valid by the property suite. *)
+
+val commute_union : Expr.t -> Expr.t option
+val commute_intersect : Expr.t -> Expr.t option
+
+val commute_product : Typecheck.env -> Expr.t -> Expr.t option
+(** [E1 × E2  ⇒  π_perm(E2 × E1)] — commutation up to the column
+    permutation, realised by an explicit projection. *)
+
+val commute_join : Typecheck.env -> Expr.t -> Expr.t option
+(** [E1 ⋈_φ E2  ⇒  π_perm(E2 ⋈_φσ E1)] with [φ] reindexed by the swap. *)
+
+val cascade_select : Expr.t -> Expr.t option
+(** [σ_{p ∧ q} E  ⇒  σ_p(σ_q E)]. *)
+
+val merge_select : Expr.t -> Expr.t option
+(** [σ_p(σ_q E)  ⇒  σ_{p ∧ q} E]. *)
+
+val commute_select : Expr.t -> Expr.t option
+(** [σ_p(σ_q E)  ⇒  σ_q(σ_p E)]. *)
+
+val select_into_join : Expr.t -> Expr.t option
+(** [σ_p(E1 ⋈_q E2)  ⇒  E1 ⋈_{q ∧ p} E2]. *)
+
+val distribute_select_diff : Expr.t -> Expr.t option
+(** [σ_φ(E1 − E2)  ⇒  σ_φ E1 − σ_φ E2]; bag-valid since monus is
+    pointwise. *)
+
+val distribute_select_intersect : Expr.t -> Expr.t option
+
+val idempotent_unique : Expr.t -> Expr.t option
+(** [δ(δE)  ⇒  δE]. *)
+
+val commute_unique_select : Expr.t -> Expr.t option
+(** [δ(σ_φ E)  ⇒  σ_φ(δE)] — both select the support. *)
+
+val distribute_unique_product : Expr.t -> Expr.t option
+(** [δ(E1 × E2)  ⇒  δE1 × δE2]: a product's multiplicity is positive
+    iff both factors' are — so δ distributes over ×, although it does
+    {e not} over ⊎ or −.  Pushing δ below a product shrinks the build
+    sides, which is why the optimizer wants this one. *)
+
+val distribute_unique_intersect : Expr.t -> Expr.t option
+(** [δ(E1 ∩ E2)  ⇒  δE1 ∩ δE2] (min is positive iff both are). *)
+
+val distribute_unique_join : Expr.t -> Expr.t option
+(** [δ(E1 ⋈_φ E2)  ⇒  δE1 ⋈_φ δE2] — by Theorem 3.1 and the σ and ×
+    cases combined. *)
+
+(** {1 Rule table} *)
+
+type rule = {
+  rule_name : string;
+  apply : Typecheck.env -> Expr.t -> Expr.t option;
+      (** Schema-free rules ignore the environment. *)
+}
+
+val all_rules : rule list
+(** Every rewrite above, named; the property suite iterates this table
+    to verify each rule semantics-preserving on random inputs, and the
+    optimizer draws its rule set from it. *)

@@ -1,0 +1,169 @@
+open Mxra_relational
+module Bag = Relation.Bag
+
+(* Result schemas are obtained from the type checker on a per-node basis
+   so that evaluation and static typing can never disagree on schemas. *)
+let node_schema node sub_schemas =
+  let consts = List.map (fun s -> Expr.Const (Relation.empty s)) sub_schemas in
+  let rebuilt =
+    match (node, consts) with
+    | Expr.Union _, [ a; b ] -> Expr.Union (a, b)
+    | Expr.Diff _, [ a; b ] -> Expr.Diff (a, b)
+    | Expr.Product _, [ a; b ] -> Expr.Product (a, b)
+    | Expr.Intersect _, [ a; b ] -> Expr.Intersect (a, b)
+    | Expr.Select (p, _), [ a ] -> Expr.Select (p, a)
+    | Expr.Project (exprs, _), [ a ] -> Expr.Project (exprs, a)
+    | Expr.Join (p, _, _), [ a; b ] -> Expr.Join (p, a, b)
+    | Expr.Unique _, [ a ] -> Expr.Unique a
+    | Expr.GroupBy (attrs, aggs, _), [ a ] -> Expr.GroupBy (attrs, aggs, a)
+    | ( ( Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _
+        | Expr.Product _ | Expr.Intersect _ | Expr.Select _ | Expr.Project _
+        | Expr.Join _ | Expr.Unique _ | Expr.GroupBy _ ),
+        _ ) ->
+        invalid_arg "Eval.node_schema: arity mismatch"
+  in
+  Typecheck.infer (fun _ -> None) rebuilt
+
+let require_compatible op r1 r2 =
+  if not (Schema.compatible (Relation.schema r1) (Relation.schema r2)) then
+    raise
+      (Typecheck.Type_error
+         (Format.asprintf "%s of incompatible schemas %a and %a" op Schema.pp
+            (Relation.schema r1) Schema.pp (Relation.schema r2)))
+
+(* (E1 ⊎ E2)(x) = E1(x) + E2(x) *)
+let union r1 r2 =
+  require_compatible "union" r1 r2;
+  Relation.of_bag_unchecked (Relation.schema r1)
+    (Bag.sum (Relation.bag r1) (Relation.bag r2))
+
+(* (E1 − E2)(x) = max(0, E1(x) − E2(x)) *)
+let diff r1 r2 =
+  require_compatible "diff" r1 r2;
+  Relation.of_bag_unchecked (Relation.schema r1)
+    (Bag.diff (Relation.bag r1) (Relation.bag r2))
+
+(* (E1 ∩ E2)(x) = min(E1(x), E2(x)) *)
+let intersect r1 r2 =
+  require_compatible "intersect" r1 r2;
+  Relation.of_bag_unchecked (Relation.schema r1)
+    (Bag.inter (Relation.bag r1) (Relation.bag r2))
+
+(* (E1 × E2)(x1 ⊕ x2) = E1(x1) · E2(x2) *)
+let product r1 r2 =
+  let schema = Schema.concat (Relation.schema r1) (Relation.schema r2) in
+  let bag =
+    Bag.fold
+      (fun t1 n1 acc ->
+        Bag.fold
+          (fun t2 n2 acc ->
+            Bag.add ~count:(n1 * n2) (Tuple.concat t1 t2) acc)
+          (Relation.bag r2) acc)
+      (Relation.bag r1) Bag.empty
+  in
+  Relation.of_bag_unchecked schema bag
+
+(* (σ_φ E)(x) = E(x) if φ(x), else 0 *)
+let select p r =
+  Relation.of_bag_unchecked (Relation.schema r)
+    (Bag.filter (fun t -> Pred.eval t p) (Relation.bag r))
+
+(* (π_α E)(y) = Σ_{π_α(x) = y} E(x): images accumulate, no duplicate
+   elimination. *)
+let project exprs r =
+  let schema =
+    node_schema
+      (Expr.Project (exprs, Expr.Const r))
+      [ Relation.schema r ]
+  in
+  let image t = Tuple.of_list (List.map (Scalar.eval t) exprs) in
+  Relation.of_bag_unchecked schema (Bag.map image (Relation.bag r))
+
+(* E1 ⋈_φ E2 = σ_φ(E1 × E2); computed fused, same multiplicities. *)
+let join p r1 r2 =
+  let schema = Schema.concat (Relation.schema r1) (Relation.schema r2) in
+  let bag =
+    Bag.fold
+      (fun t1 n1 acc ->
+        Bag.fold
+          (fun t2 n2 acc ->
+            let t = Tuple.concat t1 t2 in
+            if Pred.eval t p then Bag.add ~count:(n1 * n2) t acc else acc)
+          (Relation.bag r2) acc)
+      (Relation.bag r1) Bag.empty
+  in
+  Relation.of_bag_unchecked schema bag
+
+(* (δ E)(x) = 1 if E(x) > 0, else 0 *)
+let unique r =
+  Relation.of_bag_unchecked (Relation.schema r)
+    (Bag.distinct (Relation.bag r))
+
+module Groups = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+(* Γ_{α,(f1,p1)...(fk,pk)} E: group by equality on π_α, compute each
+   aggregate over the (value, multiplicity) column of its attribute.
+   With α = (), the result is the single tuple of aggregates over all of
+   E (one tuple even when E is empty, per Definition 3.4). *)
+let group_by attrs aggs r =
+  let schema = Relation.schema r in
+  let out_schema =
+    node_schema (Expr.GroupBy (attrs, aggs, Expr.Const r)) [ schema ]
+  in
+  let columns_of_group members =
+    List.map
+      (fun (_, p) ->
+        List.map (fun (t, n) -> (Tuple.attr t p, n)) members)
+      aggs
+  in
+  let row key members =
+    let values =
+      List.map2
+        (fun (kind, p) column ->
+          Aggregate.compute_for (Schema.domain schema p) kind column)
+        aggs
+        (columns_of_group members)
+    in
+    Tuple.concat key (Tuple.of_list values)
+  in
+  if attrs = [] then
+    let members = Relation.to_counted_list r in
+    Relation.of_bag_unchecked out_schema
+      (Bag.singleton (row Tuple.unit members))
+  else
+    let groups =
+      Bag.fold
+        (fun t n acc ->
+          let key = Tuple.project attrs t in
+          let upd = function
+            | None -> Some [ (t, n) ]
+            | Some members -> Some ((t, n) :: members)
+          in
+          Groups.update key upd acc)
+        (Relation.bag r) Groups.empty
+    in
+    let bag =
+      Groups.fold
+        (fun key members acc -> Bag.add (row key members) acc)
+        groups Bag.empty
+    in
+    Relation.of_bag_unchecked out_schema bag
+
+let rec eval db = function
+  | Expr.Rel name -> Database.find name db
+  | Expr.Const r -> r
+  | Expr.Union (e1, e2) -> union (eval db e1) (eval db e2)
+  | Expr.Diff (e1, e2) -> diff (eval db e1) (eval db e2)
+  | Expr.Product (e1, e2) -> product (eval db e1) (eval db e2)
+  | Expr.Select (p, e) -> select p (eval db e)
+  | Expr.Project (exprs, e) -> project exprs (eval db e)
+  | Expr.Intersect (e1, e2) -> intersect (eval db e1) (eval db e2)
+  | Expr.Join (p, e1, e2) -> join p (eval db e1) (eval db e2)
+  | Expr.Unique e -> unique (eval db e)
+  | Expr.GroupBy (attrs, aggs, e) -> group_by attrs aggs (eval db e)
+
+let eval_closed e = eval Database.empty e

@@ -1,0 +1,44 @@
+(** Reference (denotational) evaluator.
+
+    Each operator is computed directly from its multiplicity equation in
+    Definitions 3.1, 3.2 and 3.4 — this module {e is} the executable
+    formal semantics, deliberately written for evidence over speed.  The
+    execution engine ({!Mxra_engine}) implements the same semantics with
+    physical operators; the central property test of the repository
+    checks the two agree on arbitrary expressions and databases.
+
+    Evaluate only expressions accepted by {!Typecheck}; on ill-typed
+    input, typing failures surface as [Typecheck.Type_error] (schemas are
+    inferred alongside the computed bags).  Genuinely dynamic failures —
+    division by zero, a partial aggregate (AVG/MIN/MAX) applied to an
+    empty multi-set — raise [Scalar.Eval_error] and
+    [Aggregate.Undefined] respectively. *)
+
+open Mxra_relational
+
+val eval : Database.t -> Expr.t -> Relation.t
+(** Evaluate against a database state (temporaries visible).
+    @raise Database.Unknown_relation on a name absent from the catalog.
+    @raise Typecheck.Type_error on ill-typed expressions.
+    @raise Scalar.Eval_error on dynamic scalar failure.
+    @raise Aggregate.Undefined on a partial aggregate of an empty bag. *)
+
+val eval_closed : Expr.t -> Relation.t
+(** Evaluate an expression that mentions no database relation (all
+    leaves are [Const]).  @raise Database.Unknown_relation otherwise. *)
+
+(** {1 Direct operator semantics}
+
+    The individual multiplicity equations, usable on already-computed
+    relations; [Equiv] states the paper's theorems over these. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+val diff : Relation.t -> Relation.t -> Relation.t
+val product : Relation.t -> Relation.t -> Relation.t
+val select : Pred.t -> Relation.t -> Relation.t
+val project : Scalar.t list -> Relation.t -> Relation.t
+val intersect : Relation.t -> Relation.t -> Relation.t
+val join : Pred.t -> Relation.t -> Relation.t -> Relation.t
+val unique : Relation.t -> Relation.t
+val group_by :
+  int list -> (Aggregate.kind * int) list -> Relation.t -> Relation.t

@@ -1,0 +1,151 @@
+open Mxra_relational
+
+type t =
+  | Rel of string
+  | Const of Relation.t
+  | Union of t * t
+  | Diff of t * t
+  | Product of t * t
+  | Select of Pred.t * t
+  | Project of Scalar.t list * t
+  | Intersect of t * t
+  | Join of Pred.t * t * t
+  | Unique of t
+  | GroupBy of int list * (Aggregate.kind * int) list * t
+
+let rel name = Rel name
+let const r = Const r
+let union e1 e2 = Union (e1, e2)
+let diff e1 e2 = Diff (e1, e2)
+let product e1 e2 = Product (e1, e2)
+let select p e = Select (p, e)
+let project exprs e = Project (exprs, e)
+let project_attrs indices e = Project (List.map Scalar.attr indices, e)
+let intersect e1 e2 = Intersect (e1, e2)
+let join p e1 e2 = Join (p, e1, e2)
+let unique e = Unique e
+let group_by attrs aggs e = GroupBy (attrs, aggs, e)
+let aggregate kind p e = GroupBy ([], [ (kind, p) ], e)
+
+let as_plain_projection exprs =
+  let rec loop acc = function
+    | [] -> Some (List.rev acc)
+    | e :: rest -> (
+        match Scalar.is_attr e with
+        | Some i -> loop (i :: acc) rest
+        | None -> None)
+  in
+  loop [] exprs
+
+let rec size = function
+  | Rel _ | Const _ -> 1
+  | Select (_, e) | Project (_, e) | Unique e | GroupBy (_, _, e) ->
+      1 + size e
+  | Union (e1, e2)
+  | Diff (e1, e2)
+  | Product (e1, e2)
+  | Intersect (e1, e2)
+  | Join (_, e1, e2) ->
+      1 + size e1 + size e2
+
+let rec depth = function
+  | Rel _ | Const _ -> 1
+  | Select (_, e) | Project (_, e) | Unique e | GroupBy (_, _, e) ->
+      1 + depth e
+  | Union (e1, e2)
+  | Diff (e1, e2)
+  | Product (e1, e2)
+  | Intersect (e1, e2)
+  | Join (_, e1, e2) ->
+      1 + max (depth e1) (depth e2)
+
+let relations e =
+  let rec collect acc = function
+    | Rel name -> name :: acc
+    | Const _ -> acc
+    | Select (_, e) | Project (_, e) | Unique e | GroupBy (_, _, e) ->
+        collect acc e
+    | Union (e1, e2)
+    | Diff (e1, e2)
+    | Product (e1, e2)
+    | Intersect (e1, e2)
+    | Join (_, e1, e2) ->
+        collect (collect acc e1) e2
+  in
+  List.sort_uniq String.compare (collect [] e)
+
+let map_children f = function
+  | (Rel _ | Const _) as e -> e
+  | Union (e1, e2) -> Union (f e1, f e2)
+  | Diff (e1, e2) -> Diff (f e1, f e2)
+  | Product (e1, e2) -> Product (f e1, f e2)
+  | Select (p, e) -> Select (p, f e)
+  | Project (exprs, e) -> Project (exprs, f e)
+  | Intersect (e1, e2) -> Intersect (f e1, f e2)
+  | Join (p, e1, e2) -> Join (p, f e1, f e2)
+  | Unique e -> Unique (f e)
+  | GroupBy (attrs, aggs, e) -> GroupBy (attrs, aggs, f e)
+
+let rec equal e1 e2 =
+  match (e1, e2) with
+  | Rel n1, Rel n2 -> n1 = n2
+  | Const r1, Const r2 ->
+      Schema.compatible (Relation.schema r1) (Relation.schema r2)
+      && Relation.equal r1 r2
+  | Union (a1, b1), Union (a2, b2)
+  | Diff (a1, b1), Diff (a2, b2)
+  | Product (a1, b1), Product (a2, b2)
+  | Intersect (a1, b1), Intersect (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | Select (p1, a1), Select (p2, a2) -> Pred.equal p1 p2 && equal a1 a2
+  | Project (l1, a1), Project (l2, a2) ->
+      List.length l1 = List.length l2
+      && List.for_all2 Scalar.equal l1 l2
+      && equal a1 a2
+  | Join (p1, a1, b1), Join (p2, a2, b2) ->
+      Pred.equal p1 p2 && equal a1 a2 && equal b1 b2
+  | Unique a1, Unique a2 -> equal a1 a2
+  | GroupBy (attrs1, aggs1, a1), GroupBy (attrs2, aggs2, a2) ->
+      attrs1 = attrs2 && aggs1 = aggs2 && equal a1 a2
+  | ( ( Rel _ | Const _ | Union _ | Diff _ | Product _ | Select _
+      | Project _ | Intersect _ | Join _ | Unique _ | GroupBy _ ),
+      _ ) ->
+      false
+
+let rec pp ppf = function
+  | Rel name -> Format.pp_print_string ppf name
+  | Const r ->
+      Format.fprintf ppf "const(%d tuples)" (Relation.cardinal r)
+  | Union (e1, e2) -> Format.fprintf ppf "union(@[%a,@ %a@])" pp e1 pp e2
+  | Diff (e1, e2) -> Format.fprintf ppf "diff(@[%a,@ %a@])" pp e1 pp e2
+  | Product (e1, e2) ->
+      Format.fprintf ppf "product(@[%a,@ %a@])" pp e1 pp e2
+  | Select (p, e) ->
+      Format.fprintf ppf "select[@[%a@]](@[%a@])" Pred.pp p pp e
+  | Project (exprs, e) ->
+      Format.fprintf ppf "project[@[%a@]](@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           Scalar.pp)
+        exprs pp e
+  | Intersect (e1, e2) ->
+      Format.fprintf ppf "intersect(@[%a,@ %a@])" pp e1 pp e2
+  | Join (p, e1, e2) ->
+      Format.fprintf ppf "join[@[%a@]](@[%a,@ %a@])" Pred.pp p pp e1 pp e2
+  | Unique e -> Format.fprintf ppf "unique(@[%a@])" pp e
+  | GroupBy (attrs, aggs, e) ->
+      let pp_attr ppf i = Format.fprintf ppf "%%%d" i in
+      let pp_agg ppf (kind, p) =
+        Format.fprintf ppf "%a(%%%d)" Aggregate.pp kind p
+      in
+      Format.fprintf ppf "groupby[@[%a;@ %a@]](@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp_attr)
+        attrs
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp_agg)
+        aggs pp e
+
+let to_string e = Format.asprintf "%a" pp e

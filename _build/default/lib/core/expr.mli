@@ -1,0 +1,89 @@
+(** Multi-set extended relational algebra expressions
+    (Definitions 3.1, 3.2 and 3.4).
+
+    The grammar covers the three layers of the paper:
+
+    - {e basic} (Definition 3.1): database relations, [⊎] (union), [−]
+      (difference), [×] (product), [σ_φ] (selection), [π_α] (projection);
+    - {e standard} (Definition 3.2): [∩] (intersection) and [⋈_φ] (join)
+      — derivable by Theorem 3.1 but first-class, as in the paper;
+    - {e extended} (Definition 3.4): extended projection with arithmetic
+      expressions, duplicate elimination [δ], and grouping [Γ_{α,f,p}].
+
+    Projection is represented once, in its extended form ([Project] with
+    a list of scalar expressions); the normal projection is "a special
+    case of the extended operator" (Definition 3.4) built by
+    {!project_attrs}, and {!as_plain_projection} recovers the special
+    case.  [Const] embeds a literal relation, so algebra values are also
+    expressions; the reference evaluator needs this to state equivalences
+    over already-computed operands.
+
+    Grouping generalises the paper's single [(f, p)] pair to a non-empty
+    list of pairs (the SQL front-end needs several aggregates per group);
+    a singleton list is exactly Definition 3.4, and the general form is
+    expressible by joining singleton groupbys on the grouping
+    attributes. *)
+
+open Mxra_relational
+
+type t =
+  | Rel of string  (** A database relation, addressed by name. *)
+  | Const of Relation.t  (** A literal multi-set relation. *)
+  | Union of t * t  (** [E1 ⊎ E2]: multiplicities add. *)
+  | Diff of t * t  (** [E1 − E2]: monus, [max 0 (E1(x) − E2(x))]. *)
+  | Product of t * t  (** [E1 × E2]: multiplicities multiply. *)
+  | Select of Pred.t * t  (** [σ_φ E]. *)
+  | Project of Scalar.t list * t  (** [π_α E], extended; non-empty [α]. *)
+  | Intersect of t * t  (** [E1 ∩ E2]: pointwise minimum. *)
+  | Join of Pred.t * t * t  (** [E1 ⋈_φ E2 = σ_φ (E1 × E2)]. *)
+  | Unique of t  (** [δ E]: duplicate elimination. *)
+  | GroupBy of int list * (Aggregate.kind * int) list * t
+      (** [Γ_{α, (f1,p1)...(fk,pk)} E]; [α] may be empty (aggregate over
+          all tuples, yielding a single tuple). *)
+
+(** {1 Convenience constructors} *)
+
+val rel : string -> t
+val const : Relation.t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val product : t -> t -> t
+val select : Pred.t -> t -> t
+val project : Scalar.t list -> t -> t
+val project_attrs : int list -> t -> t
+(** Normal projection [π_{(%i1,...,%in)}]. *)
+
+val intersect : t -> t -> t
+val join : Pred.t -> t -> t -> t
+val unique : t -> t
+val group_by : int list -> (Aggregate.kind * int) list -> t -> t
+val aggregate : Aggregate.kind -> int -> t -> t
+(** [Γ] with empty [α]: one aggregate over the whole multi-set. *)
+
+(** {1 Structure} *)
+
+val as_plain_projection : Scalar.t list -> int list option
+(** [Some [i1;...;in]] when every expression in the list is a bare
+    attribute reference — the normal-projection special case. *)
+
+val size : t -> int
+(** Number of operator nodes (leaves count 1). *)
+
+val depth : t -> int
+
+val relations : t -> string list
+(** Sorted, deduplicated names of database relations mentioned. *)
+
+val map_children : (t -> t) -> t -> t
+(** Rebuild the node with the function applied to immediate sub-
+    expressions; leaves are returned unchanged.  The optimizer's rewrite
+    driver is built on this. *)
+
+val equal : t -> t -> bool
+(** Structural (syntactic) equality — not semantic equivalence. *)
+
+val pp : Format.formatter -> t -> unit
+(** Algebra-style rendering, e.g.
+    [project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))]. *)
+
+val to_string : t -> string

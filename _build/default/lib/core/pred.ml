@@ -1,0 +1,94 @@
+open Mxra_relational
+
+type t = Term.pred =
+  | True
+  | False
+  | Cmp of Term.cmpop * Scalar.t * Scalar.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eq a b = Cmp (Term.Eq, a, b)
+let ne a b = Cmp (Term.Ne, a, b)
+let lt a b = Cmp (Term.Lt, a, b)
+let le a b = Cmp (Term.Le, a, b)
+let gt a b = Cmp (Term.Gt, a, b)
+let ge a b = Cmp (Term.Ge, a, b)
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> False
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+let rec collect acc = function
+  | True | False -> acc
+  | Cmp (_, a, b) ->
+      List.rev_append (Scalar.attrs_used a)
+        (List.rev_append (Scalar.attrs_used b) acc)
+  | And (p, q) | Or (p, q) -> collect (collect acc p) q
+  | Not p -> collect acc p
+
+let attrs_used p = List.sort_uniq Int.compare (collect [] p)
+let max_attr p = List.fold_left max 0 (collect [] p)
+let rename subst p = Scalar.rename_pred subst p
+let shift k p = rename (fun i -> i + k) p
+
+let rec conjuncts = function
+  | And (p, q) -> conjuncts p @ conjuncts q
+  | (True | False | Cmp _ | Or _ | Not _) as p -> [ p ]
+
+let equi_join_pair ~left_arity = function
+  | Cmp (Term.Eq, Scalar.Attr i, Scalar.Attr j) ->
+      if i <= left_arity && j > left_arity then Some (i, j)
+      else if j <= left_arity && i > left_arity then Some (j, i)
+      else None
+  | True | False | Cmp _ | And _ | Or _ | Not _ -> None
+
+let check schema p = Scalar.check_pred schema p
+let eval tuple p = Scalar.eval_pred tuple p
+
+(* Folding only rewrites by boolean identities, so evaluation behaviour
+   (including which subterms can raise on division by zero) is preserved
+   wherever the original is defined: we never *introduce* evaluation of a
+   subterm the original would have skipped. *)
+let rec simplify = function
+  | True -> True
+  | False -> False
+  | Cmp (op, a, b) as p -> (
+      match (a, b) with
+      | Scalar.Lit v1, Scalar.Lit v2 -> (
+          match
+            Scalar.eval Tuple.unit (Scalar.If (Cmp (op, Lit v1, Lit v2),
+                                               Scalar.bool true,
+                                               Scalar.bool false))
+          with
+          | Value.Bool true -> True
+          | Value.Bool false -> False
+          | Value.Int _ | Value.Float _ | Value.Str _ -> p
+          | exception Scalar.Eval_error _ -> p)
+      | _, _ -> p)
+  | And (p, q) -> (
+      match (simplify p, simplify q) with
+      | True, q' -> q'
+      | p', True -> p'
+      | False, _ | _, False -> False
+      | p', q' -> And (p', q'))
+  | Or (p, q) -> (
+      match (simplify p, simplify q) with
+      | False, q' -> q'
+      | p', False -> p'
+      | True, _ | _, True -> True
+      | p', q' -> Or (p', q'))
+  | Not p -> (
+      match simplify p with
+      | True -> False
+      | False -> True
+      | Not p' -> p'
+      | (Cmp _ | And _ | Or _) as p' -> Not p')
+
+let equal = Term.equal_pred
+let pp = Scalar.pp_pred
+let to_string p = Format.asprintf "%a" pp p

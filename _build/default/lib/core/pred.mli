@@ -1,0 +1,67 @@
+(** Selection conditions [φ] (Definition 3.1).
+
+    A selection condition is "a function from [dom(ℰ)] into the boolean
+    domain", defined on individual tuples.  Conditions compare scalar
+    expressions and close under the boolean connectives. *)
+
+open Mxra_relational
+
+type t = Term.pred =
+  | True
+  | False
+  | Cmp of Term.cmpop * Scalar.t * Scalar.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** {1 Constructors} *)
+
+val eq : Scalar.t -> Scalar.t -> t
+val ne : Scalar.t -> Scalar.t -> t
+val lt : Scalar.t -> Scalar.t -> t
+val le : Scalar.t -> Scalar.t -> t
+val gt : Scalar.t -> Scalar.t -> t
+val ge : Scalar.t -> Scalar.t -> t
+val conj : t list -> t
+(** Conjunction of a list; [True] for the empty list. *)
+
+val disj : t list -> t
+(** Disjunction of a list; [False] for the empty list. *)
+
+(** {1 Analysis} *)
+
+val attrs_used : t -> int list
+(** Sorted, deduplicated attribute indices referenced. *)
+
+val max_attr : t -> int
+
+val shift : int -> t -> t
+val rename : (int -> int) -> t -> t
+
+val conjuncts : t -> t list
+(** Flatten nested [And]s: [conj (conjuncts p)] is logically [p].  Basis
+    of the selection-cascade rewrite (σ_{p∧q} = σ_p ∘ σ_q). *)
+
+val equi_join_pair : left_arity:int -> t -> (int * int) option
+(** [Some (i, j)] when the condition is exactly [%i = %j] with [i] on
+    the left operand ([i <= left_arity]) and [j] on the right
+    ([j > left_arity]); [j] is returned 1-based in the combined schema.
+    Drives hash-join detection in the planner. *)
+
+(** {1 Typing and evaluation} *)
+
+val check : Schema.t -> t -> unit
+(** Verify the condition is boolean-typed over the schema: both sides of
+    every comparison have the same domain and attribute references are in
+    range.  @raise Scalar.Eval_error when not. *)
+
+val eval : Tuple.t -> t -> bool
+(** @raise Scalar.Eval_error on dynamic failure. *)
+
+val simplify : t -> t
+(** Constant folding and boolean simplification; preserves {!eval} on
+    all tuples on which the original evaluates. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,44 @@
+open Mxra_relational
+
+type t = Statement.t list
+
+let exec db program =
+  let step (db, outputs) stmt =
+    let db', output = Statement.exec db stmt in
+    let outputs' =
+      match output with None -> outputs | Some r -> r :: outputs
+    in
+    (db', outputs')
+  in
+  let db', outputs = List.fold_left step (db, []) program in
+  (db', List.rev outputs)
+
+(* Static checking threads assignments by executing them against a
+   schema-equivalent database whose relations are all emptied, so the
+   cost is independent of the data. *)
+let infer db program =
+  let emptied =
+    List.fold_left
+      (fun acc name ->
+        Database.create name (Database.schema_of name db) acc)
+      Database.empty
+      (Database.persistent_names db)
+  in
+  let step shadow stmt =
+    Statement.infer shadow stmt;
+    match stmt with
+    | Statement.Assign (_, _) -> fst (Statement.exec shadow stmt)
+    | Statement.Insert _ | Statement.Delete _ | Statement.Update _
+    | Statement.Query _ ->
+        shadow
+  in
+  ignore (List.fold_left step emptied program)
+
+let pp ppf program =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@,")
+       Statement.pp)
+    program
+
+let to_string p = Format.asprintf "%a" pp p

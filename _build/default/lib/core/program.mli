@@ -1,0 +1,31 @@
+(** Extended relational algebra programs (Definition 4.2).
+
+    A program is a single statement or a program followed by a statement
+    — i.e. a non-empty statement sequence, represented here as a list.
+    Executing a program threads the database state through the
+    statements and accumulates the outputs of query statements in
+    order. *)
+
+open Mxra_relational
+
+type t = Statement.t list
+(** Non-empty by the paper's grammar; the empty program is accepted and
+    behaves as the identity (harmless generalisation the transaction
+    machinery relies on for the empty bracket). *)
+
+val exec : Database.t -> t -> Database.t * Relation.t list
+(** Run the statements left to right; the relation list holds the
+    results of [?E] statements in execution order.  Exceptions from
+    {!Statement.exec} abort execution midway — {!Transaction} turns that
+    into a clean abort. *)
+
+val infer : Database.t -> t -> unit
+(** Statically check all statements, threading assignments: an [Assign]
+    extends the visible schema for subsequent statements (checked by
+    executing the assignment on an emptied copy of the state, so only
+    schemas flow, not data).
+    @raise Statement.Exec_error / [Typecheck.Type_error] on the first
+    ill-formed statement. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,226 @@
+open Mxra_relational
+
+type t = Term.scalar =
+  | Attr of int
+  | Lit of Value.t
+  | Binop of Term.binop * t * t
+  | Neg of t
+  | If of Term.pred * t * t
+
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let attr i = Attr i
+let int n = Lit (Value.Int n)
+let float f = Lit (Value.Float f)
+let str s = Lit (Value.Str s)
+let bool b = Lit (Value.Bool b)
+let add a b = Binop (Term.Add, a, b)
+let sub a b = Binop (Term.Sub, a, b)
+let mul a b = Binop (Term.Mul, a, b)
+let div a b = Binop (Term.Div, a, b)
+
+(* Footprint collection is shared with predicates; the accumulator keeps
+   the traversal allocation-free until the final sort. *)
+let rec collect_scalar acc = function
+  | Attr i -> i :: acc
+  | Lit _ -> acc
+  | Binop (_, a, b) -> collect_scalar (collect_scalar acc a) b
+  | Neg a -> collect_scalar acc a
+  | If (c, a, b) ->
+      collect_pred (collect_scalar (collect_scalar acc a) b) c
+
+and collect_pred acc = function
+  | Term.True | Term.False -> acc
+  | Term.Cmp (_, a, b) -> collect_scalar (collect_scalar acc a) b
+  | Term.And (p, q) | Term.Or (p, q) -> collect_pred (collect_pred acc p) q
+  | Term.Not p -> collect_pred acc p
+
+let attrs_used e = List.sort_uniq Int.compare (collect_scalar [] e)
+let max_attr e = List.fold_left max 0 (collect_scalar [] e)
+
+let rec rename subst = function
+  | Attr i -> Attr (subst i)
+  | Lit v -> Lit v
+  | Binop (op, a, b) -> Binop (op, rename subst a, rename subst b)
+  | Neg a -> Neg (rename subst a)
+  | If (c, a, b) -> If (rename_pred subst c, rename subst a, rename subst b)
+
+and rename_pred subst = function
+  | Term.True -> Term.True
+  | Term.False -> Term.False
+  | Term.Cmp (op, a, b) -> Term.Cmp (op, rename subst a, rename subst b)
+  | Term.And (p, q) -> Term.And (rename_pred subst p, rename_pred subst q)
+  | Term.Or (p, q) -> Term.Or (rename_pred subst p, rename_pred subst q)
+  | Term.Not p -> Term.Not (rename_pred subst p)
+
+let shift k e = rename (fun i -> i + k) e
+let is_attr = function Attr i -> Some i | Lit _ | Binop _ | Neg _ | If _ -> None
+
+let rec infer schema = function
+  | Attr i ->
+      if i < 1 || i > Schema.arity schema then
+        error "attribute %%%d out of range for schema %a" i Schema.pp schema
+      else Schema.domain schema i
+  | Lit v -> Domain.of_value v
+  | Binop (op, a, b) -> infer_binop schema op a b
+  | Neg a -> (
+      match infer schema a with
+      | (Domain.DInt | Domain.DFloat) as d -> d
+      | (Domain.DStr | Domain.DBool) as d ->
+          error "negation applied to %a" Domain.pp d)
+  | If (c, a, b) ->
+      check_pred schema c;
+      let da = infer schema a and db = infer schema b in
+      if Domain.equal da db then da
+      else error "conditional branches have domains %a and %a" Domain.pp da
+          Domain.pp db
+
+and infer_binop schema op a b =
+  let da = infer schema a and db = infer schema b in
+  match op with
+  | Term.Concat -> (
+      match (da, db) with
+      | Domain.DStr, Domain.DStr -> Domain.DStr
+      | _, _ -> error "++ applied to %a and %a" Domain.pp da Domain.pp db)
+  | Term.Mod -> (
+      match (da, db) with
+      | Domain.DInt, Domain.DInt -> Domain.DInt
+      | _, _ -> error "%% applied to %a and %a" Domain.pp da Domain.pp db)
+  | Term.Add | Term.Sub | Term.Mul | Term.Div -> (
+      match (da, db) with
+      | Domain.DInt, Domain.DInt -> Domain.DInt
+      | Domain.DFloat, Domain.DFloat
+      | Domain.DInt, Domain.DFloat
+      | Domain.DFloat, Domain.DInt ->
+          Domain.DFloat
+      | _, _ ->
+          error "arithmetic applied to %a and %a" Domain.pp da Domain.pp db)
+
+and check_pred schema = function
+  | Term.True | Term.False -> ()
+  | Term.Cmp (_, a, b) ->
+      let da = infer schema a and db = infer schema b in
+      let comparable =
+        Domain.equal da db || (Domain.is_numeric da && Domain.is_numeric db)
+      in
+      if not comparable then
+        error "comparison of %a with %a" Domain.pp da Domain.pp db
+  | Term.And (p, q) | Term.Or (p, q) ->
+      check_pred schema p;
+      check_pred schema q
+  | Term.Not p -> check_pred schema p
+
+let arith_int op a b =
+  match op with
+  | Term.Add -> Value.Int (a + b)
+  | Term.Sub -> Value.Int (a - b)
+  | Term.Mul -> Value.Int (a * b)
+  | Term.Div -> if b = 0 then error "division by zero" else Value.Int (a / b)
+  | Term.Mod -> if b = 0 then error "modulo by zero" else Value.Int (a mod b)
+  | Term.Concat -> error "++ applied to integers"
+
+let arith_float op a b =
+  match op with
+  | Term.Add -> Value.Float (a +. b)
+  | Term.Sub -> Value.Float (a -. b)
+  | Term.Mul -> Value.Float (a *. b)
+  | Term.Div ->
+      if b = 0.0 then error "division by zero" else Value.Float (a /. b)
+  | Term.Mod -> error "%% applied to floats"
+  | Term.Concat -> error "++ applied to floats"
+
+let rec eval tuple = function
+  | Attr i -> (
+      match Tuple.attr_opt tuple i with
+      | Some v -> v
+      | None ->
+          error "attribute %%%d out of range for tuple of arity %d" i
+            (Tuple.arity tuple))
+  | Lit v -> v
+  | Binop (op, a, b) -> eval_binop tuple op a b
+  | Neg a -> (
+      match eval tuple a with
+      | Value.Int n -> Value.Int (-n)
+      | Value.Float f -> Value.Float (-.f)
+      | (Value.Str _ | Value.Bool _) as v ->
+          error "negation applied to %a" Value.pp v)
+  | If (c, a, b) -> if eval_pred tuple c then eval tuple a else eval tuple b
+
+and eval_binop tuple op a b =
+  let va = eval tuple a and vb = eval tuple b in
+  match (va, vb) with
+  | Value.Int x, Value.Int y -> arith_int op x y
+  | Value.Str x, Value.Str y -> (
+      match op with
+      | Term.Concat -> Value.Str (x ^ y)
+      | Term.Add | Term.Sub | Term.Mul | Term.Div | Term.Mod ->
+          error "arithmetic applied to strings")
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      arith_float op (Value.as_float va) (Value.as_float vb)
+  | _, _ ->
+      error "operator applied to %a and %a" Value.pp va Value.pp vb
+
+and eval_pred tuple = function
+  | Term.True -> true
+  | Term.False -> false
+  | Term.Cmp (op, a, b) -> (
+      let va = eval tuple a and vb = eval tuple b in
+      let c =
+        match (va, vb) with
+        | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+            Float.compare (Value.as_float va) (Value.as_float vb)
+        | _, _ -> (
+            try Value.compare_same_domain va vb
+            with Value.Incomparable _ ->
+              error "comparison of %a with %a" Value.pp va Value.pp vb)
+      in
+      match op with
+      | Term.Eq -> c = 0
+      | Term.Ne -> c <> 0
+      | Term.Lt -> c < 0
+      | Term.Le -> c <= 0
+      | Term.Gt -> c > 0
+      | Term.Ge -> c >= 0)
+  | Term.And (p, q) -> eval_pred tuple p && eval_pred tuple q
+  | Term.Or (p, q) -> eval_pred tuple p || eval_pred tuple q
+  | Term.Not p -> not (eval_pred tuple p)
+
+let equal = Term.equal_scalar
+
+let binop_symbol = function
+  | Term.Add -> "+"
+  | Term.Sub -> "-"
+  | Term.Mul -> "*"
+  | Term.Div -> "/"
+  | Term.Mod -> "%"
+  | Term.Concat -> "++"
+
+let cmpop_symbol = function
+  | Term.Eq -> "="
+  | Term.Ne -> "<>"
+  | Term.Lt -> "<"
+  | Term.Le -> "<="
+  | Term.Gt -> ">"
+  | Term.Ge -> ">="
+
+let rec pp ppf = function
+  | Attr i -> Format.fprintf ppf "%%%d" i
+  | Lit v -> Value.pp ppf v
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp a
+  | If (c, a, b) ->
+      Format.fprintf ppf "(if %a then %a else %a)" pp_pred c pp a pp b
+
+and pp_pred ppf = function
+  | Term.True -> Format.pp_print_string ppf "true"
+  | Term.False -> Format.pp_print_string ppf "false"
+  | Term.Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp a (cmpop_symbol op) pp b
+  | Term.And (p, q) -> Format.fprintf ppf "(%a and %a)" pp_pred p pp_pred q
+  | Term.Or (p, q) -> Format.fprintf ppf "(%a or %a)" pp_pred p pp_pred q
+  | Term.Not p -> Format.fprintf ppf "(not %a)" pp_pred p
+
+let to_string e = Format.asprintf "%a" pp e

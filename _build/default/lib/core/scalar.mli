@@ -1,0 +1,87 @@
+(** Arithmetic attribute expressions for the extended projection
+    (Definition 3.4).
+
+    An extended projection list [α = (e1, ..., en)] contains expressions
+    over the attributes of the operand, "functions from [dom(ℰ)] into a
+    basic domain".  This module is that expression language: attribute
+    references [%i], literals, arithmetic, string concatenation, and a
+    conditional (a function into a basic domain like any other, so within
+    the letter of Definition 3.4).  The structure-preserving update lists
+    of Definition 4.1 — e.g. [alcperc * 1.1] in Example 4.1 — are written
+    in this language.
+
+    Normal projection is the special case where every [ei] is an
+    attribute reference (the paper: "the normal projection operator can
+    be seen as a special case of the extended operator"). *)
+
+open Mxra_relational
+
+type t = Term.scalar =
+  | Attr of int  (** [%i], 1-based attribute reference. *)
+  | Lit of Value.t
+  | Binop of Term.binop * t * t
+  | Neg of t  (** Numeric negation. *)
+  | If of Term.pred * t * t
+      (** [If (c, e1, e2)]: [e1] where [c] holds, else [e2]. *)
+
+exception Eval_error of string
+(** Runtime scalar failure (division by zero; a domain mismatch reached
+    at run time).  The type checker rules out mismatches statically for
+    checked expressions; division by zero remains dynamic. *)
+
+(** {1 Constructors} *)
+
+val attr : int -> t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** {1 Analysis} *)
+
+val attrs_used : t -> int list
+(** Sorted, deduplicated attribute indices referenced (including inside
+    embedded predicates); the optimizer's footprint analysis. *)
+
+val max_attr : t -> int
+(** Largest attribute index referenced; 0 if none. *)
+
+val shift : int -> t -> t
+(** [shift k e] adds [k] to every attribute index — reindexing across a
+    product boundary when pushing expressions down or up. *)
+
+val rename : (int -> int) -> t -> t
+(** Apply an attribute-index substitution. *)
+
+val is_attr : t -> int option
+(** [Some i] when the expression is exactly [%i] — the normal-projection
+    special case. *)
+
+(** {1 Typing and evaluation} *)
+
+val infer : Schema.t -> t -> Domain.t
+(** Result domain over tuples of the given schema.
+    @raise Eval_error on an ill-typed expression or out-of-range
+    attribute reference. *)
+
+val eval : Tuple.t -> t -> Value.t
+(** Evaluate over a tuple.  @raise Eval_error on dynamic failure. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Predicate co-operations}
+
+    Because scalars and predicates are mutually recursive, the predicate
+    traversals live here; {!Pred} re-exports them under their natural
+    names and is the module client code should use. *)
+
+val rename_pred : (int -> int) -> Term.pred -> Term.pred
+val check_pred : Schema.t -> Term.pred -> unit
+val eval_pred : Tuple.t -> Term.pred -> bool
+val pp_pred : Format.formatter -> Term.pred -> unit

@@ -1,0 +1,104 @@
+open Mxra_relational
+
+type t =
+  | Insert of string * Expr.t
+  | Delete of string * Expr.t
+  | Update of string * Expr.t * Scalar.t list
+  | Assign of string * Expr.t
+  | Query of Expr.t
+
+exception Exec_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+let target_relation db name =
+  match Database.find_opt name db with
+  | Some r -> r
+  | None -> error "unknown relation %s" name
+
+let require_same_schema op name target value =
+  if not (Schema.compatible (Relation.schema target) (Relation.schema value))
+  then
+    error "%s(%s, E): E has schema %a, %s has schema %a" op name Schema.pp
+      (Relation.schema value) name Schema.pp (Relation.schema target)
+
+(* update(R, E, α) requires π_α structure-preserving: the projected
+   schema must be compatible with R's schema. *)
+let check_update_list db name exprs =
+  let schema = Relation.schema (target_relation db name) in
+  if List.length exprs <> Schema.arity schema then
+    error "update(%s): attribute expression list has length %d, schema %a"
+      name (List.length exprs) Schema.pp schema;
+  List.iteri
+    (fun i e ->
+      let d =
+        try Scalar.infer schema e
+        with Scalar.Eval_error msg -> error "update(%s): %s" name msg
+      in
+      let expected = Schema.domain schema (i + 1) in
+      if not (Domain.equal d expected) then
+        error
+          "update(%s): expression %a for attribute %%%d has domain %a, \
+           expected %a"
+          name Scalar.pp e (i + 1) Domain.pp d Domain.pp expected)
+    exprs
+
+let exec db = function
+  | Insert (name, e) ->
+      let target = target_relation db name in
+      let value = Eval.eval db e in
+      require_same_schema "insert" name target value;
+      (Database.set name (Eval.union target value) db, None)
+  | Delete (name, e) ->
+      let target = target_relation db name in
+      let value = Eval.eval db e in
+      require_same_schema "delete" name target value;
+      (Database.set name (Eval.diff target value) db, None)
+  | Update (name, e, exprs) ->
+      let target = target_relation db name in
+      let value = Eval.eval db e in
+      require_same_schema "update" name target value;
+      check_update_list db name exprs;
+      (* R ← (R − E) ⊎ π_α(R ∩ E) *)
+      let untouched = Eval.diff target value in
+      let touched = Eval.intersect target value in
+      let modified =
+        (* The projected bag keeps R's schema: structure preserving. *)
+        Relation.of_bag_unchecked (Relation.schema target)
+          (Relation.bag (Eval.project exprs touched))
+      in
+      (Database.set name (Eval.union untouched modified) db, None)
+  | Assign (name, e) ->
+      let value = Eval.eval db e in
+      (Database.assign_temporary name value db, None)
+  | Query e -> (db, Some (Eval.eval db e))
+
+let infer db = function
+  | Insert (name, e) | Delete (name, e) ->
+      let target = target_relation db name in
+      let schema = Typecheck.infer_db db e in
+      if not (Schema.compatible (Relation.schema target) schema) then
+        error "statement on %s: schema mismatch" name
+  | Update (name, e, exprs) ->
+      let target = target_relation db name in
+      let schema = Typecheck.infer_db db e in
+      if not (Schema.compatible (Relation.schema target) schema) then
+        error "update(%s): schema mismatch" name;
+      check_update_list db name exprs
+  | Assign (_, e) | Query e -> ignore (Typecheck.infer_db db e)
+
+let pp ppf = function
+  | Insert (name, e) ->
+      Format.fprintf ppf "insert(%s,@ @[%a@])" name Expr.pp e
+  | Delete (name, e) ->
+      Format.fprintf ppf "delete(%s,@ @[%a@])" name Expr.pp e
+  | Update (name, e, exprs) ->
+      Format.fprintf ppf "update(%s,@ @[%a@],@ [@[%a@]])" name Expr.pp e
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           Scalar.pp)
+        exprs
+  | Assign (name, e) -> Format.fprintf ppf "%s := @[%a@]" name Expr.pp e
+  | Query e -> Format.fprintf ppf "?@[%a@]" Expr.pp e
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,53 @@
+open Mxra_relational
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+
+type cmpop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type scalar =
+  | Attr of int
+  | Lit of Value.t
+  | Binop of binop * scalar * scalar
+  | Neg of scalar
+  | If of pred * scalar * scalar
+
+and pred =
+  | True
+  | False
+  | Cmp of cmpop * scalar * scalar
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let rec equal_scalar s1 s2 =
+  match (s1, s2) with
+  | Attr i, Attr j -> i = j
+  | Lit v1, Lit v2 -> Value.equal v1 v2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      o1 = o2 && equal_scalar a1 a2 && equal_scalar b1 b2
+  | Neg a, Neg b -> equal_scalar a b
+  | If (c1, a1, b1), If (c2, a2, b2) ->
+      equal_pred c1 c2 && equal_scalar a1 a2 && equal_scalar b1 b2
+  | (Attr _ | Lit _ | Binop _ | Neg _ | If _), _ -> false
+
+and equal_pred p1 p2 =
+  match (p1, p2) with
+  | True, True | False, False -> true
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+      o1 = o2 && equal_scalar a1 a2 && equal_scalar b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+      equal_pred a1 a2 && equal_pred b1 b2
+  | Not a, Not b -> equal_pred a b
+  | (True | False | Cmp _ | And _ | Or _ | Not _), _ -> false

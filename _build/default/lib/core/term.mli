@@ -1,0 +1,43 @@
+(** Shared abstract syntax of scalar expressions and selection conditions.
+
+    Selection conditions [φ] (Definition 3.1) compare scalar expressions,
+    and scalar expressions (Definition 3.4's extended projection lists)
+    may embed a conditional guarded by a condition — hence the two ASTs
+    are mutually recursive and live here.  Operations on them are in
+    {!Scalar} and {!Pred}, which re-export these constructors. *)
+
+open Mxra_relational
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+
+type cmpop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type scalar =
+  | Attr of int  (** [%i], 1-based. *)
+  | Lit of Value.t
+  | Binop of binop * scalar * scalar
+  | Neg of scalar
+  | If of pred * scalar * scalar
+
+and pred =
+  | True
+  | False
+  | Cmp of cmpop * scalar * scalar
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+val equal_scalar : scalar -> scalar -> bool
+val equal_pred : pred -> pred -> bool

@@ -1,0 +1,97 @@
+open Mxra_relational
+
+exception Type_error of string
+
+type env = string -> Schema.t option
+
+let error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let env_of_database db name = Option.map Relation.schema (Database.find_opt name db)
+
+let env_of_list bindings name = List.assoc_opt name bindings
+
+let agg_attribute_name schema kind p =
+  let base =
+    match Schema.attribute schema p with
+    | a -> a.Schema.name
+    | exception Invalid_argument _ -> Printf.sprintf "a%d" p
+  in
+  Printf.sprintf "%s_%s" (String.lowercase_ascii (Aggregate.name kind)) base
+
+(* Wraps scalar/predicate typing failures into Type_error so callers see
+   a single static-error exception. *)
+let scalar_domain schema e =
+  try Scalar.infer schema e
+  with Scalar.Eval_error msg -> error "in %a: %s" Scalar.pp e msg
+
+let check_pred schema p =
+  try Pred.check schema p
+  with Scalar.Eval_error msg -> error "in condition %a: %s" Pred.pp p msg
+
+let rec infer env = function
+  | Expr.Rel name -> (
+      match env name with
+      | Some schema -> schema
+      | None -> error "unknown relation %s" name)
+  | Expr.Const r -> Relation.schema r
+  | Expr.Union (e1, e2) -> infer_compatible env "union" e1 e2
+  | Expr.Diff (e1, e2) -> infer_compatible env "diff" e1 e2
+  | Expr.Intersect (e1, e2) -> infer_compatible env "intersect" e1 e2
+  | Expr.Product (e1, e2) ->
+      Schema.concat (infer env e1) (infer env e2)
+  | Expr.Select (p, e) ->
+      let schema = infer env e in
+      check_pred schema p;
+      schema
+  | Expr.Project (exprs, e) ->
+      if exprs = [] then error "projection with empty attribute list";
+      let schema = infer env e in
+      let attribute expr =
+        let domain = scalar_domain schema expr in
+        let name =
+          match Scalar.is_attr expr with
+          | Some i -> (Schema.attribute schema i).Schema.name
+          | None -> Format.asprintf "%a" Scalar.pp expr
+        in
+        { Schema.name; domain }
+      in
+      Schema.make (List.map attribute exprs)
+  | Expr.Join (p, e1, e2) ->
+      let schema = Schema.concat (infer env e1) (infer env e2) in
+      check_pred schema p;
+      schema
+  | Expr.Unique e -> infer env e
+  | Expr.GroupBy (attrs, aggs, e) ->
+      let schema = infer env e in
+      let arity = Schema.arity schema in
+      let check_index what i =
+        if i < 1 || i > arity then
+          error "%s attribute %%%d out of range 1..%d" what i arity
+      in
+      List.iter (check_index "grouping") attrs;
+      let sorted = List.sort_uniq Int.compare attrs in
+      if List.length sorted <> List.length attrs then
+        error "duplicate attribute in grouping list";
+      if aggs = [] then error "groupby with no aggregate function";
+      let agg_attribute (kind, p) =
+        check_index (Aggregate.name kind) p;
+        let domain =
+          try Aggregate.result_domain kind (Schema.domain schema p)
+          with Scalar.Eval_error msg -> error "%s" msg
+        in
+        { Schema.name = agg_attribute_name schema kind p; domain }
+      in
+      let key_schema = Schema.project attrs schema in
+      Schema.concat key_schema (Schema.make (List.map agg_attribute aggs))
+
+and infer_compatible env op e1 e2 =
+  let s1 = infer env e1 and s2 = infer env e2 in
+  if Schema.compatible s1 s2 then s1
+  else error "%s of incompatible schemas %a and %a" op Schema.pp s1 Schema.pp s2
+
+let infer_db db e = infer (env_of_database db) e
+
+let check env e =
+  match infer env e with
+  | schema -> Ok schema
+  | exception Type_error msg -> Error msg

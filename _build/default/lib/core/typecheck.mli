@@ -1,0 +1,37 @@
+(** Schema inference for algebra expressions.
+
+    The paper assigns every expression a schema (its "type"): operands of
+    [⊎], [−], [∩] share a schema [ℰ]; [×] and [⋈] produce [ℰ ⊕ ℰ'];
+    [π_α] produces [π_α ℰ]; [Γ_{α,f,p}] produces [π_α ℰ ⊕ ran(f(x.p))].
+    This module computes that schema and rejects ill-formed expressions:
+    union-incompatible operands, out-of-range or ill-typed attribute
+    expressions, non-boolean conditions, aggregates on inadmissible
+    domains, duplicate grouping attributes.
+
+    The checker is {e static}: it never looks at relation contents, only
+    at schemas, so a checked expression cannot fail with a typing error
+    at evaluation time (division by zero and partial aggregates remain
+    dynamic, as in the paper). *)
+
+open Mxra_relational
+
+exception Type_error of string
+
+type env = string -> Schema.t option
+(** Resolution of database relation names to schemas. *)
+
+val env_of_database : Database.t -> env
+val env_of_list : (string * Schema.t) list -> env
+
+val infer : env -> Expr.t -> Schema.t
+(** Schema of the expression.  @raise Type_error when ill-formed. *)
+
+val infer_db : Database.t -> Expr.t -> Schema.t
+(** [infer] against a database's catalog (temporaries visible). *)
+
+val check : env -> Expr.t -> (Schema.t, string) result
+(** Exception-free variant. *)
+
+val agg_attribute_name : Schema.t -> Aggregate.kind -> int -> string
+(** Display name for an aggregate output column, e.g. [avg_alcperc];
+    exposed so the SQL front-end and planner agree on names. *)

@@ -1,0 +1,1 @@
+lib/engine/cost.ml: Array Expr Float List Mxra_core Mxra_relational Option Pred Scalar Schema Stats Term Typecheck Value

@@ -1,0 +1,1 @@
+lib/engine/cost.mli: Expr Mxra_core Pred Stats Typecheck

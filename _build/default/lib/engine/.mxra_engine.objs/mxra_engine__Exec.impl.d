@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Aggregate Array Database Domain Hashtbl List Mxra_core Mxra_relational Option Physical Planner Pred Relation Scalar Schema Seq Tuple Typecheck Value

@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Database Expr Mxra_core Mxra_relational Physical Relation Seq Tuple

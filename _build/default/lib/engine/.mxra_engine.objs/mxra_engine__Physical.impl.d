@@ -1,0 +1,1 @@
+lib/engine/physical.ml: Aggregate Expr Format List Mxra_core Mxra_relational Pred Scalar String

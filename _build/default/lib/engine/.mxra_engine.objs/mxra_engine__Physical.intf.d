@@ -1,0 +1,1 @@
+lib/engine/physical.mli: Aggregate Expr Format Mxra_core Mxra_relational Pred Relation Scalar

@@ -1,0 +1,1 @@
+lib/engine/planner.ml: Expr List Mxra_core Mxra_relational Physical Pred Typecheck

@@ -1,0 +1,1 @@
+lib/engine/planner.mli: Database Expr Mxra_core Mxra_relational Physical Pred Typecheck

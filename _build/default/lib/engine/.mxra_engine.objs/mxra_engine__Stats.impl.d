@@ -1,0 +1,1 @@
+lib/engine/stats.ml: Array Database Domain Float Format List Map Mxra_relational Printf Relation Schema Set Tuple Value

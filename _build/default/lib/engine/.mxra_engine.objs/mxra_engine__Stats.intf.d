@@ -1,0 +1,1 @@
+lib/engine/stats.mli: Database Format Mxra_relational Relation Value

@@ -1,0 +1,265 @@
+open Mxra_relational
+open Mxra_core
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* --- incremental aggregate accumulators ------------------------------- *)
+
+type agg_state =
+  | S_cnt of int
+  | S_sum_int of int
+  | S_min of Value.t option
+  | S_max of Value.t option
+  | S_column of Aggregate.kind * Domain.t * (Value.t * int) list
+      (* Buffered fallback delegating to the reference computation, used
+         wherever incremental folding could disagree with the formal
+         semantics in the last float ulp (AVG, float SUM, VAR, STDDEV);
+         Aggregate canonicalises the column order internally, so engine
+         and reference agree bit for bit. *)
+
+let initial_state kind domain =
+  match (kind, domain) with
+  | Aggregate.Cnt, _ -> S_cnt 0
+  | Aggregate.Sum, Domain.DFloat -> S_column (kind, domain, [])
+  | Aggregate.Sum, (Domain.DInt | Domain.DStr | Domain.DBool) -> S_sum_int 0
+  | Aggregate.Avg, _ -> S_column (kind, domain, [])
+  | Aggregate.Min, _ -> S_min None
+  | Aggregate.Max, _ -> S_max None
+  | (Aggregate.Var | Aggregate.Stddev), _ -> S_column (kind, domain, [])
+
+let update_state state v n =
+  match state with
+  | S_cnt c -> S_cnt (c + n)
+  | S_sum_int s -> (
+      match v with
+      | Value.Int x -> S_sum_int (s + (x * n))
+      | Value.Float _ | Value.Str _ | Value.Bool _ ->
+          raise (Scalar.Eval_error "SUM over a non-integer value"))
+  | S_min best -> (
+      match best with
+      | None -> S_min (Some v)
+      | Some w ->
+          S_min (Some (if Value.compare_same_domain v w < 0 then v else w)))
+  | S_max best -> (
+      match best with
+      | None -> S_max (Some v)
+      | Some w ->
+          S_max (Some (if Value.compare_same_domain v w > 0 then v else w)))
+  | S_column (kind, domain, column) -> S_column (kind, domain, (v, n) :: column)
+
+let finalize_state = function
+  | S_cnt c -> Value.Int c
+  | S_sum_int s -> Value.Int s
+  | S_min None -> raise (Aggregate.Undefined Aggregate.Min)
+  | S_min (Some v) -> v
+  | S_max None -> raise (Aggregate.Undefined Aggregate.Max)
+  | S_max (Some v) -> v
+  | S_column (kind, domain, column) -> Aggregate.compute_for domain kind column
+
+(* --- plan execution ---------------------------------------------------- *)
+
+(* Collapse a counted stream into a per-tuple count table. *)
+let count_table stream =
+  let table = TH.create 64 in
+  Seq.iter
+    (fun (t, n) ->
+      match TH.find_opt table t with
+      | Some c -> TH.replace table t (c + n)
+      | None -> TH.add table t n)
+    stream;
+  table
+
+(* [tick] is invoked with every counted-tuple element each operator
+   emits; summing over operators measures the tuple traffic of the plan,
+   and weighting by arity measures the data volume. *)
+let rec exec ~tick db plan : (Tuple.t * int) Seq.t =
+  let emit s = Seq.map (fun x -> tick x; x) s in
+  match plan with
+  | Physical.Const_scan r -> emit (Relation.Bag.to_counted_seq (Relation.bag r))
+  | Physical.Seq_scan name ->
+      emit (Relation.Bag.to_counted_seq (Relation.bag (Database.find name db)))
+  | Physical.Filter (p, t) ->
+      emit (Seq.filter (fun (tuple, _) -> Pred.eval tuple p) (exec ~tick db t))
+  | Physical.Project_op (exprs, t) ->
+      let image tuple = Tuple.of_list (List.map (Scalar.eval tuple) exprs) in
+      emit (Seq.map (fun (tuple, n) -> (image tuple, n)) (exec ~tick db t))
+  | Physical.Hash_join { left_keys; right_keys; residual; left; right; _ } ->
+      (* Build on the right, probe (pipelined) from the left. *)
+      let table = TH.create 256 in
+      Seq.iter
+        (fun (tuple, n) ->
+          let key = Tuple.project right_keys tuple in
+          let existing = Option.value ~default:[] (TH.find_opt table key) in
+          TH.replace table key ((tuple, n) :: existing))
+        (exec ~tick db right);
+      let probe (ltuple, ln) =
+        let key = Tuple.project left_keys ltuple in
+        match TH.find_opt table key with
+        | None -> Seq.empty
+        | Some matches ->
+            List.to_seq matches
+            |> Seq.filter_map (fun (rtuple, rn) ->
+                   let combined = Tuple.concat ltuple rtuple in
+                   if Pred.eval combined residual then
+                     Some (combined, ln * rn)
+                   else None)
+      in
+      emit (Seq.concat_map probe (exec ~tick db left))
+  | Physical.Merge_join { left_keys; right_keys; residual; left; right; _ } ->
+      (* Sort both inputs by their key projections and merge key groups.
+         Both sides materialise; output is emitted lazily per group
+         pair. *)
+      let keyed keys rows =
+        let arr =
+          Array.of_seq
+            (Seq.map (fun (t, n) -> (Tuple.project keys t, t, n)) rows)
+        in
+        Array.sort (fun (k1, _, _) (k2, _, _) -> Tuple.compare k1 k2) arr;
+        arr
+      in
+      let ls = keyed left_keys (exec ~tick db left) in
+      let rs = keyed right_keys (exec ~tick db right) in
+      let group arr i =
+        let key, _, _ = arr.(i) in
+        let rec last j =
+          if j + 1 < Array.length arr
+             && Tuple.compare key (let k, _, _ = arr.(j + 1) in k) = 0
+          then last (j + 1)
+          else j
+        in
+        (key, last i)
+      in
+      let rec merge i j () =
+        if i >= Array.length ls || j >= Array.length rs then Seq.Nil
+        else
+          let lk, li = group ls i in
+          let rk, rj = group rs j in
+          let c = Tuple.compare lk rk in
+          if c < 0 then merge (li + 1) j ()
+          else if c > 0 then merge i (rj + 1) ()
+          else
+            let pairs =
+              Seq.concat_map
+                (fun a ->
+                  Seq.filter_map
+                    (fun b ->
+                      let _, lt, ln = ls.(a) and _, rt, rn = rs.(b) in
+                      let combined = Tuple.concat lt rt in
+                      if Pred.eval combined residual then
+                        Some (combined, ln * rn)
+                      else None)
+                    (Seq.init (rj - j + 1) (fun k -> j + k)))
+                (Seq.init (li - i + 1) (fun k -> i + k))
+            in
+            Seq.append pairs (merge (li + 1) (rj + 1)) ()
+      in
+      emit (merge 0 0)
+  | Physical.Nested_loop (p, l, r) ->
+      let right_rows = List.of_seq (exec ~tick db r) in
+      let expand (ltuple, ln) =
+        List.to_seq right_rows
+        |> Seq.filter_map (fun (rtuple, rn) ->
+               let combined = Tuple.concat ltuple rtuple in
+               if Pred.eval combined p then Some (combined, ln * rn) else None)
+      in
+      emit (Seq.concat_map expand (exec ~tick db l))
+  | Physical.Cross_product (l, r) ->
+      let right_rows = List.of_seq (exec ~tick db r) in
+      let expand (ltuple, ln) =
+        List.to_seq right_rows
+        |> Seq.map (fun (rtuple, rn) -> (Tuple.concat ltuple rtuple, ln * rn))
+      in
+      emit (Seq.concat_map expand (exec ~tick db l))
+  | Physical.Union_all (l, r) ->
+      emit (Seq.append (exec ~tick db l) (exec ~tick db r))
+  | Physical.Hash_diff (l, r) ->
+      let left_counts = count_table (exec ~tick db l) in
+      let right_counts = count_table (exec ~tick db r) in
+      let monus (t, ln) =
+        let rn = Option.value ~default:0 (TH.find_opt right_counts t) in
+        if ln > rn then Some (t, ln - rn) else None
+      in
+      emit (Seq.filter_map monus (TH.to_seq left_counts))
+  | Physical.Hash_intersect (l, r) ->
+      let left_counts = count_table (exec ~tick db l) in
+      let right_counts = count_table (exec ~tick db r) in
+      let pointwise_min (t, ln) =
+        match TH.find_opt right_counts t with
+        | Some rn -> Some (t, min ln rn)
+        | None -> None
+      in
+      emit (Seq.filter_map pointwise_min (TH.to_seq left_counts))
+  | Physical.Hash_distinct t ->
+      let seen = TH.create 64 in
+      Seq.iter
+        (fun (tuple, _) -> TH.replace seen tuple ())
+        (exec ~tick db t);
+      emit (Seq.map (fun (tuple, ()) -> (tuple, 1)) (TH.to_seq seen))
+  | Physical.Hash_aggregate (attrs, aggs, t) ->
+      exec_aggregate ~tick db attrs aggs t
+
+and exec_aggregate ~tick db attrs aggs t =
+  let emit s = Seq.map (fun x -> tick x; x) s in
+  let input_schema =
+    Typecheck.infer_db db (Physical.to_logical t)
+  in
+  let fresh_states () =
+    Array.of_list
+      (List.map
+         (fun (kind, p) -> initial_state kind (Schema.domain input_schema p))
+         aggs)
+  in
+  let positions = Array.of_list (List.map snd aggs) in
+  let groups = TH.create 64 in
+  Seq.iter
+    (fun (tuple, n) ->
+      let key = Tuple.project attrs tuple in
+      let states =
+        match TH.find_opt groups key with
+        | Some states -> states
+        | None ->
+            let states = fresh_states () in
+            TH.add groups key states;
+            states
+      in
+      Array.iteri
+        (fun i state ->
+          states.(i) <- update_state state (Tuple.attr tuple positions.(i)) n)
+        states)
+    (exec ~tick db t);
+  (* Definition 3.4: with an empty grouping list the result is one tuple
+     even over the empty input. *)
+  if attrs = [] && TH.length groups = 0 then
+    TH.add groups Tuple.unit (fresh_states ());
+  let finalize (key, states) =
+    let values = Array.to_list (Array.map finalize_state states) in
+    (Tuple.concat key (Tuple.of_list values), 1)
+  in
+  emit (Seq.map finalize (TH.to_seq groups))
+
+let materialize db plan stream =
+  let schema = Typecheck.infer_db db (Physical.to_logical plan) in
+  Relation.of_bag_unchecked schema (Relation.Bag.of_counted_seq stream)
+
+let no_tick _ = ()
+let run db plan = materialize db plan (exec ~tick:no_tick db plan)
+let stream db plan = exec ~tick:no_tick db plan
+
+let tuples_moved db plan =
+  let moved = ref 0 in
+  let s = exec ~tick:(fun _ -> incr moved) db plan in
+  Seq.iter (fun _ -> ()) s;
+  !moved
+
+let cells_moved db plan =
+  let moved = ref 0 in
+  let s = exec ~tick:(fun (t, _) -> moved := !moved + Tuple.arity t) db plan in
+  Seq.iter (fun _ -> ()) s;
+  !moved
+
+let run_expr db e = run db (Planner.plan db e)

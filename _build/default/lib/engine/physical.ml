@@ -1,0 +1,143 @@
+open Mxra_core
+
+type t =
+  | Const_scan of Mxra_relational.Relation.t
+  | Seq_scan of string
+  | Filter of Pred.t * t
+  | Project_op of Scalar.t list * t
+  | Hash_join of {
+      left_keys : int list;
+      right_keys : int list;
+      left_arity : int;
+      residual : Pred.t;
+      left : t;
+      right : t;
+    }
+  | Merge_join of {
+      left_keys : int list;
+      right_keys : int list;
+      left_arity : int;
+      residual : Pred.t;
+      left : t;
+      right : t;
+    }
+  | Nested_loop of Pred.t * t * t
+  | Cross_product of t * t
+  | Union_all of t * t
+  | Hash_diff of t * t
+  | Hash_intersect of t * t
+  | Hash_distinct of t
+  | Hash_aggregate of int list * (Aggregate.kind * int) list * t
+
+(* The logical join condition of a hash join: key equalities (right keys
+   reindexed past the left arity) conjoined with the residual. *)
+let rec to_logical plan =
+  match plan with
+  | Const_scan r -> Expr.Const r
+  | Seq_scan name -> Expr.Rel name
+  | Filter (p, t) -> Expr.Select (p, to_logical t)
+  | Project_op (exprs, t) -> Expr.Project (exprs, to_logical t)
+  | Hash_join { left_keys; right_keys; left_arity; residual; left; right }
+  | Merge_join { left_keys; right_keys; left_arity; residual; left; right } ->
+      let key_conds =
+        List.map2
+          (fun i j -> Pred.eq (Scalar.attr i) (Scalar.attr (j + left_arity)))
+          left_keys right_keys
+      in
+      Expr.Join
+        (Pred.conj (key_conds @ [ residual ]), to_logical left,
+         to_logical right)
+  | Nested_loop (p, l, r) -> Expr.Join (p, to_logical l, to_logical r)
+  | Cross_product (l, r) -> Expr.Product (to_logical l, to_logical r)
+  | Union_all (l, r) -> Expr.Union (to_logical l, to_logical r)
+  | Hash_diff (l, r) -> Expr.Diff (to_logical l, to_logical r)
+  | Hash_intersect (l, r) -> Expr.Intersect (to_logical l, to_logical r)
+  | Hash_distinct t -> Expr.Unique (to_logical t)
+  | Hash_aggregate (attrs, aggs, t) ->
+      Expr.GroupBy (attrs, aggs, to_logical t)
+
+let rec size = function
+  | Const_scan _ | Seq_scan _ -> 1
+  | Filter (_, t) | Project_op (_, t) | Hash_distinct t
+  | Hash_aggregate (_, _, t) ->
+      1 + size t
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+      1 + size left + size right
+  | Nested_loop (_, l, r)
+  | Cross_product (l, r)
+  | Union_all (l, r)
+  | Hash_diff (l, r)
+  | Hash_intersect (l, r) ->
+      1 + size l + size r
+
+let pp_keys ppf keys =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    (fun ppf i -> Format.fprintf ppf "%%%d" i)
+    ppf keys
+
+let pp ppf plan =
+  let rec go indent plan =
+    let pad = String.make indent ' ' in
+    match plan with
+    | Const_scan r ->
+        Format.fprintf ppf "%sConstScan (%d tuples)@," pad
+          (Mxra_relational.Relation.cardinal r)
+    | Seq_scan name -> Format.fprintf ppf "%sSeqScan %s@," pad name
+    | Filter (p, t) ->
+        Format.fprintf ppf "%sFilter [%a]@," pad Pred.pp p;
+        go (indent + 2) t
+    | Project_op (exprs, t) ->
+        Format.fprintf ppf "%sProject [%a]@," pad
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             Scalar.pp)
+          exprs;
+        go (indent + 2) t
+    | Hash_join { left_keys; right_keys; residual; left; right; _ } ->
+        Format.fprintf ppf "%sHashJoin keys=%a=%a residual=[%a]@," pad
+          pp_keys left_keys pp_keys right_keys Pred.pp residual;
+        go (indent + 2) left;
+        go (indent + 2) right
+    | Merge_join { left_keys; right_keys; residual; left; right; _ } ->
+        Format.fprintf ppf "%sMergeJoin keys=%a=%a residual=[%a]@," pad
+          pp_keys left_keys pp_keys right_keys Pred.pp residual;
+        go (indent + 2) left;
+        go (indent + 2) right
+    | Nested_loop (p, l, r) ->
+        Format.fprintf ppf "%sNestedLoop [%a]@," pad Pred.pp p;
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Cross_product (l, r) ->
+        Format.fprintf ppf "%sCrossProduct@," pad;
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Union_all (l, r) ->
+        Format.fprintf ppf "%sUnionAll@," pad;
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Hash_diff (l, r) ->
+        Format.fprintf ppf "%sHashDiff@," pad;
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Hash_intersect (l, r) ->
+        Format.fprintf ppf "%sHashIntersect@," pad;
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Hash_distinct t ->
+        Format.fprintf ppf "%sHashDistinct@," pad;
+        go (indent + 2) t
+    | Hash_aggregate (attrs, aggs, t) ->
+        Format.fprintf ppf "%sHashAggregate keys=[%a] aggs=[%a]@," pad
+          pp_keys attrs
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+             (fun ppf (k, p) -> Format.fprintf ppf "%a(%%%d)" Aggregate.pp k p))
+          aggs;
+        go (indent + 2) t
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 plan;
+  Format.fprintf ppf "@]"
+
+let to_string plan = Format.asprintf "%a" pp plan

@@ -1,0 +1,68 @@
+(** Physical query plans.
+
+    A physical plan fixes, for each logical operator, the algorithm that
+    implements it: hash join vs. nested loops, hash-based aggregation,
+    hash-based duplicate elimination and bag difference/intersection.
+    The planner ({!Planner}) chooses the algorithms; the executor
+    ({!Exec}) runs them.
+
+    [to_logical] recovers the logical expression a plan computes; the
+    engine's correctness contract — checked property-style in the test
+    suite — is that executing a plan equals {!Mxra_core.Eval} on its
+    logical image. *)
+
+open Mxra_relational
+open Mxra_core
+
+type t =
+  | Const_scan of Relation.t
+  | Seq_scan of string  (** Scan a named database relation. *)
+  | Filter of Pred.t * t
+  | Project_op of Scalar.t list * t
+  | Hash_join of {
+      left_keys : int list;  (** Key attributes in the left schema. *)
+      right_keys : int list;
+          (** Matching key attributes, numbered in the {e right} operand's
+              own schema. *)
+      left_arity : int;
+          (** Arity of the left operand's schema; recorded by the planner
+              so plans stay self-describing (a [Seq_scan]'s arity is not
+              structural). *)
+      residual : Pred.t;
+          (** Evaluated on the concatenated tuple after key match;
+              [Pred.True] for pure equi-joins. *)
+      left : t;
+      right : t;
+    }
+  | Merge_join of {
+      left_keys : int list;
+      right_keys : int list;
+      left_arity : int;
+      residual : Pred.t;
+      left : t;
+      right : t;
+    }
+      (** Equi-join by sorting both inputs on their keys and merging —
+          the classic alternative to hashing; the planner can be asked
+          for it and the benchmarks compare the two. *)
+  | Nested_loop of Pred.t * t * t
+      (** General θ-join: condition over the concatenated schema. *)
+  | Cross_product of t * t
+  | Union_all of t * t
+  | Hash_diff of t * t  (** Bag monus via count tables. *)
+  | Hash_intersect of t * t  (** Pointwise minimum via count tables. *)
+  | Hash_distinct of t
+  | Hash_aggregate of int list * (Aggregate.kind * int) list * t
+
+val to_logical : t -> Expr.t
+(** The logical expression this plan computes.  A [Hash_join] maps to a
+    [Join] whose condition conjoins the key equalities with the
+    residual. *)
+
+val size : t -> int
+(** Operator count. *)
+
+val pp : Format.formatter -> t -> unit
+(** One operator per line, children indented — an EXPLAIN-style tree. *)
+
+val to_string : t -> string

@@ -1,0 +1,70 @@
+open Mxra_core
+
+let join_keys ~left_arity p =
+  let classify (keys, residual) conjunct =
+    match Pred.equi_join_pair ~left_arity conjunct with
+    | Some (i, j) -> ((i, j - left_arity) :: keys, residual)
+    | None -> (keys, conjunct :: residual)
+  in
+  let keys, residual =
+    List.fold_left classify ([], []) (Pred.conjuncts p)
+  in
+  (List.rev keys, Pred.simplify (Pred.conj (List.rev residual)))
+
+type join_algorithm =
+  | Hash
+  | Merge
+
+let rec translate ~join_algorithm env e =
+  match e with
+  | Expr.Rel name -> Physical.Seq_scan name
+  | Expr.Const r -> Physical.Const_scan r
+  | Expr.Select (p, Expr.Product (e1, e2)) ->
+      (* σ(E1 × E2) = E1 ⋈ E2 (Theorem 3.1): give the selection a chance
+         to become join keys. *)
+      translate_join ~join_algorithm env p e1 e2
+  | Expr.Select (p, e1) ->
+      Physical.Filter (p, translate ~join_algorithm env e1)
+  | Expr.Project (exprs, e1) ->
+      Physical.Project_op (exprs, translate ~join_algorithm env e1)
+  | Expr.Union (e1, e2) ->
+      Physical.Union_all
+        (translate ~join_algorithm env e1, translate ~join_algorithm env e2)
+  | Expr.Diff (e1, e2) ->
+      Physical.Hash_diff
+        (translate ~join_algorithm env e1, translate ~join_algorithm env e2)
+  | Expr.Intersect (e1, e2) ->
+      Physical.Hash_intersect
+        (translate ~join_algorithm env e1, translate ~join_algorithm env e2)
+  | Expr.Product (e1, e2) ->
+      Physical.Cross_product
+        (translate ~join_algorithm env e1, translate ~join_algorithm env e2)
+  | Expr.Join (p, e1, e2) -> translate_join ~join_algorithm env p e1 e2
+  | Expr.Unique e1 -> Physical.Hash_distinct (translate ~join_algorithm env e1)
+  | Expr.GroupBy (attrs, aggs, e1) ->
+      Physical.Hash_aggregate (attrs, aggs, translate ~join_algorithm env e1)
+
+and translate_join ~join_algorithm env p e1 e2 =
+  let left_arity = Mxra_relational.Schema.arity (Typecheck.infer env e1) in
+  let keys, residual = join_keys ~left_arity p in
+  let left = translate ~join_algorithm env e1
+  and right = translate ~join_algorithm env e2 in
+  match keys with
+  | [] -> Physical.Nested_loop (p, left, right)
+  | _ :: _ -> (
+      let left_keys = List.map fst keys and right_keys = List.map snd keys in
+      match join_algorithm with
+      | Hash ->
+          Physical.Hash_join
+            { left_keys; right_keys; left_arity; residual; left; right }
+      | Merge ->
+          Physical.Merge_join
+            { left_keys; right_keys; left_arity; residual; left; right })
+
+let plan_with ?(join_algorithm = Hash) env e =
+  (* Full static check up front so translation can trust schemas. *)
+  ignore (Typecheck.infer env e);
+  translate ~join_algorithm env e
+
+let plan ?join_algorithm db e =
+  plan_with ?join_algorithm (Typecheck.env_of_database db) e

@@ -1,0 +1,34 @@
+(** Logical-to-physical translation.
+
+    The planner performs algorithm selection only — logical rewrites
+    (pushdowns, join ordering) belong to {!Mxra_optimizer}.  Its one
+    non-trivial decision is join implementation: a join condition is
+    split into conjuncts, the equi-join conjuncts of shape [%i = %j]
+    spanning the operand boundary become hash-join keys, the remainder
+    becomes the residual; with no usable key the join falls back to
+    nested loops.  A selection directly above a product is likewise
+    fused into a join before translation (Theorem 3.1 read right to
+    left), so even unoptimized [σ(E1 × E2)] queries execute hashed when
+    possible. *)
+
+open Mxra_relational
+open Mxra_core
+
+type join_algorithm =
+  | Hash  (** Build a hash table on the right operand (the default). *)
+  | Merge  (** Sort both operands on the keys and merge. *)
+
+val plan : ?join_algorithm:join_algorithm -> Database.t -> Expr.t -> Physical.t
+(** Translate a well-typed expression.
+    @raise Typecheck.Type_error on an ill-typed expression. *)
+
+val plan_with :
+  ?join_algorithm:join_algorithm -> Typecheck.env -> Expr.t -> Physical.t
+(** Translation against an explicit schema environment (used by the
+    optimizer when costing candidate plans without a live database). *)
+
+val join_keys :
+  left_arity:int -> Pred.t -> (int * int) list * Pred.t
+(** Split a join condition: [(left_key, right_key)] pairs usable by a
+    hash join — with the right key renumbered into the right operand's
+    own schema — plus the residual conjunction.  Exposed for tests. *)

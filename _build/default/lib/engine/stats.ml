@@ -1,0 +1,121 @@
+open Mxra_relational
+
+type column = {
+  distinct : int;
+  min_value : Value.t option;
+  max_value : Value.t option;
+  cumulative : (float * int) array;
+}
+
+type t = {
+  cardinality : int;
+  support : int;
+  columns : column array;
+}
+
+module VSet = Set.Make (Value)
+module VMap = Map.Make (Value)
+
+let of_relation r =
+  let arity = Schema.arity (Relation.schema r) in
+  let seen = Array.make arity VSet.empty in
+  let counts = Array.make arity VMap.empty in
+  let lo = Array.make arity None and hi = Array.make arity None in
+  let update_extremum slot better v =
+    match slot with
+    | None -> Some v
+    | Some w -> if better (Value.compare v w) then Some v else Some w
+  in
+  let numeric = Array.map Domain.is_numeric (Array.of_list (Schema.domains (Relation.schema r))) in
+  Relation.Bag.iter
+    (fun tuple count ->
+      for i = 0 to arity - 1 do
+        let v = Tuple.attr tuple (i + 1) in
+        seen.(i) <- VSet.add v seen.(i);
+        lo.(i) <- update_extremum lo.(i) (fun c -> c < 0) v;
+        hi.(i) <- update_extremum hi.(i) (fun c -> c > 0) v;
+        if numeric.(i) then
+          counts.(i) <-
+            VMap.update v
+              (function None -> Some count | Some n -> Some (n + count))
+              counts.(i)
+      done)
+    (Relation.bag r);
+  let cumulative_of i =
+    if not numeric.(i) then [||]
+    else begin
+      let running = ref 0 in
+      VMap.bindings counts.(i)
+      |> List.map (fun (v, n) ->
+             running := !running + n;
+             (Value.as_float v, !running))
+      |> Array.of_list
+    end
+  in
+  {
+    cardinality = Relation.cardinal r;
+    support = Relation.support_size r;
+    columns =
+      Array.init arity (fun i ->
+          {
+            distinct = VSet.cardinal seen.(i);
+            min_value = lo.(i);
+            max_value = hi.(i);
+            cumulative = cumulative_of i;
+          });
+  }
+
+let column t i =
+  if i < 1 || i > Array.length t.columns then
+    invalid_arg (Printf.sprintf "Stats.column: index %%%d out of range" i)
+  else t.columns.(i - 1)
+
+let dup_factor t =
+  if t.support = 0 then 1.0
+  else float_of_int t.cardinality /. float_of_int t.support
+
+(* Cumulative count of tuples with value strictly below [x]: binary
+   search for the greatest entry < x. *)
+let cum_below cumulative x =
+  let n = Array.length cumulative in
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let v, c = cumulative.(mid) in
+      if v < x then search (mid + 1) hi c else search lo (mid - 1) best
+  in
+  search 0 (n - 1) 0
+
+let fraction_below t i x =
+  match t.columns.(i - 1).cumulative with
+  | [||] -> None
+  | cumulative when t.cardinality = 0 -> ignore cumulative; None
+  | cumulative ->
+      Some (float_of_int (cum_below cumulative x) /. float_of_int t.cardinality)
+
+let fraction_eq t i x =
+  match t.columns.(i - 1).cumulative with
+  | [||] -> None
+  | cumulative when t.cardinality = 0 -> ignore cumulative; None
+  | cumulative ->
+      let below = cum_below cumulative x in
+      let upto = cum_below cumulative (Float.succ x) in
+      Some (float_of_int (upto - below) /. float_of_int t.cardinality)
+
+type env = string -> t option
+
+let env_of_database db =
+  let table =
+    List.map
+      (fun name -> (name, of_relation (Database.find name db)))
+      (Database.relation_names db)
+  in
+  fun name -> List.assoc_opt name table
+
+let pp ppf t =
+  Format.fprintf ppf "{card=%d; support=%d; ndv=[%a]}" t.cardinality t.support
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       (fun ppf c -> Format.pp_print_int ppf c.distinct))
+    (Array.to_seq t.columns)

@@ -1,0 +1,1 @@
+lib/ext/closure.ml: Domain Format List Map Mxra_core Mxra_relational Relation Schema Set Tuple Value

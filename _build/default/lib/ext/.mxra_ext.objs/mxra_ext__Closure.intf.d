@@ -1,0 +1,1 @@
+lib/ext/closure.mli: Mxra_core Mxra_relational Relation Value

@@ -1,0 +1,1 @@
+lib/ext/constraints.ml: Database Domain Format Int List Mxra_core Mxra_relational Pred Relation Scalar Schema Set Tuple

@@ -1,0 +1,1 @@
+lib/ext/constraints.mli: Database Format Mxra_core Mxra_relational Pred Typecheck

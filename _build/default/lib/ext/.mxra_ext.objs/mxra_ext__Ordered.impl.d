@@ -1,0 +1,1 @@
+lib/ext/ordered.ml: Array List Mxra_relational Printf Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/ext/ordered.mli: Mxra_relational Relation Tuple

@@ -1,0 +1,1 @@
+lib/ext/parallel.ml: Array Eval Hashtbl List Mxra_core Mxra_relational Option Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/ext/parallel.mli: Aggregate Mxra_core Mxra_relational Pred Relation Scalar

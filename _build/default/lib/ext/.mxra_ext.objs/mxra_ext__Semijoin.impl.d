@@ -1,0 +1,1 @@
+lib/ext/semijoin.ml: Eval Mxra_core Mxra_relational Pred Relation Set Tuple Value

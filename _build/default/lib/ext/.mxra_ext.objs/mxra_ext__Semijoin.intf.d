@@ -1,0 +1,1 @@
+lib/ext/semijoin.mli: Database Expr Mxra_core Mxra_relational Pred Relation

@@ -1,0 +1,110 @@
+open Mxra_relational
+
+exception Not_binary of string
+
+module Pair = struct
+  type t = Value.t * Value.t
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Value.compare a1 a2 in
+    if c <> 0 then c else Value.compare b1 b2
+end
+
+module PairSet = Set.Make (Pair)
+module VMap = Map.Make (Value)
+
+let check_binary r =
+  let schema = Relation.schema r in
+  if Schema.arity schema <> 2 then
+    raise
+      (Not_binary
+         (Format.asprintf "closure needs a binary relation, got %a" Schema.pp
+            schema));
+  if not (Domain.equal (Schema.domain schema 1) (Schema.domain schema 2)) then
+    raise
+      (Not_binary
+         (Format.asprintf "closure needs equal domains, got %a" Schema.pp
+            schema))
+
+let edges_of r =
+  Relation.Bag.fold
+    (fun t _ acc -> PairSet.add (Tuple.attr t 1, Tuple.attr t 2) acc)
+    (Relation.bag r) PairSet.empty
+
+(* Adjacency: source -> successor list. *)
+let adjacency pairs =
+  PairSet.fold
+    (fun (src, dst) acc ->
+      VMap.update src
+        (function None -> Some [ dst ] | Some ds -> Some (dst :: ds))
+        acc)
+    pairs VMap.empty
+
+let to_relation schema pairs =
+  let bag =
+    PairSet.fold
+      (fun (a, b) acc -> Relation.Bag.add (Tuple.of_list [ a; b ]) acc)
+      pairs Relation.Bag.empty
+  in
+  Relation.of_bag_unchecked schema bag
+
+(* Semi-naive: each round extends only the frontier (pairs discovered
+   last round) by one edge step. *)
+let closure_rounds r =
+  check_binary r;
+  let edges = edges_of r in
+  let adj = adjacency edges in
+  let rec iterate closed frontier rounds =
+    if PairSet.is_empty frontier then (closed, rounds)
+    else
+      let extended =
+        PairSet.fold
+          (fun (a, b) acc ->
+            match VMap.find_opt b adj with
+            | None -> acc
+            | Some succs ->
+                List.fold_left (fun acc c -> PairSet.add (a, c) acc) acc succs)
+          frontier PairSet.empty
+      in
+      let fresh = PairSet.diff extended closed in
+      iterate (PairSet.union closed fresh) fresh (rounds + 1)
+  in
+  iterate edges edges 0
+
+let closure r =
+  let pairs, _ = closure_rounds r in
+  to_relation (Relation.schema r) pairs
+
+let iterations r =
+  let _, rounds = closure_rounds r in
+  rounds
+
+(* Naive: recompute closed ∘ edges every round until nothing is new. *)
+let closure_naive r =
+  check_binary r;
+  let edges = edges_of r in
+  let adj = adjacency edges in
+  let step closed =
+    PairSet.fold
+      (fun (a, b) acc ->
+        match VMap.find_opt b adj with
+        | None -> acc
+        | Some succs ->
+            List.fold_left (fun acc c -> PairSet.add (a, c) acc) acc succs)
+      closed closed
+  in
+  let rec iterate closed =
+    let next = step closed in
+    if PairSet.cardinal next = PairSet.cardinal closed then closed
+    else iterate next
+  in
+  to_relation (Relation.schema r) (iterate edges)
+
+let closure_expr e db = closure (Mxra_core.Eval.eval db e)
+
+let reachable r source =
+  let pairs, _ = closure_rounds r in
+  PairSet.fold
+    (fun (a, b) acc -> if Value.equal a source then b :: acc else acc)
+    pairs []
+  |> List.sort_uniq Value.compare

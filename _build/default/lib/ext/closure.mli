@@ -1,0 +1,42 @@
+(** Transitive closure — the extension named in the paper's conclusions.
+
+    "The addition of a transitive closure operator allowing expressions
+    with a recursive nature is discussed in [11]" (Grefen's PhD thesis).
+    This module supplies that operator for binary relations whose two
+    attributes share a domain.
+
+    Semantics: the result is the {e set-valued} least fixpoint — each
+    reachable pair appears with multiplicity 1.  A bag-valued closure
+    (counting paths) is not well defined on cyclic inputs (path counts
+    diverge), which is precisely why the operator lives outside the core
+    algebra as an extension; duplicate elimination at each step is what
+    makes the fixpoint exist.
+
+    Two implementations are provided: the textbook naive iteration
+    (re-joining the whole closure each round) and semi-naive evaluation
+    (joining only the newly discovered pairs) — the ablation pair for
+    the closure-scaling experiment (E8). *)
+
+open Mxra_relational
+
+exception Not_binary of string
+(** Raised when the input is not a binary relation with equal domains. *)
+
+val closure : Relation.t -> Relation.t
+(** Semi-naive transitive closure.  The result contains the input's
+    support (every edge is a path) and is duplicate-free. *)
+
+val closure_naive : Relation.t -> Relation.t
+(** Same result via naive iteration; the baseline. *)
+
+val closure_expr : Mxra_core.Expr.t -> Mxra_relational.Database.t -> Relation.t
+(** Closure of the value of an algebra expression — the composition the
+    extended language would provide. *)
+
+val reachable : Relation.t -> Value.t -> Value.t list
+(** Nodes reachable from a source (excluding the source unless on a
+    cycle), sorted. *)
+
+val iterations : Relation.t -> int
+(** Number of semi-naive rounds until the fixpoint — the "depth" of the
+    relation; exposed for experiment reporting. *)

@@ -1,0 +1,186 @@
+open Mxra_relational
+open Mxra_core
+
+type t =
+  | Key of string * int list
+  | Unique of string * int list
+  | Foreign_key of {
+      from_relation : string;
+      from_attrs : int list;
+      to_relation : string;
+      to_attrs : int list;
+    }
+  | Check of string * Pred.t
+  | Cardinality of string * int option * int option
+
+type violation = {
+  constraint_ : t;
+  detail : string;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let schema_of env name =
+  match env name with
+  | Some schema -> schema
+  | None -> ill_formed "unknown relation %s" name
+
+let check_attrs name schema attrs =
+  if attrs = [] then ill_formed "empty attribute list on %s" name;
+  List.iter
+    (fun i ->
+      if i < 1 || i > Schema.arity schema then
+        ill_formed "attribute %%%d out of range for %s" i name)
+    attrs;
+  if List.length (List.sort_uniq Int.compare attrs) <> List.length attrs then
+    ill_formed "repeated attribute in constraint on %s" name
+
+let validate env = function
+  | Key (name, attrs) | Unique (name, attrs) ->
+      check_attrs name (schema_of env name) attrs
+  | Foreign_key { from_relation; from_attrs; to_relation; to_attrs } ->
+      let from_schema = schema_of env from_relation in
+      let to_schema = schema_of env to_relation in
+      check_attrs from_relation from_schema from_attrs;
+      check_attrs to_relation to_schema to_attrs;
+      if List.length from_attrs <> List.length to_attrs then
+        ill_formed "foreign key %s -> %s: attribute counts differ"
+          from_relation to_relation;
+      List.iter2
+        (fun i j ->
+          if
+            not
+              (Domain.equal (Schema.domain from_schema i)
+                 (Schema.domain to_schema j))
+          then
+            ill_formed "foreign key %s.%%%d -> %s.%%%d: domains differ"
+              from_relation i to_relation j)
+        from_attrs to_attrs
+  | Check (name, p) -> (
+      let schema = schema_of env name in
+      try Pred.check schema p
+      with Scalar.Eval_error msg -> ill_formed "check on %s: %s" name msg)
+  | Cardinality (name, lo, hi) -> (
+      ignore (schema_of env name);
+      match (lo, hi) with
+      | Some l, Some h when l > h ->
+          ill_formed "cardinality bounds on %s are empty (%d > %d)" name l h
+      | _, _ -> ())
+
+let violation c fmt =
+  Format.kasprintf (fun detail -> { constraint_ = c; detail }) fmt
+
+(* Key: no duplicated tuples, and the key projection is duplicate-free
+   on the support.  Unique: only the latter. *)
+let check_key_like c db name attrs ~forbid_duplicates =
+  let r = Database.find name db in
+  let dup_violations =
+    if not forbid_duplicates then []
+    else
+      Relation.Bag.fold
+        (fun t n acc ->
+          if n > 1 then
+            violation c "tuple %a occurs %d times in %s" Tuple.pp t n name
+            :: acc
+          else acc)
+        (Relation.bag r) []
+  in
+  let keys = Relation.Bag.map (Tuple.project attrs) (Relation.bag (
+      Relation.of_bag_unchecked (Relation.schema r)
+        (Relation.Bag.distinct (Relation.bag r))))
+  in
+  let key_violations =
+    Relation.Bag.fold
+      (fun key n acc ->
+        if n > 1 then
+          violation c "key value %a shared by %d distinct tuples of %s"
+            Tuple.pp key n name
+          :: acc
+        else acc)
+      keys []
+  in
+  dup_violations @ key_violations
+
+let check_foreign_key c db ~from_relation ~from_attrs ~to_relation ~to_attrs =
+  let referencing = Database.find from_relation db in
+  let referenced = Database.find to_relation db in
+  let targets =
+    Relation.Bag.fold
+      (fun t _ acc -> (Tuple.project to_attrs t, ()) :: acc)
+      (Relation.bag referenced) []
+  in
+  let module TS = Set.Make (struct
+    type t = Tuple.t
+
+    let compare = Tuple.compare
+  end) in
+  let target_set =
+    List.fold_left (fun s (t, ()) -> TS.add t s) TS.empty targets
+  in
+  Relation.Bag.fold
+    (fun t _ acc ->
+      let source = Tuple.project from_attrs t in
+      if TS.mem source target_set then acc
+      else
+        violation c "%a of %s has no match in %s" Tuple.pp source
+          from_relation to_relation
+        :: acc)
+    (Relation.bag referencing) []
+
+let check db c =
+  match c with
+  | Key (name, attrs) ->
+      check_key_like c db name attrs ~forbid_duplicates:true
+  | Unique (name, attrs) ->
+      check_key_like c db name attrs ~forbid_duplicates:false
+  | Foreign_key { from_relation; from_attrs; to_relation; to_attrs } ->
+      check_foreign_key c db ~from_relation ~from_attrs ~to_relation ~to_attrs
+  | Check (name, p) ->
+      Relation.Bag.fold
+        (fun t _ acc ->
+          if Pred.eval t p then acc
+          else violation c "tuple %a of %s fails %a" Tuple.pp t name Pred.pp p
+               :: acc)
+        (Relation.bag (Database.find name db))
+        []
+  | Cardinality (name, lo, hi) -> (
+      let card = Relation.cardinal (Database.find name db) in
+      let too_low =
+        match lo with Some l when card < l -> true | _ -> false
+      in
+      let too_high =
+        match hi with Some h when card > h -> true | _ -> false
+      in
+      match (too_low, too_high) with
+      | false, false -> []
+      | _, _ ->
+          [ violation c "%s has %d tuples, outside the declared bounds" name
+              card ])
+
+let check_all db cs = List.concat_map (check db) cs
+let satisfied db cs = check_all db cs = []
+let guard cs db = not (satisfied db cs)
+
+let pp_attrs ppf attrs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    (fun ppf i -> Format.fprintf ppf "%%%d" i)
+    ppf attrs
+
+let pp ppf = function
+  | Key (name, attrs) -> Format.fprintf ppf "key(%s; %a)" name pp_attrs attrs
+  | Unique (name, attrs) ->
+      Format.fprintf ppf "unique(%s; %a)" name pp_attrs attrs
+  | Foreign_key { from_relation; from_attrs; to_relation; to_attrs } ->
+      Format.fprintf ppf "fk(%s.%a -> %s.%a)" from_relation pp_attrs
+        from_attrs to_relation pp_attrs to_attrs
+  | Check (name, p) -> Format.fprintf ppf "check(%s; %a)" name Pred.pp p
+  | Cardinality (name, lo, hi) ->
+      Format.fprintf ppf "cardinality(%s; %s..%s)" name
+        (match lo with Some l -> string_of_int l | None -> "")
+        (match hi with Some h -> string_of_int h | None -> "")
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a: %s" pp v.constraint_ v.detail

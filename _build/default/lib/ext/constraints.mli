@@ -1,0 +1,72 @@
+(** Integrity constraints — the companion the paper points to.
+
+    Section 2: "integrity constraints are not discussed in this paper,
+    although they are sometimes considered part of the relational data
+    model [7, 14].  Interested readers are referred to [11]" — Grefen's
+    thesis on integrity control in parallel database systems.  This
+    module supplies the constraint classes that work studies, adapted to
+    multi-set semantics:
+
+    - {e key}: the listed attributes determine the tuple, and no two
+      {e distinct} tuples agree on them.  Under bag semantics a key
+      constraint also demands multiplicity 1 (a duplicated tuple agrees
+      with itself on every attribute);
+    - {e unique}: like key but duplicates of the whole tuple count as
+      one entity — the listed attributes must be unique across the
+      relation's {e support};
+    - {e foreign key}: every value combination of the referencing
+      attributes appears among the referenced relation's key attributes
+      (multiplicities irrelevant: reference is a support-level notion);
+    - {e check}: a tuple-level condition every member must satisfy;
+    - {e cardinality}: bounds on the bag cardinality of a relation.
+
+    Constraints are checked against database states; the transactional
+    integration ({!guard}) turns a constraint set into an [abort_if]
+    predicate so that a transaction violating integrity aborts at its
+    end bracket — deferred checking, exactly the transaction-level
+    integrity control of [11], and the ACID "correctness" property of
+    Definition 4.3. *)
+
+open Mxra_relational
+open Mxra_core
+
+type t =
+  | Key of string * int list  (** Relation, 1-based key attributes. *)
+  | Unique of string * int list
+  | Foreign_key of {
+      from_relation : string;
+      from_attrs : int list;
+      to_relation : string;
+      to_attrs : int list;
+    }
+  | Check of string * Pred.t  (** Every tuple satisfies the condition. *)
+  | Cardinality of string * int option * int option
+      (** Inclusive lower/upper bounds on bag cardinality. *)
+
+type violation = {
+  constraint_ : t;
+  detail : string;
+}
+
+exception Ill_formed of string
+(** A constraint that does not fit the schema (unknown relation,
+    attribute out of range, domain mismatch between FK sides, empty
+    attribute list). *)
+
+val validate : Typecheck.env -> t -> unit
+(** Check well-formedness against a database schema.
+    @raise Ill_formed when not. *)
+
+val check : Database.t -> t -> violation list
+(** Violations of one constraint in a state; empty when satisfied. *)
+
+val check_all : Database.t -> t list -> violation list
+
+val satisfied : Database.t -> t list -> bool
+
+val guard : t list -> Database.t -> bool
+(** [abort_if] predicate for {!Mxra_core.Transaction.make}: true when
+    some constraint is violated (i.e. the transaction must abort). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit

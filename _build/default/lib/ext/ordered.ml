@@ -1,0 +1,57 @@
+open Mxra_relational
+
+type direction =
+  | Asc
+  | Desc
+
+type sort_key = int * direction
+
+let compare_by keys t1 t2 =
+  let rec go = function
+    | [] -> 0
+    | (attr, dir) :: rest ->
+        let c = Value.compare_same_domain (Tuple.attr t1 attr) (Tuple.attr t2 attr) in
+        let c = match dir with Asc -> c | Desc -> -c in
+        if c <> 0 then c else go rest
+  in
+  go keys
+
+let sort keys r =
+  (* Validate eagerly so errors do not depend on data order. *)
+  let arity = Schema.arity (Relation.schema r) in
+  List.iter
+    (fun (attr, _) ->
+      if attr < 1 || attr > arity then
+        invalid_arg (Printf.sprintf "Ordered.sort: attribute %%%d out of range" attr))
+    keys;
+  List.stable_sort (compare_by keys) (Relation.to_list r)
+
+let top_k k keys r = List.filteri (fun i _ -> i < k) (sort keys r)
+
+type cursor = {
+  rows : Tuple.t array;
+  mutable next : int;
+}
+
+let open_cursor keys r = { rows = Array.of_list (sort keys r); next = 0 }
+
+let fetch c =
+  if c.next >= Array.length c.rows then None
+  else begin
+    let t = c.rows.(c.next) in
+    c.next <- c.next + 1;
+    Some t
+  end
+
+let fetch_many c k =
+  let rec go acc k =
+    if k <= 0 then List.rev acc
+    else
+      match fetch c with
+      | None -> List.rev acc
+      | Some t -> go (t :: acc) (k - 1)
+  in
+  go [] k
+
+let rewind c = c.next <- 0
+let position c = c.next

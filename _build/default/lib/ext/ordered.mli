@@ -1,0 +1,42 @@
+(** Ordered output and cursors — deliberately {e outside} the algebra.
+
+    The paper's conclusions: "As sets do not impose any order on their
+    elements, sort operators and cursor manipulation cannot be expressed
+    in this formalism, and can thus not be part of the language" — but
+    the design "is open to extensions".  This module is that extension
+    layer: it converts a relation {e out of} the model into an ordered
+    list of tuples (duplicates expanded per multiplicity) and offers a
+    cursor over it.  Nothing here produces relations, so the algebra's
+    semantics is untouched — exactly the separation the paper
+    prescribes. *)
+
+open Mxra_relational
+
+type direction =
+  | Asc
+  | Desc
+
+type sort_key = int * direction
+(** 1-based attribute and direction. *)
+
+val sort : sort_key list -> Relation.t -> Tuple.t list
+(** Stable multi-key sort of the expanded bag (each tuple repeated
+    per its multiplicity).  Keys compare within their attribute domain.
+    @raise Invalid_argument on an out-of-range attribute;
+    @raise Value.Incomparable when a key column mixes domains (cannot
+    happen for schema-checked relations). *)
+
+val top_k : int -> sort_key list -> Relation.t -> Tuple.t list
+(** First [k] tuples of {!sort} without fully sorting beyond need. *)
+
+type cursor
+(** A forward cursor over a sorted result (SQL's cursor manipulation). *)
+
+val open_cursor : sort_key list -> Relation.t -> cursor
+val fetch : cursor -> Tuple.t option
+(** Next tuple, advancing; [None] at the end. *)
+
+val fetch_many : cursor -> int -> Tuple.t list
+val rewind : cursor -> unit
+val position : cursor -> int
+(** Zero-based index of the next tuple to be fetched. *)

@@ -1,0 +1,119 @@
+open Mxra_relational
+open Mxra_core
+
+type fragments = Relation.t array
+
+let partition ~parts ~key r =
+  if parts <= 0 then invalid_arg "Parallel.partition: parts <= 0";
+  let schema = Relation.schema r in
+  if key < 1 || key > Schema.arity schema then
+    invalid_arg "Parallel.partition: key out of range";
+  let bags = Array.make parts Relation.Bag.empty in
+  Relation.Bag.iter
+    (fun t n ->
+      let slot = Value.hash (Tuple.attr t key) mod parts in
+      bags.(slot) <- Relation.Bag.add ~count:n t bags.(slot))
+    (Relation.bag r);
+  Array.map (Relation.of_bag_unchecked schema) bags
+
+let partition_round_robin ~parts r =
+  if parts <= 0 then invalid_arg "Parallel.partition_round_robin: parts <= 0";
+  let schema = Relation.schema r in
+  let bags = Array.make parts Relation.Bag.empty in
+  let slot = ref 0 in
+  Relation.Bag.iter
+    (fun t n ->
+      bags.(!slot) <- Relation.Bag.add ~count:n t bags.(!slot);
+      slot := (!slot + 1) mod parts)
+    (Relation.bag r);
+  Array.map (Relation.of_bag_unchecked schema) bags
+
+let merge fragments =
+  match Array.to_list fragments with
+  | [] -> invalid_arg "Parallel.merge: no fragments"
+  | first :: rest -> List.fold_left Eval.union first rest
+
+type 'a report = {
+  result : 'a;
+  fragment_work : int array;
+  speedup : float;
+}
+
+let speedup_of work =
+  let total = Array.fold_left ( + ) 0 work in
+  let busiest = Array.fold_left max 0 work in
+  if busiest = 0 then 1.0 else float_of_int total /. float_of_int busiest
+
+let report_of result fragment_work =
+  { result; fragment_work; speedup = speedup_of fragment_work }
+
+let par_select ~parts p r =
+  let fragments = partition_round_robin ~parts r in
+  let work = Array.map Relation.cardinal fragments in
+  let selected = Array.map (Eval.select p) fragments in
+  report_of (merge selected) work
+
+let par_project ~parts exprs r =
+  let fragments = partition_round_robin ~parts r in
+  let work = Array.map Relation.cardinal fragments in
+  let projected = Array.map (Eval.project exprs) fragments in
+  report_of (merge projected) work
+
+(* Per-fragment equi-join, hashed on the key value (the fragments are
+   in-memory, so this is the realistic local algorithm). *)
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let hash_equi_join ~left_key ~right_key left right =
+  let out_schema = Schema.concat (Relation.schema left) (Relation.schema right) in
+  let table = VH.create 64 in
+  Relation.Bag.iter
+    (fun t n ->
+      let key = Tuple.attr t right_key in
+      VH.replace table key ((t, n) :: Option.value ~default:[] (VH.find_opt table key)))
+    (Relation.bag right);
+  let bag =
+    Relation.Bag.fold
+      (fun t1 n1 acc ->
+        match VH.find_opt table (Tuple.attr t1 left_key) with
+        | None -> acc
+        | Some matches ->
+            List.fold_left
+              (fun acc (t2, n2) ->
+                Relation.Bag.add ~count:(n1 * n2) (Tuple.concat t1 t2) acc)
+              acc matches)
+      (Relation.bag left) Relation.Bag.empty
+  in
+  Relation.of_bag_unchecked out_schema bag
+
+let par_join ~parts ~left_key ~right_key left right =
+  let lefts = partition ~parts ~key:left_key left in
+  let rights = partition ~parts ~key:right_key right in
+  (* A tuple's partition depends only on its key's hash, so matching
+     tuples are in same-numbered fragments. *)
+  let joined =
+    Array.init parts (fun i ->
+        hash_equi_join ~left_key ~right_key lefts.(i) rights.(i))
+  in
+  let work =
+    Array.init parts (fun i ->
+        Relation.cardinal lefts.(i) + Relation.cardinal rights.(i))
+  in
+  report_of (merge joined) work
+
+let par_group_by ~parts ~attrs ~aggs r =
+  match attrs with
+  | [] ->
+      invalid_arg
+        "Parallel.par_group_by: global aggregates cannot be key-partitioned"
+  | first_key :: _ ->
+      let fragments = partition ~parts ~key:first_key r in
+      let work = Array.map Relation.cardinal fragments in
+      (* Every tuple of a group shares the first grouping attribute, so
+         groups are fragment-local and union is the correct merge. *)
+      let grouped = Array.map (Eval.group_by attrs aggs) fragments in
+      report_of (merge grouped) work

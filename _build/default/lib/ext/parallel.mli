@@ -1,0 +1,72 @@
+(** Simulated PRISMA-style parallel operators.
+
+    The paper's conclusions: "the language has been extended with
+    special operators to support parallel data processing" in PRISMA/DB
+    (a 100-node main-memory multiprocessor).  That hardware is
+    unavailable, so parallelism is {e simulated} by the substitution
+    documented in DESIGN.md: relations are hash-partitioned into [p]
+    fragments, fragment operations run sequentially while per-fragment
+    work is recorded, and merging is bag union.  The algebraic content —
+    the partition/merge laws the parallel operators rely on — is real
+    and tested:
+
+    - [merge (partition R) = R];
+    - [σ_φ] commutes with partitioning on any key;
+    - an equi-join distributes over co-partitioning on the join key;
+    - [Γ] distributes over partitioning on the grouping attributes.
+
+    The simulated speedup of an operation is [total work / max fragment
+    work]: the wall-clock model of a perfectly synchronised shared-
+    nothing ring, which is how the experiment (E7) reports scaling and
+    skew effects. *)
+
+open Mxra_relational
+open Mxra_core
+
+type fragments = Relation.t array
+(** Disjoint (as bags: summing) pieces of one relation, same schema. *)
+
+val partition : parts:int -> key:int -> Relation.t -> fragments
+(** Hash-partition on the value of attribute [key] (1-based).  All
+    copies of a tuple land in one fragment.
+    @raise Invalid_argument if [parts <= 0] or [key] out of range. *)
+
+val partition_round_robin : parts:int -> Relation.t -> fragments
+(** Distinct-tuple round robin — the load-balanced partitioning that is
+    {e not} key-aligned (usable for σ and π but not for joins or Γ). *)
+
+val merge : fragments -> Relation.t
+(** Bag union of the fragments.  @raise Invalid_argument on [[||]]. *)
+
+type 'a report = {
+  result : 'a;
+  fragment_work : int array;  (** Input tuples processed per fragment. *)
+  speedup : float;  (** total work / max fragment work; ≥ 1. *)
+}
+
+val par_select : parts:int -> Pred.t -> Relation.t -> Relation.t report
+(** Partition (round robin), select per fragment, merge. *)
+
+val par_project : parts:int -> Scalar.t list -> Relation.t -> Relation.t report
+
+val par_join :
+  parts:int ->
+  left_key:int ->
+  right_key:int ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t report
+(** Co-partition both operands on their join keys and hash-join each
+    fragment pair — the parallel equi-join of shared-nothing systems. *)
+
+val par_group_by :
+  parts:int ->
+  attrs:int list ->
+  aggs:(Aggregate.kind * int) list ->
+  Relation.t ->
+  Relation.t report
+(** Partition on the first grouping attribute; groups never span
+    fragments, so fragment results merge by union.
+    @raise Invalid_argument on an empty [attrs] (a global aggregate
+    cannot be key-partitioned; combine per-fragment results with the
+    sequential operator instead). *)

@@ -1,0 +1,28 @@
+open Mxra_relational
+open Mxra_core
+
+let matches p t1 right =
+  Relation.Bag.exists (fun t2 -> Pred.eval (Tuple.concat t1 t2) p) (Relation.bag right)
+
+let semijoin p r1 r2 =
+  Relation.of_bag_unchecked (Relation.schema r1)
+    (Relation.Bag.filter (fun t1 -> matches p t1 r2) (Relation.bag r1))
+
+let antijoin p r1 r2 =
+  Relation.of_bag_unchecked (Relation.schema r1)
+    (Relation.Bag.filter (fun t1 -> not (matches p t1 r2)) (Relation.bag r1))
+
+let semijoin_expr p e1 e2 db = semijoin p (Eval.eval db e1) (Eval.eval db e2)
+
+module VS = Set.Make (Value)
+
+let equi_semijoin ~left_key ~right_key r1 r2 =
+  let keys =
+    Relation.Bag.fold
+      (fun t _ acc -> VS.add (Tuple.attr t right_key) acc)
+      (Relation.bag r2) VS.empty
+  in
+  Relation.of_bag_unchecked (Relation.schema r1)
+    (Relation.Bag.filter
+       (fun t -> VS.mem (Tuple.attr t left_key) keys)
+       (Relation.bag r1))

@@ -1,0 +1,35 @@
+(** Semijoin and antijoin — PRISMA's distributed-processing operators.
+
+    The conclusions note the language "has been extended with special
+    operators to support parallel data processing" in PRISMA/DB;
+    semijoins are the canonical such operators (they ship only the join
+    attributes between sites).  Under multi-set semantics:
+
+    - [E1 ⋉_φ E2] keeps each tuple of [E1] {e with its multiplicity}
+      when at least one [E2] tuple matches it under [φ] — unlike
+      [π_{E1}(E1 ⋈_φ E2)], whose multiplicities get inflated by the
+      number of matches (a classic bag pitfall, exhibited in tests);
+    - [E1 ▷_φ E2] (antijoin) keeps the tuples with no match.
+
+    Laws (tested): [⋉] and [▷] partition [E1]
+    ([E1 = (E1 ⋉ E2) ⊎ (E1 ▷ E2)]); both are sub-bags of [E1];
+    [E1 ▷ E2 = E1 − (E1 ⋉ E2)] (monus is exact because [⋉ ⊑ E1]);
+    [δ(E1 ⋉ E2) = δ(π_{E1}(E1 ⋈ E2))]. *)
+
+open Mxra_relational
+open Mxra_core
+
+val semijoin : Pred.t -> Relation.t -> Relation.t -> Relation.t
+(** [semijoin φ r1 r2]: [φ] is a condition over [schema r1 ⊕ schema r2].
+    Result schema is [r1]'s.
+    @raise Scalar.Eval_error on an ill-typed condition. *)
+
+val antijoin : Pred.t -> Relation.t -> Relation.t -> Relation.t
+
+val semijoin_expr : Pred.t -> Expr.t -> Expr.t -> Database.t -> Relation.t
+(** Evaluate both operands with the reference evaluator, then semijoin. *)
+
+val equi_semijoin :
+  left_key:int -> right_key:int -> Relation.t -> Relation.t -> Relation.t
+(** Hash-based fast path for the single-attribute equi case — what a
+    distributed join would ship. *)

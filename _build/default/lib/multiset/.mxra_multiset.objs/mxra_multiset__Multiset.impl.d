@@ -1,0 +1,1 @@
+lib/multiset/multiset.ml: Format Int List Map Option Printf Seq

@@ -1,0 +1,1 @@
+lib/multiset/multiset.mli: Format Seq

@@ -1,0 +1,196 @@
+(* Finite multisets as maps to strictly positive counts.  The invariant
+   that no stored count is <= 0 is enforced at every constructor; all
+   pointwise operations rely on it. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val singleton : elt -> t
+  val add : ?count:int -> elt -> t -> t
+  val remove : ?count:int -> elt -> t -> t
+  val remove_all : elt -> t -> t
+  val set_count : elt -> int -> t -> t
+  val of_list : elt list -> t
+  val of_counted_list : (elt * int) list -> t
+  val of_seq : elt Seq.t -> t
+  val of_counted_seq : (elt * int) Seq.t -> t
+  val multiplicity : elt -> t -> int
+  val mem : elt -> t -> bool
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val support_size : t -> int
+  val choose_opt : t -> (elt * int) option
+  val min_elt_opt : t -> elt option
+  val max_elt_opt : t -> elt option
+  val equal : t -> t -> bool
+  val subset : t -> t -> bool
+  val compare : t -> t -> int
+  val disjoint : t -> t -> bool
+  val sum : t -> t -> t
+  val diff : t -> t -> t
+  val inter : t -> t -> t
+  val union_max : t -> t -> t
+  val distinct : t -> t
+  val scale : int -> t -> t
+  val fold : (elt -> int -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> int -> unit) -> t -> unit
+  val map : (elt -> elt) -> t -> t
+  val map_counted : (elt -> int -> elt * int) -> t -> t
+  val filter : (elt -> bool) -> t -> t
+  val filter_counted : (elt -> int -> bool) -> t -> t
+  val partition : (elt -> bool) -> t -> t * t
+  val for_all : (elt -> bool) -> t -> bool
+  val exists : (elt -> bool) -> t -> bool
+  val to_counted_list : t -> (elt * int) list
+  val to_list : t -> elt list
+  val to_counted_seq : t -> (elt * int) Seq.t
+  val to_seq : t -> elt Seq.t
+  val support : t -> elt list
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Elt : ORDERED) : S with type elt = Elt.t = struct
+  module M = Map.Make (Elt)
+
+  type elt = Elt.t
+  type t = int M.t
+
+  let empty = M.empty
+  let singleton x = M.singleton x 1
+
+  let check_positive name count =
+    if count <= 0 then
+      invalid_arg (Printf.sprintf "Multiset.%s: count %d <= 0" name count)
+
+  let add ?(count = 1) x m =
+    check_positive "add" count;
+    M.update x
+      (function None -> Some count | Some n -> Some (n + count))
+      m
+
+  let remove ?(count = 1) x m =
+    check_positive "remove" count;
+    M.update x
+      (function
+        | None -> None
+        | Some n -> if n > count then Some (n - count) else None)
+      m
+
+  let remove_all x m = M.remove x m
+
+  let set_count x n m =
+    if n < 0 then invalid_arg "Multiset.set_count: negative count";
+    if n = 0 then M.remove x m else M.add x n m
+
+  let of_list xs = List.fold_left (fun m x -> add x m) empty xs
+
+  let of_counted_list xs =
+    List.fold_left (fun m (x, n) -> add ~count:n x m) empty xs
+
+  let of_seq s = Seq.fold_left (fun m x -> add x m) empty s
+
+  let of_counted_seq s =
+    Seq.fold_left (fun m (x, n) -> add ~count:n x m) empty s
+
+  let multiplicity x m = match M.find_opt x m with None -> 0 | Some n -> n
+  let mem x m = M.mem x m
+  let is_empty m = M.is_empty m
+  let cardinal m = M.fold (fun _ n acc -> acc + n) m 0
+  let support_size m = M.cardinal m
+  let choose_opt m = M.choose_opt m
+
+  let min_elt_opt m = Option.map fst (M.min_binding_opt m)
+  let max_elt_opt m = Option.map fst (M.max_binding_opt m)
+
+  let equal m1 m2 = M.equal Int.equal m1 m2
+
+  let subset m1 m2 =
+    M.for_all (fun x n -> n <= multiplicity x m2) m1
+
+  let compare m1 m2 = M.compare Int.compare m1 m2
+
+  let disjoint m1 m2 = M.for_all (fun x _ -> not (M.mem x m2)) m1
+
+  let sum m1 m2 =
+    M.union (fun _ n1 n2 -> Some (n1 + n2)) m1 m2
+
+  (* Monus: merge keeps only keys with a positive remainder. *)
+  let diff m1 m2 =
+    M.merge
+      (fun _ n1 n2 ->
+        match (n1, n2) with
+        | None, _ -> None
+        | Some n1, None -> Some n1
+        | Some n1, Some n2 -> if n1 > n2 then Some (n1 - n2) else None)
+      m1 m2
+
+  let inter m1 m2 =
+    M.merge
+      (fun _ n1 n2 ->
+        match (n1, n2) with
+        | Some n1, Some n2 -> Some (min n1 n2)
+        | None, _ | _, None -> None)
+      m1 m2
+
+  let union_max m1 m2 = M.union (fun _ n1 n2 -> Some (max n1 n2)) m1 m2
+  let distinct m = M.map (fun _ -> 1) m
+
+  let scale k m =
+    if k < 0 then invalid_arg "Multiset.scale: negative factor";
+    if k = 0 then empty else M.map (fun n -> n * k) m
+
+  let fold f m acc = M.fold f m acc
+  let iter f m = M.iter f m
+
+  let map f m =
+    M.fold (fun x n acc -> add ~count:n (f x) acc) m empty
+
+  let map_counted f m =
+    M.fold
+      (fun x n acc ->
+        let y, k = f x n in
+        check_positive "map_counted" k;
+        add ~count:k y acc)
+      m empty
+
+  let filter p m = M.filter (fun x _ -> p x) m
+  let filter_counted p m = M.filter p m
+  let partition p m = M.partition (fun x _ -> p x) m
+  let for_all p m = M.for_all (fun x _ -> p x) m
+  let exists p m = M.exists (fun x _ -> p x) m
+  let to_counted_list m = M.bindings m
+
+  let to_list m =
+    List.concat_map
+      (fun (x, n) -> List.init n (fun _ -> x))
+      (M.bindings m)
+
+  let to_counted_seq m = M.to_seq m
+
+  let to_seq m =
+    Seq.concat_map
+      (fun (x, n) -> Seq.init n (fun _ -> x))
+      (M.to_seq m)
+
+  let support m = List.map fst (M.bindings m)
+
+  let pp ppf m =
+    let pp_entry ppf (x, n) =
+      if n = 1 then Elt.pp ppf x
+      else Format.fprintf ppf "%a:%d" Elt.pp x n
+    in
+    Format.fprintf ppf "{|@[<hov 1>%a@]|}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_entry)
+      (M.bindings m)
+end

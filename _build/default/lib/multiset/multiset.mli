@@ -1,0 +1,200 @@
+(** Finite multisets (bags) over a totally ordered element type.
+
+    A multiset over elements of type ['a] is a function from ['a] to the
+    natural numbers with finite support (Definition 2.2 of Grefen & de By,
+    ICDE 1994: a relation instance is a function [dom(R) -> N]).  The value
+    of the function at [x] is called the {e multiplicity} of [x].
+
+    The implementation stores only elements of strictly positive
+    multiplicity in a balanced map, so a bag holding a single element a
+    million times costs one map node.  All operations preserve the
+    invariant that stored multiplicities are [> 0].
+
+    The operation names follow the paper: [sum] is the additive bag union
+    [⊎], [diff] is the monus difference, [inter] takes pointwise minima,
+    and [subset] is the multi-subset relation [⊑] of Definition 2.3. *)
+
+(** Input signature: a totally ordered element type. *)
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  (** A total order; [compare] must be compatible with the intended
+      element equality. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Printer used by the bag printer. *)
+end
+
+(** Output signature of {!Make}. *)
+module type S = sig
+  type elt
+  (** The element type. *)
+
+  type t
+  (** An immutable finite multiset of [elt]. *)
+
+  (** {1 Construction} *)
+
+  val empty : t
+  (** The multiset with all multiplicities zero. *)
+
+  val singleton : elt -> t
+  (** [singleton x] has multiplicity 1 at [x] and 0 elsewhere. *)
+
+  val add : ?count:int -> elt -> t -> t
+  (** [add ~count x m] increases the multiplicity of [x] by [count]
+      (default 1).  @raise Invalid_argument if [count <= 0]. *)
+
+  val remove : ?count:int -> elt -> t -> t
+  (** [remove ~count x m] decreases the multiplicity of [x] by [count]
+      (default 1), saturating at zero (monus on a point).
+      @raise Invalid_argument if [count <= 0]. *)
+
+  val remove_all : elt -> t -> t
+  (** [remove_all x m] sets the multiplicity of [x] to zero. *)
+
+  val set_count : elt -> int -> t -> t
+  (** [set_count x n m] sets the multiplicity of [x] to [n].
+      @raise Invalid_argument if [n < 0]. *)
+
+  val of_list : elt list -> t
+  (** Bag of a list; duplicates in the list accumulate. *)
+
+  val of_counted_list : (elt * int) list -> t
+  (** Bag of [(element, multiplicity)] pairs; repeated elements
+      accumulate.  Pairs with multiplicity [<= 0] are rejected.
+      @raise Invalid_argument on a non-positive multiplicity. *)
+
+  val of_seq : elt Seq.t -> t
+  (** Bag of a sequence; duplicates accumulate. *)
+
+  val of_counted_seq : (elt * int) Seq.t -> t
+  (** Like {!of_counted_list} for sequences. *)
+
+  (** {1 Observation} *)
+
+  val multiplicity : elt -> t -> int
+  (** [multiplicity x m] is [m(x)], i.e. [R(x)] in the paper; zero when
+      [x] is not in the bag. *)
+
+  val mem : elt -> t -> bool
+  (** [mem x m] iff [multiplicity x m > 0] (Definition 2.4: [r ∈ R]). *)
+
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+  (** Total number of elements counted with multiplicity (the CNT
+      aggregate of Definition 3.3 on this bag). *)
+
+  val support_size : t -> int
+  (** Number of distinct elements (cardinality after duplicate
+      elimination [δ]). *)
+
+  val choose_opt : t -> (elt * int) option
+  (** An arbitrary element with its multiplicity, or [None] if empty. *)
+
+  val min_elt_opt : t -> elt option
+  (** Least element of the support w.r.t. the element order. *)
+
+  val max_elt_opt : t -> elt option
+  (** Greatest element of the support. *)
+
+  (** {1 Comparisons (Definition 2.3)} *)
+
+  val equal : t -> t -> bool
+  (** Pointwise equality of multiplicity functions. *)
+
+  val subset : t -> t -> bool
+  (** [subset m1 m2] is the multi-subset [m1 ⊑ m2]: every multiplicity in
+      [m1] is bounded by the one in [m2]. *)
+
+  val compare : t -> t -> int
+  (** A total order extending [equal] (for use in maps/sets of bags). *)
+
+  val disjoint : t -> t -> bool
+  (** No element has positive multiplicity in both. *)
+
+  (** {1 Bag algebra} *)
+
+  val sum : t -> t -> t
+  (** Additive union [⊎] of Definition 3.1: multiplicities add. *)
+
+  val diff : t -> t -> t
+  (** Monus difference of Definition 3.1:
+      [(diff m1 m2)(x) = max 0 (m1(x) - m2(x))]. *)
+
+  val inter : t -> t -> t
+  (** Intersection of Definition 3.2: pointwise minimum.  Theorem 3.1
+      states [inter m1 m2 = diff m1 (diff m1 m2)]; a property test checks
+      this. *)
+
+  val union_max : t -> t -> t
+  (** Pointwise maximum.  Not part of the paper's algebra (the paper
+      deliberately avoids multiple union variants, cf. its discussion of
+      Albert's proposals) but provided for completeness of the bag
+      lattice; [inter] and [union_max] form a distributive lattice. *)
+
+  val distinct : t -> t
+  (** Duplicate elimination [δ] of Definition 3.4: every positive
+      multiplicity becomes 1. *)
+
+  val scale : int -> t -> t
+  (** [scale k m] multiplies every multiplicity by [k >= 0]; [scale 0]
+      is [empty].  @raise Invalid_argument if [k < 0]. *)
+
+  (** {1 Traversal and transformation} *)
+
+  val fold : (elt -> int -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Fold over the support in increasing element order, with
+      multiplicities. *)
+
+  val iter : (elt -> int -> unit) -> t -> unit
+
+  val map : (elt -> elt) -> t -> t
+  (** [map f m] applies [f] to each element; images that collide
+      accumulate multiplicity, exactly like the paper's projection [π] on
+      bags (no duplicate elimination). *)
+
+  val map_counted : (elt -> int -> elt * int) -> t -> t
+  (** Transform both element and multiplicity; result multiplicities must
+      be [> 0] and colliding images accumulate.
+      @raise Invalid_argument if a produced multiplicity is [<= 0]. *)
+
+  val filter : (elt -> bool) -> t -> t
+  (** Selection [σ]: keep elements satisfying the predicate with their
+      multiplicities. *)
+
+  val filter_counted : (elt -> int -> bool) -> t -> t
+
+  val partition : (elt -> bool) -> t -> t * t
+
+  val for_all : (elt -> bool) -> t -> bool
+  (** Over the support. *)
+
+  val exists : (elt -> bool) -> t -> bool
+  (** Over the support. *)
+
+  val to_counted_list : t -> (elt * int) list
+  (** Support with multiplicities, in increasing element order. *)
+
+  val to_list : t -> elt list
+  (** Expanded representation: each element repeated [m(x)] times, in
+      increasing element order.  Linear in {!cardinal}. *)
+
+  val to_counted_seq : t -> (elt * int) Seq.t
+
+  val to_seq : t -> elt Seq.t
+  (** Expanded sequence, lazy. *)
+
+  val support : t -> elt list
+  (** Distinct elements in increasing order. *)
+
+  (** {1 Printing} *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints as [{| x, y:3, z |}] where [:n] marks multiplicities > 1. *)
+end
+
+module Make (Elt : ORDERED) : S with type elt = Elt.t
+(** Build a multiset module over the ordered type [Elt]. *)

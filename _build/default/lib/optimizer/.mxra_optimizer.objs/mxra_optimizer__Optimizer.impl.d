@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Cost Expr List Mxra_core Mxra_engine Mxra_relational Pred Rules Stats Typecheck

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Database Expr Mxra_core Mxra_engine Mxra_relational Stats Typecheck

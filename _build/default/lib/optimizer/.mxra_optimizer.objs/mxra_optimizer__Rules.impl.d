@@ -1,0 +1,1 @@
+lib/optimizer/rules.ml: Array Expr Int List Mxra_core Mxra_relational Pred Relation Scalar Schema Typecheck

@@ -1,0 +1,1 @@
+lib/optimizer/rules.mli: Expr Mxra_core Pred Scalar Typecheck

@@ -1,0 +1,302 @@
+open Mxra_relational
+open Mxra_core
+
+let arity env e = Schema.arity (Typecheck.infer env e)
+let schema env e = Typecheck.infer env e
+
+(* Substitute attribute references through a projection list. *)
+let rec subst_scalar exprs = function
+  | Scalar.Attr i ->
+      if i < 1 || i > Array.length exprs then
+        invalid_arg "Rules.subst_scalar: index escapes projection"
+      else exprs.(i - 1)
+  | Scalar.Lit v -> Scalar.Lit v
+  | Scalar.Binop (op, a, b) ->
+      Scalar.Binop (op, subst_scalar exprs a, subst_scalar exprs b)
+  | Scalar.Neg a -> Scalar.Neg (subst_scalar exprs a)
+  | Scalar.If (c, a, b) ->
+      Scalar.If (subst_pred exprs c, subst_scalar exprs a, subst_scalar exprs b)
+
+and subst_pred exprs = function
+  | Pred.True -> Pred.True
+  | Pred.False -> Pred.False
+  | Pred.Cmp (op, a, b) ->
+      Pred.Cmp (op, subst_scalar exprs a, subst_scalar exprs b)
+  | Pred.And (p, q) -> Pred.And (subst_pred exprs p, subst_pred exprs q)
+  | Pred.Or (p, q) -> Pred.Or (subst_pred exprs p, subst_pred exprs q)
+  | Pred.Not p -> Pred.Not (subst_pred exprs p)
+
+let empty_of env e = Expr.Const (Relation.empty (schema env e))
+
+let is_empty_const = function
+  | Expr.Const r -> Relation.is_empty r
+  | Expr.Rel _ | Expr.Union _ | Expr.Diff _ | Expr.Product _ | Expr.Select _
+  | Expr.Project _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      false
+
+(* --- selection pushdown ------------------------------------------------ *)
+
+(* Split the conjuncts of [p] over a two-operand node with left arity
+   [a1] and total arity [a]: (left-only, right-only shifted, straddling). *)
+let split_conjuncts ~a1 p =
+  let classify (ls, rs, bs) c =
+    let used = Pred.attrs_used c in
+    if List.for_all (fun i -> i <= a1) used then (c :: ls, rs, bs)
+    else if List.for_all (fun i -> i > a1) used then
+      (ls, Pred.shift (-a1) c :: rs, bs)
+    else (ls, rs, c :: bs)
+  in
+  let ls, rs, bs = List.fold_left classify ([], [], []) (Pred.conjuncts p) in
+  (List.rev ls, List.rev rs, List.rev bs)
+
+let select_if p e = if Pred.equal p Pred.True then e else Expr.Select (p, e)
+
+(* One top-level selection step; returns None when nothing applies. *)
+let select_step env p e0 =
+  match e0 with
+  | Expr.Select (q, e) -> Some (Expr.Select (Pred.And (p, q), e))
+  | Expr.Union (e1, e2) ->
+      Some (Expr.Union (Expr.Select (p, e1), Expr.Select (p, e2)))
+  | Expr.Diff (e1, e2) ->
+      Some (Expr.Diff (Expr.Select (p, e1), Expr.Select (p, e2)))
+  | Expr.Intersect (e1, e2) ->
+      Some (Expr.Intersect (Expr.Select (p, e1), Expr.Select (p, e2)))
+  | Expr.Product (e1, e2) -> (
+      let a1 = arity env e1 in
+      let ls, rs, bs = split_conjuncts ~a1 p in
+      match (ls, rs, bs) with
+      | [], [], _ ->
+          (* Nothing pushes; fuse into a join if any conjunct straddles. *)
+          if bs = [] then None else Some (Expr.Join (p, e1, e2))
+      | _, _, _ ->
+          let e1' = select_if (Pred.simplify (Pred.conj ls)) e1 in
+          let e2' = select_if (Pred.simplify (Pred.conj rs)) e2 in
+          let remaining = Pred.simplify (Pred.conj bs) in
+          Some
+            (if Pred.equal remaining Pred.True then Expr.Product (e1', e2')
+             else Expr.Join (remaining, e1', e2')))
+  | Expr.Join (q, e1, e2) -> (
+      let a1 = arity env e1 in
+      let ls, rs, bs = split_conjuncts ~a1 p in
+      match (ls, rs) with
+      | [], [] -> Some (Expr.Join (Pred.And (q, p), e1, e2))
+      | _, _ ->
+          let e1' = select_if (Pred.simplify (Pred.conj ls)) e1 in
+          let e2' = select_if (Pred.simplify (Pred.conj rs)) e2 in
+          let q' = Pred.simplify (Pred.conj (Pred.conjuncts q @ bs)) in
+          Some (Expr.Join (q', e1', e2')))
+  | Expr.Project (exprs, e) ->
+      (* σ_p ∘ π_α = π_α ∘ σ_{p[α]} — valid for extended projections. *)
+      Some (Expr.Project (exprs, Expr.Select (subst_pred (Array.of_list exprs) p, e)))
+  | Expr.Unique e -> Some (Expr.Unique (Expr.Select (p, e)))
+  | Expr.GroupBy (attrs, aggs, e) ->
+      (* Conjuncts touching only grouping attributes select whole groups
+         and commute below Γ after reindexing %k -> attrs.(k-1). *)
+      let k = List.length attrs in
+      let keys = Array.of_list (List.map Scalar.attr attrs) in
+      let pushable, stuck =
+        List.partition
+          (fun c -> List.for_all (fun i -> i <= k) (Pred.attrs_used c))
+          (Pred.conjuncts p)
+      in
+      if pushable = [] then None
+      else
+        let below =
+          List.map (fun c -> subst_pred keys c) pushable
+          |> Pred.conj |> Pred.simplify
+        in
+        let inner = Expr.GroupBy (attrs, aggs, select_if below e) in
+        Some (select_if (Pred.simplify (Pred.conj stuck)) inner)
+  | Expr.Rel _ | Expr.Const _ -> None
+
+(* --- projection composition -------------------------------------------- *)
+
+let project_step exprs e0 =
+  match e0 with
+  | Expr.Project (inner, e) ->
+      (* π_α ∘ π_β = π_{α[β]} *)
+      let inner_arr = Array.of_list inner in
+      Some (Expr.Project (List.map (subst_scalar inner_arr) exprs, e))
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+(* --- duplicate-elimination pushdown -------------------------------------- *)
+
+(* δ distributes over ×, ⋈ and ∩ (bag-valid; see Equiv); it does NOT
+   distribute over ⊎ or −, where the paper's relation
+   δ(E1⊎E2) = δ(δE1⊎δE2) still lets the inner operands shrink under an
+   outer δ. *)
+let unique_step e0 =
+  match e0 with
+  | Expr.Unique (Expr.Unique e) -> Some (Expr.Unique e)
+  (* δ(σE) → σ(δE) is also valid but is the exact inverse of the
+     selection rule σ(δE) → δ(σE); only the latter runs, keeping the
+     fixpoint terminating and selections deep. *)
+  | Expr.Unique (Expr.Product (e1, e2)) ->
+      Some (Expr.Product (Expr.Unique e1, Expr.Unique e2))
+  | Expr.Unique (Expr.Join (p, e1, e2)) ->
+      Some (Expr.Join (p, Expr.Unique e1, Expr.Unique e2))
+  | Expr.Unique (Expr.Intersect (e1, e2)) ->
+      Some (Expr.Intersect (Expr.Unique e1, Expr.Unique e2))
+  (* δ(E1⊎E2) → δ(δE1⊎δE2) is valid (the paper's relation) but cannot
+     join a fixpoint: once the inner δs push further down, the union's
+     children stop being δ-headed and the rule would fire forever.  It
+     lives in Equiv for single-shot use. *)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+(* --- emptiness collapse ------------------------------------------------- *)
+
+let empty_step env e0 =
+  match e0 with
+  | Expr.Union (e1, e2) when is_empty_const e1 -> Some e2
+  | Expr.Union (e1, e2) when is_empty_const e2 -> Some e1
+  | Expr.Diff (e1, _) when is_empty_const e1 -> Some (empty_of env e0)
+  | Expr.Diff (e1, e2) when is_empty_const e2 -> Some e1
+  | Expr.Intersect (e1, e2) when is_empty_const e1 || is_empty_const e2 ->
+      Some (empty_of env e0)
+  | Expr.Product (e1, e2) when is_empty_const e1 || is_empty_const e2 ->
+      Some (empty_of env e0)
+  | Expr.Join (_, e1, e2) when is_empty_const e1 || is_empty_const e2 ->
+      Some (empty_of env e0)
+  | Expr.Select (Pred.False, _) -> Some (empty_of env e0)
+  | Expr.Select (Pred.True, e) -> Some e
+  | Expr.Select (_, e) when is_empty_const e -> Some (empty_of env e0)
+  | Expr.Project (_, e) when is_empty_const e -> Some (empty_of env e0)
+  | Expr.Unique (Expr.Unique e) -> Some (Expr.Unique e)
+  | Expr.Unique e when is_empty_const e -> Some (empty_of env e0)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Join _
+  | Expr.Unique _ | Expr.GroupBy _ ->
+      None
+
+(* --- generic bottom-up fixpoint driver ---------------------------------- *)
+
+let rec rewrite_bottom_up step env e =
+  let e = Expr.map_children (rewrite_bottom_up step env) e in
+  let e =
+    match e with
+    | Expr.Select (p, inner) -> Expr.Select (Pred.simplify p, inner)
+    | Expr.Join (p, l, r) -> Expr.Join (Pred.simplify p, l, r)
+    | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+    | Expr.Project _ | Expr.Intersect _ | Expr.Unique _ | Expr.GroupBy _ ->
+        e
+  in
+  match step env e with
+  | Some e' -> rewrite_bottom_up step env e'
+  | None -> e
+
+let selection_rules env e0 =
+  match e0 with
+  | Expr.Select (p, e) -> select_step env p e
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Project _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let projection_rules _env e0 =
+  match e0 with
+  | Expr.Project (exprs, e) -> project_step exprs e
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let combined env e0 =
+  match empty_step env e0 with
+  | Some e -> Some e
+  | None -> (
+      match selection_rules env e0 with
+      | Some e -> Some e
+      | None -> (
+          match projection_rules env e0 with
+          | Some e -> Some e
+          | None -> unique_step e0))
+
+let push_selections env e = rewrite_bottom_up selection_rules env e
+
+(* --- projection narrowing under joins (Example 3.2) --------------------- *)
+
+(* Narrow a join/product to the columns the parent needs: project each
+   operand down to its used columns and return the narrowed join plus
+   the original→narrowed index map the parent must rewrite itself with.
+   The inserted projections are exact-width, so a second pass finds
+   nothing new (idempotent by construction). *)
+let narrow env ~needed e =
+  match e with
+  | Expr.Join (p, e1, e2) | Expr.Select (p, Expr.Product (e1, e2)) ->
+      let a1 = arity env e1 and a2 = arity env e2 in
+      let used =
+        List.sort_uniq Int.compare (needed @ Pred.attrs_used p)
+      in
+      let left_used = List.filter (fun i -> i <= a1) used in
+      let right_used =
+        List.filter_map (fun i -> if i > a1 then Some (i - a1) else None) used
+      in
+      if
+        List.length left_used = a1 && List.length right_used = a2
+        || left_used = [] || right_used = []
+      then None
+      else
+        let pos_left = Array.of_list left_used in
+        let pos_right = Array.of_list right_used in
+        let find arr x =
+          let rec go i = if arr.(i) = x then i + 1 else go (i + 1) in
+          go 0
+        in
+        let remap i =
+          if i <= a1 then find pos_left i
+          else Array.length pos_left + find pos_right (i - a1)
+        in
+        let narrowed =
+          Expr.Join
+            ( Pred.rename remap p,
+              Expr.project_attrs left_used e1,
+              Expr.project_attrs right_used e2 )
+        in
+        Some (remap, narrowed)
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Select _ | Expr.Project _ | Expr.Intersect _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      None
+
+let insert_projections env e =
+  let rec go e =
+    let e = Expr.map_children go e in
+    match e with
+    | Expr.Project (exprs, child) -> (
+        let needed =
+          List.sort_uniq Int.compare
+            (List.concat_map Scalar.attrs_used exprs)
+        in
+        match narrow env ~needed child with
+        | Some (remap, narrowed) ->
+            Expr.Project (List.map (Scalar.rename remap) exprs, narrowed)
+        | None -> e)
+    | Expr.GroupBy (attrs, aggs, child) -> (
+        let needed =
+          List.sort_uniq Int.compare (attrs @ List.map snd aggs)
+        in
+        match narrow env ~needed child with
+        | Some (remap, narrowed) ->
+            Expr.GroupBy
+              ( List.map remap attrs,
+                List.map (fun (kind, p) -> (kind, remap p)) aggs,
+                narrowed )
+        | None -> e)
+    | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _
+    | Expr.Product _ | Expr.Select _ | Expr.Intersect _ | Expr.Join _
+    | Expr.Unique _ ->
+        e
+  in
+  go e
+
+let normalize env e =
+  let pushed = rewrite_bottom_up combined env e in
+  let narrowed = insert_projections env pushed in
+  rewrite_bottom_up combined env narrowed

@@ -1,0 +1,34 @@
+(** Local rewrite rules for the optimizer.
+
+    Every rule is an equivalence of Section 3.3's kind — the paper's
+    theorems plus classical bag-valid laws (each verified by the property
+    suite in [test/test_optimizer.ml]).  {!normalize} drives them
+    bottom-up to a fixpoint, producing the canonical shape the planner
+    and join-ordering phase expect:
+
+    - conditions simplified, selections merged then {e pushed} as deep
+      as their footprint allows (through [⊎ − ∩ × ⋈ π δ Γ]);
+    - selections remaining above products fused into joins
+      (Theorem 3.1 right-to-left);
+    - cascaded projections composed;
+    - narrowing projections inserted under joins and products
+      (Example 3.2's "reduce the size of intermediate results"), once;
+    - operations on provably empty operands collapsed.
+
+    All rules need only the schema environment, not data. *)
+
+open Mxra_core
+
+val normalize : Typecheck.env -> Expr.t -> Expr.t
+(** Fixpoint of the full rule set.  Semantics-preserving. *)
+
+val push_selections : Typecheck.env -> Expr.t -> Expr.t
+(** Only the selection rules — exposed for ablation benchmarks. *)
+
+val insert_projections : Typecheck.env -> Expr.t -> Expr.t
+(** Only the projection-narrowing rule — exposed for ablation (E5). *)
+
+val subst_pred : Scalar.t array -> Pred.t -> Pred.t
+(** [subst_pred exprs p] replaces every [%i] in [p] by [exprs.(i-1)] —
+    the substitution that commutes a selection with an (extended)
+    projection.  Exposed for tests. *)

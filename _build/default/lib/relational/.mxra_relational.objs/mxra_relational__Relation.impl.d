@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format List Mxra_multiset Schema String Tuple Value

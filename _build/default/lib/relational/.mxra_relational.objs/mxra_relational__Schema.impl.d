@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Domain Format List Printf String Tuple

@@ -1,0 +1,102 @@
+module Catalog = Map.Make (String)
+
+type entry = {
+  relation : Relation.t;
+  temporary : bool;
+}
+
+type t = {
+  catalog : entry Catalog.t;
+  time : int;
+}
+
+exception Unknown_relation of string
+exception Duplicate_relation of string
+
+let empty = { catalog = Catalog.empty; time = 0 }
+
+let find_entry name db =
+  match Catalog.find_opt name db.catalog with
+  | Some e -> e
+  | None -> raise (Unknown_relation name)
+
+let create_with name relation db =
+  if Catalog.mem name db.catalog then raise (Duplicate_relation name);
+  { db with catalog = Catalog.add name { relation; temporary = false } db.catalog }
+
+let create name schema db = create_with name (Relation.empty schema) db
+
+let of_relations bindings =
+  List.fold_left (fun db (name, r) -> create_with name r db) empty bindings
+
+let mem name db = Catalog.mem name db.catalog
+let find name db = (find_entry name db).relation
+let find_opt name db =
+  Option.map (fun e -> e.relation) (Catalog.find_opt name db.catalog)
+
+let schema_of name db = Relation.schema (find name db)
+
+let set name relation db =
+  let e = find_entry name db in
+  if not (Schema.compatible (Relation.schema e.relation) (Relation.schema relation))
+  then
+    raise
+      (Relation.Schema_mismatch
+         (Printf.sprintf "Database.set: new contents of %s change its schema"
+            name));
+  { db with catalog = Catalog.add name { e with relation } db.catalog }
+
+let assign_temporary name relation db =
+  (match Catalog.find_opt name db.catalog with
+  | Some { temporary = false; _ } -> raise (Duplicate_relation name)
+  | Some { temporary = true; _ } | None -> ());
+  { db with catalog = Catalog.add name { relation; temporary = true } db.catalog }
+
+let is_temporary name db = (find_entry name db).temporary
+
+let drop name db =
+  if not (Catalog.mem name db.catalog) then raise (Unknown_relation name);
+  { db with catalog = Catalog.remove name db.catalog }
+
+let drop_temporaries db =
+  { db with catalog = Catalog.filter (fun _ e -> not e.temporary) db.catalog }
+
+let relation_names db = List.map fst (Catalog.bindings db.catalog)
+
+let persistent_names db =
+  Catalog.bindings db.catalog
+  |> List.filter_map (fun (name, e) -> if e.temporary then None else Some name)
+
+let schemas db =
+  Catalog.bindings db.catalog
+  |> List.filter_map (fun (name, e) ->
+         if e.temporary then None
+         else Some (name, Relation.schema e.relation))
+
+let logical_time db = db.time
+let tick db = { db with time = db.time + 1 }
+
+let same_schema db1 db2 =
+  let s1 = schemas db1 and s2 = schemas db2 in
+  List.length s1 = List.length s2
+  && List.for_all2
+       (fun (n1, sc1) (n2, sc2) -> n1 = n2 && Schema.compatible sc1 sc2)
+       s1 s2
+
+let equal_states db1 db2 =
+  same_schema db1 db2
+  && List.for_all
+       (fun name -> Relation.equal (find name db1) (find name db2))
+       (persistent_names db1)
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>database at t=%d:@," db.time;
+  List.iter
+    (fun (name, e) ->
+      Format.fprintf ppf "  %s%s %a (%d tuples)@," name
+        (if e.temporary then " [temp]" else "")
+        Schema.pp
+        (Relation.schema e.relation)
+        (Relation.cardinal e.relation))
+    (Catalog.bindings db.catalog);
+  Format.fprintf ppf "@]"

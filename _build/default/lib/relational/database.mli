@@ -1,0 +1,107 @@
+(** Database schemas, instances and transitions (Definitions 2.5–2.6).
+
+    A database schema is a set of relation schemas; relations are
+    addressed by name.  A database instance (or {e state}) assigns each
+    named schema a relation instance.  States carry a {e logical time}
+    and a single-step transition is an ordered pair of successive states
+    — transactions (Definition 4.3) are exactly operators inducing such
+    transitions.
+
+    The catalog is a persistent map, so taking the "before" state of a
+    transaction is O(1) and abort is a no-op: the bracket semantics of
+    Definition 4.3 falls out of immutability.
+
+    Temporary relations introduced by assignment statements live in the
+    same catalog but are flagged, so the transaction end-bracket can drop
+    them (the paper: "if the transaction can commit, temporary relations
+    are removed"). *)
+
+type t
+(** A database state: named relations plus a logical time. *)
+
+exception Unknown_relation of string
+(** Raised when addressing a name absent from the catalog. *)
+
+exception Duplicate_relation of string
+(** Raised when creating a relation under an existing name. *)
+
+(** {1 Construction} *)
+
+val empty : t
+(** No relations, logical time 0. *)
+
+val create : string -> Schema.t -> t -> t
+(** Add an empty persistent relation.
+    @raise Duplicate_relation if the name is taken. *)
+
+val create_with : string -> Relation.t -> t -> t
+(** Add a persistent relation with initial contents.
+    @raise Duplicate_relation if the name is taken. *)
+
+val of_relations : (string * Relation.t) list -> t
+(** Fresh database holding the given persistent relations.
+    @raise Duplicate_relation on a repeated name. *)
+
+(** {1 Catalog access} *)
+
+val mem : string -> t -> bool
+
+val find : string -> t -> Relation.t
+(** @raise Unknown_relation if absent. *)
+
+val find_opt : string -> t -> Relation.t option
+
+val schema_of : string -> t -> Schema.t
+(** @raise Unknown_relation if absent. *)
+
+val set : string -> Relation.t -> t -> t
+(** Replace the contents of an existing relation ([←] in Definition 4.1).
+    The new contents must have a schema compatible with the old one.
+    @raise Unknown_relation if absent.
+    @raise Relation.Schema_mismatch on incompatible contents. *)
+
+val assign_temporary : string -> Relation.t -> t -> t
+(** Bind a temporary relation (assignment statement [R := E],
+    Definition 4.1: "a new and implicitly defined relational variable").
+    Rebinding an existing temporary replaces it;
+    @raise Duplicate_relation when the name denotes a persistent
+    relation. *)
+
+val is_temporary : string -> t -> bool
+(** @raise Unknown_relation if absent. *)
+
+val drop : string -> t -> t
+(** Remove a relation (persistent or temporary).
+    @raise Unknown_relation if absent. *)
+
+val drop_temporaries : t -> t
+(** Remove all temporary relations — the commit half of the transaction
+    end-bracket. *)
+
+val relation_names : t -> string list
+(** All names, sorted; temporaries included. *)
+
+val persistent_names : t -> string list
+
+val schemas : t -> (string * Schema.t) list
+(** The database schema [𝒟] (persistent relations only). *)
+
+(** {1 Logical time (Definition 2.6)} *)
+
+val logical_time : t -> int
+
+val tick : t -> t
+(** Advance logical time by one; used by the transaction machinery to
+    install [D_{t+1}]. *)
+
+(** {1 Comparison and printing} *)
+
+val same_schema : t -> t -> bool
+(** Same persistent names with compatible schemas — both states inhabit
+    the same database universe [U_𝒟]. *)
+
+val equal_states : t -> t -> bool
+(** Equality of persistent relation contents (logical time ignored);
+    the correctness notion for atomicity tests ("D remains unchanged"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type t =
+  | DInt
+  | DFloat
+  | DStr
+  | DBool
+
+let equal d1 d2 =
+  match (d1, d2) with
+  | DInt, DInt | DFloat, DFloat | DStr, DStr | DBool, DBool -> true
+  | (DInt | DFloat | DStr | DBool), _ -> false
+
+let rank = function DInt -> 0 | DFloat -> 1 | DStr -> 2 | DBool -> 3
+let compare d1 d2 = Int.compare (rank d1) (rank d2)
+
+let of_value = function
+  | Value.Int _ -> DInt
+  | Value.Float _ -> DFloat
+  | Value.Str _ -> DStr
+  | Value.Bool _ -> DBool
+
+let member v d = equal (of_value v) d
+let is_numeric = function DInt | DFloat -> true | DStr | DBool -> false
+
+let to_string = function
+  | DInt -> "int"
+  | DFloat -> "float"
+  | DStr -> "str"
+  | DBool -> "bool"
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "int" | "integer" -> Some DInt
+  | "float" | "real" | "double" -> Some DFloat
+  | "str" | "string" | "varchar" | "text" | "char" -> Some DStr
+  | "bool" | "boolean" -> Some DBool
+  | _ -> None

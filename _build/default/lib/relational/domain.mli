@@ -1,0 +1,33 @@
+(** Domains of atomic values (Definition 2.1).
+
+    A domain is a set of atomic values.  The model is parameterised by
+    four basic domains; more specialised domains (time, date, money) would
+    be further atomic domains and can be encoded in these four. *)
+
+type t =
+  | DInt
+  | DFloat
+  | DStr
+  | DBool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_value : Value.t -> t
+(** The domain a value belongs to. *)
+
+val member : Value.t -> t -> bool
+(** [member v d] iff [v] is an element of domain [d]. *)
+
+val is_numeric : t -> bool
+(** [DInt] and [DFloat]: the domains on which SUM and AVG are defined
+    (Definition 3.3 requires "a numeric domain"). *)
+
+val pp : Format.formatter -> t -> unit
+(** [int], [float], [str], [bool]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; also accepts SQL-ish spellings
+    [integer], [real], [double], [varchar], [text], [boolean]. *)

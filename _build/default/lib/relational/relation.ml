@@ -1,0 +1,105 @@
+module Bag = Mxra_multiset.Multiset.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+  let pp = Tuple.pp
+end)
+
+type t = {
+  schema : Schema.t;
+  bag : Bag.t;
+}
+
+exception Schema_mismatch of string
+
+let mismatch fmt = Format.kasprintf (fun s -> raise (Schema_mismatch s)) fmt
+
+let check_tuple schema t =
+  if not (Schema.member t schema) then
+    mismatch "tuple %a does not belong to schema %a" Tuple.pp t Schema.pp
+      schema
+
+let empty schema = { schema; bag = Bag.empty }
+
+let of_bag schema bag =
+  Bag.iter (fun t _ -> check_tuple schema t) bag;
+  { schema; bag }
+
+let of_bag_unchecked schema bag = { schema; bag }
+
+let of_list schema tuples =
+  List.iter (check_tuple schema) tuples;
+  { schema; bag = Bag.of_list tuples }
+
+let of_counted_list schema pairs =
+  List.iter (fun (t, _) -> check_tuple schema t) pairs;
+  { schema; bag = Bag.of_counted_list pairs }
+
+let add ?count t r =
+  check_tuple r.schema t;
+  { r with bag = Bag.add ?count t r.bag }
+
+let schema r = r.schema
+let bag r = r.bag
+let multiplicity t r = Bag.multiplicity t r.bag
+let mem t r = Bag.mem t r.bag
+let cardinal r = Bag.cardinal r.bag
+let support_size r = Bag.support_size r.bag
+let is_empty r = Bag.is_empty r.bag
+let to_counted_list r = Bag.to_counted_list r.bag
+let to_list r = Bag.to_list r.bag
+
+let require_compatible op r1 r2 =
+  if not (Schema.compatible r1.schema r2.schema) then
+    mismatch "%s: incompatible schemas %a and %a" op Schema.pp r1.schema
+      Schema.pp r2.schema
+
+let equal r1 r2 =
+  require_compatible "Relation.equal" r1 r2;
+  Bag.equal r1.bag r2.bag
+
+let subset r1 r2 =
+  require_compatible "Relation.subset" r1 r2;
+  Bag.subset r1.bag r2.bag
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema Bag.pp r.bag
+
+let pp_table ppf r =
+  let attrs = Schema.attributes r.schema in
+  let header =
+    List.map (fun (a : Schema.attribute) -> a.name) attrs @ [ "#" ]
+  in
+  let rows =
+    List.map
+      (fun (t, n) ->
+        List.map Value.to_display_string (Tuple.to_list t) @ [ string_of_int n ])
+      (to_counted_list r)
+  in
+  let columns = List.length header in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth header i))
+      rows
+  in
+  let widths = List.init columns width in
+  let pp_row ppf row =
+    List.iteri
+      (fun i cell ->
+        Format.fprintf ppf "| %-*s " (List.nth widths i) cell)
+      row;
+    Format.fprintf ppf "|@,"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  Format.fprintf ppf "@[<v>%s@,%a%s@," rule pp_row header rule;
+  List.iter (pp_row ppf) rows;
+  Format.fprintf ppf "%s (%d tuples, %d distinct)@]" rule (cardinal r)
+    (support_size r)
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,86 @@
+(** Multi-set relations (Definitions 2.2–2.4).
+
+    A relation instance of schema [R] is a multiset of elements of
+    [dom(R)], i.e. a function [dom(R) → ℕ] with finite support.  This
+    module pairs a {!Schema.t} with a bag of tuples and enforces that
+    every stored tuple belongs to the schema's domain.
+
+    {!Bag} is the underlying tuple multiset, exposed because the
+    execution engine streams counted tuples in and out of it. *)
+
+module Bag : Mxra_multiset.Multiset.S with type elt = Tuple.t
+(** Bags of tuples, ordered by {!Tuple.compare}. *)
+
+type t
+(** A relation instance: a schema plus a bag of tuples of that schema. *)
+
+exception Schema_mismatch of string
+(** Raised when a tuple does not belong to the relation's schema domain,
+    or when an operation is applied to relations of incompatible
+    schemas. *)
+
+(** {1 Construction} *)
+
+val empty : Schema.t -> t
+
+val of_bag : Schema.t -> Bag.t -> t
+(** @raise Schema_mismatch if some tuple is not in [dom(schema)]. *)
+
+val of_bag_unchecked : Schema.t -> Bag.t -> t
+(** Trusted constructor for operators whose typing rules already
+    guarantee domain membership (the evaluator and engine use this on
+    their hot paths).  Feeding it ill-domained tuples breaks the
+    representation invariant. *)
+
+val of_list : Schema.t -> Tuple.t list -> t
+(** @raise Schema_mismatch on an ill-domained tuple. *)
+
+val of_counted_list : Schema.t -> (Tuple.t * int) list -> t
+(** @raise Schema_mismatch on an ill-domained tuple.
+    @raise Invalid_argument on a non-positive multiplicity. *)
+
+val add : ?count:int -> Tuple.t -> t -> t
+(** @raise Schema_mismatch on an ill-domained tuple. *)
+
+(** {1 Observation} *)
+
+val schema : t -> Schema.t
+val bag : t -> Bag.t
+
+val multiplicity : Tuple.t -> t -> int
+(** [R(x)] — zero for tuples outside the relation (including tuples
+    outside the schema domain). *)
+
+val mem : Tuple.t -> t -> bool
+(** Definition 2.4: [r ∈ R ⟺ R(r) > 0]. *)
+
+val cardinal : t -> int
+(** Tuple count with multiplicities. *)
+
+val support_size : t -> int
+(** Distinct tuple count. *)
+
+val is_empty : t -> bool
+
+val to_counted_list : t -> (Tuple.t * int) list
+val to_list : t -> Tuple.t list
+
+(** {1 Comparison (Definition 2.3)} *)
+
+val equal : t -> t -> bool
+(** Multiplicity-function equality.
+    @raise Schema_mismatch on incompatible schemas. *)
+
+val subset : t -> t -> bool
+(** The multi-subset relation [⊑].
+    @raise Schema_mismatch on incompatible schemas. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Schema header plus the bag of tuples. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** ASCII table with a multiplicity column, for the REPL and examples. *)
+
+val to_string : t -> string

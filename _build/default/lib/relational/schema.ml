@@ -1,0 +1,78 @@
+type attribute = {
+  name : string;
+  domain : Domain.t;
+}
+
+type t = attribute array
+
+let make attrs = Array.of_list attrs
+
+let of_domains ds =
+  Array.of_list
+    (List.mapi (fun i d -> { name = Printf.sprintf "a%d" (i + 1); domain = d }) ds)
+
+let of_list pairs =
+  Array.of_list (List.map (fun (name, domain) -> { name; domain }) pairs)
+
+let attributes s = Array.to_list s
+let arity s = Array.length s
+let domains s = List.map (fun a -> a.domain) (Array.to_list s)
+
+let attribute s i =
+  if i < 1 || i > Array.length s then
+    invalid_arg
+      (Printf.sprintf "Schema.attribute: index %%%d out of range 1..%d" i
+         (Array.length s))
+  else s.(i - 1)
+
+let domain s i = (attribute s i).domain
+
+let index_of_name s name =
+  let target = String.lowercase_ascii name in
+  let rec loop i =
+    if i >= Array.length s then None
+    else if String.lowercase_ascii s.(i).name = target then Some (i + 1)
+    else loop (i + 1)
+  in
+  loop 0
+
+let compatible s1 s2 =
+  Array.length s1 = Array.length s2
+  && Array.for_all2 (fun a1 a2 -> Domain.equal a1.domain a2.domain) s1 s2
+
+let project indices s = Array.of_list (List.map (attribute s) indices)
+
+let concat s1 s2 =
+  let taken = Array.to_list s1 |> List.map (fun a -> a.name) in
+  let fresh a =
+    if List.mem a.name taken then { a with name = a.name ^ "'" } else a
+  in
+  Array.append s1 (Array.map fresh s2)
+
+let member t s =
+  Tuple.arity t = Array.length s
+  && List.for_all2 Domain.member (Tuple.to_list t) (domains s)
+
+let rename i name s =
+  let a = attribute s i in
+  let s' = Array.copy s in
+  s'.(i - 1) <- { a with name };
+  s'
+
+let unit = [||]
+
+let equal s1 s2 =
+  Array.length s1 = Array.length s2
+  && Array.for_all2
+       (fun a1 a2 -> a1.name = a2.name && Domain.equal a1.domain a2.domain)
+       s1 s2
+
+let pp ppf s =
+  let pp_attr ppf a = Format.fprintf ppf "%s:%a" a.name Domain.pp a.domain in
+  Format.fprintf ppf "(@[<hov>%a@])"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_attr)
+    (Array.to_seq s)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,72 @@
+(** Relation schemas (Definition 2.2).
+
+    A relation schema consists of a list of attributes, each defined on a
+    domain.  Attributes are ordered so they can be addressed by index
+    ([%i], 1-based); names are a notational convenience carried for
+    printing and for the SQL front-end's name resolution, and impose no
+    semantics — two schemas are {e compatible} when their domain lists
+    agree, regardless of names.
+
+    The schema-level projection and concatenation operators mirror the
+    tuple-level ones, as announced after Definition 2.4. *)
+
+type attribute = {
+  name : string;  (** Display/SQL name; not semantically significant. *)
+  domain : Domain.t;
+}
+
+type t
+(** An ordered list of attributes. *)
+
+val make : attribute list -> t
+
+val of_domains : Domain.t list -> t
+(** Schema with generated names [a1], [a2], ... *)
+
+val of_list : (string * Domain.t) list -> t
+
+val attributes : t -> attribute list
+val arity : t -> int
+val domains : t -> Domain.t list
+
+val attribute : t -> int -> attribute
+(** 1-based.  @raise Invalid_argument when out of range. *)
+
+val domain : t -> int -> Domain.t
+(** 1-based domain lookup. *)
+
+val index_of_name : t -> string -> int option
+(** 1-based position of the first attribute with the given name
+    (case-insensitive); used by the SQL front-end. *)
+
+val compatible : t -> t -> bool
+(** Union-compatibility: same domain lists.  Required by [⊎], [−], [∩]
+    and by relation comparison (Definition 2.3 assumes a common schema). *)
+
+val project : int list -> t -> t
+(** Schema counterpart of tuple projection.
+    @raise Invalid_argument on out-of-range indices. *)
+
+val concat : t -> t -> t
+(** Schema counterpart of [⊕]; used by the product (Definition 3.1).
+    Name clashes between the two sides are resolved by suffixing the
+    right-hand names with ['] (semantics are positional anyway). *)
+
+val member : Tuple.t -> t -> bool
+(** [member t s] iff [t ∈ dom(s)]: right arity and each value in its
+    attribute's domain. *)
+
+val rename : int -> string -> t -> t
+(** [rename i name s] renames the [i]th attribute (1-based). *)
+
+val unit : t
+(** The empty schema, [dom = {()}]; result schema of the empty-[α]
+    groupby's input grouping. *)
+
+val equal : t -> t -> bool
+(** Structural equality including names. *)
+
+val pp : Format.formatter -> t -> unit
+(** [(name:str, alcperc:float)]. *)
+
+val to_string : t -> string

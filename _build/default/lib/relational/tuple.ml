@@ -1,0 +1,48 @@
+type t = Value.t array
+
+let of_list vs = Array.of_list vs
+let of_array a = Array.copy a
+let to_list t = Array.to_list t
+let to_array t = Array.copy t
+let arity t = Array.length t
+
+let attr t i =
+  if i < 1 || i > Array.length t then
+    invalid_arg
+      (Printf.sprintf "Tuple.attr: index %%%d out of range 1..%d" i
+         (Array.length t))
+  else t.(i - 1)
+
+let attr_opt t i =
+  if i < 1 || i > Array.length t then None else Some t.(i - 1)
+
+let project indices t = Array.of_list (List.map (attr t) indices)
+let concat t1 t2 = Array.append t1 t2
+
+let equal t1 t2 =
+  Array.length t1 = Array.length t2
+  && Array.for_all2 Value.equal t1 t2
+
+let compare t1 t2 =
+  let n1 = Array.length t1 and n2 = Array.length t2 in
+  if n1 <> n2 then Int.compare n1 n2
+  else
+    let rec loop i =
+      if i = n1 then 0
+      else
+        let c = Value.compare t1.(i) t2.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let hash t = Hashtbl.hash (Array.map Value.hash t)
+let unit = [||]
+
+let pp ppf t =
+  Format.fprintf ppf "(@[<hov>%a@])"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (Array.to_seq t)
+
+let to_string t = Format.asprintf "%a" pp t

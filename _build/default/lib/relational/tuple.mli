@@ -1,0 +1,57 @@
+(** Tuples with positional attribute addressing (Definition 2.4).
+
+    A tuple of schema [R] is an element of [dom(R)].  Attributes are
+    addressed by 1-based index, written [%i] in the paper ("prefixed
+    integers" that disambiguate attribute positions from integer
+    constants).  [attr t i] is the paper's [t.i], [arity] is [#t],
+    [project] is the tuple projection [π_a(t)] and [concat] is the tuple
+    concatenation [t1 ⊕ t2]. *)
+
+type t
+(** An immutable tuple of atomic values. *)
+
+val of_list : Value.t list -> t
+val of_array : Value.t array -> t
+(** The array is copied; later mutation of the argument is harmless. *)
+
+val to_list : t -> Value.t list
+val to_array : t -> Value.t array
+(** A fresh array. *)
+
+val arity : t -> int
+(** [#t]: the number of attributes. *)
+
+val attr : t -> int -> Value.t
+(** [attr t i] is the value of the [i]th attribute, 1-based ([t.i]).
+    @raise Invalid_argument if [i < 1 || i > arity t]. *)
+
+val attr_opt : t -> int -> Value.t option
+
+val project : int list -> t -> t
+(** [project [i1; ...; in] t] concatenates attributes [i1 ... in] of [t]
+    into a new tuple (Definition 2.4, [π_a(r)]).  Indices may repeat and
+    appear in any order; [n >= 1] per the paper, but the empty list is
+    accepted and yields the 0-ary tuple (needed for the empty-[α] groupby
+    of Definition 3.4).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val concat : t -> t -> t
+(** [concat t1 t2] is [t1 ⊕ t2]. *)
+
+val equal : t -> t -> bool
+(** Attribute-wise equality; tuples of different arity are unequal.  The
+    paper defines [=] only for same-schema tuples; extending it by
+    inequality keeps it total without changing the defined cases. *)
+
+val compare : t -> t -> int
+(** Lexicographic total order (for bag storage). *)
+
+val hash : t -> int
+
+val unit : t
+(** The 0-ary tuple, the single inhabitant of the empty schema. *)
+
+val pp : Format.formatter -> t -> unit
+(** [(1, 'a', true)]. *)
+
+val to_string : t -> string

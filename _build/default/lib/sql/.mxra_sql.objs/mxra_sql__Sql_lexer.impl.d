@@ -1,0 +1,1 @@
+lib/sql/sql_lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Aggregate Array Domain Format List Mxra_core Mxra_relational Option Sql_ast Sql_lexer String Term Value

@@ -1,0 +1,1 @@
+lib/sql/translate.ml: Domain Expr Format List Mxra_core Mxra_relational Option Pred Relation Scalar Schema Sql_ast Sql_parser Statement String Tuple Value

@@ -1,0 +1,1 @@
+lib/sql/translate.mli: Expr Mxra_core Mxra_relational Schema Sql_ast Statement Typecheck

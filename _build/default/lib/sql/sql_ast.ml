@@ -1,0 +1,47 @@
+(* Abstract syntax of the SQL subset.  Names are unresolved here;
+   Translate resolves them to positional attributes against a schema
+   environment, following the paper's use of the algebra as "a formal
+   background for SQL" (Examples 3.2 and 4.1 show the correspondence). *)
+
+open Mxra_relational
+open Mxra_core
+
+type column = {
+  table : string option;  (* qualifier, e.g. beer in beer.brewery *)
+  name : string;
+}
+
+type sexpr =
+  | Col of column
+  | Lit of Value.t
+  | Bin of Term.binop * sexpr * sexpr
+  | Neg of sexpr
+
+type spred =
+  | Cmp of Term.cmpop * sexpr * sexpr
+  | And of spred * spred
+  | Or of spred * spred
+  | Not of spred
+
+type sel_item =
+  | Sel_star
+  | Sel_expr of sexpr * string option  (* expression AS alias *)
+  | Sel_agg of Aggregate.kind * column * string option
+      (* AGG(col) AS alias; CNT may take '*' encoded as the pseudo-column
+         {table=None; name="*"} *)
+
+type query = {
+  distinct : bool;
+  select : sel_item list;
+  from : (string * string option) list;  (* relation name, alias *)
+  where : spred option;
+  group_by : column list;
+}
+
+type stmt =
+  | Select of query
+  | Insert_values of string * Value.t list list
+  | Insert_select of string * query
+  | Delete of string * spred option
+  | Update of string * (string * sexpr) list * spred option
+  | Create of string * (string * Domain.t) list

@@ -1,0 +1,138 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | CONCAT
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> Printf.sprintf "%g" f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | IDENT s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | STAR -> "*"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CONCAT -> "||"
+  | EOF -> "<eof>"
+
+exception Lex_error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let number i0 =
+    let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+    let j = digits i0 in
+    let j, is_float =
+      if j + 1 < n && src.[j] = '.' && is_digit src.[j + 1] then
+        (digits (j + 2), true)
+      else (j, false)
+    in
+    let j, is_float =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        if k < n && is_digit src.[k] then (digits (k + 1), true)
+        else (j, is_float)
+      else (j, is_float)
+    in
+    let text = String.sub src i0 (j - i0) in
+    if is_float then (FLOAT (float_of_string text), j)
+    else (INT (int_of_string text), j)
+  in
+  let string_lit i0 =
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= n then raise (Lex_error ("unterminated string", i0))
+      else if src.[i] = '\'' then
+        if i + 1 < n && src.[i + 1] = '\'' then (
+          Buffer.add_char buf '\'';
+          go (i + 2))
+        else (STRING (Buffer.contents buf), i + 1)
+      else (
+        Buffer.add_char buf src.[i];
+        go (i + 1))
+    in
+    go (i0 + 1)
+  in
+  let ident i0 =
+    let rec go i = if i < n && is_ident_char src.[i] then go (i + 1) else i in
+    let j = go i0 in
+    (IDENT (String.sub src i0 (j - i0)), j)
+  in
+  let rec loop i =
+    if i >= n then emit EOF i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' -> loop (skip_line (i + 2))
+      | '(' -> emit LPAREN i; loop (i + 1)
+      | ')' -> emit RPAREN i; loop (i + 1)
+      | ',' -> emit COMMA i; loop (i + 1)
+      | '.' -> emit DOT i; loop (i + 1)
+      | ';' -> emit SEMI i; loop (i + 1)
+      | '*' -> emit STAR i; loop (i + 1)
+      | '=' -> emit EQ i; loop (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE i; loop (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit NE i; loop (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE i; loop (i + 2)
+      | '<' -> emit LT i; loop (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE i; loop (i + 2)
+      | '>' -> emit GT i; loop (i + 1)
+      | '+' -> emit PLUS i; loop (i + 1)
+      | '-' -> emit MINUS i; loop (i + 1)
+      | '/' -> emit SLASH i; loop (i + 1)
+      | '%' -> emit PERCENT i; loop (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit CONCAT i; loop (i + 2)
+      | '\'' ->
+          let tok, j = string_lit i in
+          emit tok i;
+          loop j
+      | c when is_digit c ->
+          let tok, j = number i in
+          emit tok i;
+          loop j
+      | c when is_ident_start c ->
+          let tok, j = ident i in
+          emit tok i;
+          loop j
+      | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c, i))
+  in
+  loop 0;
+  Array.of_list (List.rev !tokens)

@@ -1,0 +1,37 @@
+(** Lexer for the SQL subset.
+
+    Keywords are case-insensitive and recognised by the parser;
+    identifiers keep their original spelling.  Strings are
+    single-quoted with [''] escaping; comments run from [--] to end of
+    line.  [||] is string concatenation. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | CONCAT
+  | EOF
+
+val token_to_string : token -> string
+
+exception Lex_error of string * int
+
+val tokenize : string -> (token * int) array
+(** @raise Lex_error on illegal input. *)

@@ -1,0 +1,290 @@
+open Mxra_relational
+open Mxra_core
+
+exception Parse_error of string * int
+
+type state = {
+  tokens : (Sql_lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.tokens.(st.pos)
+let peek2 st = fst st.tokens.(min (st.pos + 1) (Array.length st.tokens - 1))
+let offset st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (msg, offset st))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s"
+      (Sql_lexer.token_to_string tok)
+      (Sql_lexer.token_to_string (peek st))
+
+(* Keywords are identifiers compared case-insensitively. *)
+let is_kw st kw =
+  match peek st with
+  | Sql_lexer.IDENT s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let eat_kw st kw = if is_kw st kw then (advance st; true) else false
+
+let expect_kw st kw =
+  if not (eat_kw st kw) then
+    fail st "expected %s, found %s" kw (Sql_lexer.token_to_string (peek st))
+
+let reserved =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AS"; "AND";
+    "OR"; "NOT"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET";
+    "CREATE"; "TABLE"; "TRUE"; "FALSE" ]
+
+let expect_name st =
+  match peek st with
+  | Sql_lexer.IDENT s when not (List.mem (String.uppercase_ascii s) reserved) ->
+      advance st;
+      s
+  | t -> fail st "expected name, found %s" (Sql_lexer.token_to_string t)
+
+let comma_separated st parse_item =
+  let rec more acc =
+    if peek st = Sql_lexer.COMMA then (
+      advance st;
+      more (parse_item st :: acc))
+    else List.rev acc
+  in
+  more [ parse_item st ]
+
+(* --- scalar expressions and predicates ------------------------------------ *)
+
+let parse_column st =
+  let first = expect_name st in
+  if peek st = Sql_lexer.DOT then (
+    advance st;
+    let name = expect_name st in
+    { Sql_ast.table = Some first; name })
+  else { Sql_ast.table = None; name = first }
+
+let rec parse_sexpr st = parse_additive st
+
+and parse_additive st =
+  let rec more acc =
+    match peek st with
+    | Sql_lexer.PLUS -> advance st; more (Sql_ast.Bin (Term.Add, acc, parse_multiplicative st))
+    | Sql_lexer.MINUS -> advance st; more (Sql_ast.Bin (Term.Sub, acc, parse_multiplicative st))
+    | Sql_lexer.CONCAT -> advance st; more (Sql_ast.Bin (Term.Concat, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  more (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec more acc =
+    match peek st with
+    | Sql_lexer.STAR -> advance st; more (Sql_ast.Bin (Term.Mul, acc, parse_primary st))
+    | Sql_lexer.SLASH -> advance st; more (Sql_ast.Bin (Term.Div, acc, parse_primary st))
+    | Sql_lexer.PERCENT -> advance st; more (Sql_ast.Bin (Term.Mod, acc, parse_primary st))
+    | _ -> acc
+  in
+  more (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Sql_lexer.INT n -> advance st; Sql_ast.Lit (Value.Int n)
+  | Sql_lexer.FLOAT f -> advance st; Sql_ast.Lit (Value.Float f)
+  | Sql_lexer.STRING s -> advance st; Sql_ast.Lit (Value.Str s)
+  | Sql_lexer.MINUS ->
+      advance st;
+      Sql_ast.Neg (parse_primary st)
+  | Sql_lexer.LPAREN ->
+      advance st;
+      let e = parse_sexpr st in
+      expect st Sql_lexer.RPAREN;
+      e
+  | Sql_lexer.IDENT s when String.uppercase_ascii s = "TRUE" ->
+      advance st;
+      Sql_ast.Lit (Value.Bool true)
+  | Sql_lexer.IDENT s when String.uppercase_ascii s = "FALSE" ->
+      advance st;
+      Sql_ast.Lit (Value.Bool false)
+  | Sql_lexer.IDENT _ -> Sql_ast.Col (parse_column st)
+  | t -> fail st "expected expression, found %s" (Sql_lexer.token_to_string t)
+
+let rec parse_pred st = parse_or st
+
+and parse_or st =
+  let rec more acc =
+    if eat_kw st "OR" then more (Sql_ast.Or (acc, parse_and st)) else acc
+  in
+  more (parse_and st)
+
+and parse_and st =
+  let rec more acc =
+    if eat_kw st "AND" then more (Sql_ast.And (acc, parse_not st)) else acc
+  in
+  more (parse_not st)
+
+and parse_not st =
+  if eat_kw st "NOT" then Sql_ast.Not (parse_not st) else parse_atom st
+
+and parse_atom st =
+  (* '(' opens either a sub-predicate or a parenthesised scalar on the
+     left of a comparison; try the comparison reading first. *)
+  let saved = st.pos in
+  match parse_comparison st with
+  | cmp -> cmp
+  | exception Parse_error _ -> (
+      st.pos <- saved;
+      match peek st with
+      | Sql_lexer.LPAREN ->
+          advance st;
+          let p = parse_pred st in
+          expect st Sql_lexer.RPAREN;
+          p
+      | t -> fail st "expected condition, found %s" (Sql_lexer.token_to_string t))
+
+and parse_comparison st =
+  let lhs = parse_sexpr st in
+  let op =
+    match peek st with
+    | Sql_lexer.EQ -> Term.Eq
+    | Sql_lexer.NE -> Term.Ne
+    | Sql_lexer.LT -> Term.Lt
+    | Sql_lexer.LE -> Term.Le
+    | Sql_lexer.GT -> Term.Gt
+    | Sql_lexer.GE -> Term.Ge
+    | t -> fail st "expected comparison, found %s" (Sql_lexer.token_to_string t)
+  in
+  advance st;
+  Sql_ast.Cmp (op, lhs, parse_sexpr st)
+
+(* --- SELECT ------------------------------------------------------------------ *)
+
+let parse_alias st =
+  if eat_kw st "AS" then Some (expect_name st)
+  else
+    match peek st with
+    | Sql_lexer.IDENT s when not (List.mem (String.uppercase_ascii s) reserved) ->
+        advance st;
+        Some s
+    | _ -> None
+
+let star_column = { Sql_ast.table = None; name = "*" }
+
+let parse_sel_item st =
+  match peek st with
+  | Sql_lexer.STAR -> advance st; Sql_ast.Sel_star
+  | Sql_lexer.IDENT s when Aggregate.of_name s <> None && peek2 st = Sql_lexer.LPAREN -> (
+      let kind = Option.get (Aggregate.of_name s) in
+      advance st;
+      advance st;
+      let col =
+        if peek st = Sql_lexer.STAR then (advance st; star_column)
+        else parse_column st
+      in
+      expect st Sql_lexer.RPAREN;
+      Sql_ast.Sel_agg (kind, col, parse_alias st))
+  | _ ->
+      let e = parse_sexpr st in
+      Sql_ast.Sel_expr (e, parse_alias st)
+
+let parse_table_ref st =
+  let name = expect_name st in
+  let alias =
+    match peek st with
+    | Sql_lexer.IDENT s when not (List.mem (String.uppercase_ascii s) reserved) ->
+        advance st;
+        Some s
+    | _ -> None
+  in
+  (name, alias)
+
+let rec parse_query st =
+  expect_kw st "SELECT";
+  let distinct = eat_kw st "DISTINCT" in
+  let select = comma_separated st parse_sel_item in
+  expect_kw st "FROM";
+  let from = comma_separated st parse_table_ref in
+  let where = if eat_kw st "WHERE" then Some (parse_pred st) else None in
+  let group_by =
+    if eat_kw st "GROUP" then (
+      expect_kw st "BY";
+      comma_separated st parse_column)
+    else []
+  in
+  { Sql_ast.distinct; select; from; where; group_by }
+
+(* --- statements --------------------------------------------------------------- *)
+
+and parse_stmt st =
+  if is_kw st "SELECT" then Sql_ast.Select (parse_query st)
+  else if eat_kw st "INSERT" then (
+    expect_kw st "INTO";
+    let table = expect_name st in
+    if eat_kw st "VALUES" then
+      let parse_row st =
+        expect st Sql_lexer.LPAREN;
+        let parse_v st =
+          match parse_primary st with
+          | Sql_ast.Lit v -> v
+          | Sql_ast.Neg (Sql_ast.Lit (Value.Int n)) -> Value.Int (-n)
+          | Sql_ast.Neg (Sql_ast.Lit (Value.Float f)) -> Value.Float (-.f)
+          | Sql_ast.Col _ | Sql_ast.Bin _ | Sql_ast.Neg _ ->
+              fail st "VALUES rows must contain literals"
+        in
+        let row = comma_separated st parse_v in
+        expect st Sql_lexer.RPAREN;
+        row
+      in
+      Sql_ast.Insert_values (table, comma_separated st parse_row)
+    else if is_kw st "SELECT" then
+      Sql_ast.Insert_select (table, parse_query st)
+    else fail st "expected VALUES or SELECT after INSERT INTO %s" table)
+  else if eat_kw st "DELETE" then (
+    expect_kw st "FROM";
+    let table = expect_name st in
+    let where = if eat_kw st "WHERE" then Some (parse_pred st) else None in
+    Sql_ast.Delete (table, where))
+  else if eat_kw st "UPDATE" then (
+    let table = expect_name st in
+    expect_kw st "SET";
+    let assignment st =
+      let col = expect_name st in
+      expect st Sql_lexer.EQ;
+      (col, parse_sexpr st)
+    in
+    let sets = comma_separated st assignment in
+    let where = if eat_kw st "WHERE" then Some (parse_pred st) else None in
+    Sql_ast.Update (table, sets, where))
+  else if eat_kw st "CREATE" then (
+    expect_kw st "TABLE";
+    let table = expect_name st in
+    expect st Sql_lexer.LPAREN;
+    let column st =
+      let name = expect_name st in
+      let domain_name = expect_name st in
+      match Domain.of_string domain_name with
+      | Some d -> (name, d)
+      | None -> fail st "unknown type %s" domain_name
+    in
+    let cols = comma_separated st column in
+    expect st Sql_lexer.RPAREN;
+    Sql_ast.Create (table, cols))
+  else fail st "expected statement, found %s" (Sql_lexer.token_to_string (peek st))
+
+let parse src =
+  let st = { tokens = Sql_lexer.tokenize src; pos = 0 } in
+  let stmt = parse_stmt st in
+  if peek st = Sql_lexer.SEMI then advance st;
+  expect st Sql_lexer.EOF;
+  stmt
+
+let parse_script src =
+  let st = { tokens = Sql_lexer.tokenize src; pos = 0 } in
+  let rec more acc =
+    match peek st with
+    | Sql_lexer.EOF -> List.rev acc
+    | Sql_lexer.SEMI -> advance st; more acc
+    | _ -> more (parse_stmt st :: acc)
+  in
+  more []

@@ -1,0 +1,29 @@
+(** Parser for the SQL subset.
+
+    Covers every statement form the paper exhibits (Examples 3.2 and
+    4.1) plus the forms needed to drive a database end to end:
+
+    {v
+    SELECT [DISTINCT] star | item, ...
+      item ::= expr [AS name] | AGG(col or star) [AS name]
+      FROM table [alias], ...
+      [WHERE pred] [GROUP BY col, ...]
+    INSERT INTO table VALUES (v, ...), ... | INSERT INTO table SELECT ...
+    DELETE FROM table [WHERE pred]
+    UPDATE table SET col = expr, ... [WHERE pred]
+    CREATE TABLE table (col type, ...)
+    v}
+
+    Keywords are case-insensitive.  No HAVING, ORDER BY, or subqueries:
+    ORDER BY is inexpressible in the paper's formalism (its conclusion
+    says so explicitly) and the rest are outside the demonstrated
+    correspondence. *)
+
+exception Parse_error of string * int
+
+val parse : string -> Sql_ast.stmt
+(** One statement, optionally [;]-terminated.
+    @raise Parse_error / [Sql_lexer.Lex_error] on bad input. *)
+
+val parse_script : string -> Sql_ast.stmt list
+(** A [;]-separated sequence. *)

@@ -1,0 +1,264 @@
+open Mxra_relational
+open Mxra_core
+
+exception Translate_error of string
+
+type result =
+  | Query of Expr.t
+  | Statement of Statement.t
+  | Create of string * Schema.t
+
+let error fmt = Format.kasprintf (fun s -> raise (Translate_error s)) fmt
+
+(* Resolution scope: one entry per FROM item, in order. *)
+type scope_entry = {
+  alias : string;  (* lowercased alias or table name *)
+  schema : Schema.t;
+  first_attr : int;  (* 1-based index of this table's first column *)
+}
+
+let scope_of_from env from =
+  let add (entries, next) (table, alias) =
+    let schema =
+      match env table with
+      | Some s -> s
+      | None -> error "unknown table %s" table
+    in
+    let alias =
+      String.lowercase_ascii (Option.value ~default:table alias)
+    in
+    ( { alias; schema; first_attr = next } :: entries,
+      next + Schema.arity schema )
+  in
+  let entries, _ = List.fold_left add ([], 1) from in
+  List.rev entries
+
+let resolve_column scope { Sql_ast.table; name } =
+  let matches =
+    List.filter_map
+      (fun entry ->
+        let table_ok =
+          match table with
+          | Some t -> String.lowercase_ascii t = entry.alias
+          | None -> true
+        in
+        if table_ok then
+          Option.map
+            (fun i -> entry.first_attr + i - 1)
+            (Schema.index_of_name entry.schema name)
+        else None)
+      scope
+  in
+  match matches with
+  | [ position ] -> position
+  | [] ->
+      error "unknown column %s%s"
+        (match table with Some t -> t ^ "." | None -> "")
+        name
+  | _ :: _ :: _ -> error "ambiguous column %s" name
+
+let rec translate_sexpr scope = function
+  | Sql_ast.Col c -> Scalar.Attr (resolve_column scope c)
+  | Sql_ast.Lit v -> Scalar.Lit v
+  | Sql_ast.Bin (op, a, b) ->
+      Scalar.Binop (op, translate_sexpr scope a, translate_sexpr scope b)
+  | Sql_ast.Neg a -> Scalar.Neg (translate_sexpr scope a)
+
+let rec translate_pred scope = function
+  | Sql_ast.Cmp (op, a, b) ->
+      Pred.Cmp (op, translate_sexpr scope a, translate_sexpr scope b)
+  | Sql_ast.And (p, q) -> Pred.And (translate_pred scope p, translate_pred scope q)
+  | Sql_ast.Or (p, q) -> Pred.Or (translate_pred scope p, translate_pred scope q)
+  | Sql_ast.Not p -> Pred.Not (translate_pred scope p)
+
+let is_star (c : Sql_ast.column) = c.Sql_ast.table = None && c.Sql_ast.name = "*"
+
+let rec translate_query env (q : Sql_ast.query) =
+  if q.Sql_ast.from = [] then error "empty FROM clause";
+  let scope = scope_of_from env q.Sql_ast.from in
+  (* FROM: product chain, left-associated. *)
+  let base =
+    match List.map (fun (t, _) -> Expr.rel t) q.Sql_ast.from with
+    | [] -> assert false
+    | first :: rest -> List.fold_left Expr.product first rest
+  in
+  let filtered =
+    match q.Sql_ast.where with
+    | None -> base
+    | Some p -> Expr.select (translate_pred scope p) base
+  in
+  let has_agg =
+    List.exists
+      (function Sql_ast.Sel_agg _ -> true | Sql_ast.Sel_star | Sql_ast.Sel_expr _ -> false)
+      q.Sql_ast.select
+  in
+  let shaped =
+    if has_agg || q.Sql_ast.group_by <> [] then
+      translate_aggregate_query scope filtered q
+    else begin
+      if List.exists (function Sql_ast.Sel_star -> true | Sql_ast.Sel_expr _ | Sql_ast.Sel_agg _ -> false) q.Sql_ast.select
+      then
+        if List.length q.Sql_ast.select = 1 then filtered
+        else error "SELECT * cannot be combined with other select items"
+      else
+        let exprs =
+          List.map
+            (function
+              | Sql_ast.Sel_expr (e, _) -> translate_sexpr scope e
+              | Sql_ast.Sel_star | Sql_ast.Sel_agg _ -> assert false)
+            q.Sql_ast.select
+        in
+        Expr.project exprs filtered
+    end
+  in
+  if q.Sql_ast.distinct then Expr.unique shaped else shaped
+
+and translate_aggregate_query scope filtered (q : Sql_ast.query) =
+  let group_positions =
+    List.map (resolve_column scope) q.Sql_ast.group_by
+  in
+  let aggs =
+    List.filter_map
+      (function
+        | Sql_ast.Sel_agg (kind, col, _) ->
+            (* CNT's parameter is a dummy (Definition 3.3); a starred
+               count uses attribute 1. *)
+            let p = if is_star col then 1 else resolve_column scope col in
+            Some (kind, p)
+        | Sql_ast.Sel_expr _ | Sql_ast.Sel_star -> None)
+      q.Sql_ast.select
+  in
+  if aggs = [] then
+    (* Pure GROUP BY without aggregates: one row per group = δ∘π. *)
+    translate_group_only scope filtered q group_positions
+  else begin
+    let grouped = Expr.group_by group_positions aggs filtered in
+    (* Reorder output to the SELECT order: key columns come first in Γ's
+       schema, then the aggregates in select order. *)
+    let n_keys = List.length group_positions in
+    let key_index position =
+      let rec go k = function
+        | [] -> error "select item not in GROUP BY"
+        | p :: rest -> if p = position then k else go (k + 1) rest
+      in
+      go 1 group_positions
+    in
+    let agg_counter = ref 0 in
+    let out_index = function
+      | Sql_ast.Sel_star -> error "SELECT * in an aggregate query"
+      | Sql_ast.Sel_expr (Sql_ast.Col c, _) ->
+          key_index (resolve_column scope c)
+      | Sql_ast.Sel_expr (_, _) ->
+          error "non-column select item in an aggregate query"
+      | Sql_ast.Sel_agg (_, _, _) ->
+          incr agg_counter;
+          n_keys + !agg_counter
+    in
+    let order = List.map out_index q.Sql_ast.select in
+    let identity =
+      List.length order = n_keys + List.length aggs
+      && List.for_all2 ( = ) order (List.init (List.length order) (fun i -> i + 1))
+    in
+    if identity then grouped else Expr.project_attrs order grouped
+  end
+
+and translate_group_only scope filtered (q : Sql_ast.query) group_positions =
+  let exprs =
+    List.map
+      (function
+        | Sql_ast.Sel_expr (Sql_ast.Col c, _) ->
+            let p = resolve_column scope c in
+            if not (List.mem p group_positions) then
+              error "select item not in GROUP BY"
+            else Scalar.Attr p
+        | Sql_ast.Sel_expr (_, _) | Sql_ast.Sel_star | Sql_ast.Sel_agg _ ->
+            error "GROUP BY without aggregates requires plain columns")
+      q.Sql_ast.select
+  in
+  Expr.unique (Expr.project exprs filtered)
+
+(* --- statements ---------------------------------------------------------- *)
+
+let table_schema env table =
+  match env table with
+  | Some s -> s
+  | None -> error "unknown table %s" table
+
+let table_scope env table =
+  [ { alias = String.lowercase_ascii table;
+      schema = table_schema env table;
+      first_attr = 1 } ]
+
+let coerce_value domain v =
+  match (domain, v) with
+  | Domain.DFloat, Value.Int n -> Value.Float (float_of_int n)
+  | (Domain.DInt | Domain.DFloat | Domain.DStr | Domain.DBool), _ -> v
+
+let translate_insert_values env table rows =
+  let schema = table_schema env table in
+  let arity = Schema.arity schema in
+  let to_tuple row =
+    if List.length row <> arity then
+      error "INSERT row has %d values, %s has %d columns" (List.length row)
+        table arity;
+    let coerced = List.mapi (fun i v -> coerce_value (Schema.domain schema (i + 1)) v) row in
+    List.iteri
+      (fun i v ->
+        if not (Domain.member v (Schema.domain schema (i + 1))) then
+          error "value %s does not fit column %d of %s" (Value.to_string v)
+            (i + 1) table)
+      coerced;
+    Tuple.of_list coerced
+  in
+  let relation = Relation.of_list schema (List.map to_tuple rows) in
+  Statement.Insert (table, Expr.const relation)
+
+let translate_update env table sets where =
+  let schema = table_schema env table in
+  let scope = table_scope env table in
+  let selected =
+    match where with
+    | None -> Expr.rel table
+    | Some p -> Expr.select (translate_pred scope p) (Expr.rel table)
+  in
+  let expr_for i (a : Schema.attribute) =
+    match
+      List.find_opt
+        (fun (col, _) -> String.lowercase_ascii col = String.lowercase_ascii a.Schema.name)
+        sets
+    with
+    | Some (_, e) -> translate_sexpr scope e
+    | None -> Scalar.Attr (i + 1)
+  in
+  List.iter
+    (fun (col, _) ->
+      if Schema.index_of_name schema col = None then
+        error "unknown column %s in UPDATE %s" col table)
+    sets;
+  let attr_exprs = List.mapi expr_for (Schema.attributes schema) in
+  Statement.Update (table, selected, attr_exprs)
+
+let translate env = function
+  | Sql_ast.Select q -> Query (translate_query env q)
+  | Sql_ast.Insert_values (table, rows) ->
+      Statement (translate_insert_values env table rows)
+  | Sql_ast.Insert_select (table, q) ->
+      Statement (Statement.Insert (table, translate_query env q))
+  | Sql_ast.Delete (table, where) ->
+      let scope = table_scope env table in
+      let e =
+        match where with
+        | None -> Expr.rel table
+        | Some p -> Expr.select (translate_pred scope p) (Expr.rel table)
+      in
+      Statement (Statement.Delete (table, e))
+  | Sql_ast.Update (table, sets, where) ->
+      Statement (translate_update env table sets where)
+  | Sql_ast.Create (table, cols) -> Create (table, Schema.of_list cols)
+
+let translate_string env src = translate env (Sql_parser.parse src)
+
+let query_of_string env src =
+  match translate_string env src with
+  | Query e -> e
+  | Statement _ | Create _ -> error "expected a SELECT statement"

@@ -1,0 +1,37 @@
+(** SQL-to-algebra translation.
+
+    Realises the paper's claim that the multi-set extended relational
+    algebra "can be used as a formal background for other multi-set
+    languages like SQL": every SQL statement of the subset maps onto an
+    algebra expression or language statement whose semantics is the
+    paper's.  The correspondences of Example 3.2 (SELECT/FROM/WHERE/
+    GROUP BY to σ, ×, Γ) and Example 4.1 (UPDATE ... SET to the update
+    statement) are exactly what this module produces, and tests check
+    those two translations against the hand-built expressions.
+
+    Name resolution is positional: FROM items are numbered left to
+    right, each column reference becomes an attribute index into the
+    concatenation of the FROM schemas.  SELECT items without aggregates
+    become an extended projection; with aggregates or GROUP BY they
+    become [Γ] plus a reordering projection; [DISTINCT] becomes [δ]. *)
+
+open Mxra_relational
+open Mxra_core
+
+exception Translate_error of string
+
+type result =
+  | Query of Expr.t  (** A SELECT: run as [?E]. *)
+  | Statement of Statement.t  (** INSERT/DELETE/UPDATE. *)
+  | Create of string * Schema.t  (** CREATE TABLE. *)
+
+val translate : Typecheck.env -> Sql_ast.stmt -> result
+(** @raise Translate_error on unknown/ambiguous names, a non-grouped
+    select item in an aggregate query, or VALUES rows that do not fit
+    the table schema. *)
+
+val translate_string : Typecheck.env -> string -> result
+(** Parse then translate. *)
+
+val query_of_string : Typecheck.env -> string -> Expr.t
+(** For SELECTs only.  @raise Translate_error otherwise. *)

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Buffer Database Domain Format List Mxra_core Mxra_relational Mxra_xra Option Printf Relation Schema String

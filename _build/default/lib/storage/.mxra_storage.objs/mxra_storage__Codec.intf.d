@@ -1,0 +1,1 @@
+lib/storage/codec.mli: Database Mxra_core Mxra_relational

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Codec Database Filename In_channel List Mxra_core Mxra_relational Out_channel Printf Program Statement String Sys Transaction

@@ -1,0 +1,1 @@
+lib/storage/store.mli: Database Mxra_core Mxra_relational

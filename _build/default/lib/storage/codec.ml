@@ -1,0 +1,63 @@
+open Mxra_relational
+module Xra = Mxra_xra
+
+let time_directive = "-- @time "
+
+let encode_database db =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%d\n" time_directive (Database.logical_time db));
+  let schema_fields schema =
+    String.concat ", "
+      (List.map
+         (fun (a : Schema.attribute) ->
+           Printf.sprintf "%s:%s" a.Schema.name
+             (Domain.to_string a.Schema.domain))
+         (Schema.attributes schema))
+  in
+  List.iter
+    (fun name ->
+      let r = Database.find name db in
+      Buffer.add_string buf
+        (Printf.sprintf "create %s (%s);\n" name
+           (schema_fields (Relation.schema r)));
+      if not (Relation.is_empty r) then
+        Buffer.add_string buf
+          (Format.asprintf "insert(%s, %a);\n" name
+             Xra.Printer.pp_relation_literal r))
+    (Database.persistent_names db);
+  Buffer.contents buf
+
+let decode_time source =
+  match String.index_opt source '\n' with
+  | Some eol when String.length source >= String.length time_directive
+                  && String.sub source 0 (String.length time_directive)
+                     = time_directive ->
+      let digits =
+        String.sub source (String.length time_directive)
+          (eol - String.length time_directive)
+      in
+      int_of_string_opt (String.trim digits) |> Option.value ~default:0
+  | Some _ | None -> 0
+
+let decode_database source =
+  let time = decode_time source in
+  let db =
+    List.fold_left
+      (fun db command ->
+        match command with
+        | Xra.Parser.Cmd_create (name, schema) -> Database.create name schema db
+        | Xra.Parser.Cmd_statement stmt -> fst (Mxra_core.Statement.exec db stmt)
+        | Xra.Parser.Cmd_transaction program ->
+            fst (Mxra_core.Program.exec db program))
+      Database.empty
+      (Xra.Parser.script_of_string source)
+  in
+  (* Restore the logical clock by ticking up to the recorded time. *)
+  let rec catch_up db =
+    if Database.logical_time db >= time then db else catch_up (Database.tick db)
+  in
+  catch_up db
+
+let encode_statement stmt = Xra.Printer.statement_to_string stmt
+let decode_statement line = Xra.Parser.statement_of_string line

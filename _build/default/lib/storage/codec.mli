@@ -1,0 +1,28 @@
+(** Textual serialisation of database states.
+
+    The snapshot format reuses the XRA concrete syntax: a database is a
+    sequence of [create] commands and literal-relation [insert]
+    statements, so a snapshot file is a valid XRA script and can be
+    replayed by the ordinary parser.  Choosing the language itself as
+    the storage format keeps exactly one grammar in the system and makes
+    snapshots human-readable and hand-editable.
+
+    Only persistent relations are serialised; temporaries are
+    transaction-local by Definition 4.3 and never reach disk. *)
+
+open Mxra_relational
+
+val encode_database : Database.t -> string
+(** An XRA script that rebuilds the persistent relations (sorted by
+    name).  Logical time is recorded in a leading comment directive
+    [-- @time N]. *)
+
+val decode_database : string -> Database.t
+(** Rebuild a state from a snapshot script.
+    @raise Mxra_xra.Parser.Parse_error / [Mxra_xra.Lexer.Lex_error] on a
+    corrupt snapshot. *)
+
+val encode_statement : Mxra_core.Statement.t -> string
+(** One-line XRA rendering of a statement, for the write-ahead log. *)
+
+val decode_statement : string -> Mxra_core.Statement.t

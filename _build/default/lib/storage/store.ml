@@ -1,0 +1,109 @@
+open Mxra_relational
+open Mxra_core
+
+type t = {
+  dir : string;
+  mutable db : Database.t;
+  mutable log : out_channel;
+  mutable records : int;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.xra"
+let wal_path dir = Filename.concat dir "wal.xra"
+
+let begin_marker n = Printf.sprintf "-- begin %d" n
+let commit_marker n = Printf.sprintf "-- commit %d" n
+
+let is_marker prefix line =
+  String.length line > String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+let read_file path =
+  if Sys.file_exists path then
+    Some (In_channel.with_open_text path In_channel.input_all)
+  else None
+
+(* Replay the committed records of a log.  A record only counts once its
+   commit marker is present; a torn tail (crash mid-append) is silently
+   discarded.  Statements of a record are applied with the transaction
+   end-bracket semantics: temporaries dropped, clock ticked. *)
+let replay_log db source =
+  let lines = String.split_on_char '\n' source in
+  let apply db pending =
+    let db', _outputs = Program.exec db (List.rev pending) in
+    Database.tick (Database.drop_temporaries db')
+  in
+  let rec scan db pending records = function
+    | [] -> (db, records)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then scan db pending records rest
+        else if is_marker "-- begin" line then scan db [] records rest
+        else if is_marker "-- commit" line then
+          scan (apply db pending) [] (records + 1) rest
+        else scan db (Codec.decode_statement line :: pending) records rest
+  in
+  scan db [] 0 lines
+
+let recover dir =
+  let db =
+    match read_file (snapshot_path dir) with
+    | Some source -> Codec.decode_database source
+    | None -> Database.empty
+  in
+  match read_file (wal_path dir) with
+  | Some source -> replay_log db source
+  | None -> (db, 0)
+
+let recover_dir dir = fst (recover dir)
+
+let open_log_append dir =
+  open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir)
+
+let open_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ " is not a directory"));
+  let db, records = recover dir in
+  { dir; db; log = open_log_append dir; records }
+
+let database t = t.db
+
+let loggable = function
+  | Statement.Query _ -> false
+  | Statement.Insert _ | Statement.Delete _ | Statement.Update _
+  | Statement.Assign _ ->
+      true
+
+let commit t txn =
+  let outcome = Transaction.run t.db txn in
+  (match outcome with
+  | Transaction.Committed { state; _ } ->
+      t.records <- t.records + 1;
+      output_string t.log (begin_marker t.records ^ "\n");
+      List.iter
+        (fun stmt ->
+          if loggable stmt then
+            output_string t.log (Codec.encode_statement stmt ^ "\n"))
+        txn.Transaction.body;
+      output_string t.log (commit_marker t.records ^ "\n");
+      (* The record is durable before the commit is acknowledged. *)
+      flush t.log;
+      t.db <- state
+  | Transaction.Aborted { state; _ } -> t.db <- state);
+  outcome
+
+let checkpoint t =
+  let tmp = snapshot_path t.dir ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      Out_channel.output_string oc (Codec.encode_database t.db));
+  Sys.rename tmp (snapshot_path t.dir);
+  (* Old log records are covered by the snapshot: truncate. *)
+  close_out t.log;
+  let truncated = open_out (wal_path t.dir) in
+  close_out truncated;
+  t.log <- open_log_append t.dir;
+  t.records <- 0
+
+let close t = close_out t.log
+let log_records t = t.records

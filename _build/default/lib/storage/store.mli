@@ -1,0 +1,57 @@
+(** Durable database storage: snapshot plus write-ahead log.
+
+    Definition 4.3 requires transactions to satisfy the ACID properties
+    of [Gray 81]; the in-memory {!Mxra_core.Transaction} machinery gives
+    atomicity and (serial) isolation, and this module supplies
+    durability:
+
+    - the {e snapshot} ([snapshot.xra]) is the state at the last
+      checkpoint, in the XRA script format of {!Codec};
+    - the {e log} ([wal.xra]) records, per committed transaction, its
+      non-query statements in execution order between [-- begin N] /
+      [-- commit N] markers, fsync'd before the commit is acknowledged;
+    - {e recovery} loads the snapshot and replays exactly the log's
+      complete (committed) transaction records — a torn tail from a
+      crash is detected by its missing commit marker and discarded,
+      which is the redo-only ARIES-without-undo discipline that suffices
+      here because uncommitted changes never reach the snapshot.
+
+    Assignments ([R := E]) are transaction-local (Definition 4.3 drops
+    temporaries at commit) but are still logged: later logged statements
+    of the same transaction may refer to the temporary. *)
+
+open Mxra_relational
+
+type t
+(** An open store: a directory plus the current in-memory state. *)
+
+val open_dir : string -> t
+(** Open (creating the directory and empty files if needed) and
+    recover: snapshot + committed log records.
+    @raise Sys_error on an unusable directory;
+    @raise Mxra_xra.Parser.Parse_error on corrupt files. *)
+
+val database : t -> Database.t
+(** The current state (after recovery and any commits so far). *)
+
+val commit : t -> Mxra_core.Transaction.t -> Mxra_core.Transaction.outcome
+(** Run a transaction against the current state; if it commits, append
+    its record to the log (flushed) before returning.  Aborted
+    transactions leave no trace in the log. *)
+
+val checkpoint : t -> unit
+(** Write the current state as the new snapshot and truncate the log.
+    The snapshot is written to a temporary file and renamed, so a crash
+    during checkpoint leaves the old snapshot + log intact. *)
+
+val close : t -> unit
+(** Flush and close the log channel.  The store must not be used
+    afterwards. *)
+
+val log_records : t -> int
+(** Committed transaction records in the current log (for tests and the
+    durability benchmark). *)
+
+val recover_dir : string -> Database.t
+(** Recovery alone: what [open_dir] would reconstruct, without keeping
+    the store open.  Used by crash tests to inspect a "dead" store. *)

@@ -1,0 +1,1 @@
+lib/workload/beer.ml: Aggregate Array Database Domain Expr List Mxra_core Mxra_relational Pred Printf Relation Rng Scalar Schema Statement Tuple Value Zipf

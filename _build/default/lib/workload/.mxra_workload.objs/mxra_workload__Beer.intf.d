@@ -1,0 +1,1 @@
+lib/workload/beer.mli: Database Expr Mxra_core Mxra_relational Rng Schema Statement

@@ -1,0 +1,1 @@
+lib/workload/csv.ml: Buffer Domain Format In_channel List Mxra_relational Out_channel Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/gen_expr.ml: Aggregate Database Domain Expr List Mxra_core Mxra_relational Pred Printf Relation Rng Scalar Schema Term Tuple Typecheck Value

@@ -1,0 +1,1 @@
+lib/workload/gen_expr.mli: Database Domain Expr Mxra_core Mxra_relational Pred Rng Scalar Schema

@@ -1,0 +1,1 @@
+lib/workload/retail.ml: Aggregate Array Database Domain Expr Fun List Mxra_core Mxra_ext Mxra_relational Pred Relation Rng Scalar Schema Tuple Value Zipf

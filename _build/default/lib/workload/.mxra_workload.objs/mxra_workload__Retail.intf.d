@@ -1,0 +1,1 @@
+lib/workload/retail.mli: Database Expr Mxra_core Mxra_ext Mxra_relational Rng Schema

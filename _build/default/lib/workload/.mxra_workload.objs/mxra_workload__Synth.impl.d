@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Array Domain Float List Mxra_relational Printf Relation Rng Schema Tuple Value Zipf

@@ -1,0 +1,1 @@
+lib/workload/synth.mli: Mxra_relational Relation Rng Schema

@@ -1,0 +1,116 @@
+open Mxra_relational
+open Mxra_core
+
+let beer_schema =
+  Schema.of_list
+    [ ("name", Domain.DStr); ("brewery", Domain.DStr); ("alcperc", Domain.DFloat) ]
+
+let brewery_schema =
+  Schema.of_list
+    [ ("name", Domain.DStr); ("city", Domain.DStr); ("country", Domain.DStr) ]
+
+let beer_tuple name brewery alcperc =
+  Tuple.of_list [ Value.Str name; Value.Str brewery; Value.Float alcperc ]
+
+let brewery_tuple name city country =
+  Tuple.of_list [ Value.Str name; Value.Str city; Value.Str country ]
+
+let tiny =
+  let breweries =
+    [
+      brewery_tuple "Guineken" "Amsterdam" "NL";
+      brewery_tuple "Grolsch" "Enschede" "NL";
+      brewery_tuple "Bavaria" "Lieshout" "NL";
+      brewery_tuple "DeKoninck" "Antwerp" "BE";
+      brewery_tuple "Chimay" "Chimay" "BE";
+      brewery_tuple "Paulaner" "Munich" "DE";
+    ]
+  in
+  let beers =
+    [
+      (* "Pilsener" is brewed by three Dutch breweries, so Example 3.1
+         yields duplicates, as the paper notes. *)
+      beer_tuple "Pilsener" "Guineken" 5.0;
+      beer_tuple "Pilsener" "Grolsch" 5.2;
+      beer_tuple "Pilsener" "Bavaria" 4.9;
+      beer_tuple "Bock" "Guineken" 6.5;
+      beer_tuple "Bock" "Grolsch" 6.4;
+      beer_tuple "Tripel" "DeKoninck" 8.0;
+      beer_tuple "Tripel" "Chimay" 8.1;
+      beer_tuple "Blauw" "Chimay" 9.0;
+      beer_tuple "Weissbier" "Paulaner" 5.5;
+      beer_tuple "Oud Bruin" "Bavaria" 3.5;
+    ]
+  in
+  Database.of_relations
+    [
+      ("beer", Relation.of_list beer_schema beers);
+      ("brewery", Relation.of_list brewery_schema breweries);
+    ]
+
+let countries = [ "NL"; "BE"; "DE"; "UK"; "CZ"; "US" ]
+
+let beer_styles =
+  [
+    "Pilsener"; "Bock"; "Tripel"; "Dubbel"; "Stout"; "Porter"; "IPA";
+    "Lager"; "Weissbier"; "Saison"; "Quadrupel"; "Oud Bruin";
+  ]
+
+let generate ~rng ~breweries ~beers ?(name_skew = 1.0) () =
+  if breweries <= 0 || beers < 0 then
+    invalid_arg "Beer.generate: non-positive sizes";
+  let brewery_name i = Printf.sprintf "brewery%03d" i in
+  let brewery_rows =
+    List.init breweries (fun i ->
+        brewery_tuple (brewery_name i)
+          (Printf.sprintf "city%02d" (Rng.int rng 40))
+          (Rng.pick rng countries))
+  in
+  (* Beer names are Zipf-skewed over a pool much smaller than [beers],
+     so popular styles repeat across breweries — the duplicate source. *)
+  let pool =
+    List.concat_map
+      (fun style -> List.init 4 (fun i -> Printf.sprintf "%s %d" style i))
+      beer_styles
+  in
+  let pool = Array.of_list pool in
+  let zipf = Zipf.make ~n:(Array.length pool) ~s:name_skew in
+  let beer_rows =
+    List.init beers (fun _ ->
+        beer_tuple
+          pool.(Zipf.sample zipf rng - 1)
+          (brewery_name (Rng.int rng breweries))
+          (float_of_int (Rng.int_in rng 30 120) /. 10.0))
+  in
+  Database.of_relations
+    [
+      ("beer", Relation.of_list beer_schema beer_rows);
+      ("brewery", Relation.of_list brewery_schema brewery_rows);
+    ]
+
+(* beer ⋈ brewery has schema
+   (name, brewery, alcperc, name', city, country) = %1..%6. *)
+let beer_join_brewery =
+  Expr.join (Pred.eq (Scalar.attr 2) (Scalar.attr 4)) (Expr.rel "beer")
+    (Expr.rel "brewery")
+
+let example_3_1 =
+  Expr.project_attrs [ 1 ]
+    (Expr.select (Pred.eq (Scalar.attr 6) (Scalar.str "NL")) beer_join_brewery)
+
+let example_3_2 =
+  Expr.group_by [ 6 ] [ (Aggregate.Avg, 3) ] beer_join_brewery
+
+let example_3_2_reduced =
+  (* π_{(alcperc,country)} reduces the join result to %1=alcperc,
+     %2=country before grouping. *)
+  Expr.group_by [ 2 ]
+    [ (Aggregate.Avg, 1) ]
+    (Expr.project_attrs [ 3; 6 ] beer_join_brewery)
+
+let example_4_1 =
+  Statement.Update
+    ( "beer",
+      Expr.select (Pred.eq (Scalar.attr 2) (Scalar.str "Guineken"))
+        (Expr.rel "beer"),
+      [ Scalar.attr 1; Scalar.attr 2; Scalar.mul (Scalar.attr 3) (Scalar.float 1.1) ] )

@@ -1,0 +1,56 @@
+(** The paper's running example: the beer database.
+
+    Section 3's examples are based on "a simple beer database consisting
+    of two relations":
+
+    {v
+      beer    (name, brewery, alcperc)
+      brewery (name, city, country)
+    v}
+
+    This module provides those schemas, a small literal instance
+    sufficient to reproduce Examples 3.1, 3.2 and 4.1 by hand, a scalable
+    random generator for benchmarking, and the paper's example queries as
+    algebra expressions. *)
+
+open Mxra_relational
+open Mxra_core
+
+val beer_schema : Schema.t
+(** [(name:str, brewery:str, alcperc:float)]. *)
+
+val brewery_schema : Schema.t
+(** [(name:str, city:str, country:str)]. *)
+
+val tiny : Database.t
+(** A hand-written instance with Dutch and foreign breweries, beers with
+    duplicate names brewed by several breweries (so Example 3.1 really
+    produces duplicates), and the brewery "Guineken" from Example 4.1. *)
+
+val generate :
+  rng:Rng.t -> breweries:int -> beers:int -> ?name_skew:float -> unit ->
+  Database.t
+(** A scaled instance: [breweries] breweries over a fixed country list,
+    [beers] beers whose names are drawn Zipf-skewed from a pool smaller
+    than [beers] (duplicates guaranteed); [name_skew] defaults to 1.0. *)
+
+(** {1 The paper's example queries} *)
+
+val example_3_1 : Expr.t
+(** "The multi-set of all names of beers brewn in the Netherlands":
+    [π_{%1}(σ_{%6='NL'}(beer ⋈_{%2=%4} brewery))]. *)
+
+val example_3_2 : Expr.t
+(** "The average alcohol percentage of all beers per country":
+    [Γ_{(country),AVG,alcperc}(beer ⋈_{%2=%4} brewery)] — the variant
+    {e without} the inner projection. *)
+
+val example_3_2_reduced : Expr.t
+(** The paper's second formulation with the intermediate projection
+    [π_{(alcperc,country)}] inserted to reduce intermediate results;
+    under multi-set semantics it is equivalent to {!example_3_2}
+    (Example 3.2's point), under set semantics it is not. *)
+
+val example_4_1 : Statement.t
+(** Guineken raises the alcohol percentage of its beers by 10%:
+    [update(beer, σ_{%2='Guineken'} beer, (%1, %2, %3 * 1.1))]. *)

@@ -1,0 +1,182 @@
+open Mxra_relational
+
+exception Csv_error of string * int
+
+let error line fmt = Format.kasprintf (fun s -> raise (Csv_error (s, line))) fmt
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let field_of_value = function
+  | Value.Int n -> string_of_int n
+  | Value.Float _ as v -> Value.to_string v
+  | Value.Str s -> quote s
+  | Value.Bool b -> string_of_bool b
+
+let encode r =
+  let buf = Buffer.create 1024 in
+  let header =
+    Schema.attributes (Relation.schema r)
+    |> List.map (fun (a : Schema.attribute) ->
+           quote (a.Schema.name ^ ":" ^ Domain.to_string a.Schema.domain))
+    |> String.concat ","
+  in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Relation.Bag.iter
+    (fun t n ->
+      let line =
+        Tuple.to_list t |> List.map field_of_value |> String.concat ","
+      in
+      for _ = 1 to n do
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      done)
+    (Relation.bag r);
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+(* Split one logical CSV record into fields; [i] is the cursor into the
+   whole source, records may span lines via quoted fields. *)
+let parse_records source =
+  let n = String.length source in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := (List.rev !fields, !line) :: !records;
+    fields := []
+  in
+  let rec scan i in_quotes =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+      List.rev !records
+    end
+    else
+      let c = source.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && source.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            scan (i + 2) true
+          end
+          else scan (i + 1) false
+        else begin
+          if c = '\n' then incr line;
+          Buffer.add_char buf c;
+          scan (i + 1) true
+        end
+      else
+        match c with
+        | '"' -> scan (i + 1) true
+        | ',' ->
+            flush_field ();
+            scan (i + 1) false
+        | '\r' -> scan (i + 1) false
+        | '\n' ->
+            flush_record ();
+            incr line;
+            scan (i + 1) false
+        | _ ->
+            Buffer.add_char buf c;
+            scan (i + 1) false
+  in
+  scan 0 false
+
+let parse_typed_header line fields =
+  List.map
+    (fun field ->
+      match String.rindex_opt field ':' with
+      | None -> error line "header field %S lacks a :domain annotation" field
+      | Some i -> (
+          let name = String.sub field 0 i in
+          let domain_name =
+            String.sub field (i + 1) (String.length field - i - 1)
+          in
+          match Domain.of_string domain_name with
+          | Some d -> (name, d)
+          | None -> error line "unknown domain %S" domain_name))
+    fields
+
+let value_of_field line domain field =
+  match domain with
+  | Domain.DInt -> (
+      match int_of_string_opt field with
+      | Some n -> Value.Int n
+      | None -> error line "%S is not an int" field)
+  | Domain.DFloat -> (
+      match float_of_string_opt field with
+      | Some f -> Value.Float f
+      | None -> error line "%S is not a float" field)
+  | Domain.DBool -> (
+      match bool_of_string_opt (String.lowercase_ascii field) with
+      | Some b -> Value.Bool b
+      | None -> error line "%S is not a bool" field)
+  | Domain.DStr -> Value.Str field
+
+let rows_to_relation schema rows =
+  let arity = Schema.arity schema in
+  let tuple (fields, line) =
+    if List.length fields <> arity then
+      error line "expected %d fields, found %d" arity (List.length fields);
+    Tuple.of_list
+      (List.mapi
+         (fun i field -> value_of_field line (Schema.domain schema (i + 1)) field)
+         fields)
+  in
+  Relation.of_list schema (List.map tuple rows)
+
+let decode source =
+  match parse_records source with
+  | [] -> error 1 "empty input: no header"
+  | (header, hline) :: rows ->
+      let schema = Schema.of_list (parse_typed_header hline header) in
+      rows_to_relation schema rows
+
+(* Infer the narrowest domain accepting every value in a column. *)
+let infer_domain column =
+  let all p = List.for_all p column in
+  if all (fun f -> int_of_string_opt f <> None) then Domain.DInt
+  else if all (fun f -> float_of_string_opt f <> None) then Domain.DFloat
+  else if
+    all (fun f -> bool_of_string_opt (String.lowercase_ascii f) <> None)
+  then Domain.DBool
+  else Domain.DStr
+
+let decode_untyped source =
+  match parse_records source with
+  | [] -> error 1 "empty input: no header"
+  | (header, _) :: rows ->
+      let arity = List.length header in
+      List.iter
+        (fun (fields, line) ->
+          if List.length fields <> arity then
+            error line "expected %d fields, found %d" arity
+              (List.length fields))
+        rows;
+      let column i = List.map (fun (fields, _) -> List.nth fields i) rows in
+      let domains =
+        List.init arity (fun i ->
+            if rows = [] then Domain.DStr else infer_domain (column i))
+      in
+      let schema = Schema.of_list (List.combine header domains) in
+      rows_to_relation schema rows
+
+let write_file path r =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (encode r))
+
+let read_file path =
+  decode (In_channel.with_open_text path In_channel.input_all)

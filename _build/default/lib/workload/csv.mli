@@ -1,0 +1,29 @@
+(** CSV import/export for relations.
+
+    Interchange with the outside world: a relation serialises to RFC
+    4180-style CSV with a typed header row ([name:domain]), duplicates
+    written as repeated rows (the expanded form of the bag).  Import
+    either trusts the typed header or infers domains from the data
+    (int ⊂ float; anything unparseable is a string; [true]/[false] are
+    booleans). *)
+
+open Mxra_relational
+
+exception Csv_error of string * int
+(** Message and 1-based line number. *)
+
+val encode : Relation.t -> string
+(** Header plus one line per tuple occurrence. *)
+
+val decode : string -> Relation.t
+(** Parse CSV produced by {!encode} (typed header required).
+    @raise Csv_error on malformed input or values outside the declared
+    domains. *)
+
+val decode_untyped : string -> Relation.t
+(** Parse CSV with a plain header (no [:domain] annotations), inferring
+    each column's domain from its values.  An empty body yields an
+    all-string schema. *)
+
+val write_file : string -> Relation.t -> unit
+val read_file : string -> Relation.t

@@ -1,0 +1,201 @@
+open Mxra_relational
+open Mxra_core
+
+(* Small value pools per domain so that random comparisons and joins hit
+   often enough to exercise non-empty intermediate results. *)
+let random_value rng = function
+  | Domain.DInt -> Value.Int (Rng.int rng 8)
+  | Domain.DFloat -> Value.Float (float_of_int (Rng.int rng 8) /. 2.0)
+  | Domain.DStr -> Value.Str (Rng.pick rng [ "x"; "y"; "z"; "w" ])
+  | Domain.DBool -> Value.Bool (Rng.bool rng)
+
+let random_domain rng =
+  Rng.pick rng [ Domain.DInt; Domain.DFloat; Domain.DStr; Domain.DBool ]
+
+let random_schema rng =
+  let arity = Rng.int_in rng 1 4 in
+  Schema.of_domains (List.init arity (fun _ -> random_domain rng))
+
+let random_relation rng schema max_size =
+  let size = Rng.int rng (max_size + 1) in
+  let tuple () =
+    Tuple.of_list (List.map (random_value rng) (Schema.domains schema))
+  in
+  Relation.of_list schema (List.init size (fun _ -> tuple ()))
+
+let database ~rng ?(relations = 3) ?(max_size = 24) () =
+  let bind i =
+    let schema = random_schema rng in
+    (Printf.sprintf "r%d" (i + 1), random_relation rng schema max_size)
+  in
+  Database.of_relations (List.init relations bind)
+
+(* Attribute positions (1-based) of a given domain within a schema. *)
+let positions_of schema domain =
+  List.mapi (fun i (a : Schema.attribute) -> (i + 1, a.domain))
+    (Schema.attributes schema)
+  |> List.filter_map (fun (i, d) ->
+         if Domain.equal d domain then Some i else None)
+
+let rec scalar_for ~rng schema domain =
+  let leaf () =
+    match positions_of schema domain with
+    | [] -> Scalar.Lit (random_value rng domain)
+    | positions ->
+        if Rng.int rng 4 = 0 then Scalar.Lit (random_value rng domain)
+        else Scalar.attr (Rng.pick rng positions)
+  in
+  match domain with
+  | (Domain.DInt | Domain.DFloat) when Rng.int rng 3 = 0 ->
+      (* Division and modulo are excluded: see the interface note. *)
+      let op = Rng.pick rng [ Term.Add; Term.Sub; Term.Mul ] in
+      Scalar.Binop
+        (op, scalar_for ~rng schema domain, scalar_for ~rng schema domain)
+  | Domain.DInt | Domain.DFloat | Domain.DStr | Domain.DBool ->
+      if Rng.int rng 8 = 0 then
+        Scalar.If
+          (pred_for ~rng schema, scalar_for ~rng schema domain,
+           scalar_for ~rng schema domain)
+      else leaf ()
+
+and pred_for ~rng schema =
+  let comparison () =
+    let domain = random_domain rng in
+    let op =
+      match domain with
+      | Domain.DBool -> Rng.pick rng [ Term.Eq; Term.Ne ]
+      | Domain.DInt | Domain.DFloat | Domain.DStr ->
+          Rng.pick rng [ Term.Eq; Term.Ne; Term.Lt; Term.Le; Term.Gt; Term.Ge ]
+    in
+    Pred.Cmp (op, scalar_for ~rng schema domain, scalar_for ~rng schema domain)
+  in
+  match Rng.int rng 10 with
+  | 0 -> Pred.And (comparison (), comparison ())
+  | 1 -> Pred.Or (comparison (), comparison ())
+  | 2 -> Pred.Not (comparison ())
+  | _ -> comparison ()
+
+(* Generation is directed: [gen] may fix the result domains so that the
+   union-compatible operators can build both operands. *)
+let rec gen ~rng db ~depth ~target =
+  if depth <= 0 then leaf ~rng db ~target
+  else
+    match target with
+    | None -> gen_free ~rng db ~depth
+    | Some domains -> gen_targeted ~rng db ~depth domains
+
+and leaf ~rng db ~target =
+  match target with
+  | None -> (
+      let names = Database.relation_names db in
+      match names with
+      | [] -> Expr.const (random_relation rng (random_schema rng) 8)
+      | _ -> Expr.rel (Rng.pick rng names))
+  | Some domains -> (
+      let matching =
+        List.filter
+          (fun name ->
+            List.equal Domain.equal
+              (Schema.domains (Database.schema_of name db))
+              domains)
+          (Database.relation_names db)
+      in
+      match matching with
+      | name :: _ when Rng.bool rng -> Expr.rel name
+      | _ ->
+          Expr.const
+            (random_relation rng (Schema.of_domains domains) 8))
+
+and gen_free ~rng db ~depth =
+  let sub ?target () = gen ~rng db ~depth:(depth - 1) ~target in
+  let schema_of e = Typecheck.infer_db db e in
+  match Rng.int rng 11 with
+  | 0 -> leaf ~rng db ~target:None
+  | 1 ->
+      let e = sub () in
+      Expr.select (pred_for ~rng (schema_of e)) e
+  | 2 ->
+      let e = sub () in
+      let schema = schema_of e in
+      let width = Rng.int_in rng 1 (Schema.arity schema) in
+      let exprs =
+        List.init width (fun _ ->
+            scalar_for ~rng schema (random_domain rng))
+      in
+      Expr.project exprs e
+  | 3 ->
+      let e1 = sub () in
+      let domains = Schema.domains (schema_of e1) in
+      Expr.union e1 (sub ~target:domains ())
+  | 4 ->
+      let e1 = sub () in
+      let domains = Schema.domains (schema_of e1) in
+      Expr.diff e1 (sub ~target:domains ())
+  | 5 ->
+      let e1 = sub () in
+      let domains = Schema.domains (schema_of e1) in
+      Expr.intersect e1 (sub ~target:domains ())
+  | 6 ->
+      let e1 = sub () and e2 = sub () in
+      Expr.product e1 e2
+  | 7 ->
+      let e1 = sub () and e2 = sub () in
+      let combined = Schema.concat (schema_of e1) (schema_of e2) in
+      Expr.join (pred_for ~rng combined) e1 e2
+  | 8 -> Expr.unique (sub ())
+  | _ ->
+      let e = sub () in
+      let schema = schema_of e in
+      let arity = Schema.arity schema in
+      let attrs =
+        List.filter (fun _ -> Rng.int rng 3 = 0) (List.init arity (fun i -> i + 1))
+      in
+      let agg_of p =
+        let domain = Schema.domain schema p in
+        let applicable =
+          List.filter
+            (fun kind -> Aggregate.applicable kind domain)
+            (* With an empty grouping list the group can be empty, so
+               partial aggregates are kept out of that case. *)
+            (if attrs = [] then [ Aggregate.Cnt; Aggregate.Sum ]
+             else Aggregate.all_extended)
+        in
+        match applicable with
+        | [] -> (Aggregate.Cnt, p)
+        | kinds -> (Rng.pick rng kinds, p)
+      in
+      let n_aggs = Rng.int_in rng 1 2 in
+      let aggs = List.init n_aggs (fun _ -> agg_of (Rng.int_in rng 1 arity)) in
+      Expr.group_by attrs aggs e
+
+and gen_targeted ~rng db ~depth domains =
+  let sub ?target () = gen ~rng db ~depth:(depth - 1) ~target in
+  match Rng.int rng 6 with
+  | 0 -> leaf ~rng db ~target:(Some domains)
+  | 1 ->
+      let e = sub ~target:domains () in
+      Expr.select (pred_for ~rng (Typecheck.infer_db db e)) e
+  | 2 -> Expr.union (sub ~target:domains ()) (sub ~target:domains ())
+  | 3 -> Expr.diff (sub ~target:domains ()) (sub ~target:domains ())
+  | 4 -> Expr.intersect (sub ~target:domains ()) (sub ~target:domains ())
+  | _ ->
+      (* Projection onto the target domains from an arbitrary operand. *)
+      let e = sub () in
+      let schema = Typecheck.infer_db db e in
+      let exprs = List.map (scalar_for ~rng schema) domains in
+      Expr.project exprs e
+
+let expr ~rng db ~depth = gen ~rng db ~depth ~target:None
+
+let expr_of_schema ~rng db ~depth schema =
+  gen ~rng db ~depth ~target:(Some (Schema.domains schema))
+
+type scenario = {
+  db : Database.t;
+  expr : Expr.t;
+}
+
+let scenario ~seed ~depth =
+  let rng = Rng.make seed in
+  let db = database ~rng () in
+  { db; expr = expr ~rng db ~depth }

@@ -1,0 +1,44 @@
+(** Random well-typed algebra expressions and databases.
+
+    The repository's central property tests — every {!Mxra_core.Equiv}
+    rule preserves semantics; the engine agrees with the reference
+    evaluator; the optimizer never changes results — quantify over
+    expressions {e and} database states.  This module generates both,
+    deterministically from a seed, with typing guaranteed by
+    construction (generation is directed by target schemas).
+
+    Generated expressions avoid the two benign sources of dynamic
+    failure (division/modulo, and partial aggregates over a possibly
+    empty whole-relation group) so that properties can demand successful
+    evaluation; dedicated tests cover those failure paths explicitly. *)
+
+open Mxra_relational
+open Mxra_core
+
+val database : rng:Rng.t -> ?relations:int -> ?max_size:int -> unit -> Database.t
+(** A database of [relations] (default 3) bag relations named [r1, r2,
+    ...] with random small schemas (arity 1–4) and up to [max_size]
+    (default 24) tuples each, duplicates likely. *)
+
+val expr : rng:Rng.t -> Database.t -> depth:int -> Expr.t
+(** A well-typed expression of operator depth at most [depth] over the
+    database's relations. *)
+
+val expr_of_schema : rng:Rng.t -> Database.t -> depth:int -> Schema.t -> Expr.t
+(** Like {!expr} but with the given result domains (names may differ). *)
+
+val pred_for : rng:Rng.t -> Schema.t -> Pred.t
+(** A random condition over the schema, biased toward selective but
+    satisfiable comparisons. *)
+
+val scalar_for : rng:Rng.t -> Schema.t -> Domain.t -> Scalar.t
+(** A random scalar expression of the given result domain. *)
+
+type scenario = {
+  db : Database.t;
+  expr : Expr.t;
+}
+
+val scenario : seed:int -> depth:int -> scenario
+(** Database plus expression from a single integer seed — the interface
+    the qcheck properties consume. *)

@@ -1,0 +1,105 @@
+open Mxra_relational
+open Mxra_core
+
+let customer_schema =
+  Schema.of_list
+    [ ("id", Domain.DInt); ("segment", Domain.DStr); ("country", Domain.DStr) ]
+
+let orders_schema =
+  Schema.of_list
+    [ ("id", Domain.DInt); ("customer", Domain.DInt); ("day", Domain.DInt) ]
+
+let lineitem_schema =
+  Schema.of_list
+    [ ("order_id", Domain.DInt); ("product", Domain.DStr);
+      ("qty", Domain.DInt); ("price", Domain.DFloat) ]
+
+let segments = [ "gold"; "silver"; "bronze" ]
+let countries = [ "NL"; "BE"; "DE"; "FR"; "UK"; "US" ]
+
+let products =
+  [ "anvil"; "bolt"; "cog"; "dynamo"; "flange"; "gasket"; "lever";
+    "pulley"; "rivet"; "spring"; "washer"; "widget" ]
+
+let generate ~rng ~customers ~orders ?(items_per_order = 4) () =
+  if customers <= 0 || orders < 0 || items_per_order <= 0 then
+    invalid_arg "Retail.generate: non-positive sizes";
+  let customer_rows =
+    List.init customers (fun i ->
+        Tuple.of_list
+          [ Value.Int i;
+            Value.Str (Rng.pick rng segments);
+            Value.Str (Rng.pick rng countries) ])
+  in
+  (* Orders are Zipf-skewed over customers: a few customers order a
+     lot, producing the duplicate-heavy projections bags are for. *)
+  let customer_zipf = Zipf.make ~n:customers ~s:1.0 in
+  let order_rows =
+    List.init orders (fun i ->
+        Tuple.of_list
+          [ Value.Int i;
+            Value.Int (Zipf.sample customer_zipf rng - 1);
+            Value.Int (Rng.int rng 365) ])
+  in
+  let product_zipf = Zipf.make ~n:(List.length products) ~s:0.8 in
+  let product_array = Array.of_list products in
+  let lineitem_rows =
+    List.concat_map
+      (fun order ->
+        let n_items = 1 + Rng.int rng (3 * items_per_order) in
+        List.init n_items (fun _ ->
+            Tuple.of_list
+              [ Value.Int order;
+                Value.Str product_array.(Zipf.sample product_zipf rng - 1);
+                Value.Int (1 + Rng.int rng 9);
+                Value.Float (float_of_int (Rng.int_in rng 50 5000) /. 100.0) ]))
+      (List.init orders Fun.id)
+  in
+  Database.of_relations
+    [
+      ("customer", Relation.of_list customer_schema customer_rows);
+      ("orders", Relation.of_list orders_schema order_rows);
+      ("lineitem", Relation.of_list lineitem_schema lineitem_rows);
+    ]
+
+let constraints =
+  [
+    Mxra_ext.Constraints.Key ("customer", [ 1 ]);
+    Mxra_ext.Constraints.Key ("orders", [ 1 ]);
+    Mxra_ext.Constraints.Foreign_key
+      { from_relation = "orders"; from_attrs = [ 2 ];
+        to_relation = "customer"; to_attrs = [ 1 ] };
+    Mxra_ext.Constraints.Foreign_key
+      { from_relation = "lineitem"; from_attrs = [ 1 ];
+        to_relation = "orders"; to_attrs = [ 1 ] };
+    Mxra_ext.Constraints.Check
+      ("lineitem", Pred.gt (Scalar.attr 3) (Scalar.int 0));
+  ]
+
+(* customer ⊕ orders ⊕ lineitem = %1..%10:
+   customer(id %1, segment %2, country %3), orders(id %4, customer %5,
+   day %6), lineitem(order_id %7, product %8, qty %9, price %10). *)
+let three_way =
+  Expr.join
+    (Pred.eq (Scalar.attr 4) (Scalar.attr 7))
+    (Expr.join
+       (Pred.eq (Scalar.attr 1) (Scalar.attr 5))
+       (Expr.rel "customer") (Expr.rel "orders"))
+    (Expr.rel "lineitem")
+
+let revenue_per_country =
+  Expr.group_by [ 1 ]
+    [ (Aggregate.Sum, 2) ]
+    (Expr.project
+       [ Scalar.attr 3;
+         Scalar.mul (Scalar.attr 9) (Scalar.attr 10) ]
+       three_way)
+
+let order_sizes =
+  Expr.group_by [ 1 ]
+    [ (Aggregate.Cnt, 2); (Aggregate.Sum, 3) ]
+    (Expr.rel "lineitem")
+
+let repeat_products =
+  Expr.project_attrs [ 8 ]
+    (Expr.select (Pred.eq (Scalar.attr 2) (Scalar.str "gold")) three_way)

@@ -1,0 +1,47 @@
+(** A three-relation retail workload (TPC-style, scaled down).
+
+    The beer database demonstrates the paper's examples; this generator
+    provides the classic decision-support shape — customers, orders,
+    line items — for exercising multi-way joins, grouped aggregation and
+    the optimizer on something resembling a production schema:
+
+    {v
+      customer (id:int, segment:str,  country:str)
+      orders   (id:int, customer:int, day:int)
+      lineitem (order_id:int, product:str, qty:int, price:float)
+    v}
+
+    Foreign keys hold by construction ([orders.customer] →
+    [customer.id], [lineitem.order_id] → [orders.id]) and are declared
+    via {!constraints} so integrity tests can use the dataset.  Orders
+    per customer and items per order are skewed, giving the duplicate-
+    heavy projections that bag semantics is about. *)
+
+open Mxra_relational
+open Mxra_core
+
+val customer_schema : Schema.t
+val orders_schema : Schema.t
+val lineitem_schema : Schema.t
+
+val generate :
+  rng:Rng.t -> customers:int -> orders:int -> ?items_per_order:int -> unit ->
+  Database.t
+(** [items_per_order] is the mean (default 4, Zipf-skewed 1..3×mean). *)
+
+val constraints : Mxra_ext.Constraints.t list
+(** Keys and foreign keys of the schema, for transaction guards. *)
+
+(** {1 Canonical queries}
+
+    Each returns a well-typed expression over the generated schema. *)
+
+val revenue_per_country : Expr.t
+(** 3-way join, then Γ by country over qty×price. *)
+
+val order_sizes : Expr.t
+(** Γ per order: item count and total quantity. *)
+
+val repeat_products : Expr.t
+(** Bag semantics on display: the multiset of products ordered by
+    'gold'-segment customers — duplicates are the signal. *)

@@ -1,0 +1,42 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x6d78_7261 |]
+
+let split t =
+  let seed = Random.State.bits t in
+  Random.State.make [| seed; Random.State.bits t |]
+
+let int t bound = Random.State.int t bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_weighted t weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 weighted in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: no positive weight";
+  let rec walk target = function
+    | [] -> invalid_arg "Rng.pick_weighted: unreachable"
+    | (w, x) :: rest ->
+        let w = max 0 w in
+        if target < w then x else walk (target - w) rest
+  in
+  walk (int t total) weighted
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation for workloads.
+
+    A thin facade over [Random.State] with explicit seeding, so every
+    generated workload, test database and benchmark input is reproducible
+    from a printed seed.  All generators in this library take a [Rng.t]
+    rather than touching global state. *)
+
+type t
+
+val make : int -> t
+(** Generator seeded from an integer. *)
+
+val split : t -> t
+(** A fresh generator derived from (and advancing) the given one;
+    use to give independent streams to sub-generators. *)
+
+val int : t -> int -> int
+(** [int t bound] ∈ [0, bound); [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] ∈ [lo, hi] inclusive; [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] ∈ [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice.  @raise Invalid_argument on the empty list. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** Choice proportional to the non-negative integer weights; at least
+    one weight must be positive.
+    @raise Invalid_argument otherwise. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform permutation (Fisher–Yates). *)

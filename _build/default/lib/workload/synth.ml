@@ -1,0 +1,70 @@
+open Mxra_relational
+
+let word_pool = [| "alpha"; "bravo"; "carol"; "delta"; "echo"; "fox";
+                   "golf"; "hotel"; "india"; "julie"; "kilo"; "lima" |]
+
+let relation ~rng ~schema ~size ?(dup_factor = 1) ?(skew = 0.0) () =
+  if size < 0 then invalid_arg "Synth.relation: negative size";
+  if dup_factor <= 0 then invalid_arg "Synth.relation: dup_factor <= 0";
+  let arity = Schema.arity schema in
+  (* Per-column pool size chosen so the product of pools approximates
+     the wanted number of distinct tuples. *)
+  let distinct_target = max 1 (size / dup_factor) in
+  let per_column =
+    max 2
+      (int_of_float
+         (Float.round
+            (Float.pow (float_of_int distinct_target)
+               (1.0 /. float_of_int (max 1 arity)))))
+  in
+  let zipf = Zipf.make ~n:per_column ~s:skew in
+  let draw domain =
+    let k = Zipf.sample zipf rng - 1 in
+    match domain with
+    | Domain.DInt -> Value.Int k
+    | Domain.DFloat -> Value.Float (float_of_int k /. 2.0)
+    | Domain.DStr ->
+        Value.Str
+          (Printf.sprintf "%s%d" word_pool.(k mod Array.length word_pool) k)
+    | Domain.DBool -> Value.Bool (k mod 2 = 0)
+  in
+  let tuple () = Tuple.of_list (List.map draw (Schema.domains schema)) in
+  Relation.of_list schema (List.init size (fun _ -> tuple ()))
+
+let int_pair_schema = Schema.of_list [ ("a", Domain.DInt); ("b", Domain.DInt) ]
+
+let two_column_int ~rng ~size ~distinct =
+  if distinct <= 0 then invalid_arg "Synth.two_column_int: distinct <= 0";
+  let tuple () =
+    Tuple.of_list
+      [ Value.Int (Rng.int rng distinct); Value.Int (Rng.int rng distinct) ]
+  in
+  Relation.of_list int_pair_schema (List.init size (fun _ -> tuple ()))
+
+let kv_schema = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+
+let join_pair ~rng ~left ~right ~key_range =
+  if key_range <= 0 then invalid_arg "Synth.join_pair: key_range <= 0";
+  let side size =
+    Relation.of_list kv_schema
+      (List.init size (fun i ->
+           Tuple.of_list
+             [ Value.Int (Rng.int rng key_range); Value.Int i ]))
+  in
+  (side left, side right)
+
+let edge_schema = Schema.of_list [ ("src", Domain.DInt); ("dst", Domain.DInt) ]
+
+let chain_relation ~rng ~nodes ~extra_edges =
+  if nodes < 2 then invalid_arg "Synth.chain_relation: nodes < 2";
+  let chain =
+    List.init (nodes - 1) (fun i ->
+        Tuple.of_list [ Value.Int i; Value.Int (i + 1) ])
+  in
+  let extras =
+    List.init extra_edges (fun _ ->
+        let src = Rng.int rng (nodes - 1) in
+        let dst = Rng.int_in rng (src + 1) (nodes - 1) in
+        Tuple.of_list [ Value.Int src; Value.Int dst ])
+  in
+  Relation.of_list edge_schema (chain @ extras)

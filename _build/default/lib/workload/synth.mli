@@ -1,0 +1,43 @@
+(** Synthetic relation generators for benchmarks and property tests.
+
+    The experiment grid of DESIGN.md sweeps relation size and {e
+    duplicate factor}; this module produces relations with those knobs.
+    The duplicate factor of a relation is [cardinal / support_size] — a
+    factor of 1 means all tuples distinct, higher factors mean heavier
+    duplication (what bag semantics is for). *)
+
+open Mxra_relational
+
+val relation :
+  rng:Rng.t ->
+  schema:Schema.t ->
+  size:int ->
+  ?dup_factor:int ->
+  ?skew:float ->
+  unit ->
+  Relation.t
+(** [size] tuples (counted with multiplicity) over [schema].  Values are
+    drawn per domain from pools sized so that roughly [size / dup_factor]
+    distinct tuples arise (default [dup_factor] 1 still allows chance
+    collisions); [skew >= 0] (default 0) Zipf-skews the value choice.
+    @raise Invalid_argument on non-positive [size] bounds. *)
+
+val two_column_int : rng:Rng.t -> size:int -> distinct:int -> Relation.t
+(** A convenient [(a:int, b:int)] relation with values uniform in
+    [0, distinct); the join benchmarks build on it. *)
+
+val join_pair :
+  rng:Rng.t ->
+  left:int ->
+  right:int ->
+  key_range:int ->
+  Relation.t * Relation.t
+(** Two relations [(k:int, v:int)] sharing key range [0, key_range);
+    joining them on the key columns has expected selectivity
+    [1/key_range]. *)
+
+val chain_relation :
+  rng:Rng.t -> nodes:int -> extra_edges:int -> Relation.t
+(** A binary [(src:int, dst:int)] edge relation: a chain [0→1→…→nodes-1]
+    plus [extra_edges] random forward edges — acyclic by construction,
+    for the transitive-closure experiment. *)

@@ -1,0 +1,32 @@
+type t = {
+  n : int;
+  s : float;
+  cdf : float array;  (* cdf.(k-1) = P(rank <= k), normalised to 1. *)
+}
+
+let make ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.make: n <= 0";
+  if s < 0.0 then invalid_arg "Zipf.make: s < 0";
+  let cdf = Array.make n 0.0 in
+  let running = ref 0.0 in
+  for k = 1 to n do
+    running := !running +. (1.0 /. Float.pow (float_of_int k) s);
+    cdf.(k - 1) <- !running
+  done;
+  let total = !running in
+  Array.iteri (fun i p -> cdf.(i) <- p /. total) cdf;
+  { n; s; cdf }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Least k with cdf.(k) >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let n t = t.n
+let s t = t.s

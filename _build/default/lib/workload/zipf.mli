@@ -1,0 +1,21 @@
+(** Zipf-distributed sampling.
+
+    Skewed attribute-value distributions drive the duplicate factors the
+    paper's motivation rests on: a Zipfian column over few distinct
+    values produces the heavy duplication that makes duplicate removal
+    expensive and bag semantics attractive.
+
+    The sampler draws rank [k ∈ {1..n}] with probability proportional to
+    [1/k^s]; [s = 0] is uniform, larger [s] is more skewed. *)
+
+type t
+
+val make : n:int -> s:float -> t
+(** Precompute the cumulative distribution for [n] ranks with exponent
+    [s >= 0].  @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : t -> Rng.t -> int
+(** A rank in [1..n], by binary search over the CDF. *)
+
+val n : t -> int
+val s : t -> float

@@ -1,0 +1,1 @@
+lib/xra/lexer.ml: Array Buffer List Printf String Token

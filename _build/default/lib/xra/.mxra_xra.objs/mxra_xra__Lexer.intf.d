@@ -1,0 +1,1 @@
+lib/xra/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/xra/parser.ml: Aggregate Array Domain Expr Format Lexer List Mxra_core Mxra_relational Pred Program Relation Scalar Schema Statement Term Token Tuple Value

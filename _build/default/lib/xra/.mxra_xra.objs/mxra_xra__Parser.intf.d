@@ -1,0 +1,1 @@
+lib/xra/parser.mli: Expr Mxra_core Mxra_relational Program Schema Statement

@@ -1,0 +1,1 @@
+lib/xra/printer.ml: Aggregate Domain Expr Format Mxra_core Mxra_relational Pred Relation Scalar Schema Statement Tuple Value

@@ -1,0 +1,1 @@
+lib/xra/printer.mli: Expr Format Mxra_core Mxra_relational Program Relation Statement

@@ -1,0 +1,1 @@
+lib/xra/token.ml: Printf

@@ -1,0 +1,104 @@
+exception Lex_error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let number i0 _ =
+    let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+    let j = digits i0 in
+    let j, is_float =
+      if j + 1 < n && src.[j] = '.' && is_digit src.[j + 1] then
+        (digits (j + 2), true)
+      else (j, false)
+    in
+    let j, is_float =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        if k < n && is_digit src.[k] then (digits (k + 1), true)
+        else (j, is_float)
+      else (j, is_float)
+    in
+    let text = String.sub src i0 (j - i0) in
+    if is_float then (Token.FLOAT (float_of_string text), j)
+    else (Token.INT (int_of_string text), j)
+  in
+  let string_lit i0 =
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= n then raise (Lex_error ("unterminated string", i0))
+      else if src.[i] = '\'' then
+        if i + 1 < n && src.[i + 1] = '\'' then (
+          Buffer.add_char buf '\'';
+          go (i + 2))
+        else (Token.STRING (Buffer.contents buf), i + 1)
+      else (
+        Buffer.add_char buf src.[i];
+        go (i + 1))
+    in
+    go (i0 + 1)
+  in
+  let ident i0 =
+    let rec go i = if i < n && is_ident_char src.[i] then go (i + 1) else i in
+    let j = go i0 in
+    (Token.IDENT (String.sub src i0 (j - i0)), j)
+  in
+  let rec loop i =
+    if i >= n then emit Token.EOF i
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' -> loop (skip_line (i + 2))
+      | '(' -> emit Token.LPAREN i; loop (i + 1)
+      | ')' -> emit Token.RPAREN i; loop (i + 1)
+      | '[' -> emit Token.LBRACKET i; loop (i + 1)
+      | ']' -> emit Token.RBRACKET i; loop (i + 1)
+      | '{' -> emit Token.LBRACE i; loop (i + 1)
+      | '}' -> emit Token.RBRACE i; loop (i + 1)
+      | ',' -> emit Token.COMMA i; loop (i + 1)
+      | ';' -> emit Token.SEMI i; loop (i + 1)
+      | '?' -> emit Token.QUESTION i; loop (i + 1)
+      | ':' when i + 1 < n && src.[i + 1] = '=' -> emit Token.ASSIGN i; loop (i + 2)
+      | ':' -> emit Token.COLON i; loop (i + 1)
+      | '=' -> emit Token.EQ i; loop (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit Token.NE i; loop (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit Token.LE i; loop (i + 2)
+      | '<' -> emit Token.LT i; loop (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit Token.GE i; loop (i + 2)
+      | '>' -> emit Token.GT i; loop (i + 1)
+      | '+' when i + 1 < n && src.[i + 1] = '+' -> emit Token.CONCAT i; loop (i + 2)
+      | '+' -> emit Token.PLUS i; loop (i + 1)
+      | '-' -> emit Token.MINUS i; loop (i + 1)
+      | '*' -> emit Token.STAR i; loop (i + 1)
+      | '/' -> emit Token.SLASH i; loop (i + 1)
+      | '%' when i + 1 < n && is_digit src.[i + 1] ->
+          let tok, j = number (i + 1) (i + 1) in
+          (match tok with
+          | Token.INT k -> emit (Token.ATTR k) i
+          | Token.FLOAT _ ->
+              raise (Lex_error ("attribute index must be an integer", i))
+          | _ -> assert false);
+          loop j
+      | '%' -> emit Token.PERCENT i; loop (i + 1)
+      | '\'' ->
+          let tok, j = string_lit i in
+          emit tok i;
+          loop j
+      | c when is_digit c ->
+          let tok, j = number i i in
+          emit tok i;
+          loop j
+      | c when is_ident_start c ->
+          let tok, j = ident i in
+          emit tok i;
+          loop j
+      | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c, i))
+  in
+  loop 0;
+  Array.of_list (List.rev !tokens)

@@ -1,0 +1,14 @@
+(** Hand-written lexer for the XRA concrete syntax.
+
+    Comments run from [--] to end of line, as in SQL.  String literals
+    are single-quoted with [''] escaping a quote.  [%] followed by digits
+    is an attribute reference; a bare [%] is the modulo operator.
+    Identifiers are [[A-Za-z_][A-Za-z0-9_]*] and case-sensitive (keywords
+    are recognised by the parser, not the lexer). *)
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> (Token.t * int) array
+(** Tokens with their starting offsets, terminated by [EOF].
+    @raise Lex_error on an illegal character or unterminated string. *)

@@ -1,0 +1,410 @@
+open Mxra_relational
+open Mxra_core
+
+exception Parse_error of string * int
+
+type command =
+  | Cmd_statement of Statement.t
+  | Cmd_transaction of Program.t
+  | Cmd_create of string * Schema.t
+
+(* Parser state: a token array and a mutable cursor.  Backtracking (for
+   the pred/scalar parenthesis ambiguity) saves and restores the
+   cursor. *)
+type state = {
+  tokens : (Token.t * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.tokens.(st.pos)
+let offset st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (msg, offset st))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> fail st "expected identifier, found %s" (Token.to_string t)
+
+let keyword st name =
+  match peek st with
+  | Token.IDENT k when k = name -> advance st
+  | t -> fail st "expected '%s', found %s" name (Token.to_string t)
+
+let comma_separated st parse_item =
+  let rec more acc =
+    if peek st = Token.COMMA then (
+      advance st;
+      more (parse_item st :: acc))
+    else List.rev acc
+  in
+  more [ parse_item st ]
+
+(* --- values and schemas -------------------------------------------------- *)
+
+let parse_value st =
+  match peek st with
+  | Token.INT n -> advance st; Value.Int n
+  | Token.FLOAT f -> advance st; Value.Float f
+  | Token.STRING s -> advance st; Value.Str s
+  | Token.IDENT "true" -> advance st; Value.Bool true
+  | Token.IDENT "false" -> advance st; Value.Bool false
+  | Token.MINUS -> (
+      advance st;
+      match peek st with
+      | Token.INT n -> advance st; Value.Int (-n)
+      | Token.FLOAT f -> advance st; Value.Float (-.f)
+      | t -> fail st "expected number after '-', found %s" (Token.to_string t))
+  | t -> fail st "expected value, found %s" (Token.to_string t)
+
+let parse_domain st =
+  let name = expect_ident st in
+  match Domain.of_string name with
+  | Some d -> d
+  | None -> fail st "unknown domain %s" name
+
+let parse_schema st =
+  expect st Token.LPAREN;
+  let attribute st =
+    let name = expect_ident st in
+    expect st Token.COLON;
+    (name, parse_domain st)
+  in
+  let attrs = comma_separated st attribute in
+  expect st Token.RPAREN;
+  Schema.of_list attrs
+
+(* --- scalars and predicates (mutually recursive, backtracking) ----------- *)
+
+let rec parse_scalar st = parse_additive st
+
+and parse_additive st =
+  let rec more acc =
+    match peek st with
+    | Token.PLUS -> advance st; more (Scalar.Binop (Term.Add, acc, parse_multiplicative st))
+    | Token.MINUS -> advance st; more (Scalar.Binop (Term.Sub, acc, parse_multiplicative st))
+    | Token.CONCAT -> advance st; more (Scalar.Binop (Term.Concat, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  more (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec more acc =
+    match peek st with
+    | Token.STAR -> advance st; more (Scalar.Binop (Term.Mul, acc, parse_unary st))
+    | Token.SLASH -> advance st; more (Scalar.Binop (Term.Div, acc, parse_unary st))
+    | Token.PERCENT -> advance st; more (Scalar.Binop (Term.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  more (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      (* Negative literals parse as literals, other operands as Neg. *)
+      (match peek st with
+      | Token.INT n -> advance st; Scalar.Lit (Value.Int (-n))
+      | Token.FLOAT f -> advance st; Scalar.Lit (Value.Float (-.f))
+      | _ -> Scalar.Neg (parse_unary st))
+  | _ -> parse_scalar_primary st
+
+and parse_scalar_primary st =
+  match peek st with
+  | Token.ATTR i -> advance st; Scalar.Attr i
+  | Token.INT n -> advance st; Scalar.Lit (Value.Int n)
+  | Token.FLOAT f -> advance st; Scalar.Lit (Value.Float f)
+  | Token.STRING s -> advance st; Scalar.Lit (Value.Str s)
+  | Token.IDENT "true" -> advance st; Scalar.Lit (Value.Bool true)
+  | Token.IDENT "false" -> advance st; Scalar.Lit (Value.Bool false)
+  | Token.IDENT "if" ->
+      advance st;
+      let c = parse_pred st in
+      keyword st "then";
+      let a = parse_scalar st in
+      keyword st "else";
+      let b = parse_scalar st in
+      Scalar.If (c, a, b)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_scalar st in
+      expect st Token.RPAREN;
+      e
+  | t -> fail st "expected scalar expression, found %s" (Token.to_string t)
+
+and parse_pred st = parse_or st
+
+and parse_or st =
+  let rec more acc =
+    match peek st with
+    | Token.IDENT "or" -> advance st; more (Pred.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  more (parse_and st)
+
+and parse_and st =
+  let rec more acc =
+    match peek st with
+    | Token.IDENT "and" -> advance st; more (Pred.And (acc, parse_pred_unary st))
+    | _ -> acc
+  in
+  more (parse_pred_unary st)
+
+and parse_pred_unary st =
+  match peek st with
+  | Token.IDENT "not" ->
+      advance st;
+      Pred.Not (parse_pred_unary st)
+  | _ -> parse_pred_atom st
+
+and parse_pred_atom st =
+  (* Try a comparison first; on failure backtrack to the pure predicate
+     forms.  This resolves '(' opening either a sub-predicate or a
+     parenthesised scalar, and bare true/false being scalar literals in
+     comparisons. *)
+  let saved = st.pos in
+  match parse_comparison st with
+  | cmp -> cmp
+  | exception Parse_error _ -> (
+      st.pos <- saved;
+      match peek st with
+      | Token.IDENT "true" -> advance st; Pred.True
+      | Token.IDENT "false" -> advance st; Pred.False
+      | Token.LPAREN ->
+          advance st;
+          let p = parse_pred st in
+          expect st Token.RPAREN;
+          p
+      | t -> fail st "expected condition, found %s" (Token.to_string t))
+
+and parse_comparison st =
+  let lhs = parse_scalar st in
+  let op =
+    match peek st with
+    | Token.EQ -> Term.Eq
+    | Token.NE -> Term.Ne
+    | Token.LT -> Term.Lt
+    | Token.LE -> Term.Le
+    | Token.GT -> Term.Gt
+    | Token.GE -> Term.Ge
+    | t -> fail st "expected comparison operator, found %s" (Token.to_string t)
+  in
+  advance st;
+  Pred.Cmp (op, lhs, parse_scalar st)
+
+(* --- expressions ---------------------------------------------------------- *)
+
+let parse_attr st =
+  match peek st with
+  | Token.ATTR i -> advance st; i
+  | t -> fail st "expected attribute %%i, found %s" (Token.to_string t)
+
+let parse_agg st =
+  let name = expect_ident st in
+  match Aggregate.of_name name with
+  | Some kind ->
+      expect st Token.LPAREN;
+      let p = parse_attr st in
+      expect st Token.RPAREN;
+      (kind, p)
+  | None -> fail st "unknown aggregate function %s" name
+
+let rec parse_expr st =
+  match peek st with
+  | Token.IDENT "union" -> parse_binary st Expr.union
+  | Token.IDENT "diff" -> parse_binary st Expr.diff
+  | Token.IDENT "product" -> parse_binary st Expr.product
+  | Token.IDENT "intersect" -> parse_binary st Expr.intersect
+  | Token.IDENT "unique" ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Expr.unique e
+  | Token.IDENT "select" ->
+      advance st;
+      expect st Token.LBRACKET;
+      let p = parse_pred st in
+      expect st Token.RBRACKET;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Expr.select p e
+  | Token.IDENT "project" ->
+      advance st;
+      expect st Token.LBRACKET;
+      let exprs = comma_separated st parse_scalar in
+      expect st Token.RBRACKET;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Expr.project exprs e
+  | Token.IDENT "join" ->
+      advance st;
+      expect st Token.LBRACKET;
+      let p = parse_pred st in
+      expect st Token.RBRACKET;
+      expect st Token.LPAREN;
+      let e1 = parse_expr st in
+      expect st Token.COMMA;
+      let e2 = parse_expr st in
+      expect st Token.RPAREN;
+      Expr.join p e1 e2
+  | Token.IDENT "groupby" ->
+      advance st;
+      expect st Token.LBRACKET;
+      let attrs =
+        if peek st = Token.SEMI then [] else comma_separated st parse_attr
+      in
+      expect st Token.SEMI;
+      let aggs = comma_separated st parse_agg in
+      expect st Token.RBRACKET;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Expr.group_by attrs aggs e
+  | Token.IDENT "rel" -> parse_literal_relation st
+  | Token.IDENT name -> advance st; Expr.rel name
+  | t -> fail st "expected expression, found %s" (Token.to_string t)
+
+and parse_binary st build =
+  advance st;
+  expect st Token.LPAREN;
+  let e1 = parse_expr st in
+  expect st Token.COMMA;
+  let e2 = parse_expr st in
+  expect st Token.RPAREN;
+  build e1 e2
+
+(* rel[(a:int, b:str)]{(1, 'x'):2, (2, 'y')} *)
+and parse_literal_relation st =
+  keyword st "rel";
+  expect st Token.LBRACKET;
+  let schema = parse_schema st in
+  expect st Token.RBRACKET;
+  expect st Token.LBRACE;
+  let parse_entry st =
+    expect st Token.LPAREN;
+    let values =
+      if peek st = Token.RPAREN then [] else comma_separated st parse_value
+    in
+    expect st Token.RPAREN;
+    let count =
+      if peek st = Token.COLON then (
+        advance st;
+        match peek st with
+        | Token.INT n -> advance st; n
+        | t -> fail st "expected multiplicity, found %s" (Token.to_string t))
+      else 1
+    in
+    (Tuple.of_list values, count)
+  in
+  let entries =
+    if peek st = Token.RBRACE then [] else comma_separated st parse_entry
+  in
+  expect st Token.RBRACE;
+  match Relation.of_counted_list schema entries with
+  | r -> Expr.const r
+  | exception Relation.Schema_mismatch msg -> fail st "%s" msg
+
+(* --- statements, programs, commands --------------------------------------- *)
+
+let parse_statement st =
+  match peek st with
+  | Token.QUESTION ->
+      advance st;
+      Statement.Query (parse_expr st)
+  | Token.IDENT "insert" ->
+      advance st;
+      expect st Token.LPAREN;
+      let name = expect_ident st in
+      expect st Token.COMMA;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Statement.Insert (name, e)
+  | Token.IDENT "delete" ->
+      advance st;
+      expect st Token.LPAREN;
+      let name = expect_ident st in
+      expect st Token.COMMA;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Statement.Delete (name, e)
+  | Token.IDENT "update" ->
+      advance st;
+      expect st Token.LPAREN;
+      let name = expect_ident st in
+      expect st Token.COMMA;
+      let e = parse_expr st in
+      expect st Token.COMMA;
+      expect st Token.LBRACKET;
+      let exprs = comma_separated st parse_scalar in
+      expect st Token.RBRACKET;
+      expect st Token.RPAREN;
+      Statement.Update (name, e, exprs)
+  | Token.IDENT name when fst st.tokens.(st.pos + 1) = Token.ASSIGN ->
+      advance st;
+      advance st;
+      Statement.Assign (name, parse_expr st)
+  | t -> fail st "expected statement, found %s" (Token.to_string t)
+
+let parse_program st =
+  let rec more acc =
+    if peek st = Token.SEMI then (
+      advance st;
+      match peek st with
+      | Token.IDENT "end" | Token.EOF -> List.rev acc
+      | _ -> more (parse_statement st :: acc))
+    else List.rev acc
+  in
+  more [ parse_statement st ]
+
+let parse_command st =
+  match peek st with
+  | Token.IDENT "begin" ->
+      advance st;
+      let program = parse_program st in
+      keyword st "end";
+      Cmd_transaction program
+  | Token.IDENT "create" ->
+      advance st;
+      let name = expect_ident st in
+      let schema = parse_schema st in
+      Cmd_create (name, schema)
+  | _ -> Cmd_statement (parse_statement st)
+
+let parse_script st =
+  let rec more acc =
+    match peek st with
+    | Token.EOF -> List.rev acc
+    | Token.SEMI -> advance st; more acc
+    | _ -> more (parse_command st :: acc)
+  in
+  more []
+
+(* --- entry points ----------------------------------------------------------- *)
+
+let with_source parse src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let result = parse st in
+  expect st Token.EOF;
+  result
+
+let expr_of_string src = with_source parse_expr src
+let statement_of_string src = with_source parse_statement src
+let program_of_string src = with_source parse_program src
+let command_of_string src = with_source parse_command src
+
+let script_of_string src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  parse_script st

@@ -1,0 +1,51 @@
+(** Parser for the XRA concrete syntax.
+
+    XRA was the concrete form of the paper's algebra in PRISMA/DB; the
+    grammar here mirrors the paper's abstract syntax one-to-one:
+
+    {v
+    expr  ::= ident
+            | rel[(name:type, ...)]{ (v, ...)(:n)? , ... }      -- literal
+            | union(e, e) | diff(e, e) | product(e, e)
+            | intersect(e, e) | unique(e)
+            | select[pred](e) | project[scalar, ...](e)
+            | join[pred](e, e)
+            | groupby[%i, ... ; AGG(%j), ...](e)
+    scalar ::= %i | literal | scalar (+ - * / % ++) scalar
+            | - scalar | (scalar) | if pred then scalar else scalar
+    pred  ::= true | false | scalar (= <> < <= > >=) scalar
+            | pred and pred | pred or pred | not pred | (pred)
+    stmt  ::= insert(ident, e) | delete(ident, e)
+            | update(ident, e, [scalar, ...])
+            | ident := e | ? e
+    cmd   ::= stmt | begin stmt ; ... end | create ident (name:type, ...)
+    script::= cmd ; ... ;?
+    v
+    }
+
+    Comments are [--] to end of line.  Keywords are lower-case;
+    aggregate names are case-insensitive.  The printer ({!Printer})
+    emits exactly this grammar, and parse∘print is the identity on
+    expressions — property-tested. *)
+
+open Mxra_relational
+open Mxra_core
+
+exception Parse_error of string * int
+(** Message and byte offset in the source. *)
+
+type command =
+  | Cmd_statement of Statement.t
+  | Cmd_transaction of Program.t
+      (** A [begin ... end] bracket — run through {!Transaction}. *)
+  | Cmd_create of string * Schema.t
+      (** Schema definition; not part of the paper's language (it defines
+          statements over an existing schema) but required to build one
+          from a script. *)
+
+val expr_of_string : string -> Expr.t
+val statement_of_string : string -> Statement.t
+val program_of_string : string -> Program.t
+val command_of_string : string -> command
+val script_of_string : string -> command list
+(** All raise {!Parse_error} (or {!Lexer.Lex_error}) on bad input. *)

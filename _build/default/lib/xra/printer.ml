@@ -1,0 +1,86 @@
+open Mxra_relational
+open Mxra_core
+
+let pp_schema_literal ppf schema =
+  let pp_attr ppf (a : Schema.attribute) =
+    Format.fprintf ppf "%s:%a" a.Schema.name Domain.pp a.Schema.domain
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_attr)
+    (Schema.attributes schema)
+
+let pp_relation_literal ppf r =
+  let pp_entry ppf (t, n) =
+    let pp_tuple ppf t =
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Value.pp)
+        (Tuple.to_list t)
+    in
+    if n = 1 then pp_tuple ppf t else Format.fprintf ppf "%a:%d" pp_tuple t n
+  in
+  Format.fprintf ppf "rel[%a]{%a}" pp_schema_literal (Relation.schema r)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_entry)
+    (Relation.to_counted_list r)
+
+let rec pp_expr ppf = function
+  | Expr.Rel name -> Format.pp_print_string ppf name
+  | Expr.Const r -> pp_relation_literal ppf r
+  | Expr.Union (e1, e2) -> Format.fprintf ppf "union(%a, %a)" pp_expr e1 pp_expr e2
+  | Expr.Diff (e1, e2) -> Format.fprintf ppf "diff(%a, %a)" pp_expr e1 pp_expr e2
+  | Expr.Product (e1, e2) ->
+      Format.fprintf ppf "product(%a, %a)" pp_expr e1 pp_expr e2
+  | Expr.Intersect (e1, e2) ->
+      Format.fprintf ppf "intersect(%a, %a)" pp_expr e1 pp_expr e2
+  | Expr.Select (p, e) ->
+      Format.fprintf ppf "select[%a](%a)" Pred.pp p pp_expr e
+  | Expr.Project (exprs, e) ->
+      Format.fprintf ppf "project[%a](%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Scalar.pp)
+        exprs pp_expr e
+  | Expr.Join (p, e1, e2) ->
+      Format.fprintf ppf "join[%a](%a, %a)" Pred.pp p pp_expr e1 pp_expr e2
+  | Expr.Unique e -> Format.fprintf ppf "unique(%a)" pp_expr e
+  | Expr.GroupBy (attrs, aggs, e) ->
+      Format.fprintf ppf "groupby[%a; %a](%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf i -> Format.fprintf ppf "%%%d" i))
+        attrs
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (kind, p) ->
+             Format.fprintf ppf "%s(%%%d)" (Aggregate.name kind) p))
+        aggs pp_expr e
+
+let pp_statement ppf = function
+  | Statement.Insert (name, e) ->
+      Format.fprintf ppf "insert(%s, %a)" name pp_expr e
+  | Statement.Delete (name, e) ->
+      Format.fprintf ppf "delete(%s, %a)" name pp_expr e
+  | Statement.Update (name, e, exprs) ->
+      Format.fprintf ppf "update(%s, %a, [%a])" name pp_expr e
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Scalar.pp)
+        exprs
+  | Statement.Assign (name, e) -> Format.fprintf ppf "%s := %a" name pp_expr e
+  | Statement.Query e -> Format.fprintf ppf "?%a" pp_expr e
+
+let pp_program ppf program =
+  Format.fprintf ppf "begin %a end"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_statement)
+    program
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let statement_to_string s = Format.asprintf "%a" pp_statement s
+let program_to_string p = Format.asprintf "%a" pp_program p

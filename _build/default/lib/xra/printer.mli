@@ -1,0 +1,21 @@
+(** Pretty-printer for the XRA concrete syntax.
+
+    Emits exactly the grammar of {!Parser}; [Parser.expr_of_string
+    (Printer.expr_to_string e)] equals [e] for every expression,
+    including literal ([Const]) relations — property-tested. *)
+
+open Mxra_relational
+open Mxra_core
+
+val pp_expr : Format.formatter -> Expr.t -> unit
+val expr_to_string : Expr.t -> string
+
+val pp_statement : Format.formatter -> Statement.t -> unit
+val statement_to_string : Statement.t -> string
+
+val pp_program : Format.formatter -> Program.t -> unit
+val program_to_string : Program.t -> string
+(** Statements separated by [;] inside a [begin ... end] bracket. *)
+
+val pp_relation_literal : Format.formatter -> Relation.t -> unit
+(** [rel[(a:int)]{(1):2, (3)}] — the literal form of a relation. *)

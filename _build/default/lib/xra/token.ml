@@ -1,0 +1,64 @@
+(* Token alphabet of the XRA concrete syntax.  One flat variant; the
+   lexer produces an array of these plus source offsets for errors. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (* '...' with '' escaping, already unescaped *)
+  | IDENT of string
+  | ATTR of int  (* %N *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | QUESTION
+  | ASSIGN  (* := *)
+  | EQ
+  | NE  (* <> *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT  (* mod: bare % not followed by a digit *)
+  | CONCAT  (* ++ *)
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> Printf.sprintf "%g" f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | IDENT s -> s
+  | ATTR n -> Printf.sprintf "%%%d" n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | QUESTION -> "?"
+  | ASSIGN -> ":="
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CONCAT -> "++"
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Aggregate Alcotest Database Domain Equiv Expr List Mxra_core Mxra_relational Mxra_workload Pred QCheck QCheck_alcotest Relation Scalar Schema Tuple Typecheck Value

@@ -1,0 +1,1 @@
+test/test_eval.ml: Aggregate Alcotest Database Domain Eval Expr List Mxra_core Mxra_engine Mxra_relational Mxra_workload Option Pred Relation Scalar Schema Term Tuple Value

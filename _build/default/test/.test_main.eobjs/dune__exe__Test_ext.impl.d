@@ -1,0 +1,1 @@
+test/test_ext.ml: Aggregate Alcotest Array Closure Database Domain Eval Expr List Mxra_core Mxra_ext Mxra_relational Mxra_workload Parallel Pred Printf Relation Scalar Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_language.ml: Alcotest Database Domain Expr List Mxra_core Mxra_relational Mxra_workload Pred Program Relation Scalar Schema Statement String Transaction Tuple Value

@@ -1,0 +1,1 @@
+test/test_multiset.ml: Alcotest Format Int List Mxra_multiset QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Database Domain List Mxra_relational Option Relation Schema Tuple Value

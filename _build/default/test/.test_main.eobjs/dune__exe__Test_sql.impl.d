@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Database Domain Eval Expr List Mxra_core Mxra_relational Mxra_sql Mxra_workload Relation Scalar Sql_ast Sql_parser Statement String Translate Tuple Typecheck Value

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Aggregate Alcotest Domain Eval Expr List Mxra_core Mxra_relational Mxra_workload Pred Relation Result Scalar Schema String Typecheck

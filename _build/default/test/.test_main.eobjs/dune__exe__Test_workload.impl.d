@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Database Domain Eval Fun Int List Mxra_core Mxra_engine Mxra_ext Mxra_relational Mxra_workload Relation Schema Typecheck

@@ -1,0 +1,4 @@
+  $ ../../bin/bagdb.exe run ../../examples/scripts/beer_session.xra
+  $ ../../bin/bagdb.exe sql --beer ../../examples/scripts/analytics.sql | head -8
+  $ ../../bin/bagdb.exe explain --beer "select[%6 = 'NL'](product(beer, brewery))"
+  $ ../../bin/bagdb.exe explain "union(a,"

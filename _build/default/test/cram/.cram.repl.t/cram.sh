@@ -1,0 +1,14 @@
+  $ echo ".beer
+  > ?project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))
+  > .quit" | ../../bin/xra_repl.exe
+  $ echo "create r (a:int)
+  > begin insert(r, rel[(a:int)]{(1)}); insert(missing, r) end
+  > ?r
+  > .quit" | ../../bin/xra_repl.exe
+  $ echo "create r (a:int)
+  > insert(r, rel[(a:int)]{(7):3})
+  > .save store
+  > .quit" | ../../bin/xra_repl.exe > /dev/null
+  $ echo ".open store
+  > ?r
+  > .quit" | ../../bin/xra_repl.exe

@@ -1,0 +1,52 @@
+The bagdb script runner executes XRA scripts against an empty database:
+
+  $ ../../bin/bagdb.exe run ../../examples/scripts/beer_session.xra
+  +------------+---+
+  | name       | # |
+  +------------+---+
+  | 'Bock'     | 1 |
+  | 'Pilsener' | 2 |
+  +------------+---+ (3 tuples, 2 distinct)
+  +---------+-------------+---+
+  | country | avg_alcperc | # |
+  +---------+-------------+---+
+  | 'BE'    | 8.1         | 1 |
+  | 'NL'    | 5.56667     | 1 |
+  +---------+-------------+---+ (2 tuples, 2 distinct)
+  +------------+------------+---------+---+
+  | name       | brewery    | alcperc | # |
+  +------------+------------+---------+---+
+  | 'Bock'     | 'Guineken' | 7.15    | 1 |
+  | 'Pilsener' | 'Guineken' | 5.5     | 1 |
+  +------------+------------+---------+---+ (2 tuples, 2 distinct)
+
+SQL scripts run against the preloaded beer database:
+
+  $ ../../bin/bagdb.exe sql --beer ../../examples/scripts/analytics.sql | head -8
+  +---------+-------------+---+
+  | country | avg_alcperc | # |
+  +---------+-------------+---+
+  | 'BE'    | 8.36667     | 1 |
+  | 'DE'    | 5.5         | 1 |
+  | 'NL'    | 5.25        | 1 |
+  +---------+-------------+---+ (3 tuples, 3 distinct)
+  +-------------+---+
+
+Explain shows the optimized logical expression and the physical plan:
+
+  $ ../../bin/bagdb.exe explain --beer "select[%6 = 'NL'](product(beer, brewery))"
+  input:      select[%6 = 'NL'](product(beer, brewery))
+  optimized:  product(beer, select[%3 = 'NL'](brewery))
+  est. cost:  528 -> 174 tuples
+  physical:
+  CrossProduct
+    SeqScan beer
+    Filter [%3 = 'NL']
+      SeqScan brewery
+  
+
+Parse errors are reported with a byte offset and a non-zero exit:
+
+  $ ../../bin/bagdb.exe explain "union(a,"
+  parse error at 8: expected expression, found <eof>
+  [1]

@@ -1,0 +1,49 @@
+The XRA shell evaluates the paper's examples interactively (input piped
+in, prompts echo to stdout):
+
+  $ echo ".beer
+  > ?project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))
+  > .quit" | ../../bin/xra_repl.exe
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> loaded beer database
+  xra> +-------------+---+
+  | name        | # |
+  +-------------+---+
+  | 'Bock'      | 2 |
+  | 'Oud Bruin' | 1 |
+  | 'Pilsener'  | 3 |
+  +-------------+---+ (6 tuples, 3 distinct)
+  xra> 
+
+Transactions roll back on failure and report the reason:
+
+  $ echo "create r (a:int)
+  > begin insert(r, rel[(a:int)]{(1)}); insert(missing, r) end
+  > ?r
+  > .quit" | ../../bin/xra_repl.exe
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> created r (a:int)
+  xra> aborted: unknown relation missing
+  xra> +---+---+
+  | a | # |
+  +---+---+
+  +---+---+ (0 tuples, 0 distinct)
+  xra> 
+
+Save and reopen a database through the storage layer:
+
+  $ echo "create r (a:int)
+  > insert(r, rel[(a:int)]{(7):3})
+  > .save store
+  > .quit" | ../../bin/xra_repl.exe > /dev/null
+  $ echo ".open store
+  > ?r
+  > .quit" | ../../bin/xra_repl.exe
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> opened store (1 relations, t=1)
+  xra> +---+---+
+  | a | # |
+  +---+---+
+  | 7 | 3 |
+  +---+---+ (3 tuples, 1 distinct)
+  xra> 

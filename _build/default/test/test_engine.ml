@@ -1,0 +1,299 @@
+(* Engine tests: statistics, cardinality estimation, planner algorithm
+   selection, and the central contract that physical execution equals the
+   reference evaluator on arbitrary expressions and databases. *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_engine
+module W = Mxra_workload
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+let tup a b = Tuple.of_list [ Value.Int a; Value.Int b ]
+
+let db =
+  Database.of_relations
+    [
+      ("l", Relation.of_counted_list s_kv [ (tup 1 10, 2); (tup 2 20, 1); (tup 3 30, 1) ]);
+      ("r", Relation.of_counted_list s_kv [ (tup 1 100, 3); (tup 3 300, 1); (tup 9 900, 1) ]);
+    ]
+
+(* --- stats -------------------------------------------------------------- *)
+
+let test_stats () =
+  let s = Stats.of_relation (Database.find "l" db) in
+  Alcotest.(check int) "cardinality" 4 s.Stats.cardinality;
+  Alcotest.(check int) "support" 3 s.Stats.support;
+  Alcotest.(check int) "ndv column 1" 3 (Stats.column s 1).Stats.distinct;
+  Alcotest.(check bool) "min value" true
+    (match (Stats.column s 1).Stats.min_value with
+    | Some v -> Value.equal v (Value.Int 1)
+    | None -> false);
+  Alcotest.(check (float 1e-9)) "dup factor" (4.0 /. 3.0) (Stats.dup_factor s)
+
+let test_histograms () =
+  let s = Stats.of_relation (Database.find "l" db) in
+  (* l = {(1,10):2, (2,20), (3,30)}: 4 tuples. *)
+  Alcotest.(check (option (float 1e-9))) "fraction below 2 on k" (Some 0.5)
+    (Stats.fraction_below s 1 2.0);
+  Alcotest.(check (option (float 1e-9))) "fraction eq 1 on k" (Some 0.5)
+    (Stats.fraction_eq s 1 1.0);
+  Alcotest.(check (option (float 1e-9))) "fraction below min" (Some 0.0)
+    (Stats.fraction_below s 1 1.0);
+  Alcotest.(check (option (float 1e-9))) "fraction below above max" (Some 1.0)
+    (Stats.fraction_below s 1 99.0);
+  Alcotest.(check (option (float 1e-9))) "eq on absent value" (Some 0.0)
+    (Stats.fraction_eq s 1 7.0);
+  (* Non-numeric columns have no histogram. *)
+  let str_rel =
+    Relation.of_list (Schema.of_list [ ("s", Domain.DStr) ])
+      [ Tuple.of_list [ Value.Str "x" ] ]
+  in
+  Alcotest.(check (option (float 1e-9))) "no histogram for strings" None
+    (Stats.fraction_below (Stats.of_relation str_rel) 1 0.0)
+
+let test_stats_empty () =
+  let s = Stats.of_relation (Relation.empty s_kv) in
+  Alcotest.(check int) "cardinality" 0 s.Stats.cardinality;
+  Alcotest.(check (float 1e-9)) "dup factor of empty" 1.0 (Stats.dup_factor s);
+  Alcotest.(check bool) "no min" true ((Stats.column s 1).Stats.min_value = None)
+
+(* --- cost model ---------------------------------------------------------- *)
+
+let stats = Stats.env_of_database db
+let schemas = Typecheck.env_of_database db
+
+let test_cost_basics () =
+  let card e = Cost.estimate_cardinality ~stats ~schemas e in
+  Alcotest.(check (float 1e-6)) "base relation exact" 4.0 (card (Expr.rel "l"));
+  Alcotest.(check (float 1e-6)) "product multiplies" 20.0
+    (card (Expr.product (Expr.rel "l") (Expr.rel "r")));
+  let sel =
+    card (Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int 1)) (Expr.rel "l"))
+  in
+  (* (1,10) has multiplicity 2 of 4 tuples: the histogram is exact. *)
+  Alcotest.(check (float 1e-6)) "equality uses the histogram (exact)" 2.0 sel;
+  let join_card =
+    card
+      (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l")
+         (Expr.rel "r"))
+  in
+  Alcotest.(check bool) "join below product" true (join_card < 20.0)
+
+let test_cost_monotone_in_pipeline () =
+  (* Cost of σ(l × r) strictly exceeds cost of the fused join: the
+     product materialises 20 tuples the join never produces. *)
+  let p = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  let product_form = Expr.select p (Expr.product (Expr.rel "l") (Expr.rel "r")) in
+  let join_form = Expr.join p (Expr.rel "l") (Expr.rel "r") in
+  Alcotest.(check bool) "join cheaper than selected product" true
+    (Cost.cost ~stats ~schemas join_form < Cost.cost ~stats ~schemas product_form)
+
+let test_selectivity () =
+  let profile = Cost.profile ~stats ~schemas (Expr.rel "l") in
+  Alcotest.(check (float 1e-6)) "true" 1.0 (Cost.selectivity profile Pred.True);
+  Alcotest.(check (float 1e-6)) "false" 0.0 (Cost.selectivity profile Pred.False);
+  let eq = Cost.selectivity profile (Pred.eq (Scalar.attr 1) (Scalar.int 1)) in
+  Alcotest.(check (float 1e-6)) "equality histogram-exact" 0.5 eq;
+  let range = Cost.selectivity profile (Pred.lt (Scalar.attr 2) (Scalar.int 25)) in
+  (* values 10 (x2) and 20 are < 25: 3 of 4 tuples. *)
+  Alcotest.(check (float 1e-6)) "range histogram-exact" 0.75 range;
+  let flipped = Cost.selectivity profile (Pred.gt (Scalar.int 25) (Scalar.attr 2)) in
+  Alcotest.(check (float 1e-6)) "mirrored comparison" 0.75 flipped;
+  let conj =
+    Cost.selectivity profile
+      (Pred.And
+         (Pred.eq (Scalar.attr 1) (Scalar.int 1),
+          Pred.lt (Scalar.attr 2) (Scalar.int 50)))
+  in
+  Alcotest.(check (float 1e-6)) "conjunction multiplies" 0.5 conj;
+  (* Attribute-vs-attribute comparisons still fall back to heuristics. *)
+  let heur = Cost.selectivity profile (Pred.lt (Scalar.attr 1) (Scalar.attr 2)) in
+  Alcotest.(check (float 1e-6)) "attr-attr heuristic" (1.0 /. 3.0) heur
+
+(* --- planner -------------------------------------------------------------- *)
+
+let test_join_keys () =
+  let p =
+    Pred.conj
+      [
+        Pred.eq (Scalar.attr 1) (Scalar.attr 3);
+        Pred.gt (Scalar.attr 2) (Scalar.int 5);
+        Pred.eq (Scalar.attr 4) (Scalar.attr 2);
+      ]
+  in
+  let keys, residual = Planner.join_keys ~left_arity:2 p in
+  Alcotest.(check (list (pair int int))) "both equi pairs, right renumbered"
+    [ (1, 1); (2, 2) ] keys;
+  Alcotest.(check bool) "residual keeps the range conjunct" true
+    (Pred.equal residual (Pred.gt (Scalar.attr 2) (Scalar.int 5)))
+
+let test_planner_chooses_hash_join () =
+  let e =
+    Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r")
+  in
+  (match Planner.plan db e with
+  | Physical.Hash_join { left_keys = [ 1 ]; right_keys = [ 1 ]; left_arity = 2; _ } -> ()
+  | other -> Alcotest.fail ("expected hash join, got " ^ Physical.to_string other));
+  let theta =
+    Expr.join (Pred.lt (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r")
+  in
+  match Planner.plan db theta with
+  | Physical.Nested_loop (_, _, _) -> ()
+  | other -> Alcotest.fail ("expected nested loop, got " ^ Physical.to_string other)
+
+let test_planner_fuses_selected_product () =
+  let e =
+    Expr.select (Pred.eq (Scalar.attr 1) (Scalar.attr 3))
+      (Expr.product (Expr.rel "l") (Expr.rel "r"))
+  in
+  match Planner.plan db e with
+  | Physical.Hash_join _ -> ()
+  | other -> Alcotest.fail ("expected fused hash join, got " ^ Physical.to_string other)
+
+let test_to_logical_roundtrip () =
+  let e =
+    Expr.join (Pred.eq (Scalar.attr 2) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r")
+  in
+  let plan = Planner.plan db e in
+  let back = Physical.to_logical plan in
+  Alcotest.(check bool) "plan's logical image equivalent" true
+    (Relation.equal (Eval.eval db e) (Eval.eval db back))
+
+(* --- executor ------------------------------------------------------------- *)
+
+let check_equal_relations msg r1 r2 =
+  Alcotest.(check bool)
+    (msg ^ ": " ^ Relation.to_string r1 ^ " vs " ^ Relation.to_string r2)
+    true (Relation.equal r1 r2)
+
+let test_exec_hash_join () =
+  let e =
+    Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r")
+  in
+  check_equal_relations "hash join = reference"
+    (Eval.eval db e) (Exec.run_expr db e);
+  (* Multiplicities multiply across the join: l(1,10):2 × r(1,100):3 = 6. *)
+  let joined = Exec.run_expr db e in
+  Alcotest.(check int) "count product" 6
+    (Relation.multiplicity
+       (Tuple.of_list [ Value.Int 1; Value.Int 10; Value.Int 1; Value.Int 100 ])
+       joined)
+
+let test_exec_each_operator () =
+  let cases =
+    [
+      ("union", Expr.union (Expr.rel "l") (Expr.rel "r"));
+      ("diff", Expr.diff (Expr.rel "l") (Expr.rel "r"));
+      ("intersect", Expr.intersect (Expr.rel "l") (Expr.rel "r"));
+      ("product", Expr.product (Expr.rel "l") (Expr.rel "r"));
+      ("select", Expr.select (Pred.gt (Scalar.attr 2) (Scalar.int 15)) (Expr.rel "l"));
+      ("project", Expr.project_attrs [ 2; 1 ] (Expr.rel "l"));
+      ( "extended projection",
+        Expr.project [ Scalar.add (Scalar.attr 1) (Scalar.attr 2) ] (Expr.rel "l") );
+      ("unique", Expr.unique (Expr.rel "l"));
+      ( "theta join",
+        Expr.join (Pred.lt (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r") );
+      ( "groupby",
+        Expr.group_by [ 1 ] [ (Aggregate.Sum, 2); (Aggregate.Cnt, 1) ] (Expr.rel "l") );
+      ("aggregate all", Expr.aggregate Aggregate.Max 2 (Expr.rel "l"));
+    ]
+  in
+  List.iter
+    (fun (name, e) ->
+      check_equal_relations name (Eval.eval db e) (Exec.run_expr db e))
+    cases
+
+let test_exec_empty_aggregate () =
+  let empty_db = Database.of_relations [ ("e", Relation.empty s_kv) ] in
+  let cnt = Exec.run_expr empty_db (Expr.aggregate Aggregate.Cnt 1 (Expr.rel "e")) in
+  Alcotest.(check int) "CNT over empty: one zero tuple" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 0 ]) cnt);
+  Alcotest.(check bool) "AVG over empty raises" true
+    (match Exec.run_expr empty_db (Expr.aggregate Aggregate.Avg 1 (Expr.rel "e")) with
+    | _ -> false
+    | exception Aggregate.Undefined Aggregate.Avg -> true)
+
+let test_tuples_moved () =
+  let scan_moves = Exec.tuples_moved db (Planner.plan db (Expr.rel "l")) in
+  Alcotest.(check int) "scan moves its support" 3 scan_moves;
+  let p = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  let join_plan = Planner.plan db (Expr.join p (Expr.rel "l") (Expr.rel "r")) in
+  let product_plan =
+    Physical.Filter
+      (p, Physical.Cross_product (Physical.Seq_scan "l", Physical.Seq_scan "r"))
+  in
+  Alcotest.(check bool) "hash join moves fewer tuples than filtered product"
+    true
+    (Exec.tuples_moved db join_plan < Exec.tuples_moved db product_plan)
+
+let test_merge_join () =
+  (* The merge join computes the same bag as the hash join and the
+     reference evaluator, including residual conditions and
+     multiplicities. *)
+  let e =
+    Expr.join
+      (Pred.And
+         (Pred.eq (Scalar.attr 1) (Scalar.attr 3),
+          Pred.lt (Scalar.attr 2) (Scalar.attr 4)))
+      (Expr.rel "l") (Expr.rel "r")
+  in
+  let merge_plan = Planner.plan ~join_algorithm:Planner.Merge db e in
+  (match merge_plan with
+  | Physical.Merge_join _ -> ()
+  | other -> Alcotest.fail ("expected merge join, got " ^ Physical.to_string other));
+  check_equal_relations "merge = reference" (Eval.eval db e)
+    (Exec.run db merge_plan);
+  check_equal_relations "merge = hash"
+    (Exec.run db (Planner.plan db e))
+    (Exec.run db merge_plan)
+
+let merge_join_matches_reference =
+  let test seed =
+    let rng = W.Rng.make seed in
+    let left, right = W.Synth.join_pair ~rng ~left:30 ~right:20 ~key_range:5 in
+    let db = Database.of_relations [ ("a", left); ("b", right) ] in
+    let e =
+      Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "a")
+        (Expr.rel "b")
+    in
+    Relation.equal (Eval.eval db e)
+      (Exec.run db (Planner.plan ~join_algorithm:Planner.Merge db e))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"merge join = reference" ~count:150
+       QCheck.small_nat test)
+
+(* --- the central property: engine = reference evaluator -------------------- *)
+
+let engine_matches_reference =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let reference = Eval.eval scen.W.Gen_expr.db scen.W.Gen_expr.expr in
+    let physical = Exec.run_expr scen.W.Gen_expr.db scen.W.Gen_expr.expr in
+    Relation.equal reference physical
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"engine = reference evaluator" ~count:300
+       QCheck.small_nat test)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "statistics" `Quick test_stats;
+      Alcotest.test_case "histograms" `Quick test_histograms;
+      Alcotest.test_case "statistics of empty" `Quick test_stats_empty;
+      Alcotest.test_case "cost basics" `Quick test_cost_basics;
+      Alcotest.test_case "cost: join vs product" `Quick test_cost_monotone_in_pipeline;
+      Alcotest.test_case "selectivity" `Quick test_selectivity;
+      Alcotest.test_case "join key extraction" `Quick test_join_keys;
+      Alcotest.test_case "planner picks hash join" `Quick test_planner_chooses_hash_join;
+      Alcotest.test_case "planner fuses σ∘×" `Quick test_planner_fuses_selected_product;
+      Alcotest.test_case "to_logical round trip" `Quick test_to_logical_roundtrip;
+      Alcotest.test_case "hash join execution" `Quick test_exec_hash_join;
+      Alcotest.test_case "every operator matches reference" `Quick test_exec_each_operator;
+      Alcotest.test_case "empty aggregates" `Quick test_exec_empty_aggregate;
+      Alcotest.test_case "tuples_moved instrumentation" `Quick test_tuples_moved;
+      Alcotest.test_case "merge join" `Quick test_merge_join;
+      merge_join_matches_reference;
+      engine_matches_reference;
+    ] )

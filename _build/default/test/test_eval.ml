@@ -1,0 +1,383 @@
+(* Tests of the reference evaluator against hand-computed multiplicities
+   from the paper's definitions (3.1, 3.2, 3.4), plus the worked examples
+   of Sections 3 and 4 on the tiny beer database. *)
+
+open Mxra_relational
+open Mxra_core
+module W = Mxra_workload
+
+let s_int2 = Schema.of_list [ ("a", Domain.DInt); ("b", Domain.DInt) ]
+let tup a b = Tuple.of_list [ Value.Int a; Value.Int b ]
+
+let rel pairs = Relation.of_counted_list s_int2 pairs
+let check_rel msg expected actual =
+  Alcotest.(check bool)
+    (msg ^ " (got " ^ Relation.to_string actual ^ ")")
+    true
+    (Relation.equal expected actual)
+
+let e r = Expr.const r
+let run expr = Eval.eval_closed expr
+
+(* Two overlapping bags used throughout. *)
+let r1 = rel [ (tup 1 1, 3); (tup 2 2, 1) ]
+let r2 = rel [ (tup 1 1, 1); (tup 3 3, 2) ]
+
+let test_union () =
+  check_rel "multiplicities add"
+    (rel [ (tup 1 1, 4); (tup 2 2, 1); (tup 3 3, 2) ])
+    (run (Expr.union (e r1) (e r2)))
+
+let test_diff () =
+  check_rel "monus" (rel [ (tup 1 1, 2); (tup 2 2, 1) ])
+    (run (Expr.diff (e r1) (e r2)));
+  check_rel "monus other way" (rel [ (tup 3 3, 2) ])
+    (run (Expr.diff (e r2) (e r1)))
+
+let test_intersect () =
+  check_rel "pointwise min" (rel [ (tup 1 1, 1) ])
+    (run (Expr.intersect (e r1) (e r2)))
+
+let test_product () =
+  let left = rel [ (tup 1 2, 2) ] in
+  let right =
+    Relation.of_counted_list (Schema.of_list [ ("c", Domain.DInt) ])
+      [ (Tuple.of_list [ Value.Int 9 ], 3) ]
+  in
+  let result = run (Expr.product (e left) (e right)) in
+  Alcotest.(check int) "multiplicities multiply" 6
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 1; Value.Int 2; Value.Int 9 ]) result);
+  Alcotest.(check int) "schema concatenated" 3
+    (Schema.arity (Relation.schema result))
+
+let test_select () =
+  let p = Pred.gt (Scalar.attr 1) (Scalar.int 1) in
+  check_rel "keeps multiplicities of satisfying tuples"
+    (rel [ (tup 2 2, 1) ])
+    (run (Expr.select p (e r1)))
+
+let test_project_accumulates () =
+  (* π on bags: pre-images accumulate, no duplicate elimination. *)
+  let r = rel [ (tup 1 1, 2); (tup 1 2, 3) ] in
+  let result = run (Expr.project_attrs [ 1 ] (e r)) in
+  Alcotest.(check int) "sum over pre-image" 5
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 1 ]) result);
+  Alcotest.(check int) "cardinality preserved" 5 (Relation.cardinal result)
+
+let test_extended_projection () =
+  let r = rel [ (tup 2 5, 1) ] in
+  let exprs = [ Scalar.add (Scalar.attr 1) (Scalar.attr 2); Scalar.attr 1 ] in
+  let result = run (Expr.project exprs (e r)) in
+  Alcotest.(check int) "arithmetic applied" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 7; Value.Int 2 ]) result)
+
+let test_join_is_selected_product () =
+  let left = rel [ (tup 1 10, 2); (tup 2 20, 1) ] in
+  let right = rel [ (tup 1 99, 3) ] in
+  let p = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  let joined = run (Expr.join p (e left) (e right)) in
+  let via_product = run (Expr.select p (Expr.product (e left) (e right))) in
+  Alcotest.(check bool) "join = select of product (Thm 3.1)" true
+    (Relation.equal joined via_product);
+  Alcotest.(check int) "match multiplicity 2*3" 6
+    (Relation.multiplicity
+       (Tuple.of_list [ Value.Int 1; Value.Int 10; Value.Int 1; Value.Int 99 ])
+       joined)
+
+let test_unique () =
+  let result = run (Expr.unique (e r1)) in
+  Alcotest.(check int) "all multiplicities 1" 1
+    (Relation.multiplicity (tup 1 1) result);
+  Alcotest.(check int) "support preserved" 2 (Relation.cardinal result)
+
+let test_groupby () =
+  (* Group (a,b) by a, CNT and SUM of b; multiplicities weigh in. *)
+  let r = rel [ (tup 1 10, 2); (tup 1 20, 1); (tup 2 5, 1) ] in
+  let result =
+    run (Expr.group_by [ 1 ] [ (Aggregate.Cnt, 2); (Aggregate.Sum, 2) ] (e r))
+  in
+  let row a cnt sum =
+    Tuple.of_list [ Value.Int a; Value.Int cnt; Value.Int sum ]
+  in
+  Alcotest.(check int) "group 1" 1 (Relation.multiplicity (row 1 3 40) result);
+  Alcotest.(check int) "group 2" 1 (Relation.multiplicity (row 2 1 5) result);
+  Alcotest.(check int) "two groups" 2 (Relation.cardinal result)
+
+let test_groupby_empty_alpha () =
+  let r = rel [ (tup 1 10, 2); (tup 2 20, 1) ] in
+  let result = run (Expr.aggregate Aggregate.Sum 2 (e r)) in
+  Alcotest.(check int) "single tuple" 1 (Relation.cardinal result);
+  Alcotest.(check int) "sum weighted by multiplicity" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 40 ]) result)
+
+let test_groupby_empty_alpha_empty_input () =
+  let empty = Relation.empty s_int2 in
+  let cnt = run (Expr.aggregate Aggregate.Cnt 1 (e empty)) in
+  Alcotest.(check int) "CNT of empty is the tuple (0)" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 0 ]) cnt);
+  Alcotest.(check bool) "AVG of empty is undefined" true
+    (match run (Expr.aggregate Aggregate.Avg 1 (e empty)) with
+    | _ -> false
+    | exception Aggregate.Undefined Aggregate.Avg -> true)
+
+let test_sum_empty_float_domain () =
+  let s = Schema.of_list [ ("x", Domain.DFloat) ] in
+  let result = run (Expr.aggregate Aggregate.Sum 1 (e (Relation.empty s))) in
+  Alcotest.(check int) "empty float SUM is 0.0 (not int 0)" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Float 0.0 ]) result)
+
+let test_eval_against_db () =
+  let db =
+    Database.of_relations [ ("r", r1) ]
+    |> Database.assign_temporary "t" r2
+  in
+  check_rel "relation by name" r1 (Eval.eval db (Expr.rel "r"));
+  check_rel "temporaries visible" r2 (Eval.eval db (Expr.rel "t"));
+  Alcotest.check_raises "unknown relation" (Database.Unknown_relation "zz")
+    (fun () -> ignore (Eval.eval db (Expr.rel "zz")))
+
+(* --- the paper's examples on the tiny beer database ------------------- *)
+
+let test_example_3_1 () =
+  (* Names of beers brewn in NL; Pilsener appears three times. *)
+  let result = Eval.eval W.Beer.tiny W.Beer.example_3_1 in
+  let name s = Tuple.of_list [ Value.Str s ] in
+  Alcotest.(check int) "Pilsener duplicated" 3
+    (Relation.multiplicity (name "Pilsener") result);
+  Alcotest.(check int) "Bock twice" 2 (Relation.multiplicity (name "Bock") result);
+  Alcotest.(check int) "Belgian beer absent" 0
+    (Relation.multiplicity (name "Tripel") result)
+
+let test_example_3_2_equivalence () =
+  (* The paper's point: with bag semantics, inserting the reducing
+     projection does not change the result. *)
+  let full = Eval.eval W.Beer.tiny W.Beer.example_3_2 in
+  let reduced = Eval.eval W.Beer.tiny W.Beer.example_3_2_reduced in
+  Alcotest.(check bool) "same result with and without inner projection"
+    true
+    (Relation.equal full reduced)
+
+let test_example_3_2_set_semantics_differs () =
+  (* Under set semantics (δ after the projection), the reduced variant
+     produces a *different* (wrong) AVG: duplicate (alcperc, country)
+     pairs collapse.  We exhibit the discrepancy the paper warns about. *)
+  let set_reduced =
+    Expr.group_by [ 2 ]
+      [ (Aggregate.Avg, 1) ]
+      (Expr.unique
+         (Expr.project_attrs [ 3; 6 ]
+            (Expr.join
+               (Pred.eq (Scalar.attr 2) (Scalar.attr 4))
+               (Expr.rel "beer") (Expr.rel "brewery"))))
+  in
+  (* Make two Dutch beers share an alcperc so δ really collapses. *)
+  let db =
+    Database.set "beer"
+      (Relation.of_list W.Beer.beer_schema
+         [
+           Tuple.of_list [ Value.Str "A"; Value.Str "Guineken"; Value.Float 5.0 ];
+           Tuple.of_list [ Value.Str "B"; Value.Str "Grolsch"; Value.Float 5.0 ];
+           Tuple.of_list [ Value.Str "C"; Value.Str "Guineken"; Value.Float 8.0 ];
+         ])
+      W.Beer.tiny
+  in
+  let bag_avg = Eval.eval db W.Beer.example_3_2 in
+  let set_avg = Eval.eval db set_reduced in
+  (* Bag: (5+5+8)/3 = 6.0; set: (5+8)/2 = 6.5 for NL. *)
+  let nl v = Tuple.of_list [ Value.Str "NL"; Value.Float v ] in
+  Alcotest.(check int) "bag semantics correct" 1
+    (Relation.multiplicity (nl 6.0) bag_avg);
+  Alcotest.(check int) "set semantics wrong" 1
+    (Relation.multiplicity (nl 6.5) set_avg)
+
+(* --- aggregates directly ---------------------------------------------- *)
+
+let col vs = List.map (fun (v, n) -> (v, n)) vs
+
+let test_aggregate_functions () =
+  let column =
+    col [ (Value.Int 10, 2); (Value.Int 20, 1); (Value.Int 0, 1) ]
+  in
+  Alcotest.(check int) "CNT counts multiplicities" 4 (Aggregate.cnt column);
+  Alcotest.(check bool) "SUM weighted" true
+    (Value.equal (Aggregate.sum column) (Value.Int 40));
+  Alcotest.(check (float 1e-9)) "AVG" 10.0 (Aggregate.avg column);
+  Alcotest.(check bool) "MIN" true
+    (Value.equal (Aggregate.min_v column) (Value.Int 0));
+  Alcotest.(check bool) "MAX" true
+    (Value.equal (Aggregate.max_v column) (Value.Int 20))
+
+let test_aggregate_partiality () =
+  Alcotest.check_raises "AVG undefined on empty" (Aggregate.Undefined Aggregate.Avg)
+    (fun () -> ignore (Aggregate.avg []));
+  Alcotest.check_raises "MIN undefined on empty" (Aggregate.Undefined Aggregate.Min)
+    (fun () -> ignore (Aggregate.min_v []));
+  Alcotest.(check int) "CNT total on empty" 0 (Aggregate.cnt []);
+  Alcotest.(check bool) "SUM total on empty" true
+    (Value.equal (Aggregate.sum []) (Value.Int 0))
+
+let test_aggregate_domains () =
+  Alcotest.(check bool) "CNT always int" true
+    (Domain.equal (Aggregate.result_domain Aggregate.Cnt Domain.DStr) Domain.DInt);
+  Alcotest.(check bool) "AVG float" true
+    (Domain.equal (Aggregate.result_domain Aggregate.Avg Domain.DInt) Domain.DFloat);
+  Alcotest.(check bool) "SUM rejects strings" true
+    (match Aggregate.result_domain Aggregate.Sum Domain.DStr with
+    | _ -> false
+    | exception Scalar.Eval_error _ -> true);
+  Alcotest.(check bool) "MIN on strings fine" true
+    (Domain.equal (Aggregate.result_domain Aggregate.Min Domain.DStr) Domain.DStr);
+  Alcotest.(check bool) "MAX rejects bool" true
+    (match Aggregate.result_domain Aggregate.Max Domain.DBool with
+    | _ -> false
+    | exception Scalar.Eval_error _ -> true)
+
+let test_var_stddev () =
+  (* Extension aggregates (Definition 3.3's remark): population
+     variance and standard deviation, multiplicity-weighted. *)
+  let column = [ (Value.Int 2, 1); (Value.Int 4, 3) ] in
+  (* mean = 3.5; var = ((2-3.5)^2 + 3*(4-3.5)^2)/4 = (2.25+0.75)/4 *)
+  Alcotest.(check (float 1e-9)) "VAR weighted" 0.75 (Aggregate.var column);
+  Alcotest.(check bool) "STDDEV = sqrt VAR" true
+    (Value.equal
+       (Aggregate.compute Aggregate.Stddev column)
+       (Value.Float (sqrt 0.75)));
+  Alcotest.check_raises "VAR undefined on empty" (Aggregate.Undefined Aggregate.Var)
+    (fun () -> ignore (Aggregate.var []));
+  Alcotest.(check bool) "VAR result domain is float" true
+    (Domain.equal (Aggregate.result_domain Aggregate.Var Domain.DInt) Domain.DFloat);
+  Alcotest.(check bool) "VAR rejects strings" true
+    (match Aggregate.result_domain Aggregate.Var Domain.DStr with
+    | _ -> false
+    | exception Scalar.Eval_error _ -> true);
+  (* Through the algebra and through the engine. *)
+  let r = rel [ (tup 1 2, 1); (tup 1 4, 3) ] in
+  let q = Expr.group_by [ 1 ] [ (Aggregate.Var, 2) ] (e r) in
+  let expected = Tuple.of_list [ Value.Int 1; Value.Float 0.75 ] in
+  Alcotest.(check int) "Γ VAR via reference" 1
+    (Relation.multiplicity expected (run q));
+  Alcotest.(check int) "Γ VAR via engine" 1
+    (Relation.multiplicity expected
+       (Mxra_engine.Exec.run_expr Database.empty q))
+
+let test_float_fold_canonicalisation () =
+  (* Regression: the same float value with its multiplicity split across
+     entries must aggregate identically to the consolidated form —
+     engine streams split counts, the reference bag consolidates them,
+     and float rounding must not see the difference. *)
+  let v = Value.Float 0.37 in
+  let split = [ (v, 2); (Value.Float 1.13, 1); (v, 3) ] in
+  let merged = [ (v, 5); (Value.Float 1.13, 1) ] in
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        ("split = merged for " ^ Aggregate.name kind)
+        true
+        (Value.equal
+           (Aggregate.compute_for Domain.DFloat kind split)
+           (Aggregate.compute_for Domain.DFloat kind merged)))
+    Aggregate.all_extended
+
+let test_aggregate_names () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check (option string))
+        ("round trip " ^ Aggregate.name kind)
+        (Some (Aggregate.name kind))
+        (Option.map Aggregate.name (Aggregate.of_name (Aggregate.name kind))))
+    Aggregate.all;
+  Alcotest.(check (option string)) "COUNT alias" (Some "CNT")
+    (Option.map Aggregate.name (Aggregate.of_name "count"))
+
+(* --- scalar/pred dynamics --------------------------------------------- *)
+
+let test_scalar_eval () =
+  let t = Tuple.of_list [ Value.Int 6; Value.Float 1.5 ] in
+  let v = Scalar.eval t (Scalar.add (Scalar.attr 1) (Scalar.int 4)) in
+  Alcotest.(check bool) "int add" true (Value.equal v (Value.Int 10));
+  let v = Scalar.eval t (Scalar.mul (Scalar.attr 2) (Scalar.float 2.0)) in
+  Alcotest.(check bool) "float mul" true (Value.equal v (Value.Float 3.0));
+  let v = Scalar.eval t (Scalar.Binop (Term.Concat, Scalar.str "a", Scalar.str "b")) in
+  Alcotest.(check bool) "concat" true (Value.equal v (Value.Str "ab"));
+  Alcotest.(check bool) "mixed int/float promotes" true
+    (Value.equal
+       (Scalar.eval t (Scalar.add (Scalar.attr 1) (Scalar.attr 2)))
+       (Value.Float 7.5))
+
+let test_scalar_division_by_zero () =
+  Alcotest.(check bool) "div by zero raises" true
+    (match Scalar.eval Tuple.unit (Scalar.div (Scalar.int 1) (Scalar.int 0)) with
+    | _ -> false
+    | exception Scalar.Eval_error _ -> true)
+
+let test_pred_eval () =
+  let t = Tuple.of_list [ Value.Int 5; Value.Str "x" ] in
+  Alcotest.(check bool) "lt" true
+    (Pred.eval t (Pred.lt (Scalar.attr 1) (Scalar.int 9)));
+  Alcotest.(check bool) "and/or/not" true
+    (Pred.eval t
+       (Pred.And
+          ( Pred.Or (Pred.eq (Scalar.attr 2) (Scalar.str "y"),
+                     Pred.ne (Scalar.attr 2) (Scalar.str "q")),
+            Pred.Not (Pred.gt (Scalar.attr 1) (Scalar.int 5)) )))
+
+let test_pred_simplify () =
+  let p = Pred.And (Pred.True, Pred.lt (Scalar.attr 1) (Scalar.int 3)) in
+  Alcotest.(check bool) "and true elim" true
+    (Pred.equal (Pred.simplify p) (Pred.lt (Scalar.attr 1) (Scalar.int 3)));
+  Alcotest.(check bool) "constant fold" true
+    (Pred.equal (Pred.simplify (Pred.lt (Scalar.int 1) (Scalar.int 2))) Pred.True);
+  Alcotest.(check bool) "or false elim, not not" true
+    (Pred.equal
+       (Pred.simplify (Pred.Or (Pred.False, Pred.Not (Pred.Not Pred.True))))
+       Pred.True)
+
+let test_attrs_used () =
+  let e =
+    Scalar.If
+      ( Pred.eq (Scalar.attr 4) (Scalar.int 0),
+        Scalar.add (Scalar.attr 2) (Scalar.attr 2),
+        Scalar.attr 7 )
+  in
+  Alcotest.(check (list int)) "footprint" [ 2; 4; 7 ] (Scalar.attrs_used e);
+  Alcotest.(check int) "max" 7 (Scalar.max_attr e);
+  Alcotest.(check (list int)) "shifted" [ 5; 7; 10 ]
+    (Scalar.attrs_used (Scalar.shift 3 e))
+
+let suite =
+  ( "eval",
+    [
+      Alcotest.test_case "union" `Quick test_union;
+      Alcotest.test_case "difference (monus)" `Quick test_diff;
+      Alcotest.test_case "intersection (min)" `Quick test_intersect;
+      Alcotest.test_case "product multiplies" `Quick test_product;
+      Alcotest.test_case "selection" `Quick test_select;
+      Alcotest.test_case "projection accumulates" `Quick test_project_accumulates;
+      Alcotest.test_case "extended projection" `Quick test_extended_projection;
+      Alcotest.test_case "join = σ∘× (Thm 3.1)" `Quick test_join_is_selected_product;
+      Alcotest.test_case "unique" `Quick test_unique;
+      Alcotest.test_case "groupby" `Quick test_groupby;
+      Alcotest.test_case "groupby empty α" `Quick test_groupby_empty_alpha;
+      Alcotest.test_case "groupby empty α, empty input" `Quick
+        test_groupby_empty_alpha_empty_input;
+      Alcotest.test_case "empty SUM stays in float domain" `Quick
+        test_sum_empty_float_domain;
+      Alcotest.test_case "evaluation against a database" `Quick test_eval_against_db;
+      Alcotest.test_case "Example 3.1" `Quick test_example_3_1;
+      Alcotest.test_case "Example 3.2: bag equivalence" `Quick
+        test_example_3_2_equivalence;
+      Alcotest.test_case "Example 3.2: set semantics differs" `Quick
+        test_example_3_2_set_semantics_differs;
+      Alcotest.test_case "aggregate functions" `Quick test_aggregate_functions;
+      Alcotest.test_case "aggregate partiality" `Quick test_aggregate_partiality;
+      Alcotest.test_case "aggregate result domains" `Quick test_aggregate_domains;
+      Alcotest.test_case "VAR and STDDEV extensions" `Quick test_var_stddev;
+      Alcotest.test_case "float fold canonicalisation" `Quick
+        test_float_fold_canonicalisation;
+      Alcotest.test_case "aggregate names" `Quick test_aggregate_names;
+      Alcotest.test_case "scalar evaluation" `Quick test_scalar_eval;
+      Alcotest.test_case "division by zero" `Quick test_scalar_division_by_zero;
+      Alcotest.test_case "condition evaluation" `Quick test_pred_eval;
+      Alcotest.test_case "condition simplification" `Quick test_pred_simplify;
+      Alcotest.test_case "attribute footprints" `Quick test_attrs_used;
+    ] )

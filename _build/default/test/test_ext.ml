@@ -1,0 +1,156 @@
+(* Extension tests: transitive closure (naive vs semi-naive agreement,
+   cycles, reachability) and the simulated parallel operators'
+   partition/merge laws. *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_ext
+module W = Mxra_workload
+
+let edge_schema = Schema.of_list [ ("src", Domain.DInt); ("dst", Domain.DInt) ]
+let edge a b = Tuple.of_list [ Value.Int a; Value.Int b ]
+let graph edges = Relation.of_list edge_schema (List.map (fun (a, b) -> edge a b) edges)
+
+(* --- closure -------------------------------------------------------------- *)
+
+let test_closure_chain () =
+  let r = Closure.closure (graph [ (1, 2); (2, 3); (3, 4) ]) in
+  Alcotest.(check int) "all 6 pairs" 6 (Relation.cardinal r);
+  Alcotest.(check int) "transitive pair" 1 (Relation.multiplicity (edge 1 4) r);
+  Alcotest.(check int) "no reverse pair" 0 (Relation.multiplicity (edge 4 1) r)
+
+let test_closure_cycle_terminates () =
+  let r = Closure.closure (graph [ (1, 2); (2, 3); (3, 1) ]) in
+  (* On a 3-cycle every ordered pair including self-loops is reachable. *)
+  Alcotest.(check int) "9 pairs on a 3-cycle" 9 (Relation.cardinal r);
+  Alcotest.(check int) "self loop derived" 1 (Relation.multiplicity (edge 1 1) r)
+
+let test_closure_set_semantics () =
+  (* Duplicate edges in the input do not create duplicate pairs. *)
+  let input = Relation.of_counted_list edge_schema [ (edge 1 2, 5) ] in
+  let r = Closure.closure input in
+  Alcotest.(check int) "multiplicity 1" 1 (Relation.multiplicity (edge 1 2) r)
+
+let test_closure_naive_agrees () =
+  let rng = W.Rng.make 11 in
+  for _ = 1 to 20 do
+    let g = W.Synth.chain_relation ~rng ~nodes:12 ~extra_edges:8 in
+    Alcotest.(check bool) "naive = semi-naive" true
+      (Relation.equal (Closure.closure g) (Closure.closure_naive g))
+  done
+
+let test_closure_reachable_and_iterations () =
+  let g = graph [ (1, 2); (2, 3); (5, 6) ] in
+  Alcotest.(check (list bool)) "reachable from 1"
+    [ true; true ]
+    (List.map
+       (fun v -> List.exists (Value.equal (Value.Int v)) (Closure.reachable g (Value.Int 1)))
+       [ 2; 3 ]);
+  Alcotest.(check bool) "6 not reachable from 1" false
+    (List.exists (Value.equal (Value.Int 6)) (Closure.reachable g (Value.Int 1)));
+  Alcotest.(check bool) "chain depth logarithmic-ish rounds" true
+    (Closure.iterations (W.Synth.chain_relation ~rng:(W.Rng.make 3) ~nodes:16 ~extra_edges:0) <= 16)
+
+let test_closure_rejects_non_binary () =
+  let bad = Relation.empty (Schema.of_list [ ("a", Domain.DInt) ]) in
+  Alcotest.(check bool) "unary rejected" true
+    (match Closure.closure bad with
+    | _ -> false
+    | exception Closure.Not_binary _ -> true);
+  let mixed = Relation.empty (Schema.of_list [ ("a", Domain.DInt); ("b", Domain.DStr) ]) in
+  Alcotest.(check bool) "mixed domains rejected" true
+    (match Closure.closure mixed with
+    | _ -> false
+    | exception Closure.Not_binary _ -> true)
+
+let test_closure_expr () =
+  let db = Database.of_relations [ ("g", graph [ (1, 2); (2, 3) ]) ] in
+  let r = Closure.closure_expr (Expr.rel "g") db in
+  Alcotest.(check int) "closure of expression" 3 (Relation.cardinal r)
+
+(* --- parallel operators ----------------------------------------------------- *)
+
+let rng = W.Rng.make 99
+
+let test_partition_merge_identity () =
+  for parts = 1 to 5 do
+    let r = W.Synth.two_column_int ~rng ~size:60 ~distinct:10 in
+    let by_key = Parallel.partition ~parts ~key:1 r in
+    Alcotest.(check bool)
+      (Printf.sprintf "hash partition/merge identity (p=%d)" parts)
+      true
+      (Relation.equal r (Parallel.merge by_key));
+    let rr = Parallel.partition_round_robin ~parts r in
+    Alcotest.(check bool) "round-robin partition/merge identity" true
+      (Relation.equal r (Parallel.merge rr))
+  done
+
+let test_par_select () =
+  let r = W.Synth.two_column_int ~rng ~size:80 ~distinct:9 in
+  let p = Pred.lt (Scalar.attr 1) (Scalar.int 4) in
+  let report = Parallel.par_select ~parts:4 p r in
+  Alcotest.(check bool) "σ distributes over partitioning" true
+    (Relation.equal (Eval.select p r) report.Parallel.result);
+  Alcotest.(check int) "work accounted" (Relation.cardinal r)
+    (Array.fold_left ( + ) 0 report.Parallel.fragment_work);
+  Alcotest.(check bool) "speedup within bounds" true
+    (report.Parallel.speedup >= 1.0 && report.Parallel.speedup <= 4.0)
+
+let test_par_project () =
+  let r = W.Synth.two_column_int ~rng ~size:50 ~distinct:7 in
+  let exprs = [ Scalar.add (Scalar.attr 1) (Scalar.attr 2) ] in
+  let report = Parallel.par_project ~parts:3 exprs r in
+  Alcotest.(check bool) "π distributes over partitioning" true
+    (Relation.equal (Eval.project exprs r) report.Parallel.result)
+
+let test_par_join () =
+  let left, right = W.Synth.join_pair ~rng ~left:60 ~right:40 ~key_range:8 in
+  let report = Parallel.par_join ~parts:4 ~left_key:1 ~right_key:1 left right in
+  let cond = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  Alcotest.(check bool) "co-partitioned join = sequential join" true
+    (Relation.equal (Eval.join cond left right) report.Parallel.result)
+
+let test_par_group_by () =
+  let r = W.Synth.two_column_int ~rng ~size:70 ~distinct:6 in
+  let attrs = [ 1 ] and aggs = [ (Aggregate.Sum, 2); (Aggregate.Cnt, 1) ] in
+  let report = Parallel.par_group_by ~parts:4 ~attrs ~aggs r in
+  Alcotest.(check bool) "Γ distributes over key partitioning" true
+    (Relation.equal (Eval.group_by attrs aggs r) report.Parallel.result);
+  Alcotest.(check bool) "global aggregate rejected" true
+    (match Parallel.par_group_by ~parts:2 ~attrs:[] ~aggs r with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_skew_hurts_speedup () =
+  (* A single hot key concentrates all work in one fragment: speedup
+     collapses toward 1.  Balanced keys approach p. *)
+  let skewed =
+    Relation.of_counted_list (Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ])
+      (List.init 40 (fun i -> (Tuple.of_list [ Value.Int 0; Value.Int i ], 1)))
+  in
+  let report = Parallel.par_group_by ~parts:4 ~attrs:[ 1 ] ~aggs:[ (Aggregate.Cnt, 1) ] skewed in
+  Alcotest.(check (float 1e-9)) "hot key kills parallelism" 1.0 report.Parallel.speedup;
+  let balanced = W.Synth.two_column_int ~rng ~size:4000 ~distinct:64 in
+  let report = Parallel.par_group_by ~parts:4 ~attrs:[ 1 ] ~aggs:[ (Aggregate.Cnt, 1) ] balanced in
+  Alcotest.(check bool) "balanced keys parallelise" true (report.Parallel.speedup > 2.0)
+
+let suite =
+  ( "ext",
+    [
+      Alcotest.test_case "closure of a chain" `Quick test_closure_chain;
+      Alcotest.test_case "closure terminates on cycles" `Quick
+        test_closure_cycle_terminates;
+      Alcotest.test_case "closure has set semantics" `Quick test_closure_set_semantics;
+      Alcotest.test_case "naive = semi-naive" `Quick test_closure_naive_agrees;
+      Alcotest.test_case "reachability and iterations" `Quick
+        test_closure_reachable_and_iterations;
+      Alcotest.test_case "non-binary inputs rejected" `Quick
+        test_closure_rejects_non_binary;
+      Alcotest.test_case "closure of an expression" `Quick test_closure_expr;
+      Alcotest.test_case "partition/merge identity" `Quick test_partition_merge_identity;
+      Alcotest.test_case "parallel selection" `Quick test_par_select;
+      Alcotest.test_case "parallel projection" `Quick test_par_project;
+      Alcotest.test_case "parallel join" `Quick test_par_join;
+      Alcotest.test_case "parallel grouping" `Quick test_par_group_by;
+      Alcotest.test_case "skew and speedup" `Quick test_skew_hurts_speedup;
+    ] )

@@ -1,0 +1,255 @@
+(* Section 4: statements, programs, transactions.  Exercises the update
+   equation R ← (R−E) ⊎ π_α(R∩E), Example 4.1, assignment temporaries,
+   and the atomicity property "(T(D) = D^{t.n+1}) ∨ (T(D) = D)". *)
+
+open Mxra_relational
+open Mxra_core
+module W = Mxra_workload
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+let tup k v = Tuple.of_list [ Value.Int k; Value.Int v ]
+
+let db0 =
+  Database.of_relations
+    [ ("r", Relation.of_counted_list s_kv [ (tup 1 10, 2); (tup 2 20, 1) ]) ]
+
+let lit pairs = Expr.const (Relation.of_counted_list s_kv pairs)
+
+(* --- statements -------------------------------------------------------- *)
+
+let test_insert () =
+  let db, out = Statement.exec db0 (Statement.Insert ("r", lit [ (tup 1 10, 1); (tup 3 30, 2) ])) in
+  Alcotest.(check bool) "no output" true (out = None);
+  let r = Database.find "r" db in
+  Alcotest.(check int) "bag insert adds multiplicity" 3 (Relation.multiplicity (tup 1 10) r);
+  Alcotest.(check int) "new tuple" 2 (Relation.multiplicity (tup 3 30) r)
+
+let test_delete () =
+  let db, _ = Statement.exec db0 (Statement.Delete ("r", lit [ (tup 1 10, 1); (tup 9 9, 5) ])) in
+  let r = Database.find "r" db in
+  Alcotest.(check int) "one copy removed" 1 (Relation.multiplicity (tup 1 10) r);
+  Alcotest.(check int) "absent tuple: monus ignores" 1
+    (Relation.multiplicity (tup 2 20) r)
+
+let test_update () =
+  (* update(r, σ_{k=1} r, (k, v+5)): only matching tuples modified,
+     multiplicities preserved. *)
+  let select_k1 = Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int 1)) (Expr.rel "r") in
+  let stmt =
+    Statement.Update
+      ("r", select_k1, [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int 5) ])
+  in
+  let db, _ = Statement.exec db0 stmt in
+  let r = Database.find "r" db in
+  Alcotest.(check int) "both copies updated" 2 (Relation.multiplicity (tup 1 15) r);
+  Alcotest.(check int) "old value gone" 0 (Relation.multiplicity (tup 1 10) r);
+  Alcotest.(check int) "others untouched" 1 (Relation.multiplicity (tup 2 20) r);
+  Alcotest.(check int) "cardinality preserved" 3 (Relation.cardinal r)
+
+let test_update_must_preserve_structure () =
+  let e = Expr.rel "r" in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (match Statement.exec db0 (Statement.Update ("r", e, [ Scalar.attr 1 ])) with
+    | _ -> false
+    | exception Statement.Exec_error _ -> true);
+  Alcotest.(check bool) "wrong domain rejected" true
+    (match
+       Statement.exec db0
+         (Statement.Update ("r", e, [ Scalar.attr 1; Scalar.str "boom" ]))
+     with
+    | _ -> false
+    | exception Statement.Exec_error _ -> true)
+
+let test_assign_and_query () =
+  let db, _ = Statement.exec db0 (Statement.Assign ("tmp", Expr.rel "r")) in
+  Alcotest.(check bool) "temporary bound" true (Database.is_temporary "tmp" db);
+  let _, out = Statement.exec db (Statement.Query (Expr.rel "tmp")) in
+  (match out with
+  | Some r -> Alcotest.(check int) "query returns contents" 3 (Relation.cardinal r)
+  | None -> Alcotest.fail "query produced no output");
+  Alcotest.(check bool) "schema mismatch on insert rejected" true
+    (match
+       Statement.exec db0
+         (Statement.Insert
+            ("r", Expr.const (Relation.empty (Schema.of_list [ ("z", Domain.DBool) ]))))
+     with
+    | _ -> false
+    | exception Statement.Exec_error _ -> true)
+
+(* --- programs ----------------------------------------------------------- *)
+
+let test_program_threads_state () =
+  let program =
+    [
+      Statement.Assign ("big", Expr.select (Pred.ge (Scalar.attr 2) (Scalar.int 15)) (Expr.rel "r"));
+      Statement.Delete ("r", Expr.rel "big");
+      Statement.Query (Expr.rel "r");
+      Statement.Insert ("r", lit [ (tup 7 70, 1) ]);
+      Statement.Query (Expr.rel "r");
+    ]
+  in
+  let db, outputs = Program.exec db0 program in
+  Alcotest.(check int) "two query outputs" 2 (List.length outputs);
+  (match outputs with
+  | [ first; second ] ->
+      Alcotest.(check int) "first snapshot" 2 (Relation.cardinal first);
+      Alcotest.(check int) "second snapshot" 3 (Relation.cardinal second)
+  | _ -> Alcotest.fail "unexpected output shape");
+  Alcotest.(check int) "final state" 3 (Relation.cardinal (Database.find "r" db))
+
+let test_program_infer () =
+  let good =
+    [
+      Statement.Assign ("t", Expr.rel "r");
+      Statement.Insert ("r", Expr.rel "t");
+    ]
+  in
+  Program.infer db0 good;
+  let bad =
+    [ Statement.Insert ("r", Expr.const (Relation.empty (Schema.of_list [ ("q", Domain.DBool) ]))) ]
+  in
+  Alcotest.(check bool) "static rejection" true
+    (match Program.infer db0 bad with
+    | () -> false
+    | exception Statement.Exec_error _ -> true);
+  (* infer must not read data: checking is on emptied relations, so a
+     query over a million-tuple relation types in O(schema). *)
+  Program.infer db0 [ Statement.Query (Expr.rel "r") ]
+
+(* --- transactions ------------------------------------------------------- *)
+
+let test_commit_drops_temporaries_and_ticks () =
+  let txn =
+    Transaction.make ~name:"t1"
+      [
+        Statement.Assign ("scratch", Expr.rel "r");
+        Statement.Insert ("r", Expr.rel "scratch");
+      ]
+  in
+  match Transaction.run db0 txn with
+  | Transaction.Committed { state; outputs } ->
+      Alcotest.(check int) "no outputs" 0 (List.length outputs);
+      Alcotest.(check bool) "temporary dropped" false (Database.mem "scratch" state);
+      Alcotest.(check int) "effects installed" 6
+        (Relation.cardinal (Database.find "r" state));
+      Alcotest.(check int) "time advanced" 1 (Database.logical_time state)
+  | Transaction.Aborted { reason; _ } -> Alcotest.fail ("unexpected abort: " ^ reason)
+
+let test_abort_restores_pre_state () =
+  (* Failure midway: first statement mutates, second fails.  Atomicity
+     demands the pre-state back. *)
+  let txn =
+    Transaction.make ~name:"t2"
+      [
+        Statement.Delete ("r", Expr.rel "r");
+        Statement.Insert ("nonexistent", Expr.rel "r");
+      ]
+  in
+  match Transaction.run db0 txn with
+  | Transaction.Aborted { state; reason } ->
+      Alcotest.(check bool) "reason mentions relation" true
+        (String.length reason > 0);
+      Alcotest.(check bool) "T(D) = D" true (Database.equal_states db0 state);
+      Alcotest.(check int) "time still advances" 1 (Database.logical_time state)
+  | Transaction.Committed _ -> Alcotest.fail "should have aborted"
+
+let test_abort_if () =
+  let txn =
+    Transaction.make ~name:"guarded"
+      ~abort_if:(fun db -> Relation.cardinal (Database.find "r" db) > 2)
+      [ Statement.Insert ("r", lit [ (tup 5 50, 3) ]) ]
+  in
+  match Transaction.run db0 txn with
+  | Transaction.Aborted { state; _ } ->
+      Alcotest.(check bool) "rolled back" true (Database.equal_states db0 state)
+  | Transaction.Committed _ -> Alcotest.fail "guard should have fired"
+
+let test_abort_on_dynamic_error () =
+  let div0 =
+    Expr.project [ Scalar.div (Scalar.attr 1) (Scalar.int 0) ] (Expr.rel "r")
+  in
+  let txn = Transaction.make [ Statement.Query div0 ] in
+  match Transaction.run db0 txn with
+  | Transaction.Aborted { state; _ } ->
+      Alcotest.(check bool) "dynamic failure aborts cleanly" true
+        (Database.equal_states db0 state)
+  | Transaction.Committed _ -> Alcotest.fail "division by zero must abort"
+
+let test_serial_batch () =
+  let insert k v =
+    Transaction.make [ Statement.Insert ("r", lit [ (tup k v, 1) ]) ]
+  in
+  let failing =
+    Transaction.make [ Statement.Insert ("missing", Expr.rel "r") ]
+  in
+  let final, outcomes = Transaction.run_all db0 [ insert 4 40; failing; insert 5 50 ] in
+  Alcotest.(check (list bool)) "commit, abort, commit"
+    [ true; false; true ]
+    (List.map Transaction.committed outcomes);
+  Alcotest.(check int) "both commits applied" 5
+    (Relation.cardinal (Database.find "r" final));
+  Alcotest.(check int) "logical time = 3 transitions" 3
+    (Database.logical_time final)
+
+let test_atomicity_property () =
+  (* Random programs against random databases: every outcome is either
+     full effects (committed) or the untouched pre-state (aborted). *)
+  let rng = W.Rng.make 7 in
+  for _ = 1 to 60 do
+    let db = W.Gen_expr.database ~rng () in
+    let name = W.Rng.pick rng (Database.relation_names db) in
+    let expr = W.Gen_expr.expr ~rng db ~depth:3 in
+    let stmt =
+      match W.Rng.int rng 4 with
+      | 0 -> Statement.Insert (name, expr)
+      | 1 -> Statement.Delete (name, expr)
+      | 2 -> Statement.Assign ("t", expr)
+      | _ -> Statement.Query expr
+    in
+    let txn = Transaction.make [ stmt ] in
+    match Transaction.run db txn with
+    | Transaction.Committed { state; _ } ->
+        Alcotest.(check bool) "no temporaries survive" true
+          (List.for_all
+             (fun n -> not (Database.is_temporary n state))
+             (Database.relation_names state))
+    | Transaction.Aborted { state; _ } ->
+        Alcotest.(check bool) "aborted ⇒ unchanged" true
+          (Database.equal_states db state)
+  done
+
+let test_example_4_1 () =
+  (* Guineken +10%: check against hand-computed result on tiny db. *)
+  let db, _ = Statement.exec W.Beer.tiny W.Beer.example_4_1 in
+  let beer = Database.find "beer" db in
+  let guineken_pils =
+    Tuple.of_list [ Value.Str "Pilsener"; Value.Str "Guineken"; Value.Float 5.5 ]
+  in
+  let grolsch_pils =
+    Tuple.of_list [ Value.Str "Pilsener"; Value.Str "Grolsch"; Value.Float 5.2 ]
+  in
+  Alcotest.(check int) "Guineken Pilsener now 5.5" 1
+    (Relation.multiplicity guineken_pils beer);
+  Alcotest.(check int) "Grolsch untouched" 1
+    (Relation.multiplicity grolsch_pils beer);
+  Alcotest.(check int) "cardinality unchanged" 10 (Relation.cardinal beer)
+
+let suite =
+  ( "language",
+    [
+      Alcotest.test_case "insert" `Quick test_insert;
+      Alcotest.test_case "delete" `Quick test_delete;
+      Alcotest.test_case "update" `Quick test_update;
+      Alcotest.test_case "update structure preservation" `Quick
+        test_update_must_preserve_structure;
+      Alcotest.test_case "assign and query" `Quick test_assign_and_query;
+      Alcotest.test_case "program threads state" `Quick test_program_threads_state;
+      Alcotest.test_case "program static checking" `Quick test_program_infer;
+      Alcotest.test_case "commit semantics" `Quick test_commit_drops_temporaries_and_ticks;
+      Alcotest.test_case "abort restores pre-state" `Quick test_abort_restores_pre_state;
+      Alcotest.test_case "abort_if guard" `Quick test_abort_if;
+      Alcotest.test_case "dynamic error aborts" `Quick test_abort_on_dynamic_error;
+      Alcotest.test_case "serial batch" `Quick test_serial_batch;
+      Alcotest.test_case "atomicity property" `Quick test_atomicity_property;
+      Alcotest.test_case "Example 4.1 (Guineken)" `Quick test_example_4_1;
+    ] )

@@ -1,0 +1,230 @@
+(* Model-based testing: the counted-Map multiset must behave exactly
+   like the naive model — a sorted list of elements with explicit
+   duplicates — under every operation; and the algebra operators must
+   match their list-comprehension definitions computed on expanded
+   tuple lists.  This pins the implementation to the simplest possible
+   reading of the paper's definitions. *)
+
+open Mxra_relational
+open Mxra_core
+module W = Mxra_workload
+
+module Ms = Mxra_multiset.Multiset.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+(* --- the list model ------------------------------------------------------- *)
+
+let model_of_bag m = Ms.to_list m
+let normalized xs = List.sort Int.compare xs
+let model_eq xs m = normalized xs = model_of_bag m
+
+let rec model_remove_one x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: model_remove_one x rest
+
+(* Monus on lists: remove one copy of each element of ys from xs. *)
+let model_diff xs ys = List.fold_left (fun acc y -> model_remove_one y acc) xs ys
+
+let model_inter xs ys =
+  (* min of counts: keep each x of xs if a copy remains in ys. *)
+  let rec go acc remaining = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if List.mem x remaining then
+          go (x :: acc) (model_remove_one x remaining) rest
+        else go acc remaining rest
+  in
+  go [] ys xs
+
+let gen_list = QCheck.Gen.(small_list (int_bound 5))
+let arb_list = QCheck.make gen_list ~print:(fun xs ->
+    String.concat ";" (List.map string_of_int xs))
+
+let prop name law arb =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 arb law)
+
+let bag_model_props =
+  [
+    prop "sum = list append"
+      (fun (xs, ys) ->
+        model_eq (xs @ ys) (Ms.sum (Ms.of_list xs) (Ms.of_list ys)))
+      (QCheck.pair arb_list arb_list);
+    prop "diff = list monus"
+      (fun (xs, ys) ->
+        model_eq (model_diff xs ys) (Ms.diff (Ms.of_list xs) (Ms.of_list ys)))
+      (QCheck.pair arb_list arb_list);
+    prop "inter = list min-count"
+      (fun (xs, ys) ->
+        model_eq (model_inter xs ys) (Ms.inter (Ms.of_list xs) (Ms.of_list ys)))
+      (QCheck.pair arb_list arb_list);
+    prop "distinct = sort_uniq"
+      (fun xs ->
+        model_eq (List.sort_uniq Int.compare xs) (Ms.distinct (Ms.of_list xs)))
+      arb_list;
+    prop "map = list map"
+      (fun xs ->
+        model_eq (List.map (fun x -> x * 2 mod 7) xs)
+          (Ms.map (fun x -> x * 2 mod 7) (Ms.of_list xs)))
+      arb_list;
+    prop "filter = list filter"
+      (fun xs ->
+        model_eq (List.filter (fun x -> x mod 2 = 0) xs)
+          (Ms.filter (fun x -> x mod 2 = 0) (Ms.of_list xs)))
+      arb_list;
+    prop "cardinal = length"
+      (fun xs -> Ms.cardinal (Ms.of_list xs) = List.length xs)
+      arb_list;
+    prop "multiplicity = count"
+      (fun (xs, x) ->
+        Ms.multiplicity x (Ms.of_list xs)
+        = List.length (List.filter (( = ) x) xs))
+      (QCheck.pair arb_list (QCheck.int_bound 5));
+    prop "subset = embeddable"
+      (fun (xs, ys) ->
+        Ms.subset (Ms.of_list xs) (Ms.of_list ys)
+        = (model_diff xs ys = []))
+      (QCheck.pair arb_list arb_list);
+  ]
+
+(* --- the algebra against list comprehensions ------------------------------- *)
+
+(* Expanded-tuple-list semantics of the operators, straight from the
+   definitions read as comprehensions over occurrences. *)
+let expanded r = Relation.to_list r
+
+let list_sorted ts = List.sort Tuple.compare ts
+let rel_eq model r = list_sorted model = list_sorted (expanded r)
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+
+let gen_rel =
+  QCheck.Gen.(
+    map
+      (fun pairs ->
+        Relation.of_list s_kv
+          (List.map
+             (fun (a, b) -> Tuple.of_list [ Value.Int a; Value.Int b ])
+             pairs))
+      (small_list (pair (int_bound 3) (int_bound 3))))
+
+let arb_rel = QCheck.make gen_rel ~print:Relation.to_string
+
+let algebra_model_props =
+  [
+    prop "union: occurrence concatenation"
+      (fun (r1, r2) ->
+        rel_eq (expanded r1 @ expanded r2) (Eval.union r1 r2))
+      (QCheck.pair arb_rel arb_rel);
+    prop "product: all occurrence pairs"
+      (fun (r1, r2) ->
+        let model =
+          List.concat_map
+            (fun t1 -> List.map (Tuple.concat t1) (expanded r2))
+            (expanded r1)
+        in
+        rel_eq model (Eval.product r1 r2))
+      (QCheck.pair arb_rel arb_rel);
+    prop "select: occurrence filter"
+      (fun r ->
+        let p = Pred.le (Scalar.attr 1) (Scalar.attr 2) in
+        rel_eq
+          (List.filter (fun t -> Pred.eval t p) (expanded r))
+          (Eval.select p r))
+      arb_rel;
+    prop "project: occurrence map (no dedup)"
+      (fun r ->
+        rel_eq
+          (List.map (Tuple.project [ 2 ]) (expanded r))
+          (Eval.project [ Scalar.attr 2 ] r))
+      arb_rel;
+    prop "unique: sort_uniq of occurrences"
+      (fun r ->
+        rel_eq
+          (List.sort_uniq Tuple.compare (expanded r))
+          (Eval.unique r))
+      arb_rel;
+    prop "join: filtered pairs"
+      (fun (r1, r2) ->
+        let p = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+        let model =
+          List.concat_map
+            (fun t1 ->
+              List.filter_map
+                (fun t2 ->
+                  let t = Tuple.concat t1 t2 in
+                  if Pred.eval t p then Some t else None)
+                (expanded r2))
+            (expanded r1)
+        in
+        rel_eq model (Eval.join p r1 r2))
+      (QCheck.pair arb_rel arb_rel);
+    prop "groupby CNT/SUM: fold over occurrences"
+      (fun r ->
+        let model =
+          let keys =
+            List.sort_uniq Value.compare
+              (List.map (fun t -> Tuple.attr t 1) (expanded r))
+          in
+          List.map
+            (fun k ->
+              let members =
+                List.filter (fun t -> Value.equal (Tuple.attr t 1) k) (expanded r)
+              in
+              let sum =
+                List.fold_left
+                  (fun acc t ->
+                    match Tuple.attr t 2 with Value.Int n -> acc + n | _ -> acc)
+                  0 members
+              in
+              Tuple.of_list
+                [ k; Value.Int (List.length members); Value.Int sum ])
+            keys
+        in
+        rel_eq model
+          (Eval.group_by [ 1 ] [ (Aggregate.Cnt, 2); (Aggregate.Sum, 2) ] r))
+      arb_rel;
+  ]
+
+(* --- transactions: XRA program print/parse/execute agreement --------------- *)
+
+let program_roundtrip_executes_identically =
+  let test seed =
+    let rng = W.Rng.make seed in
+    let db = W.Gen_expr.database ~rng () in
+    let name () = W.Rng.pick rng (Database.relation_names db) in
+    let stmt () =
+      let e = W.Gen_expr.expr ~rng db ~depth:2 in
+      match W.Rng.int rng 3 with
+      | 0 -> Statement.Insert (name (), e)
+      | 1 -> Statement.Delete (name (), e)
+      | _ -> Statement.Assign ("tmp", e)
+    in
+    let program = List.init (1 + W.Rng.int rng 3) (fun _ -> stmt ()) in
+    let source = Mxra_xra.Printer.program_to_string program in
+    let reparsed =
+      match Mxra_xra.Parser.command_of_string source with
+      | Mxra_xra.Parser.Cmd_transaction p -> p
+      | _ -> []
+    in
+    let run p =
+      match Transaction.run db (Transaction.make p) with
+      | Transaction.Committed { state; _ } -> Some state
+      | Transaction.Aborted _ -> None
+    in
+    match (run program, run reparsed) with
+    | Some s1, Some s2 -> Database.equal_states s1 s2
+    | None, None -> true
+    | Some _, None | None, Some _ -> false
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"printed programs execute identically" ~count:150
+       QCheck.small_nat test)
+
+let suite =
+  ( "model",
+    bag_model_props @ algebra_model_props
+    @ [ program_roundtrip_executes_identically ] )

@@ -1,0 +1,223 @@
+(* Unit and property tests for the multiset substrate: the bag laws the
+   whole algebra rests on (Definitions 2.2-2.3 and the operators'
+   multiplicity equations), including the min/monus identity at the heart
+   of Theorem 3.1. *)
+
+module Ms = Mxra_multiset.Multiset.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+let bag_of = Ms.of_list
+let check_bag msg expected actual =
+  Alcotest.(check bool) msg true (Ms.equal expected actual)
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_empty () =
+  Alcotest.(check bool) "empty is empty" true (Ms.is_empty Ms.empty);
+  Alcotest.(check int) "cardinal empty" 0 (Ms.cardinal Ms.empty);
+  Alcotest.(check int) "support empty" 0 (Ms.support_size Ms.empty);
+  Alcotest.(check int) "multiplicity in empty" 0 (Ms.multiplicity 3 Ms.empty)
+
+let test_add_remove () =
+  let m = Ms.add ~count:3 1 (Ms.add 2 Ms.empty) in
+  Alcotest.(check int) "mult 1" 3 (Ms.multiplicity 1 m);
+  Alcotest.(check int) "mult 2" 1 (Ms.multiplicity 2 m);
+  Alcotest.(check int) "cardinal" 4 (Ms.cardinal m);
+  Alcotest.(check int) "support" 2 (Ms.support_size m);
+  let m' = Ms.remove ~count:2 1 m in
+  Alcotest.(check int) "after remove" 1 (Ms.multiplicity 1 m');
+  let m'' = Ms.remove ~count:5 1 m in
+  Alcotest.(check int) "remove saturates" 0 (Ms.multiplicity 1 m'');
+  Alcotest.(check bool) "mem gone" false (Ms.mem 1 m'')
+
+let test_add_invalid () =
+  Alcotest.check_raises "add count 0" (Invalid_argument "Multiset.add: count 0 <= 0")
+    (fun () -> ignore (Ms.add ~count:0 1 Ms.empty));
+  Alcotest.check_raises "scale negative"
+    (Invalid_argument "Multiset.scale: negative factor") (fun () ->
+      ignore (Ms.scale (-1) Ms.empty))
+
+let test_set_count () =
+  let m = Ms.set_count 7 5 Ms.empty in
+  Alcotest.(check int) "set" 5 (Ms.multiplicity 7 m);
+  let m' = Ms.set_count 7 0 m in
+  Alcotest.(check bool) "set 0 removes" false (Ms.mem 7 m')
+
+let test_sum () =
+  let m = Ms.sum (bag_of [ 1; 1; 2 ]) (bag_of [ 1; 3 ]) in
+  check_bag "sum adds multiplicities" (bag_of [ 1; 1; 1; 2; 3 ]) m
+
+let test_diff_monus () =
+  let m = Ms.diff (bag_of [ 1; 1; 1; 2 ]) (bag_of [ 1; 2; 2; 3 ]) in
+  check_bag "monus" (bag_of [ 1; 1 ]) m
+
+let test_inter () =
+  let m = Ms.inter (bag_of [ 1; 1; 1; 2 ]) (bag_of [ 1; 1; 3 ]) in
+  check_bag "pointwise min" (bag_of [ 1; 1 ]) m
+
+let test_union_max () =
+  let m = Ms.union_max (bag_of [ 1; 1; 2 ]) (bag_of [ 1; 3 ]) in
+  check_bag "pointwise max" (bag_of [ 1; 1; 2; 3 ]) m
+
+let test_distinct () =
+  check_bag "distinct" (bag_of [ 1; 2; 3 ])
+    (Ms.distinct (bag_of [ 1; 1; 2; 2; 2; 3 ]))
+
+let test_scale () =
+  check_bag "scale 2" (bag_of [ 1; 1; 2; 2 ]) (Ms.scale 2 (bag_of [ 1; 2 ]));
+  check_bag "scale 0" Ms.empty (Ms.scale 0 (bag_of [ 1; 2 ]))
+
+let test_subset () =
+  Alcotest.(check bool) "subset yes" true
+    (Ms.subset (bag_of [ 1; 2 ]) (bag_of [ 1; 1; 2 ]));
+  Alcotest.(check bool) "subset multiplicity matters" false
+    (Ms.subset (bag_of [ 1; 1 ]) (bag_of [ 1; 2 ]));
+  Alcotest.(check bool) "empty subset" true (Ms.subset Ms.empty (bag_of [ 9 ]))
+
+let test_map_accumulates () =
+  (* map is bag projection: colliding images accumulate, no dedup. *)
+  let m = Ms.map (fun x -> x mod 2) (bag_of [ 1; 2; 3; 4; 5 ]) in
+  Alcotest.(check int) "odd count" 3 (Ms.multiplicity 1 m);
+  Alcotest.(check int) "even count" 2 (Ms.multiplicity 0 m);
+  Alcotest.(check int) "cardinal preserved" 5 (Ms.cardinal m)
+
+let test_filter_partition () =
+  let m = bag_of [ 1; 1; 2; 3; 4 ] in
+  let evens, odds = Ms.partition (fun x -> x mod 2 = 0) m in
+  check_bag "filter = fst partition" (Ms.filter (fun x -> x mod 2 = 0) m) evens;
+  check_bag "odds" (bag_of [ 1; 1; 3 ]) odds;
+  check_bag "partition is exhaustive" m (Ms.sum evens odds)
+
+let test_to_list_expansion () =
+  Alcotest.(check (list int)) "expanded, ordered" [ 1; 1; 2 ]
+    (Ms.to_list (bag_of [ 2; 1; 1 ]));
+  Alcotest.(check (list int)) "support" [ 1; 2 ] (Ms.support (bag_of [ 2; 1; 1 ]))
+
+let test_counted_roundtrip () =
+  let m = bag_of [ 5; 5; 5; 9 ] in
+  check_bag "counted round trip" m (Ms.of_counted_list (Ms.to_counted_list m));
+  check_bag "seq round trip" m (Ms.of_counted_seq (Ms.to_counted_seq m));
+  Alcotest.(check int) "lazy expansion" (Ms.cardinal m)
+    (List.length (List.of_seq (Ms.to_seq m)))
+
+let test_min_max_choose () =
+  let m = bag_of [ 4; 2; 9 ] in
+  Alcotest.(check (option int)) "min" (Some 2) (Ms.min_elt_opt m);
+  Alcotest.(check (option int)) "max" (Some 9) (Ms.max_elt_opt m);
+  Alcotest.(check (option int)) "min empty" None (Ms.min_elt_opt Ms.empty);
+  Alcotest.(check bool) "choose nonempty" true (Ms.choose_opt m <> None)
+
+let test_disjoint () =
+  Alcotest.(check bool) "disjoint" true
+    (Ms.disjoint (bag_of [ 1 ]) (bag_of [ 2 ]));
+  Alcotest.(check bool) "overlapping" false
+    (Ms.disjoint (bag_of [ 1; 2 ]) (bag_of [ 2; 3 ]))
+
+let test_map_counted () =
+  let m = Ms.map_counted (fun x n -> (x * 10, n * 2)) (bag_of [ 1; 2; 2 ]) in
+  Alcotest.(check int) "mult 10" 2 (Ms.multiplicity 10 m);
+  Alcotest.(check int) "mult 20" 4 (Ms.multiplicity 20 m)
+
+let test_pp () =
+  let m = bag_of [ 1; 2; 2; 2 ] in
+  Alcotest.(check string) "printing" "{|1, 2:3|}" (Format.asprintf "%a" Ms.pp m)
+
+(* --- properties ------------------------------------------------------ *)
+
+let gen_bag =
+  QCheck.Gen.(
+    map Ms.of_counted_list
+      (small_list (pair (int_bound 6) (int_range 1 4))))
+
+let arb_bag =
+  QCheck.make gen_bag
+    ~print:(fun m -> Format.asprintf "%a" Ms.pp m)
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let properties =
+  [
+    prop "sum is commutative" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.equal (Ms.sum a b) (Ms.sum b a));
+    prop "sum is associative" 200
+      (QCheck.triple arb_bag arb_bag arb_bag)
+      (fun (a, b, c) ->
+        Ms.equal (Ms.sum a (Ms.sum b c)) (Ms.sum (Ms.sum a b) c));
+    prop "empty is the unit of sum" 200 arb_bag (fun a ->
+        Ms.equal a (Ms.sum a Ms.empty));
+    prop "cardinal is additive over sum" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.cardinal (Ms.sum a b) = Ms.cardinal a + Ms.cardinal b);
+    (* Theorem 3.1's arithmetic core: min = monus of monus. *)
+    prop "inter = diff(a, diff(a,b)) [Thm 3.1]" 300
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.equal (Ms.inter a b) (Ms.diff a (Ms.diff a b)));
+    prop "inter commutative" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.equal (Ms.inter a b) (Ms.inter b a));
+    prop "inter associative" 200
+      (QCheck.triple arb_bag arb_bag arb_bag)
+      (fun (a, b, c) ->
+        Ms.equal (Ms.inter a (Ms.inter b c)) (Ms.inter (Ms.inter a b) c));
+    prop "monus self is empty" 200 arb_bag (fun a ->
+        Ms.is_empty (Ms.diff a a));
+    prop "diff after sum restores" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.equal a (Ms.diff (Ms.sum a b) b));
+    prop "subset iff inter is left" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.subset a b = Ms.equal (Ms.inter a b) a);
+    prop "distinct idempotent" 200 arb_bag (fun a ->
+        Ms.equal (Ms.distinct a) (Ms.distinct (Ms.distinct a)));
+    prop "distinct bounds support" 200 arb_bag (fun a ->
+        Ms.cardinal (Ms.distinct a) = Ms.support_size a);
+    prop "lattice absorption" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.equal a (Ms.inter a (Ms.union_max a b)));
+    prop "inter distributes over union_max" 200
+      (QCheck.triple arb_bag arb_bag arb_bag)
+      (fun (a, b, c) ->
+        Ms.equal
+          (Ms.inter a (Ms.union_max b c))
+          (Ms.union_max (Ms.inter a b) (Ms.inter a c)));
+    prop "sum = inter + union_max pointwise" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) ->
+        Ms.equal (Ms.sum a b) (Ms.sum (Ms.inter a b) (Ms.union_max a b)));
+    prop "compare consistent with equal" 200
+      (QCheck.pair arb_bag arb_bag)
+      (fun (a, b) -> Ms.equal a b = (Ms.compare a b = 0));
+    prop "of_list/to_list round trip" 200 arb_bag (fun a ->
+        Ms.equal a (Ms.of_list (Ms.to_list a)));
+  ]
+
+let suite =
+  ( "multiset",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "add/remove" `Quick test_add_remove;
+      Alcotest.test_case "invalid counts" `Quick test_add_invalid;
+      Alcotest.test_case "set_count" `Quick test_set_count;
+      Alcotest.test_case "sum" `Quick test_sum;
+      Alcotest.test_case "diff is monus" `Quick test_diff_monus;
+      Alcotest.test_case "inter" `Quick test_inter;
+      Alcotest.test_case "union_max" `Quick test_union_max;
+      Alcotest.test_case "distinct" `Quick test_distinct;
+      Alcotest.test_case "scale" `Quick test_scale;
+      Alcotest.test_case "subset" `Quick test_subset;
+      Alcotest.test_case "map accumulates" `Quick test_map_accumulates;
+      Alcotest.test_case "filter/partition" `Quick test_filter_partition;
+      Alcotest.test_case "to_list expansion" `Quick test_to_list_expansion;
+      Alcotest.test_case "counted round trips" `Quick test_counted_roundtrip;
+      Alcotest.test_case "min/max/choose" `Quick test_min_max_choose;
+      Alcotest.test_case "disjoint" `Quick test_disjoint;
+      Alcotest.test_case "map_counted" `Quick test_map_counted;
+      Alcotest.test_case "printing" `Quick test_pp;
+    ]
+    @ properties )

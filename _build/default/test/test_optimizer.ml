@@ -1,0 +1,285 @@
+(* Optimizer tests: rewrite shapes (pushdown, fusion, narrowing), cost
+   improvement on the paper-motivated queries, and the semantic-
+   preservation property over random expressions. *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_engine
+open Mxra_optimizer
+module W = Mxra_workload
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+let tup a b = Tuple.of_list [ Value.Int a; Value.Int b ]
+
+let db =
+  Database.of_relations
+    [
+      ("l", Relation.of_counted_list s_kv
+              (List.init 20 (fun i -> (tup (i mod 5) i, 1 + (i mod 2)))));
+      ("r", Relation.of_counted_list s_kv
+              (List.init 8 (fun i -> (tup (i mod 5) (100 + i), 1))));
+      ("s", Relation.of_counted_list s_kv [ (tup 1 1, 1); (tup 2 2, 1) ]);
+    ]
+
+let schemas = Typecheck.env_of_database db
+let stats = Stats.env_of_database db
+
+let rec contains_product = function
+  | Expr.Product _ -> true
+  | Expr.Rel _ | Expr.Const _ -> false
+  | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Unique e
+  | Expr.GroupBy (_, _, e) ->
+      contains_product e
+  | Expr.Union (a, b) | Expr.Diff (a, b) | Expr.Intersect (a, b)
+  | Expr.Join (_, a, b) ->
+      contains_product a || contains_product b
+
+let rec top_selects = function
+  | Expr.Select (_, e) -> 1 + top_selects e
+  | Expr.Rel _ | Expr.Const _ | Expr.Union _ | Expr.Diff _ | Expr.Product _
+  | Expr.Project _ | Expr.Intersect _ | Expr.Join _ | Expr.Unique _
+  | Expr.GroupBy _ ->
+      0
+
+(* --- rewrite shapes ------------------------------------------------------ *)
+
+let test_pushdown_through_join () =
+  (* σ_{%1>2 ∧ %3=0}(l ⋈ r): the %1 conjunct must sink into l, the %3
+     conjunct into r (as %1 there). *)
+  let e =
+    Expr.select
+      (Pred.And
+         (Pred.gt (Scalar.attr 1) (Scalar.int 2),
+          Pred.eq (Scalar.attr 3) (Scalar.int 0)))
+      (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r"))
+  in
+  let optimized = Rules.normalize schemas e in
+  Alcotest.(check int) "no selection remains at the top" 0 (top_selects optimized);
+  (match optimized with
+  | Expr.Join (_, Expr.Select (p_left, Expr.Rel "l"), Expr.Select (p_right, Expr.Rel "r")) ->
+      Alcotest.(check bool) "left conjunct" true
+        (Pred.equal p_left (Pred.gt (Scalar.attr 1) (Scalar.int 2)));
+      Alcotest.(check bool) "right conjunct reindexed" true
+        (Pred.equal p_right (Pred.eq (Scalar.attr 1) (Scalar.int 0)))
+  | other -> Alcotest.fail ("unexpected shape: " ^ Expr.to_string other));
+  Alcotest.(check bool) "semantics preserved" true
+    (Equiv.equivalent_on db e optimized)
+
+let test_join_introduction () =
+  let e =
+    Expr.select (Pred.eq (Scalar.attr 1) (Scalar.attr 3))
+      (Expr.product (Expr.rel "l") (Expr.rel "r"))
+  in
+  let optimized = Rules.normalize schemas e in
+  Alcotest.(check bool) "product fused away" false (contains_product optimized);
+  Alcotest.(check bool) "semantics preserved" true (Equiv.equivalent_on db e optimized)
+
+let test_pushdown_through_union_and_groupby () =
+  let union_case =
+    Expr.select (Pred.gt (Scalar.attr 2) (Scalar.int 3))
+      (Expr.union (Expr.rel "l") (Expr.rel "r"))
+  in
+  let optimized = Rules.normalize schemas union_case in
+  (match optimized with
+  | Expr.Union (Expr.Select _, Expr.Select _) -> ()
+  | other -> Alcotest.fail ("union pushdown failed: " ^ Expr.to_string other));
+  Alcotest.(check bool) "union semantics" true
+    (Equiv.equivalent_on db union_case optimized);
+  (* σ on a grouping key commutes below Γ. *)
+  let groupby_case =
+    Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int 2))
+      (Expr.group_by [ 1 ] [ (Aggregate.Sum, 2) ] (Expr.rel "l"))
+  in
+  let optimized = Rules.normalize schemas groupby_case in
+  (match optimized with
+  | Expr.GroupBy (_, _, Expr.Select _) -> ()
+  | other -> Alcotest.fail ("groupby pushdown failed: " ^ Expr.to_string other));
+  Alcotest.(check bool) "groupby semantics" true
+    (Equiv.equivalent_on db groupby_case optimized)
+
+let test_selection_not_pushed_past_aggregate_column () =
+  (* σ on the aggregate output must stay above Γ. *)
+  let e =
+    Expr.select (Pred.gt (Scalar.attr 2) (Scalar.int 10))
+      (Expr.group_by [ 1 ] [ (Aggregate.Sum, 2) ] (Expr.rel "l"))
+  in
+  let optimized = Rules.normalize schemas e in
+  (match optimized with
+  | Expr.Select (_, Expr.GroupBy (_, _, _)) -> ()
+  | other -> Alcotest.fail ("should stay above: " ^ Expr.to_string other));
+  Alcotest.(check bool) "semantics" true (Equiv.equivalent_on db e optimized)
+
+let test_projection_narrowing () =
+  (* Example 3.2's rewrite, produced automatically: a groupby over a join
+     should read only the columns it needs. *)
+  let e = W.Beer.example_3_2 in
+  let beer_schemas = Typecheck.env_of_database W.Beer.tiny in
+  let optimized = Rules.normalize beer_schemas e in
+  let rec join_has_projection_children = function
+    | Expr.Join (_, Expr.Project _, Expr.Project _) -> true
+    | Expr.Rel _ | Expr.Const _ -> false
+    | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Unique e
+    | Expr.GroupBy (_, _, e) ->
+        join_has_projection_children e
+    | Expr.Union (a, b) | Expr.Diff (a, b) | Expr.Intersect (a, b)
+    | Expr.Product (a, b) | Expr.Join (_, a, b) ->
+        join_has_projection_children a || join_has_projection_children b
+  in
+  Alcotest.(check bool) "projections inserted under the join" true
+    (join_has_projection_children optimized);
+  Alcotest.(check bool) "Example 3.2 semantics preserved" true
+    (Equiv.equivalent_on W.Beer.tiny e optimized);
+  Alcotest.(check bool) "optimizing is idempotent" true
+    (Expr.equal optimized (Rules.normalize beer_schemas optimized))
+
+let test_unique_pushdown () =
+  (* δ distributes over × and ⋈ (and collapses with itself); it must not
+     cross ⊎ or −. *)
+  let e = Expr.unique (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l") (Expr.rel "r")) in
+  let optimized = Rules.normalize schemas e in
+  (match optimized with
+  | Expr.Join (_, Expr.Unique (Expr.Rel "l"), Expr.Unique (Expr.Rel "r")) -> ()
+  | other -> Alcotest.fail ("δ not pushed through join: " ^ Expr.to_string other));
+  Alcotest.(check bool) "join case semantics" true (Equiv.equivalent_on db e optimized);
+  let e = Expr.unique (Expr.unique (Expr.rel "l")) in
+  Alcotest.(check bool) "δδ collapses" true
+    (Expr.equal (Rules.normalize schemas e) (Expr.unique (Expr.rel "l")));
+  let e = Expr.unique (Expr.union (Expr.rel "l") (Expr.rel "r")) in
+  (match Rules.normalize schemas e with
+  | Expr.Unique (Expr.Union (Expr.Rel "l", Expr.Rel "r")) -> ()
+  | other -> Alcotest.fail ("δ wrongly crossed ⊎: " ^ Expr.to_string other));
+  let e = Expr.unique (Expr.diff (Expr.rel "l") (Expr.rel "r")) in
+  match Rules.normalize schemas e with
+  | Expr.Unique (Expr.Diff (_, _)) -> ()
+  | other -> Alcotest.fail ("δ wrongly crossed −: " ^ Expr.to_string other)
+
+let test_empty_collapse () =
+  let empty = Expr.const (Relation.empty s_kv) in
+  let cases =
+    [
+      Expr.union empty (Expr.rel "l");
+      Expr.diff (Expr.rel "l") empty;
+      Expr.select Pred.True (Expr.rel "l");
+    ]
+  in
+  List.iter
+    (fun e ->
+      let optimized = Rules.normalize schemas e in
+      Alcotest.(check bool) ("collapses: " ^ Expr.to_string e) true
+        (Expr.equal optimized (Expr.rel "l")))
+    cases;
+  let to_empty =
+    [
+      Expr.select Pred.False (Expr.rel "l");
+      Expr.product (Expr.rel "l") empty;
+      Expr.intersect empty (Expr.rel "l");
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Rules.normalize schemas e with
+      | Expr.Const r ->
+          Alcotest.(check bool) "empty const" true (Relation.is_empty r)
+      | other -> Alcotest.fail ("expected empty const: " ^ Expr.to_string other))
+    to_empty
+
+let test_subst_pred () =
+  let exprs = [| Scalar.add (Scalar.attr 1) (Scalar.int 1); Scalar.attr 3 |] in
+  let p = Pred.eq (Scalar.attr 2) (Scalar.attr 1) in
+  let substituted = Rules.subst_pred exprs p in
+  Alcotest.(check bool) "substitution" true
+    (Pred.equal substituted
+       (Pred.eq (Scalar.attr 3) (Scalar.add (Scalar.attr 1) (Scalar.int 1))))
+
+(* --- join ordering -------------------------------------------------------- *)
+
+let test_join_reordering_improves_cost () =
+  (* big ⋈ big ⋈ tiny with conditions linking tiny to both: greedy should
+     start from the tiny relation.  Left-deep original order is the
+     pathological big×big first. *)
+  let cond_lr = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  let cond_rs = Pred.eq (Scalar.attr 3) (Scalar.attr 5) in
+  let e =
+    Expr.join cond_rs
+      (Expr.join cond_lr (Expr.rel "l") (Expr.rel "r"))
+      (Expr.rel "s")
+  in
+  let reordered = Optimizer.reorder_joins ~stats ~schemas e in
+  Alcotest.(check bool) "cost not worse" true
+    (Cost.cost ~stats ~schemas reordered <= Cost.cost ~stats ~schemas e +. 1e-6);
+  Alcotest.(check bool) "semantics preserved" true
+    (Equiv.equivalent_on db e reordered)
+
+let test_full_optimizer_on_worst_case () =
+  (* The fully naive form: σ over a pure triple product. *)
+  let p =
+    Pred.conj
+      [
+        Pred.eq (Scalar.attr 1) (Scalar.attr 3);
+        Pred.eq (Scalar.attr 3) (Scalar.attr 5);
+        Pred.gt (Scalar.attr 2) (Scalar.int 2);
+      ]
+  in
+  let e =
+    Expr.select p
+      (Expr.product (Expr.product (Expr.rel "l") (Expr.rel "r")) (Expr.rel "s"))
+  in
+  let optimized, report = Optimizer.explain ~stats ~schemas e in
+  Alcotest.(check bool) "no product left" false (contains_product optimized);
+  Alcotest.(check bool) "estimated cost reduced" true
+    (report.Optimizer.output_cost < report.Optimizer.input_cost);
+  Alcotest.(check bool) "semantics preserved" true
+    (Equiv.equivalent_on db e optimized);
+  (* And the real engine agrees both before and after. *)
+  Alcotest.(check bool) "engine result unchanged" true
+    (Relation.equal (Exec.run_expr db e) (Exec.run_expr db optimized))
+
+(* --- the central property -------------------------------------------------- *)
+
+let optimizer_preserves_semantics =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let db = scen.W.Gen_expr.db in
+    let optimized = Optimizer.optimize_db db scen.W.Gen_expr.expr in
+    match Equiv.equivalent_on db scen.W.Gen_expr.expr optimized with
+    | ok -> ok
+    | exception Aggregate.Undefined _ -> true
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"optimize preserves semantics" ~count:300
+       QCheck.small_nat test)
+
+let normalization_preserves_semantics =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:5 in
+    let db = scen.W.Gen_expr.db in
+    let env = Typecheck.env_of_database db in
+    let normalized = Rules.normalize env scen.W.Gen_expr.expr in
+    match Equiv.equivalent_on db scen.W.Gen_expr.expr normalized with
+    | ok -> ok
+    | exception Aggregate.Undefined _ -> true
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"normalize preserves semantics" ~count:300
+       QCheck.small_nat test)
+
+let suite =
+  ( "optimizer",
+    [
+      Alcotest.test_case "selection pushdown through join" `Quick
+        test_pushdown_through_join;
+      Alcotest.test_case "join introduction (Thm 3.1)" `Quick test_join_introduction;
+      Alcotest.test_case "pushdown through union and groupby" `Quick
+        test_pushdown_through_union_and_groupby;
+      Alcotest.test_case "aggregate-column selection stays" `Quick
+        test_selection_not_pushed_past_aggregate_column;
+      Alcotest.test_case "projection narrowing (Ex 3.2)" `Quick
+        test_projection_narrowing;
+      Alcotest.test_case "δ pushdown" `Quick test_unique_pushdown;
+      Alcotest.test_case "empty collapse" `Quick test_empty_collapse;
+      Alcotest.test_case "predicate substitution" `Quick test_subst_pred;
+      Alcotest.test_case "join reordering" `Quick test_join_reordering_improves_cost;
+      Alcotest.test_case "full pipeline on σ(××)" `Quick test_full_optimizer_on_worst_case;
+      optimizer_preserves_semantics;
+      normalization_preserves_semantics;
+    ] )

@@ -1,0 +1,229 @@
+(* SQL front-end tests: parsing, name resolution, translation shapes,
+   and — most importantly — the paper's own SQL statements (Examples 3.2
+   and 4.1) translating to expressions equivalent to the hand-built
+   algebra. *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_sql
+module W = Mxra_workload
+
+let env = Typecheck.env_of_database W.Beer.tiny
+let q src = Translate.query_of_string env src
+let run src = Eval.eval W.Beer.tiny (q src)
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let test_parse_select () =
+  match Sql_parser.parse "SELECT name, alcperc FROM beer WHERE alcperc > 6.0" with
+  | Sql_ast.Select { select; from; where = Some _; group_by = []; distinct = false } ->
+      Alcotest.(check int) "two items" 2 (List.length select);
+      Alcotest.(check int) "one table" 1 (List.length from)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_keywords_case_insensitive () =
+  match Sql_parser.parse "select distinct name from beer group by name" with
+  | Sql_ast.Select { distinct = true; group_by = [ _ ]; _ } -> ()
+  | _ -> Alcotest.fail "case-insensitive keywords failed"
+
+let test_parse_statements () =
+  (match Sql_parser.parse "INSERT INTO beer VALUES ('A', 'B', 5.0), ('C', 'D', 6.0)" with
+  | Sql_ast.Insert_values ("beer", [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "insert values");
+  (match Sql_parser.parse "DELETE FROM beer WHERE brewery = 'Grolsch'" with
+  | Sql_ast.Delete ("beer", Some _) -> ()
+  | _ -> Alcotest.fail "delete");
+  (match Sql_parser.parse "UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Guineken'" with
+  | Sql_ast.Update ("beer", [ ("alcperc", _) ], Some _) -> ()
+  | _ -> Alcotest.fail "update");
+  match Sql_parser.parse "CREATE TABLE t (a integer, b varchar)" with
+  | Sql_ast.Create ("t", [ ("a", Domain.DInt); ("b", Domain.DStr) ]) -> ()
+  | _ -> Alcotest.fail "create"
+
+let test_parse_script () =
+  let script = Sql_parser.parse_script "SELECT * FROM beer; DELETE FROM beer;" in
+  Alcotest.(check int) "two statements" 2 (List.length script)
+
+let test_parse_errors () =
+  let fails src =
+    match Sql_parser.parse src with
+    | _ -> false
+    | exception Sql_parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing FROM" true (fails "SELECT name");
+  Alcotest.(check bool) "garbage" true (fails "SELEC * FROM t");
+  Alcotest.(check bool) "unfinished where" true (fails "SELECT * FROM t WHERE")
+
+(* --- name resolution ----------------------------------------------------- *)
+
+let test_resolution () =
+  (* beer.name is column 1; brewery.name is column 4 in beer × brewery. *)
+  let e = q "SELECT beer.name FROM beer, brewery" in
+  (match e with
+  | Expr.Project ([ Scalar.Attr 1 ], _) -> ()
+  | _ -> Alcotest.fail ("qualified: " ^ Expr.to_string e));
+  let e = q "SELECT city FROM beer, brewery" in
+  (match e with
+  | Expr.Project ([ Scalar.Attr 5 ], _) -> ()
+  | _ -> Alcotest.fail ("unqualified offset: " ^ Expr.to_string e));
+  let fails src =
+    match q src with
+    | _ -> false
+    | exception Translate.Translate_error _ -> true
+  in
+  Alcotest.(check bool) "ambiguous name rejected" true
+    (fails "SELECT name FROM beer, brewery");
+  Alcotest.(check bool) "unknown column" true (fails "SELECT zz FROM beer");
+  Alcotest.(check bool) "unknown table" true (fails "SELECT a FROM nope");
+  (* Aliases disambiguate. *)
+  let e = q "SELECT b.name FROM beer x, brewery b" in
+  match e with
+  | Expr.Project ([ Scalar.Attr 4 ], _) -> ()
+  | _ -> Alcotest.fail ("alias: " ^ Expr.to_string e)
+
+(* --- translation vs the paper's examples ----------------------------------- *)
+
+let test_example_3_2_sql () =
+  (* The SQL from Example 3.2 must equal the hand-built algebra
+     (semantically; the FROM clause builds σ∘× rather than ⋈). *)
+  let sql =
+    "SELECT country, AVG(alcperc) FROM beer, brewery \
+     WHERE beer.brewery = brewery.name GROUP BY country"
+  in
+  let translated = q sql in
+  let reference = Eval.eval W.Beer.tiny W.Beer.example_3_2 in
+  Alcotest.(check bool) "same result as Example 3.2" true
+    (Relation.equal reference (Eval.eval W.Beer.tiny translated))
+
+let test_example_4_1_sql () =
+  let sql = "UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Guineken'" in
+  match Translate.translate_string env sql with
+  | Translate.Statement stmt ->
+      let db_sql, _ = Statement.exec W.Beer.tiny stmt in
+      let db_ref, _ = Statement.exec W.Beer.tiny W.Beer.example_4_1 in
+      Alcotest.(check bool) "same post-state as Example 4.1" true
+        (Relation.equal (Database.find "beer" db_sql) (Database.find "beer" db_ref))
+  | _ -> Alcotest.fail "expected a statement"
+
+(* --- query semantics -------------------------------------------------------- *)
+
+let name_count r name =
+  Relation.multiplicity (Tuple.of_list [ Value.Str name ]) r
+
+let test_select_where () =
+  let r = run "SELECT name FROM beer WHERE brewery = 'Guineken'" in
+  Alcotest.(check int) "two Guineken beers" 2 (Relation.cardinal r);
+  Alcotest.(check int) "Pilsener" 1 (name_count r "Pilsener")
+
+let test_duplicates_and_distinct () =
+  (* Names of Dutch beers: bag keeps the three Pilseners (Example 3.1);
+     DISTINCT collapses them. *)
+  let sql =
+    "SELECT beer.name FROM beer, brewery \
+     WHERE beer.brewery = brewery.name AND country = 'NL'"
+  in
+  let bag = run sql in
+  Alcotest.(check int) "bag keeps duplicates" 3 (name_count bag "Pilsener");
+  let set = run ("SELECT DISTINCT" ^ String.sub sql 6 (String.length sql - 6)) in
+  Alcotest.(check int) "distinct collapses" 1 (name_count set "Pilsener")
+
+let test_aggregates () =
+  let r = run "SELECT CNT(*) FROM beer" in
+  Alcotest.(check int) "count rows" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 10 ]) r);
+  let r = run "SELECT MAX(alcperc) FROM beer" in
+  Alcotest.(check int) "max" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Float 9.0 ]) r);
+  let r = run "SELECT brewery, CNT(name) FROM beer GROUP BY brewery" in
+  Alcotest.(check int) "per-brewery counts" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Str "Guineken"; Value.Int 2 ]) r)
+
+let test_statistical_aggregates () =
+  let r = run "SELECT brewery, VAR(alcperc) FROM beer GROUP BY brewery" in
+  Alcotest.(check int) "one row per brewery" 6 (Relation.cardinal r);
+  (* Paulaner brews one beer: variance 0. *)
+  Alcotest.(check int) "single-beer brewery has VAR 0" 1
+    (Relation.multiplicity
+       (Tuple.of_list [ Value.Str "Paulaner"; Value.Float 0.0 ])
+       r);
+  let r = run "SELECT STDDEV(alcperc) FROM beer" in
+  Alcotest.(check int) "global STDDEV returns one row" 1 (Relation.cardinal r)
+
+let test_select_reorder_output () =
+  (* Aggregate first in the select list: output projection must reorder. *)
+  let r = run "SELECT CNT(name), brewery FROM beer GROUP BY brewery" in
+  Alcotest.(check int) "reordered row" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Int 2; Value.Str "Guineken" ]) r)
+
+let test_group_by_without_aggregate () =
+  let r = run "SELECT country FROM brewery GROUP BY country" in
+  Alcotest.(check int) "one row per country" 3 (Relation.cardinal r);
+  Alcotest.(check int) "NL once" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Str "NL" ]) r)
+
+let test_arithmetic_in_select () =
+  let r = run "SELECT alcperc * 2.0 FROM beer WHERE name = 'Blauw'" in
+  Alcotest.(check int) "computed column" 1
+    (Relation.multiplicity (Tuple.of_list [ Value.Float 18.0 ]) r)
+
+let test_insert_delete_roundtrip () =
+  let exec_sql db src =
+    match Translate.translate_string (Typecheck.env_of_database db) src with
+    | Translate.Statement stmt -> fst (Statement.exec db stmt)
+    | _ -> Alcotest.fail "expected statement"
+  in
+  let db = exec_sql W.Beer.tiny "INSERT INTO beer VALUES ('New', 'Grolsch', 5)" in
+  Alcotest.(check int) "insert with int→float coercion" 11
+    (Relation.cardinal (Database.find "beer" db));
+  let db = exec_sql db "DELETE FROM beer WHERE name = 'New'" in
+  Alcotest.(check bool) "delete round trip" true
+    (Relation.equal (Database.find "beer" db) (Database.find "beer" W.Beer.tiny))
+
+let test_insert_select () =
+  let src = "INSERT INTO brewery SELECT * FROM brewery WHERE country = 'BE'" in
+  match Translate.translate_string env src with
+  | Translate.Statement stmt ->
+      let db, _ = Statement.exec W.Beer.tiny stmt in
+      Alcotest.(check int) "Belgian breweries duplicated" 2
+        (Relation.multiplicity
+           (Tuple.of_list [ Value.Str "Chimay"; Value.Str "Chimay"; Value.Str "BE" ])
+           (Database.find "brewery" db))
+  | _ -> Alcotest.fail "expected statement"
+
+let test_bad_values_rejected () =
+  let fails src =
+    match Translate.translate_string env src with
+    | _ -> false
+    | exception Translate.Translate_error _ -> true
+  in
+  Alcotest.(check bool) "arity mismatch" true
+    (fails "INSERT INTO beer VALUES ('A', 'B')");
+  Alcotest.(check bool) "domain mismatch" true
+    (fails "INSERT INTO beer VALUES (1, 'B', 5.0)");
+  Alcotest.(check bool) "non-grouped select item" true
+    (fails "SELECT name, AVG(alcperc) FROM beer GROUP BY brewery")
+
+let suite =
+  ( "sql",
+    [
+      Alcotest.test_case "parse SELECT" `Quick test_parse_select;
+      Alcotest.test_case "keywords case-insensitive" `Quick
+        test_parse_keywords_case_insensitive;
+      Alcotest.test_case "parse statements" `Quick test_parse_statements;
+      Alcotest.test_case "parse script" `Quick test_parse_script;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "name resolution" `Quick test_resolution;
+      Alcotest.test_case "Example 3.2 SQL ≡ algebra" `Quick test_example_3_2_sql;
+      Alcotest.test_case "Example 4.1 SQL ≡ update" `Quick test_example_4_1_sql;
+      Alcotest.test_case "select/where" `Quick test_select_where;
+      Alcotest.test_case "duplicates and DISTINCT" `Quick test_duplicates_and_distinct;
+      Alcotest.test_case "aggregates" `Quick test_aggregates;
+      Alcotest.test_case "statistical aggregates" `Quick test_statistical_aggregates;
+      Alcotest.test_case "output reordering" `Quick test_select_reorder_output;
+      Alcotest.test_case "GROUP BY without aggregates" `Quick
+        test_group_by_without_aggregate;
+      Alcotest.test_case "arithmetic in SELECT" `Quick test_arithmetic_in_select;
+      Alcotest.test_case "INSERT/DELETE round trip" `Quick test_insert_delete_roundtrip;
+      Alcotest.test_case "INSERT ... SELECT" `Quick test_insert_select;
+      Alcotest.test_case "bad statements rejected" `Quick test_bad_values_rejected;
+    ] )

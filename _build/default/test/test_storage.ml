@@ -1,0 +1,185 @@
+(* Durability tests: snapshot codec round trips, WAL replay, torn-tail
+   crash recovery, checkpointing. *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_storage
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mxra-store-%d-%d" (Unix.getpid ()) !counter)
+  in
+  if Sys.file_exists dir then
+    Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+  else Sys.mkdir dir 0o755;
+  dir
+
+let write_snapshot dir db =
+  Out_channel.with_open_text
+    (Filename.concat dir "snapshot.xra")
+    (fun oc -> Out_channel.output_string oc (Codec.encode_database db))
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DStr) ]
+let tup k v = Tuple.of_list [ Value.Int k; Value.Str v ]
+
+let sample_db =
+  Database.of_relations
+    [
+      ("items", Relation.of_counted_list s_kv [ (tup 1 "a", 2); (tup 2 "it's", 1) ]);
+      ("empty", Relation.empty s_kv);
+    ]
+
+(* --- codec -------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let encoded = Codec.encode_database sample_db in
+  let decoded = Codec.decode_database encoded in
+  Alcotest.(check bool) "snapshot round trip" true
+    (Database.equal_states sample_db decoded);
+  Alcotest.(check (list string)) "names preserved" [ "empty"; "items" ]
+    (Database.persistent_names decoded)
+
+let test_codec_preserves_time () =
+  let db = Database.tick (Database.tick sample_db) in
+  let decoded = Codec.decode_database (Codec.encode_database db) in
+  Alcotest.(check int) "logical time" 2 (Database.logical_time decoded)
+
+let test_codec_statement () =
+  let stmt =
+    Statement.Update
+      ( "items",
+        Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int 1)) (Expr.rel "items"),
+        [ Scalar.attr 1; Scalar.attr 2 ] )
+  in
+  let line = Codec.encode_statement stmt in
+  Alcotest.(check bool) "single line" true (not (String.contains line '\n'));
+  Alcotest.(check string) "statement round trip" line
+    (Codec.encode_statement (Codec.decode_statement line))
+
+(* --- store -------------------------------------------------------------- *)
+
+let insert_txn k v =
+  Transaction.make
+    [ Statement.Insert ("items", Expr.const (Relation.of_list s_kv [ tup k v ])) ]
+
+let with_store dir f =
+  let store = Store.open_dir dir in
+  let out = f store in
+  Store.close store;
+  out
+
+let test_store_commit_and_recover () =
+  with_store (fresh_dir ()) (fun store ->
+      Alcotest.(check bool) "fresh store empty" true
+        (Database.persistent_names (Store.database store) = []));
+  (* A seeded directory: snapshot written by hand, log empty. *)
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  let store = Store.open_dir dir in
+  Alcotest.(check int) "snapshot recovered" 3
+    (Relation.cardinal (Database.find "items" (Store.database store)));
+  let outcome = Store.commit store (insert_txn 9 "nine") in
+  Alcotest.(check bool) "committed" true (Transaction.committed outcome);
+  Alcotest.(check int) "one log record" 1 (Store.log_records store);
+  Store.close store;
+  (* Re-open: snapshot + log replay must reproduce the state. *)
+  let recovered = Store.recover_dir dir in
+  Alcotest.(check int) "insert survived restart" 1
+    (Relation.multiplicity (tup 9 "nine") (Database.find "items" recovered))
+
+let test_aborted_leaves_no_trace () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  with_store dir (fun store ->
+      let failing =
+        Transaction.make
+          [
+            Statement.Insert ("items", Expr.const (Relation.of_list s_kv [ tup 5 "x" ]));
+            Statement.Insert ("missing", Expr.rel "items");
+          ]
+      in
+      let outcome = Store.commit store failing in
+      Alcotest.(check bool) "aborted" false (Transaction.committed outcome);
+      Alcotest.(check int) "no log record" 0 (Store.log_records store));
+  let recovered = Store.recover_dir dir in
+  Alcotest.(check bool) "state unchanged after restart" true
+    (Database.equal_states sample_db recovered)
+
+let test_torn_tail_discarded () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  (* A complete record followed by a torn one (no commit marker). *)
+  Out_channel.with_open_text (Filename.concat dir "wal.xra") (fun oc ->
+      Out_channel.output_string oc
+        ("-- begin 1\n"
+        ^ Codec.encode_statement
+            (Statement.Insert
+               ("items", Expr.const (Relation.of_list s_kv [ tup 7 "ok" ])))
+        ^ "\n-- commit 1\n-- begin 2\n"
+        ^ Codec.encode_statement
+            (Statement.Insert
+               ("items", Expr.const (Relation.of_list s_kv [ tup 8 "torn" ])))
+        ^ "\n"));
+  let recovered = Store.recover_dir dir in
+  let items = Database.find "items" recovered in
+  Alcotest.(check int) "committed record replayed" 1
+    (Relation.multiplicity (tup 7 "ok") items);
+  Alcotest.(check int) "torn record discarded" 0
+    (Relation.multiplicity (tup 8 "torn") items)
+
+let test_checkpoint_truncates () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  with_store dir (fun store ->
+      ignore (Store.commit store (insert_txn 10 "ten"));
+      ignore (Store.commit store (insert_txn 11 "eleven"));
+      Alcotest.(check int) "two records" 2 (Store.log_records store);
+      Store.checkpoint store;
+      Alcotest.(check int) "log truncated" 0 (Store.log_records store);
+      ignore (Store.commit store (insert_txn 12 "twelve")));
+  let recovered = Store.recover_dir dir in
+  let items = Database.find "items" recovered in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check int) (v ^ " present") 1
+        (Relation.multiplicity (tup k v) items))
+    [ (10, "ten"); (11, "eleven"); (12, "twelve") ]
+
+let test_temporaries_replay () =
+  (* A transaction that routes data through a temporary must replay. *)
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  with_store dir (fun store ->
+      let txn =
+        Transaction.make
+          [
+            Statement.Assign ("stage", Expr.rel "items");
+            Statement.Insert ("items", Expr.rel "stage");
+          ]
+      in
+      ignore (Store.commit store txn);
+      Alcotest.(check int) "doubled in memory" 6
+        (Relation.cardinal (Database.find "items" (Store.database store))));
+  let recovered = Store.recover_dir dir in
+  Alcotest.(check int) "doubled after recovery" 6
+    (Relation.cardinal (Database.find "items" recovered));
+  Alcotest.(check bool) "no temporary leaked" false
+    (Database.mem "stage" recovered)
+
+let suite =
+  ( "storage",
+    [
+      Alcotest.test_case "codec round trip" `Quick test_codec_roundtrip;
+      Alcotest.test_case "codec preserves time" `Quick test_codec_preserves_time;
+      Alcotest.test_case "statement codec" `Quick test_codec_statement;
+      Alcotest.test_case "commit and recover" `Quick test_store_commit_and_recover;
+      Alcotest.test_case "aborts leave no trace" `Quick test_aborted_leaves_no_trace;
+      Alcotest.test_case "torn tail discarded" `Quick test_torn_tail_discarded;
+      Alcotest.test_case "checkpoint truncates log" `Quick test_checkpoint_truncates;
+      Alcotest.test_case "temporaries replay" `Quick test_temporaries_replay;
+    ] )

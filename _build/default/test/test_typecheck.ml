@@ -1,0 +1,134 @@
+(* Static typing tests: schema inference per operator and rejection of
+   every class of ill-formed expression. *)
+
+open Mxra_relational
+open Mxra_core
+
+let s_ab = Schema.of_list [ ("a", Domain.DInt); ("b", Domain.DStr) ]
+let s_cd = Schema.of_list [ ("c", Domain.DInt); ("d", Domain.DStr) ]
+let s_x = Schema.of_list [ ("x", Domain.DFloat) ]
+
+let env =
+  Typecheck.env_of_list [ ("r", s_ab); ("s", s_cd); ("t", s_x) ]
+
+let infer e = Typecheck.infer env e
+
+let check_domains msg expected actual =
+  Alcotest.(check bool)
+    (msg ^ " (got " ^ Schema.to_string actual ^ ")")
+    true
+    (List.equal Domain.equal expected (Schema.domains actual))
+
+let rejects msg e =
+  Alcotest.(check bool) msg true
+    (match infer e with
+    | _ -> false
+    | exception Typecheck.Type_error _ -> true)
+
+let test_leaves () =
+  check_domains "relation leaf" [ Domain.DInt; Domain.DStr ] (infer (Expr.rel "r"));
+  check_domains "const leaf" [ Domain.DFloat ]
+    (infer (Expr.const (Relation.empty s_x)));
+  rejects "unknown relation" (Expr.rel "nope")
+
+let test_set_ops () =
+  check_domains "union keeps schema" [ Domain.DInt; Domain.DStr ]
+    (infer (Expr.union (Expr.rel "r") (Expr.rel "s")));
+  rejects "union incompatible" (Expr.union (Expr.rel "r") (Expr.rel "t"));
+  rejects "diff incompatible" (Expr.diff (Expr.rel "r") (Expr.rel "t"));
+  rejects "intersect incompatible" (Expr.intersect (Expr.rel "t") (Expr.rel "s"))
+
+let test_product_join () =
+  check_domains "product concatenates"
+    [ Domain.DInt; Domain.DStr; Domain.DFloat ]
+    (infer (Expr.product (Expr.rel "r") (Expr.rel "t")));
+  let p = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  check_domains "join schema"
+    [ Domain.DInt; Domain.DStr; Domain.DInt; Domain.DStr ]
+    (infer (Expr.join p (Expr.rel "r") (Expr.rel "s")));
+  rejects "join condition out of range"
+    (Expr.join (Pred.eq (Scalar.attr 9) (Scalar.attr 1)) (Expr.rel "r")
+       (Expr.rel "s"));
+  rejects "join condition cross-domain"
+    (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 2)) (Expr.rel "r")
+       (Expr.rel "s"))
+
+let test_select () =
+  let ok = Pred.gt (Scalar.attr 1) (Scalar.int 0) in
+  check_domains "select keeps schema" [ Domain.DInt; Domain.DStr ]
+    (infer (Expr.select ok (Expr.rel "r")));
+  rejects "select compares str with int"
+    (Expr.select (Pred.eq (Scalar.attr 2) (Scalar.int 1)) (Expr.rel "r"))
+
+let test_project () =
+  check_domains "plain projection" [ Domain.DStr; Domain.DInt ]
+    (infer (Expr.project_attrs [ 2; 1 ] (Expr.rel "r")));
+  let extended =
+    Expr.project [ Scalar.add (Scalar.attr 1) (Scalar.int 1) ] (Expr.rel "r")
+  in
+  check_domains "extended projection result domain" [ Domain.DInt ]
+    (infer extended);
+  (* Name preservation: bare attrs keep their names. *)
+  let named = infer (Expr.project_attrs [ 2 ] (Expr.rel "r")) in
+  Alcotest.(check string) "name kept" "b" (Schema.attribute named 1).Schema.name;
+  rejects "empty projection" (Expr.project [] (Expr.rel "r"));
+  rejects "projection out of range" (Expr.project_attrs [ 3 ] (Expr.rel "r"));
+  rejects "arith on string attr"
+    (Expr.project [ Scalar.add (Scalar.attr 2) (Scalar.int 1) ] (Expr.rel "r"))
+
+let test_unique_groupby () =
+  check_domains "unique keeps schema" [ Domain.DInt; Domain.DStr ]
+    (infer (Expr.unique (Expr.rel "r")));
+  let g = Expr.group_by [ 2 ] [ (Aggregate.Avg, 1) ] (Expr.rel "r") in
+  check_domains "groupby schema = keys ⊕ ran(f)"
+    [ Domain.DStr; Domain.DFloat ] (infer g);
+  let named = infer g in
+  Alcotest.(check string) "agg column name" "avg_a"
+    (Schema.attribute named 2).Schema.name;
+  check_domains "empty α yields aggregate-only schema" [ Domain.DInt ]
+    (infer (Expr.aggregate Aggregate.Cnt 1 (Expr.rel "r")));
+  rejects "groupby duplicate key"
+    (Expr.group_by [ 1; 1 ] [ (Aggregate.Cnt, 1) ] (Expr.rel "r"));
+  rejects "groupby no aggregate" (Expr.group_by [ 1 ] [] (Expr.rel "r"));
+  rejects "SUM over string attr"
+    (Expr.group_by [ 1 ] [ (Aggregate.Sum, 2) ] (Expr.rel "r"));
+  rejects "groupby key out of range"
+    (Expr.group_by [ 5 ] [ (Aggregate.Cnt, 1) ] (Expr.rel "r"))
+
+let test_check_result () =
+  Alcotest.(check bool) "Ok case" true
+    (Result.is_ok (Typecheck.check env (Expr.rel "r")));
+  Alcotest.(check bool) "Error case carries message" true
+    (match Typecheck.check env (Expr.rel "nope") with
+    | Error msg -> String.length msg > 0
+    | Ok _ -> false)
+
+let test_static_means_no_dynamic_type_errors () =
+  (* A checked expression evaluates without typing failures on any
+     instance of its schema: sweep a few random databases. *)
+  let rng = Mxra_workload.Rng.make 42 in
+  let checked = ref 0 in
+  for _ = 1 to 40 do
+    let db = Mxra_workload.Gen_expr.database ~rng () in
+    let e = Mxra_workload.Gen_expr.expr ~rng db ~depth:4 in
+    let schema = Typecheck.infer_db db e in
+    let r = Eval.eval db e in
+    Alcotest.(check bool) "result schema matches inference" true
+      (Schema.compatible schema (Relation.schema r));
+    incr checked
+  done;
+  Alcotest.(check int) "ran all scenarios" 40 !checked
+
+let suite =
+  ( "typecheck",
+    [
+      Alcotest.test_case "leaves" `Quick test_leaves;
+      Alcotest.test_case "union/diff/intersect" `Quick test_set_ops;
+      Alcotest.test_case "product/join" `Quick test_product_join;
+      Alcotest.test_case "select" `Quick test_select;
+      Alcotest.test_case "projection" `Quick test_project;
+      Alcotest.test_case "unique/groupby" `Quick test_unique_groupby;
+      Alcotest.test_case "result interface" `Quick test_check_result;
+      Alcotest.test_case "inference agrees with evaluation" `Quick
+        test_static_means_no_dynamic_type_errors;
+    ] )

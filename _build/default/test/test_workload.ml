@@ -1,0 +1,141 @@
+(* The generators themselves: determinism from seeds, Zipf shape, synth
+   knobs (size, duplicate factor), the beer and retail datasets'
+   structural guarantees, and the random-expression generator's
+   well-typedness. *)
+
+open Mxra_relational
+open Mxra_core
+module W = Mxra_workload
+
+let test_rng_determinism () =
+  let draw seed =
+    let rng = W.Rng.make seed in
+    List.init 20 (fun _ -> W.Rng.int rng 1000)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (draw 42) (draw 42);
+  Alcotest.(check bool) "different seeds differ" true (draw 42 <> draw 43);
+  let rng = W.Rng.make 1 in
+  Alcotest.(check bool) "int_in bounds" true
+    (List.for_all
+       (fun _ ->
+         let x = W.Rng.int_in rng 5 9 in
+         x >= 5 && x <= 9)
+       (List.init 200 Fun.id));
+  Alcotest.(check bool) "pick from singleton" true
+    (W.Rng.pick rng [ "only" ] = "only");
+  Alcotest.check_raises "pick from empty" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (W.Rng.pick rng []))
+
+let test_rng_weighted_and_shuffle () =
+  let rng = W.Rng.make 5 in
+  (* Weight 0 options are never chosen. *)
+  for _ = 1 to 100 do
+    Alcotest.(check string) "zero weight excluded" "a"
+      (W.Rng.pick_weighted rng [ (1, "a"); (0, "b") ])
+  done;
+  let xs = List.init 30 Fun.id in
+  let shuffled = W.Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "shuffle is a permutation" xs
+    (List.sort Int.compare shuffled)
+
+let test_zipf_shape () =
+  let z = W.Zipf.make ~n:50 ~s:1.2 in
+  let rng = W.Rng.make 9 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let k = W.Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (k >= 1 && k <= 50);
+    counts.(k - 1) <- counts.(k - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 dominates rank 10" true
+    (counts.(0) > 2 * counts.(9));
+  Alcotest.(check bool) "rank 1 dominates rank 49" true
+    (counts.(0) > 10 * counts.(48));
+  (* s = 0 is uniform-ish: no rank takes more than a few percent. *)
+  let u = W.Zipf.make ~n:50 ~s:0.0 in
+  let ucounts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let k = W.Zipf.sample u rng in
+    ucounts.(k - 1) <- ucounts.(k - 1) + 1
+  done;
+  Alcotest.(check bool) "uniform when s=0" true
+    (Array.for_all (fun c -> c < 800) ucounts);
+  Alcotest.check_raises "n <= 0 rejected" (Invalid_argument "Zipf.make: n <= 0")
+    (fun () -> ignore (W.Zipf.make ~n:0 ~s:1.0))
+
+let test_synth_knobs () =
+  let rng = W.Rng.make 3 in
+  let schema = Schema.of_list [ ("a", Domain.DInt); ("b", Domain.DStr) ] in
+  let r = W.Synth.relation ~rng ~schema ~size:500 ~dup_factor:10 () in
+  Alcotest.(check int) "size honoured" 500 (Relation.cardinal r);
+  Alcotest.(check bool) "duplicate factor takes effect" true
+    (Mxra_engine.Stats.dup_factor (Mxra_engine.Stats.of_relation r) > 3.0);
+  let distinct = W.Synth.relation ~rng ~schema ~size:500 ~dup_factor:1 () in
+  (* Value pools are finite, so chance collisions exist even at d=1; the
+     knob's effect is relative. *)
+  Alcotest.(check bool) "dup 1 far more distinct than dup 10" true
+    (Relation.support_size distinct > 2 * Relation.support_size r);
+  let l, rr = W.Synth.join_pair ~rng ~left:100 ~right:50 ~key_range:10 in
+  Alcotest.(check int) "join pair sizes" 150
+    (Relation.cardinal l + Relation.cardinal rr);
+  let g = W.Synth.chain_relation ~rng ~nodes:10 ~extra_edges:5 in
+  Alcotest.(check int) "chain + extras" 14 (Relation.cardinal g)
+
+let test_beer_dataset () =
+  (* The running example's structural guarantees: schemas, the Guineken
+     brewery of Example 4.1, and name duplication for Example 3.1. *)
+  Alcotest.(check bool) "beer schema" true
+    (Schema.compatible
+       (Database.schema_of "beer" W.Beer.tiny)
+       W.Beer.beer_schema);
+  let dutch_names = Eval.eval W.Beer.tiny W.Beer.example_3_1 in
+  Alcotest.(check bool) "Example 3.1 really yields duplicates" true
+    (Relation.cardinal dutch_names > Relation.support_size dutch_names);
+  let rng = W.Rng.make 11 in
+  let big = W.Beer.generate ~rng ~breweries:20 ~beers:2_000 () in
+  Alcotest.(check int) "generated size" 2000
+    (Relation.cardinal (Database.find "beer" big));
+  (* Every generated beer references a generated brewery (FK by
+     construction), so Example 3.2 runs cleanly at any scale. *)
+  let fk =
+    Mxra_ext.Constraints.Foreign_key
+      { from_relation = "beer"; from_attrs = [ 2 ];
+        to_relation = "brewery"; to_attrs = [ 1 ] }
+  in
+  Alcotest.(check bool) "beer.brewery -> brewery.name holds" true
+    (Mxra_ext.Constraints.satisfied big [ fk ])
+
+let test_gen_expr_well_typed () =
+  (* Every generated expression type-checks and evaluates against its
+     own database — the foundation the property suites stand on. *)
+  for seed = 0 to 80 do
+    let scen = W.Gen_expr.scenario ~seed ~depth:5 in
+    let schema = Typecheck.infer_db scen.W.Gen_expr.db scen.W.Gen_expr.expr in
+    let r = Eval.eval scen.W.Gen_expr.db scen.W.Gen_expr.expr in
+    Alcotest.(check bool) "schema matches" true
+      (Schema.compatible schema (Relation.schema r))
+  done
+
+let test_gen_expr_targeted () =
+  let rng = W.Rng.make 21 in
+  let db = W.Gen_expr.database ~rng () in
+  let target = Schema.of_domains [ Domain.DInt; Domain.DStr ] in
+  for _ = 1 to 40 do
+    let e = W.Gen_expr.expr_of_schema ~rng db ~depth:3 target in
+    let inferred = Typecheck.infer_db db e in
+    Alcotest.(check bool) "target domains met" true
+      (Schema.compatible inferred target)
+  done
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng weighted/shuffle" `Quick test_rng_weighted_and_shuffle;
+      Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
+      Alcotest.test_case "synth knobs" `Quick test_synth_knobs;
+      Alcotest.test_case "beer dataset" `Quick test_beer_dataset;
+      Alcotest.test_case "generated expressions type-check" `Quick
+        test_gen_expr_well_typed;
+      Alcotest.test_case "targeted generation" `Quick test_gen_expr_targeted;
+    ] )

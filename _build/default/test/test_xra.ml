@@ -1,0 +1,230 @@
+(* XRA concrete-language tests: lexing, parsing each construct, error
+   reporting, and the parse∘print round-trip property over random
+   expressions (Const leaves included via the literal relation form). *)
+
+open Mxra_relational
+open Mxra_core
+open Mxra_xra
+module W = Mxra_workload
+
+let parse = Parser.expr_of_string
+
+let check_expr msg expected src =
+  Alcotest.(check bool)
+    (msg ^ " (parsed " ^ Expr.to_string (parse src) ^ ")")
+    true
+    (Expr.equal expected (parse src))
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let test_lexer () =
+  let toks = Lexer.tokenize "select[%1 >= 2](r) -- comment\n" in
+  Alcotest.(check int) "token count" 10 (Array.length toks);
+  Alcotest.(check bool) "attr token" true (fst toks.(2) = Token.ATTR 1);
+  let toks = Lexer.tokenize "'it''s'" in
+  Alcotest.(check bool) "escaped quote" true (fst toks.(0) = Token.STRING "it's");
+  Alcotest.(check bool) "mod vs attr" true
+    (fst (Lexer.tokenize "%1 % %2").(1) = Token.PERCENT);
+  Alcotest.(check bool) "lex error position" true
+    (match Lexer.tokenize "a @ b" with
+    | _ -> false
+    | exception Lexer.Lex_error (_, 2) -> true)
+
+(* --- expression parsing -------------------------------------------------- *)
+
+let test_parse_operators () =
+  check_expr "relation" (Expr.rel "beer") "beer";
+  check_expr "union" (Expr.union (Expr.rel "a") (Expr.rel "b")) "union(a, b)";
+  check_expr "nested"
+    (Expr.diff (Expr.intersect (Expr.rel "a") (Expr.rel "b")) (Expr.rel "c"))
+    "diff(intersect(a, b), c)";
+  check_expr "select"
+    (Expr.select (Pred.gt (Scalar.attr 1) (Scalar.int 2)) (Expr.rel "r"))
+    "select[%1 > 2](r)";
+  check_expr "project extended"
+    (Expr.project
+       [ Scalar.attr 1; Scalar.mul (Scalar.attr 3) (Scalar.float 1.1) ]
+       (Expr.rel "r"))
+    "project[%1, %3 * 1.1](r)";
+  check_expr "join"
+    (Expr.join (Pred.eq (Scalar.attr 2) (Scalar.attr 4)) (Expr.rel "beer")
+       (Expr.rel "brewery"))
+    "join[%2 = %4](beer, brewery)";
+  check_expr "unique" (Expr.unique (Expr.rel "r")) "unique(r)";
+  check_expr "groupby"
+    (Expr.group_by [ 6 ] [ (Aggregate.Avg, 3) ] (Expr.rel "j"))
+    "groupby[%6; avg(%3)](j)";
+  check_expr "groupby empty keys"
+    (Expr.aggregate Aggregate.Cnt 1 (Expr.rel "r"))
+    "groupby[; CNT(%1)](r)";
+  check_expr "extension aggregates"
+    (Expr.group_by [ 1 ] [ (Aggregate.Var, 2); (Aggregate.Stddev, 2) ] (Expr.rel "r"))
+    "groupby[%1; var(%2), stddev(%2)](r)"
+
+let test_parse_scalars_preds () =
+  check_expr "precedence * over +"
+    (Expr.project
+       [ Scalar.add (Scalar.attr 1) (Scalar.mul (Scalar.attr 2) (Scalar.int 3)) ]
+       (Expr.rel "r"))
+    "project[%1 + %2 * 3](r)";
+  check_expr "conditional"
+    (Expr.project
+       [ Scalar.If
+           (Pred.gt (Scalar.attr 1) (Scalar.int 0), Scalar.attr 1,
+            Scalar.Neg (Scalar.attr 1)) ]
+       (Expr.rel "r"))
+    "project[if %1 > 0 then %1 else - %1](r)";
+  check_expr "boolean connectives"
+    (Expr.select
+       (Pred.Or
+          (Pred.And (Pred.eq (Scalar.attr 1) (Scalar.int 1), Pred.True),
+           Pred.Not (Pred.lt (Scalar.attr 2) (Scalar.str "x"))))
+       (Expr.rel "r"))
+    "select[(%1 = 1 and true) or not %2 < 'x'](r)";
+  check_expr "parenthesised scalar comparison"
+    (Expr.select
+       (Pred.gt (Scalar.add (Scalar.attr 1) (Scalar.int 1)) (Scalar.int 2))
+       (Expr.rel "r"))
+    "select[(%1 + 1) > 2](r)"
+
+let test_parse_literal_relation () =
+  let e = parse "rel[(a:int, b:str)]{(1, 'x'):2, (2, 'y')}" in
+  match e with
+  | Expr.Const r ->
+      Alcotest.(check int) "multiplicity honoured" 2
+        (Relation.multiplicity (Tuple.of_list [ Value.Int 1; Value.Str "x" ]) r);
+      Alcotest.(check int) "cardinal" 3 (Relation.cardinal r)
+  | _ -> Alcotest.fail "expected a literal relation"
+
+let test_parse_errors () =
+  let fails src =
+    match parse src with
+    | _ -> false
+    | exception Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing paren" true (fails "union(a, b");
+  Alcotest.(check bool) "missing operand" true (fails "union(a)");
+  Alcotest.(check bool) "bad aggregate" true (fails "groupby[%1; foo(%2)](r)");
+  Alcotest.(check bool) "trailing garbage" true (fails "r r");
+  Alcotest.(check bool) "ill-typed literal rejected at parse" true
+    (fails "rel[(a:int)]{('x')}")
+
+(* --- statements, programs, commands --------------------------------------- *)
+
+let test_parse_statements () =
+  let s = Parser.statement_of_string "insert(beer, rel[(n:int)]{(1)})" in
+  (match s with
+  | Statement.Insert ("beer", Expr.Const _) -> ()
+  | _ -> Alcotest.fail "insert shape");
+  let s = Parser.statement_of_string "tmp := select[%1 = 1](r)" in
+  (match s with
+  | Statement.Assign ("tmp", Expr.Select (_, Expr.Rel "r")) -> ()
+  | _ -> Alcotest.fail "assign shape");
+  let s = Parser.statement_of_string "?unique(r)" in
+  (match s with
+  | Statement.Query (Expr.Unique (Expr.Rel "r")) -> ()
+  | _ -> Alcotest.fail "query shape");
+  let s =
+    Parser.statement_of_string
+      "update(beer, select[%2 = 'Guineken'](beer), [%1, %2, %3 * 1.1])"
+  in
+  match s with
+  | Statement.Update ("beer", _, [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "update shape"
+
+let test_parse_program_and_script () =
+  let p = Parser.program_of_string "t := r; insert(s, t); ?s" in
+  Alcotest.(check int) "three statements" 3 (List.length p);
+  let script =
+    Parser.script_of_string
+      "create r (a:int); begin insert(r, rel[(a:int)]{(1)}); ?r end; ?r;"
+  in
+  (match script with
+  | [ Parser.Cmd_create ("r", schema); Parser.Cmd_transaction txn;
+      Parser.Cmd_statement (Statement.Query _) ] ->
+      Alcotest.(check int) "schema arity" 1 (Schema.arity schema);
+      Alcotest.(check int) "txn statements" 2 (List.length txn)
+  | _ -> Alcotest.fail "script shape")
+
+(* --- paper example in concrete syntax -------------------------------------- *)
+
+let test_example_3_1_concrete () =
+  let e =
+    parse "project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))"
+  in
+  Alcotest.(check bool) "matches the API-built Example 3.1" true
+    (Expr.equal e W.Beer.example_3_1);
+  let result = Eval.eval W.Beer.tiny e in
+  Alcotest.(check int) "evaluates correctly" 3
+    (Relation.multiplicity (Tuple.of_list [ Value.Str "Pilsener" ]) result)
+
+(* --- round trip ------------------------------------------------------------- *)
+
+let test_print_parse_fixed () =
+  let sources =
+    [
+      "union(a, b)";
+      "select[%1 = 1](r)";
+      "groupby[%1, %2; SUM(%3), CNT(%1)](r)";
+      "rel[(a:int, b:str)]{(1, 'x'):2}";
+      "project[if %1 > 0 then 1 else 0](r)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let printed = Printer.expr_to_string e in
+      Alcotest.(check bool)
+        ("round trip: " ^ src ^ " printed as " ^ printed)
+        true
+        (Expr.equal e (parse printed)))
+    sources
+
+let roundtrip_property =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let e = scen.W.Gen_expr.expr in
+    let printed = Printer.expr_to_string e in
+    match Parser.expr_of_string printed with
+    | parsed -> Expr.equal parsed e
+    | exception (Parser.Parse_error _ | Lexer.Lex_error _) -> false
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"parse ∘ print = id" ~count:300 QCheck.small_nat test)
+
+let statement_roundtrip =
+  let test seed =
+    let rng = W.Rng.make seed in
+    let db = W.Gen_expr.database ~rng () in
+    let name = W.Rng.pick rng (Database.relation_names db) in
+    let e = W.Gen_expr.expr ~rng db ~depth:3 in
+    let stmt =
+      match W.Rng.int rng 4 with
+      | 0 -> Statement.Insert (name, e)
+      | 1 -> Statement.Delete (name, e)
+      | 2 -> Statement.Assign ("t", e)
+      | _ -> Statement.Query e
+    in
+    let printed = Printer.statement_to_string stmt in
+    match Parser.statement_of_string printed with
+    | parsed -> Printer.statement_to_string parsed = printed
+    | exception (Parser.Parse_error _ | Lexer.Lex_error _) -> false
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"statement round trip" ~count:200 QCheck.small_nat test)
+
+let suite =
+  ( "xra",
+    [
+      Alcotest.test_case "lexer" `Quick test_lexer;
+      Alcotest.test_case "operators" `Quick test_parse_operators;
+      Alcotest.test_case "scalars and conditions" `Quick test_parse_scalars_preds;
+      Alcotest.test_case "literal relations" `Quick test_parse_literal_relation;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "statements" `Quick test_parse_statements;
+      Alcotest.test_case "programs and scripts" `Quick test_parse_program_and_script;
+      Alcotest.test_case "Example 3.1 in XRA" `Quick test_example_3_1_concrete;
+      Alcotest.test_case "fixed round trips" `Quick test_print_parse_fixed;
+      roundtrip_property;
+      statement_roundtrip;
+    ] )
