@@ -611,6 +611,118 @@ let e12_isolation () =
         (Mxra_concurrency.Scheduler.equivalent_serial db txns result))
     [ 1; 4; 16 ]
 
+(* --------------------------------------------------------------- E13 *)
+
+(* EXPLAIN ANALYZE: estimation quality.  Every query runs instrumented;
+   each physical operator reports estimated vs actual rows and the
+   q-error max(est/act, act/est).  The figures are printed and written
+   to BENCH_explain.json so estimation quality is tracked over time. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec flatten_report (r : Exec.report) =
+  r :: List.concat_map flatten_report r.Exec.inputs
+
+let e13_estimation_quality () =
+  header "E13  EXPLAIN ANALYZE: estimation quality (q-error per operator)";
+  let n = if quick then 2_000 else 10_000 in
+  let beer_db =
+    W.Beer.generate ~rng:(W.Rng.make 13) ~breweries:(n / 100) ~beers:n ()
+  in
+  let rng = W.Rng.make 1313 in
+  let a = W.Synth.two_column_int ~rng ~size:(n / 4) ~distinct:500 in
+  let b = W.Synth.two_column_int ~rng ~size:n ~distinct:500 in
+  let c = W.Synth.two_column_int ~rng ~size:60 ~distinct:500 in
+  let abc = Database.of_relations [ ("a", a); ("b", b); ("c", c) ] in
+  let three_way =
+    Expr.join
+      (Pred.eq (Scalar.attr 4) (Scalar.attr 5))
+      (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "a")
+         (Expr.rel "b"))
+      (Expr.rel "c")
+  in
+  let queries =
+    [
+      ("ex-3.1-select-join", beer_db, W.Beer.example_3_1);
+      ("ex-3.2-group-join", beer_db, W.Beer.example_3_2);
+      ("three-way-join", abc, three_way);
+      ( "distinct-brewery",
+        beer_db,
+        Expr.unique (Expr.project_attrs [ 2 ] (Expr.rel "beer")) );
+    ]
+  in
+  row "  %-20s | %8s %10s | %8s %8s | %12s@." "query" "rows" "ms" "max q"
+    "mean q" "tuples moved";
+  let results =
+    List.map
+      (fun (name, db, e) ->
+        let optimized = Opt.Optimizer.optimize_db db e in
+        let analysis = Exec.explain_analyze db optimized in
+        let ops = flatten_report analysis.Exec.root in
+        let qs = List.map (fun (r : Exec.report) -> r.Exec.q_error) ops in
+        let max_q = List.fold_left Float.max 1.0 qs in
+        let mean_q =
+          exp
+            (List.fold_left (fun acc q -> acc +. log q) 0.0 qs
+            /. float_of_int (List.length qs))
+        in
+        let counter_of key =
+          Metrics.count (Metrics.counter analysis.Exec.totals key)
+        in
+        row "  %-20s | %8d %10.2f | %8.2f %8.2f | %12d@." name
+          (Relation.cardinal analysis.Exec.result)
+          analysis.Exec.total_ms max_q mean_q (counter_of "tuples-moved");
+        (name, analysis, ops, max_q, mean_q))
+      queries
+  in
+  (* JSON, hand-rolled: the container image carries no JSON library and
+     the shape is flat enough not to need one. *)
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"experiment\": \"E13-estimation-quality\",\n  \"queries\": [";
+  List.iteri
+    (fun i (name, (analysis : Exec.analysis), ops, max_q, mean_q) ->
+      if i > 0 then bpf ",";
+      bpf "\n    {\"name\": %S, \"rows\": %d, \"total_ms\": %.3f," name
+        (Relation.cardinal analysis.Exec.result)
+        analysis.Exec.total_ms;
+      bpf " \"max_q_error\": %.4f, \"mean_q_error\": %.4f," max_q mean_q;
+      List.iter
+        (fun (key, value) ->
+          match value with
+          | Metrics.Count c -> bpf " \"%s\": %d," (json_escape key) c
+          | Metrics.Duration_ms ms ->
+              bpf " \"%s_ms\": %.3f," (json_escape key) ms)
+        (Metrics.dump analysis.Exec.totals);
+      bpf "\n     \"per_operator\": [";
+      List.iteri
+        (fun j (r : Exec.report) ->
+          if j > 0 then bpf ",";
+          bpf "\n       {\"op\": \"%s\", \"est\": %.1f, \"act\": %d, \"q\": \
+               %.4f}"
+            (json_escape (Physical.label r.Exec.node))
+            r.Exec.estimated_rows r.Exec.actual.Exec.out_rows r.Exec.q_error)
+        ops;
+      bpf "]}")
+    results;
+  bpf "\n  ]\n}\n";
+  let path = "BENCH_explain.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  row "  wrote %s@." path
+
 (* ------------------------------------------------- bechamel suite *)
 
 let bechamel_suite () =
@@ -731,7 +843,7 @@ let bechamel_suite () =
 
 let () =
   Format.printf
-    "mxra benchmark harness: experiments E1..E10 of DESIGN.md section 5%s@."
+    "mxra benchmark harness: experiments E1..E13 of DESIGN.md section 5%s@."
     (if quick then " (quick mode)" else "");
   e1_dup_removal ();
   e2_derived_operators ();
@@ -745,5 +857,6 @@ let () =
   e10_sql ();
   e11_durability ();
   e12_isolation ();
+  e13_estimation_quality ();
   bechamel_suite ();
   Format.printf "@.done.@."

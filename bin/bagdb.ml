@@ -22,19 +22,22 @@ let preload beer gen_beers =
   else if beer then Mxra_workload.Beer.tiny
   else Database.empty
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
-
 let run_query ~optimize ~stats db e =
   let e = if optimize then Mxra_optimizer.Optimizer.optimize_db db e else e in
   let plan = Mxra_engine.Planner.plan db e in
-  let result, elapsed = time (fun () -> Mxra_engine.Exec.run db plan) in
-  Format.printf "%a@." Relation.pp_table result;
-  if stats then
-    Format.printf "-- %.3f ms, %d tuples moved@." (elapsed *. 1000.0)
-      (Mxra_engine.Exec.tuples_moved db plan)
+  if stats then begin
+    (* One instrumented run yields the result, the timing and the tuple
+       traffic — no second execution to count what already happened. *)
+    let a = Mxra_engine.Exec.run_instrumented db plan in
+    Format.printf "%a@." Relation.pp_table a.Mxra_engine.Exec.result;
+    let moved =
+      Mxra_engine.Metrics.count
+        (Mxra_engine.Metrics.counter a.Mxra_engine.Exec.totals "tuples-moved")
+    in
+    Format.printf "-- %.3f ms, %d tuples moved@." a.Mxra_engine.Exec.total_ms
+      moved
+  end
+  else Format.printf "%a@." Relation.pp_table (Mxra_engine.Exec.run db plan)
 
 let exec_statement ~optimize ~stats db stmt =
   match stmt with
@@ -77,20 +80,33 @@ let run_sql ~optimize ~stats db path =
   in
   ignore (List.fold_left step db (Sql.Sql_parser.parse_script source))
 
-let explain db src =
+let explain ~analyze db src =
   let e = Xra.Parser.expr_of_string src in
-  let stats_env = Mxra_engine.Stats.env_of_database db in
-  let schemas = Typecheck.env_of_database db in
   let optimized, report =
-    Mxra_optimizer.Optimizer.explain ~stats:stats_env ~schemas e
+    if analyze then Mxra_optimizer.Optimizer.explain_db db e
+    else
+      Mxra_optimizer.Optimizer.explain
+        ~stats:(Mxra_engine.Stats.env_of_database db)
+        ~schemas:(Typecheck.env_of_database db)
+        e
   in
   Format.printf "input:      %s@." (Expr.to_string e);
   Format.printf "optimized:  %s@." (Expr.to_string optimized);
   Format.printf "est. cost:  %.0f -> %.0f tuples@."
     report.Mxra_optimizer.Optimizer.input_cost
     report.Mxra_optimizer.Optimizer.output_cost;
-  Format.printf "physical:@.%s@."
-    (Mxra_engine.Physical.to_string (Mxra_engine.Planner.plan db optimized))
+  (match
+     ( report.Mxra_optimizer.Optimizer.input_moved,
+       report.Mxra_optimizer.Optimizer.output_moved )
+   with
+  | Some before, Some after ->
+      Format.printf "realized:   %d -> %d tuples moved@." before after
+  | _ -> ());
+  if analyze then
+    Format.printf "explain analyze:@.%a@." Mxra_engine.Exec.pp_analysis
+      (Mxra_engine.Exec.explain_analyze db optimized)
+  else
+    Format.printf "physical:@.%s@." (Mxra_engine.Exec.explain db optimized)
 
 (* --- command line ----------------------------------------------------- *)
 
@@ -147,12 +163,20 @@ let sql_cmd =
   Cmd.v (Cmd.info "sql" ~doc:"Execute a SQL script.")
     Term.(const action $ beer_flag $ gen_flag $ stats_flag $ no_optimize_flag $ path_arg)
 
+let analyze_flag =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Execute the optimized plan with instrumentation and report \
+           estimated vs actual rows, per-operator q-error and wall time.")
+
 let explain_cmd =
-  let action beer gen expr =
-    guarded (fun () -> explain (preload beer gen) expr)
+  let action beer gen analyze expr =
+    guarded (fun () -> explain ~analyze (preload beer gen) expr)
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize an XRA expression and show plans.")
-    Term.(const action $ beer_flag $ gen_flag $ expr_arg)
+    Term.(const action $ beer_flag $ gen_flag $ analyze_flag $ expr_arg)
 
 let () =
   let doc = "a multi-set extended relational algebra database (ICDE 1994)" in

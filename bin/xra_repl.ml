@@ -75,6 +75,19 @@ let show_plan db src =
   Format.printf "physical:@.%s@."
     (Mxra_engine.Physical.to_string (Mxra_engine.Planner.plan db optimized))
 
+(* explain E: optimized physical plan, each operator annotated with its
+   estimated output rows.  explain analyze E: additionally execute,
+   annotating estimated vs actual rows, per-operator q-error and wall
+   time. *)
+let explain_query db ~analyze src =
+  let e = Xra.Parser.expr_of_string src in
+  let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
+  if analyze then
+    Format.printf "%a@."
+      Mxra_engine.Exec.pp_analysis
+      (Mxra_engine.Exec.explain_analyze db optimized)
+  else print_endline (Mxra_engine.Exec.explain db optimized)
+
 let help () =
   print_string
     "XRA shell.  Statements: insert(R,E)  delete(R,E)  update(R,E,[a,...])\n\
@@ -82,7 +95,9 @@ let help () =
      Expressions: union diff product intersect join[p] select[p]\n\
     \  project[a,...] unique groupby[keys; AGG(%i),...] rel[(..)]{..}\n\
      Meta: .help .quit .tables .show R .schema R .beer .sql STMT .plan E\n\
-    \  .load FILE .save DIR .open DIR .import FILE R .export R FILE\n"
+    \  .load FILE .save DIR .open DIR .import FILE R .export R FILE\n\
+     Profiling: explain E (estimated rows per operator)\n\
+    \  explain analyze E (estimated vs actual rows, q-error, time)\n"
 
 let rec run_script db path =
   let source = In_channel.with_open_text path In_channel.input_all in
@@ -140,7 +155,19 @@ and dispatch db line =
     | _ ->
         Format.printf "unknown meta command; try .help@.";
         db
-  else exec_command db (Xra.Parser.command_of_string trimmed)
+  else
+    let prefixed prefix =
+      let n = String.length prefix in
+      if String.length trimmed > n && String.sub trimmed 0 n = prefix then
+        Some (String.sub trimmed n (String.length trimmed - n))
+      else None
+    in
+    match prefixed "explain analyze " with
+    | Some src -> explain_query db ~analyze:true src; db
+    | None -> (
+        match prefixed "explain " with
+        | Some src -> explain_query db ~analyze:false src; db
+        | None -> exec_command db (Xra.Parser.command_of_string trimmed))
 
 let safely f db =
   match f db with
@@ -156,6 +183,13 @@ let safely f db =
       db
   | exception Statement.Exec_error msg ->
       Format.printf "error: %s@." msg;
+      db
+  | exception Scalar.Eval_error msg ->
+      Format.printf "eval error: %s@." msg;
+      db
+  | exception Aggregate.Undefined kind ->
+      Format.printf "eval error: %a undefined on an empty group@." Aggregate.pp
+        kind;
       db
   | exception Sql.Translate.Translate_error msg ->
       Format.printf "sql error: %s@." msg;

@@ -196,6 +196,11 @@ let rec profile ~stats ~schemas e =
 
 let estimate_cardinality ~stats ~schemas e = (profile ~stats ~schemas e).card
 
+let q_error ~estimated ~actual =
+  let est = Float.max 1.0 estimated in
+  let act = Float.max 1.0 (float_of_int actual) in
+  Float.max (est /. act) (act /. est)
+
 (* Cost is data volume, not tuple count: each operator's output charged
    as estimated cardinality x output arity, so a narrowing projection
    (Example 3.2) is rewarded for shrinking rows, not punished for being

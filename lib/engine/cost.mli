@@ -41,3 +41,11 @@ val cost : stats:Stats.env -> schemas:Typecheck.env -> Expr.t -> float
 
 val selectivity : profile -> Pred.t -> float
 (** Estimated fraction of tuples satisfying the condition, in [0, 1]. *)
+
+val q_error : estimated:float -> actual:int -> float
+(** The standard misestimation factor [max(est/act, act/est)], with both
+    sides clamped to at least one tuple so that exact hits — including
+    the empty/empty case — score 1.0 and the measure is always finite.
+    A q-error of [q] means the estimate is off by a factor of [q] in one
+    direction or the other; join-order quality degrades roughly with the
+    product of the q-errors along the join tree. *)

@@ -74,29 +74,48 @@ let count_table stream =
     stream;
   table
 
-(* [tick] is invoked with every counted-tuple element each operator
-   emits; summing over operators measures the tuple traffic of the plan,
-   and weighting by arity measures the data volume. *)
-let rec exec ~tick db plan : (Tuple.t * int) Seq.t =
-  let emit s = Seq.map (fun x -> tick x; x) s in
+(* Instrumentation hooks.  [around node thunk] wraps the construction of
+   an operator's output stream (eager work — hash builds, sorts —
+   happens inside the thunk) and may wrap the stream itself, seeing
+   every counted-tuple element the operator emits; summing over
+   operators measures the tuple traffic of the plan, and weighting by
+   arity measures the data volume.  [observe node key value] reports an
+   operator-specific gauge (hash-build size, group count, materialised
+   inner cardinality). *)
+type hooks = {
+  around :
+    Physical.t -> (unit -> (Tuple.t * int) Seq.t) -> (Tuple.t * int) Seq.t;
+  observe : Physical.t -> string -> int -> unit;
+}
+
+let no_hooks = { around = (fun _ f -> f ()); observe = (fun _ _ _ -> ()) }
+
+let rec exec ~hooks db plan : (Tuple.t * int) Seq.t =
+  hooks.around plan (fun () -> exec_node ~hooks db plan)
+
+and exec_node ~hooks db plan : (Tuple.t * int) Seq.t =
   match plan with
-  | Physical.Const_scan r -> emit (Relation.Bag.to_counted_seq (Relation.bag r))
+  | Physical.Const_scan r -> Relation.Bag.to_counted_seq (Relation.bag r)
   | Physical.Seq_scan name ->
-      emit (Relation.Bag.to_counted_seq (Relation.bag (Database.find name db)))
+      Relation.Bag.to_counted_seq (Relation.bag (Database.find name db))
   | Physical.Filter (p, t) ->
-      emit (Seq.filter (fun (tuple, _) -> Pred.eval tuple p) (exec ~tick db t))
+      Seq.filter (fun (tuple, _) -> Pred.eval tuple p) (exec ~hooks db t)
   | Physical.Project_op (exprs, t) ->
       let image tuple = Tuple.of_list (List.map (Scalar.eval tuple) exprs) in
-      emit (Seq.map (fun (tuple, n) -> (image tuple, n)) (exec ~tick db t))
+      Seq.map (fun (tuple, n) -> (image tuple, n)) (exec ~hooks db t)
   | Physical.Hash_join { left_keys; right_keys; residual; left; right; _ } ->
       (* Build on the right, probe (pipelined) from the left. *)
       let table = TH.create 256 in
+      let entries = ref 0 in
       Seq.iter
         (fun (tuple, n) ->
           let key = Tuple.project right_keys tuple in
           let existing = Option.value ~default:[] (TH.find_opt table key) in
+          incr entries;
           TH.replace table key ((tuple, n) :: existing))
-        (exec ~tick db right);
+        (exec ~hooks db right);
+      hooks.observe plan "build" !entries;
+      hooks.observe plan "keys" (TH.length table);
       let probe (ltuple, ln) =
         let key = Tuple.project left_keys ltuple in
         match TH.find_opt table key with
@@ -109,7 +128,7 @@ let rec exec ~tick db plan : (Tuple.t * int) Seq.t =
                      Some (combined, ln * rn)
                    else None)
       in
-      emit (Seq.concat_map probe (exec ~tick db left))
+      Seq.concat_map probe (exec ~hooks db left)
   | Physical.Merge_join { left_keys; right_keys; residual; left; right; _ } ->
       (* Sort both inputs by their key projections and merge key groups.
          Both sides materialise; output is emitted lazily per group
@@ -122,8 +141,10 @@ let rec exec ~tick db plan : (Tuple.t * int) Seq.t =
         Array.sort (fun (k1, _, _) (k2, _, _) -> Tuple.compare k1 k2) arr;
         arr
       in
-      let ls = keyed left_keys (exec ~tick db left) in
-      let rs = keyed right_keys (exec ~tick db right) in
+      let ls = keyed left_keys (exec ~hooks db left) in
+      let rs = keyed right_keys (exec ~hooks db right) in
+      hooks.observe plan "sorted-left" (Array.length ls);
+      hooks.observe plan "sorted-right" (Array.length rs);
       let group arr i =
         let key, _, _ = arr.(i) in
         let rec last j =
@@ -158,53 +179,59 @@ let rec exec ~tick db plan : (Tuple.t * int) Seq.t =
             in
             Seq.append pairs (merge (li + 1) (rj + 1)) ()
       in
-      emit (merge 0 0)
+      merge 0 0
   | Physical.Nested_loop (p, l, r) ->
-      let right_rows = List.of_seq (exec ~tick db r) in
+      let right_rows = List.of_seq (exec ~hooks db r) in
+      hooks.observe plan "inner" (List.length right_rows);
       let expand (ltuple, ln) =
         List.to_seq right_rows
         |> Seq.filter_map (fun (rtuple, rn) ->
                let combined = Tuple.concat ltuple rtuple in
                if Pred.eval combined p then Some (combined, ln * rn) else None)
       in
-      emit (Seq.concat_map expand (exec ~tick db l))
+      Seq.concat_map expand (exec ~hooks db l)
   | Physical.Cross_product (l, r) ->
-      let right_rows = List.of_seq (exec ~tick db r) in
+      let right_rows = List.of_seq (exec ~hooks db r) in
+      hooks.observe plan "inner" (List.length right_rows);
       let expand (ltuple, ln) =
         List.to_seq right_rows
         |> Seq.map (fun (rtuple, rn) -> (Tuple.concat ltuple rtuple, ln * rn))
       in
-      emit (Seq.concat_map expand (exec ~tick db l))
+      Seq.concat_map expand (exec ~hooks db l)
   | Physical.Union_all (l, r) ->
-      emit (Seq.append (exec ~tick db l) (exec ~tick db r))
+      Seq.append (exec ~hooks db l) (exec ~hooks db r)
   | Physical.Hash_diff (l, r) ->
-      let left_counts = count_table (exec ~tick db l) in
-      let right_counts = count_table (exec ~tick db r) in
+      let left_counts = count_table (exec ~hooks db l) in
+      let right_counts = count_table (exec ~hooks db r) in
+      hooks.observe plan "left-keys" (TH.length left_counts);
+      hooks.observe plan "right-keys" (TH.length right_counts);
       let monus (t, ln) =
         let rn = Option.value ~default:0 (TH.find_opt right_counts t) in
         if ln > rn then Some (t, ln - rn) else None
       in
-      emit (Seq.filter_map monus (TH.to_seq left_counts))
+      Seq.filter_map monus (TH.to_seq left_counts)
   | Physical.Hash_intersect (l, r) ->
-      let left_counts = count_table (exec ~tick db l) in
-      let right_counts = count_table (exec ~tick db r) in
+      let left_counts = count_table (exec ~hooks db l) in
+      let right_counts = count_table (exec ~hooks db r) in
+      hooks.observe plan "left-keys" (TH.length left_counts);
+      hooks.observe plan "right-keys" (TH.length right_counts);
       let pointwise_min (t, ln) =
         match TH.find_opt right_counts t with
         | Some rn -> Some (t, min ln rn)
         | None -> None
       in
-      emit (Seq.filter_map pointwise_min (TH.to_seq left_counts))
+      Seq.filter_map pointwise_min (TH.to_seq left_counts)
   | Physical.Hash_distinct t ->
       let seen = TH.create 64 in
       Seq.iter
         (fun (tuple, _) -> TH.replace seen tuple ())
-        (exec ~tick db t);
-      emit (Seq.map (fun (tuple, ()) -> (tuple, 1)) (TH.to_seq seen))
+        (exec ~hooks db t);
+      hooks.observe plan "distinct" (TH.length seen);
+      Seq.map (fun (tuple, ()) -> (tuple, 1)) (TH.to_seq seen)
   | Physical.Hash_aggregate (attrs, aggs, t) ->
-      exec_aggregate ~tick db attrs aggs t
+      exec_aggregate ~hooks db plan attrs aggs t
 
-and exec_aggregate ~tick db attrs aggs t =
-  let emit s = Seq.map (fun x -> tick x; x) s in
+and exec_aggregate ~hooks db plan attrs aggs t =
   let input_schema =
     Typecheck.infer_db db (Physical.to_logical t)
   in
@@ -231,35 +258,199 @@ and exec_aggregate ~tick db attrs aggs t =
         (fun i state ->
           states.(i) <- update_state state (Tuple.attr tuple positions.(i)) n)
         states)
-    (exec ~tick db t);
+    (exec ~hooks db t);
   (* Definition 3.4: with an empty grouping list the result is one tuple
      even over the empty input. *)
   if attrs = [] && TH.length groups = 0 then
     TH.add groups Tuple.unit (fresh_states ());
+  hooks.observe plan "groups" (TH.length groups);
   let finalize (key, states) =
     let values = Array.to_list (Array.map finalize_state states) in
     (Tuple.concat key (Tuple.of_list values), 1)
   in
-  emit (Seq.map finalize (TH.to_seq groups))
+  Seq.map finalize (TH.to_seq groups)
 
 let materialize db plan stream =
   let schema = Typecheck.infer_db db (Physical.to_logical plan) in
   Relation.of_bag_unchecked schema (Relation.Bag.of_counted_seq stream)
 
-let no_tick _ = ()
-let run db plan = materialize db plan (exec ~tick:no_tick db plan)
-let stream db plan = exec ~tick:no_tick db plan
+let run db plan = materialize db plan (exec ~hooks:no_hooks db plan)
+let stream db plan = exec ~hooks:no_hooks db plan
+
+(* Hooks that invoke [tick] with every counted-tuple element every
+   operator emits, regardless of which operator it is. *)
+let tick_hooks tick =
+  { no_hooks with
+    around = (fun _ f -> Seq.map (fun x -> tick x; x) (f ())) }
 
 let tuples_moved db plan =
   let moved = ref 0 in
-  let s = exec ~tick:(fun _ -> incr moved) db plan in
+  let s = exec ~hooks:(tick_hooks (fun _ -> incr moved)) db plan in
   Seq.iter (fun _ -> ()) s;
   !moved
 
 let cells_moved db plan =
   let moved = ref 0 in
-  let s = exec ~tick:(fun (t, _) -> moved := !moved + Tuple.arity t) db plan in
+  let s =
+    exec
+      ~hooks:(tick_hooks (fun (t, _) -> moved := !moved + Tuple.arity t))
+      db plan
+  in
   Seq.iter (fun _ -> ()) s;
   !moved
 
 let run_expr db e = run db (Planner.plan db e)
+
+(* --- instrumented execution ------------------------------------------- *)
+
+type op_metrics = {
+  out_elems : int;
+  out_rows : int;
+  out_cells : int;
+  wall_ms : float;
+  details : (string * int) list;
+}
+
+type report = {
+  node : Physical.t;
+  estimated_rows : float;
+  actual : op_metrics;
+  q_error : float;
+  inputs : report list;
+}
+
+type analysis = {
+  result : Relation.t;
+  total_ms : float;
+  root : report;
+  totals : Metrics.t;
+}
+
+(* Per-node accounting keyed by physical identity: the planner allocates
+   a fresh node per tree position, so [==] distinguishes structurally
+   equal siblings.  (If a caller builds a plan with a physically shared
+   subtree, its uses merge into one record — the report then shows the
+   combined figures at each occurrence.) *)
+let op_table plan =
+  let table = ref [] in
+  let rec register p =
+    table := (p, Metrics.make_op ()) :: !table;
+    List.iter register (Physical.children p)
+  in
+  register plan;
+  let entries = !table in
+  fun p -> snd (List.find (fun (q, _) -> q == p) entries)
+
+(* Wrap a stream so each step is timed (inclusive of child pulls, as in
+   EXPLAIN ANALYZE's actual time) and each element is counted. *)
+let instrument_stream (m : Metrics.op) s =
+  let rec go s () =
+    match Metrics.record m.Metrics.wall s with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons ((t, n) as x, rest) ->
+        Metrics.incr m.Metrics.elems;
+        Metrics.add m.Metrics.rows n;
+        Metrics.add m.Metrics.cells (Tuple.arity t);
+        Seq.Cons (x, go rest)
+  in
+  go s
+
+let run_instrumented db plan =
+  let find = op_table plan in
+  let hooks =
+    {
+      around =
+        (fun p thunk ->
+          let m = find p in
+          instrument_stream m (Metrics.record m.Metrics.wall thunk));
+      observe = (fun p key v -> Metrics.set_detail (find p) key v);
+    }
+  in
+  let total = Metrics.make_timer () in
+  let result =
+    Metrics.record total (fun () ->
+        materialize db plan (exec ~hooks db plan))
+  in
+  let stats = Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  let rec report_of p =
+    let m = find p in
+    let actual =
+      {
+        out_elems = Metrics.count m.Metrics.elems;
+        out_rows = Metrics.count m.Metrics.rows;
+        out_cells = Metrics.count m.Metrics.cells;
+        wall_ms = Metrics.elapsed_ms m.Metrics.wall;
+        details = Metrics.details m;
+      }
+    in
+    let estimated_rows =
+      Cost.estimate_cardinality ~stats ~schemas (Physical.to_logical p)
+    in
+    {
+      node = p;
+      estimated_rows;
+      actual;
+      q_error = Cost.q_error ~estimated:estimated_rows ~actual:actual.out_rows;
+      inputs = List.map report_of (Physical.children p);
+    }
+  in
+  let root = report_of plan in
+  let totals = Metrics.create () in
+  let rec accumulate r =
+    Metrics.add (Metrics.counter totals "tuples-moved") r.actual.out_elems;
+    Metrics.add (Metrics.counter totals "cells-moved") r.actual.out_cells;
+    List.iter accumulate r.inputs
+  in
+  accumulate root;
+  Metrics.add (Metrics.counter totals "rows-out") root.actual.out_rows;
+  Metrics.add (Metrics.counter totals "operators") (Physical.size plan);
+  Metrics.add_ms (Metrics.timer totals "wall") (Metrics.elapsed_ms total);
+  { result; total_ms = Metrics.elapsed_ms total; root; totals }
+
+let explain_analyze db e = run_instrumented db (Planner.plan db e)
+
+(* --- report rendering --------------------------------------------------- *)
+
+let pp_details ppf details =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) details
+
+let annot_table root =
+  let entries = ref [] in
+  let rec collect r =
+    entries := (r.node, r) :: !entries;
+    List.iter collect r.inputs
+  in
+  collect root;
+  let entries = !entries in
+  fun p ->
+    match List.find_opt (fun (q, _) -> q == p) entries with
+    | Some (_, r) -> r
+    | None -> invalid_arg "Exec.annot_table: node not in report"
+
+let pp_analysis ppf a =
+  let lookup = annot_table a.root in
+  let annot p =
+    let r = lookup p in
+    Format.asprintf "(est=%.0f act=%d q=%.2f time=%.2fms%a)" r.estimated_rows
+      r.actual.out_rows r.q_error r.actual.wall_ms pp_details
+      r.actual.details
+  in
+  Format.fprintf ppf "@[<v>%a@]total: %.2f ms, %d rows"
+    (Physical.pp_annotated ~annot)
+    a.root.node a.total_ms
+    (Relation.cardinal a.result)
+
+let analysis_to_string a = Format.asprintf "%a" pp_analysis a
+
+let pp_estimates db ppf plan =
+  let stats = Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  let annot p =
+    Format.asprintf "(est=%.0f)"
+      (Cost.estimate_cardinality ~stats ~schemas (Physical.to_logical p))
+  in
+  Physical.pp_annotated ~annot ppf plan
+
+let explain db e =
+  Format.asprintf "%a" (pp_estimates db) (Planner.plan db e)

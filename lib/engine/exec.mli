@@ -40,3 +40,65 @@ val cells_moved : Database.t -> Physical.t -> int
     volume} crossing operator boundaries.  This is the quantity
     Example 3.2's early projection reduces — narrower intermediates —
     and what the intermediate-size experiment (E5) reports. *)
+
+(** {1 Instrumented execution — EXPLAIN ANALYZE}
+
+    Every physical operator records what it actually did: counted-tuple
+    elements and tuples (with multiplicity) emitted, cells moved, wall
+    time, and operator-specific gauges (hash-build sizes, group counts,
+    materialised inner cardinalities).  Because the engine runs on the
+    paper's counted representation [(x, E(x))], the cardinality
+    accounting is exact, not sampled.  Instrumentation must not perturb
+    bag semantics: [run_instrumented db p] returns the same relation as
+    [run db p] — checked property-style by the test suite. *)
+
+type op_metrics = {
+  out_elems : int;  (** counted-tuple elements emitted *)
+  out_rows : int;  (** tuples emitted, weighted by multiplicity *)
+  out_cells : int;  (** elements weighted by tuple arity *)
+  wall_ms : float;
+      (** inclusive wall time: pulling from children counts towards the
+          parent too, as in EXPLAIN ANALYZE's actual time *)
+  details : (string * int) list;  (** operator-specific gauges *)
+}
+
+type report = {
+  node : Physical.t;
+  estimated_rows : float;
+      (** the optimizer's estimate ({!Cost.estimate_cardinality}) for
+          this operator's logical image, from the database's statistics *)
+  actual : op_metrics;
+  q_error : float;  (** {!Cost.q_error} of estimated vs actual rows *)
+  inputs : report list;
+}
+
+type analysis = {
+  result : Relation.t;
+  total_ms : float;
+  root : report;
+  totals : Metrics.t;
+      (** plan-wide aggregates: [tuples-moved], [cells-moved],
+          [rows-out], [operators], [wall] *)
+}
+
+val run_instrumented : Database.t -> Physical.t -> analysis
+(** Execute with per-operator metrics.  Same result and same raising
+    behaviour as {!run}. *)
+
+val explain_analyze : Database.t -> Expr.t -> analysis
+(** Plan (with {!Planner.plan}) and {!run_instrumented} — the engine's
+    one-call EXPLAIN ANALYZE.  Callers wanting the optimizer's plan
+    should optimize the expression first. *)
+
+val pp_analysis : Format.formatter -> analysis -> unit
+(** The physical tree, each operator annotated with
+    [(est=… act=… q=… time=…ms gauges…)], then a total line. *)
+
+val analysis_to_string : analysis -> string
+
+val pp_estimates : Database.t -> Format.formatter -> Physical.t -> unit
+(** The physical tree annotated with estimated rows only — EXPLAIN
+    without execution. *)
+
+val explain : Database.t -> Expr.t -> string
+(** Plan and render with {!pp_estimates}. *)

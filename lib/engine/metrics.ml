@@ -1,0 +1,82 @@
+type counter = { mutable n : int }
+
+let make_counter () = { n = 0 }
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let count c = c.n
+
+type timer = { mutable total : float (* seconds *) }
+
+let make_timer () = { total = 0.0 }
+
+let record t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> t.total <- t.total +. (Unix.gettimeofday () -. t0))
+    f
+
+let add_ms t ms = t.total <- t.total +. (ms /. 1000.0)
+let elapsed_ms t = t.total *. 1000.0
+
+type entry = C of counter | T of timer
+
+type value =
+  | Count of int
+  | Duration_ms of float
+
+(* Entries are kept in reverse creation order; registries stay small
+   (dozens of names), so association lists beat a hash table on both
+   simplicity and iteration order. *)
+type t = { mutable entries : (string * entry) list }
+
+let create () = { entries = [] }
+
+let counter t name =
+  match List.assoc_opt name t.entries with
+  | Some (C c) -> c
+  | Some (T _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a timer")
+  | None ->
+      let c = make_counter () in
+      t.entries <- (name, C c) :: t.entries;
+      c
+
+let timer t name =
+  match List.assoc_opt name t.entries with
+  | Some (T tm) -> tm
+  | Some (C _) -> invalid_arg ("Metrics.timer: " ^ name ^ " is a counter")
+  | None ->
+      let tm = make_timer () in
+      t.entries <- (name, T tm) :: t.entries;
+      tm
+
+let dump t =
+  List.rev_map
+    (fun (name, e) ->
+      ( name,
+        match e with
+        | C c -> Count c.n
+        | T tm -> Duration_ms (elapsed_ms tm) ))
+    t.entries
+
+type op = {
+  elems : counter;
+  rows : counter;
+  cells : counter;
+  wall : timer;
+  mutable details : (string * int) list;
+}
+
+let make_op () =
+  {
+    elems = make_counter ();
+    rows = make_counter ();
+    cells = make_counter ();
+    wall = make_timer ();
+    details = [];
+  }
+
+(* Stored in reverse insertion order; a rewrite drops the old value. *)
+let set_detail op key v =
+  op.details <- (key, v) :: List.remove_assoc key op.details
+
+let details op = List.rev op.details

@@ -70,74 +70,72 @@ let rec size = function
   | Hash_intersect (l, r) ->
       1 + size l + size r
 
+let children = function
+  | Const_scan _ | Seq_scan _ -> []
+  | Filter (_, t) | Project_op (_, t) | Hash_distinct t
+  | Hash_aggregate (_, _, t) ->
+      [ t ]
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+      [ left; right ]
+  | Nested_loop (_, l, r)
+  | Cross_product (l, r)
+  | Union_all (l, r)
+  | Hash_diff (l, r)
+  | Hash_intersect (l, r) ->
+      [ l; r ]
+
 let pp_keys ppf keys =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
     (fun ppf i -> Format.fprintf ppf "%%%d" i)
     ppf keys
 
-let pp ppf plan =
+let label plan =
+  match plan with
+  | Const_scan r ->
+      Format.asprintf "ConstScan (%d tuples)"
+        (Mxra_relational.Relation.cardinal r)
+  | Seq_scan name -> "SeqScan " ^ name
+  | Filter (p, _) -> Format.asprintf "Filter [%a]" Pred.pp p
+  | Project_op (exprs, _) ->
+      Format.asprintf "Project [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Scalar.pp)
+        exprs
+  | Hash_join { left_keys; right_keys; residual; _ } ->
+      Format.asprintf "HashJoin keys=%a=%a residual=[%a]" pp_keys left_keys
+        pp_keys right_keys Pred.pp residual
+  | Merge_join { left_keys; right_keys; residual; _ } ->
+      Format.asprintf "MergeJoin keys=%a=%a residual=[%a]" pp_keys left_keys
+        pp_keys right_keys Pred.pp residual
+  | Nested_loop (p, _, _) -> Format.asprintf "NestedLoop [%a]" Pred.pp p
+  | Cross_product _ -> "CrossProduct"
+  | Union_all _ -> "UnionAll"
+  | Hash_diff _ -> "HashDiff"
+  | Hash_intersect _ -> "HashIntersect"
+  | Hash_distinct _ -> "HashDistinct"
+  | Hash_aggregate (attrs, aggs, _) ->
+      Format.asprintf "HashAggregate keys=[%a] aggs=[%a]" pp_keys attrs
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           (fun ppf (k, p) -> Format.fprintf ppf "%a(%%%d)" Aggregate.pp k p))
+        aggs
+
+let pp_annotated ~annot ppf plan =
   let rec go indent plan =
     let pad = String.make indent ' ' in
-    match plan with
-    | Const_scan r ->
-        Format.fprintf ppf "%sConstScan (%d tuples)@," pad
-          (Mxra_relational.Relation.cardinal r)
-    | Seq_scan name -> Format.fprintf ppf "%sSeqScan %s@," pad name
-    | Filter (p, t) ->
-        Format.fprintf ppf "%sFilter [%a]@," pad Pred.pp p;
-        go (indent + 2) t
-    | Project_op (exprs, t) ->
-        Format.fprintf ppf "%sProject [%a]@," pad
-          (Format.pp_print_list
-             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-             Scalar.pp)
-          exprs;
-        go (indent + 2) t
-    | Hash_join { left_keys; right_keys; residual; left; right; _ } ->
-        Format.fprintf ppf "%sHashJoin keys=%a=%a residual=[%a]@," pad
-          pp_keys left_keys pp_keys right_keys Pred.pp residual;
-        go (indent + 2) left;
-        go (indent + 2) right
-    | Merge_join { left_keys; right_keys; residual; left; right; _ } ->
-        Format.fprintf ppf "%sMergeJoin keys=%a=%a residual=[%a]@," pad
-          pp_keys left_keys pp_keys right_keys Pred.pp residual;
-        go (indent + 2) left;
-        go (indent + 2) right
-    | Nested_loop (p, l, r) ->
-        Format.fprintf ppf "%sNestedLoop [%a]@," pad Pred.pp p;
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Cross_product (l, r) ->
-        Format.fprintf ppf "%sCrossProduct@," pad;
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Union_all (l, r) ->
-        Format.fprintf ppf "%sUnionAll@," pad;
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Hash_diff (l, r) ->
-        Format.fprintf ppf "%sHashDiff@," pad;
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Hash_intersect (l, r) ->
-        Format.fprintf ppf "%sHashIntersect@," pad;
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Hash_distinct t ->
-        Format.fprintf ppf "%sHashDistinct@," pad;
-        go (indent + 2) t
-    | Hash_aggregate (attrs, aggs, t) ->
-        Format.fprintf ppf "%sHashAggregate keys=[%a] aggs=[%a]@," pad
-          pp_keys attrs
-          (Format.pp_print_list
-             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
-             (fun ppf (k, p) -> Format.fprintf ppf "%a(%%%d)" Aggregate.pp k p))
-          aggs;
-        go (indent + 2) t
+    (match annot plan with
+    | "" -> Format.fprintf ppf "%s%s@," pad (label plan)
+    | a ->
+        Format.fprintf ppf "%s%-*s %s@," pad
+          (max 0 (46 - indent))
+          (label plan) a);
+    List.iter (go (indent + 2)) (children plan)
   in
   Format.fprintf ppf "@[<v>";
   go 0 plan;
   Format.fprintf ppf "@]"
 
+let pp ppf plan = pp_annotated ~annot:(fun _ -> "") ppf plan
 let to_string plan = Format.asprintf "%a" pp plan

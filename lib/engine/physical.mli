@@ -62,7 +62,20 @@ val to_logical : t -> Expr.t
 val size : t -> int
 (** Operator count. *)
 
+val children : t -> t list
+(** Direct operands, left to right. *)
+
+val label : t -> string
+(** One-line description of the operator itself, without children —
+    what {!pp} prints on the operator's own line. *)
+
 val pp : Format.formatter -> t -> unit
 (** One operator per line, children indented — an EXPLAIN-style tree. *)
+
+val pp_annotated :
+  annot:(t -> string) -> Format.formatter -> t -> unit
+(** Like {!pp} but appending [annot node] to each line (column-aligned
+    when non-empty) — how EXPLAIN and EXPLAIN ANALYZE attach estimated
+    and measured figures to the tree. *)
 
 val to_string : t -> string

@@ -106,12 +106,15 @@ let fraction_eq t i x =
 type env = string -> t option
 
 let env_of_database db =
+  (* Statistics are computed per relation on first access and memoised:
+     an env handed to the optimizer or to EXPLAIN only pays for the
+     relations the expression actually scans. *)
   let table =
     List.map
-      (fun name -> (name, of_relation (Database.find name db)))
+      (fun name -> (name, lazy (of_relation (Database.find name db))))
       (Database.relation_names db)
   in
-  fun name -> List.assoc_opt name table
+  fun name -> Option.map Lazy.force (List.assoc_opt name table)
 
 let pp ppf t =
   Format.fprintf ppf "{card=%d; support=%d; ndv=[%a]}" t.cardinality t.support

@@ -191,6 +191,8 @@ type report = {
   output_cost : float;
   input_size : int;
   output_size : int;
+  input_moved : int option;
+  output_moved : int option;
 }
 
 let default_stats : Stats.env = fun _ -> None
@@ -214,5 +216,17 @@ let explain ?(stats = default_stats) ~schemas e =
     output_cost = Cost.cost ~stats ~schemas optimized;
     input_size = Expr.size e;
     output_size = Expr.size optimized;
+    input_moved = None;
+    output_moved = None;
   }
   |> fun report -> (optimized, report)
+
+let explain_db db e =
+  let stats = Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  let optimized, report = explain ~stats ~schemas e in
+  let moved e = Exec.tuples_moved db (Planner.plan db e) in
+  ( optimized,
+    { report with
+      input_moved = Some (moved e);
+      output_moved = Some (moved optimized) } )

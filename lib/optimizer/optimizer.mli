@@ -39,8 +39,20 @@ type report = {
   output_cost : float;
   input_size : int;  (** Operator count before. *)
   output_size : int;
+  input_moved : int option;
+      (** Realized cost: counted-tuple traffic measured by executing the
+          unoptimized plan ({!Mxra_engine.Exec.tuples_moved}); [None]
+          when the report is purely static ({!explain}). *)
+  output_moved : int option;  (** Same, for the optimized plan. *)
 }
 
 val explain :
   ?stats:Stats.env -> schemas:Typecheck.env -> Expr.t -> Expr.t * report
-(** Optimize and report estimated costs before/after. *)
+(** Optimize and report estimated costs before/after.  Purely static:
+    the realized fields are [None]. *)
+
+val explain_db : Database.t -> Expr.t -> Expr.t * report
+(** {!explain} with the database's statistics, plus realized costs:
+    both the input and the optimized plan are executed and their
+    measured tuple traffic recorded — the ground truth the estimates
+    are judged against. *)

@@ -39,10 +39,10 @@ Explain shows the optimized logical expression and the physical plan:
   optimized:  product(beer, select[%3 = 'NL'](brewery))
   est. cost:  528 -> 174 tuples
   physical:
-  CrossProduct
-    SeqScan beer
-    Filter [%3 = 'NL']
-      SeqScan brewery
+  CrossProduct                                   (est=20)
+    SeqScan beer                                 (est=10)
+    Filter [%3 = 'NL']                           (est=2)
+      SeqScan brewery                            (est=6)
   
 
 Parse errors are reported with a byte offset and a non-zero exit:

@@ -1,0 +1,56 @@
+EXPLAIN ANALYZE in the shell annotates the optimized physical plan
+with estimated rows, actual rows and the per-operator q-error
+max(est/act, act/est), plus operator gauges (hash-build sizes, group
+counts).  Wall-clock figures are nondeterministic, so the test
+normalises them with sed; everything else — the tree shape and the
+est/act/q columns — is pinned.
+
+A 2-join query over the seeded beer database (pairs of beers brewed
+by the same brewery, via the brewery relation):
+
+  $ echo ".beer
+  > explain analyze join[%2 = %8](join[%2 = %4](beer, brewery), beer)
+  > .quit" | ../../bin/xra_repl.exe | sed -E -e 's/time=[0-9]+\.[0-9]+ms/time=_/g' -e 's/total: [0-9]+\.[0-9]+ ms/total: _ ms/'
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> loaded beer database
+  xra> HashJoin keys=%2=%2 residual=[true]            (est=17 act=18 q=1.08 time=_ build=10 keys=6)
+    HashJoin keys=%2=%1 residual=[true]          (est=10 act=10 q=1.00 time=_ build=6 keys=6)
+      SeqScan beer                               (est=10 act=10 q=1.00 time=_)
+      SeqScan brewery                            (est=6 act=6 q=1.00 time=_)
+    SeqScan beer                                 (est=10 act=10 q=1.00 time=_)
+  total: _ ms, 18 rows
+  xra> 
+
+Plain EXPLAIN shows the same tree with estimated rows only, without
+executing:
+
+  $ echo ".beer
+  > explain select[%6 = 'NL'](product(beer, brewery))
+  > .quit" | ../../bin/xra_repl.exe
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> loaded beer database
+  xra> CrossProduct                                   (est=20)
+    SeqScan beer                                 (est=10)
+    Filter [%3 = 'NL']                           (est=2)
+      SeqScan brewery                            (est=6)
+  
+  xra> 
+
+
+Aggregation reports its group count as a gauge; δ (unique) reports its
+distinct count:
+
+  $ echo ".beer
+  > explain analyze groupby[%2; CNT(%1)](beer)
+  > explain analyze unique(project[%2](beer))
+  > .quit" | ../../bin/xra_repl.exe | sed -E -e 's/time=[0-9]+\.[0-9]+ms/time=_/g' -e 's/total: [0-9]+\.[0-9]+ ms/total: _ ms/'
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> loaded beer database
+  xra> HashAggregate keys=[%2] aggs=[CNT(%1)]         (est=6 act=6 q=1.00 time=_ groups=6)
+    SeqScan beer                                 (est=10 act=10 q=1.00 time=_)
+  total: _ ms, 6 rows
+  xra> HashDistinct                                   (est=6 act=6 q=1.00 time=_ distinct=6)
+    Project [%2]                                 (est=10 act=10 q=1.00 time=_)
+      SeqScan beer                               (est=10 act=10 q=1.00 time=_)
+  total: _ ms, 6 rows
+  xra> 

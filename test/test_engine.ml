@@ -263,6 +263,145 @@ let merge_join_matches_reference =
     (QCheck.Test.make ~name:"merge join = reference" ~count:150
        QCheck.small_nat test)
 
+(* --- metrics and instrumented execution ----------------------------------- *)
+
+let test_metrics_registry () =
+  let c = Metrics.make_counter () in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "counter accumulates" 42 (Metrics.count c);
+  let t = Metrics.make_timer () in
+  Alcotest.(check int) "record returns the thunk's value" 7
+    (Metrics.record t (fun () -> 7));
+  Alcotest.(check bool) "time accumulated" true (Metrics.elapsed_ms t >= 0.0);
+  Alcotest.(check bool) "record re-raises" true
+    (match Metrics.record t (fun () -> failwith "boom") with
+    | _ -> false
+    | exception Failure _ -> true);
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "a") 3;
+  Metrics.add (Metrics.counter reg "a") 4;
+  Metrics.add_ms (Metrics.timer reg "b") 5.0;
+  Alcotest.(check bool) "counter/timer name clash rejected" true
+    (match Metrics.timer reg "a" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "dump in creation order" true
+    (Metrics.dump reg = [ ("a", Metrics.Count 7); ("b", Metrics.Duration_ms 5.0) ]);
+  let op = Metrics.make_op () in
+  Metrics.set_detail op "x" 1;
+  Metrics.set_detail op "y" 2;
+  Metrics.set_detail op "x" 3;
+  Alcotest.(check (list (pair string int))) "details: last write wins, order kept"
+    [ ("y", 2); ("x", 3) ] (Metrics.details op)
+
+let test_q_error () =
+  Alcotest.(check (float 1e-9)) "overestimate" 2.0
+    (Cost.q_error ~estimated:10.0 ~actual:5);
+  Alcotest.(check (float 1e-9)) "underestimate" 2.0
+    (Cost.q_error ~estimated:5.0 ~actual:10);
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (Cost.q_error ~estimated:7.0 ~actual:7);
+  Alcotest.(check (float 1e-9)) "empty vs empty" 1.0
+    (Cost.q_error ~estimated:0.0 ~actual:0);
+  Alcotest.(check (float 1e-9)) "estimated empty, one actual row" 1.0
+    (Cost.q_error ~estimated:0.2 ~actual:1)
+
+let rec flatten_report (r : Exec.report) =
+  r :: List.concat_map flatten_report r.Exec.inputs
+
+let test_explain_analyze_two_join () =
+  (* A 2-join query: every physical operator must carry estimated rows,
+     actual rows and a q-error, and the root's actual rows must be the
+     result's cardinality. *)
+  let e =
+    Expr.join
+      (Pred.eq (Scalar.attr 3) (Scalar.attr 5))
+      (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "l")
+         (Expr.rel "r"))
+      (Expr.rel "l")
+  in
+  let a = Exec.explain_analyze db e in
+  check_equal_relations "instrumented result = reference" (Eval.eval db e)
+    a.Exec.result;
+  let ops = flatten_report a.Exec.root in
+  Alcotest.(check int) "one report line per operator"
+    (Physical.size (Planner.plan db e))
+    (List.length ops);
+  List.iter
+    (fun (r : Exec.report) ->
+      Alcotest.(check bool)
+        ("estimate positive at " ^ Physical.label r.Exec.node)
+        true
+        (r.Exec.estimated_rows >= 0.0);
+      Alcotest.(check bool)
+        ("q-error at least 1 at " ^ Physical.label r.Exec.node)
+        true (r.Exec.q_error >= 1.0))
+    ops;
+  Alcotest.(check int) "root actual rows = result cardinality"
+    (Relation.cardinal a.Exec.result)
+    a.Exec.root.Exec.actual.Exec.out_rows;
+  (* Both hash joins report their build-side gauges. *)
+  let builds =
+    List.filter
+      (fun (r : Exec.report) ->
+        List.mem_assoc "build" r.Exec.actual.Exec.details)
+      ops
+  in
+  Alcotest.(check int) "two hash joins report build sizes" 2
+    (List.length builds);
+  (* The rendered report mentions every column of the pinned format. *)
+  let text = Exec.analysis_to_string a in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec at i = i + n <= m && (String.sub text i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report text contains " ^ needle) true
+        (contains needle))
+    [ "est="; "act="; "q="; "time="; "total:" ]
+
+(* Satellite: instrumentation must not perturb bag semantics, including
+   δ/Γ duplicate handling — for random well-typed expressions the
+   instrumented run equals the reference evaluator and the
+   uninstrumented engine. *)
+let instrumented_matches_reference =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let db = scen.W.Gen_expr.db and e = scen.W.Gen_expr.expr in
+    let reference = Eval.eval db e in
+    let plain = Exec.run_expr db e in
+    let a = Exec.run_instrumented db (Planner.plan db e) in
+    Relation.equal reference a.Exec.result
+    && Relation.equal plain a.Exec.result
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"instrumented run = reference = uninstrumented"
+       ~count:300 QCheck.small_nat test)
+
+(* Satellite: the per-operator actual-rows counters agree with the
+   pre-existing whole-plan accounting on the same plan. *)
+let counters_match_moved =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let db = scen.W.Gen_expr.db in
+    let plan = Planner.plan db scen.W.Gen_expr.expr in
+    let a = Exec.run_instrumented db plan in
+    let ops = flatten_report a.Exec.root in
+    let total f = List.fold_left (fun acc r -> acc + f r) 0 ops in
+    let elems = total (fun (r : Exec.report) -> r.Exec.actual.Exec.out_elems) in
+    let cells = total (fun (r : Exec.report) -> r.Exec.actual.Exec.out_cells) in
+    let registry key = Metrics.count (Metrics.counter a.Exec.totals key) in
+    elems = Exec.tuples_moved db plan
+    && cells = Exec.cells_moved db plan
+    && elems = registry "tuples-moved"
+    && cells = registry "cells-moved"
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"per-operator counters = tuples/cells_moved"
+       ~count:200 QCheck.small_nat test)
+
 (* --- the central property: engine = reference evaluator -------------------- *)
 
 let engine_matches_reference =
@@ -294,6 +433,12 @@ let suite =
       Alcotest.test_case "empty aggregates" `Quick test_exec_empty_aggregate;
       Alcotest.test_case "tuples_moved instrumentation" `Quick test_tuples_moved;
       Alcotest.test_case "merge join" `Quick test_merge_join;
+      Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+      Alcotest.test_case "q-error" `Quick test_q_error;
+      Alcotest.test_case "explain analyze on a 2-join query" `Quick
+        test_explain_analyze_two_join;
       merge_join_matches_reference;
+      instrumented_matches_reference;
+      counters_match_moved;
       engine_matches_reference;
     ] )
