@@ -723,6 +723,119 @@ let e13_estimation_quality () =
       Out_channel.output_string oc (Buffer.contents buf));
   row "  wrote %s@." path
 
+(* --------------------------------------------------------------- E14 *)
+
+(* Observability overhead: the E13 query set executed through the same
+   instrumented path bagdb uses, under three tracing configurations —
+   disabled (no sinks), a no-op sink (tracing machinery pays, output
+   does not), and a real Chrome trace-event sink writing to disk.  The
+   no-op overhead is the price of leaving tracing compiled into every
+   layer; it is budgeted at 5% and the run warns loudly when the
+   measurement exceeds that. *)
+
+let e14_observability_overhead () =
+  header "E14  observability overhead (disabled / no-op sink / Chrome sink)";
+  let module Trace = Mxra_obs.Trace in
+  let n = if quick then 2_000 else 10_000 in
+  let beer_db =
+    W.Beer.generate ~rng:(W.Rng.make 13) ~breweries:(n / 100) ~beers:n ()
+  in
+  let rng = W.Rng.make 1414 in
+  let a = W.Synth.two_column_int ~rng ~size:(n / 4) ~distinct:500 in
+  let b = W.Synth.two_column_int ~rng ~size:n ~distinct:500 in
+  let c = W.Synth.two_column_int ~rng ~size:60 ~distinct:500 in
+  let abc = Database.of_relations [ ("a", a); ("b", b); ("c", c) ] in
+  let three_way =
+    Expr.join
+      (Pred.eq (Scalar.attr 4) (Scalar.attr 5))
+      (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "a")
+         (Expr.rel "b"))
+      (Expr.rel "c")
+  in
+  let queries =
+    [
+      (beer_db, W.Beer.example_3_1);
+      (beer_db, W.Beer.example_3_2);
+      (abc, three_way);
+    ]
+  in
+  let plans =
+    List.map
+      (fun (db, e) -> (db, Planner.plan db (Opt.Optimizer.optimize_db db e)))
+      queries
+  in
+  let reps = if quick then 3 else 10 in
+  let sample () =
+    for _ = 1 to reps do
+      List.iter
+        (fun (db, plan) ->
+          Trace.with_span "query" (fun () ->
+              ignore (Exec.run_instrumented db plan)))
+        plans
+    done
+  in
+  let trace_path = Filename.temp_file "mxra_e14" ".json" in
+  let oc = open_out trace_path in
+  let chrome = Mxra_obs.Chrome_sink.sink oc in
+  (* The per-span cost is small against machine noise, so the three
+     configurations are interleaved round-robin and each keeps its
+     best round — back-to-back blocks would fold clock drift into the
+     overhead figure. *)
+  let configs =
+    [| []; [ Trace.null_sink ]; [ chrome ] |]
+  in
+  let best = Array.make (Array.length configs) Float.infinity in
+  Trace.set_sinks [];
+  sample () (* warm-up *);
+  let rounds = if quick then 5 else 7 in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i sinks ->
+        Trace.set_sinks sinks;
+        let _, ms = time_ms sample in
+        if ms < best.(i) then best.(i) <- ms)
+      configs
+  done;
+  Trace.set_sinks [ chrome ];
+  Trace.close ();
+  close_out oc;
+  let disabled_ms = best.(0) and noop_ms = best.(1) and chrome_ms = best.(2) in
+  let trace_bytes = (Unix.stat trace_path).Unix.st_size in
+  Sys.remove trace_path;
+  let pct ms = (ms -. disabled_ms) /. disabled_ms *. 100.0 in
+  row "  %-14s | %10s %10s@." "config" "ms" "overhead";
+  row "  %-14s | %10.3f %9.1f%%@." "disabled" disabled_ms 0.0;
+  row "  %-14s | %10.3f %9.1f%%@." "null-sink" noop_ms (pct noop_ms);
+  row "  %-14s | %10.3f %9.1f%%  (%d bytes of trace)@." "chrome-sink"
+    chrome_ms (pct chrome_ms) trace_bytes;
+  let noop_pct = pct noop_ms in
+  if noop_pct > 5.0 then
+    row
+      "@.  *** WARNING: no-op sink overhead %.1f%% exceeds the 5%% budget \
+       (ISSUE acceptance) ***@.@."
+      noop_pct;
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"experiment\": \"E14-observability-overhead\",\n";
+  bpf "  \"reps\": %d, \"queries\": %d,\n" reps (List.length plans);
+  bpf "  \"configs\": [\n";
+  bpf "    {\"name\": \"disabled\", \"total_ms\": %.3f, \"overhead_pct\": \
+       0.0},\n"
+    disabled_ms;
+  bpf "    {\"name\": \"null-sink\", \"total_ms\": %.3f, \"overhead_pct\": \
+       %.2f},\n"
+    noop_ms (pct noop_ms);
+  bpf "    {\"name\": \"chrome-sink\", \"total_ms\": %.3f, \
+       \"overhead_pct\": %.2f, \"trace_bytes\": %d}\n"
+    chrome_ms (pct chrome_ms) trace_bytes;
+  bpf "  ],\n";
+  bpf "  \"noop_overhead_pct\": %.2f,\n" noop_pct;
+  bpf "  \"within_budget\": %b\n}\n" (noop_pct <= 5.0);
+  let path = "BENCH_obs.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  row "  wrote %s@." path
+
 (* ------------------------------------------------- bechamel suite *)
 
 let bechamel_suite () =
@@ -843,7 +956,7 @@ let bechamel_suite () =
 
 let () =
   Format.printf
-    "mxra benchmark harness: experiments E1..E13 of DESIGN.md section 5%s@."
+    "mxra benchmark harness: experiments E1..E14 of DESIGN.md section 5%s@."
     (if quick then " (quick mode)" else "");
   e1_dup_removal ();
   e2_derived_operators ();
@@ -858,5 +971,6 @@ let () =
   e11_durability ();
   e12_isolation ();
   e13_estimation_quality ();
+  e14_observability_overhead ();
   bechamel_suite ();
   Format.printf "@.done.@."

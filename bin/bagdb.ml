@@ -3,18 +3,37 @@
      bagdb run script.xra            execute an XRA script
      bagdb sql script.sql            execute a SQL script
      bagdb explain 'EXPR'            optimize an XRA expression, show plans
+     bagdb metrics script.xra        run quietly, dump Prometheus metrics
 
-   Both runners can preload the paper's beer database (--beer) or a
-   generated one (--gen-beers N), and report per-query timings and
-   engine statistics (--stats). *)
+   Both runners can preload the paper's beer database (--beer), a
+   generated one (--gen-beers N) or the retail workload (--retail N),
+   and report per-query timings and engine statistics (--stats).
+
+   Observability: --trace FILE writes a Chrome trace-event file (load
+   in Perfetto) with spans for parsing, planning, optimization, every
+   physical operator, scheduler transactions and storage I/O;
+   --query-log FILE appends one JSONL record per query, filtered by
+   --slow-query-ms.  Consecutive transaction brackets in a script run
+   as one interleaved batch under the strict-2PL scheduler (--seed
+   picks the interleaving), and --db DIR makes the run durable:
+   recover on open, log commits, checkpoint on exit. *)
 
 open Mxra_relational
 open Mxra_core
 module Xra = Mxra_xra
 module Sql = Mxra_sql
+module Obs = Mxra_obs
+module Trace = Mxra_obs.Trace
+module Store = Mxra_storage.Store
+module Scheduler = Mxra_concurrency.Scheduler
 
-let preload beer gen_beers =
-  if gen_beers > 0 then
+let preload beer gen_beers retail =
+  if retail > 0 then
+    Mxra_workload.Retail.generate
+      ~rng:(Mxra_workload.Rng.make 42)
+      ~customers:(max 4 (retail / 10))
+      ~orders:retail ()
+  else if gen_beers > 0 then
     Mxra_workload.Beer.generate
       ~rng:(Mxra_workload.Rng.make 42)
       ~breweries:(max 4 (gen_beers / 50))
@@ -22,60 +41,144 @@ let preload beer gen_beers =
   else if beer then Mxra_workload.Beer.tiny
   else Database.empty
 
-let run_query ~optimize ~stats db e =
-  let e = if optimize then Mxra_optimizer.Optimizer.optimize_db db e else e in
-  let plan = Mxra_engine.Planner.plan db e in
-  if stats then begin
-    (* One instrumented run yields the result, the timing and the tuple
-       traffic — no second execution to count what already happened. *)
-    let a = Mxra_engine.Exec.run_instrumented db plan in
-    Format.printf "%a@." Relation.pp_table a.Mxra_engine.Exec.result;
-    let moved =
-      Mxra_engine.Metrics.count
-        (Mxra_engine.Metrics.counter a.Mxra_engine.Exec.totals "tuples-moved")
-    in
-    Format.printf "-- %.3f ms, %d tuples moved@." a.Mxra_engine.Exec.total_ms
-      moved
-  end
-  else Format.printf "%a@." Relation.pp_table (Mxra_engine.Exec.run db plan)
+(* Everything a runner needs to know, threaded as one value. *)
+type ctx = {
+  optimize : bool;
+  stats : bool;
+  quiet : bool;  (** suppress result tables ([metrics] mode) *)
+  seed : int;  (** scheduler interleaving seed *)
+  store : Store.t option;  (** durability, when [--db] is given *)
+  totals : Mxra_engine.Metrics.t option;
+      (** merged engine registry ([metrics] mode) *)
+}
 
-let exec_statement ~optimize ~stats db stmt =
+let merge_totals master src =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Mxra_engine.Metrics.Count n ->
+          Mxra_engine.Metrics.add (Mxra_engine.Metrics.counter master name) n
+      | Mxra_engine.Metrics.Duration_ms ms ->
+          Mxra_engine.Metrics.add_ms (Mxra_engine.Metrics.timer master name) ms)
+    (Mxra_engine.Metrics.dump src)
+
+let run_query ctx ~lang db e =
+  Trace.with_span "query"
+    ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str (Expr.to_string e)) ]
+    (fun () ->
+      let e =
+        if ctx.optimize then Mxra_optimizer.Optimizer.optimize_db db e else e
+      in
+      let plan = Mxra_engine.Planner.plan db e in
+      if ctx.stats || Option.is_some ctx.totals || Trace.enabled () then begin
+        (* One instrumented run yields the result, the timing and the
+           tuple traffic — no second execution to count what already
+           happened.  The same run feeds the per-operator trace spans. *)
+        let a = Mxra_engine.Exec.run_instrumented db plan in
+        Trace.add_attr "rows"
+          (Trace.Int (Relation.cardinal a.Mxra_engine.Exec.result));
+        Option.iter (fun m -> merge_totals m a.Mxra_engine.Exec.totals)
+          ctx.totals;
+        if not ctx.quiet then
+          Format.printf "%a@." Relation.pp_table a.Mxra_engine.Exec.result;
+        if ctx.stats then
+          let moved =
+            Mxra_engine.Metrics.count
+              (Mxra_engine.Metrics.counter a.Mxra_engine.Exec.totals
+                 "tuples-moved")
+          in
+          Format.printf "-- %.3f ms, %d tuples moved@."
+            a.Mxra_engine.Exec.total_ms moved
+      end
+      else begin
+        let r = Mxra_engine.Exec.run db plan in
+        Trace.add_attr "rows" (Trace.Int (Relation.cardinal r));
+        if not ctx.quiet then Format.printf "%a@." Relation.pp_table r
+      end)
+
+let exec_statement ctx db stmt =
   match stmt with
   | Statement.Query e ->
-      run_query ~optimize ~stats db e;
+      run_query ctx ~lang:"xra" db e;
       db
   | Statement.Insert _ | Statement.Delete _ | Statement.Update _
   | Statement.Assign _ -> (
-      match Transaction.run db (Transaction.make [ stmt ]) with
+      let txn = Transaction.make [ stmt ] in
+      let outcome =
+        match ctx.store with
+        | Some s -> Store.commit s txn
+        | None -> Transaction.run db txn
+      in
+      match outcome with
       | Transaction.Committed { state; _ } -> state
       | Transaction.Aborted { state; reason } ->
           Format.eprintf "aborted: %s@." reason;
           state)
 
-let run_xra ~optimize ~stats db path =
-  let source = In_channel.with_open_text path In_channel.input_all in
-  let step db = function
-    | Xra.Parser.Cmd_statement stmt -> exec_statement ~optimize ~stats db stmt
-    | Xra.Parser.Cmd_transaction program -> (
-        match Transaction.run db (Transaction.make program) with
-        | Transaction.Committed { state; outputs } ->
-            List.iter (Format.printf "%a@." Relation.pp_table) outputs;
-            state
-        | Transaction.Aborted { state; reason } ->
-            Format.eprintf "aborted: %s@." reason;
-            state)
-    | Xra.Parser.Cmd_create (name, schema) -> Database.create name schema db
+(* Consecutive transaction brackets run as one batch under the 2PL
+   scheduler: a seeded interleaving instead of serial execution, with
+   outputs delivered per transaction in input order (empty for aborted
+   ones).  Committed transactions reach the log in commit order — the
+   serial order the schedule is conflict-equivalent to. *)
+let scheduler_batch ctx db programs =
+  let txns =
+    List.mapi
+      (fun i p -> Transaction.make ~name:(Printf.sprintf "txn-%d" (i + 1)) p)
+      programs
   in
-  ignore (List.fold_left step db (Xra.Parser.script_of_string source))
+  let r = Scheduler.run ~seed:ctx.seed db txns in
+  List.iter2
+    (fun outcome outputs ->
+      match outcome with
+      | Scheduler.Committed ->
+          if not ctx.quiet then
+            List.iter (Format.printf "%a@." Relation.pp_table) outputs
+      | Scheduler.Aborted reason -> Format.eprintf "aborted: %s@." reason)
+    r.Scheduler.outcomes r.Scheduler.outputs;
+  Option.iter
+    (fun s ->
+      let arr = Array.of_list txns in
+      Store.absorb_batch s
+        (List.map (Array.get arr) r.Scheduler.commit_order)
+        r.Scheduler.final)
+    ctx.store;
+  if ctx.stats then begin
+    let st = r.Scheduler.stats in
+    Format.printf
+      "-- scheduler: %d txns, %d committed, %d steps, %d blocks, %d \
+       deadlocks@."
+      (List.length txns)
+      (List.length r.Scheduler.commit_order)
+      st.Scheduler.steps st.Scheduler.blocks st.Scheduler.deadlocks
+  end;
+  r.Scheduler.final
 
-let run_sql ~optimize ~stats db path =
+let run_xra ctx db path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  let rec go db = function
+    | [] -> db
+    | Xra.Parser.Cmd_transaction _ :: _ as cmds ->
+        let rec split acc = function
+          | Xra.Parser.Cmd_transaction p :: rest -> split (p :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let programs, rest = split [] cmds in
+        go (scheduler_batch ctx db programs) rest
+    | Xra.Parser.Cmd_statement stmt :: rest ->
+        go (exec_statement ctx db stmt) rest
+    | Xra.Parser.Cmd_create (name, schema) :: rest ->
+        go (Database.create name schema db) rest
+  in
+  ignore (go db (Xra.Parser.script_of_string source))
+
+let run_sql ctx db path =
   let source = In_channel.with_open_text path In_channel.input_all in
   let step db ast =
     match Sql.Translate.translate (Typecheck.env_of_database db) ast with
     | Sql.Translate.Query e ->
-        run_query ~optimize ~stats db e;
+        run_query ctx ~lang:"sql" db e;
         db
-    | Sql.Translate.Statement stmt -> exec_statement ~optimize ~stats db stmt
+    | Sql.Translate.Statement stmt -> exec_statement ctx db stmt
     | Sql.Translate.Create (name, schema) -> Database.create name schema db
   in
   ignore (List.fold_left step db (Sql.Sql_parser.parse_script source))
@@ -108,6 +211,57 @@ let explain ~analyze db src =
   else
     Format.printf "physical:@.%s@." (Mxra_engine.Exec.explain db optimized)
 
+(* --- observability plumbing ------------------------------------------- *)
+
+(* Install the requested sinks, run the thunk, and tear everything down
+   — Trace.close first (Chrome sink writes its closing bracket there),
+   channels after. *)
+let with_tracing ~trace ~query_log ~slow_ms ?agg f =
+  let channels = ref [] in
+  let file path =
+    let oc = open_out path in
+    channels := oc :: !channels;
+    oc
+  in
+  let sinks =
+    List.concat
+      [
+        (match trace with
+        | Some p -> [ Obs.Chrome_sink.sink (file p) ]
+        | None -> []);
+        (match query_log with
+        | Some p -> [ Obs.Query_log_sink.sink ~slow_ms (file p) ]
+        | None -> []);
+        (match agg with Some a -> [ Obs.Agg_sink.sink a ] | None -> []);
+      ]
+  in
+  Trace.set_sinks sinks;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      List.iter close_out !channels)
+    f
+
+(* Open the store (recovering), seed it with the preload when it is
+   empty, hand the runner the store's state, checkpoint on the way out.
+   Preloaded relations are installed without log records — they become
+   durable at the final checkpoint, like any other uncommitted-to-log
+   state would not, so the preload path is only for fresh stores. *)
+let with_store db_dir preloaded f =
+  match db_dir with
+  | None -> f None preloaded
+  | Some dir ->
+      let s = Store.open_dir dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close s)
+        (fun () ->
+          if
+            Database.persistent_names (Store.database s) = []
+            && Database.persistent_names preloaded <> []
+          then Store.absorb_batch s [] preloaded;
+          f (Some s) (Store.database s);
+          Store.checkpoint s)
+
 (* --- command line ----------------------------------------------------- *)
 
 open Cmdliner
@@ -118,11 +272,29 @@ let beer_flag =
 let gen_flag =
   Arg.(value & opt int 0 & info [ "gen-beers" ] ~doc:"Preload a generated beer database of $(docv) rows." ~docv:"N")
 
+let retail_flag =
+  Arg.(value & opt int 0 & info [ "retail" ] ~doc:"Preload a generated retail database of $(docv) orders." ~docv:"N")
+
 let stats_flag =
-  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-query timing and tuple traffic.")
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-query timing, tuple traffic and scheduler statistics.")
 
 let no_optimize_flag =
   Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip the logical optimizer.")
+
+let trace_flag =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write a Chrome trace-event file to $(docv); load it in Perfetto or chrome://tracing." ~docv:"FILE")
+
+let query_log_flag =
+  Arg.(value & opt (some string) None & info [ "query-log" ] ~doc:"Append one JSONL record per query span to $(docv)." ~docv:"FILE")
+
+let slow_flag =
+  Arg.(value & opt float 0.0 & info [ "slow-query-ms" ] ~doc:"Only log queries that took at least $(docv) milliseconds." ~docv:"MS")
+
+let db_flag =
+  Arg.(value & opt (some string) None & info [ "db" ] ~doc:"Durable store directory: recover on open, log commits, checkpoint on exit." ~docv:"DIR")
+
+let seed_flag =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduler interleaving seed for transaction batches." ~docv:"N")
 
 let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
 let expr_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR")
@@ -146,22 +318,67 @@ let guarded f =
       Format.eprintf "unknown relation: %s@." name; 1
   | exception Database.Duplicate_relation name ->
       Format.eprintf "relation exists: %s@." name; 1
+  | exception Sys_error msg ->
+      Format.eprintf "i/o error: %s@." msg; 1
 
-let run_cmd =
-  let action beer gen stats no_opt path =
+let script_cmd name ~doc runner =
+  let action beer gen retail stats no_opt trace qlog slow db_dir seed path =
     guarded (fun () ->
-        run_xra ~optimize:(not no_opt) ~stats (preload beer gen) path)
+        with_tracing ~trace ~query_log:qlog ~slow_ms:slow (fun () ->
+            with_store db_dir (preload beer gen retail) (fun store db ->
+                let ctx =
+                  {
+                    optimize = not no_opt;
+                    stats;
+                    quiet = false;
+                    seed;
+                    store;
+                    totals = None;
+                  }
+                in
+                runner ctx db path)))
   in
-  Cmd.v (Cmd.info "run" ~doc:"Execute an XRA script.")
-    Term.(const action $ beer_flag $ gen_flag $ stats_flag $ no_optimize_flag $ path_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const action $ beer_flag $ gen_flag $ retail_flag $ stats_flag
+      $ no_optimize_flag $ trace_flag $ query_log_flag $ slow_flag $ db_flag
+      $ seed_flag $ path_arg)
 
-let sql_cmd =
-  let action beer gen stats no_opt path =
+let run_cmd = script_cmd "run" ~doc:"Execute an XRA script." run_xra
+let sql_cmd = script_cmd "sql" ~doc:"Execute a SQL script." run_sql
+
+let metrics_cmd =
+  let action beer gen retail no_opt seed path =
     guarded (fun () ->
-        run_sql ~optimize:(not no_opt) ~stats (preload beer gen) path)
+        let agg = Obs.Agg_sink.create () in
+        let totals = Mxra_engine.Metrics.create () in
+        let ctx =
+          {
+            optimize = not no_opt;
+            stats = false;
+            quiet = true;
+            seed;
+            store = None;
+            totals = Some totals;
+          }
+        in
+        let runner =
+          if Filename.check_suffix path ".sql" then run_sql else run_xra
+        in
+        with_tracing ~trace:None ~query_log:None ~slow_ms:0.0 ~agg (fun () ->
+            runner ctx (preload beer gen retail) path);
+        print_string (Obs.Prometheus.of_aggregate agg);
+        print_string (Mxra_engine.Metrics.prometheus totals))
   in
-  Cmd.v (Cmd.info "sql" ~doc:"Execute a SQL script.")
-    Term.(const action $ beer_flag $ gen_flag $ stats_flag $ no_optimize_flag $ path_arg)
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a script with result output suppressed and dump the \
+          aggregated span latencies, operator traffic and engine counters \
+          in Prometheus text format.")
+    Term.(
+      const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
+      $ seed_flag $ path_arg)
 
 let analyze_flag =
   Arg.(
@@ -172,14 +389,18 @@ let analyze_flag =
            estimated vs actual rows, per-operator q-error and wall time.")
 
 let explain_cmd =
-  let action beer gen analyze expr =
-    guarded (fun () -> explain ~analyze (preload beer gen) expr)
+  let action beer gen retail analyze expr =
+    guarded (fun () -> explain ~analyze (preload beer gen retail) expr)
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize an XRA expression and show plans.")
-    Term.(const action $ beer_flag $ gen_flag $ analyze_flag $ expr_arg)
+    Term.(
+      const action $ beer_flag $ gen_flag $ retail_flag $ analyze_flag
+      $ expr_arg)
 
 let () =
   let doc = "a multi-set extended relational algebra database (ICDE 1994)" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "bagdb" ~doc) [ run_cmd; sql_cmd; explain_cmd ]))
+       (Cmd.group
+          (Cmd.info "bagdb" ~doc)
+          [ run_cmd; sql_cmd; explain_cmd; metrics_cmd ]))

@@ -13,18 +13,48 @@
      .beer               load the paper's beer database
      .sql STMT           run one SQL statement instead of XRA
      .plan EXPR          show the optimized physical plan of an expression
-     .load FILE          run an XRA script file *)
+     .load FILE          run an XRA script file
+     .trace on [FILE]    start tracing to a Chrome trace-event file
+     .trace off          stop tracing and finish the file *)
 
 open Mxra_relational
 open Mxra_core
 module Xra = Mxra_xra
 module Sql = Mxra_sql
+module Trace = Mxra_obs.Trace
 
 let print_relation r = Format.printf "%a@." Relation.pp_table r
 
+(* .trace on/off: one Chrome sink at a time, channel owned here. *)
+let trace_channel : out_channel option ref = ref None
+
+let trace_off () =
+  if Trace.enabled () then Trace.close ();
+  Option.iter close_out !trace_channel;
+  trace_channel := None
+
+let trace_on path =
+  trace_off ();
+  let oc = open_out path in
+  trace_channel := Some oc;
+  Trace.set_sinks [ Mxra_obs.Chrome_sink.sink oc ];
+  Format.printf "tracing to %s (load in Perfetto); .trace off to finish@."
+    path
+
 let run_query db e =
-  let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
-  Mxra_engine.Exec.run_expr db optimized
+  Trace.with_span "query"
+    ~attrs:[ ("lang", Trace.Str "xra"); ("text", Trace.Str (Expr.to_string e)) ]
+    (fun () ->
+      let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
+      let plan = Mxra_engine.Planner.plan db optimized in
+      let r =
+        (* The instrumented run emits the per-operator spans. *)
+        if Trace.enabled () then
+          (Mxra_engine.Exec.run_instrumented db plan).Mxra_engine.Exec.result
+        else Mxra_engine.Exec.run db plan
+      in
+      Trace.add_attr "rows" (Trace.Int (Relation.cardinal r));
+      r)
 
 let exec_statement db stmt =
   match stmt with
@@ -96,6 +126,7 @@ let help () =
     \  project[a,...] unique groupby[keys; AGG(%i),...] rel[(..)]{..}\n\
      Meta: .help .quit .tables .show R .schema R .beer .sql STMT .plan E\n\
     \  .load FILE .save DIR .open DIR .import FILE R .export R FILE\n\
+    \  .trace on [FILE] / .trace off   Chrome trace of query execution\n\
      Profiling: explain E (estimated rows per operator)\n\
     \  explain analyze E (estimated vs actual rows, q-error, time)\n"
 
@@ -105,6 +136,12 @@ let rec run_script db path =
 
 and dispatch db line =
   let trimmed = String.trim line in
+  (* The issue-tracker spelling of the toggle is ":trace"; accept both. *)
+  let trimmed =
+    if String.length trimmed >= 6 && String.sub trimmed 0 6 = ":trace" then
+      "." ^ String.sub trimmed 1 (String.length trimmed - 1)
+    else trimmed
+  in
   if trimmed = "" then db
   else if String.length trimmed > 0 && trimmed.[0] = '.' then
     match String.split_on_char ' ' trimmed with
@@ -152,6 +189,17 @@ and dispatch db line =
         Mxra_workload.Csv.write_file path (Database.find name db);
         Format.printf "exported %s to %s@." name path;
         db
+    | ".trace" :: args -> (
+        match args with
+        | [ "off" ] ->
+            trace_off ();
+            Format.printf "tracing off@.";
+            db
+        | [ "on" ] -> trace_on "trace.json"; db
+        | [ "on"; path ] -> trace_on path; db
+        | _ ->
+            Format.printf "usage: .trace on [FILE] | .trace off@.";
+            db)
     | _ ->
         Format.printf "unknown meta command; try .help@.";
         db
@@ -219,4 +267,6 @@ let () =
     | Some ".quit" | Some ".q" -> ()
     | Some line -> loop (safely (fun db -> dispatch db line) db)
   in
-  loop Database.empty
+  loop Database.empty;
+  (* An open trace file gets its closing bracket even on .quit/EOF. *)
+  trace_off ()

@@ -1,5 +1,6 @@
 open Mxra_relational
 open Mxra_core
+module Trace = Mxra_obs.Trace
 
 type outcome =
   | Committed
@@ -15,6 +16,7 @@ type result = {
   final : Database.t;
   outcomes : outcome list;
   commit_order : int list;
+  outputs : Relation.t list list;
   stats : stats;
 }
 
@@ -46,6 +48,9 @@ type txn_exec = {
   mutable held : (string * lock_mode) list;
   mutable before_images : Relation.t Names.t;  (* first-write backups *)
   mutable status : txn_status;
+  mutable outputs : Relation.t list;  (* ?E results, reversed *)
+  mutable n_blocks : int;  (* this transaction's share of stats.blocks *)
+  mutable started_us : float;  (* trace span start; nan before first step *)
 }
 
 (* Relations a statement reads (expressions) and writes (the target). *)
@@ -204,14 +209,34 @@ let undo sched t =
 let finish sched t outcome =
   (match outcome with
   | Committed -> sched.commits <- t.index :: sched.commits
-  | Aborted _ -> undo sched t);
+  | Aborted _ ->
+      undo sched t;
+      (* Atomicity extends to the user channel: an aborted transaction
+         sends nothing. *)
+      t.outputs <- []);
   t.temps <- [];
   t.status <- Finished outcome;
-  release_locks sched t
+  release_locks sched t;
+  if Trace.enabled () && not (Float.is_nan t.started_us) then
+    Trace.complete "txn" ~tid:t.index ~start_us:t.started_us
+      ~dur_us:(Trace.now_us () -. t.started_us)
+      ~attrs:
+        [
+          ("name", Trace.Str t.txn.Transaction.name);
+          ( "outcome",
+            Trace.Str
+              (match outcome with
+              | Committed -> "committed"
+              | Aborted reason -> "aborted: " ^ reason) );
+          ("blocks", Trace.Int t.n_blocks);
+          ("statements", Trace.Int (List.length t.txn.Transaction.body));
+        ]
 
 (* One scheduling step of transaction [t]: acquire locks for its next
    statement, then run it; empty statement list means the end bracket. *)
 let step sched t =
+  if Trace.enabled () && Float.is_nan t.started_us then
+    t.started_us <- Trace.now_us ();
   match t.remaining with
   | [] ->
       let guard_fires =
@@ -230,18 +255,34 @@ let step sched t =
         List.filter (fun (n, m) -> not (try_lock sched t n m)) wanted
       in
       match missing with
-      | want :: _ ->
+      | (want_name, want_mode) :: _ ->
           sched.n_blocks <- sched.n_blocks + 1;
-          t.status <- Blocked want;
+          t.n_blocks <- t.n_blocks + 1;
+          Trace.event "lock.wait" ~tid:t.index
+            ~attrs:
+              [
+                ("relation", Trace.Str want_name);
+                ( "mode",
+                  Trace.Str
+                    (match want_mode with
+                    | Shared -> "shared"
+                    | Exclusive -> "exclusive") );
+              ];
+          t.status <- Blocked (want_name, want_mode);
           if wait_for_cycle sched [] t.index then begin
             sched.n_deadlocks <- sched.n_deadlocks + 1;
+            Trace.event "lock.deadlock" ~tid:t.index
+              ~attrs:[ ("relation", Trace.Str want_name) ];
             finish sched t (Aborted "deadlock victim")
           end
       | [] -> (
           sched.n_steps <- sched.n_steps + 1;
           backup_before_write sched t stmt;
           match Statement.exec (view_of sched t) stmt with
-          | view', _output ->
+          | view', output ->
+              (match output with
+              | Some r -> t.outputs <- r :: t.outputs
+              | None -> ());
               absorb sched t view';
               t.remaining <- rest
           | exception Statement.Exec_error msg ->
@@ -277,6 +318,9 @@ let run ~seed db txns =
                  held = [];
                  before_images = Names.empty;
                  status = Running;
+                 outputs = [];
+                 n_blocks = 0;
+                 started_us = Float.nan;
                })
              txns);
       n_steps = 0;
@@ -312,6 +356,7 @@ let run ~seed db txns =
         | [] -> ()
         | victim :: _ ->
             sched.n_deadlocks <- sched.n_deadlocks + 1;
+            Trace.event "lock.deadlock" ~tid:victim.index;
             finish sched victim (Aborted "deadlock victim");
             loop ())
     | candidates ->
@@ -320,7 +365,13 @@ let run ~seed db txns =
         step sched t;
         loop ()
   in
-  loop ();
+  Trace.with_span "scheduler.batch"
+    ~attrs:[ ("txns", Trace.Int (List.length txns)) ]
+    (fun () ->
+      loop ();
+      Trace.add_attr "steps" (Trace.Int sched.n_steps);
+      Trace.add_attr "blocks" (Trace.Int sched.n_blocks);
+      Trace.add_attr "deadlocks" (Trace.Int sched.n_deadlocks));
   (* Advance the clock once per transaction, matching run_all. *)
   let final =
     List.fold_left
@@ -337,6 +388,8 @@ let run ~seed db txns =
              | Finished outcome -> outcome
              | Running | Blocked _ -> Aborted "scheduler ended early");
     commit_order = List.rev sched.commits;
+    outputs =
+      Array.to_list sched.txns |> List.map (fun t -> List.rev t.outputs);
     stats =
       {
         steps = sched.n_steps;

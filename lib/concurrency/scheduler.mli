@@ -42,6 +42,11 @@ type result = {
   commit_order : int list;
       (** Indices of committed transactions in commit order — the serial
           order the schedule is equivalent to. *)
+  outputs : Relation.t list list;
+      (** Per input transaction, the results of its [?E] statements in
+          statement order; [[]] for aborted transactions — atomicity
+          extends to the user channel.  What the CLI prints after a
+          batch. *)
   stats : stats;
 }
 

@@ -1,5 +1,6 @@
 open Mxra_relational
 open Mxra_core
+module Trace = Mxra_obs.Trace
 
 module TH = Hashtbl.Make (struct
   type t = Tuple.t
@@ -342,11 +343,19 @@ let op_table plan =
   fun p -> snd (List.find (fun (q, _) -> q == p) entries)
 
 (* Wrap a stream so each step is timed (inclusive of child pulls, as in
-   EXPLAIN ANALYZE's actual time) and each element is counted. *)
-let instrument_stream (m : Metrics.op) s =
+   EXPLAIN ANALYZE's actual time) and each element is counted.
+   [on_end] fires once, at the first exhaustion of the stream. *)
+let instrument_stream ?on_end (m : Metrics.op) s =
+  let ended = ref false in
   let rec go s () =
     match Metrics.record m.Metrics.wall s with
-    | Seq.Nil -> Seq.Nil
+    | Seq.Nil ->
+        (match on_end with
+        | Some f when not !ended ->
+            ended := true;
+            f ()
+        | Some _ | None -> ());
+        Seq.Nil
     | Seq.Cons ((t, n) as x, rest) ->
         Metrics.incr m.Metrics.elems;
         Metrics.add m.Metrics.rows n;
@@ -355,21 +364,48 @@ let instrument_stream (m : Metrics.op) s =
   in
   go s
 
+(* A traced operator's span runs from stream construction to stream
+   exhaustion — its lifetime in the pipeline, which in a lazy engine
+   contains the lifetimes of its children, so viewers nest the spans
+   correctly.  The span links to the operator's exact counters: emitted
+   rows/elements, the measured inclusive wall time, and the gauges. *)
+let op_span_attrs p (m : Metrics.op) =
+  ("label", Trace.Str (Physical.label p))
+  :: ("rows", Trace.Int (Metrics.count m.Metrics.rows))
+  :: ("elems", Trace.Int (Metrics.count m.Metrics.elems))
+  :: ("wall_ms", Trace.Float (Metrics.elapsed_ms m.Metrics.wall))
+  :: List.map (fun (k, v) -> (k, Trace.Int v)) (Metrics.details m)
+
 let run_instrumented db plan =
   let find = op_table plan in
+  let traced = Trace.enabled () in
   let hooks =
     {
       around =
         (fun p thunk ->
           let m = find p in
-          instrument_stream m (Metrics.record m.Metrics.wall thunk));
+          if traced then begin
+            let start_us = Trace.now_us () in
+            let on_end () =
+              Trace.complete (Physical.kind p) ~start_us
+                ~dur_us:(Trace.now_us () -. start_us)
+                ~attrs:(op_span_attrs p m)
+            in
+            instrument_stream ~on_end m (Metrics.record m.Metrics.wall thunk)
+          end
+          else instrument_stream m (Metrics.record m.Metrics.wall thunk));
       observe = (fun p key v -> Metrics.set_detail (find p) key v);
     }
   in
   let total = Metrics.make_timer () in
   let result =
     Metrics.record total (fun () ->
-        materialize db plan (exec ~hooks db plan))
+        Trace.with_span "execute"
+          ~attrs:[ ("operators", Trace.Int (Physical.size plan)) ]
+          (fun () ->
+            let r = materialize db plan (exec ~hooks db plan) in
+            Trace.add_attr "rows" (Trace.Int (Relation.cardinal r));
+            r))
   in
   let stats = Stats.env_of_database db in
   let schemas = Typecheck.env_of_database db in

@@ -58,6 +58,19 @@ let dump t =
         | T tm -> Duration_ms (elapsed_ms tm) ))
     t.entries
 
+let prometheus ?(prefix = "mxra_") t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, value) ->
+      let metric suffix = prefix ^ name ^ suffix in
+      Buffer.add_string buf
+        (match value with
+        | Count n ->
+            Mxra_obs.Prometheus.counter (metric "_total") (float_of_int n)
+        | Duration_ms ms -> Mxra_obs.Prometheus.gauge (metric "_ms") ms))
+    (dump t);
+  Buffer.contents buf
+
 type op = {
   elems : counter;
   rows : counter;

@@ -51,6 +51,12 @@ val timer : t -> string -> timer
 val dump : t -> (string * value) list
 (** Every metric in creation order. *)
 
+val prometheus : ?prefix:string -> t -> string
+(** The registry in Prometheus text format: counters as
+    [<prefix><name>_total] counter families, timers as
+    [<prefix><name>_ms] gauges, names sanitised, in creation order.
+    [prefix] defaults to ["mxra_"]. *)
+
 (** {1 Per-operator accounting}
 
     What the instrumented executor records at every physical operator. *)

@@ -84,6 +84,21 @@ let children = function
   | Hash_intersect (l, r) ->
       [ l; r ]
 
+let kind = function
+  | Const_scan _ -> "ConstScan"
+  | Seq_scan _ -> "SeqScan"
+  | Filter _ -> "Filter"
+  | Project_op _ -> "Project"
+  | Hash_join _ -> "HashJoin"
+  | Merge_join _ -> "MergeJoin"
+  | Nested_loop _ -> "NestedLoop"
+  | Cross_product _ -> "CrossProduct"
+  | Union_all _ -> "UnionAll"
+  | Hash_diff _ -> "HashDiff"
+  | Hash_intersect _ -> "HashIntersect"
+  | Hash_distinct _ -> "HashDistinct"
+  | Hash_aggregate _ -> "HashAggregate"
+
 let pp_keys ppf keys =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")

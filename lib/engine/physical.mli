@@ -69,6 +69,11 @@ val label : t -> string
 (** One-line description of the operator itself, without children —
     what {!pp} prints on the operator's own line. *)
 
+val kind : t -> string
+(** The operator's constructor name alone ([label] without keys or
+    predicates) — the stable aggregation key tracing and metrics group
+    by. *)
+
 val pp : Format.formatter -> t -> unit
 (** One operator per line, children indented — an EXPLAIN-style tree. *)
 

@@ -67,4 +67,8 @@ let plan_with ?(join_algorithm = Hash) env e =
   translate ~join_algorithm env e
 
 let plan ?join_algorithm db e =
-  plan_with ?join_algorithm (Typecheck.env_of_database db) e
+  Mxra_obs.Trace.with_span "plan" (fun () ->
+      let p = plan_with ?join_algorithm (Typecheck.env_of_database db) e in
+      Mxra_obs.Trace.add_attr "operators"
+        (Mxra_obs.Trace.Int (Physical.size p));
+      p)

@@ -1,0 +1,27 @@
+(** In-process aggregation of the span stream.
+
+    Instead of writing records out, this sink folds them into
+    per-span-name latency {!Histogram}s, per-(span, attribute) numeric
+    totals, and per-event-name counts — the state behind the
+    Prometheus text export.  Aggregation keys are span names, which is
+    why instrumented layers use stable names (["parse"], ["optimize"],
+    ["HashJoin"], ["store.commit"]) and push variable detail into
+    attributes. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Trace.sink
+
+val span_names : t -> string list
+(** Names seen so far, sorted. *)
+
+val durations : t -> string -> Histogram.t option
+(** Latency histogram (milliseconds) of that span name. *)
+
+val attr_totals : t -> (string * string * float) list
+(** [(span, attr, total)] sums of numeric span attributes, sorted;
+    string and boolean attributes are not aggregated. *)
+
+val event_counts : t -> (string * int) list
+(** Instant-event occurrences by name, sorted. *)

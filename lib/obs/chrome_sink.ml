@@ -1,0 +1,29 @@
+let sink oc =
+  let first = ref true in
+  output_string oc "{\"traceEvents\":[";
+  let emit record =
+    if !first then first := false else output_char oc ',';
+    output_string oc "\n";
+    output_string oc record
+  in
+  {
+    Trace.on_span =
+      (fun s ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"dur\":%.1f,\"args\":%s}"
+             (Json.escape s.Trace.name) s.Trace.tid s.Trace.start_us
+             s.Trace.dur_us
+             (Json.of_attrs s.Trace.attrs)));
+    on_event =
+      (fun e ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"args\":%s}"
+             (Json.escape e.Trace.ev_name) e.Trace.ev_tid e.Trace.ts_us
+             (Json.of_attrs e.Trace.ev_attrs)));
+    on_close =
+      (fun () ->
+        output_string oc "\n]}\n";
+        flush oc);
+  }

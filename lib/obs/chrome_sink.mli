@@ -1,0 +1,14 @@
+(** Chrome trace-event sink.
+
+    Writes the JSON object format of the Trace Event specification —
+    [{"traceEvents":[...]}] — loadable in [chrome://tracing] and
+    Perfetto.  Every span becomes one complete ["ph":"X"] record
+    (begin and duration in a single event, so the file is balanced by
+    construction even when spans end by exception), every
+    {!Trace.event} an instant ["ph":"i"] record.  Timestamps are the
+    microsecond values of {!Trace.now_us}. *)
+
+val sink : out_channel -> Trace.sink
+(** Stream records to the channel.  [on_close] writes the closing
+    bracket and flushes; the channel itself stays open and belongs to
+    the caller. *)

@@ -1,0 +1,85 @@
+(* Geometric buckets: bucket [i] covers (lo·γ^(i-1), lo·γ^i], with one
+   underflow bucket for values ≤ lo.  The table is sparse — a Hashtbl
+   keyed by bucket index — because latencies cluster in a few decades
+   while the index space spans all of them. *)
+
+let gamma = Float.pow 2.0 0.25
+let log_gamma = Float.log gamma
+let lo = 1e-6
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  mutable under : int;
+  table : (int, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    count = 0;
+    sum = 0.0;
+    vmin = Float.nan;
+    vmax = Float.nan;
+    under = 0;
+    table = Hashtbl.create 32;
+  }
+
+let clear t =
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.vmin <- Float.nan;
+  t.vmax <- Float.nan;
+  t.under <- 0;
+  Hashtbl.reset t.table
+
+let index v = int_of_float (Float.ceil (Float.log (v /. lo) /. log_gamma))
+let upper i = lo *. Float.pow gamma (float_of_int i)
+
+let observe t v =
+  if Float.is_finite v then begin
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if t.count = 1 then begin
+      t.vmin <- v;
+      t.vmax <- v
+    end
+    else begin
+      if v < t.vmin then t.vmin <- v;
+      if v > t.vmax then t.vmax <- v
+    end;
+    if v <= lo then t.under <- t.under + 1
+    else
+      let i = index v in
+      match Hashtbl.find_opt t.table i with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.table i (ref 1)
+  end
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.vmin
+let max_value t = t.vmax
+
+let sorted_buckets t =
+  Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.table []
+  |> List.sort (fun (i, _) (j, _) -> compare i j)
+
+let buckets t =
+  let tail = List.map (fun (i, n) -> (upper i, n)) (sorted_buckets t) in
+  if t.under > 0 then (lo, t.under) :: tail else tail
+
+let quantile t p =
+  if t.count = 0 then Float.nan
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let rank = max 1 (int_of_float (Float.ceil (p *. float_of_int t.count))) in
+    let clamp v = Float.max t.vmin (Float.min t.vmax v) in
+    let rec walk cum = function
+      | [] -> clamp t.vmax
+      | (bound, n) :: rest ->
+          if cum + n >= rank then clamp bound else walk (cum + n) rest
+    in
+    walk 0 (buckets t)
+  end

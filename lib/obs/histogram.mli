@@ -1,0 +1,45 @@
+(** Log-scale latency histograms.
+
+    Observations land in geometric buckets (ratio [2^¼] ≈ 1.19, so any
+    quantile estimate is within ~9% relative error of the true value),
+    while count, sum, minimum and maximum are tracked {e exactly} — the
+    same discipline as the engine's counted-tuple accounting, where the
+    aggregate is approximate only in the dimension that must be
+    (bucketed values) and never in cardinality.  Values at or below the
+    lowest bound (including zero and negatives) share one underflow
+    bucket.
+
+    No background thread, no decay: a histogram is a plain accumulator
+    suitable for per-process or per-phase latency tracking. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one observation; non-finite values are ignored. *)
+
+val count : t -> int
+(** Exact number of observations. *)
+
+val sum : t -> float
+(** Exact sum of observations. *)
+
+val min_value : t -> float
+(** Smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p ∈ [0,1]]: the bucket-resolution estimate of
+    the [p]-quantile, clamped into [[min_value, max_value]] so the
+    estimates are always ordered [min ≤ q(p) ≤ max] and monotone in
+    [p].  [nan] when empty. *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending; the
+    underflow bucket reports its upper bound.  Counts sum to
+    {!count} — conservation is exact. *)
+
+val clear : t -> unit

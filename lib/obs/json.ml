@@ -1,0 +1,39 @@
+(* Minimal JSON emission helpers shared by the sinks.  The container
+   image carries no JSON library; the shapes we write are flat enough
+   that a Buffer and an escaper suffice (same choice as the bench
+   harness's BENCH_*.json writers). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_value = function
+  | Trace.Int i -> string_of_int i
+  | Trace.Float f ->
+      if Float.is_finite f then Printf.sprintf "%.4f" f else "null"
+  | Trace.Str s -> "\"" ^ escape s ^ "\""
+  | Trace.Bool b -> string_of_bool b
+
+(* {"k":v,...} with keys escaped; [] yields {}. *)
+let of_attrs attrs =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf ("\"" ^ escape k ^ "\":" ^ of_value v))
+    attrs;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

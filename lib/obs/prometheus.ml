@@ -1,0 +1,79 @@
+let sanitize name =
+  let ok = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let body = String.map (fun c -> if ok c then c else '_') name in
+  match body.[0] with
+  | '0' .. '9' -> "_" ^ body
+  | _ -> body
+  | exception Invalid_argument _ -> "_"
+
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let header ?help name kind =
+  let help_line =
+    match help with
+    | Some h -> Printf.sprintf "# HELP %s %s\n" name h
+    | None -> ""
+  in
+  Printf.sprintf "%s# TYPE %s %s\n" help_line name kind
+
+let counter ?help name v =
+  let name = sanitize name in
+  header ?help name "counter" ^ Printf.sprintf "%s %s\n" name (number v)
+
+let gauge ?help name v =
+  let name = sanitize name in
+  header ?help name "gauge" ^ Printf.sprintf "%s %s\n" name (number v)
+
+let summary ?help name h =
+  let name = sanitize name in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (header ?help name "summary");
+  if Histogram.count h > 0 then
+    List.iter
+      (fun q ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"%g\"} %s\n" name q
+             (number (Histogram.quantile h q))))
+      [ 0.5; 0.9; 0.99 ];
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (number (Histogram.sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name (Histogram.count h));
+  Buffer.contents buf
+
+let of_aggregate ?(prefix = "mxra_") agg =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Agg_sink.durations agg name with
+      | None -> ()
+      | Some h ->
+          Buffer.add_string buf
+            (summary
+               ~help:(Printf.sprintf "latency of '%s' spans" name)
+               (prefix ^ name ^ "_ms")
+               h))
+    (Agg_sink.span_names agg);
+  List.iter
+    (fun (span, attr, total) ->
+      Buffer.add_string buf
+        (counter
+           ~help:(Printf.sprintf "sum of '%s' over '%s' spans" attr span)
+           (prefix ^ span ^ "_" ^ attr ^ "_total")
+           total))
+    (Agg_sink.attr_totals agg);
+  List.iter
+    (fun (name, n) ->
+      Buffer.add_string buf
+        (counter
+           ~help:(Printf.sprintf "occurrences of '%s' events" name)
+           (prefix ^ name ^ "_events_total")
+           (float_of_int n)))
+    (Agg_sink.event_counts agg);
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Prometheus text-format rendering (exposition format 0.0.4).
+
+    Pure string builders: each function renders one metric family
+    ([# HELP] / [# TYPE] header plus samples) and the caller
+    concatenates families into the page a scrape endpoint — or
+    [bagdb metrics] — serves.  {!summary} renders a {!Histogram} as a
+    summary family with p50/p90/p99 quantile samples plus [_sum] and
+    [_count], which is how per-phase latency distributions reach the
+    dashboard. *)
+
+val sanitize : string -> string
+(** Coerce an arbitrary name into [[a-zA-Z_:][a-zA-Z0-9_:]*]: illegal
+    characters become ['_'], a leading digit is prefixed. *)
+
+val counter : ?help:string -> string -> float -> string
+val gauge : ?help:string -> string -> float -> string
+
+val summary : ?help:string -> string -> Histogram.t -> string
+(** Quantile samples 0.5, 0.9, 0.99 (omitted when the histogram is
+    empty), then [_sum] and [_count]. *)
+
+val of_aggregate : ?prefix:string -> Agg_sink.t -> string
+(** The whole aggregated span stream: a [<prefix><span>_ms] summary
+    per span name, a [<prefix><span>_<attr>_total] counter per numeric
+    attribute, and a [<prefix><event>_events_total] counter per
+    instant event.  Families appear in sorted-name order, so the text
+    is deterministic up to the measured values.  [prefix] defaults to
+    ["mxra_"]. *)

@@ -1,0 +1,31 @@
+let rfc3339 t =
+  let tm = Unix.gmtime t in
+  let frac = t -. Float.of_int (int_of_float (Float.floor t)) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+    (int_of_float (frac *. 1000.0))
+
+let sink ?(span_name = "query") ?(slow_ms = 0.0) oc =
+  {
+    Trace.on_span =
+      (fun s ->
+        let ms = s.Trace.dur_us /. 1000.0 in
+        if s.Trace.name = span_name && ms >= slow_ms then begin
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf
+            (Printf.sprintf "{\"ts\":\"%s\",\"span\":\"%s\",\"ms\":%.3f"
+               (rfc3339 (Unix.gettimeofday ()))
+               (Json.escape s.Trace.name) ms);
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf ",\"%s\":%s" (Json.escape k) (Json.of_value v)))
+            s.Trace.attrs;
+          Buffer.add_string buf "}\n";
+          output_string oc (Buffer.contents buf);
+          flush oc
+        end);
+    on_event = ignore;
+    on_close = (fun () -> flush oc);
+  }

@@ -1,0 +1,86 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  tid : int;
+  start_us : float;
+  dur_us : float;
+  attrs : (string * value) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_tid : int;
+  ts_us : float;
+  ev_attrs : (string * value) list;
+}
+
+type sink = {
+  on_span : span -> unit;
+  on_event : event -> unit;
+  on_close : unit -> unit;
+}
+
+let null_sink =
+  { on_span = ignore; on_event = ignore; on_close = (fun () -> ()) }
+
+let installed : sink list ref = ref []
+let set_sinks l = installed := l
+let sinks () = !installed
+let enabled () = !installed <> []
+
+let close () =
+  List.iter (fun s -> s.on_close ()) !installed;
+  installed := []
+
+(* Timestamps are relative to process start so trace files carry small
+   numbers; sinks that need wall-clock time stamp records themselves. *)
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let emit_span s = List.iter (fun k -> k.on_span s) !installed
+let emit_event e = List.iter (fun k -> k.on_event e) !installed
+
+let complete ?(tid = 0) ?(attrs = []) name ~start_us ~dur_us =
+  if enabled () then emit_span { name; tid; start_us; dur_us; attrs }
+
+let event ?(tid = 0) ?(attrs = []) name =
+  if enabled () then
+    emit_event { ev_name = name; ev_tid = tid; ts_us = now_us (); ev_attrs = attrs }
+
+(* Open-span stack for [add_attr]; attributes are kept reversed and
+   flipped once at emission. *)
+type frame = {
+  f_name : string;
+  f_tid : int;
+  f_start : float;
+  mutable f_attrs : (string * value) list;
+}
+
+let stack : frame list ref = ref []
+
+let add_attr k v =
+  match !stack with
+  | [] -> ()
+  | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
+
+let with_span ?(tid = 0) ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let frame =
+      { f_name = name; f_tid = tid; f_start = now_us (); f_attrs = List.rev attrs }
+    in
+    stack := frame :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (stack := match !stack with _ :: rest -> rest | [] -> []);
+        emit_span
+          {
+            name = frame.f_name;
+            tid = frame.f_tid;
+            start_us = frame.f_start;
+            dur_us = now_us () -. frame.f_start;
+            attrs = List.rev frame.f_attrs;
+          })
+      f
+  end

@@ -197,11 +197,24 @@ type report = {
 
 let default_stats : Stats.env = fun _ -> None
 
+module Trace = Mxra_obs.Trace
+
 let optimize ?(stats = default_stats) ~schemas e =
-  ignore (Typecheck.infer schemas e);
-  let normalized = Rules.normalize schemas e in
-  let reordered = reorder_joins ~stats ~schemas normalized in
-  Rules.normalize schemas reordered
+  Trace.with_span "optimize"
+    ~attrs:[ ("input_ops", Trace.Int (Expr.size e)) ]
+    (fun () ->
+      ignore (Typecheck.infer schemas e);
+      let normalized =
+        Trace.with_span "optimize.normalize" (fun () ->
+            Rules.normalize schemas e)
+      in
+      let reordered =
+        Trace.with_span "optimize.reorder" (fun () ->
+            reorder_joins ~stats ~schemas normalized)
+      in
+      let result = Rules.normalize schemas reordered in
+      Trace.add_attr "output_ops" (Trace.Int (Expr.size result));
+      result)
 
 let optimize_db db e =
   optimize

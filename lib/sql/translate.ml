@@ -238,7 +238,7 @@ let translate_update env table sets where =
   let attr_exprs = List.mapi expr_for (Schema.attributes schema) in
   Statement.Update (table, selected, attr_exprs)
 
-let translate env = function
+let translate_ast env = function
   | Sql_ast.Select q -> Query (translate_query env q)
   | Sql_ast.Insert_values (table, rows) ->
       Statement (translate_insert_values env table rows)
@@ -256,7 +256,14 @@ let translate env = function
       Statement (translate_update env table sets where)
   | Sql_ast.Create (table, cols) -> Create (table, Schema.of_list cols)
 
-let translate_string env src = translate env (Sql_parser.parse src)
+let translate env ast =
+  Mxra_obs.Trace.with_span "sql.translate" (fun () -> translate_ast env ast)
+
+let translate_string env src =
+  translate env
+    (Mxra_obs.Trace.with_span "sql.parse"
+       ~attrs:[ ("bytes", Mxra_obs.Trace.Int (String.length src)) ]
+       (fun () -> Sql_parser.parse src))
 
 let query_of_string env src =
   match translate_string env src with

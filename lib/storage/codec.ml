@@ -3,7 +3,9 @@ module Xra = Mxra_xra
 
 let time_directive = "-- @time "
 
-let encode_database db =
+module Trace = Mxra_obs.Trace
+
+let encode_database_body db =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "%s%d\n" time_directive (Database.logical_time db));
@@ -28,6 +30,12 @@ let encode_database db =
     (Database.persistent_names db);
   Buffer.contents buf
 
+let encode_database db =
+  Trace.with_span "codec.encode" (fun () ->
+      let out = encode_database_body db in
+      Trace.add_attr "bytes" (Trace.Int (String.length out));
+      out)
+
 let decode_time source =
   match String.index_opt source '\n' with
   | Some eol when String.length source >= String.length time_directive
@@ -40,7 +48,7 @@ let decode_time source =
       int_of_string_opt (String.trim digits) |> Option.value ~default:0
   | Some _ | None -> 0
 
-let decode_database source =
+let decode_database_body source =
   let time = decode_time source in
   let db =
     List.fold_left
@@ -58,6 +66,11 @@ let decode_database source =
     if Database.logical_time db >= time then db else catch_up (Database.tick db)
   in
   catch_up db
+
+let decode_database source =
+  Trace.with_span "codec.decode"
+    ~attrs:[ ("bytes", Trace.Int (String.length source)) ]
+    (fun () -> decode_database_body source)
 
 let encode_statement stmt = Xra.Printer.statement_to_string stmt
 let decode_statement line = Xra.Parser.statement_of_string line

@@ -1,5 +1,6 @@
 open Mxra_relational
 open Mxra_core
+module Trace = Mxra_obs.Trace
 
 type t = {
   dir : string;
@@ -46,14 +47,24 @@ let replay_log db source =
   scan db [] 0 lines
 
 let recover dir =
-  let db =
-    match read_file (snapshot_path dir) with
-    | Some source -> Codec.decode_database source
-    | None -> Database.empty
-  in
-  match read_file (wal_path dir) with
-  | Some source -> replay_log db source
-  | None -> (db, 0)
+  Trace.with_span "store.recover" (fun () ->
+      let db =
+        match read_file (snapshot_path dir) with
+        | Some source ->
+            Trace.add_attr "snapshot_bytes"
+              (Trace.Int (String.length source));
+            Codec.decode_database source
+        | None -> Database.empty
+      in
+      let result =
+        match read_file (wal_path dir) with
+        | Some source ->
+            Trace.add_attr "wal_bytes" (Trace.Int (String.length source));
+            replay_log db source
+        | None -> (db, 0)
+      in
+      Trace.add_attr "records" (Trace.Int (snd result));
+      result)
 
 let recover_dir dir = fst (recover dir)
 
@@ -75,35 +86,67 @@ let loggable = function
   | Statement.Assign _ ->
       true
 
+(* Append one committed record; returns the bytes written.  Durability
+   (flush) is the caller's duty, so a batch can pay one flush. *)
+let append_record t body =
+  let bytes = ref 0 in
+  let line s =
+    output_string t.log s;
+    output_char t.log '\n';
+    bytes := !bytes + String.length s + 1
+  in
+  t.records <- t.records + 1;
+  line (begin_marker t.records);
+  List.iter
+    (fun stmt -> if loggable stmt then line (Codec.encode_statement stmt))
+    body;
+  line (commit_marker t.records);
+  !bytes
+
 let commit t txn =
-  let outcome = Transaction.run t.db txn in
-  (match outcome with
-  | Transaction.Committed { state; _ } ->
-      t.records <- t.records + 1;
-      output_string t.log (begin_marker t.records ^ "\n");
-      List.iter
-        (fun stmt ->
-          if loggable stmt then
-            output_string t.log (Codec.encode_statement stmt ^ "\n"))
-        txn.Transaction.body;
-      output_string t.log (commit_marker t.records ^ "\n");
-      (* The record is durable before the commit is acknowledged. *)
+  Trace.with_span "store.commit"
+    ~attrs:[ ("txn", Trace.Str txn.Transaction.name) ]
+    (fun () ->
+      let outcome = Transaction.run t.db txn in
+      (match outcome with
+      | Transaction.Committed { state; _ } ->
+          let bytes = append_record t txn.Transaction.body in
+          (* The record is durable before the commit is acknowledged. *)
+          flush t.log;
+          Trace.add_attr "wal_bytes" (Trace.Int bytes);
+          t.db <- state
+      | Transaction.Aborted { reason; state } ->
+          Trace.add_attr "aborted" (Trace.Str reason);
+          t.db <- state);
+      outcome)
+
+let absorb_batch t txns state =
+  Trace.with_span "store.absorb"
+    ~attrs:[ ("txns", Trace.Int (List.length txns)) ]
+    (fun () ->
+      let bytes =
+        List.fold_left
+          (fun acc txn -> acc + append_record t txn.Transaction.body)
+          0 txns
+      in
       flush t.log;
-      t.db <- state
-  | Transaction.Aborted { state; _ } -> t.db <- state);
-  outcome
+      Trace.add_attr "wal_bytes" (Trace.Int bytes);
+      t.db <- state)
 
 let checkpoint t =
-  let tmp = snapshot_path t.dir ^ ".tmp" in
-  Out_channel.with_open_text tmp (fun oc ->
-      Out_channel.output_string oc (Codec.encode_database t.db));
-  Sys.rename tmp (snapshot_path t.dir);
-  (* Old log records are covered by the snapshot: truncate. *)
-  close_out t.log;
-  let truncated = open_out (wal_path t.dir) in
-  close_out truncated;
-  t.log <- open_log_append t.dir;
-  t.records <- 0
+  Trace.with_span "store.checkpoint" (fun () ->
+      let snapshot = Codec.encode_database t.db in
+      Trace.add_attr "snapshot_bytes" (Trace.Int (String.length snapshot));
+      let tmp = snapshot_path t.dir ^ ".tmp" in
+      Out_channel.with_open_text tmp (fun oc ->
+          Out_channel.output_string oc snapshot);
+      Sys.rename tmp (snapshot_path t.dir);
+      (* Old log records are covered by the snapshot: truncate. *)
+      close_out t.log;
+      let truncated = open_out (wal_path t.dir) in
+      close_out truncated;
+      t.log <- open_log_append t.dir;
+      t.records <- 0)
 
 let close t = close_out t.log
 let log_records t = t.records

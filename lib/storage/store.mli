@@ -39,6 +39,16 @@ val commit : t -> Mxra_core.Transaction.t -> Mxra_core.Transaction.outcome
     its record to the log (flushed) before returning.  Aborted
     transactions leave no trace in the log. *)
 
+val absorb_batch : t -> Mxra_core.Transaction.t list -> Database.t -> unit
+(** Make an {e externally executed} batch durable: append one log
+    record per transaction and install [state] as the current state,
+    with a single flush for the whole batch.  The transactions must be
+    the {e committed} ones of the batch in commit order, and [state]
+    the batch's final state — exactly what
+    {!Mxra_concurrency.Scheduler.run} hands back; replaying the records
+    serially re-creates [state] because strict 2PL makes the schedule
+    conflict-equivalent to that serial order. *)
+
 val checkpoint : t -> unit
 (** Write the current state as the new snapshot and truncate the log.
     The snapshot is written to a temporary file and renamed, so a crash

@@ -394,11 +394,17 @@ let parse_script st =
 
 (* --- entry points ----------------------------------------------------------- *)
 
+(* Every entry point is one "parse" span covering lexing too — the
+   frontend phase a traced workload reports against optimize / plan /
+   execute. *)
 let with_source parse src =
-  let st = { tokens = Lexer.tokenize src; pos = 0 } in
-  let result = parse st in
-  expect st Token.EOF;
-  result
+  Mxra_obs.Trace.with_span "parse"
+    ~attrs:[ ("bytes", Mxra_obs.Trace.Int (String.length src)) ]
+    (fun () ->
+      let st = { tokens = Lexer.tokenize src; pos = 0 } in
+      let result = parse st in
+      expect st Token.EOF;
+      result)
 
 let expr_of_string src = with_source parse_expr src
 let statement_of_string src = with_source parse_statement src
@@ -406,5 +412,8 @@ let program_of_string src = with_source parse_program src
 let command_of_string src = with_source parse_command src
 
 let script_of_string src =
-  let st = { tokens = Lexer.tokenize src; pos = 0 } in
-  parse_script st
+  Mxra_obs.Trace.with_span "parse"
+    ~attrs:[ ("bytes", Mxra_obs.Trace.Int (String.length src)) ]
+    (fun () ->
+      let st = { tokens = Lexer.tokenize src; pos = 0 } in
+      parse_script st)

@@ -1,0 +1,252 @@
+Observability surface.  "bagdb metrics" runs a script with result
+output suppressed and dumps aggregated span latencies, operator
+traffic and engine counters in Prometheus text format.  Measured
+durations vary run to run and are scrubbed; every count is
+deterministic.
+
+  $ ../../bin/bagdb.exe metrics ../../examples/scripts/beer_session.xra \
+  >   | sed -E 's/^(.*_ms(_total)?(\{quantile="[0-9.]+"\}|_sum)?) [0-9.eE+-]+$/\1 <ms>/'
+  # HELP mxra_Filter_ms latency of 'Filter' spans
+  # TYPE mxra_Filter_ms summary
+  mxra_Filter_ms{quantile="0.5"} <ms>
+  mxra_Filter_ms{quantile="0.9"} <ms>
+  mxra_Filter_ms{quantile="0.99"} <ms>
+  mxra_Filter_ms_sum <ms>
+  mxra_Filter_ms_count 1
+  # HELP mxra_HashAggregate_ms latency of 'HashAggregate' spans
+  # TYPE mxra_HashAggregate_ms summary
+  mxra_HashAggregate_ms{quantile="0.5"} <ms>
+  mxra_HashAggregate_ms{quantile="0.9"} <ms>
+  mxra_HashAggregate_ms{quantile="0.99"} <ms>
+  mxra_HashAggregate_ms_sum <ms>
+  mxra_HashAggregate_ms_count 1
+  # HELP mxra_HashJoin_ms latency of 'HashJoin' spans
+  # TYPE mxra_HashJoin_ms summary
+  mxra_HashJoin_ms{quantile="0.5"} <ms>
+  mxra_HashJoin_ms{quantile="0.9"} <ms>
+  mxra_HashJoin_ms{quantile="0.99"} <ms>
+  mxra_HashJoin_ms_sum <ms>
+  mxra_HashJoin_ms_count 2
+  # HELP mxra_Project_ms latency of 'Project' spans
+  # TYPE mxra_Project_ms summary
+  mxra_Project_ms{quantile="0.5"} <ms>
+  mxra_Project_ms{quantile="0.9"} <ms>
+  mxra_Project_ms{quantile="0.99"} <ms>
+  mxra_Project_ms_sum <ms>
+  mxra_Project_ms_count 5
+  # HELP mxra_SeqScan_ms latency of 'SeqScan' spans
+  # TYPE mxra_SeqScan_ms summary
+  mxra_SeqScan_ms{quantile="0.5"} <ms>
+  mxra_SeqScan_ms{quantile="0.9"} <ms>
+  mxra_SeqScan_ms{quantile="0.99"} <ms>
+  mxra_SeqScan_ms_sum <ms>
+  mxra_SeqScan_ms_count 4
+  # HELP mxra_execute_ms latency of 'execute' spans
+  # TYPE mxra_execute_ms summary
+  mxra_execute_ms{quantile="0.5"} <ms>
+  mxra_execute_ms{quantile="0.9"} <ms>
+  mxra_execute_ms{quantile="0.99"} <ms>
+  mxra_execute_ms_sum <ms>
+  mxra_execute_ms_count 2
+  # HELP mxra_optimize_ms latency of 'optimize' spans
+  # TYPE mxra_optimize_ms summary
+  mxra_optimize_ms{quantile="0.5"} <ms>
+  mxra_optimize_ms{quantile="0.9"} <ms>
+  mxra_optimize_ms{quantile="0.99"} <ms>
+  mxra_optimize_ms_sum <ms>
+  mxra_optimize_ms_count 2
+  # HELP mxra_optimize_normalize_ms latency of 'optimize.normalize' spans
+  # TYPE mxra_optimize_normalize_ms summary
+  mxra_optimize_normalize_ms{quantile="0.5"} <ms>
+  mxra_optimize_normalize_ms{quantile="0.9"} <ms>
+  mxra_optimize_normalize_ms{quantile="0.99"} <ms>
+  mxra_optimize_normalize_ms_sum <ms>
+  mxra_optimize_normalize_ms_count 2
+  # HELP mxra_optimize_reorder_ms latency of 'optimize.reorder' spans
+  # TYPE mxra_optimize_reorder_ms summary
+  mxra_optimize_reorder_ms{quantile="0.5"} <ms>
+  mxra_optimize_reorder_ms{quantile="0.9"} <ms>
+  mxra_optimize_reorder_ms{quantile="0.99"} <ms>
+  mxra_optimize_reorder_ms_sum <ms>
+  mxra_optimize_reorder_ms_count 2
+  # HELP mxra_parse_ms latency of 'parse' spans
+  # TYPE mxra_parse_ms summary
+  mxra_parse_ms{quantile="0.5"} <ms>
+  mxra_parse_ms{quantile="0.9"} <ms>
+  mxra_parse_ms{quantile="0.99"} <ms>
+  mxra_parse_ms_sum <ms>
+  mxra_parse_ms_count 1
+  # HELP mxra_plan_ms latency of 'plan' spans
+  # TYPE mxra_plan_ms summary
+  mxra_plan_ms{quantile="0.5"} <ms>
+  mxra_plan_ms{quantile="0.9"} <ms>
+  mxra_plan_ms{quantile="0.99"} <ms>
+  mxra_plan_ms_sum <ms>
+  mxra_plan_ms_count 2
+  # HELP mxra_query_ms latency of 'query' spans
+  # TYPE mxra_query_ms summary
+  mxra_query_ms{quantile="0.5"} <ms>
+  mxra_query_ms{quantile="0.9"} <ms>
+  mxra_query_ms{quantile="0.99"} <ms>
+  mxra_query_ms_sum <ms>
+  mxra_query_ms_count 2
+  # HELP mxra_scheduler_batch_ms latency of 'scheduler.batch' spans
+  # TYPE mxra_scheduler_batch_ms summary
+  mxra_scheduler_batch_ms{quantile="0.5"} <ms>
+  mxra_scheduler_batch_ms{quantile="0.9"} <ms>
+  mxra_scheduler_batch_ms{quantile="0.99"} <ms>
+  mxra_scheduler_batch_ms_sum <ms>
+  mxra_scheduler_batch_ms_count 1
+  # HELP mxra_txn_ms latency of 'txn' spans
+  # TYPE mxra_txn_ms summary
+  mxra_txn_ms{quantile="0.5"} <ms>
+  mxra_txn_ms{quantile="0.9"} <ms>
+  mxra_txn_ms{quantile="0.99"} <ms>
+  mxra_txn_ms_sum <ms>
+  mxra_txn_ms_count 1
+  # HELP mxra_Filter_elems_total sum of 'elems' over 'Filter' spans
+  # TYPE mxra_Filter_elems_total counter
+  mxra_Filter_elems_total 2
+  # HELP mxra_Filter_rows_total sum of 'rows' over 'Filter' spans
+  # TYPE mxra_Filter_rows_total counter
+  mxra_Filter_rows_total 2
+  # HELP mxra_Filter_wall_ms_total sum of 'wall_ms' over 'Filter' spans
+  # TYPE mxra_Filter_wall_ms_total counter
+  mxra_Filter_wall_ms_total <ms>
+  # HELP mxra_HashAggregate_elems_total sum of 'elems' over 'HashAggregate' spans
+  # TYPE mxra_HashAggregate_elems_total counter
+  mxra_HashAggregate_elems_total 2
+  # HELP mxra_HashAggregate_groups_total sum of 'groups' over 'HashAggregate' spans
+  # TYPE mxra_HashAggregate_groups_total counter
+  mxra_HashAggregate_groups_total 2
+  # HELP mxra_HashAggregate_rows_total sum of 'rows' over 'HashAggregate' spans
+  # TYPE mxra_HashAggregate_rows_total counter
+  mxra_HashAggregate_rows_total 2
+  # HELP mxra_HashAggregate_wall_ms_total sum of 'wall_ms' over 'HashAggregate' spans
+  # TYPE mxra_HashAggregate_wall_ms_total counter
+  mxra_HashAggregate_wall_ms_total <ms>
+  # HELP mxra_HashJoin_build_total sum of 'build' over 'HashJoin' spans
+  # TYPE mxra_HashJoin_build_total counter
+  mxra_HashJoin_build_total 5
+  # HELP mxra_HashJoin_elems_total sum of 'elems' over 'HashJoin' spans
+  # TYPE mxra_HashJoin_elems_total counter
+  mxra_HashJoin_elems_total 7
+  # HELP mxra_HashJoin_keys_total sum of 'keys' over 'HashJoin' spans
+  # TYPE mxra_HashJoin_keys_total counter
+  mxra_HashJoin_keys_total 5
+  # HELP mxra_HashJoin_rows_total sum of 'rows' over 'HashJoin' spans
+  # TYPE mxra_HashJoin_rows_total counter
+  mxra_HashJoin_rows_total 7
+  # HELP mxra_HashJoin_wall_ms_total sum of 'wall_ms' over 'HashJoin' spans
+  # TYPE mxra_HashJoin_wall_ms_total counter
+  mxra_HashJoin_wall_ms_total <ms>
+  # HELP mxra_Project_elems_total sum of 'elems' over 'Project' spans
+  # TYPE mxra_Project_elems_total counter
+  mxra_Project_elems_total 16
+  # HELP mxra_Project_rows_total sum of 'rows' over 'Project' spans
+  # TYPE mxra_Project_rows_total counter
+  mxra_Project_rows_total 16
+  # HELP mxra_Project_wall_ms_total sum of 'wall_ms' over 'Project' spans
+  # TYPE mxra_Project_wall_ms_total counter
+  mxra_Project_wall_ms_total <ms>
+  # HELP mxra_SeqScan_elems_total sum of 'elems' over 'SeqScan' spans
+  # TYPE mxra_SeqScan_elems_total counter
+  mxra_SeqScan_elems_total 14
+  # HELP mxra_SeqScan_rows_total sum of 'rows' over 'SeqScan' spans
+  # TYPE mxra_SeqScan_rows_total counter
+  mxra_SeqScan_rows_total 14
+  # HELP mxra_SeqScan_wall_ms_total sum of 'wall_ms' over 'SeqScan' spans
+  # TYPE mxra_SeqScan_wall_ms_total counter
+  mxra_SeqScan_wall_ms_total <ms>
+  # HELP mxra_execute_operators_total sum of 'operators' over 'execute' spans
+  # TYPE mxra_execute_operators_total counter
+  mxra_execute_operators_total 13
+  # HELP mxra_execute_rows_total sum of 'rows' over 'execute' spans
+  # TYPE mxra_execute_rows_total counter
+  mxra_execute_rows_total 5
+  # HELP mxra_optimize_input_ops_total sum of 'input_ops' over 'optimize' spans
+  # TYPE mxra_optimize_input_ops_total counter
+  mxra_optimize_input_ops_total 9
+  # HELP mxra_optimize_output_ops_total sum of 'output_ops' over 'optimize' spans
+  # TYPE mxra_optimize_output_ops_total counter
+  mxra_optimize_output_ops_total 13
+  # HELP mxra_parse_bytes_total sum of 'bytes' over 'parse' spans
+  # TYPE mxra_parse_bytes_total counter
+  mxra_parse_bytes_total 934
+  # HELP mxra_plan_operators_total sum of 'operators' over 'plan' spans
+  # TYPE mxra_plan_operators_total counter
+  mxra_plan_operators_total 13
+  # HELP mxra_query_rows_total sum of 'rows' over 'query' spans
+  # TYPE mxra_query_rows_total counter
+  mxra_query_rows_total 5
+  # HELP mxra_scheduler_batch_blocks_total sum of 'blocks' over 'scheduler.batch' spans
+  # TYPE mxra_scheduler_batch_blocks_total counter
+  mxra_scheduler_batch_blocks_total 0
+  # HELP mxra_scheduler_batch_deadlocks_total sum of 'deadlocks' over 'scheduler.batch' spans
+  # TYPE mxra_scheduler_batch_deadlocks_total counter
+  mxra_scheduler_batch_deadlocks_total 0
+  # HELP mxra_scheduler_batch_steps_total sum of 'steps' over 'scheduler.batch' spans
+  # TYPE mxra_scheduler_batch_steps_total counter
+  mxra_scheduler_batch_steps_total 2
+  # HELP mxra_scheduler_batch_txns_total sum of 'txns' over 'scheduler.batch' spans
+  # TYPE mxra_scheduler_batch_txns_total counter
+  mxra_scheduler_batch_txns_total 1
+  # HELP mxra_txn_blocks_total sum of 'blocks' over 'txn' spans
+  # TYPE mxra_txn_blocks_total counter
+  mxra_txn_blocks_total 0
+  # HELP mxra_txn_statements_total sum of 'statements' over 'txn' spans
+  # TYPE mxra_txn_statements_total counter
+  mxra_txn_statements_total 2
+  # TYPE mxra_tuples_moved_total counter
+  mxra_tuples_moved_total 41
+  # TYPE mxra_cells_moved_total counter
+  mxra_cells_moved_total 104
+  # TYPE mxra_rows_out_total counter
+  mxra_rows_out_total 5
+  # TYPE mxra_operators_total counter
+  mxra_operators_total 13
+  # TYPE mxra_wall_ms gauge
+  mxra_wall_ms <ms>
+
+A traced run writes a Chrome trace-event file (Perfetto-loadable) with
+spans for parsing, planning, optimization, every physical operator,
+the scheduler batch and its transactions.
+
+  $ ../../bin/bagdb.exe run --trace trace.json --query-log queries.jsonl \
+  >   ../../examples/scripts/beer_session.xra > /dev/null
+  $ grep -o '"name":"[^"]*"' trace.json | sort | uniq -c | sed 's/^ *//'
+  1 "name":"Filter"
+  1 "name":"HashAggregate"
+  2 "name":"HashJoin"
+  5 "name":"Project"
+  4 "name":"SeqScan"
+  2 "name":"execute"
+  2 "name":"optimize"
+  2 "name":"optimize.normalize"
+  2 "name":"optimize.reorder"
+  1 "name":"parse"
+  2 "name":"plan"
+  2 "name":"query"
+  1 "name":"scheduler.batch"
+  1 "name":"txn"
+  1 "name":"txn-1"
+
+The query log is one JSONL record per query span; timestamps and
+durations are scrubbed, text and row counts are pinned.
+
+  $ sed -E 's/"ts":"[^"]*"/"ts":"<ts>"/; s/"ms":[0-9.]+/"ms":<ms>/' queries.jsonl
+  {"ts":"<ts>","span":"query","ms":<ms>,"lang":"xra","text":"project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))","rows":3}
+  {"ts":"<ts>","span":"query","ms":<ms>,"lang":"xra","text":"groupby[%6; AVG(%3)](join[%2 = %4](beer, brewery))","rows":2}
+
+A slow-query threshold higher than any query suppresses all records.
+
+  $ ../../bin/bagdb.exe run --query-log slow.jsonl --slow-query-ms 10000 \
+  >   ../../examples/scripts/beer_session.xra > /dev/null
+  $ wc -c < slow.jsonl
+  0
+
+Transaction batches report scheduler statistics under --stats.
+
+  $ ../../bin/bagdb.exe run --stats ../../examples/scripts/beer_session.xra \
+  >   | grep scheduler
+  -- scheduler: 1 txns, 1 committed, 2 steps, 0 blocks, 0 deadlocks

@@ -19,4 +19,5 @@ let () =
       Test_storage.suite;
       Test_concurrency.suite;
       Test_language.suite;
+      Test_obs.suite;
     ]

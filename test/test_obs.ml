@@ -1,0 +1,459 @@
+(* Observability tests: histogram quantile laws (property-based), the
+   Chrome sink's output staying valid JSON with complete spans when the
+   traced code raises, Prometheus text rendering, the aggregation sink,
+   and the scheduler's per-transaction output delivery. *)
+
+open Mxra_relational
+open Mxra_core
+module Obs = Mxra_obs
+module H = Mxra_obs.Histogram
+module Trace = Mxra_obs.Trace
+
+(* --- a minimal JSON validity checker ----------------------------------
+
+   The image carries no JSON library, so validity is checked with a
+   recursive-descent recogniser: structure only, no values retained. *)
+
+exception Bad_json
+
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = Some c then advance () else raise Bad_json in
+  let literal lit = String.iter expect lit in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          if peek () = None then raise Bad_json;
+          advance ();
+          go ()
+      | Some _ ->
+          advance ();
+          go ()
+      | None -> raise Bad_json
+    in
+    go ()
+  in
+  let number () =
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let started = ref false in
+    let rec go () =
+      match peek () with
+      | Some c when num_char c ->
+          started := true;
+          advance ();
+          go ()
+      | _ -> if not !started then raise Bad_json
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Bad_json
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      members ();
+      skip_ws ();
+      expect '}'
+    end
+  and members () =
+    skip_ws ();
+    string_lit ();
+    skip_ws ();
+    expect ':';
+    value ();
+    skip_ws ();
+    if peek () = Some ',' then begin
+      advance ();
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      elements ();
+      skip_ws ();
+      expect ']'
+    end
+  and elements () =
+    value ();
+    skip_ws ();
+    if peek () = Some ',' then begin
+      advance ();
+      elements ()
+    end
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n
+  | exception Bad_json -> false
+
+let count_occurrences sub s =
+  let m = String.length sub and n = String.length s in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + m) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let contains sub s = count_occurrences sub s > 0
+
+(* --- histogram properties --------------------------------------------- *)
+
+let samples =
+  QCheck.list_of_size QCheck.Gen.(1 -- 300) (QCheck.float_range 1e-7 1e7)
+
+let fill l =
+  let h = H.create () in
+  List.iter (H.observe h) l;
+  h
+
+let prop name arb p =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:200 arb p)
+
+let prop_count_conservation =
+  prop "count and sum are conserved" samples (fun l ->
+      let h = fill l in
+      H.count h = List.length l
+      && Float.abs (H.sum h -. List.fold_left ( +. ) 0.0 l)
+         <= 1e-9 *. Float.max 1.0 (H.sum h)
+      && H.min_value h = List.fold_left Float.min Float.infinity l
+      && H.max_value h = List.fold_left Float.max Float.neg_infinity l)
+
+let prop_quantile_ordering =
+  prop "min <= p50 <= p90 <= p99 <= max" samples (fun l ->
+      let h = fill l in
+      let q p = H.quantile h p in
+      H.min_value h <= q 0.5
+      && q 0.5 <= q 0.9
+      && q 0.9 <= q 0.99
+      && q 0.99 <= H.max_value h)
+
+let prop_quantile_monotone =
+  prop "quantile is monotone in p"
+    (QCheck.triple samples (QCheck.int_bound 100) (QCheck.int_bound 100))
+    (fun (l, a, b) ->
+      let h = fill l in
+      let p = float_of_int (min a b) /. 100.0
+      and q = float_of_int (max a b) /. 100.0 in
+      H.quantile h p <= H.quantile h q)
+
+let prop_quantile_accuracy =
+  (* The γ = 2^(1/4) bucketing guarantees ~9% relative error; check a
+     generous 20% against the exact empirical quantile. *)
+  prop "quantile tracks the empirical quantile" samples (fun l ->
+      let h = fill l in
+      let sorted = List.sort Float.compare l in
+      let exact p =
+        let rank =
+          int_of_float (Float.ceil (p *. float_of_int (List.length l)))
+        in
+        List.nth sorted (max 0 (min (List.length l - 1) (rank - 1)))
+      in
+      List.for_all
+        (fun p ->
+          let approx = H.quantile h p and e = exact p in
+          Float.abs (approx -. e) <= 0.2 *. Float.max approx e)
+        [ 0.5; 0.9; 0.99 ])
+
+let test_histogram_ignores_nonfinite () =
+  let h = fill [ 1.0; Float.nan; Float.infinity; 2.0; Float.neg_infinity ] in
+  Alcotest.(check int) "count" 2 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum" 3.0 (H.sum h)
+
+(* --- Chrome sink ------------------------------------------------------- *)
+
+let with_chrome_trace f =
+  let path = Filename.temp_file "mxra_obs_test" ".json" in
+  let oc = open_out path in
+  Trace.set_sinks [ Obs.Chrome_sink.sink oc ];
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      close_out oc)
+    f;
+  let s = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  s
+
+let test_chrome_sink_valid_json () =
+  let trace =
+    with_chrome_trace (fun () ->
+        Trace.with_span "outer" ~attrs:[ ("k", Trace.Int 1) ] (fun () ->
+            Trace.event "ping"
+              ~attrs:[ ("s", Trace.Str "quo\"ted\\back\nslash") ];
+            Trace.with_span "inner"
+              ~attrs:
+                [ ("f", Trace.Float 1.5); ("b", Trace.Bool true) ]
+              (fun () -> ()));
+        match Trace.with_span "raising" (fun () -> failwith "boom") with
+        | () -> Alcotest.fail "expected Failure"
+        | exception Failure _ -> ())
+  in
+  Alcotest.(check bool) "valid JSON" true (json_valid trace);
+  (* Every span is one complete X record even when the thunk raised;
+     nothing is left unbalanced. *)
+  Alcotest.(check int) "complete X events" 3
+    (count_occurrences "\"ph\":\"X\"" trace);
+  Alcotest.(check int) "instant events" 1
+    (count_occurrences "\"ph\":\"i\"" trace);
+  Alcotest.(check bool) "raising span present" true
+    (contains "\"name\":\"raising\"" trace)
+
+let test_chrome_sink_empty_trace () =
+  let trace = with_chrome_trace (fun () -> ()) in
+  Alcotest.(check bool) "valid JSON" true (json_valid trace)
+
+let test_disabled_tracing_is_transparent () =
+  Trace.set_sinks [];
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Alcotest.(check int) "value through" 42 (Trace.with_span "x" (fun () -> 42));
+  match Trace.with_span "x" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
+(* --- query-log sink ---------------------------------------------------- *)
+
+let with_query_log ~slow_ms f =
+  let path = Filename.temp_file "mxra_obs_test" ".jsonl" in
+  let oc = open_out path in
+  Trace.set_sinks [ Obs.Query_log_sink.sink ~slow_ms oc ];
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      close_out oc)
+    f;
+  let s = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  s
+
+let test_query_log_records () =
+  let log =
+    with_query_log ~slow_ms:0.0 (fun () ->
+        Trace.with_span "query"
+          ~attrs:[ ("lang", Trace.Str "xra"); ("rows", Trace.Int 3) ]
+          (fun () -> ());
+        Trace.with_span "not-a-query" (fun () -> ()))
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' log)
+  in
+  Alcotest.(check int) "one record" 1 (List.length lines);
+  let line = List.hd lines in
+  Alcotest.(check bool) "valid JSON" true (json_valid line);
+  Alcotest.(check bool) "has lang" true (contains "\"lang\":\"xra\"" line);
+  Alcotest.(check bool) "has rows" true (contains "\"rows\":3" line)
+
+let test_query_log_threshold () =
+  let log =
+    with_query_log ~slow_ms:1e9 (fun () ->
+        Trace.with_span "query" (fun () -> ()))
+  in
+  Alcotest.(check string) "below threshold: nothing logged" "" log
+
+(* --- aggregation sink and Prometheus rendering ------------------------- *)
+
+let test_agg_sink () =
+  let agg = Obs.Agg_sink.create () in
+  Trace.set_sinks [ Obs.Agg_sink.sink agg ];
+  Fun.protect
+    ~finally:(fun () -> Trace.close ())
+    (fun () ->
+      Trace.with_span "alpha" ~attrs:[ ("rows", Trace.Int 3) ] (fun () -> ());
+      Trace.with_span "alpha" ~attrs:[ ("rows", Trace.Int 4) ] (fun () -> ());
+      Trace.with_span "beta" ~attrs:[ ("tag", Trace.Str "x") ] (fun () -> ());
+      Trace.event "tick";
+      Trace.event "tick");
+  Alcotest.(check (list string))
+    "span names" [ "alpha"; "beta" ]
+    (Obs.Agg_sink.span_names agg);
+  (match Obs.Agg_sink.durations agg "alpha" with
+  | Some h -> Alcotest.(check int) "alpha count" 2 (H.count h)
+  | None -> Alcotest.fail "no alpha histogram");
+  Alcotest.(check bool) "rows total" true
+    (List.exists
+       (fun (s, a, v) -> s = "alpha" && a = "rows" && v = 7.0)
+       (Obs.Agg_sink.attr_totals agg));
+  Alcotest.(check bool) "string attrs not aggregated" true
+    (List.for_all (fun (s, _, _) -> s <> "beta") (Obs.Agg_sink.attr_totals agg));
+  Alcotest.(check (list (pair string int)))
+    "events" [ ("tick", 2) ]
+    (Obs.Agg_sink.event_counts agg)
+
+let test_prometheus_sanitize () =
+  Alcotest.(check string) "illegal chars" "a_b_c"
+    (Obs.Prometheus.sanitize "a-b.c");
+  Alcotest.(check string) "leading digit" "_9lives"
+    (Obs.Prometheus.sanitize "9lives")
+
+let test_prometheus_summary () =
+  let h = fill [ 1.0; 2.0; 3.0; 4.0 ] in
+  let s = Obs.Prometheus.summary ~help:"latency" "lat_ms" h in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains needle s))
+    [
+      "# HELP lat_ms latency";
+      "# TYPE lat_ms summary";
+      "lat_ms{quantile=\"0.5\"}";
+      "lat_ms{quantile=\"0.9\"}";
+      "lat_ms{quantile=\"0.99\"}";
+      "lat_ms_sum 10";
+      "lat_ms_count 4";
+    ]
+
+let test_prometheus_of_aggregate () =
+  let agg = Obs.Agg_sink.create () in
+  Trace.set_sinks [ Obs.Agg_sink.sink agg ];
+  Fun.protect
+    ~finally:(fun () -> Trace.close ())
+    (fun () ->
+      Trace.with_span "store.commit"
+        ~attrs:[ ("wal_bytes", Trace.Int 128) ]
+        (fun () -> ());
+      Trace.event "lock.wait");
+  let s = Obs.Prometheus.of_aggregate agg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains needle s))
+    [
+      "# TYPE mxra_store_commit_ms summary";
+      "mxra_store_commit_ms_count 1";
+      "mxra_store_commit_wal_bytes_total 128";
+      "mxra_lock_wait_events_total 1";
+    ]
+
+let test_engine_metrics_prometheus () =
+  let m = Mxra_engine.Metrics.create () in
+  Mxra_engine.Metrics.add (Mxra_engine.Metrics.counter m "tuples-moved") 41;
+  Mxra_engine.Metrics.add_ms (Mxra_engine.Metrics.timer m "wall") 1.25;
+  let s = Mxra_engine.Metrics.prometheus m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains needle s))
+    [
+      "# TYPE mxra_tuples_moved_total counter";
+      "mxra_tuples_moved_total 41";
+      "# TYPE mxra_wall_ms gauge";
+      "mxra_wall_ms 1.25";
+    ]
+
+(* --- scheduler output delivery ----------------------------------------- *)
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+
+let kv_db =
+  Database.of_relations
+    [
+      ( "r",
+        Relation.of_list s_kv
+          [
+            Tuple.of_list [ Value.Int 1; Value.Int 10 ];
+            Tuple.of_list [ Value.Int 2; Value.Int 20 ];
+          ] );
+    ]
+
+let query_r = Statement.Query (Expr.rel "r")
+
+let test_scheduler_outputs_match_serial () =
+  let t1 = Transaction.make ~name:"reader" [ query_r ] in
+  let r = Mxra_concurrency.Scheduler.run ~seed:7 kv_db [ t1 ] in
+  let serial_outputs =
+    match Transaction.run kv_db t1 with
+    | Transaction.Committed { outputs; _ } -> outputs
+    | Transaction.Aborted _ -> Alcotest.fail "serial run aborted"
+  in
+  match r.Mxra_concurrency.Scheduler.outputs with
+  | [ outs ] ->
+      Alcotest.(check int) "one output" (List.length serial_outputs)
+        (List.length outs);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "same relation" true (Relation.equal a b))
+        serial_outputs outs
+  | _ -> Alcotest.fail "expected one transaction's outputs"
+
+let test_scheduler_aborted_outputs_empty () =
+  let t_abort =
+    Transaction.make ~name:"doomed"
+      ~abort_if:(fun _ -> true)
+      [ query_r ]
+  in
+  let t_ok = Transaction.make ~name:"fine" [ query_r ] in
+  let r = Mxra_concurrency.Scheduler.run ~seed:7 kv_db [ t_abort; t_ok ] in
+  match
+    (r.Mxra_concurrency.Scheduler.outcomes, r.Mxra_concurrency.Scheduler.outputs)
+  with
+  | [ Mxra_concurrency.Scheduler.Aborted _; Mxra_concurrency.Scheduler.Committed ], [ aborted; committed ]
+    ->
+      Alcotest.(check int)
+        "aborted transaction delivers no outputs" 0 (List.length aborted);
+      Alcotest.(check int) "committed delivers its query" 1
+        (List.length committed)
+  | _ -> Alcotest.fail "unexpected outcomes"
+
+let suite =
+  ( "obs",
+    [
+      prop_count_conservation;
+      prop_quantile_ordering;
+      prop_quantile_monotone;
+      prop_quantile_accuracy;
+      Alcotest.test_case "non-finite observations ignored" `Quick
+        test_histogram_ignores_nonfinite;
+      Alcotest.test_case "Chrome sink: valid JSON under exceptions" `Quick
+        test_chrome_sink_valid_json;
+      Alcotest.test_case "Chrome sink: empty trace is valid" `Quick
+        test_chrome_sink_empty_trace;
+      Alcotest.test_case "disabled tracing is transparent" `Quick
+        test_disabled_tracing_is_transparent;
+      Alcotest.test_case "query log records query spans" `Quick
+        test_query_log_records;
+      Alcotest.test_case "query log respects slow threshold" `Quick
+        test_query_log_threshold;
+      Alcotest.test_case "aggregation sink folds the stream" `Quick
+        test_agg_sink;
+      Alcotest.test_case "prometheus name sanitization" `Quick
+        test_prometheus_sanitize;
+      Alcotest.test_case "prometheus summary rendering" `Quick
+        test_prometheus_summary;
+      Alcotest.test_case "prometheus aggregate export" `Quick
+        test_prometheus_of_aggregate;
+      Alcotest.test_case "engine metrics registry export" `Quick
+        test_engine_metrics_prometheus;
+      Alcotest.test_case "scheduler outputs match serial run" `Quick
+        test_scheduler_outputs_match_serial;
+      Alcotest.test_case "aborted transactions deliver no outputs" `Quick
+        test_scheduler_aborted_outputs_empty;
+    ] )
