@@ -8,7 +8,9 @@
    Test.make per experiment) runs at the end.
 
      dune exec bench/main.exe            -- full run
-     dune exec bench/main.exe quick      -- smaller sizes, short quota *)
+     dune exec bench/main.exe quick      -- smaller sizes, short quota
+     dune exec bench/main.exe quick e15  -- one experiment by name
+     dune exec bench/main.exe -- e15 --jobs 4   -- cap the E15 sweep *)
 
 open Mxra_relational
 open Mxra_core
@@ -17,7 +19,30 @@ module W = Mxra_workload
 module Opt = Mxra_optimizer
 module Ext = Mxra_ext
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let argv = List.tl (Array.to_list Sys.argv)
+let quick = List.mem "quick" argv
+
+(* [--jobs N] caps the E15 domain sweep to the machine at hand. *)
+let jobs_cap =
+  let rec find = function
+    | "--jobs" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find argv
+
+(* Remaining positional words select experiments by name ("e15",
+   "bechamel"); none selects everything. *)
+let selected =
+  let rec strip = function
+    | [] -> []
+    | "--jobs" :: _ :: rest -> strip rest
+    | ("quick" | "--") :: rest -> strip rest
+    | a :: rest -> a :: strip rest
+  in
+  strip argv
+
+let wants name = selected = [] || List.mem name selected
 
 let time_ms f =
   let t0 = Unix.gettimeofday () in
@@ -346,7 +371,10 @@ let e7_parallel () =
         Ext.Parallel.par_group_by ~parts ~attrs:[ 1 ]
           ~aggs:[ (Aggregate.Sum, 2) ] skewed
       in
-      let j = Ext.Parallel.par_join ~parts ~left_key:1 ~right_key:1 left right in
+      let j =
+        Ext.Parallel.par_join ~parts ~left_keys:[ 1 ] ~right_keys:[ 1 ] left
+          right
+      in
       row "  %4d | %10.2fx sp | %10.2fx sp | %10.2fx sp@." parts
         g1.Ext.Parallel.speedup g2.Ext.Parallel.speedup j.Ext.Parallel.speedup)
     [ 1; 2; 4; 8; 16 ]
@@ -836,6 +864,69 @@ let e14_observability_overhead () =
       Out_channel.output_string oc (Buffer.contents buf));
   row "  wrote %s@." path
 
+(* --------------------------------------------------------------- E15 *)
+
+(* Real multicore speedup: the retail join+aggregate query (revenue per
+   country) planned with Exchange operators and executed on 1/2/4/8
+   domains of the shared pool.  Every parallel result is checked
+   bag-equal to the sequential one before its timing counts, and the
+   curve lands in BENCH_parallel.json for CI to archive.  The speedup
+   is bounded by the cores the machine actually grants — on a
+   single-core container every level measures the same work plus pool
+   overhead, and the curve is flat by construction. *)
+let e15_parallel_speedup () =
+  header "E15  multicore speedup (retail join+aggregate, domain pool)";
+  let orders = if quick then 4_000 else 20_000 in
+  let db =
+    W.Retail.generate ~rng:(W.Rng.make 15) ~customers:(orders / 10) ~orders ()
+  in
+  let e = Opt.Optimizer.optimize_db db W.Retail.revenue_per_country in
+  let seq_plan = Planner.plan db e in
+  let baseline = Exec.run db seq_plan in
+  let seq_ms = best_of_3 (fun () -> Exec.run db seq_plan) in
+  row "  %d orders, %d result rows, sequential best-of-3 %.2f ms@." orders
+    (Relation.cardinal baseline) seq_ms;
+  let sweep =
+    match jobs_cap with
+    | None -> [ 1; 2; 4; 8 ]
+    | Some n ->
+        List.sort_uniq compare (n :: List.filter (fun j -> j <= n) [ 1; 2; 4 ])
+  in
+  row "  %6s | %10s | %8s | %s@." "jobs" "ms" "speedup" "bag-equal";
+  let points =
+    List.map
+      (fun jobs ->
+        Ext.Pool.set_default_size jobs;
+        let plan = Planner.plan ~jobs db e in
+        let result = Exec.run db plan in
+        let equal = Relation.equal baseline result in
+        let ms = best_of_3 (fun () -> Exec.run db plan) in
+        row "  %6d | %10.2f | %7.2fx | %b@." jobs ms (seq_ms /. ms) equal;
+        (jobs, ms, equal))
+      sweep
+  in
+  Ext.Pool.set_default_size 1;
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"experiment\": \"E15-parallel-speedup\",\n";
+  bpf "  \"orders\": %d,\n  \"sequential_ms\": %.3f,\n  \"points\": [" orders
+    seq_ms;
+  List.iteri
+    (fun i (jobs, ms, equal) ->
+      if i > 0 then bpf ",";
+      bpf "\n    {\"jobs\": %d, \"ms\": %.3f, \"speedup\": %.3f, \
+           \"bag_equal\": %b}"
+        jobs ms (seq_ms /. ms) equal)
+    points;
+  bpf "\n  ]\n}\n";
+  let path = "BENCH_parallel.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  row "  wrote %s@." path;
+  if not (List.for_all (fun (_, _, equal) -> equal) points) then (
+    row "  ERROR: a parallel result differed from the sequential one@.";
+    exit 1)
+
 (* ------------------------------------------------- bechamel suite *)
 
 let bechamel_suite () =
@@ -956,21 +1047,23 @@ let bechamel_suite () =
 
 let () =
   Format.printf
-    "mxra benchmark harness: experiments E1..E14 of DESIGN.md section 5%s@."
+    "mxra benchmark harness: experiments E1..E15 of DESIGN.md section 5%s@."
     (if quick then " (quick mode)" else "");
-  e1_dup_removal ();
-  e2_derived_operators ();
-  e3_distribution ();
-  e4_join_order ();
-  e5_early_projection ();
-  e6_transactions ();
-  e7_parallel ();
-  e8_closure ();
-  e9_optimizer_gain ();
-  e10_sql ();
-  e11_durability ();
-  e12_isolation ();
-  e13_estimation_quality ();
-  e14_observability_overhead ();
-  bechamel_suite ();
+  let run name f = if wants name then f () in
+  run "e1" e1_dup_removal;
+  run "e2" e2_derived_operators;
+  run "e3" e3_distribution;
+  run "e4" e4_join_order;
+  run "e5" e5_early_projection;
+  run "e6" e6_transactions;
+  run "e7" e7_parallel;
+  run "e8" e8_closure;
+  run "e9" e9_optimizer_gain;
+  run "e10" e10_sql;
+  run "e11" e11_durability;
+  run "e12" e12_isolation;
+  run "e13" e13_estimation_quality;
+  run "e14" e14_observability_overhead;
+  run "e15" e15_parallel_speedup;
+  run "bechamel" bechamel_suite;
   Format.printf "@.done.@."

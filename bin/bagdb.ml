@@ -47,10 +47,18 @@ type ctx = {
   stats : bool;
   quiet : bool;  (** suppress result tables ([metrics] mode) *)
   seed : int;  (** scheduler interleaving seed *)
+  jobs : int;  (** domains for parallel plans ([--jobs]) *)
   store : Store.t option;  (** durability, when [--db] is given *)
   totals : Mxra_engine.Metrics.t option;
       (** merged engine registry ([metrics] mode) *)
 }
+
+(* [--jobs N]: size the shared domain pool and plan with Exchange
+   nodes.  The pool is created lazily on first parallel execution. *)
+let set_jobs jobs =
+  if jobs < 1 then invalid_arg "--jobs must be at least 1";
+  Mxra_ext.Pool.set_default_size jobs;
+  jobs
 
 let merge_totals master src =
   List.iter
@@ -69,7 +77,7 @@ let run_query ctx ~lang db e =
       let e =
         if ctx.optimize then Mxra_optimizer.Optimizer.optimize_db db e else e
       in
-      let plan = Mxra_engine.Planner.plan db e in
+      let plan = Mxra_engine.Planner.plan ~jobs:ctx.jobs db e in
       if ctx.stats || Option.is_some ctx.totals || Trace.enabled () then begin
         (* One instrumented run yields the result, the timing and the
            tuple traffic — no second execution to count what already
@@ -183,7 +191,7 @@ let run_sql ctx db path =
   in
   ignore (List.fold_left step db (Sql.Sql_parser.parse_script source))
 
-let explain ~analyze db src =
+let explain ~analyze ~jobs db src =
   let e = Xra.Parser.expr_of_string src in
   let optimized, report =
     if analyze then Mxra_optimizer.Optimizer.explain_db db e
@@ -207,9 +215,10 @@ let explain ~analyze db src =
   | _ -> ());
   if analyze then
     Format.printf "explain analyze:@.%a@." Mxra_engine.Exec.pp_analysis
-      (Mxra_engine.Exec.explain_analyze db optimized)
+      (Mxra_engine.Exec.explain_analyze ~jobs db optimized)
   else
-    Format.printf "physical:@.%s@." (Mxra_engine.Exec.explain db optimized)
+    Format.printf "physical:@.%s@."
+      (Mxra_engine.Exec.explain ~jobs db optimized)
 
 (* --- observability plumbing ------------------------------------------- *)
 
@@ -296,6 +305,9 @@ let db_flag =
 let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduler interleaving seed for transaction batches." ~docv:"N")
 
+let jobs_flag =
+  Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Execute plans on $(docv) domains: the planner inserts Exchange operators above large scans, joins and aggregates, and fragments run on a shared domain pool." ~docv:"N")
+
 let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
 let expr_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR")
 
@@ -322,7 +334,8 @@ let guarded f =
       Format.eprintf "i/o error: %s@." msg; 1
 
 let script_cmd name ~doc runner =
-  let action beer gen retail stats no_opt trace qlog slow db_dir seed path =
+  let action beer gen retail stats no_opt trace qlog slow db_dir seed jobs path
+      =
     guarded (fun () ->
         with_tracing ~trace ~query_log:qlog ~slow_ms:slow (fun () ->
             with_store db_dir (preload beer gen retail) (fun store db ->
@@ -332,6 +345,7 @@ let script_cmd name ~doc runner =
                     stats;
                     quiet = false;
                     seed;
+                    jobs = set_jobs jobs;
                     store;
                     totals = None;
                   }
@@ -342,13 +356,13 @@ let script_cmd name ~doc runner =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ stats_flag
       $ no_optimize_flag $ trace_flag $ query_log_flag $ slow_flag $ db_flag
-      $ seed_flag $ path_arg)
+      $ seed_flag $ jobs_flag $ path_arg)
 
 let run_cmd = script_cmd "run" ~doc:"Execute an XRA script." run_xra
 let sql_cmd = script_cmd "sql" ~doc:"Execute a SQL script." run_sql
 
 let metrics_cmd =
-  let action beer gen retail no_opt seed path =
+  let action beer gen retail no_opt seed jobs path =
     guarded (fun () ->
         let agg = Obs.Agg_sink.create () in
         let totals = Mxra_engine.Metrics.create () in
@@ -358,6 +372,7 @@ let metrics_cmd =
             stats = false;
             quiet = true;
             seed;
+            jobs = set_jobs jobs;
             store = None;
             totals = Some totals;
           }
@@ -378,7 +393,7 @@ let metrics_cmd =
           in Prometheus text format.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
-      $ seed_flag $ path_arg)
+      $ seed_flag $ jobs_flag $ path_arg)
 
 let analyze_flag =
   Arg.(
@@ -389,13 +404,14 @@ let analyze_flag =
            estimated vs actual rows, per-operator q-error and wall time.")
 
 let explain_cmd =
-  let action beer gen retail analyze expr =
-    guarded (fun () -> explain ~analyze (preload beer gen retail) expr)
+  let action beer gen retail analyze jobs expr =
+    guarded (fun () ->
+        explain ~analyze ~jobs:(set_jobs jobs) (preload beer gen retail) expr)
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize an XRA expression and show plans.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ analyze_flag
-      $ expr_arg)
+      $ jobs_flag $ expr_arg)
 
 let () =
   let doc = "a multi-set extended relational algebra database (ICDE 1994)" in

@@ -1,6 +1,7 @@
 open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
+module Pool = Mxra_ext.Pool
 
 module TH = Hashtbl.Make (struct
   type t = Tuple.t
@@ -61,6 +62,17 @@ let finalize_state = function
   | S_max None -> raise (Aggregate.Undefined Aggregate.Max)
   | S_max (Some v) -> v
   | S_column (kind, domain, column) -> Aggregate.compute_for domain kind column
+
+(* A fragment's output, produced on a pool lane.  The lane id and the
+   measured interval become a per-worker span in the trace (emitted from
+   the coordinating domain — sinks are not required to be thread-safe),
+   so Chrome/Perfetto shows one lane per domain. *)
+type fragment_out = {
+  frag_rows : (Tuple.t * int) array;
+  frag_lane : int;
+  frag_start : float;
+  frag_dur : float;
+}
 
 (* --- plan execution ---------------------------------------------------- *)
 
@@ -231,6 +243,247 @@ and exec_node ~hooks db plan : (Tuple.t * int) Seq.t =
       Seq.map (fun (tuple, ()) -> (tuple, 1)) (TH.to_seq seen)
   | Physical.Hash_aggregate (attrs, aggs, t) ->
       exec_aggregate ~hooks db plan attrs aggs t
+  | Physical.Exchange { parts; child } ->
+      exec_exchange ~hooks db plan parts child
+
+(* --- parallel execution of an Exchange node ---------------------------- *)
+
+(* Run one thunk per fragment on the global pool (each fragment is one
+   morsel), record lanes and intervals, emit the worker spans, and
+   return the outputs in fragment order. *)
+and on_pool ~name tasks =
+  let pool = Pool.global () in
+  let outs =
+    Pool.map_array ~chunk:1 pool
+      (fun task ->
+        let t0 = Trace.now_us () in
+        let rows = task () in
+        {
+          frag_rows = rows;
+          frag_lane = (Stdlib.Domain.self () :> int);
+          frag_start = t0;
+          frag_dur = Trace.now_us () -. t0;
+        })
+      tasks
+  in
+  if Trace.enabled () then
+    Array.iteri
+      (fun i o ->
+        Trace.complete name ~tid:o.frag_lane ~start_us:o.frag_start
+          ~dur_us:o.frag_dur
+          ~attrs:
+            [
+              ("fragment", Trace.Int i);
+              ("rows", Trace.Int (Array.length o.frag_rows));
+            ])
+      outs;
+  outs
+
+(* Contiguous slices are a valid fragmentation for per-tuple operators:
+   σ and π distribute over any ⊎-decomposition (Theorem 3.2). *)
+and slices parts arr =
+  let n = Array.length arr in
+  Array.init parts (fun i ->
+      let lo = i * n / parts and hi = (i + 1) * n / parts in
+      Array.sub arr lo (hi - lo))
+
+(* Hash-partition a counted stream into [parts] buckets on the projected
+   key tuple; co-partitioning two streams on equal-length key lists
+   aligns matching tuples in same-numbered buckets. *)
+and bucket_by parts keys stream =
+  let buckets = Array.make parts [] in
+  Seq.iter
+    (fun (t, n) ->
+      let slot = Tuple.hash (Tuple.project keys t) land max_int mod parts in
+      buckets.(slot) <- (t, n) :: buckets.(slot))
+    stream;
+  buckets
+
+(* The maximal σ/π pipeline above a source, as one per-tuple function. *)
+and pipeline_stages plan =
+  match plan with
+  | Physical.Filter (p, t) ->
+      let src, f = pipeline_stages t in
+      ( src,
+        fun tn ->
+          match f tn with
+          | Some (tup, _) as r when Pred.eval tup p -> r
+          | Some _ | None -> None )
+  | Physical.Project_op (exprs, t) ->
+      let src, f = pipeline_stages t in
+      ( src,
+        fun tn ->
+          Option.map
+            (fun (tup, n) ->
+              (Tuple.of_list (List.map (Scalar.eval tup) exprs), n))
+            (f tn) )
+  | src -> (src, Option.some)
+
+and join_fragment ~left_keys ~right_keys ~residual lefts rights =
+  let table = TH.create 64 in
+  List.iter
+    (fun (t, n) -> TH.add table (Tuple.project right_keys t) (t, n))
+    rights;
+  let out = ref [] in
+  List.iter
+    (fun (lt, ln) ->
+      List.iter
+        (fun (rt, rn) ->
+          let combined = Tuple.concat lt rt in
+          if Pred.eval combined residual then
+            out := (combined, ln * rn) :: !out)
+        (TH.find_all table (Tuple.project left_keys lt)))
+    lefts;
+  Array.of_list !out
+
+and aggregate_fragment input_schema attrs aggs rows =
+  let fresh_states () =
+    Array.of_list
+      (List.map
+         (fun (kind, p) -> initial_state kind (Schema.domain input_schema p))
+         aggs)
+  in
+  let positions = Array.of_list (List.map snd aggs) in
+  let groups = TH.create 64 in
+  List.iter
+    (fun (tuple, n) ->
+      let key = Tuple.project attrs tuple in
+      let states =
+        match TH.find_opt groups key with
+        | Some states -> states
+        | None ->
+            let states = fresh_states () in
+            TH.add groups key states;
+            states
+      in
+      Array.iteri
+        (fun i state ->
+          states.(i) <- update_state state (Tuple.attr tuple positions.(i)) n)
+        states)
+    rows;
+  let out = Array.make (TH.length groups) (Tuple.unit, 0) in
+  let i = ref 0 in
+  TH.iter
+    (fun key states ->
+      let values = Array.to_list (Array.map finalize_state states) in
+      out.(!i) <- (Tuple.concat key (Tuple.of_list values), 1);
+      incr i)
+    groups;
+  out
+
+(* Combine two partial accumulator states of the same aggregate: counts
+   and integer sums add, extrema keep the extremum, buffered columns
+   concatenate (their final computation canonicalises the order, so the
+   combined result is bit-identical to the sequential one). *)
+and combine_state a b =
+  match (a, b) with
+  | S_cnt x, S_cnt y -> S_cnt (x + y)
+  | S_sum_int x, S_sum_int y -> S_sum_int (x + y)
+  | S_min x, S_min y ->
+      S_min
+        (match (x, y) with
+        | None, w | w, None -> w
+        | Some v, Some w ->
+            Some (if Value.compare_same_domain v w < 0 then v else w))
+  | S_max x, S_max y ->
+      S_max
+        (match (x, y) with
+        | None, w | w, None -> w
+        | Some v, Some w ->
+            Some (if Value.compare_same_domain v w > 0 then v else w))
+  | S_column (kind, domain, c1), S_column (_, _, c2) ->
+      S_column (kind, domain, List.rev_append c1 c2)
+  | (S_cnt _ | S_sum_int _ | S_min _ | S_max _ | S_column _), _ ->
+      invalid_arg "Exec: mismatched partial aggregate states"
+
+and exec_exchange ~hooks db plan parts child =
+  (* The fused child never runs as a standalone stream, so route the
+     merged fragment output through its instrumentation hook — its
+     EXPLAIN ANALYZE row then shows the rows its fragments produced
+     (operators deeper inside a fused σ/π chain still read zero). *)
+  let emit outs =
+    hooks.observe plan "parts" (Array.length outs);
+    hooks.around child (fun () ->
+        Seq.concat_map
+          (fun o -> Array.to_seq o.frag_rows)
+          (Array.to_seq outs))
+  in
+  match child with
+  | Physical.Hash_join { left_keys; right_keys; residual; left; right; _ } ->
+      let lb = bucket_by parts left_keys (exec ~hooks db left) in
+      let rb = bucket_by parts right_keys (exec ~hooks db right) in
+      emit
+        (on_pool ~name:"join-worker"
+           (Array.init parts (fun i () ->
+                join_fragment ~left_keys ~right_keys ~residual lb.(i) rb.(i))))
+  | Physical.Hash_aggregate ((_ :: _ as attrs), aggs, src) ->
+      let input_schema = Typecheck.infer_db db (Physical.to_logical src) in
+      let buckets = bucket_by parts attrs (exec ~hooks db src) in
+      emit
+        (on_pool ~name:"agg-worker"
+           (Array.map
+              (fun bucket () -> aggregate_fragment input_schema attrs aggs bucket)
+              buckets))
+  | Physical.Hash_aggregate ([], aggs, src) ->
+      (* Global aggregate: per-fragment partial states, combined on the
+         coordinating domain, finalized into the single output tuple
+         (one tuple even over the empty input, Definition 3.4). *)
+      let input_schema = Typecheck.infer_db db (Physical.to_logical src) in
+      let fresh_states () =
+        Array.of_list
+          (List.map
+             (fun (kind, p) ->
+               initial_state kind (Schema.domain input_schema p))
+             aggs)
+      in
+      let positions = Array.of_list (List.map snd aggs) in
+      let rows = Array.of_seq (exec ~hooks db src) in
+      let partial slice =
+        let states = fresh_states () in
+        Array.iter
+          (fun (tuple, n) ->
+            Array.iteri
+              (fun i state ->
+                states.(i) <-
+                  update_state state (Tuple.attr tuple positions.(i)) n)
+              states)
+          slice;
+        states
+      in
+      let pool = Pool.global () in
+      let partials = Pool.map_array ~chunk:1 pool partial (slices parts rows) in
+      hooks.observe plan "parts" parts;
+      let states =
+        Array.fold_left
+          (fun acc s ->
+            match acc with
+            | None -> Some s
+            | Some acc -> Some (Array.map2 combine_state acc s))
+          None partials
+        |> Option.value ~default:(fresh_states ())
+      in
+      let values = Array.to_list (Array.map finalize_state states) in
+      hooks.around child (fun () -> Seq.return (Tuple.of_list values, 1))
+  | Physical.Filter _ | Physical.Project_op _ ->
+      let src, f = pipeline_stages child in
+      let rows = Array.of_seq (exec ~hooks db src) in
+      emit
+        (on_pool ~name:"scan-worker"
+           (Array.map
+              (fun slice () ->
+                let out = ref [] in
+                Array.iter
+                  (fun tn ->
+                    match f tn with
+                    | Some r -> out := r :: !out
+                    | None -> ())
+                  slice;
+                Array.of_list (List.rev !out))
+              (slices parts rows)))
+  | child ->
+      (* The planner only wraps the shapes above; anything else is
+         executed sequentially — Exchange is then a no-op. *)
+      exec ~hooks db child
 
 and exec_aggregate ~hooks db plan attrs aggs t =
   let input_schema =
@@ -444,7 +697,7 @@ let run_instrumented db plan =
   Metrics.add_ms (Metrics.timer totals "wall") (Metrics.elapsed_ms total);
   { result; total_ms = Metrics.elapsed_ms total; root; totals }
 
-let explain_analyze db e = run_instrumented db (Planner.plan db e)
+let explain_analyze ?jobs db e = run_instrumented db (Planner.plan ?jobs db e)
 
 (* --- report rendering --------------------------------------------------- *)
 
@@ -488,5 +741,5 @@ let pp_estimates db ppf plan =
   in
   Physical.pp_annotated ~annot ppf plan
 
-let explain db e =
-  Format.asprintf "%a" (pp_estimates db) (Planner.plan db e)
+let explain ?jobs db e =
+  Format.asprintf "%a" (pp_estimates db) (Planner.plan ?jobs db e)

@@ -85,10 +85,11 @@ val run_instrumented : Database.t -> Physical.t -> analysis
 (** Execute with per-operator metrics.  Same result and same raising
     behaviour as {!run}. *)
 
-val explain_analyze : Database.t -> Expr.t -> analysis
-(** Plan (with {!Planner.plan}) and {!run_instrumented} — the engine's
-    one-call EXPLAIN ANALYZE.  Callers wanting the optimizer's plan
-    should optimize the expression first. *)
+val explain_analyze : ?jobs:int -> Database.t -> Expr.t -> analysis
+(** Plan (with {!Planner.plan}, forwarding [jobs]) and
+    {!run_instrumented} — the engine's one-call EXPLAIN ANALYZE.
+    Callers wanting the optimizer's plan should optimize the
+    expression first. *)
 
 val pp_analysis : Format.formatter -> analysis -> unit
 (** The physical tree, each operator annotated with
@@ -100,5 +101,6 @@ val pp_estimates : Database.t -> Format.formatter -> Physical.t -> unit
 (** The physical tree annotated with estimated rows only — EXPLAIN
     without execution. *)
 
-val explain : Database.t -> Expr.t -> string
-(** Plan and render with {!pp_estimates}. *)
+val explain : ?jobs:int -> Database.t -> Expr.t -> string
+(** Plan (forwarding [jobs] to {!Planner.plan}) and render with
+    {!pp_estimates}. *)

@@ -28,6 +28,7 @@ type t =
   | Hash_intersect of t * t
   | Hash_distinct of t
   | Hash_aggregate of int list * (Aggregate.kind * int) list * t
+  | Exchange of { parts : int; child : t }
 
 (* The logical join condition of a hash join: key equalities (right keys
    reindexed past the left arity) conjoined with the residual. *)
@@ -55,11 +56,13 @@ let rec to_logical plan =
   | Hash_distinct t -> Expr.Unique (to_logical t)
   | Hash_aggregate (attrs, aggs, t) ->
       Expr.GroupBy (attrs, aggs, to_logical t)
+  | Exchange { child; _ } -> to_logical child
 
 let rec size = function
   | Const_scan _ | Seq_scan _ -> 1
   | Filter (_, t) | Project_op (_, t) | Hash_distinct t
-  | Hash_aggregate (_, _, t) ->
+  | Hash_aggregate (_, _, t)
+  | Exchange { child = t; _ } ->
       1 + size t
   | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
       1 + size left + size right
@@ -73,7 +76,8 @@ let rec size = function
 let children = function
   | Const_scan _ | Seq_scan _ -> []
   | Filter (_, t) | Project_op (_, t) | Hash_distinct t
-  | Hash_aggregate (_, _, t) ->
+  | Hash_aggregate (_, _, t)
+  | Exchange { child = t; _ } ->
       [ t ]
   | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
       [ left; right ]
@@ -98,6 +102,7 @@ let kind = function
   | Hash_intersect _ -> "HashIntersect"
   | Hash_distinct _ -> "HashDistinct"
   | Hash_aggregate _ -> "HashAggregate"
+  | Exchange _ -> "Exchange"
 
 let pp_keys ppf keys =
   Format.pp_print_list
@@ -130,6 +135,7 @@ let label plan =
   | Hash_diff _ -> "HashDiff"
   | Hash_intersect _ -> "HashIntersect"
   | Hash_distinct _ -> "HashDistinct"
+  | Exchange { parts; _ } -> Format.asprintf "Exchange parts=%d" parts
   | Hash_aggregate (attrs, aggs, _) ->
       Format.asprintf "HashAggregate keys=[%a] aggs=[%a]" pp_keys attrs
         (Format.pp_print_list

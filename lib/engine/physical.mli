@@ -53,6 +53,14 @@ type t =
   | Hash_intersect of t * t  (** Pointwise minimum via count tables. *)
   | Hash_distinct of t
   | Hash_aggregate of int list * (Aggregate.kind * int) list * t
+  | Exchange of { parts : int; child : t }
+      (** Parallel execution marker: the child computes the same bag,
+          but the executor partitions its work into [parts] fragments
+          and runs them on the domain pool ({!Mxra_ext.Pool}), merging
+          by bag union — sound by the distribution laws of Theorem 3.2
+          and key-aligned partitioning (docs/PARALLELISM.md).  The
+          planner inserts it above filters, projections, hash joins and
+          hash aggregates whose estimated input exceeds a threshold. *)
 
 val to_logical : t -> Expr.t
 (** The logical expression this plan computes.  A [Hash_join] maps to a

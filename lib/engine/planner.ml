@@ -66,9 +66,80 @@ let plan_with ?(join_algorithm = Hash) env e =
   ignore (Typecheck.infer env e);
   translate ~join_algorithm env e
 
-let plan ?join_algorithm db e =
+(* --- parallelization pass ----------------------------------------------- *)
+
+let default_parallel_threshold = 512
+
+(* Insert Exchange nodes above the operators the executor knows how to
+   fragment — maximal σ/π pipelines, hash joins, hash aggregates — when
+   the estimated input cardinality clears the threshold.  Below it the
+   partition/merge overhead dominates any per-tuple win. *)
+let parallelize ~stats ~schemas ~jobs
+    ?(threshold = default_parallel_threshold) plan =
+  if jobs <= 1 then plan
+  else
+    let est p =
+      Cost.estimate_cardinality ~stats ~schemas (Physical.to_logical p)
+    in
+    let thr = float_of_int threshold in
+    let exchange child = Physical.Exchange { parts = jobs; child } in
+    (* A σ/π chain split into its source and a rebuilding context, so
+       the whole pipeline lands under one Exchange. *)
+    let rec split_pipeline = function
+      | Physical.Filter (p, t) ->
+          let src, rebuild = split_pipeline t in
+          (src, fun s -> Physical.Filter (p, rebuild s))
+      | Physical.Project_op (exprs, t) ->
+          let src, rebuild = split_pipeline t in
+          (src, fun s -> Physical.Project_op (exprs, rebuild s))
+      | src -> (src, Fun.id)
+    in
+    let rec go plan =
+      match plan with
+      | Physical.Const_scan _ | Physical.Seq_scan _ -> plan
+      | Physical.Filter _ | Physical.Project_op _ -> (
+          let src, rebuild = split_pipeline plan in
+          let src' = go src in
+          let node = rebuild src' in
+          match src' with
+          | Physical.Exchange _ ->
+              (* The source already runs fragmented; the pipeline
+                 streams over its merged output rather than paying a
+                 second partition/merge round. *)
+              node
+          | _ -> if est src >= thr then exchange node else node)
+      | Physical.Hash_join ({ left; right; _ } as j) ->
+          let node =
+            Physical.Hash_join { j with left = go left; right = go right }
+          in
+          if est left +. est right >= thr then exchange node else node
+      | Physical.Hash_aggregate (attrs, aggs, src) ->
+          let node = Physical.Hash_aggregate (attrs, aggs, go src) in
+          if est src >= thr then exchange node else node
+      | Physical.Merge_join ({ left; right; _ } as j) ->
+          Physical.Merge_join { j with left = go left; right = go right }
+      | Physical.Nested_loop (p, l, r) -> Physical.Nested_loop (p, go l, go r)
+      | Physical.Cross_product (l, r) -> Physical.Cross_product (go l, go r)
+      | Physical.Union_all (l, r) -> Physical.Union_all (go l, go r)
+      | Physical.Hash_diff (l, r) -> Physical.Hash_diff (go l, go r)
+      | Physical.Hash_intersect (l, r) -> Physical.Hash_intersect (go l, go r)
+      | Physical.Hash_distinct t -> Physical.Hash_distinct (go t)
+      | Physical.Exchange { parts; child } ->
+          Physical.Exchange { parts; child = go child }
+    in
+    go plan
+
+let plan ?join_algorithm ?(jobs = 1) ?parallel_threshold db e =
   Mxra_obs.Trace.with_span "plan" (fun () ->
-      let p = plan_with ?join_algorithm (Typecheck.env_of_database db) e in
+      let schemas = Typecheck.env_of_database db in
+      let p = plan_with ?join_algorithm schemas e in
+      let p =
+        if jobs <= 1 then p
+        else
+          parallelize
+            ~stats:(Stats.env_of_database db)
+            ~schemas ~jobs ?threshold:parallel_threshold p
+      in
       Mxra_obs.Trace.add_attr "operators"
         (Mxra_obs.Trace.Int (Physical.size p));
       p)

@@ -18,9 +18,34 @@ type join_algorithm =
   | Hash  (** Build a hash table on the right operand (the default). *)
   | Merge  (** Sort both operands on the keys and merge. *)
 
-val plan : ?join_algorithm:join_algorithm -> Database.t -> Expr.t -> Physical.t
-(** Translate a well-typed expression.
+val plan :
+  ?join_algorithm:join_algorithm ->
+  ?jobs:int ->
+  ?parallel_threshold:int ->
+  Database.t ->
+  Expr.t ->
+  Physical.t
+(** Translate a well-typed expression.  With [jobs > 1] the result is
+    additionally run through {!parallelize} with [parts = jobs] (the
+    default, [jobs = 1], plans purely sequentially).
     @raise Typecheck.Type_error on an ill-typed expression. *)
+
+val default_parallel_threshold : int
+(** Estimated input cardinality below which {!parallelize} leaves an
+    operator sequential (512). *)
+
+val parallelize :
+  stats:Stats.env ->
+  schemas:Typecheck.env ->
+  jobs:int ->
+  ?threshold:int ->
+  Physical.t ->
+  Physical.t
+(** Insert {!Physical.Exchange} nodes above the fragmentable operators —
+    maximal σ/π pipelines, hash joins and hash aggregates — whose
+    estimated input cardinality ({!Cost.estimate_cardinality} of the
+    logical image; for a join, the sum over both operands) reaches
+    [threshold].  [jobs <= 1] returns the plan unchanged. *)
 
 val plan_with :
   ?join_algorithm:join_algorithm -> Typecheck.env -> Expr.t -> Physical.t

@@ -3,16 +3,34 @@ open Mxra_core
 
 type fragments = Relation.t array
 
-let partition ~parts ~key r =
+(* Fragment index of a tuple: per-attribute Value.hash values combined
+   with the usual 31x mix.  For a single key the fold collapses to
+   [Value.hash v], so the fast path below computes the same slot. *)
+let slot_of_keys keys parts t =
+  let h =
+    List.fold_left (fun h k -> (h * 31) + Value.hash (Tuple.attr t k)) 0 keys
+  in
+  h land max_int mod parts
+
+let partition ~parts ~keys r =
   if parts <= 0 then invalid_arg "Parallel.partition: parts <= 0";
   let schema = Relation.schema r in
-  if key < 1 || key > Schema.arity schema then
-    invalid_arg "Parallel.partition: key out of range";
+  if keys = [] then invalid_arg "Parallel.partition: empty key list";
+  List.iter
+    (fun key ->
+      if key < 1 || key > Schema.arity schema then
+        invalid_arg "Parallel.partition: key out of range")
+    keys;
+  let slot =
+    match keys with
+    | [ key ] -> fun t -> Value.hash (Tuple.attr t key) land max_int mod parts
+    | keys -> slot_of_keys keys parts
+  in
   let bags = Array.make parts Relation.Bag.empty in
   Relation.Bag.iter
     (fun t n ->
-      let slot = Value.hash (Tuple.attr t key) mod parts in
-      bags.(slot) <- Relation.Bag.add ~count:n t bags.(slot))
+      let i = slot t in
+      bags.(i) <- Relation.Bag.add ~count:n t bags.(i))
     (Relation.bag r);
   Array.map (Relation.of_bag_unchecked schema) bags
 
@@ -28,14 +46,24 @@ let partition_round_robin ~parts r =
     (Relation.bag r);
   Array.map (Relation.of_bag_unchecked schema) bags
 
+(* Balanced pairwise union over the array: fragments of similar size
+   merge with each other, so no union input is ever the whole
+   accumulated result as in a left-deep fold. *)
 let merge fragments =
-  match Array.to_list fragments with
-  | [] -> invalid_arg "Parallel.merge: no fragments"
-  | first :: rest -> List.fold_left Eval.union first rest
+  let n = Array.length fragments in
+  if n = 0 then invalid_arg "Parallel.merge: no fragments";
+  let rec range lo hi =
+    if hi - lo = 1 then fragments.(lo)
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      Eval.union (range lo mid) (range mid hi)
+  in
+  range 0 n
 
 type 'a report = {
   result : 'a;
   fragment_work : int array;
+  fragment_ms : float array;
   speedup : float;
 }
 
@@ -44,76 +72,238 @@ let speedup_of work =
   let busiest = Array.fold_left max 0 work in
   if busiest = 0 then 1.0 else float_of_int total /. float_of_int busiest
 
-let report_of result fragment_work =
-  { result; fragment_work; speedup = speedup_of fragment_work }
+(* Run one thunk per fragment on the pool (each fragment is one morsel:
+   ~chunk:1) and measure each fragment's wall time inside the lane that
+   executes it. *)
+let timed_map pool tasks =
+  let out =
+    Pool.map_array ~chunk:1 pool
+      (fun task ->
+        let t0 = Unix.gettimeofday () in
+        let r = task () in
+        (r, (Unix.gettimeofday () -. t0) *. 1000.0))
+      tasks
+  in
+  (Array.map fst out, Array.map snd out)
 
-let par_select ~parts p r =
+let report_of result fragment_work fragment_ms =
+  { result; fragment_work; fragment_ms; speedup = speedup_of fragment_work }
+
+let pool_of = function Some pool -> pool | None -> Pool.global ()
+
+let par_select ?pool ~parts p r =
+  let pool = pool_of pool in
   let fragments = partition_round_robin ~parts r in
   let work = Array.map Relation.cardinal fragments in
-  let selected = Array.map (Eval.select p) fragments in
-  report_of (merge selected) work
+  let selected, ms =
+    timed_map pool (Array.map (fun f () -> Eval.select p f) fragments)
+  in
+  report_of (merge selected) work ms
 
-let par_project ~parts exprs r =
+let par_project ?pool ~parts exprs r =
+  let pool = pool_of pool in
   let fragments = partition_round_robin ~parts r in
   let work = Array.map Relation.cardinal fragments in
-  let projected = Array.map (Eval.project exprs) fragments in
-  report_of (merge projected) work
+  let projected, ms =
+    timed_map pool (Array.map (fun f () -> Eval.project exprs f) fragments)
+  in
+  report_of (merge projected) work ms
 
-(* Per-fragment equi-join, hashed on the key value (the fragments are
-   in-memory, so this is the realistic local algorithm). *)
-module VH = Hashtbl.Make (struct
-  type t = Value.t
+(* Per-fragment equi-join, hashed on the projected key tuple (the
+   fragments are in-memory, so this is the realistic local algorithm).
+   The build side accumulates with Hashtbl.add — one hash per tuple —
+   and the probe reads all bindings of a key with find_all. *)
+module KH = Hashtbl.Make (struct
+  type t = Tuple.t
 
-  let equal = Value.equal
-  let hash = Value.hash
+  let equal = Tuple.equal
+  let hash = Tuple.hash
 end)
 
-let hash_equi_join ~left_key ~right_key left right =
+let hash_equi_join ~left_keys ~right_keys left right =
   let out_schema = Schema.concat (Relation.schema left) (Relation.schema right) in
-  let table = VH.create 64 in
+  let table = KH.create 64 in
   Relation.Bag.iter
-    (fun t n ->
-      let key = Tuple.attr t right_key in
-      VH.replace table key ((t, n) :: Option.value ~default:[] (VH.find_opt table key)))
+    (fun t n -> KH.add table (Tuple.project right_keys t) (t, n))
     (Relation.bag right);
   let bag =
     Relation.Bag.fold
       (fun t1 n1 acc ->
-        match VH.find_opt table (Tuple.attr t1 left_key) with
-        | None -> acc
-        | Some matches ->
-            List.fold_left
-              (fun acc (t2, n2) ->
-                Relation.Bag.add ~count:(n1 * n2) (Tuple.concat t1 t2) acc)
-              acc matches)
+        List.fold_left
+          (fun acc (t2, n2) ->
+            Relation.Bag.add ~count:(n1 * n2) (Tuple.concat t1 t2) acc)
+          acc
+          (KH.find_all table (Tuple.project left_keys t1)))
       (Relation.bag left) Relation.Bag.empty
   in
   Relation.of_bag_unchecked out_schema bag
 
-let par_join ~parts ~left_key ~right_key left right =
-  let lefts = partition ~parts ~key:left_key left in
-  let rights = partition ~parts ~key:right_key right in
-  (* A tuple's partition depends only on its key's hash, so matching
-     tuples are in same-numbered fragments. *)
-  let joined =
-    Array.init parts (fun i ->
-        hash_equi_join ~left_key ~right_key lefts.(i) rights.(i))
+let par_join ?pool ~parts ~left_keys ~right_keys left right =
+  let pool = pool_of pool in
+  let lefts = partition ~parts ~keys:left_keys left in
+  let rights = partition ~parts ~keys:right_keys right in
+  (* A tuple's fragment depends only on its key values' hashes, so
+     matching tuples are in same-numbered fragments. *)
+  let joined, ms =
+    timed_map pool
+      (Array.init parts (fun i () ->
+           hash_equi_join ~left_keys ~right_keys lefts.(i) rights.(i)))
   in
   let work =
     Array.init parts (fun i ->
         Relation.cardinal lefts.(i) + Relation.cardinal rights.(i))
   in
-  report_of (merge joined) work
+  report_of (merge joined) work ms
 
-let par_group_by ~parts ~attrs ~aggs r =
+(* --- global aggregates: partial aggregate, then combine ---------------- *)
+
+(* One combinable accumulator per aggregate: CNT and SUM add, MIN/MAX
+   keep the extremum, AVG carries a (sum, count) pair divided once at
+   the end.  VAR/STDDEV buffer their value columns and delegate the
+   final computation to Aggregate.compute_for, whose canonical column
+   ordering keeps the result bit-identical to the sequential operator. *)
+type partial =
+  | P_cnt of int
+  | P_sum_int of int
+  | P_sum_float of float
+  | P_min of Value.t option
+  | P_max of Value.t option
+  | P_avg of float * int
+  | P_column of (Value.t * int) list
+
+let partial_init kind domain =
+  match (kind, domain) with
+  | Aggregate.Cnt, _ -> P_cnt 0
+  | Aggregate.Sum, Domain.DFloat -> P_sum_float 0.0
+  | Aggregate.Sum, (Domain.DInt | Domain.DStr | Domain.DBool) -> P_sum_int 0
+  | Aggregate.Avg, _ -> P_avg (0.0, 0)
+  | Aggregate.Min, _ -> P_min None
+  | Aggregate.Max, _ -> P_max None
+  | (Aggregate.Var | Aggregate.Stddev), _ -> P_column []
+
+let numeric_error kind v =
+  raise
+    (Scalar.Eval_error
+       (Format.asprintf "%s applied to non-numeric value %a" (Aggregate.name kind)
+          Value.pp v))
+
+let as_float kind v =
+  if Value.is_numeric v then Value.as_float v else numeric_error kind v
+
+let partial_update state v n =
+  match state with
+  | P_cnt c -> P_cnt (c + n)
+  | P_sum_int s -> (
+      match v with
+      | Value.Int x -> P_sum_int (s + (x * n))
+      | Value.Float _ | Value.Str _ | Value.Bool _ ->
+          numeric_error Aggregate.Sum v)
+  | P_sum_float s -> P_sum_float (s +. (as_float Aggregate.Sum v *. float_of_int n))
+  | P_min best -> (
+      match best with
+      | None -> P_min (Some v)
+      | Some w ->
+          P_min (Some (if Value.compare_same_domain v w < 0 then v else w)))
+  | P_max best -> (
+      match best with
+      | None -> P_max (Some v)
+      | Some w ->
+          P_max (Some (if Value.compare_same_domain v w > 0 then v else w)))
+  | P_avg (s, c) -> P_avg (s +. (as_float Aggregate.Avg v *. float_of_int n), c + n)
+  | P_column column -> P_column ((v, n) :: column)
+
+let option_extremum keep a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some v, Some w -> Some (if keep (Value.compare_same_domain v w) then v else w)
+
+let partial_combine a b =
+  match (a, b) with
+  | P_cnt x, P_cnt y -> P_cnt (x + y)
+  | P_sum_int x, P_sum_int y -> P_sum_int (x + y)
+  | P_sum_float x, P_sum_float y -> P_sum_float (x +. y)
+  | P_min x, P_min y -> P_min (option_extremum (fun c -> c < 0) x y)
+  | P_max x, P_max y -> P_max (option_extremum (fun c -> c > 0) x y)
+  | P_avg (s1, c1), P_avg (s2, c2) -> P_avg (s1 +. s2, c1 + c2)
+  | P_column c1, P_column c2 -> P_column (List.rev_append c1 c2)
+  | ( ( P_cnt _ | P_sum_int _ | P_sum_float _ | P_min _ | P_max _ | P_avg _
+      | P_column _ ),
+      _ ) ->
+      invalid_arg "Parallel: mismatched partial aggregates"
+
+let partial_finalize kind domain = function
+  | P_cnt c -> Value.Int c
+  | P_sum_int s -> Value.Int s
+  | P_sum_float s -> Value.Float s
+  | P_min None -> raise (Aggregate.Undefined Aggregate.Min)
+  | P_min (Some v) -> v
+  | P_max None -> raise (Aggregate.Undefined Aggregate.Max)
+  | P_max (Some v) -> v
+  | P_avg (_, 0) -> raise (Aggregate.Undefined Aggregate.Avg)
+  | P_avg (s, c) -> Value.Float (s /. float_of_int c)
+  | P_column column -> Aggregate.compute_for domain kind column
+
+(* Partial states of every aggregate over one fragment. *)
+let fragment_partials schema aggs fragment =
+  let states =
+    Array.of_list
+      (List.map (fun (kind, p) -> partial_init kind (Schema.domain schema p)) aggs)
+  in
+  let positions = Array.of_list (List.map snd aggs) in
+  Relation.Bag.iter
+    (fun t n ->
+      Array.iteri
+        (fun i state ->
+          states.(i) <- partial_update state (Tuple.attr t positions.(i)) n)
+        states)
+    (Relation.bag fragment);
+  states
+
+let par_global_aggregate pool ~parts ~aggs r =
+  let schema = Relation.schema r in
+  let out_schema =
+    Typecheck.infer
+      (fun _ -> None)
+      (Expr.GroupBy ([], aggs, Expr.Const (Relation.empty schema)))
+  in
+  let fragments = partition_round_robin ~parts r in
+  let work = Array.map Relation.cardinal fragments in
+  let partials, ms =
+    timed_map pool
+      (Array.map (fun f () -> fragment_partials schema aggs f) fragments)
+  in
+  let combined =
+    match Array.to_list partials with
+    | [] -> invalid_arg "Parallel.par_group_by: parts <= 0"
+    | first :: rest ->
+        List.fold_left (Array.map2 partial_combine) first rest
+  in
+  let values =
+    List.mapi
+      (fun i (kind, p) ->
+        partial_finalize kind (Schema.domain schema p) combined.(i))
+      aggs
+  in
+  let result =
+    Relation.of_bag_unchecked out_schema
+      (Relation.Bag.singleton (Tuple.of_list values))
+  in
+  report_of result work ms
+
+let par_group_by ?pool ~parts ~attrs ~aggs r =
+  let pool = pool_of pool in
   match attrs with
   | [] ->
-      invalid_arg
-        "Parallel.par_group_by: global aggregates cannot be key-partitioned"
-  | first_key :: _ ->
-      let fragments = partition ~parts ~key:first_key r in
+      (* Definition 3.4's global aggregate: one output tuple, computed
+         as per-fragment partials combined associatively. *)
+      par_global_aggregate pool ~parts ~aggs r
+  | _ :: _ ->
+      let fragments = partition ~parts ~keys:attrs r in
       let work = Array.map Relation.cardinal fragments in
-      (* Every tuple of a group shares the first grouping attribute, so
-         groups are fragment-local and union is the correct merge. *)
-      let grouped = Array.map (Eval.group_by attrs aggs) fragments in
-      report_of (merge grouped) work
+      (* Tuples of a group agree on every grouping attribute, so groups
+         are fragment-local and union is the correct merge. *)
+      let grouped, ms =
+        timed_map pool
+          (Array.map (fun f () -> Eval.group_by attrs aggs f) fragments)
+      in
+      report_of (merge grouped) work ms

@@ -1,24 +1,30 @@
-(** Simulated PRISMA-style parallel operators.
+(** Parallel operators on a real domain pool.
 
     The paper's conclusions: "the language has been extended with
     special operators to support parallel data processing" in PRISMA/DB
-    (a 100-node main-memory multiprocessor).  That hardware is
-    unavailable, so parallelism is {e simulated} by the substitution
-    documented in DESIGN.md: relations are hash-partitioned into [p]
-    fragments, fragment operations run sequentially while per-fragment
-    work is recorded, and merging is bag union.  The algebraic content —
-    the partition/merge laws the parallel operators rely on — is real
-    and tested:
+    (a 100-node main-memory multiprocessor).  Earlier revisions of this
+    module {e simulated} that machine; since the runtime is OCaml 5,
+    fragments now run on the worker domains of a {!Pool}, and the
+    per-fragment wall times in the {!report} are measured, not modelled.
+    The algebraic content — the partition/merge laws the parallel
+    operators rely on (Theorem 3.2 and the key-alignment arguments,
+    spelled out in docs/PARALLELISM.md) — is unchanged and tested:
 
     - [merge (partition R) = R];
-    - [σ_φ] commutes with partitioning on any key;
-    - an equi-join distributes over co-partitioning on the join key;
-    - [Γ] distributes over partitioning on the grouping attributes.
+    - [σ_φ] and [π_α] commute with partitioning on any key (they
+      distribute over [⊎], Theorem 3.2);
+    - an equi-join distributes over co-partitioning on the join keys;
+    - [Γ] distributes over partitioning on the grouping attributes, and
+      a {e global} aggregate ([α = ()]) splits into per-fragment partial
+      aggregates combined associatively (CNT/SUM by [+], MIN/MAX by
+      min/max, AVG as (sum, count) pairs).
 
-    The simulated speedup of an operation is [total work / max fragment
-    work]: the wall-clock model of a perfectly synchronised shared-
-    nothing ring, which is how the experiment (E7) reports scaling and
-    skew effects. *)
+    Relations are immutable balanced maps, so fragments are shared with
+    worker domains without copying.  The [speedup] field of a report is
+    the work-balance bound [total work / max fragment work] — the
+    deterministic shared-nothing model the E7 experiment tracks — while
+    [fragment_ms] holds the measured wall time of each fragment for the
+    real-speedup curves of E15. *)
 
 open Mxra_relational
 open Mxra_core
@@ -26,47 +32,86 @@ open Mxra_core
 type fragments = Relation.t array
 (** Disjoint (as bags: summing) pieces of one relation, same schema. *)
 
-val partition : parts:int -> key:int -> Relation.t -> fragments
-(** Hash-partition on the value of attribute [key] (1-based).  All
-    copies of a tuple land in one fragment.
-    @raise Invalid_argument if [parts <= 0] or [key] out of range. *)
+val partition : parts:int -> keys:int list -> Relation.t -> fragments
+(** Hash-partition on the listed attributes (1-based): a tuple's
+    fragment is chosen by combining the {!Value.hash} of each key
+    attribute, so all copies of a tuple land in one fragment, and two
+    relations partitioned on equal-length key lists are co-partitioned
+    wherever their key values agree.  A single-attribute list is the
+    fast path (no fold, no intermediate projection).
+    @raise Invalid_argument if [parts <= 0], [keys] is empty, or a key
+    is out of range. *)
 
 val partition_round_robin : parts:int -> Relation.t -> fragments
 (** Distinct-tuple round robin — the load-balanced partitioning that is
-    {e not} key-aligned (usable for σ and π but not for joins or Γ). *)
+    {e not} key-aligned (usable for σ, π and global aggregates but not
+    for joins or grouped Γ). *)
 
 val merge : fragments -> Relation.t
-(** Bag union of the fragments.  @raise Invalid_argument on [[||]]. *)
+(** Bag union of the fragments, folded as a balanced k-way tree
+    directly over the array (pairwise unions of similar size rather
+    than a left-deep chain).  @raise Invalid_argument on [[||]]. *)
 
 type 'a report = {
   result : 'a;
   fragment_work : int array;  (** Input tuples processed per fragment. *)
+  fragment_ms : float array;
+      (** Measured wall time of each fragment's operator on the pool. *)
   speedup : float;  (** total work / max fragment work; ≥ 1. *)
 }
 
-val par_select : parts:int -> Pred.t -> Relation.t -> Relation.t report
-(** Partition (round robin), select per fragment, merge. *)
+val par_select :
+  ?pool:Pool.t -> parts:int -> Pred.t -> Relation.t -> Relation.t report
+(** Partition (round robin), select per fragment on the pool, merge.
+    [pool] defaults to {!Pool.global}. *)
 
-val par_project : parts:int -> Scalar.t list -> Relation.t -> Relation.t report
+val par_project :
+  ?pool:Pool.t ->
+  parts:int ->
+  Scalar.t list ->
+  Relation.t ->
+  Relation.t report
+
+val hash_equi_join :
+  left_keys:int list ->
+  right_keys:int list ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** The fragment-local equi-join: build a hash table over the right
+    operand keyed on its projected key tuple — one [Hashtbl.add] per
+    tuple, no [find_opt]+[replace] double hashing — and probe with the
+    left.  Exposed for tests; {!par_join} runs it per fragment pair. *)
 
 val par_join :
+  ?pool:Pool.t ->
   parts:int ->
-  left_key:int ->
-  right_key:int ->
+  left_keys:int list ->
+  right_keys:int list ->
   Relation.t ->
   Relation.t ->
   Relation.t report
 (** Co-partition both operands on their join keys and hash-join each
-    fragment pair — the parallel equi-join of shared-nothing systems. *)
+    fragment pair on the pool — the parallel equi-join of
+    shared-nothing systems. *)
 
 val par_group_by :
+  ?pool:Pool.t ->
   parts:int ->
   attrs:int list ->
   aggs:(Aggregate.kind * int) list ->
   Relation.t ->
   Relation.t report
-(** Partition on the first grouping attribute; groups never span
-    fragments, so fragment results merge by union.
-    @raise Invalid_argument on an empty [attrs] (a global aggregate
-    cannot be key-partitioned; combine per-fragment results with the
-    sequential operator instead). *)
+(** With grouping attributes, partition on all of them ([~keys:attrs]);
+    groups never span fragments, so fragment results merge by union.
+
+    With [attrs = []] — a global aggregate — the input is round-robin
+    partitioned and each fragment computes a {e partial} aggregate,
+    combined associatively: CNT and SUM by addition, MIN/MAX by
+    min/max, AVG as (sum, count) pairs divided once at the end, and
+    VAR/STDDEV by concatenating the buffered value columns and
+    delegating to {!Aggregate.compute_for} (whose canonical ordering
+    makes the result bit-identical to the sequential operator).  For
+    integer columns every combined result equals the sequential one
+    exactly; float SUM/AVG partials are running sums, associative only
+    up to the last ulp of rounding. *)

@@ -1,0 +1,73 @@
+(** A fixed-size domain pool for real multicore execution.
+
+    OCaml 5 gives the runtime true parallelism through domains; this
+    module keeps a fixed set of them alive behind a mutex/condition work
+    queue so that query execution can fan work out without paying a
+    [Domain.spawn] (~100µs and a fresh minor heap) per operator.  No
+    external dependency is used — the pool is raw [Stdlib.Domain] plus
+    [Mutex]/[Condition]/[Atomic].
+
+    A pool of size [n] owns [n - 1] worker domains; the caller of
+    {!map_array} enlists itself as the [n]th lane, so [create 1] spawns
+    nothing and degrades to ordinary sequential iteration.  Work is
+    distributed morsel-style: lanes repeatedly claim the next chunk of
+    indices from an atomic cursor, so a skewed fragment occupies one
+    lane while the others drain the rest — the scheduling of
+    morsel-driven parallelism (Leis et al.), scaled down to arrays.
+
+    Relations and bags are immutable balanced maps, so fragments handed
+    to workers are shared across domains with zero copying; tasks must
+    only avoid mutating shared state of their own. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a pool of [n] compute lanes ([n - 1] spawned domains;
+    values [< 1] are clamped to 1).  Shut it down with {!shutdown} or
+    use {!with_pool}. *)
+
+val size : t -> int
+(** Number of compute lanes (including the caller's). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Must not be called while a
+    {!map_array} is in flight; subsequent {!map_array} calls run
+    sequentially on the caller. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] over a fresh pool and shuts it down
+    afterwards, exception or not. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f arr] applies [f] to every element on the pool's
+    lanes and returns the results in order.  [chunk] is the morsel size
+    — how many consecutive elements a lane claims at a time (default
+    [max 1 (length / (4 * size))], i.e. about four morsels per lane so
+    imbalanced elements rebalance; pass [~chunk:1] when each element is
+    already a coarse fragment).
+
+    If any application raises, the first exception (by completion
+    order) is re-raised in the caller with its backtrace once the other
+    lanes have drained; remaining unstarted morsels are skipped. *)
+
+val mapi_array : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** {!map_array} with the element index, for labelling fragments. *)
+
+(** {1 The process-wide pool}
+
+    Engine operators ({!Mxra_engine.Exec} executing an [Exchange] node)
+    need a pool but must not spawn one per query.  The global pool is
+    created lazily at the configured size and recreated if the size
+    changes; it is intended to be configured once at startup (bagdb's
+    [--jobs N]) from the main domain.  An [at_exit] hook joins its
+    domains so the process always terminates cleanly. *)
+
+val set_default_size : int -> unit
+(** Set the size of the global pool (clamped to [>= 1]; default 1, so
+    parallel execution is opt-in). *)
+
+val default_size : unit -> int
+
+val global : unit -> t
+(** The process-wide pool at the current default size.  Not
+    thread-safe: call from the main domain, between queries. *)

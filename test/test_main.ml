@@ -14,6 +14,7 @@ let () =
       Test_sql.suite;
       Test_ext.suite;
       Test_ext2.suite;
+      Test_parallel.suite;
       Test_model.suite;
       Test_workload.suite;
       Test_storage.suite;

@@ -1,0 +1,145 @@
+(* Property tests for real-multicore execution: every pooled parallel
+   operator — and every Exchange-wrapped physical plan — computes the
+   same bag as the sequential reference evaluator, for random inputs
+   and every fragment count in 1..8.  These are the distribution laws
+   of Theorem 3.2 exercised on actual worker domains rather than on a
+   simulated machine. *)
+
+open Mxra_relational
+open Mxra_core
+module Engine = Mxra_engine
+module W = Mxra_workload
+module Parallel = Mxra_ext.Parallel
+module Pool = Mxra_ext.Pool
+
+(* One shared pool for the whole suite — a per-iteration pool would
+   spawn thousands of domains across the qcheck runs. *)
+let () = Pool.set_default_size 4
+
+let seed_and_parts = QCheck.(pair small_nat (int_range 1 8))
+
+(* Integer columns keep the partial-aggregate arithmetic exact (sums of
+   small ints are exact in float far past these sizes), so strict
+   [Relation.equal] is the right check even for SUM and AVG. *)
+let random_bag seed =
+  let rng = W.Rng.make (seed + 1) in
+  W.Synth.two_column_int ~rng
+    ~size:(40 + (seed mod 60))
+    ~distinct:(1 + (seed mod 12))
+
+let prop name f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:100 seed_and_parts f)
+
+let par_select_matches =
+  prop "pooled σ = Eval.select" (fun (seed, parts) ->
+      let r = random_bag seed in
+      let p = Pred.lt (Scalar.attr 1) (Scalar.int 6) in
+      Relation.equal (Eval.select p r)
+        (Parallel.par_select ~parts p r).Parallel.result)
+
+let par_project_matches =
+  prop "pooled π = Eval.project" (fun (seed, parts) ->
+      let r = random_bag seed in
+      let exprs = [ Scalar.add (Scalar.attr 1) (Scalar.attr 2); Scalar.attr 1 ] in
+      Relation.equal (Eval.project exprs r)
+        (Parallel.par_project ~parts exprs r).Parallel.result)
+
+let par_join_matches =
+  prop "pooled co-partitioned ⋈ = Eval.join" (fun (seed, parts) ->
+      let rng = W.Rng.make (seed + 1) in
+      let left, right = W.Synth.join_pair ~rng ~left:50 ~right:30 ~key_range:8 in
+      let cond = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+      Relation.equal (Eval.join cond left right)
+        (Parallel.par_join ~parts ~left_keys:[ 1 ] ~right_keys:[ 1 ] left right)
+          .Parallel.result)
+
+let par_join_multi_key_matches =
+  prop "pooled ⋈ on two key attributes = Eval.join" (fun (seed, parts) ->
+      let r = random_bag seed in
+      let cond =
+        Pred.And
+          (Pred.eq (Scalar.attr 1) (Scalar.attr 3),
+           Pred.eq (Scalar.attr 2) (Scalar.attr 4))
+      in
+      Relation.equal (Eval.join cond r r)
+        (Parallel.par_join ~parts ~left_keys:[ 1; 2 ] ~right_keys:[ 1; 2 ] r r)
+          .Parallel.result)
+
+let par_group_by_matches =
+  prop "pooled Γ on keys = Eval.group_by" (fun (seed, parts) ->
+      let r = random_bag seed in
+      let attrs = [ 1 ] and aggs = [ (Aggregate.Sum, 2); (Aggregate.Cnt, 1) ] in
+      Relation.equal (Eval.group_by attrs aggs r)
+        (Parallel.par_group_by ~parts ~attrs ~aggs r).Parallel.result)
+
+let par_group_by_multi_attr_matches =
+  prop "pooled Γ on two attributes = Eval.group_by" (fun (seed, parts) ->
+      let r = random_bag seed in
+      let attrs = [ 1; 2 ] and aggs = [ (Aggregate.Cnt, 1) ] in
+      Relation.equal (Eval.group_by attrs aggs r)
+        (Parallel.par_group_by ~parts ~attrs ~aggs r).Parallel.result)
+
+let par_global_aggregate_matches =
+  prop "pooled global aggregate = Eval.group_by []" (fun (seed, parts) ->
+      let r = random_bag seed in
+      let aggs =
+        [
+          (Aggregate.Cnt, 1);
+          (Aggregate.Sum, 2);
+          (Aggregate.Avg, 2);
+          (Aggregate.Min, 1);
+          (Aggregate.Max, 2);
+        ]
+      in
+      Relation.equal (Eval.group_by [] aggs r)
+        (Parallel.par_group_by ~parts ~attrs:[] ~aggs r).Parallel.result)
+
+(* The engine path: plan a query, force Exchange above every eligible
+   operator (threshold 0), and compare the executed bag against the
+   reference evaluator — join, grouped Γ and global aggregate shapes. *)
+let exchange_plans_match =
+  let queries r_bag =
+    let join =
+      Expr.join
+        (Pred.eq (Scalar.attr 1) (Scalar.attr 3))
+        (Expr.rel "a") (Expr.rel "b")
+    in
+    [
+      Expr.select (Pred.lt (Scalar.attr 2) (Scalar.int 8)) (Expr.rel "a");
+      Expr.project_attrs [ 2 ] (Expr.rel "a");
+      join;
+      Expr.group_by [ 1 ] [ (Aggregate.Sum, 2) ] join;
+      Expr.group_by []
+        [ (Aggregate.Cnt, 1); (Aggregate.Sum, 2); (Aggregate.Avg, 2) ]
+        (Expr.rel "a");
+      Expr.group_by [] [ (Aggregate.Min, 1); (Aggregate.Max, 2) ] r_bag;
+    ]
+  in
+  prop "Exchange plans = Eval (threshold 0)" (fun (seed, parts) ->
+      let rng = W.Rng.make (seed + 1) in
+      let a = random_bag seed in
+      let b, _ = W.Synth.join_pair ~rng ~left:30 ~right:10 ~key_range:6 in
+      let db = Database.of_relations [ ("a", a); ("b", b) ] in
+      let stats = Engine.Stats.env_of_database db in
+      let schemas = Typecheck.env_of_database db in
+      List.for_all
+        (fun e ->
+          let plan =
+            Engine.Planner.parallelize ~stats ~schemas ~jobs:parts ~threshold:0
+              (Engine.Planner.plan db e)
+          in
+          Relation.equal (Eval.eval db e) (Engine.Exec.run db plan))
+        (queries (Expr.Const a)))
+
+let suite =
+  ( "parallel",
+    [
+      par_select_matches;
+      par_project_matches;
+      par_join_matches;
+      par_join_multi_key_matches;
+      par_group_by_matches;
+      par_group_by_multi_attr_matches;
+      par_global_aggregate_matches;
+      exchange_plans_match;
+    ] )
