@@ -25,6 +25,7 @@ module Sql = Mxra_sql
 module Obs = Mxra_obs
 module Trace = Mxra_obs.Trace
 module Store = Mxra_storage.Store
+module Torture = Mxra_storage.Torture
 module Scheduler = Mxra_concurrency.Scheduler
 
 let preload beer gen_beers retail =
@@ -123,6 +124,21 @@ let exec_statement ctx db stmt =
           Format.eprintf "aborted: %s@." reason;
           state)
 
+(* A create is not a loggable statement, so a durable run makes it
+   durable the only way the log format allows: install the new state
+   and checkpoint immediately.  Schema changes are rare; a checkpoint
+   per DDL keeps every logged record replayable against the snapshot
+   it follows.  (Without this, a create existed only in the session's
+   in-memory state and every subsequent durable insert aborted.) *)
+let apply_create ctx db name schema =
+  let db' = Database.create name schema db in
+  (match ctx.store with
+  | Some s ->
+      Store.absorb_batch s [] db';
+      Store.checkpoint s
+  | None -> ());
+  db'
+
 (* Consecutive transaction brackets run as one batch under the 2PL
    scheduler: a seeded interleaving instead of serial execution, with
    outputs delivered per transaction in input order (empty for aborted
@@ -175,7 +191,7 @@ let run_xra ctx db path =
     | Xra.Parser.Cmd_statement stmt :: rest ->
         go (exec_statement ctx db stmt) rest
     | Xra.Parser.Cmd_create (name, schema) :: rest ->
-        go (Database.create name schema db) rest
+        go (apply_create ctx db name schema) rest
   in
   ignore (go db (Xra.Parser.script_of_string source))
 
@@ -187,7 +203,7 @@ let run_sql ctx db path =
         run_query ctx ~lang:"sql" db e;
         db
     | Sql.Translate.Statement stmt -> exec_statement ctx db stmt
-    | Sql.Translate.Create (name, schema) -> Database.create name schema db
+    | Sql.Translate.Create (name, schema) -> apply_create ctx db name schema
   in
   ignore (List.fold_left step db (Sql.Sql_parser.parse_script source))
 
@@ -256,7 +272,7 @@ let with_tracing ~trace ~query_log ~slow_ms ?agg f =
    Preloaded relations are installed without log records — they become
    durable at the final checkpoint, like any other uncommitted-to-log
    state would not, so the preload path is only for fresh stores. *)
-let with_store db_dir preloaded f =
+let with_store ?(checkpoint = true) db_dir preloaded f =
   match db_dir with
   | None -> f None preloaded
   | Some dir ->
@@ -269,7 +285,7 @@ let with_store db_dir preloaded f =
             && Database.persistent_names preloaded <> []
           then Store.absorb_batch s [] preloaded;
           f (Some s) (Store.database s);
-          Store.checkpoint s)
+          if checkpoint then Store.checkpoint s)
 
 (* --- command line ----------------------------------------------------- *)
 
@@ -301,6 +317,9 @@ let slow_flag =
 
 let db_flag =
   Arg.(value & opt (some string) None & info [ "db" ] ~doc:"Durable store directory: recover on open, log commits, checkpoint on exit." ~docv:"DIR")
+
+let no_checkpoint_flag =
+  Arg.(value & flag & info [ "no-checkpoint" ] ~doc:"Skip the checkpoint on exit, leaving committed transactions in the write-ahead log (recovery demos and tests).")
 
 let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduler interleaving seed for transaction batches." ~docv:"N")
@@ -334,11 +353,12 @@ let guarded f =
       Format.eprintf "i/o error: %s@." msg; 1
 
 let script_cmd name ~doc runner =
-  let action beer gen retail stats no_opt trace qlog slow db_dir seed jobs path
-      =
+  let action beer gen retail stats no_opt trace qlog slow db_dir no_ckpt seed
+      jobs path =
     guarded (fun () ->
         with_tracing ~trace ~query_log:qlog ~slow_ms:slow (fun () ->
-            with_store db_dir (preload beer gen retail) (fun store db ->
+            with_store ~checkpoint:(not no_ckpt) db_dir
+              (preload beer gen retail) (fun store db ->
                 let ctx =
                   {
                     optimize = not no_opt;
@@ -356,7 +376,7 @@ let script_cmd name ~doc runner =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ stats_flag
       $ no_optimize_flag $ trace_flag $ query_log_flag $ slow_flag $ db_flag
-      $ seed_flag $ jobs_flag $ path_arg)
+      $ no_checkpoint_flag $ seed_flag $ jobs_flag $ path_arg)
 
 let run_cmd = script_cmd "run" ~doc:"Execute an XRA script." run_xra
 let sql_cmd = script_cmd "sql" ~doc:"Execute a SQL script." run_sql
@@ -413,10 +433,96 @@ let explain_cmd =
       const action $ beer_flag $ gen_flag $ retail_flag $ analyze_flag
       $ jobs_flag $ expr_arg)
 
+(* Crash-recovery torture sweep over the in-memory fault-injecting VFS.
+   On an oracle violation the reproduction command line (with the
+   failing seed and crash point) is written to --failure-file so CI can
+   upload it as an artifact. *)
+let torture_cmd =
+  let action txns seed crash_points checkpoint_every fail_every no_continue
+      failure_file =
+    let cfg =
+      {
+        Torture.txns;
+        seed;
+        crash_points;
+        checkpoint_every;
+        fail_every;
+        continue_after = not no_continue;
+      }
+    in
+    let progress d t =
+      if d mod 100 = 0 || d = t then
+        Format.eprintf "-- torture: %d/%d crash points@." d t
+    in
+    match Torture.run ~progress cfg with
+    | Ok r ->
+        Format.printf
+          "torture ok: %d syscalls, %d crashes recovered, %d transient \
+           faults retried@."
+          r.Torture.syscalls r.Torture.recoveries r.Torture.transients;
+        0
+    | Error f ->
+        let repro =
+          Printf.sprintf
+            "bagdb torture --txns %d --seed %d --crash-points %d \
+             --checkpoint-every %d --fail-every %d"
+            txns f.Torture.fail_seed crash_points checkpoint_every fail_every
+        in
+        Format.eprintf
+          "torture FAILED at crash point %d (seed %d): %s@.reproduce with: \
+           %s@."
+          f.Torture.crash_point f.Torture.fail_seed f.Torture.detail repro;
+        Out_channel.with_open_text failure_file (fun oc ->
+            Printf.fprintf oc
+              "crash_point=%d\nseed=%d\ndetail=%s\nreproduce=%s\n"
+              f.Torture.crash_point f.Torture.fail_seed f.Torture.detail repro);
+        1
+  in
+  let txns =
+    Arg.(value & opt int Torture.default.Torture.txns
+         & info [ "txns" ] ~doc:"Transactions in the random workload." ~docv:"N")
+  and seed =
+    Arg.(value & opt int Torture.default.Torture.seed
+         & info [ "seed" ] ~doc:"Workload and fault-injection seed." ~docv:"N")
+  and crash_points =
+    Arg.(value & opt int 0
+         & info [ "crash-points" ]
+             ~doc:"Crash points to exercise, sampled evenly over the run's \
+                   syscalls; 0 means every reachable one." ~docv:"N")
+  and checkpoint_every =
+    Arg.(value & opt int Torture.default.Torture.checkpoint_every
+         & info [ "checkpoint-every" ]
+             ~doc:"Checkpoint after every $(docv) transactions; 0 disables."
+             ~docv:"N")
+  and fail_every =
+    Arg.(value & opt int Torture.default.Torture.fail_every
+         & info [ "fail-every" ]
+             ~doc:"Transient-fault cadence for the retry sweep; 0 skips it."
+             ~docv:"N")
+  and no_continue =
+    Arg.(value & flag
+         & info [ "no-continue" ]
+             ~doc:"Skip replaying the remaining workload after each recovery.")
+  and failure_file =
+    Arg.(value & opt string "torture-failure.txt"
+         & info [ "failure-file" ]
+             ~doc:"Where to write the reproduction seed on failure."
+             ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Crash the store at every reachable syscall of a random \
+          transaction workload, recover, and check prefix consistency \
+          against an in-memory shadow.")
+    Term.(
+      const action $ txns $ seed $ crash_points $ checkpoint_every
+      $ fail_every $ no_continue $ failure_file)
+
 let () =
   let doc = "a multi-set extended relational algebra database (ICDE 1994)" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bagdb" ~doc)
-          [ run_cmd; sql_cmd; explain_cmd; metrics_cmd ]))
+          [ run_cmd; sql_cmd; explain_cmd; metrics_cmd; torture_cmd ]))

@@ -93,13 +93,18 @@ module Make (Elt : ORDERED) : S with type elt = Elt.t = struct
 
   let of_list xs = List.fold_left (fun m x -> add x m) empty xs
 
-  let of_counted_list xs =
-    List.fold_left (fun m (x, n) -> add ~count:n x m) empty xs
+  (* Multisets are maps to ℕ (Definition 2.1): an entry with
+     multiplicity 0 denotes absence, so listing one is legal and adds
+     nothing.  Only negative counts are invalid. *)
+  let add_counted m (x, n) =
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Multiset.of_counted: count %d < 0" n)
+    else if n = 0 then m
+    else add ~count:n x m
 
+  let of_counted_list xs = List.fold_left add_counted empty xs
   let of_seq s = Seq.fold_left (fun m x -> add x m) empty s
-
-  let of_counted_seq s =
-    Seq.fold_left (fun m (x, n) -> add ~count:n x m) empty s
+  let of_counted_seq s = Seq.fold_left add_counted empty s
 
   let multiplicity x m = match M.find_opt x m with None -> 0 | Some n -> n
   let mem x m = M.mem x m

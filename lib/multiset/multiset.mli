@@ -63,8 +63,9 @@ module type S = sig
 
   val of_counted_list : (elt * int) list -> t
   (** Bag of [(element, multiplicity)] pairs; repeated elements
-      accumulate.  Pairs with multiplicity [<= 0] are rejected.
-      @raise Invalid_argument on a non-positive multiplicity. *)
+      accumulate.  A pair with multiplicity [0] denotes absence
+      (Definition 2.1: multisets map to ℕ) and contributes nothing.
+      @raise Invalid_argument on a negative multiplicity. *)
 
   val of_seq : elt Seq.t -> t
   (** Bag of a sequence; duplicates accumulate. *)

@@ -36,8 +36,9 @@ val of_list : Schema.t -> Tuple.t list -> t
 (** @raise Schema_mismatch on an ill-domained tuple. *)
 
 val of_counted_list : Schema.t -> (Tuple.t * int) list -> t
-(** @raise Schema_mismatch on an ill-domained tuple.
-    @raise Invalid_argument on a non-positive multiplicity. *)
+(** A tuple listed with multiplicity [0] is simply absent.
+    @raise Schema_mismatch on an ill-domained tuple.
+    @raise Invalid_argument on a negative multiplicity. *)
 
 val add : ?count:int -> Tuple.t -> t -> t
 (** @raise Schema_mismatch on an ill-domained tuple. *)

@@ -1,0 +1,29 @@
+(* CRC-32 as in IEEE 802.3 / zlib: reflected polynomial 0xEDB88320,
+   initial value and final xor 0xFFFFFFFF.  OCaml's native ints hold the
+   32-bit state directly on 64-bit platforms. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let to_hex v = Printf.sprintf "%08x" (v land 0xFFFFFFFF)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 -> Some v
+    | Some _ | None -> None

@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected, table-driven).
+
+    Every durable byte the store writes — WAL records and snapshot
+    bodies — is covered by a CRC so that recovery can tell a torn or
+    bit-flipped tail from valid data instead of feeding garbage to the
+    parser.  CRC-32 detects all single-byte corruptions and all burst
+    errors up to 32 bits, which is exactly the failure shape of a torn
+    sector write. *)
+
+val string : string -> int
+(** CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex rendering ([%08x]) — the on-disk form. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

@@ -1,14 +1,20 @@
 open Mxra_relational
 module Xra = Mxra_xra
 
+exception Corrupt of string
+
+let crc_directive = "-- @crc "
 let time_directive = "-- @time "
+let wal_directive = "-- @wal "
 
 module Trace = Mxra_obs.Trace
 
-let encode_database_body db =
+let encode_database_body ?(wal_covered = 0) db =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "%s%d\n" time_directive (Database.logical_time db));
+  if wal_covered > 0 then
+    Buffer.add_string buf (Printf.sprintf "%s%d\n" wal_directive wal_covered);
   let schema_fields schema =
     String.concat ", "
       (List.map
@@ -30,26 +36,79 @@ let encode_database_body db =
     (Database.persistent_names db);
   Buffer.contents buf
 
-let encode_database db =
+let encode_database ?wal_covered db =
   Trace.with_span "codec.encode" (fun () ->
-      let out = encode_database_body db in
+      let body = encode_database_body ?wal_covered db in
+      let out =
+        Printf.sprintf "%s%s\n%s" crc_directive
+          (Checksum.to_hex (Checksum.string body))
+          body
+      in
       Trace.add_attr "bytes" (Trace.Int (String.length out));
       out)
 
-let decode_time source =
-  match String.index_opt source '\n' with
-  | Some eol when String.length source >= String.length time_directive
-                  && String.sub source 0 (String.length time_directive)
-                     = time_directive ->
-      let digits =
-        String.sub source (String.length time_directive)
-          (eol - String.length time_directive)
-      in
-      int_of_string_opt (String.trim digits) |> Option.value ~default:0
-  | Some _ | None -> 0
+(* Strip and verify the leading [@crc] line, if any.  The checksum
+   covers every byte after its own line, so any corruption of the body
+   — including of the other directives — is caught here, before the
+   parser sees the text. *)
+let verify_crc source =
+  if String.length source >= String.length crc_directive
+     && String.sub source 0 (String.length crc_directive) = crc_directive
+  then
+    match String.index_opt source '\n' with
+    | None -> raise (Corrupt "snapshot: truncated @crc directive")
+    | Some eol -> (
+        let digits =
+          String.sub source
+            (String.length crc_directive)
+            (eol - String.length crc_directive)
+        in
+        let body =
+          String.sub source (eol + 1) (String.length source - eol - 1)
+        in
+        match Checksum.of_hex (String.trim digits) with
+        | None -> raise (Corrupt "snapshot: malformed @crc directive")
+        | Some expected ->
+            let actual = Checksum.string body in
+            if actual <> expected then
+              raise
+                (Corrupt
+                   (Printf.sprintf "snapshot: checksum mismatch (%s != %s)"
+                      (Checksum.to_hex actual)
+                      (Checksum.to_hex expected)));
+            body)
+  else source
 
-let decode_database_body source =
-  let time = decode_time source in
+(* Directive values are read off the leading comment lines; unknown
+   comments are skipped (the parser treats them as comments anyway). *)
+let int_directive prefix source =
+  let rec scan pos =
+    if pos >= String.length source then 0
+    else
+      let eol =
+        match String.index_from_opt source pos '\n' with
+        | Some i -> i
+        | None -> String.length source
+      in
+      let line = String.sub source pos (eol - pos) in
+      if String.length line >= 2 && String.sub line 0 2 = "--" then
+        if
+          String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+        then
+          String.sub line (String.length prefix)
+            (String.length line - String.length prefix)
+          |> String.trim |> int_of_string_opt
+          |> Option.value ~default:0
+        else scan (eol + 1)
+      else 0
+  in
+  scan 0
+
+let decode_snapshot_body source =
+  let body = verify_crc source in
+  let time = int_directive time_directive body in
+  let wal_covered = int_directive wal_directive body in
   let db =
     List.fold_left
       (fun db command ->
@@ -59,18 +118,20 @@ let decode_database_body source =
         | Xra.Parser.Cmd_transaction program ->
             fst (Mxra_core.Program.exec db program))
       Database.empty
-      (Xra.Parser.script_of_string source)
+      (Xra.Parser.script_of_string body)
   in
   (* Restore the logical clock by ticking up to the recorded time. *)
   let rec catch_up db =
     if Database.logical_time db >= time then db else catch_up (Database.tick db)
   in
-  catch_up db
+  (catch_up db, wal_covered)
 
-let decode_database source =
+let decode_snapshot source =
   Trace.with_span "codec.decode"
     ~attrs:[ ("bytes", Trace.Int (String.length source)) ]
-    (fun () -> decode_database_body source)
+    (fun () -> decode_snapshot_body source)
+
+let decode_database source = fst (decode_snapshot source)
 
 let encode_statement stmt = Xra.Printer.statement_to_string stmt
 let decode_statement line = Xra.Parser.statement_of_string line

@@ -5,22 +5,46 @@
     statements, so a snapshot file is a valid XRA script and can be
     replayed by the ordinary parser.  Choosing the language itself as
     the storage format keeps exactly one grammar in the system and makes
-    snapshots human-readable and hand-editable.
+    snapshots human-readable.
+
+    A snapshot opens with directive comments:
+
+    - [-- @crc XXXXXXXX] — CRC-32 of every byte after this line;
+      {!decode_database} verifies it and raises {!Corrupt} on mismatch,
+      so a bit-flipped snapshot is rejected instead of parsed into
+      garbage.  A snapshot without the directive (hand-written) is
+      accepted unverified.
+    - [-- @time N] — the logical clock (Definition 2.6).
+    - [-- @wal K] — the id of the last WAL record whose effects this
+      snapshot already contains; recovery replays only records with
+      greater ids, which makes the checkpoint sequence
+      write-snapshot → rename → truncate-log crash-safe at {e every}
+      intermediate point (a WAL that outlives its covering snapshot is
+      skipped, never double-applied).
 
     Only persistent relations are serialised; temporaries are
     transaction-local by Definition 4.3 and never reach disk. *)
 
 open Mxra_relational
 
-val encode_database : Database.t -> string
+exception Corrupt of string
+(** A checksum failed: the bytes are not what was written.  Decoders
+    raise this {e before} attempting to parse. *)
+
+val encode_database : ?wal_covered:int -> Database.t -> string
 (** An XRA script that rebuilds the persistent relations (sorted by
-    name).  Logical time is recorded in a leading comment directive
-    [-- @time N]. *)
+    name), prefixed with the [@crc], [@time] and (when [wal_covered] is
+    non-zero) [@wal] directives. *)
 
 val decode_database : string -> Database.t
 (** Rebuild a state from a snapshot script.
+    @raise Corrupt on a checksum mismatch;
     @raise Mxra_xra.Parser.Parse_error / [Mxra_xra.Lexer.Lex_error] on a
-    corrupt snapshot. *)
+    corrupt snapshot without a verifiable checksum. *)
+
+val decode_snapshot : string -> Database.t * int
+(** Like {!decode_database} but also returns the [@wal] coverage id
+    (0 when absent) — the store's recovery entry point. *)
 
 val encode_statement : Mxra_core.Statement.t -> string
 (** One-line XRA rendering of a statement, for the write-ahead log. *)

@@ -3,82 +3,31 @@ open Mxra_core
 module Trace = Mxra_obs.Trace
 
 type t = {
+  vfs : Vfs.t;
   dir : string;
+  retries : int;
+  backoff_ms : float;
   mutable db : Database.t;
-  mutable log : out_channel;
-  mutable records : int;
+  mutable log : Vfs.handle;
+  mutable good_len : int;
+      (* byte length of the log's acknowledged, durable prefix — the
+         truncation point for both torn tails and failed appends *)
+  mutable next_id : int;
+      (* last record id ever issued; monotonic across checkpoints so a
+         snapshot can name the records it covers *)
+  mutable in_log : int;  (* records currently in the log *)
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.xra"
 let wal_path dir = Filename.concat dir "wal.xra"
 
 let begin_marker n = Printf.sprintf "-- begin %d" n
-let commit_marker n = Printf.sprintf "-- commit %d" n
+let commit_prefix = "-- commit "
 
-let is_marker prefix line =
-  String.length line > String.length prefix
-  && String.sub line 0 (String.length prefix) = prefix
+let commit_marker n crc =
+  Printf.sprintf "%s%d %s" commit_prefix n (Checksum.to_hex crc)
 
-let read_file path =
-  if Sys.file_exists path then
-    Some (In_channel.with_open_text path In_channel.input_all)
-  else None
-
-(* Replay the committed records of a log.  A record only counts once its
-   commit marker is present; a torn tail (crash mid-append) is silently
-   discarded.  Statements of a record are applied with the transaction
-   end-bracket semantics: temporaries dropped, clock ticked. *)
-let replay_log db source =
-  let lines = String.split_on_char '\n' source in
-  let apply db pending =
-    let db', _outputs = Program.exec db (List.rev pending) in
-    Database.tick (Database.drop_temporaries db')
-  in
-  let rec scan db pending records = function
-    | [] -> (db, records)
-    | line :: rest ->
-        let line = String.trim line in
-        if line = "" then scan db pending records rest
-        else if is_marker "-- begin" line then scan db [] records rest
-        else if is_marker "-- commit" line then
-          scan (apply db pending) [] (records + 1) rest
-        else scan db (Codec.decode_statement line :: pending) records rest
-  in
-  scan db [] 0 lines
-
-let recover dir =
-  Trace.with_span "store.recover" (fun () ->
-      let db =
-        match read_file (snapshot_path dir) with
-        | Some source ->
-            Trace.add_attr "snapshot_bytes"
-              (Trace.Int (String.length source));
-            Codec.decode_database source
-        | None -> Database.empty
-      in
-      let result =
-        match read_file (wal_path dir) with
-        | Some source ->
-            Trace.add_attr "wal_bytes" (Trace.Int (String.length source));
-            replay_log db source
-        | None -> (db, 0)
-      in
-      Trace.add_attr "records" (Trace.Int (snd result));
-      result)
-
-let recover_dir dir = fst (recover dir)
-
-let open_log_append dir =
-  open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir)
-
-let open_dir dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  if not (Sys.is_directory dir) then
-    raise (Sys_error (dir ^ " is not a directory"));
-  let db, records = recover dir in
-  { dir; db; log = open_log_append dir; records }
-
-let database t = t.db
+(* --- WAL record encoding ------------------------------------------------ *)
 
 let loggable = function
   | Statement.Query _ -> false
@@ -86,22 +35,220 @@ let loggable = function
   | Statement.Assign _ ->
       true
 
-(* Append one committed record; returns the bytes written.  Durability
-   (flush) is the caller's duty, so a batch can pay one flush. *)
-let append_record t body =
-  let bytes = ref 0 in
-  let line s =
-    output_string t.log s;
-    output_char t.log '\n';
-    bytes := !bytes + String.length s + 1
-  in
-  t.records <- t.records + 1;
-  line (begin_marker t.records);
+(* One record: begin marker, statement lines, then a commit marker
+   carrying the CRC-32 of everything before it (newlines included).
+   The CRC is what recovery trusts — a record whose commit marker is
+   present but whose body was torn or bit-flipped is as dead as one
+   with no commit marker at all. *)
+let encode_record id body =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (begin_marker id);
+  Buffer.add_char buf '\n';
   List.iter
-    (fun stmt -> if loggable stmt then line (Codec.encode_statement stmt))
+    (fun stmt ->
+      if loggable stmt then begin
+        Buffer.add_string buf (Codec.encode_statement stmt);
+        Buffer.add_char buf '\n'
+      end)
     body;
-  line (commit_marker t.records);
-  !bytes
+  let crc = Checksum.string (Buffer.contents buf) in
+  Buffer.add_string buf (commit_marker id crc);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- WAL replay --------------------------------------------------------- *)
+
+type replay = {
+  r_db : Database.t;
+  r_last_id : int;  (* highest valid record id seen (0 when none) *)
+  r_records : int;  (* valid records present (applied or covered) *)
+  r_good_len : int;  (* byte offset just past the last valid record *)
+}
+
+let parse_marker prefix line =
+  if
+    String.length line > String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  then
+    Some
+      (String.sub line (String.length prefix)
+         (String.length line - String.length prefix))
+  else None
+
+let parse_commit line =
+  match parse_marker commit_prefix line with
+  | None -> None
+  | Some rest -> (
+      match String.split_on_char ' ' (String.trim rest) with
+      | [ id; crc ] -> (
+          match (int_of_string_opt id, Checksum.of_hex crc) with
+          | Some id, Some crc -> Some (id, crc)
+          | _ -> None)
+      | _ -> None)
+
+(* Replay the valid committed records of a log over [db], skipping those
+   with id <= [after] (already contained in the snapshot).  Statements
+   are applied with the transaction end-bracket semantics: temporaries
+   dropped, clock ticked.  Scanning stops at the first anomaly — torn
+   record, checksum mismatch, unparseable line — and reports the byte
+   offset of the last valid boundary so the caller can truncate the
+   tail; corruption is never replayed and never fatal. *)
+let replay_log db ~after source =
+  let len = String.length source in
+  (* acc state: [record] = Some (id, start_offset, pending statement
+     lines in reverse) while inside a record. *)
+  let apply db pending =
+    let stmts = List.rev_map Codec.decode_statement pending in
+    let db', _outputs = Program.exec db stmts in
+    Database.tick (Database.drop_temporaries db')
+  in
+  let rec scan acc record pos =
+    if pos >= len then acc
+    else
+      let eol =
+        match String.index_from_opt source pos '\n' with
+        | Some i -> i
+        | None -> len (* final line without newline: maybe torn *)
+      in
+      let line = String.sub source pos (eol - pos) in
+      let next = eol + 1 in
+      match record with
+      | None -> (
+          match parse_marker "-- begin " line with
+          | Some id_s when eol < len -> (
+              match int_of_string_opt (String.trim id_s) with
+              | Some id -> scan acc (Some (id, pos, [])) next
+              | None -> acc (* corrupt begin marker: stop *))
+          | Some _ -> acc (* begin line not newline-terminated: torn *)
+          | None -> if String.trim line = "" && eol < len then scan acc None next else acc)
+      | Some (id, start, pending) -> (
+          match parse_commit line with
+          | Some (cid, crc) ->
+              let body = String.sub source start (pos - start) in
+              if cid <> id || Checksum.string body <> crc then acc
+              else
+                let good = min len next in
+                let applied =
+                  if id > after then
+                    match apply acc.r_db pending with
+                    | db' -> Some db'
+                    | exception Mxra_xra.Parser.Parse_error _ -> None
+                    | exception Mxra_xra.Lexer.Lex_error _ -> None
+                  else Some acc.r_db
+                in
+                (match applied with
+                | Some db' ->
+                    scan
+                      {
+                        r_db = db';
+                        r_last_id = id;
+                        r_records = acc.r_records + 1;
+                        r_good_len = good;
+                      }
+                      None next
+                | None -> acc)
+          | None ->
+              if eol >= len then acc (* torn mid-record *)
+              else scan acc (Some (id, start, line :: pending)) next)
+  in
+  scan { r_db = db; r_last_id = 0; r_records = 0; r_good_len = 0 } None 0
+
+(* --- recovery ----------------------------------------------------------- *)
+
+let recover vfs dir =
+  Trace.with_span "store.recover" (fun () ->
+      let db, covered =
+        match vfs.Vfs.read_file (snapshot_path dir) with
+        | Some source ->
+            Trace.add_attr "snapshot_bytes" (Trace.Int (String.length source));
+            Codec.decode_snapshot source
+        | None -> (Database.empty, 0)
+      in
+      let r =
+        match vfs.Vfs.read_file (wal_path dir) with
+        | Some source ->
+            Trace.add_attr "wal_bytes" (Trace.Int (String.length source));
+            let r = replay_log db ~after:covered source in
+            if r.r_good_len < String.length source then begin
+              (* Torn or corrupt tail: cut the log back to the last
+                 valid record boundary so the next append starts clean. *)
+              Trace.event "store.truncate_torn"
+                ~attrs:
+                  [
+                    ("at", Trace.Int r.r_good_len);
+                    ( "dropped",
+                      Trace.Int (String.length source - r.r_good_len) );
+                  ];
+              vfs.Vfs.truncate (wal_path dir) r.r_good_len
+            end;
+            r
+        | None -> { r_db = db; r_last_id = 0; r_records = 0; r_good_len = 0 }
+      in
+      Trace.add_attr "records" (Trace.Int r.r_records);
+      (r, covered))
+
+let recover_dir ?(vfs = Vfs.real) dir = (fst (recover vfs dir)).r_db
+
+let open_dir ?(vfs = Vfs.real) ?(retries = 4) ?(backoff_ms = 1.0) dir =
+  if not (vfs.Vfs.exists dir) then vfs.Vfs.mkdir dir;
+  if not (vfs.Vfs.is_directory dir) then
+    raise (Sys_error (dir ^ " is not a directory"));
+  let r, covered = recover vfs dir in
+  {
+    vfs;
+    dir;
+    retries;
+    backoff_ms;
+    db = r.r_db;
+    log = vfs.Vfs.open_append (wal_path dir);
+    good_len = r.r_good_len;
+    next_id = max covered r.r_last_id;
+    in_log = r.r_records;
+  }
+
+let database t = t.db
+
+(* --- durable append with bounded retry ---------------------------------- *)
+
+(* Append [payload] and sync, retrying transient faults with exponential
+   backoff.  Before each retry the log is truncated back to the last
+   acknowledged length and the handle reopened, so the short write of a
+   failed attempt can never sit in front of its own retry.  Crashes
+   ([Vfs.Crash]) are not faults to handle — they propagate; recovery is
+   the handler. *)
+let append_durable t payload =
+  let wal = wal_path t.dir in
+  let rec attempt k =
+    match
+      t.log.Vfs.h_write payload;
+      t.log.Vfs.h_sync ()
+    with
+    | () -> if k > 0 then Trace.add_attr "retries" (Trace.Int k)
+    | exception Vfs.Injected reason when k < t.retries ->
+        Trace.event "store.retry"
+          ~attrs:
+            [
+              ("attempt", Trace.Int (k + 1));
+              ("reason", Trace.Str reason);
+              ("truncate_to", Trace.Int t.good_len);
+            ];
+        t.log.Vfs.h_close ();
+        t.vfs.Vfs.truncate wal t.good_len;
+        t.log <- t.vfs.Vfs.open_append wal;
+        if t.backoff_ms > 0.0 then
+          Unix.sleepf (t.backoff_ms *. (2.0 ** float_of_int k) /. 1000.0);
+        attempt (k + 1)
+  in
+  attempt 0;
+  t.good_len <- t.good_len + String.length payload
+
+let append_record t body =
+  let id = t.next_id + 1 in
+  let payload = encode_record id body in
+  append_durable t payload;
+  t.next_id <- id;
+  t.in_log <- t.in_log + 1;
+  String.length payload
 
 let commit t txn =
   Trace.with_span "store.commit"
@@ -110,9 +257,8 @@ let commit t txn =
       let outcome = Transaction.run t.db txn in
       (match outcome with
       | Transaction.Committed { state; _ } ->
-          let bytes = append_record t txn.Transaction.body in
           (* The record is durable before the commit is acknowledged. *)
-          flush t.log;
+          let bytes = append_record t txn.Transaction.body in
           Trace.add_attr "wal_bytes" (Trace.Int bytes);
           t.db <- state
       | Transaction.Aborted { reason; state } ->
@@ -124,29 +270,35 @@ let absorb_batch t txns state =
   Trace.with_span "store.absorb"
     ~attrs:[ ("txns", Trace.Int (List.length txns)) ]
     (fun () ->
-      let bytes =
-        List.fold_left
-          (fun acc txn -> acc + append_record t txn.Transaction.body)
-          0 txns
-      in
-      flush t.log;
-      Trace.add_attr "wal_bytes" (Trace.Int bytes);
+      (* One payload, one write, one sync for the whole batch. *)
+      let buf = Buffer.create 1024 in
+      List.iteri
+        (fun i txn ->
+          Buffer.add_string buf
+            (encode_record (t.next_id + i + 1) txn.Transaction.body))
+        txns;
+      let payload = Buffer.contents buf in
+      if String.length payload > 0 then append_durable t payload;
+      t.next_id <- t.next_id + List.length txns;
+      t.in_log <- t.in_log + List.length txns;
+      Trace.add_attr "wal_bytes" (Trace.Int (String.length payload));
       t.db <- state)
 
 let checkpoint t =
   Trace.with_span "store.checkpoint" (fun () ->
-      let snapshot = Codec.encode_database t.db in
+      let snapshot = Codec.encode_database ~wal_covered:t.next_id t.db in
       Trace.add_attr "snapshot_bytes" (Trace.Int (String.length snapshot));
       let tmp = snapshot_path t.dir ^ ".tmp" in
-      Out_channel.with_open_text tmp (fun oc ->
-          Out_channel.output_string oc snapshot);
-      Sys.rename tmp (snapshot_path t.dir);
-      (* Old log records are covered by the snapshot: truncate. *)
-      close_out t.log;
-      let truncated = open_out (wal_path t.dir) in
-      close_out truncated;
-      t.log <- open_log_append t.dir;
-      t.records <- 0)
+      t.vfs.Vfs.write_file tmp snapshot;
+      t.vfs.Vfs.rename tmp (snapshot_path t.dir);
+      (* Old log records are covered by the snapshot (it names their
+         ids), so truncating is pure space reclamation — a crash
+         before, between or after these steps recovers correctly. *)
+      t.log.Vfs.h_close ();
+      t.vfs.Vfs.truncate (wal_path t.dir) 0;
+      t.log <- t.vfs.Vfs.open_append (wal_path t.dir);
+      t.good_len <- 0;
+      t.in_log <- 0)
 
-let close t = close_out t.log
-let log_records t = t.records
+let close t = t.log.Vfs.h_close ()
+let log_records t = t.in_log

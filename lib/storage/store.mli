@@ -1,4 +1,5 @@
-(** Durable database storage: snapshot plus write-ahead log.
+(** Durable database storage: snapshot plus write-ahead log, over a
+    fault-tolerant {!Vfs}.
 
     Definition 4.3 requires transactions to satisfy the ACID properties
     of [Gray 81]; the in-memory {!Mxra_core.Transaction} machinery gives
@@ -6,43 +7,63 @@
     durability:
 
     - the {e snapshot} ([snapshot.xra]) is the state at the last
-      checkpoint, in the XRA script format of {!Codec};
+      checkpoint, in the checksummed XRA script format of {!Codec},
+      written to a temporary file and atomically renamed into place;
     - the {e log} ([wal.xra]) records, per committed transaction, its
-      non-query statements in execution order between [-- begin N] /
-      [-- commit N] markers, fsync'd before the commit is acknowledged;
-    - {e recovery} loads the snapshot and replays exactly the log's
-      complete (committed) transaction records — a torn tail from a
-      crash is detected by its missing commit marker and discarded,
-      which is the redo-only ARIES-without-undo discipline that suffices
-      here because uncommitted changes never reach the snapshot.
+      non-query statements between [-- begin N] / [-- commit N CRC]
+      markers.  Record ids are {e monotonic across checkpoints} and the
+      snapshot carries the id of the last record it covers, so recovery
+      replays exactly the uncovered records — a crash at any point of
+      the checkpoint sequence (write, rename, truncate) is safe;
+    - each record is appended with a single write and made durable with
+      an fsync before the commit is acknowledged.  Transient I/O faults
+      ({!Vfs.Injected}) are retried with bounded exponential backoff
+      after truncating the log back to its last acknowledged length, so
+      a short write can never leave a half-record in front of its
+      retry;
+    - {e recovery} loads the snapshot and replays the log's valid
+      committed records: a record counts only when its commit marker is
+      present {e and} its CRC-32 matches.  Everything from the first
+      torn or corrupt record onward is discarded and the log is
+      truncated back to the last valid boundary (redo-only,
+      ARIES-without-undo — uncommitted changes never reach the
+      snapshot).
 
-    Assignments ([R := E]) are transaction-local (Definition 4.3 drops
-    temporaries at commit) but are still logged: later logged statements
-    of the same transaction may refer to the temporary. *)
+    The crash-safety contract, exercised exhaustively by {!Torture}:
+    after a crash at any syscall, recovery yields the state of some
+    prefix of the acknowledged transaction sequence — all acknowledged
+    transactions survive, an unacknowledged in-flight one may or may not,
+    and nothing else changes. *)
 
 open Mxra_relational
 
 type t
 (** An open store: a directory plus the current in-memory state. *)
 
-val open_dir : string -> t
+val open_dir : ?vfs:Vfs.t -> ?retries:int -> ?backoff_ms:float -> string -> t
 (** Open (creating the directory and empty files if needed) and
-    recover: snapshot + committed log records.
+    recover: snapshot + valid committed log records.  [vfs] defaults to
+    {!Vfs.real}; [retries] (default 4) and [backoff_ms] (default 1.0)
+    bound the transient-fault retry loop.
     @raise Sys_error on an unusable directory;
-    @raise Mxra_xra.Parser.Parse_error on corrupt files. *)
+    @raise Codec.Corrupt on a corrupt snapshot (the WAL heals itself,
+    the snapshot does not — it was fsync'd and renamed, so corruption
+    there is real media failure). *)
 
 val database : t -> Database.t
 (** The current state (after recovery and any commits so far). *)
 
 val commit : t -> Mxra_core.Transaction.t -> Mxra_core.Transaction.outcome
 (** Run a transaction against the current state; if it commits, append
-    its record to the log (flushed) before returning.  Aborted
-    transactions leave no trace in the log. *)
+    its record to the log (synced) before returning.  Aborted
+    transactions leave no trace in the log.
+    @raise Vfs.Injected when the transient-fault retry budget is
+    exhausted; the log is left truncated at its last valid boundary. *)
 
 val absorb_batch : t -> Mxra_core.Transaction.t list -> Database.t -> unit
 (** Make an {e externally executed} batch durable: append one log
     record per transaction and install [state] as the current state,
-    with a single flush for the whole batch.  The transactions must be
+    with a single sync for the whole batch.  The transactions must be
     the {e committed} ones of the batch in commit order, and [state]
     the batch's final state — exactly what
     {!Mxra_concurrency.Scheduler.run} hands back; replaying the records
@@ -51,17 +72,20 @@ val absorb_batch : t -> Mxra_core.Transaction.t list -> Database.t -> unit
 
 val checkpoint : t -> unit
 (** Write the current state as the new snapshot and truncate the log.
-    The snapshot is written to a temporary file and renamed, so a crash
-    during checkpoint leaves the old snapshot + log intact. *)
+    Crash-safe at every step: the snapshot is renamed into place
+    atomically and records the last WAL id it covers, so a log that
+    outlives its snapshot is skipped on recovery, never replayed
+    twice. *)
 
 val close : t -> unit
-(** Flush and close the log channel.  The store must not be used
+(** Flush and close the log handle.  The store must not be used
     afterwards. *)
 
 val log_records : t -> int
 (** Committed transaction records in the current log (for tests and the
     durability benchmark). *)
 
-val recover_dir : string -> Database.t
+val recover_dir : ?vfs:Vfs.t -> string -> Database.t
 (** Recovery alone: what [open_dir] would reconstruct, without keeping
-    the store open.  Used by crash tests to inspect a "dead" store. *)
+    the store open.  A torn log tail is truncated as a side effect —
+    recovery repairs.  Used by crash tests to inspect a "dead" store. *)

@@ -1,0 +1,298 @@
+open Mxra_relational
+open Mxra_core
+module Rng = Mxra_workload.Rng
+
+type config = {
+  txns : int;
+  seed : int;
+  crash_points : int;
+  checkpoint_every : int;
+  fail_every : int;
+  continue_after : bool;
+}
+
+let default =
+  {
+    txns = 200;
+    seed = 42;
+    crash_points = 0;
+    checkpoint_every = 25;
+    fail_every = 7;
+    continue_after = true;
+  }
+
+type report = {
+  syscalls : int;
+  crashes : int;
+  recoveries : int;
+  transients : int;
+}
+
+type failure = { crash_point : int; fail_seed : int; detail : string }
+
+(* --- workload ----------------------------------------------------------- *)
+
+let schema = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+let tup k v = Tuple.of_list [ Value.Int k; Value.Int v ]
+let relations = [ "acct"; "audit" ]
+
+(* Values are drawn from a small key range so the bags are
+   duplicate-heavy: deletes routinely hit multiplicities above one and
+   monus saturation (Definition 3.1) is exercised constantly. *)
+let random_rel rng =
+  let rows = Rng.int_in rng 1 3 in
+  Relation.of_counted_list schema
+    (List.init rows (fun _ ->
+         (tup (Rng.int rng 10) (Rng.int rng 50), Rng.int_in rng 1 3)))
+
+let initial_db rng =
+  Database.of_relations
+    (List.map (fun name -> (name, random_rel rng)) relations)
+
+let random_statement rng =
+  let target = Rng.pick rng relations in
+  let key_pred = Pred.eq (Scalar.attr 1) (Scalar.int (Rng.int rng 10)) in
+  Rng.pick_weighted rng
+    [
+      (4, Statement.Insert (target, Expr.const (random_rel rng)));
+      (* Delete a literal bag: may exceed the stored multiplicity, may
+         miss entirely — both are monus edge cases. *)
+      (2, Statement.Delete (target, Expr.const (random_rel rng)));
+      (2, Statement.Delete (target, Expr.select key_pred (Expr.rel target)));
+      ( 2,
+        Statement.Update
+          ( target,
+            Expr.select key_pred (Expr.rel target),
+            [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int 1) ] ) );
+    ]
+
+(* Occasionally route data through a temporary so recovery must replay
+   assignments (they are transaction-local but logged). *)
+let random_txn rng i =
+  let body =
+    if Rng.int rng 8 = 0 then
+      let src = Rng.pick rng relations and dst = Rng.pick rng relations in
+      [
+        Statement.Assign
+          ( "stage",
+            Expr.select
+              (Pred.lt (Scalar.attr 2) (Scalar.int (Rng.int rng 50)))
+              (Expr.rel src) );
+        Statement.Insert (dst, Expr.rel "stage");
+      ]
+    else List.init (Rng.int_in rng 1 3) (fun _ -> random_statement rng)
+  in
+  Transaction.make ~name:(Printf.sprintf "torture-%d" i) body
+
+type step = Commit of Transaction.t | Checkpoint
+
+let build_steps cfg rng =
+  List.concat
+    (List.init cfg.txns (fun i ->
+         let txn = Commit (random_txn rng (i + 1)) in
+         if
+           cfg.checkpoint_every > 0
+           && (i + 1) mod cfg.checkpoint_every = 0
+         then [ txn; Checkpoint ]
+         else [ txn ]))
+
+(* The shadow history: states.(i) is the pure in-memory instance after
+   the first [i] transactions — the oracle recovery is matched against. *)
+let shadow_states initial steps =
+  let commits =
+    List.filter_map (function Commit t -> Some t | Checkpoint -> None) steps
+  in
+  Array.of_list
+    (List.rev
+       (List.fold_left
+          (fun acc txn ->
+            let prev = List.hd acc in
+            Transaction.state_of (Transaction.run prev txn) :: acc)
+          [ initial ] commits))
+
+(* --- driver ------------------------------------------------------------- *)
+
+type track = {
+  mutable acked : int;  (* Store.commit calls that returned *)
+  mutable in_flight : bool;  (* a commit is between call and return *)
+  mutable baseline : bool;  (* the initial absorb+checkpoint finished *)
+}
+
+let dir = "torture-db"
+
+(* Run (a suffix of) the workload against a store over [vfs].  A fresh
+   store is seeded with [initial] and immediately checkpointed so the
+   catalog is durable; a recovered store continues from whatever it
+   holds. *)
+let drive ~vfs ~initial ~steps track =
+  let s = Store.open_dir ~vfs ~retries:8 ~backoff_ms:0.0 dir in
+  if Database.persistent_names (Store.database s) = [] then begin
+    Store.absorb_batch s [] initial;
+    Store.checkpoint s
+  end;
+  track.baseline <- true;
+  List.iter
+    (function
+      | Commit txn ->
+          track.in_flight <- true;
+          ignore (Store.commit s txn);
+          track.in_flight <- false;
+          track.acked <- track.acked + 1
+      | Checkpoint -> Store.checkpoint s)
+    steps;
+  Store.close s;
+  Store.database s
+
+(* Steps remaining once [j] transactions are already reflected in the
+   recovered state.  Checkpoints before that point are dropped — their
+   only effect is on storage layout, which recovery has superseded. *)
+let resume_steps steps j =
+  if j <= 0 then steps
+  else
+    let rec drop k = function
+      | [] -> []
+      | Commit _ :: rest when k + 1 = j -> rest
+      | Commit _ :: rest -> drop (k + 1) rest
+      | Checkpoint :: rest -> drop k rest
+    in
+    drop 0 steps
+
+(* --- the oracle --------------------------------------------------------- *)
+
+let pp_names db = String.concat "," (Database.persistent_names db)
+
+(* Prefix consistency at one crash point: run until the injected crash,
+   recover through the clean view, and demand the recovered instance
+   equal a legal prefix of the shadow history.  Legal prefixes: the
+   pre-baseline empty store (only until the first checkpoint returned),
+   everything acknowledged, plus — when the crash interrupted a commit
+   call — that one in-flight transaction. *)
+let check_crash_point cfg ~initial ~steps ~states c =
+  let inj =
+    Vfs.inject ~seed:(cfg.seed + c) { Vfs.no_faults with Vfs.crash_at = c }
+  in
+  let track = { acked = 0; in_flight = false; baseline = false } in
+  let total = Array.length states - 1 in
+  let fail detail = Error { crash_point = c; fail_seed = cfg.seed; detail } in
+  match drive ~vfs:inj.Vfs.vfs ~initial ~steps track with
+  | final ->
+      (* The crash point lies beyond this run's syscalls. *)
+      if Database.equal_states final states.(total) then Ok false
+      else fail "crash-free run diverged from the shadow history"
+  | exception Vfs.Crash -> (
+      let recovered = Store.recover_dir ~vfs:inj.Vfs.base dir in
+      let candidates =
+        (if track.in_flight then [ (track.acked + 1, states.(track.acked + 1)) ]
+         else [])
+        @ [ (track.acked, states.(track.acked)) ]
+        @ if not track.baseline then [ (-1, Database.empty) ] else []
+      in
+      match
+        List.find_opt
+          (fun (_, st) -> Database.equal_states st recovered)
+          candidates
+      with
+      | None ->
+          fail
+            (Printf.sprintf
+               "recovered state (relations %s) matches no committed prefix \
+                (acked %d, in-flight %b)"
+               (pp_names recovered) track.acked track.in_flight)
+      | Some (j, _) ->
+          if not cfg.continue_after then Ok true
+          else
+            let rest = resume_steps steps j in
+            let track' = { acked = 0; in_flight = false; baseline = false } in
+            let final = drive ~vfs:inj.Vfs.base ~initial ~steps:rest track' in
+            if Database.equal_states final states.(total) then Ok true
+            else
+              fail
+                (Printf.sprintf
+                   "workload resumed after recovery (prefix %d) diverged from \
+                    the shadow history"
+                   j))
+
+let run ?(progress = fun _ _ -> ()) cfg =
+  let rng = Rng.make cfg.seed in
+  let initial = initial_db rng in
+  let steps = build_steps cfg rng in
+  let states = shadow_states initial steps in
+  let total = Array.length states - 1 in
+  (* Crash-free run over a counting (but not faulting) vfs: yields the
+     syscall budget and sanity-checks the WAL round trip. *)
+  let clean = Vfs.inject ~seed:cfg.seed Vfs.no_faults in
+  let track = { acked = 0; in_flight = false; baseline = false } in
+  let final = drive ~vfs:clean.Vfs.vfs ~initial ~steps track in
+  let syscalls = clean.Vfs.syscalls () in
+  if not (Database.equal_states final states.(total)) then
+    Error
+      {
+        crash_point = 0;
+        fail_seed = cfg.seed;
+        detail = "clean run diverged from the shadow history";
+      }
+  else if
+    not
+      (Database.equal_states
+         (Store.recover_dir ~vfs:clean.Vfs.base dir)
+         states.(total))
+  then
+    Error
+      {
+        crash_point = 0;
+        fail_seed = cfg.seed;
+        detail = "clean recovery (snapshot + WAL replay) diverged";
+      }
+  else begin
+    (* Transient-fault sweep: every injected short write / failed sync
+       must be absorbed by truncate-and-retry, invisibly. *)
+    let transient_result =
+      if cfg.fail_every = 0 then Ok 0
+      else
+        let inj =
+          Vfs.inject ~seed:cfg.seed
+            { Vfs.no_faults with Vfs.fail_every = cfg.fail_every }
+        in
+        let track = { acked = 0; in_flight = false; baseline = false } in
+        match drive ~vfs:inj.Vfs.vfs ~initial ~steps track with
+        | final when Database.equal_states final states.(total) ->
+            let n = inj.Vfs.transients () in
+            if n = 0 then
+              Error "transient sweep injected no faults (cadence too large?)"
+            else Ok n
+        | _ -> Error "state diverged under transient faults"
+        | exception Vfs.Injected reason ->
+            Error ("retry budget exhausted: " ^ reason)
+    in
+    match transient_result with
+    | Error detail -> Error { crash_point = 0; fail_seed = cfg.seed; detail }
+    | Ok transients ->
+        (* The crash sweep proper. *)
+        let points =
+          if cfg.crash_points <= 0 || cfg.crash_points >= syscalls then
+            List.init syscalls (fun i -> i + 1)
+          else if cfg.crash_points = 1 then [ (syscalls / 2) + 1 ]
+          else
+            List.sort_uniq compare
+              (List.init cfg.crash_points (fun i ->
+                   1 + (i * (syscalls - 1) / (cfg.crash_points - 1))))
+        in
+        let n_points = List.length points in
+        let rec sweep done_ crashes = function
+          | [] ->
+              Ok
+                {
+                  syscalls;
+                  crashes;
+                  recoveries = crashes;
+                  transients;
+                }
+          | c :: rest -> (
+              match check_crash_point cfg ~initial ~steps ~states c with
+              | Ok crashed ->
+                  progress (done_ + 1) n_points;
+                  sweep (done_ + 1) (crashes + if crashed then 1 else 0) rest
+              | Error f -> Error f)
+        in
+        sweep 0 0 points
+  end

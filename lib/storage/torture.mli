@@ -1,0 +1,59 @@
+(** Crash-recovery torture harness.
+
+    The paper's database transitions (§2, Definition 2.6) promise that
+    every transaction moves the store from one consistent instance to
+    the next.  This module states the durable version of that promise as
+    a checkable oracle and checks it {e exhaustively}:
+
+    {e prefix consistency} — after a crash at any syscall, the recovered
+    instance is bag-equal (per relation) to the instance produced by
+    some prefix of the acknowledged transaction sequence; every
+    acknowledged transaction survives, an unacknowledged in-flight one
+    may or may not, and nothing else changes.
+
+    The harness generates a seeded random transaction workload
+    (inserts, deletes, updates, temporaries; periodic checkpoints),
+    runs it once crash-free over an injected in-memory {!Vfs} to count
+    syscalls and to build the pure in-memory {e shadow history}, then
+    re-runs it once per crash point — crashing, recovering through a
+    clean view of the same "disk", matching the recovered state against
+    the shadow, and finally replaying the remaining workload to prove
+    the recovered store is live, not just readable.  A separate sweep
+    injects transient faults (short writes, failed syncs) and demands
+    the retry path absorb all of them. *)
+
+type config = {
+  txns : int;  (** Transactions in the workload. *)
+  seed : int;  (** Master seed; printed on failure for reproduction. *)
+  crash_points : int;
+      (** Crash points to exercise: sampled evenly over the clean run's
+          syscalls, [0] means every one of them. *)
+  checkpoint_every : int;  (** A checkpoint after every [n] txns; [0] = never. *)
+  fail_every : int;
+      (** Transient-fault cadence for the retry sweep; [0] skips it. *)
+  continue_after : bool;
+      (** After each recovery, replay the rest of the workload and check
+          the final state too. *)
+}
+
+val default : config
+(** 200 txns, seed 42, every crash point, checkpoint every 25,
+    transient sweep at cadence 7, continuation on. *)
+
+type report = {
+  syscalls : int;  (** Mutating syscalls in the crash-free run. *)
+  crashes : int;  (** Crash points exercised. *)
+  recoveries : int;  (** Successful recoveries (equals [crashes]). *)
+  transients : int;  (** Injected transient faults absorbed by retry. *)
+}
+
+type failure = {
+  crash_point : int;  (** 0 when the failure is not crash-related. *)
+  fail_seed : int;
+  detail : string;
+}
+
+val run : ?progress:(int -> int -> unit) -> config -> (report, failure) result
+(** Execute the sweep.  [progress done_ total] is called as crash points
+    complete.  Returns the first oracle violation, with enough to
+    reproduce it. *)

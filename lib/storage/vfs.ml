@@ -1,0 +1,270 @@
+exception Crash
+exception Injected of string
+
+type handle = {
+  h_write : string -> unit;
+  h_sync : unit -> unit;
+  h_close : unit -> unit;
+}
+
+type t = {
+  read_file : string -> string option;
+  write_file : string -> string -> unit;
+  open_append : string -> handle;
+  truncate : string -> int -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  exists : string -> bool;
+  is_directory : string -> bool;
+  mkdir : string -> unit;
+}
+
+(* --- real backend ------------------------------------------------------- *)
+
+let real =
+  {
+    read_file =
+      (fun path ->
+        if Sys.file_exists path then
+          Some (In_channel.with_open_bin path In_channel.input_all)
+        else None);
+    write_file =
+      (fun path contents ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc contents;
+            Out_channel.flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc)));
+    open_append =
+      (fun path ->
+        let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+        {
+          h_write = (fun s -> output_string oc s);
+          h_sync =
+            (fun () ->
+              flush oc;
+              Unix.fsync (Unix.descr_of_out_channel oc));
+          h_close = (fun () -> close_out oc);
+        });
+    truncate =
+      (fun path len ->
+        if Sys.file_exists path && (Unix.stat path).Unix.st_size > len then
+          Unix.truncate path len);
+    rename = Sys.rename;
+    remove = Sys.remove;
+    exists = Sys.file_exists;
+    is_directory = (fun path -> Sys.file_exists path && Sys.is_directory path);
+    mkdir = (fun path -> Sys.mkdir path 0o755);
+  }
+
+(* --- memory backend ----------------------------------------------------- *)
+
+(* One file: full contents as seen by the running process, plus the
+   durable boundary.  Bytes beyond [synced] are what a power failure
+   loses (modulo a torn prefix). *)
+type mem_file = { mutable data : Buffer.t; mutable synced : int }
+
+type mem_fs = {
+  files : (string, mem_file) Hashtbl.t;
+  dirs : (string, unit) Hashtbl.t;
+}
+
+let mem_find_or_create fs path =
+  match Hashtbl.find_opt fs.files path with
+  | Some f -> f
+  | None ->
+      let f = { data = Buffer.create 256; synced = 0 } in
+      Hashtbl.replace fs.files path f;
+      f
+
+let mem_view fs =
+  {
+    read_file =
+      (fun path ->
+        Option.map (fun f -> Buffer.contents f.data)
+          (Hashtbl.find_opt fs.files path));
+    write_file =
+      (fun path contents ->
+        let f = mem_find_or_create fs path in
+        Buffer.clear f.data;
+        Buffer.add_string f.data contents;
+        f.synced <- String.length contents);
+    open_append =
+      (fun path ->
+        let f = mem_find_or_create fs path in
+        {
+          h_write = (fun s -> Buffer.add_string f.data s);
+          h_sync = (fun () -> f.synced <- Buffer.length f.data);
+          h_close = (fun () -> ());
+        });
+    truncate =
+      (fun path len ->
+        match Hashtbl.find_opt fs.files path with
+        | Some f when Buffer.length f.data > len ->
+            Buffer.truncate f.data len;
+            f.synced <- min f.synced len
+        | Some _ | None -> ());
+    rename =
+      (fun src dst ->
+        match Hashtbl.find_opt fs.files src with
+        | Some f ->
+            Hashtbl.replace fs.files dst f;
+            Hashtbl.remove fs.files src
+        | None -> raise (Sys_error (src ^ ": no such file")));
+    remove = (fun path -> Hashtbl.remove fs.files path);
+    exists =
+      (fun path -> Hashtbl.mem fs.files path || Hashtbl.mem fs.dirs path);
+    is_directory = (fun path -> Hashtbl.mem fs.dirs path);
+    mkdir = (fun path -> Hashtbl.replace fs.dirs path ());
+  }
+
+let memory () =
+  mem_view { files = Hashtbl.create 8; dirs = Hashtbl.create 4 }
+
+(* --- fault injection ---------------------------------------------------- *)
+
+type fault_config = {
+  crash_at : int;
+  fail_every : int;
+  torn_writes : bool;
+  corrupt_torn_byte : bool;
+}
+
+let no_faults =
+  { crash_at = 0; fail_every = 0; torn_writes = true; corrupt_torn_byte = true }
+
+type injected = {
+  vfs : t;
+  base : t;
+  syscalls : unit -> int;
+  crashed : unit -> bool;
+  transients : unit -> int;
+  rearm : ?seed:int -> fault_config -> unit;
+}
+
+(* Power failure: every file keeps its synced prefix plus (when torn
+   writes are modelled) a random prefix of the unsynced tail, possibly
+   with one flipped bit — a torn sector.  The survivor becomes the new
+   synced content: that is what the next boot reads. *)
+let apply_crash rng config fs =
+  Hashtbl.iter
+    (fun _path f ->
+      let len = Buffer.length f.data in
+      if len > f.synced then begin
+        let keep =
+          if config.torn_writes then
+            f.synced + Random.State.int rng (len - f.synced + 1)
+          else f.synced
+        in
+        let corrupt =
+          config.corrupt_torn_byte && keep > f.synced
+          && Random.State.bool rng
+        in
+        if corrupt then begin
+          let pos = f.synced + Random.State.int rng (keep - f.synced) in
+          let bytes = Bytes.of_string (Buffer.contents f.data) in
+          Bytes.set bytes pos
+            (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x40));
+          Buffer.clear f.data;
+          Buffer.add_subbytes f.data bytes 0 len
+        end;
+        Buffer.truncate f.data keep;
+        f.synced <- keep
+      end
+      else f.synced <- len)
+    fs.files
+
+let inject ?(seed = 0) config =
+  let fs = { files = Hashtbl.create 8; dirs = Hashtbl.create 4 } in
+  let clean = mem_view fs in
+  let config = ref config in
+  let rng = ref (Random.State.make [| seed |]) in
+  let count = ref 0 in
+  let crashed = ref false in
+  let transients = ref 0 in
+  (* [effect_before_crash] performs the syscall's partial effect (the
+     bytes that were in flight when the plug was pulled); the global
+     torn-tail transformation then decides how much of it survives. *)
+  let syscall ?(injectable = false) ?(effect_before_crash = fun () -> ())
+      ?(effect_before_inject = fun () -> ()) perform =
+    if !crashed then raise Crash;
+    incr count;
+    if !config.crash_at > 0 && !count >= !config.crash_at then begin
+      crashed := true;
+      effect_before_crash ();
+      apply_crash !rng !config fs;
+      raise Crash
+    end;
+    if injectable && !config.fail_every > 0 && !count mod !config.fail_every = 0
+    then begin
+      incr transients;
+      effect_before_inject ();
+      raise (Injected (Printf.sprintf "injected fault at syscall %d" !count))
+    end;
+    perform ()
+  in
+  (* A failing or crashing write first delivers a random strict prefix:
+     a short write. *)
+  let partial_write f s =
+    let n = String.length s in
+    if n > 0 then
+      Buffer.add_string f.data (String.sub s 0 (Random.State.int !rng n))
+  in
+  let vfs =
+    {
+      read_file = clean.read_file;
+      write_file =
+        (fun path contents ->
+          syscall
+            ~effect_before_crash:(fun () ->
+              let f = mem_find_or_create fs path in
+              Buffer.clear f.data;
+              f.synced <- 0;
+              partial_write f contents)
+            (fun () -> clean.write_file path contents));
+      open_append =
+        (fun path ->
+          syscall (fun () ->
+              let f = mem_find_or_create fs path in
+              let h = clean.open_append path in
+              {
+                h_write =
+                  (fun s ->
+                    syscall ~injectable:true
+                      ~effect_before_crash:(fun () ->
+                        Buffer.add_string f.data s)
+                        (* A transient failure is a short write: a prefix
+                           lands in the file, then the call errors out. *)
+                      ~effect_before_inject:(fun () -> partial_write f s)
+                      (fun () -> h.h_write s));
+                h_sync =
+                  (fun () -> syscall ~injectable:true (fun () -> h.h_sync ()));
+                h_close = (fun () -> h.h_close ());
+              }));
+      truncate =
+        (fun path len -> syscall (fun () -> clean.truncate path len));
+      rename =
+        (fun src dst ->
+          syscall
+            ~effect_before_crash:(fun () ->
+              (* The rename either reached the directory or did not. *)
+              if Random.State.bool !rng then clean.rename src dst)
+            (fun () -> clean.rename src dst));
+      remove = (fun path -> syscall (fun () -> clean.remove path));
+      exists = clean.exists;
+      is_directory = clean.is_directory;
+      mkdir = (fun path -> syscall (fun () -> clean.mkdir path));
+    }
+  in
+  {
+    vfs;
+    base = clean;
+    syscalls = (fun () -> !count);
+    crashed = (fun () -> !crashed);
+    transients = (fun () -> !transients);
+    rearm =
+      (fun ?(seed = seed) c ->
+        config := c;
+        rng := Random.State.make [| seed |];
+        count := 0;
+        crashed := false);
+  }

@@ -1,0 +1,100 @@
+(** File-system abstraction with fault injection.
+
+    The store performs all durable I/O through a {!t} — a record of
+    closures over some backing medium.  Three backends exist:
+
+    - {!real}: the actual file system ([open]/[write]/[fsync]/
+      [rename]/[truncate]);
+    - {!memory}: an in-process file system with an explicit {e synced}
+      boundary per file, so that the effect of a power failure (all
+      unsynced bytes lost, possibly keeping a torn prefix) can be
+      modelled exactly;
+    - {!inject}: a wrapper over a fresh memory backend that counts
+      mutating syscalls and, driven by a seeded RNG, fails them
+      transiently ({!Injected}), short-writes them, or "pulls the plug"
+      at a chosen syscall index ({!Crash}).
+
+    The injection model follows the crash-consistency literature
+    (e.g. CrashMonkey, ALICE): at a crash, each file keeps its synced
+    prefix plus an arbitrary — possibly bit-flipped — prefix of its
+    unsynced tail.  Checksummed WAL records plus truncate-on-torn-tail
+    recovery are exactly what make this survivable. *)
+
+exception Crash
+(** Simulated power failure.  Raised by every operation of an injected
+    backend once its crash point is reached; never caught by the store —
+    the torture harness catches it and re-opens through {!injected.base}. *)
+
+exception Injected of string
+(** Simulated transient fault (EIO-style).  The store retries these with
+    bounded backoff after truncating back to the last known-good WAL
+    length. *)
+
+type handle = {
+  h_write : string -> unit;  (** Append bytes (buffered, not durable). *)
+  h_sync : unit -> unit;  (** Make all appended bytes durable. *)
+  h_close : unit -> unit;
+}
+
+type t = {
+  read_file : string -> string option;  (** [None] when absent. *)
+  write_file : string -> string -> unit;
+      (** Create or replace with the given contents, synced. *)
+  open_append : string -> handle;  (** Create if absent. *)
+  truncate : string -> int -> unit;
+      (** Cut the file to the given byte length (no-op when already
+          shorter); drops any unsynced tail beyond it. *)
+  rename : string -> string -> unit;  (** Atomic replace. *)
+  remove : string -> unit;
+  exists : string -> bool;
+  is_directory : string -> bool;
+  mkdir : string -> unit;
+}
+
+val real : t
+(** The host file system.  [h_sync] is a genuine [fsync]. *)
+
+val memory : unit -> t
+(** A fresh, private in-memory file system (no fault injection). *)
+
+(** {1 Fault injection} *)
+
+type fault_config = {
+  crash_at : int;
+      (** Crash at this (1-based) mutating-syscall index; [0] never
+          crashes. *)
+  fail_every : int;
+      (** Raise {!Injected} on every [n]-th write/sync syscall; the
+          failing write first appends a short (torn) prefix.  [0]
+          disables.  Because the counter keeps advancing, an immediate
+          retry of the same operation succeeds — deterministic, so
+          retry tests cannot flake. *)
+  torn_writes : bool;
+      (** At a crash, keep a random prefix of each file's unsynced tail
+          (instead of dropping it whole). *)
+  corrupt_torn_byte : bool;
+      (** Additionally flip a bit somewhere in the surviving torn
+          prefix — the checksum must catch this. *)
+}
+
+val no_faults : fault_config
+(** [{crash_at = 0; fail_every = 0; torn_writes = true;
+     corrupt_torn_byte = true}] — counts syscalls, injects nothing. *)
+
+type injected = {
+  vfs : t;  (** The injecting view; raises per the configuration. *)
+  base : t;
+      (** A clean view over the same files — what a reboot sees.  After
+          a crash the torn-tail transformation has already been
+          applied. *)
+  syscalls : unit -> int;  (** Mutating syscalls performed so far. *)
+  crashed : unit -> bool;
+  transients : unit -> int;  (** {!Injected} faults raised so far. *)
+  rearm : ?seed:int -> fault_config -> unit;
+      (** Reset the syscall counter and crash state with a new
+          configuration, keeping the files — enables a second crash
+          during recovery from the first. *)
+}
+
+val inject : ?seed:int -> fault_config -> injected
+(** A fresh memory file system behind an injecting view. *)

@@ -1,0 +1,76 @@
+Crash recovery through the durable store.  A session run with
+--no-checkpoint leaves its committed transactions only in the
+write-ahead log: the create is checkpointed immediately (DDL is not
+loggable, so the schema must be durable before records reference it),
+everything after lives as checksummed WAL records.  The final delete
+over-deletes 'alice' (multiplicity 5 against a stored 2): monus
+saturates at zero, so she vanishes and nothing goes negative.
+
+  $ printf "create accounts (owner:str, amount:int);
+  > insert(accounts, rel[(owner:str, amount:int)]{('alice', 10):2, ('bob', 5)});
+  > insert(accounts, rel[(owner:str, amount:int)]{('carol', 8)});
+  > delete(accounts, rel[(owner:str, amount:int)]{('alice', 10):5});
+  > ?accounts;
+  > " > session.xra
+  $ printf "?accounts;\n" > query.xra
+  $ ../../bin/bagdb.exe run --db store --no-checkpoint session.xra
+  +---------+--------+---+
+  | owner   | amount | # |
+  +---------+--------+---+
+  | 'bob'   | 5      | 1 |
+  | 'carol' | 8      | 1 |
+  +---------+--------+---+ (2 tuples, 2 distinct)
+
+The snapshot holds only the empty created relation; each committed
+transaction is a begin/commit-bracketed record whose commit marker
+carries the CRC-32 of the record body:
+
+  $ head -3 store/snapshot.xra
+  -- @crc 5f7b089c
+  -- @time 0
+  create accounts (owner:str, amount:int);
+  $ cat store/wal.xra
+  -- begin 1
+  insert(accounts, rel[(owner:str, amount:int)]{('alice', 10):2, ('bob', 5)})
+  -- commit 1 cdbe8395
+  -- begin 2
+  insert(accounts, rel[(owner:str, amount:int)]{('carol', 8)})
+  -- commit 2 299fcfaa
+  -- begin 3
+  delete(accounts, rel[(owner:str, amount:int)]{('alice', 10):5})
+  -- commit 3 552dc2b2
+
+Reopening the store replays the log: all committed data is back.
+
+  $ ../../bin/bagdb.exe run --db store --no-checkpoint query.xra
+  +---------+--------+---+
+  | owner   | amount | # |
+  +---------+--------+---+
+  | 'bob'   | 5      | 1 |
+  | 'carol' | 8      | 1 |
+  +---------+--------+---+ (2 tuples, 2 distinct)
+
+A crash mid-append leaves a torn record: a begin marker and a partial
+statement, no commit marker.  Recovery must ignore it — and repair the
+log by truncating back to the last valid record boundary:
+
+  $ printf -- '-- begin 99\ninsert(accounts, rel[(owner:str' >> store/wal.xra
+  $ grep -c -- '-- begin' store/wal.xra
+  4
+  $ ../../bin/bagdb.exe run --db store --no-checkpoint query.xra
+  +---------+--------+---+
+  | owner   | amount | # |
+  +---------+--------+---+
+  | 'bob'   | 5      | 1 |
+  | 'carol' | 8      | 1 |
+  +---------+--------+---+ (2 tuples, 2 distinct)
+  $ grep -c -- '-- begin' store/wal.xra
+  3
+
+A normal (checkpointing) run folds the log into the snapshot:
+
+  $ ../../bin/bagdb.exe run --db store query.xra > /dev/null
+  $ wc -c < store/wal.xra
+  0
+  $ grep -c accounts store/snapshot.xra
+  2

@@ -344,6 +344,85 @@ let test_attrs_used () =
   Alcotest.(check (list int)) "shifted" [ 5; 7; 10 ]
     (Scalar.attrs_used (Scalar.shift 3 e))
 
+(* --- delete / monus regressions (Definition 3.1) ------------------------ *)
+
+(* delete(R, E) is R ← R − E with − the monus of Definition 3.1:
+   (R − E)(t) = max(0, R(t) − E(t)).  Pinned here statement-by-statement
+   on the edge cases: empty operands, over-deletion (saturation), exact
+   cancellation, and duplicate-heavy bags — through the reference
+   evaluator and through the planner + executor. *)
+
+let delete_via_exec db stmt =
+  match stmt with
+  | Statement.Delete (name, e) ->
+      let result =
+        Mxra_engine.Exec.run db (Mxra_engine.Planner.plan db e)
+      in
+      Eval.diff (Database.find name db) result
+  | _ -> assert false
+
+let check_delete db stmt expected =
+  let name =
+    match stmt with Statement.Delete (n, _) -> n | _ -> assert false
+  in
+  let after_eval = Database.find name (fst (Statement.exec db stmt)) in
+  check_rel "via Statement/Eval" expected after_eval;
+  check_rel "via Planner/Exec" expected (delete_via_exec db stmt)
+
+let test_delete_monus_edges () =
+  let db = Database.of_relations [ ("r", rel [ (tup 1 1, 3); (tup 2 2, 1) ]) ] in
+  let del bag = Statement.Delete ("r", Expr.const (rel bag)) in
+  check_delete db
+    (del [ (tup 9 9, 5) ])
+    (rel [ (tup 1 1, 3); (tup 2 2, 1) ]);
+  (* absent tuples: no-op *)
+  check_delete db (del []) (rel [ (tup 1 1, 3); (tup 2 2, 1) ]);
+  (* empty E: identity *)
+  check_delete db
+    (del [ (tup 1 1, 7) ])
+    (rel [ (tup 2 2, 1) ]);
+  (* over-deletion saturates at 0, never negative *)
+  check_delete db
+    (del [ (tup 1 1, 3) ])
+    (rel [ (tup 2 2, 1) ]);
+  (* exact cancellation leaves the support *)
+  check_delete db
+    (del [ (tup 1 1, 2) ])
+    (rel [ (tup 1 1, 1); (tup 2 2, 1) ])
+(* partial deletion decrements *)
+
+let test_delete_from_empty () =
+  let db = Database.of_relations [ ("r", rel []) ] in
+  check_delete db
+    (Statement.Delete ("r", Expr.const (rel [ (tup 1 1, 2) ])))
+    (rel []);
+  check_delete db (Statement.Delete ("r", Expr.const (rel []))) (rel [])
+
+let test_delete_self_empties () =
+  (* Duplicate-heavy self-delete: delete(R, R) must empty R exactly,
+     whatever the multiplicities. *)
+  let heavy = rel [ (tup 1 1, 17); (tup 2 2, 1); (tup 3 3, 400) ] in
+  let db = Database.of_relations [ ("r", heavy) ] in
+  check_delete db (Statement.Delete ("r", Expr.rel "r")) (rel []);
+  (* And via a selection of R: only the selected part goes. *)
+  check_delete db
+    (Statement.Delete
+       ("r", Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int 3)) (Expr.rel "r")))
+    (rel [ (tup 1 1, 17); (tup 2 2, 1) ])
+
+let test_zero_multiplicity_literal () =
+  (* Definition 2.1: a multiplicity of 0 denotes absence.  Building a
+     bag from a counted list containing a 0 entry used to raise a bare
+     Invalid_argument; it must simply contribute nothing. *)
+  check_rel "zero multiplicity means absent"
+    (rel [ (tup 1 1, 2) ])
+    (rel [ (tup 1 1, 2); (tup 5 5, 0) ]);
+  Alcotest.(check bool) "absent from support" false
+    (Relation.mem (tup 5 5) (rel [ (tup 5 5, 0) ]));
+  Alcotest.check_raises "negative multiplicity still rejected"
+    (Invalid_argument "Multiset.of_counted: count -1 < 0") (fun () ->
+      ignore (rel [ (tup 1 1, -1) ]))
+
 let suite =
   ( "eval",
     [
@@ -380,4 +459,10 @@ let suite =
       Alcotest.test_case "condition evaluation" `Quick test_pred_eval;
       Alcotest.test_case "condition simplification" `Quick test_pred_simplify;
       Alcotest.test_case "attribute footprints" `Quick test_attrs_used;
+      Alcotest.test_case "delete monus edge cases" `Quick test_delete_monus_edges;
+      Alcotest.test_case "delete from/of empty bags" `Quick test_delete_from_empty;
+      Alcotest.test_case "duplicate-heavy self-delete" `Quick
+        test_delete_self_empties;
+      Alcotest.test_case "zero-multiplicity literal" `Quick
+        test_zero_multiplicity_literal;
     ] )

@@ -18,6 +18,7 @@ let () =
       Test_model.suite;
       Test_workload.suite;
       Test_storage.suite;
+      Test_torture.suite;
       Test_concurrency.suite;
       Test_language.suite;
       Test_obs.suite;

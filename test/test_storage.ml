@@ -110,27 +110,71 @@ let test_aborted_leaves_no_trace () =
   Alcotest.(check bool) "state unchanged after restart" true
     (Database.equal_states sample_db recovered)
 
+(* A WAL record as [Store.append_record] writes it: begin marker,
+   statement lines, commit marker carrying the CRC of everything
+   before it. *)
+let wal_record id stmts =
+  let body =
+    Printf.sprintf "-- begin %d\n" id
+    ^ String.concat ""
+        (List.map (fun s -> Codec.encode_statement s ^ "\n") stmts)
+  in
+  body
+  ^ Printf.sprintf "-- commit %d %s\n" id
+      (Checksum.to_hex (Checksum.string body))
+
+let insert_stmt k v =
+  Statement.Insert ("items", Expr.const (Relation.of_list s_kv [ tup k v ]))
+
 let test_torn_tail_discarded () =
   let dir = fresh_dir () in
   write_snapshot dir sample_db;
   (* A complete record followed by a torn one (no commit marker). *)
   Out_channel.with_open_text (Filename.concat dir "wal.xra") (fun oc ->
       Out_channel.output_string oc
-        ("-- begin 1\n"
-        ^ Codec.encode_statement
-            (Statement.Insert
-               ("items", Expr.const (Relation.of_list s_kv [ tup 7 "ok" ])))
-        ^ "\n-- commit 1\n-- begin 2\n"
-        ^ Codec.encode_statement
-            (Statement.Insert
-               ("items", Expr.const (Relation.of_list s_kv [ tup 8 "torn" ])))
-        ^ "\n"));
+        (wal_record 1 [ insert_stmt 7 "ok" ]
+        ^ Printf.sprintf "-- begin 2\n%s\n"
+            (Codec.encode_statement (insert_stmt 8 "torn"))));
   let recovered = Store.recover_dir dir in
   let items = Database.find "items" recovered in
   Alcotest.(check int) "committed record replayed" 1
     (Relation.multiplicity (tup 7 "ok") items);
   Alcotest.(check int) "torn record discarded" 0
-    (Relation.multiplicity (tup 8 "torn") items)
+    (Relation.multiplicity (tup 8 "torn") items);
+  (* Recovery repairs: the torn tail is truncated off the log, so the
+     next append starts at a record boundary. *)
+  let wal =
+    In_channel.with_open_text (Filename.concat dir "wal.xra")
+      In_channel.input_all
+  in
+  Alcotest.(check string) "log truncated to last valid record"
+    (wal_record 1 [ insert_stmt 7 "ok" ])
+    wal
+
+let test_corrupt_record_discarded () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  (* Record 2 has a present, well-formed commit marker but a flipped
+     byte in its body: the CRC must reject it, and scanning stops — a
+     valid-looking record *after* corruption is unreachable garbage. *)
+  let good = wal_record 1 [ insert_stmt 7 "ok" ] in
+  let bad =
+    let r = wal_record 2 [ insert_stmt 8 "bad" ] in
+    let b = Bytes.of_string r in
+    Bytes.set b 15 (Char.chr (Char.code (Bytes.get b 15) lxor 0x40));
+    Bytes.to_string b
+  in
+  let unreachable = wal_record 3 [ insert_stmt 9 "after" ] in
+  Out_channel.with_open_text (Filename.concat dir "wal.xra") (fun oc ->
+      Out_channel.output_string oc (good ^ bad ^ unreachable));
+  let recovered = Store.recover_dir dir in
+  let items = Database.find "items" recovered in
+  Alcotest.(check int) "good record replayed" 1
+    (Relation.multiplicity (tup 7 "ok") items);
+  Alcotest.(check int) "corrupt record discarded" 0
+    (Relation.multiplicity (tup 8 "bad") items);
+  Alcotest.(check int) "records after corruption discarded" 0
+    (Relation.multiplicity (tup 9 "after") items)
 
 let test_checkpoint_truncates () =
   let dir = fresh_dir () in
@@ -171,15 +215,193 @@ let test_temporaries_replay () =
   Alcotest.(check bool) "no temporary leaked" false
     (Database.mem "stage" recovered)
 
+(* --- codec properties (satellite: qcheck round trip) -------------------- *)
+
+(* Snapshot round trip over random databases: schemas, bags,
+   multiplicities and logical time all survive encode/decode. *)
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"random database snapshot round trip" ~count:60
+    QCheck.small_nat (fun seed ->
+      let rng = Mxra_workload.Rng.make (0x5eed + seed) in
+      let db = Mxra_workload.Gen_expr.database ~rng () in
+      let decoded = Codec.decode_database (Codec.encode_database db) in
+      Database.equal_states db decoded
+      && Database.logical_time db = Database.logical_time decoded)
+
+(* Any byte flipped in a snapshot body is caught by the CRC and
+   surfaces as the typed [Codec.Corrupt] — never as a parse error or a
+   silently different database. *)
+let prop_codec_corruption_rejected =
+  QCheck.Test.make ~name:"corrupted snapshot byte rejected" ~count:60
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, pos_seed) ->
+      let rng = Mxra_workload.Rng.make (0xbad + seed) in
+      let db = Mxra_workload.Gen_expr.database ~rng () in
+      let encoded = Codec.encode_database db in
+      (* Flip a bit strictly after the CRC header line, so the stored
+         checksum stays intact and the body no longer matches it. *)
+      let body_start = String.index encoded '\n' + 1 in
+      let pos =
+        body_start + (pos_seed mod (String.length encoded - body_start))
+      in
+      let corrupted = Bytes.of_string encoded in
+      Bytes.set corrupted pos
+        (Char.chr (Char.code (Bytes.get corrupted pos) lxor 0x20));
+      match Codec.decode_database (Bytes.to_string corrupted) with
+      | _ -> false
+      | exception Codec.Corrupt _ -> true)
+
+let test_snapshot_crc_verified () =
+  let encoded = Codec.encode_database sample_db in
+  Alcotest.(check bool) "crc header present" true
+    (String.length encoded > 7 && String.sub encoded 0 7 = "-- @crc");
+  let db, covered = Codec.decode_snapshot encoded in
+  Alcotest.(check bool) "decodes" true (Database.equal_states sample_db db);
+  Alcotest.(check int) "covers no wal by default" 0 covered;
+  let with_wal = Codec.encode_database ~wal_covered:17 sample_db in
+  Alcotest.(check int) "wal coverage round trips" 17
+    (snd (Codec.decode_snapshot with_wal))
+
+(* --- fault injection (tentpole: Vfs + retry + crash recovery) ----------- *)
+
+let test_memory_vfs_basics () =
+  let vfs = Vfs.memory () in
+  Alcotest.(check bool) "absent file" true (vfs.Vfs.read_file "x" = None);
+  vfs.Vfs.write_file "x" "hello";
+  Alcotest.(check bool) "read back" true (vfs.Vfs.read_file "x" = Some "hello");
+  let h = vfs.Vfs.open_append "x" in
+  h.Vfs.h_write " world";
+  h.Vfs.h_sync ();
+  h.Vfs.h_close ();
+  Alcotest.(check bool) "appended" true
+    (vfs.Vfs.read_file "x" = Some "hello world");
+  vfs.Vfs.truncate "x" 5;
+  Alcotest.(check bool) "truncated" true (vfs.Vfs.read_file "x" = Some "hello");
+  vfs.Vfs.rename "x" "y";
+  Alcotest.(check bool) "renamed away" true (not (vfs.Vfs.exists "x"));
+  Alcotest.(check bool) "renamed to" true (vfs.Vfs.read_file "y" = Some "hello")
+
+let test_crash_loses_unsynced_tail () =
+  (* Synced bytes survive a crash; unsynced bytes may not.  With torn
+     writes off the boundary is exact. *)
+  let inj =
+    Vfs.inject ~seed:7
+      { Vfs.no_faults with Vfs.crash_at = 5; Vfs.torn_writes = false }
+  in
+  (* Syscalls: open 1, write 2, sync 3, write 4, sync 5 = crash. *)
+  let h = inj.Vfs.vfs.Vfs.open_append "f" in
+  h.Vfs.h_write "durable";
+  h.Vfs.h_sync ();
+  h.Vfs.h_write "lost";
+  Alcotest.check_raises "crash raised" Vfs.Crash (fun () -> h.Vfs.h_sync ());
+  Alcotest.(check bool) "crashed" true (inj.Vfs.crashed ());
+  Alcotest.check_raises "dead after crash" Vfs.Crash (fun () ->
+      h.Vfs.h_write "zombie");
+  Alcotest.(check bool) "synced prefix survives, unsynced tail lost" true
+    (inj.Vfs.base.Vfs.read_file "f" = Some "durable")
+
+let test_store_retries_transient_faults () =
+  (* Every fifth write/sync fails with a short write first; the store's
+     truncate-and-retry must hide all of it.  (The cadence must not be
+     3: truncate + reopen + rewrite is itself three syscalls, so a
+     period-3 fault would hit every retry of the same write.) *)
+  let inj = Vfs.inject ~seed:11 { Vfs.no_faults with Vfs.fail_every = 5 } in
+  let store =
+    Store.open_dir ~vfs:inj.Vfs.vfs ~retries:6 ~backoff_ms:0.0 "db"
+  in
+  Store.absorb_batch store [] sample_db;
+  (* The baseline state (with its schemas) becomes durable here; the
+     log records that follow replay on top of it. *)
+  Store.checkpoint store;
+  for k = 20 to 29 do
+    match Store.commit store (insert_txn k "bulk") with
+    | Transaction.Committed _ -> ()
+    | Transaction.Aborted { reason; _ } -> Alcotest.fail reason
+  done;
+  Store.close store;
+  Alcotest.(check bool) "faults were actually injected" true
+    (inj.Vfs.transients () > 0);
+  let recovered = Store.recover_dir ~vfs:inj.Vfs.base "db" in
+  let items = Database.find "items" recovered in
+  for k = 20 to 29 do
+    Alcotest.(check int)
+      (Printf.sprintf "row %d survived retries" k)
+      1
+      (Relation.multiplicity (tup k "bulk") items)
+  done
+
+let test_crash_during_checkpoint () =
+  (* Whatever syscall of the checkpoint sequence (snapshot write,
+     rename, log truncate) the crash lands on, no committed data is
+     lost and nothing is applied twice. *)
+  let committed_state inj =
+    let store = Store.open_dir ~vfs:inj.Vfs.vfs ~backoff_ms:0.0 "db" in
+    Store.absorb_batch store [] sample_db;
+    Store.checkpoint store;
+    ignore (Store.commit store (insert_txn 31 "a"));
+    ignore (Store.commit store (insert_txn 32 "b"));
+    (store, Store.database store)
+  in
+  (* Count the checkpoint's syscalls once, crash-free. *)
+  let inj0 = Vfs.inject Vfs.no_faults in
+  let store0, expected = committed_state inj0 in
+  let before = inj0.Vfs.syscalls () in
+  Store.checkpoint store0;
+  let ckpt_ops = inj0.Vfs.syscalls () - before in
+  Alcotest.(check bool) "checkpoint does several syscalls" true (ckpt_ops >= 3);
+  for k = 1 to ckpt_ops do
+    let inj = Vfs.inject ~seed:(100 + k) Vfs.no_faults in
+    let store, _ = committed_state inj in
+    inj.Vfs.rearm { Vfs.no_faults with Vfs.crash_at = k };
+    (try Store.checkpoint store with Vfs.Crash -> ());
+    let recovered = Store.recover_dir ~vfs:inj.Vfs.base "db" in
+    Alcotest.(check bool)
+      (Printf.sprintf "state intact crashing at checkpoint syscall %d" k)
+      true
+      (Database.equal_states expected recovered)
+  done
+
+let test_crash_during_recovery () =
+  (* Recovery itself writes (truncating a torn tail); crashing there and
+     recovering again must still converge. *)
+  let inj = Vfs.inject ~seed:5 Vfs.no_faults in
+  let store = Store.open_dir ~vfs:inj.Vfs.vfs ~backoff_ms:0.0 "db" in
+  Store.absorb_batch store [] sample_db;
+  Store.checkpoint store;
+  ignore (Store.commit store (insert_txn 41 "keep"));
+  Store.close store;
+  (* Fake a torn tail so the first recovery has a truncate to crash in. *)
+  let h = inj.Vfs.base.Vfs.open_append "db/wal.xra" in
+  h.Vfs.h_write "-- begin 99\ninsert(items, re";
+  h.Vfs.h_sync ();
+  h.Vfs.h_close ();
+  inj.Vfs.rearm ~seed:6 { Vfs.no_faults with Vfs.crash_at = 1 };
+  (try ignore (Store.recover_dir ~vfs:inj.Vfs.vfs "db")
+   with Vfs.Crash -> ());
+  let recovered = Store.recover_dir ~vfs:inj.Vfs.base "db" in
+  Alcotest.(check int) "committed row survives interrupted recovery" 1
+    (Relation.multiplicity (tup 41 "keep") (Database.find "items" recovered))
+
+let qcheck p = QCheck_alcotest.to_alcotest p
+
 let suite =
   ( "storage",
     [
       Alcotest.test_case "codec round trip" `Quick test_codec_roundtrip;
       Alcotest.test_case "codec preserves time" `Quick test_codec_preserves_time;
       Alcotest.test_case "statement codec" `Quick test_codec_statement;
+      Alcotest.test_case "snapshot crc verified" `Quick test_snapshot_crc_verified;
+      qcheck prop_codec_roundtrip;
+      qcheck prop_codec_corruption_rejected;
       Alcotest.test_case "commit and recover" `Quick test_store_commit_and_recover;
       Alcotest.test_case "aborts leave no trace" `Quick test_aborted_leaves_no_trace;
       Alcotest.test_case "torn tail discarded" `Quick test_torn_tail_discarded;
+      Alcotest.test_case "corrupt record discarded" `Quick test_corrupt_record_discarded;
       Alcotest.test_case "checkpoint truncates log" `Quick test_checkpoint_truncates;
       Alcotest.test_case "temporaries replay" `Quick test_temporaries_replay;
+      Alcotest.test_case "memory vfs basics" `Quick test_memory_vfs_basics;
+      Alcotest.test_case "crash loses unsynced tail" `Quick test_crash_loses_unsynced_tail;
+      Alcotest.test_case "store retries transient faults" `Quick test_store_retries_transient_faults;
+      Alcotest.test_case "crash during checkpoint" `Quick test_crash_during_checkpoint;
+      Alcotest.test_case "crash during recovery" `Quick test_crash_during_recovery;
     ] )

@@ -1,0 +1,94 @@
+(* Crash-recovery torture: the prefix-consistency oracle over the
+   fault-injecting VFS.  Tier-1 runs a bounded sweep (every crash point
+   of a small workload, plus a sampled sweep of a larger one); CI runs
+   the bigger fixed-seed sweep through `bagdb torture`. *)
+
+open Mxra_storage
+
+let check_ok name cfg =
+  match Torture.run cfg with
+  | Ok r ->
+      Alcotest.(check bool)
+        (name ^ ": crash points exercised")
+        true (r.Torture.crashes > 0);
+      Alcotest.(check int)
+        (name ^ ": every crash recovered")
+        r.Torture.crashes r.Torture.recoveries
+  | Error f ->
+      Alcotest.fail
+        (Printf.sprintf "%s: crash point %d (seed %d): %s" name
+           f.Torture.crash_point f.Torture.fail_seed f.Torture.detail)
+
+(* Every reachable crash point of a small workload — exhaustive, the
+   strongest statement the suite makes. *)
+let test_exhaustive_small () =
+  check_ok "exhaustive"
+    {
+      Torture.default with
+      Torture.txns = 25;
+      Torture.checkpoint_every = 6;
+      Torture.crash_points = 0;
+    }
+
+(* A larger workload, sampled: checkpoints, retries and long replays. *)
+let test_sampled_larger () =
+  check_ok "sampled"
+    {
+      Torture.default with
+      Torture.txns = 120;
+      Torture.checkpoint_every = 20;
+      Torture.crash_points = 60;
+    }
+
+(* Checkpoint-free: recovery is pure log replay from the baseline. *)
+let test_no_checkpoints () =
+  check_ok "no checkpoints"
+    {
+      Torture.default with
+      Torture.txns = 20;
+      Torture.checkpoint_every = 0;
+      Torture.crash_points = 0;
+    }
+
+(* Different seeds shift the workload, the crash alignment and the torn
+   tails; a couple of extras guard against a lucky default. *)
+let test_other_seeds () =
+  List.iter
+    (fun seed ->
+      check_ok
+        (Printf.sprintf "seed %d" seed)
+        {
+          Torture.default with
+          Torture.txns = 15;
+          Torture.seed = seed;
+          Torture.checkpoint_every = 4;
+        })
+    [ 1; 1994 ]
+
+(* The transient-fault sweep alone, at a cadence that hammers the retry
+   path hard (but stays off the retry cycle's own period, see
+   test_storage). *)
+let test_transients_only () =
+  match
+    Torture.run
+      {
+        Torture.default with
+        Torture.txns = 40;
+        Torture.crash_points = 1;
+        Torture.fail_every = 5;
+      }
+  with
+  | Ok r ->
+      Alcotest.(check bool) "transient faults injected and absorbed" true
+        (r.Torture.transients > 0)
+  | Error f -> Alcotest.fail f.Torture.detail
+
+let suite =
+  ( "torture",
+    [
+      Alcotest.test_case "exhaustive small sweep" `Quick test_exhaustive_small;
+      Alcotest.test_case "sampled larger sweep" `Quick test_sampled_larger;
+      Alcotest.test_case "no checkpoints" `Quick test_no_checkpoints;
+      Alcotest.test_case "other seeds" `Quick test_other_seeds;
+      Alcotest.test_case "transients only" `Quick test_transients_only;
+    ] )

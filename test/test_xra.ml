@@ -96,6 +96,18 @@ let test_parse_literal_relation () =
       Alcotest.(check int) "cardinal" 3 (Relation.cardinal r)
   | _ -> Alcotest.fail "expected a literal relation"
 
+let test_parse_zero_multiplicity () =
+  (* Definition 2.1: multiplicity 0 denotes absence.  A `:0` entry in a
+     literal must parse and contribute nothing (it used to crash with an
+     uncaught Invalid_argument). *)
+  match parse "rel[(a:int)]{(1):2, (5):0}" with
+  | Expr.Const r ->
+      Alcotest.(check int) "present tuple kept" 2
+        (Relation.multiplicity (Tuple.of_list [ Value.Int 1 ]) r);
+      Alcotest.(check bool) "zero-multiplicity tuple absent" false
+        (Relation.mem (Tuple.of_list [ Value.Int 5 ]) r)
+  | _ -> Alcotest.fail "expected a literal relation"
+
 let test_parse_errors () =
   let fails src =
     match parse src with
@@ -220,6 +232,8 @@ let suite =
       Alcotest.test_case "operators" `Quick test_parse_operators;
       Alcotest.test_case "scalars and conditions" `Quick test_parse_scalars_preds;
       Alcotest.test_case "literal relations" `Quick test_parse_literal_relation;
+      Alcotest.test_case "zero-multiplicity literal" `Quick
+        test_parse_zero_multiplicity;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
       Alcotest.test_case "statements" `Quick test_parse_statements;
       Alcotest.test_case "programs and scripts" `Quick test_parse_program_and_script;
