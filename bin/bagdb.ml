@@ -72,6 +72,13 @@ let merge_totals master src =
     (Mxra_engine.Metrics.dump src)
 
 let run_query ctx ~lang db e =
+  (* Every query gets a process-unique id, carried as ambient trace
+     context: the query span, every operator span and every Exchange
+     lane span of this statement end up stamped with the same
+     query_id, so one grep correlates the JSONL query log, the Chrome
+     trace and EXPLAIN ANALYZE output. *)
+  let qid = Obs.Qid.mint () in
+  Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
   Trace.with_span "query"
     ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str (Expr.to_string e)) ]
     (fun () ->
@@ -111,18 +118,26 @@ let exec_statement ctx db stmt =
       run_query ctx ~lang:"xra" db e;
       db
   | Statement.Insert _ | Statement.Delete _ | Statement.Update _
-  | Statement.Assign _ -> (
-      let txn = Transaction.make [ stmt ] in
-      let outcome =
-        match ctx.store with
-        | Some s -> Store.commit s txn
-        | None -> Transaction.run db txn
-      in
-      match outcome with
-      | Transaction.Committed { state; _ } -> state
-      | Transaction.Aborted { state; reason } ->
-          Format.eprintf "aborted: %s@." reason;
-          state)
+  | Statement.Assign _ ->
+      (* Data statements get the same treatment as queries: a minted
+         query_id on a "statement" span (hence the JSONL log), and the
+         same id stamped into the WAL record's begin/commit markers. *)
+      let qid = Obs.Qid.mint () in
+      Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
+      Trace.with_span "statement"
+        ~attrs:[ ("text", Trace.Str (Statement.to_string stmt)) ]
+        (fun () ->
+          let txn = Transaction.make [ stmt ] in
+          let outcome =
+            match ctx.store with
+            | Some s -> Store.commit ~qid s txn
+            | None -> Transaction.run db txn
+          in
+          match outcome with
+          | Transaction.Committed { state; _ } -> state
+          | Transaction.Aborted { state; reason } ->
+              Format.eprintf "aborted: %s@." reason;
+              state)
 
 (* A create is not a loggable statement, so a durable run makes it
    durable the only way the log format allows: install the new state
@@ -162,7 +177,12 @@ let scheduler_batch ctx db programs =
   Option.iter
     (fun s ->
       let arr = Array.of_list txns in
+      let qarr = Array.of_list r.Scheduler.query_ids in
+      (* qids follow the transactions through commit-order reordering,
+         so each WAL record carries the id of the transaction whose
+         statements it holds. *)
       Store.absorb_batch s
+        ~qids:(List.map (Array.get qarr) r.Scheduler.commit_order)
         (List.map (Array.get arr) r.Scheduler.commit_order)
         r.Scheduler.final)
     ctx.store;
@@ -193,7 +213,7 @@ let run_xra ctx db path =
     | Xra.Parser.Cmd_create (name, schema) :: rest ->
         go (apply_create ctx db name schema) rest
   in
-  ignore (go db (Xra.Parser.script_of_string source))
+  go db (Xra.Parser.script_of_string source)
 
 let run_sql ctx db path =
   let source = In_channel.with_open_text path In_channel.input_all in
@@ -205,7 +225,7 @@ let run_sql ctx db path =
     | Sql.Translate.Statement stmt -> exec_statement ctx db stmt
     | Sql.Translate.Create (name, schema) -> apply_create ctx db name schema
   in
-  ignore (List.fold_left step db (Sql.Sql_parser.parse_script source))
+  List.fold_left step db (Sql.Sql_parser.parse_script source)
 
 let explain ~analyze ~jobs db src =
   let e = Xra.Parser.expr_of_string src in
@@ -229,9 +249,16 @@ let explain ~analyze ~jobs db src =
   | Some before, Some after ->
       Format.printf "realized:   %d -> %d tuples moved@." before after
   | _ -> ());
-  if analyze then
-    Format.printf "explain analyze:@.%a@." Mxra_engine.Exec.pp_analysis
-      (Mxra_engine.Exec.explain_analyze ~jobs db optimized)
+  if analyze then begin
+    (* The instrumented run's operator spans carry this id through the
+       ambient context — the same key a served query would put in the
+       query log and the WAL. *)
+    let qid = Obs.Qid.mint () in
+    Format.printf "query id:   %s@." qid;
+    Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] (fun () ->
+        Format.printf "explain analyze:@.%a@." Mxra_engine.Exec.pp_analysis
+          (Mxra_engine.Exec.explain_analyze ~jobs db optimized))
+  end
   else
     Format.printf "physical:@.%s@."
       (Mxra_engine.Exec.explain ~jobs db optimized)
@@ -351,6 +378,8 @@ let guarded f =
       Format.eprintf "relation exists: %s@." name; 1
   | exception Sys_error msg ->
       Format.eprintf "i/o error: %s@." msg; 1
+  | exception Unix.Unix_error (e, fn, _) ->
+      Format.eprintf "%s: %s@." fn (Unix.error_message e); 1
 
 let script_cmd name ~doc runner =
   let action beer gen retail stats no_opt trace qlog slow db_dir no_ckpt seed
@@ -370,7 +399,7 @@ let script_cmd name ~doc runner =
                     totals = None;
                   }
                 in
-                runner ctx db path)))
+                ignore (runner ctx db path))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
@@ -401,7 +430,7 @@ let metrics_cmd =
           if Filename.check_suffix path ".sql" then run_sql else run_xra
         in
         with_tracing ~trace:None ~query_log:None ~slow_ms:0.0 ~agg (fun () ->
-            runner ctx (preload beer gen retail) path);
+            ignore (runner ctx (preload beer gen retail) path));
         print_string (Obs.Prometheus.of_aggregate agg);
         print_string (Mxra_engine.Metrics.prometheus totals))
   in
@@ -519,10 +548,206 @@ let torture_cmd =
       const action $ txns $ seed $ crash_points $ checkpoint_every
       $ fail_every $ no_continue $ failure_file)
 
+(* --- live telemetry: bagdb serve / bagdb top --------------------------- *)
+
+(* [bagdb serve]: run an optional script, then keep serving live
+   telemetry over HTTP — /metrics (Prometheus), /healthz, /statz (raw
+   time series as JSON), /topz (the table bagdb top renders) and
+   /quitz (clean remote shutdown, so scripted runs never hang).  A
+   background sampler feeds a ring-buffer store from probes owned by
+   each layer: GC, the domain pool, the 2PL scheduler, the WAL and the
+   live relation cardinalities. *)
+let serve_cmd =
+  let action beer gen retail no_opt trace qlog slow db_dir no_ckpt seed jobs
+      port port_file interval_ms duration_ms script =
+    guarded (fun () ->
+        let agg = Obs.Agg_sink.create () in
+        with_tracing ~trace ~query_log:qlog ~slow_ms:slow ~agg (fun () ->
+            with_store ~checkpoint:(not no_ckpt) db_dir
+              (preload beer gen retail) (fun store db ->
+                let ctx =
+                  {
+                    optimize = not no_opt;
+                    stats = false;
+                    quiet = false;
+                    seed;
+                    jobs = set_jobs jobs;
+                    store;
+                    totals = None;
+                  }
+                in
+                let db_ref = ref db in
+                let rel_probe () =
+                  let db = !db_ref in
+                  List.map
+                    (fun n ->
+                      ( "rel." ^ n,
+                        float_of_int (Relation.cardinal (Database.find n db))
+                      ))
+                    (Database.persistent_names db)
+                in
+                let probes =
+                  [
+                    Obs.Sampler.gc_probe;
+                    Obs.Sampler.uptime_probe;
+                    Mxra_ext.Pool.telemetry;
+                    Scheduler.telemetry;
+                    rel_probe;
+                  ]
+                  @ (match store with
+                    | Some s -> [ Store.telemetry s ]
+                    | None -> [])
+                in
+                let sampler =
+                  Obs.Sampler.start ~interval_ms:(float_of_int interval_ms)
+                    ~probes ()
+                in
+                let ts = Obs.Sampler.store sampler in
+                let quit = Atomic.make false in
+                let handler path =
+                  match path with
+                  | "/metrics" ->
+                      Some
+                        (Obs.Http_server.text
+                           (Obs.Prometheus.of_aggregate agg
+                           ^ Obs.Timeseries.to_prometheus ts))
+                  | "/healthz" -> Some (Obs.Http_server.text "ok\n")
+                  | "/statz" ->
+                      Some (Obs.Http_server.json (Obs.Timeseries.to_json ts))
+                  | "/topz" ->
+                      Some (Obs.Http_server.text (Obs.Timeseries.render_top ts))
+                  | "/quitz" ->
+                      Atomic.set quit true;
+                      Some (Obs.Http_server.text "bye\n")
+                  | _ -> None
+                in
+                let server = Obs.Http_server.start ~port handler in
+                Format.eprintf "-- serving telemetry on 127.0.0.1:%d@."
+                  (Obs.Http_server.port server);
+                Option.iter
+                  (fun pf ->
+                    Out_channel.with_open_text pf (fun oc ->
+                        Printf.fprintf oc "%d\n" (Obs.Http_server.port server)))
+                  port_file;
+                Fun.protect
+                  ~finally:(fun () ->
+                    Obs.Http_server.stop server;
+                    Obs.Sampler.stop sampler)
+                  (fun () ->
+                    (match script with
+                    | Some path ->
+                        let runner =
+                          if Filename.check_suffix path ".sql" then run_sql
+                          else run_xra
+                        in
+                        db_ref := runner ctx !db_ref path
+                    | None -> ());
+                    (* Make sure the series reflect the script's final
+                       state even if no interval tick has fired yet. *)
+                    Obs.Sampler.sample_now sampler;
+                    let deadline =
+                      if duration_ms <= 0 then Float.infinity
+                      else
+                        Unix.gettimeofday ()
+                        +. (float_of_int duration_ms /. 1000.0)
+                    in
+                    while
+                      (not (Atomic.get quit))
+                      && Unix.gettimeofday () < deadline
+                    do
+                      Unix.sleepf 0.05
+                    done))))
+  in
+  let port =
+    Arg.(value & opt int 9090
+         & info [ "port" ] ~doc:"Listen port; 0 picks a free one (see --port-file)." ~docv:"PORT")
+  and port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ]
+             ~doc:"Write the actually bound port to $(docv) once listening — \
+                   the handshake for scripts using --port 0." ~docv:"FILE")
+  and interval_ms =
+    Arg.(value & opt int 1000
+         & info [ "interval-ms" ] ~doc:"Resource sampling interval." ~docv:"MS")
+  and duration_ms =
+    Arg.(value & opt int 0
+         & info [ "duration-ms" ]
+             ~doc:"Stop after $(docv) milliseconds; 0 serves until /quitz or \
+                   interrupt." ~docv:"MS")
+  and script =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run an optional script, then serve live telemetry over HTTP: \
+          /metrics (Prometheus), /healthz, /statz (JSON time series), /topz \
+          and /quitz.")
+    Term.(
+      const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
+      $ trace_flag $ query_log_flag $ slow_flag $ db_flag $ no_checkpoint_flag
+      $ seed_flag $ jobs_flag $ port $ port_file $ interval_ms $ duration_ms
+      $ script)
+
+(* [bagdb top]: the client side — fetch /topz from a running serve and
+   render it, refreshing until interrupted; --once prints a single
+   frame for scripts, --statz dumps the raw JSON, --quit asks the
+   server to shut down. *)
+let top_cmd =
+  let action host port once statz quit interval_ms =
+    guarded (fun () ->
+        if quit then ignore (Obs.Http_server.get ~host ~port "/quitz")
+        else if statz then
+          let _, body = Obs.Http_server.get ~host ~port "/statz" in
+          print_string body
+        else if once then
+          let _, body = Obs.Http_server.get ~host ~port "/topz" in
+          print_string body
+        else
+          let rec loop () =
+            let _, body = Obs.Http_server.get ~host ~port "/topz" in
+            (* Clear screen, home cursor, redraw. *)
+            print_string "\027[2J\027[H";
+            print_string body;
+            flush stdout;
+            Unix.sleepf (float_of_int (max 50 interval_ms) /. 1000.0);
+            loop ()
+          in
+          loop ())
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~doc:"Server to poll." ~docv:"HOST")
+  and port =
+    Arg.(value & opt int 9090 & info [ "port" ] ~doc:"Server port." ~docv:"PORT")
+  and once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print one frame and exit (for scripts).")
+  and statz =
+    Arg.(value & flag
+         & info [ "statz" ] ~doc:"Dump the raw /statz JSON instead of the table.")
+  and quit =
+    Arg.(value & flag
+         & info [ "quit" ] ~doc:"Ask the server to shut down (/quitz) and exit.")
+  and interval_ms =
+    Arg.(value & opt int 1000
+         & info [ "interval-ms" ] ~doc:"Refresh interval." ~docv:"MS")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch a running $(b,bagdb serve): fetch its /topz table and \
+          refresh in place.")
+    Term.(
+      const action $ host $ port $ once $ statz $ quit $ interval_ms)
+
 let () =
   let doc = "a multi-set extended relational algebra database (ICDE 1994)" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bagdb" ~doc)
-          [ run_cmd; sql_cmd; explain_cmd; metrics_cmd; torture_cmd ]))
+          [
+            run_cmd; sql_cmd; explain_cmd; metrics_cmd; torture_cmd; serve_cmd;
+            top_cmd;
+          ]))

@@ -1,6 +1,24 @@
 open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
+module Qid = Mxra_obs.Qid
+
+(* Process-lifetime counters for the resource sampler: cheap atomics,
+   summed across every batch this process has run. *)
+let total_steps = Atomic.make 0
+let total_blocks = Atomic.make 0
+let total_deadlocks = Atomic.make 0
+let total_commits = Atomic.make 0
+let total_batches = Atomic.make 0
+
+let telemetry () =
+  [
+    ("sched.steps", float_of_int (Atomic.get total_steps));
+    ("sched.blocks", float_of_int (Atomic.get total_blocks));
+    ("sched.deadlocks", float_of_int (Atomic.get total_deadlocks));
+    ("sched.commits", float_of_int (Atomic.get total_commits));
+    ("sched.batches", float_of_int (Atomic.get total_batches));
+  ]
 
 type outcome =
   | Committed
@@ -17,6 +35,7 @@ type result = {
   outcomes : outcome list;
   commit_order : int list;
   outputs : Relation.t list list;
+  query_ids : string list;
   stats : stats;
 }
 
@@ -43,6 +62,7 @@ type txn_status =
 type txn_exec = {
   txn : Transaction.t;
   index : int;
+  qid : string;  (* minted per transaction; the correlation key *)
   mutable remaining : Statement.t list;
   mutable temps : (string * Relation.t) list;
   mutable held : (string * lock_mode) list;
@@ -208,7 +228,9 @@ let undo sched t =
 
 let finish sched t outcome =
   (match outcome with
-  | Committed -> sched.commits <- t.index :: sched.commits
+  | Committed ->
+      sched.commits <- t.index :: sched.commits;
+      Atomic.incr total_commits
   | Aborted _ ->
       undo sched t;
       (* Atomicity extends to the user channel: an aborted transaction
@@ -223,6 +245,7 @@ let finish sched t outcome =
       ~attrs:
         [
           ("name", Trace.Str t.txn.Transaction.name);
+          (Qid.attr_key, Trace.Str t.qid);
           ( "outcome",
             Trace.Str
               (match outcome with
@@ -258,6 +281,7 @@ let step sched t =
       | (want_name, want_mode) :: _ ->
           sched.n_blocks <- sched.n_blocks + 1;
           t.n_blocks <- t.n_blocks + 1;
+          Atomic.incr total_blocks;
           Trace.event "lock.wait" ~tid:t.index
             ~attrs:
               [
@@ -271,15 +295,32 @@ let step sched t =
           t.status <- Blocked (want_name, want_mode);
           if wait_for_cycle sched [] t.index then begin
             sched.n_deadlocks <- sched.n_deadlocks + 1;
+            Atomic.incr total_deadlocks;
             Trace.event "lock.deadlock" ~tid:t.index
               ~attrs:[ ("relation", Trace.Str want_name) ];
             finish sched t (Aborted "deadlock victim")
           end
       | [] -> (
           sched.n_steps <- sched.n_steps + 1;
+          Atomic.incr total_steps;
           backup_before_write sched t stmt;
+          let stmt_start =
+            if Trace.enabled () then Trace.now_us () else Float.nan
+          in
           match Statement.exec (view_of sched t) stmt with
           | view', output ->
+              (* A per-statement span carrying the transaction's
+                 query_id: the link between the JSONL query log and the
+                 WAL records stamped with the same id at commit. *)
+              if Trace.enabled () then
+                Trace.complete "statement" ~tid:t.index ~start_us:stmt_start
+                  ~dur_us:(Trace.now_us () -. stmt_start)
+                  ~attrs:
+                    [
+                      ("txn", Trace.Str t.txn.Transaction.name);
+                      ("text", Trace.Str (Statement.to_string stmt));
+                      (Qid.attr_key, Trace.Str t.qid);
+                    ];
               (match output with
               | Some r -> t.outputs <- r :: t.outputs
               | None -> ());
@@ -302,6 +343,7 @@ let step sched t =
 
 let run ~seed db txns =
   let rng = Mxra_workload.Rng.make seed in
+  Atomic.incr total_batches;
   let sched =
     {
       shared = db;
@@ -313,6 +355,7 @@ let run ~seed db txns =
                {
                  txn;
                  index;
+                 qid = Qid.mint ();
                  remaining = txn.Transaction.body;
                  temps = [];
                  held = [];
@@ -356,6 +399,7 @@ let run ~seed db txns =
         | [] -> ()
         | victim :: _ ->
             sched.n_deadlocks <- sched.n_deadlocks + 1;
+            Atomic.incr total_deadlocks;
             Trace.event "lock.deadlock" ~tid:victim.index;
             finish sched victim (Aborted "deadlock victim");
             loop ())
@@ -390,6 +434,7 @@ let run ~seed db txns =
     commit_order = List.rev sched.commits;
     outputs =
       Array.to_list sched.txns |> List.map (fun t -> List.rev t.outputs);
+    query_ids = Array.to_list sched.txns |> List.map (fun t -> t.qid);
     stats =
       {
         steps = sched.n_steps;

@@ -47,6 +47,11 @@ type result = {
           statement order; [[]] for aborted transactions — atomicity
           extends to the user channel.  What the CLI prints after a
           batch. *)
+  query_ids : string list;
+      (** Per input transaction, in input order: the query id minted at
+          batch start ({!Mxra_obs.Qid}).  The same id is stamped on the
+          transaction's trace spans and, by the CLI, into the WAL's
+          begin/commit markers — the end-to-end correlation key. *)
   stats : stats;
 }
 
@@ -58,3 +63,8 @@ val equivalent_serial : Database.t -> Transaction.t list -> result -> bool
 (** Check the 2PL guarantee: replaying the committed transactions
     serially in [commit_order] from the same initial state yields a
     state equal to [final]. *)
+
+val telemetry : unit -> (string * float) list
+(** Sampler probe over process-lifetime counters: [sched.steps],
+    [sched.blocks], [sched.deadlocks], [sched.commits] and
+    [sched.batches], summed across every batch run so far. *)

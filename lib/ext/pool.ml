@@ -8,6 +8,9 @@ type t = {
   work_ready : Condition.t;
   mutable domains : unit Domain.t array;
   mutable closed : bool;
+  (* Telemetry counters, read lock-free by the resource sampler. *)
+  busy : int Atomic.t;
+  n_maps : int Atomic.t;
 }
 
 (* Workers block on [work_ready] until a job is queued or the pool
@@ -46,6 +49,8 @@ let create n =
       work_ready = Condition.create ();
       domains = [||];
       closed = false;
+      busy = Atomic.make 0;
+      n_maps = Atomic.make 0;
     }
   in
   pool.domains <-
@@ -85,7 +90,12 @@ let mapi_array ?chunk pool f arr =
        next morsel off the shared cursor, process it, repeat.  After a
        failure the remaining morsels are claimed but skipped, so
        [remaining] still reaches zero and nobody deadlocks. *)
+    Atomic.incr pool.n_maps;
     let run_morsels () =
+      Atomic.incr pool.busy;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr pool.busy)
+      @@ fun () ->
       let rec loop () =
         let lo = Atomic.fetch_and_add cursor chunk in
         if lo < n then begin
@@ -133,6 +143,19 @@ let mapi_array ?chunk pool f arr =
 
 let map_array ?chunk pool f arr = mapi_array ?chunk pool (fun _ x -> f x) arr
 
+type stats = { s_lanes : int; s_queued : int; s_busy : int; s_maps : int }
+
+(* Racy single-field reads by design: the sampler wants a cheap glance,
+   not a consistent snapshot, and none of these reads can tear.  The
+   queue length is a plain mutable int inside [Queue.t]. *)
+let stats pool =
+  {
+    s_lanes = pool.lanes;
+    s_queued = Queue.length pool.queue;
+    s_busy = Atomic.get pool.busy;
+    s_maps = Atomic.get pool.n_maps;
+  }
+
 (* --- the process-wide pool --------------------------------------------- *)
 
 let configured = ref 1
@@ -149,6 +172,26 @@ let global () =
       let pool = create !configured in
       installed := Some pool;
       pool
+
+(* Probe for the resource sampler: observes the installed pool without
+   ever creating one — a telemetry read must not spawn domains. *)
+let telemetry () =
+  match !installed with
+  | None ->
+      [
+        ("pool.lanes", float_of_int !configured);
+        ("pool.queued", 0.0);
+        ("pool.busy", 0.0);
+        ("pool.maps", 0.0);
+      ]
+  | Some pool ->
+      let s = stats pool in
+      [
+        ("pool.lanes", float_of_int s.s_lanes);
+        ("pool.queued", float_of_int s.s_queued);
+        ("pool.busy", float_of_int s.s_busy);
+        ("pool.maps", float_of_int s.s_maps);
+      ]
 
 let () =
   at_exit (fun () ->

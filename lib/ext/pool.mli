@@ -71,3 +71,22 @@ val default_size : unit -> int
 val global : unit -> t
 (** The process-wide pool at the current default size.  Not
     thread-safe: call from the main domain, between queries. *)
+
+(** {1 Telemetry} *)
+
+type stats = {
+  s_lanes : int;  (** compute lanes, including the caller's *)
+  s_queued : int;  (** jobs waiting in the work queue right now *)
+  s_busy : int;  (** lanes currently running morsels *)
+  s_maps : int;  (** {!map_array} calls since the pool was created *)
+}
+
+val stats : t -> stats
+(** A cheap, deliberately racy glance at the pool — single-field reads
+    only, safe from any domain, no lock taken. *)
+
+val telemetry : unit -> (string * float) list
+(** Sampler probe over the {e installed} global pool: series
+    [pool.lanes], [pool.queued], [pool.busy] and [pool.maps].  Never
+    creates the pool — if none is installed yet it reports the
+    configured lane count and zeros. *)

@@ -1,56 +1,82 @@
+(* All mutation and all reads go through one mutex: spans arrive from
+   whichever domain emits them (per-worker Exchange lane spans are
+   emitted concurrently when a sink is installed during parallel
+   execution), and the telemetry HTTP server reads the aggregate from
+   its own domain while queries are still running.  A Hashtbl resize
+   under concurrent access is a crash, not just a torn read, so the
+   lock is not optional.  Readers get copies ({!Histogram.copy}) so
+   rendering never races further accumulation. *)
+
 type t = {
+  lock : Mutex.t;
   spans : (string, Histogram.t) Hashtbl.t;
   attrs : (string * string, float ref) Hashtbl.t;
   events : (string, int ref) Hashtbl.t;
 }
 
 let create () =
-  { spans = Hashtbl.create 32; attrs = Hashtbl.create 32; events = Hashtbl.create 8 }
+  {
+    lock = Mutex.create ();
+    spans = Hashtbl.create 32;
+    attrs = Hashtbl.create 32;
+    events = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let sink t =
   {
     Trace.on_span =
       (fun s ->
-        let h =
-          match Hashtbl.find_opt t.spans s.Trace.name with
-          | Some h -> h
-          | None ->
-              let h = Histogram.create () in
-              Hashtbl.add t.spans s.Trace.name h;
-              h
-        in
-        Histogram.observe h (s.Trace.dur_us /. 1000.0);
-        List.iter
-          (fun (k, v) ->
-            let add x =
-              let key = (s.Trace.name, k) in
-              match Hashtbl.find_opt t.attrs key with
-              | Some r -> r := !r +. x
-              | None -> Hashtbl.add t.attrs key (ref x)
+        locked t (fun () ->
+            let h =
+              match Hashtbl.find_opt t.spans s.Trace.name with
+              | Some h -> h
+              | None ->
+                  let h = Histogram.create () in
+                  Hashtbl.add t.spans s.Trace.name h;
+                  h
             in
-            match v with
-            | Trace.Int i -> add (float_of_int i)
-            | Trace.Float f -> add f
-            | Trace.Str _ | Trace.Bool _ -> ())
-          s.Trace.attrs);
+            Histogram.observe h (s.Trace.dur_us /. 1000.0);
+            List.iter
+              (fun (k, v) ->
+                let add x =
+                  let key = (s.Trace.name, k) in
+                  match Hashtbl.find_opt t.attrs key with
+                  | Some r -> r := !r +. x
+                  | None -> Hashtbl.add t.attrs key (ref x)
+                in
+                match v with
+                | Trace.Int i -> add (float_of_int i)
+                | Trace.Float f -> add f
+                | Trace.Str _ | Trace.Bool _ -> ())
+              s.Trace.attrs));
     on_event =
       (fun e ->
-        match Hashtbl.find_opt t.events e.Trace.ev_name with
-        | Some r -> incr r
-        | None -> Hashtbl.add t.events e.Trace.ev_name (ref 1));
+        locked t (fun () ->
+            match Hashtbl.find_opt t.events e.Trace.ev_name with
+            | Some r -> incr r
+            | None -> Hashtbl.add t.events e.Trace.ev_name (ref 1)));
     on_close = (fun () -> ());
   }
 
 let span_names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.spans []
-  |> List.sort String.compare
+  locked t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.spans []
+      |> List.sort String.compare)
 
-let durations t name = Hashtbl.find_opt t.spans name
+let durations t name =
+  locked t (fun () ->
+      Option.map Histogram.copy (Hashtbl.find_opt t.spans name))
 
 let attr_totals t =
-  Hashtbl.fold (fun (s, k) r acc -> (s, k, !r) :: acc) t.attrs []
-  |> List.sort compare
+  locked t (fun () ->
+      Hashtbl.fold (fun (s, k) r acc -> (s, k, !r) :: acc) t.attrs []
+      |> List.sort compare)
 
 let event_counts t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.events []
-  |> List.sort compare
+  locked t (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.events []
+      |> List.sort compare)

@@ -6,7 +6,13 @@
     Prometheus text export.  Aggregation keys are span names, which is
     why instrumented layers use stable names (["parse"], ["optimize"],
     ["HashJoin"], ["store.commit"]) and push variable detail into
-    attributes. *)
+    attributes.
+
+    The sink is {e domain-safe}: every mutation and every read takes an
+    internal mutex, so spans may arrive concurrently from worker
+    domains while a telemetry endpoint renders the aggregate from yet
+    another.  Readers receive {!Histogram.copy} snapshots, never live
+    accumulators. *)
 
 type t
 
@@ -17,7 +23,8 @@ val span_names : t -> string list
 (** Names seen so far, sorted. *)
 
 val durations : t -> string -> Histogram.t option
-(** Latency histogram (milliseconds) of that span name. *)
+(** A snapshot of the latency histogram (milliseconds) of that span
+    name; independent of further accumulation. *)
 
 val attr_totals : t -> (string * string * float) list
 (** [(span, attr, total)] sums of numeric span attributes, sorted;

@@ -57,6 +57,36 @@ let observe t v =
       | None -> Hashtbl.add t.table i (ref 1)
   end
 
+(* Merge [src] into [dst]: counts, sums and bucket tallies add, extrema
+   combine — the result is indistinguishable from having observed both
+   streams into one histogram.  This is what lets per-domain shards be
+   folded into one distribution. *)
+let merge dst src =
+  if src.count > 0 then begin
+    if dst.count = 0 then begin
+      dst.vmin <- src.vmin;
+      dst.vmax <- src.vmax
+    end
+    else begin
+      if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+      if src.vmax > dst.vmax then dst.vmax <- src.vmax
+    end;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum +. src.sum;
+    dst.under <- dst.under + src.under;
+    Hashtbl.iter
+      (fun i r ->
+        match Hashtbl.find_opt dst.table i with
+        | Some d -> d := !d + !r
+        | None -> Hashtbl.add dst.table i (ref !r))
+      src.table
+  end
+
+let copy t =
+  let c = create () in
+  merge c t;
+  c
+
 let count t = t.count
 let sum t = t.sum
 let min_value t = t.vmin

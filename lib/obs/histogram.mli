@@ -42,4 +42,13 @@ val buckets : t -> (float * int) list
     underflow bucket reports its upper bound.  Counts sum to
     {!count} — conservation is exact. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counts, sums and bucket
+    tallies add, extrema combine — equivalent to having observed both
+    streams into one histogram.  [src] is unchanged.  This is the
+    combine step for per-domain histogram shards. *)
+
+val copy : t -> t
+(** An independent snapshot; the original can keep accumulating. *)
+
 val clear : t -> unit

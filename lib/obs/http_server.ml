@@ -1,0 +1,214 @@
+(* A deliberately small HTTP/1.0 server over raw Unix sockets: one
+   listening socket, one accept loop on a dedicated systhread, one
+   request per connection, [Connection: close].  That is all a scrape
+   endpoint needs — Prometheus, curl and `bagdb top` all speak it — and
+   it keeps the telemetry path free of external dependencies.
+
+   A systhread, not a domain, for the same reason as {!Sampler}: an
+   extra domain turns every minor collection into a stop-the-world
+   handshake, taxing the very queries the endpoint is meant to observe.
+   The thread spends its life blocked in [Unix.select] (a blocking
+   section, so the query thread runs unimpeded) and wakes only to
+   answer a scrape.
+
+   The accept loop polls with [Unix.select] at a short timeout instead
+   of blocking, so [stop] (an atomic flag) is observed promptly and
+   portably; handler exceptions become 500s, not crashes.  Handlers run
+   on the server thread concurrently with query work, so everything
+   they touch must be thread-safe — which the Agg_sink and Timeseries
+   stores are by construction (they are mutex-guarded for domain
+   safety, which covers systhreads too). *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+type handler = string -> response option
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  running : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  let payload = head ^ body in
+  let n = String.length payload in
+  let rec write_all off =
+    if off < n then
+      let k = Unix.write_substring fd payload off (n - off) in
+      write_all (off + k)
+  in
+  write_all 0
+
+(* Read until the blank line ending the request head (we never accept
+   bodies), bounded so a hostile peer cannot grow the buffer forever. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 16_384 then Buffer.contents buf
+    else
+      let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if k = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 k;
+        let s = Buffer.contents buf in
+        let rec has_end i =
+          if i + 3 >= String.length s then false
+          else if
+            s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+          then true
+          else has_end (i + 1)
+        in
+        if has_end 0 then s else go ()
+      end
+  in
+  go ()
+
+(* "GET /metrics HTTP/1.1" -> (meth, path); query strings stripped. *)
+let parse_request_line head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some eol -> (
+      let line = String.trim (String.sub head 0 eol) in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ ->
+          let path =
+            match String.index_opt target '?' with
+            | Some q -> String.sub target 0 q
+            | None -> target
+          in
+          Some (meth, path)
+      | _ -> None)
+
+let serve_connection handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match parse_request_line (read_head fd) with
+      | None -> write_response fd (text ~status:405 "bad request\n")
+      | Some (meth, path) ->
+          let response =
+            if meth <> "GET" then text ~status:405 "GET only\n"
+            else
+              match handler path with
+              | Some r -> r
+              | None -> text ~status:404 "not found\n"
+              | exception e ->
+                  text ~status:500 (Printexc.to_string e ^ "\n")
+          in
+          write_response fd response)
+
+let accept_loop t handler =
+  while Atomic.get t.running do
+    match Unix.select [ t.sock ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.sock with
+        | fd, _ -> (
+            try serve_connection handler fd
+            with Unix.Unix_error _ | Sys_error _ -> ())
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  done;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ())
+
+let start ?(host = "127.0.0.1") ~port handler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind sock addr
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 16;
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    { sock; port = bound_port; running = Atomic.make true; thread = None }
+  in
+  t.thread <- Some (Thread.create (fun () -> accept_loop t handler) ());
+  t
+
+let port t = t.port
+
+let stop t =
+  if Atomic.exchange t.running false then
+    match t.thread with
+    | Some th ->
+        t.thread <- None;
+        Thread.join th
+    | None -> ()
+
+(* --- a matching client --------------------------------------------------
+   `bagdb top` and the tests need to fetch one page; a GET over the same
+   dialect the server speaks keeps both ends dependency-free. *)
+
+let get ?(host = "127.0.0.1") ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let request =
+        Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host
+      in
+      let n = String.length request in
+      let rec write_all off =
+        if off < n then
+          let k = Unix.write_substring sock request off (n - off) in
+          write_all (off + k)
+      in
+      write_all 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec read_all () =
+        let k = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if k > 0 then begin
+          Buffer.add_subbytes buf chunk 0 k;
+          read_all ()
+        end
+      in
+      read_all ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
+        | _ -> 0
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if
+            raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+            && raw.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      (status, body))

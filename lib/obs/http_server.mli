@@ -1,0 +1,39 @@
+(** The telemetry scrape endpoint: a minimal HTTP/1.0 server over raw
+    [Unix] sockets on a dedicated systhread — no external dependencies.
+
+    One request per connection, GET only, [Connection: close]: exactly
+    the dialect Prometheus scrapers, [curl] and [bagdb top] speak.
+    Handlers run on the server thread and must therefore only touch
+    thread-safe state ({!Agg_sink}, {!Timeseries}, atomics); a handler
+    that raises produces a 500 response, never a crash. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** [text/plain; charset=utf-8]; status defaults to 200. *)
+
+val json : ?status:int -> string -> response
+(** [application/json]; status defaults to 200. *)
+
+type handler = string -> response option
+(** Route a request path (query string already stripped) to a response;
+    [None] is a 404. *)
+
+type t
+
+val start : ?host:string -> port:int -> handler -> t
+(** Bind (default host 127.0.0.1; port 0 picks an ephemeral port),
+    listen, and serve on a spawned systhread.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port — the answer when [start] was given 0. *)
+
+val stop : t -> unit
+(** Stop the accept loop, close the socket and join the thread;
+    idempotent.  In-flight requests finish first. *)
+
+val get : ?host:string -> port:int -> string -> int * string
+(** A matching one-shot client: [GET path], returning
+    [(status, body)].  Used by [bagdb top] and the tests.
+    @raise Unix.Unix_error if the server cannot be reached. *)

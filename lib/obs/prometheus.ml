@@ -47,6 +47,28 @@ let summary ?help name h =
     (Printf.sprintf "%s_count %d\n" name (Histogram.count h));
   Buffer.contents buf
 
+let histogram ?help name h =
+  let name = sanitize name in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (header ?help name "histogram");
+  (* Prometheus buckets are cumulative: each [le] sample counts every
+     observation at or below that bound, and the mandatory [+Inf]
+     bucket equals the total count. *)
+  let cum = ref 0 in
+  List.iter
+    (fun (ub, n) ->
+      cum := !cum + n;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (number ub) !cum))
+    (Histogram.buckets h);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name (Histogram.count h));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (number (Histogram.sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name (Histogram.count h));
+  Buffer.contents buf
+
 let of_aggregate ?(prefix = "mxra_") agg =
   let buf = Buffer.create 1024 in
   List.iter

@@ -19,6 +19,12 @@ val summary : ?help:string -> string -> Histogram.t -> string
 (** Quantile samples 0.5, 0.9, 0.99 (omitted when the histogram is
     empty), then [_sum] and [_count]. *)
 
+val histogram : ?help:string -> string -> Histogram.t -> string
+(** The same {!Histogram} as a Prometheus [histogram] family:
+    cumulative [_bucket{le="..."}] samples in ascending bound order,
+    always terminated by the mandatory [le="+Inf"] bucket (equal to
+    [_count]), then [_sum] and [_count]. *)
+
 val of_aggregate : ?prefix:string -> Agg_sink.t -> string
 (** The whole aggregated span stream: a [<prefix><span>_ms] summary
     per span name, a [<prefix><span>_<attr>_total] counter per numeric

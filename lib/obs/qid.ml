@@ -1,0 +1,14 @@
+(* Process-unique query identifiers.  A plain atomic counter: ids are
+   deterministic within a run ("q000001", "q000002", ...), which is what
+   lets cram tests pin them, and unique across domains, which is what
+   the scheduler needs when minting under interleaving. *)
+
+let counter = Atomic.make 0
+
+let mint () = Printf.sprintf "q%06d" (Atomic.fetch_and_add counter 1 + 1)
+
+let attr_key = "query_id"
+
+let minted () = Atomic.get counter
+
+let reset () = Atomic.set counter 0

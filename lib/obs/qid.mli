@@ -1,0 +1,22 @@
+(** End-to-end query identifiers.
+
+    A [query_id] is minted once per top-level statement (CLI) or per
+    transaction (scheduler) and then follows the work everywhere it
+    goes: as the {!attr_key} attribute on every span emitted under
+    {!Trace.with_context}, in the JSONL query log, in EXPLAIN ANALYZE
+    output, and stamped into the WAL's [-- begin]/[-- commit] records —
+    so one grep correlates a slow query with its transaction, its
+    per-operator actuals and its durability cost. *)
+
+val mint : unit -> string
+(** The next id: ["q000001"], ["q000002"], ... — deterministic within a
+    process, unique across domains (atomic counter). *)
+
+val attr_key : string
+(** ["query_id"] — the span-attribute and WAL-field name. *)
+
+val minted : unit -> int
+(** How many ids have been minted so far. *)
+
+val reset : unit -> unit
+(** Restart the counter (tests only). *)

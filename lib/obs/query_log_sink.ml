@@ -6,12 +6,12 @@ let rfc3339 t =
     tm.Unix.tm_sec
     (int_of_float (frac *. 1000.0))
 
-let sink ?(span_name = "query") ?(slow_ms = 0.0) oc =
+let sink ?(span_names = [ "query"; "statement" ]) ?(slow_ms = 0.0) oc =
   {
     Trace.on_span =
       (fun s ->
         let ms = s.Trace.dur_us /. 1000.0 in
-        if s.Trace.name = span_name && ms >= slow_ms then begin
+        if List.mem s.Trace.name span_names && ms >= slow_ms then begin
           let buf = Buffer.create 128 in
           Buffer.add_string buf
             (Printf.sprintf "{\"ts\":\"%s\",\"span\":\"%s\",\"ms\":%.3f"

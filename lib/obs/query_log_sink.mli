@@ -1,18 +1,23 @@
 (** Structured query log: one JSONL record per watched span.
 
-    The sink ignores everything except spans named [span_name]
-    (default ["query"]) whose duration is at least [slow_ms]
-    milliseconds; with the default threshold of [0.] every query is
-    logged.  Each record is a single line:
+    The sink ignores everything except spans whose name is listed in
+    [span_names] (default [["query"; "statement"]] — interactive
+    queries plus scheduler-executed statements) and whose duration is
+    at least [slow_ms] milliseconds; with the default threshold of
+    [0.] every watched span is logged.  Each record is a single line:
 
     {v
       {"ts":"2026-08-06T12:00:00.123Z","span":"query","ms":1.942,
-       "lang":"xra","text":"project[%1](beer)","rows":3}
+       "lang":"xra","text":"project[%1](beer)","rows":3,
+       "query_id":"q000001"}
     v}
 
     [ts] is the wall-clock end of the span in UTC (RFC 3339); [ms] the
     measured duration; the remaining fields are the span's attributes
-    in insertion order.  A line is flushed as it is written, so a
-    crashing process loses at most the record being formatted. *)
+    in insertion order — including the ambient [query_id] stamped by
+    {!Trace.with_context}, which is the join key against the WAL's
+    commit records and EXPLAIN ANALYZE span attributes.  A line is
+    flushed as it is written, so a crashing process loses at most the
+    record being formatted. *)
 
-val sink : ?span_name:string -> ?slow_ms:float -> out_channel -> Trace.sink
+val sink : ?span_names:string list -> ?slow_ms:float -> out_channel -> Trace.sink

@@ -1,0 +1,102 @@
+(* The sampler is one background systhread running a fixed-cadence
+   loop: call every probe, push the results into the {!Timeseries}
+   store with one shared timestamp, sleep, repeat.  Probes are closures
+   supplied by the layers that own the state (the domain pool, the
+   scheduler, the store, the CLI's live database view) so this module
+   depends on nothing above lib/obs.  A probe that raises is skipped
+   for that round — telemetry must never take the server down.
+
+   A systhread, deliberately not a domain: a second domain — even one
+   asleep in a blocking section — makes every minor collection a
+   stop-the-world handshake, which costs double-digit percent on
+   allocation-heavy queries when the machine has few cores (E14
+   measures this).  A thread inside the main domain adds no STW
+   participant; it runs whenever the query thread blocks or yields,
+   which on a 100 ms cadence is all the punctuality sampling needs.
+
+   Sleeping happens in short slices so [stop] returns promptly even at
+   multi-second intervals. *)
+
+type probe = unit -> (string * float) list
+
+type t = {
+  store : Timeseries.t;
+  probes : probe list;
+  interval_ms : float;
+  running : bool Atomic.t;
+  rounds : int Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let take_sample t =
+  let now = Unix.gettimeofday () in
+  let samples =
+    List.concat_map
+      (fun probe -> match probe () with s -> s | exception _ -> [])
+      t.probes
+  in
+  Timeseries.record t.store ~t_s:now samples;
+  Atomic.incr t.rounds
+
+let sample_now = take_sample
+
+let loop t =
+  let slice_s = Float.min 0.05 (t.interval_ms /. 1000.0) in
+  let rec sleep_until deadline =
+    if Atomic.get t.running then begin
+      let now = Unix.gettimeofday () in
+      if now < deadline then begin
+        Unix.sleepf (Float.min slice_s (deadline -. now));
+        sleep_until deadline
+      end
+    end
+  in
+  while Atomic.get t.running do
+    take_sample t;
+    sleep_until (Unix.gettimeofday () +. (t.interval_ms /. 1000.0))
+  done
+
+let start ?(interval_ms = 1000.0) ?capacity ~probes () =
+  let t =
+    {
+      store = Timeseries.create ?capacity ();
+      probes;
+      interval_ms = Float.max 1.0 interval_ms;
+      running = Atomic.make true;
+      rounds = Atomic.make 0;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create loop t);
+  t
+
+let store t = t.store
+let rounds t = Atomic.get t.rounds
+
+let stop t =
+  if Atomic.exchange t.running false then
+    match t.thread with
+    | Some th ->
+        t.thread <- None;
+        Thread.join th
+    | None -> ()
+
+(* --- built-in probes ---------------------------------------------------- *)
+
+(* GC pressure from [Gc.quick_stat] — the cheap counters only, no heap
+   walk.  Words are reported as-is (floats); collections as counts. *)
+let gc_probe () =
+  let s = Gc.quick_stat () in
+  [
+    ("gc.minor_words", s.Gc.minor_words);
+    ("gc.promoted_words", s.Gc.promoted_words);
+    ("gc.major_words", s.Gc.major_words);
+    ("gc.minor_collections", float_of_int s.Gc.minor_collections);
+    ("gc.major_collections", float_of_int s.Gc.major_collections);
+    ("gc.heap_words", float_of_int s.Gc.heap_words);
+    ("gc.top_heap_words", float_of_int s.Gc.top_heap_words);
+  ]
+
+let uptime_epoch = Unix.gettimeofday ()
+
+let uptime_probe () = [ ("process.uptime_s", Unix.gettimeofday () -. uptime_epoch) ]

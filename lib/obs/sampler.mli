@@ -1,0 +1,49 @@
+(** The background resource sampler.
+
+    One systhread on a fixed cadence: call every {e probe}, push the
+    results into a {!Timeseries} store under one shared timestamp,
+    sleep, repeat.  A thread rather than a domain on purpose — an extra
+    domain makes every minor collection a stop-the-world handshake,
+    which E14 measures at double-digit percent on allocation-heavy
+    queries when cores are scarce; a systhread adds no STW participant.
+    Probes are closures supplied by the layers that own the state — GC
+    counters here, domain-pool utilisation from
+    [Mxra_ext.Pool.telemetry], scheduler lock counters from
+    [Mxra_concurrency.Scheduler.telemetry], WAL figures from
+    [Mxra_storage.Store.telemetry], live relation cardinalities from
+    the CLI — so lib/obs stays at the bottom of the dependency order.
+
+    A probe that raises is skipped for that round; telemetry never
+    takes the process down. *)
+
+type probe = unit -> (string * float) list
+(** One sampling source: a list of [(series, value)] pairs. *)
+
+type t
+
+val start : ?interval_ms:float -> ?capacity:int -> probes:probe list -> unit -> t
+(** Start the sampler thread.  [interval_ms] (default 1000, clamped to
+    [>= 1]) is the cadence; [capacity] the per-series ring size (see
+    {!Timeseries.create}).  The first sample is taken immediately. *)
+
+val store : t -> Timeseries.t
+(** The live store the sampler writes into; safe to read concurrently. *)
+
+val rounds : t -> int
+(** Sampling rounds completed so far. *)
+
+val sample_now : t -> unit
+(** Take one synchronous sample on the calling thread — used by
+    [--once] paths and tests that cannot wait a full interval. *)
+
+val stop : t -> unit
+(** Stop and join the sampler thread; idempotent.  Returns within one
+    sleep slice (≤ 50 ms). *)
+
+val gc_probe : probe
+(** [Gc.quick_stat] counters: [gc.minor_words], [gc.promoted_words],
+    [gc.major_words], [gc.minor_collections], [gc.major_collections],
+    [gc.heap_words], [gc.top_heap_words]. *)
+
+val uptime_probe : probe
+(** [process.uptime_s] since this module was loaded. *)

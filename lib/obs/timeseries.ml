@@ -1,0 +1,152 @@
+(* A fixed-capacity ring per named series: two parallel float arrays
+   (timestamps and values), a write cursor and a fill count.  Appending
+   is O(1) and never allocates after the ring fills, which is what lets
+   the sampler run forever without growing the heap; reads copy the
+   window out oldest-first.  One mutex guards the whole store — the
+   writer is the sampler domain, readers are the HTTP server domain and
+   `bagdb top`, and the critical sections are a few array slots. *)
+
+type series = {
+  mutable ts : float array;
+  mutable vs : float array;
+  mutable head : int;  (* next write position *)
+  mutable filled : int;  (* live points, <= capacity *)
+}
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  table : (string, series) Hashtbl.t;
+}
+
+let create ?(capacity = 600) () =
+  {
+    capacity = max 1 capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create 32;
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_series t name =
+  match Hashtbl.find_opt t.table name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          ts = Array.make t.capacity 0.0;
+          vs = Array.make t.capacity 0.0;
+          head = 0;
+          filled = 0;
+        }
+      in
+      Hashtbl.add t.table name s;
+      s
+
+let record t ~t_s samples =
+  locked t (fun () ->
+      List.iter
+        (fun (name, v) ->
+          let s = find_series t name in
+          s.ts.(s.head) <- t_s;
+          s.vs.(s.head) <- v;
+          s.head <- (s.head + 1) mod t.capacity;
+          if s.filled < t.capacity then s.filled <- s.filled + 1)
+        samples)
+
+let names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+      |> List.sort String.compare)
+
+(* Oldest-first copy of the last [n] points (all, by default). *)
+let window ?n t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | None -> [||]
+      | Some s ->
+          let keep =
+            match n with Some n -> min (max 0 n) s.filled | None -> s.filled
+          in
+          Array.init keep (fun i ->
+              let idx =
+                (s.head - keep + i + (2 * t.capacity)) mod t.capacity
+              in
+              (s.ts.(idx), s.vs.(idx))))
+
+let latest t name =
+  match window ~n:1 t name with
+  | [| p |] -> Some p
+  | _ -> None
+
+let latest_all t =
+  List.filter_map
+    (fun name -> Option.map (fun (_, v) -> (name, v)) (latest t name))
+    (names t)
+
+(* --- rendered views ----------------------------------------------------- *)
+
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+(* {"series":{"name":[[t,v],...],...}} — the /statz payload.  Shapes are
+   flat enough for the shared Buffer-based emission (see Json). *)
+let to_json ?n t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"series\":{";
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf ("\"" ^ Json.escape name ^ "\":[");
+      Array.iteri
+        (fun j (ts, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "[%.3f,%s]" ts
+               (if Float.is_finite v then number v else "null")))
+        (window ?n t name);
+      Buffer.add_char buf ']')
+    (names t);
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf
+
+(* The `bagdb top` table: one row per series over the retained window —
+   last value, window mean, min, max, and the point count. *)
+let render_top t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-28s %12s %12s %12s %12s %6s\n" "series" "last" "mean" "min" "max"
+    "points";
+  List.iter
+    (fun name ->
+      let w = window t name in
+      if Array.length w > 0 then begin
+        let vs = Array.map snd w in
+        let n = Array.length vs in
+        let sum = Array.fold_left ( +. ) 0.0 vs in
+        let mn = Array.fold_left Float.min Float.infinity vs in
+        let mx = Array.fold_left Float.max Float.neg_infinity vs in
+        add "%-28s %12s %12s %12s %12s %6d\n" name
+          (number vs.(n - 1))
+          (number (sum /. float_of_int n))
+          (number mn) (number mx) n
+      end)
+    (names t);
+  Buffer.contents buf
+
+(* Prometheus gauges: the latest point of every series, name sanitised. *)
+let to_prometheus ?(prefix = "mxra_") t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Prometheus.gauge
+           ~help:("latest sampled value of " ^ name)
+           (prefix ^ name) v))
+    (latest_all t);
+  Buffer.contents buf

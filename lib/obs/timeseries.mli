@@ -1,0 +1,44 @@
+(** A ring-buffer time-series store for live telemetry.
+
+    Each named series keeps the last [capacity] points (default 600 —
+    ten minutes at a one-second sampling interval) in a fixed ring:
+    appending is O(1) and allocation-free once the ring fills, so the
+    resource sampler can feed it forever.  A single mutex guards the
+    store; the writer is the {!Sampler} domain and the readers are the
+    {!Http_server} domain ([/statz], [/topz], [/metrics] gauges) and
+    tests.  Reads hand back copies, never live arrays. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is per series, clamped to [>= 1]; default 600. *)
+
+val capacity : t -> int
+
+val record : t -> t_s:float -> (string * float) list -> unit
+(** Append one point per named series, all at timestamp [t_s] (seconds,
+    caller's clock).  Unknown series are created on first use. *)
+
+val names : t -> string list
+(** Series seen so far, sorted. *)
+
+val window : ?n:int -> t -> string -> (float * float) array
+(** The retained [(time, value)] points of a series, oldest first —
+    the last [n] of them if given.  [[||]] for an unknown series. *)
+
+val latest : t -> string -> (float * float) option
+(** The newest point of a series. *)
+
+val latest_all : t -> (string * float) list
+(** The newest value of every series, sorted by name. *)
+
+val to_json : ?n:int -> t -> string
+(** [{"series":{"name":[[t,v],...],...}}] — the [/statz] payload. *)
+
+val render_top : t -> string
+(** The [bagdb top] table: per series, the last value and the window's
+    mean, min, max and point count. *)
+
+val to_prometheus : ?prefix:string -> t -> string
+(** The newest value of every series as a Prometheus gauge family
+    ([<prefix><sanitised name>]).  [prefix] defaults to ["mxra_"]. *)

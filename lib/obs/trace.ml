@@ -38,15 +38,34 @@ let close () =
 let epoch = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
 
+(* Ambient context: attributes appended to every span and event emitted
+   while the context is open.  Maintained even when tracing is disabled
+   (the cost is one list swap per context, not per span) so non-sink
+   consumers — the store stamping a query id into its WAL records — can
+   read it unconditionally. *)
+let ctx : (string * value) list ref = ref []
+
+let context () = !ctx
+let context_find key = List.assoc_opt key !ctx
+
+let with_context attrs f =
+  let saved = !ctx in
+  ctx := saved @ attrs;
+  Fun.protect ~finally:(fun () -> ctx := saved) f
+
+let stamp attrs = match !ctx with [] -> attrs | c -> attrs @ c
+
 let emit_span s = List.iter (fun k -> k.on_span s) !installed
 let emit_event e = List.iter (fun k -> k.on_event e) !installed
 
 let complete ?(tid = 0) ?(attrs = []) name ~start_us ~dur_us =
-  if enabled () then emit_span { name; tid; start_us; dur_us; attrs }
+  if enabled () then
+    emit_span { name; tid; start_us; dur_us; attrs = stamp attrs }
 
 let event ?(tid = 0) ?(attrs = []) name =
   if enabled () then
-    emit_event { ev_name = name; ev_tid = tid; ts_us = now_us (); ev_attrs = attrs }
+    emit_event
+      { ev_name = name; ev_tid = tid; ts_us = now_us (); ev_attrs = stamp attrs }
 
 (* Open-span stack for [add_attr]; attributes are kept reversed and
    flipped once at emission. *)
@@ -80,7 +99,7 @@ let with_span ?(tid = 0) ?(attrs = []) name f =
             tid = frame.f_tid;
             start_us = frame.f_start;
             dur_us = now_us () -. frame.f_start;
-            attrs = List.rev frame.f_attrs;
+            attrs = stamp (List.rev frame.f_attrs);
           })
       f
   end

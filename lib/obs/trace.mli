@@ -79,3 +79,24 @@ val complete :
 
 val event : ?tid:int -> ?attrs:(string * value) list -> string -> unit
 (** Emit an instant event (lock waits, deadlock aborts). *)
+
+(** {1 Ambient context}
+
+    Trace-context propagation: attributes appended to {e every} span
+    and event emitted while the context is open, which is how a
+    [query_id] minted at the top of a statement reaches the operator
+    spans, Exchange lane spans and storage spans underneath it without
+    threading an argument through every layer.  The context is
+    maintained even when tracing is disabled, so non-sink consumers
+    (the store stamping a query id into WAL records) can always read
+    it. *)
+
+val with_context : (string * value) list -> (unit -> 'a) -> 'a
+(** Append [attrs] to the ambient context for the duration of the
+    thunk; contexts nest and are restored on exception. *)
+
+val context : unit -> (string * value) list
+(** The current ambient context, outermost first. *)
+
+val context_find : string -> value option
+(** Look up one ambient attribute by key. *)

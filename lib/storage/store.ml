@@ -16,16 +16,28 @@ type t = {
       (* last record id ever issued; monotonic across checkpoints so a
          snapshot can name the records it covers *)
   mutable in_log : int;  (* records currently in the log *)
+  mutable wal_bytes : int;  (* bytes appended since the last checkpoint *)
+  mutable n_commits : int;  (* records ever appended by this handle *)
+  mutable last_checkpoint : float;  (* wall clock of open or checkpoint *)
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.xra"
 let wal_path dir = Filename.concat dir "wal.xra"
 
-let begin_marker n = Printf.sprintf "-- begin %d" n
+(* Markers optionally carry the query id minted for the transaction
+   ([-- begin 7 q000003]); the id is ignored by replay but greppable, so
+   a WAL record, the JSONL query log line and the trace spans of one
+   statement all share a key.  Old logs without ids still parse. *)
+let begin_marker ?qid n =
+  match qid with
+  | None -> Printf.sprintf "-- begin %d" n
+  | Some q -> Printf.sprintf "-- begin %d %s" n q
+
 let commit_prefix = "-- commit "
 
-let commit_marker n crc =
-  Printf.sprintf "%s%d %s" commit_prefix n (Checksum.to_hex crc)
+let commit_marker ?qid n crc =
+  let base = Printf.sprintf "%s%d %s" commit_prefix n (Checksum.to_hex crc) in
+  match qid with None -> base | Some q -> base ^ " " ^ q
 
 (* --- WAL record encoding ------------------------------------------------ *)
 
@@ -40,9 +52,9 @@ let loggable = function
    The CRC is what recovery trusts — a record whose commit marker is
    present but whose body was torn or bit-flipped is as dead as one
    with no commit marker at all. *)
-let encode_record id body =
+let encode_record ?qid id body =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (begin_marker id);
+  Buffer.add_string buf (begin_marker ?qid id);
   Buffer.add_char buf '\n';
   List.iter
     (fun stmt ->
@@ -52,7 +64,7 @@ let encode_record id body =
       end)
     body;
   let crc = Checksum.string (Buffer.contents buf) in
-  Buffer.add_string buf (commit_marker id crc);
+  Buffer.add_string buf (commit_marker ?qid id crc);
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
@@ -79,8 +91,10 @@ let parse_commit line =
   match parse_marker commit_prefix line with
   | None -> None
   | Some rest -> (
+      (* [id crc] or [id crc qid] — the query id is correlation
+         metadata, irrelevant to validity. *)
       match String.split_on_char ' ' (String.trim rest) with
-      | [ id; crc ] -> (
+      | [ id; crc ] | [ id; crc; _ ] -> (
           match (int_of_string_opt id, Checksum.of_hex crc) with
           | Some id, Some crc -> Some (id, crc)
           | _ -> None)
@@ -116,7 +130,13 @@ let replay_log db ~after source =
       | None -> (
           match parse_marker "-- begin " line with
           | Some id_s when eol < len -> (
-              match int_of_string_opt (String.trim id_s) with
+              (* [N] or [N qid]; only the id matters for replay. *)
+              let id_token =
+                match String.split_on_char ' ' (String.trim id_s) with
+                | tok :: _ -> tok
+                | [] -> ""
+              in
+              match int_of_string_opt id_token with
               | Some id -> scan acc (Some (id, pos, [])) next
               | None -> acc (* corrupt begin marker: stop *))
           | Some _ -> acc (* begin line not newline-terminated: torn *)
@@ -204,6 +224,9 @@ let open_dir ?(vfs = Vfs.real) ?(retries = 4) ?(backoff_ms = 1.0) dir =
     good_len = r.r_good_len;
     next_id = max covered r.r_last_id;
     in_log = r.r_records;
+    wal_bytes = r.r_good_len;
+    n_commits = 0;
+    last_checkpoint = Unix.gettimeofday ();
   }
 
 let database t = t.db
@@ -240,17 +263,19 @@ let append_durable t payload =
         attempt (k + 1)
   in
   attempt 0;
-  t.good_len <- t.good_len + String.length payload
+  t.good_len <- t.good_len + String.length payload;
+  t.wal_bytes <- t.good_len
 
-let append_record t body =
+let append_record ?qid t body =
   let id = t.next_id + 1 in
-  let payload = encode_record id body in
+  let payload = encode_record ?qid id body in
   append_durable t payload;
   t.next_id <- id;
   t.in_log <- t.in_log + 1;
+  t.n_commits <- t.n_commits + 1;
   String.length payload
 
-let commit t txn =
+let commit ?qid t txn =
   Trace.with_span "store.commit"
     ~attrs:[ ("txn", Trace.Str txn.Transaction.name) ]
     (fun () ->
@@ -258,7 +283,7 @@ let commit t txn =
       (match outcome with
       | Transaction.Committed { state; _ } ->
           (* The record is durable before the commit is acknowledged. *)
-          let bytes = append_record t txn.Transaction.body in
+          let bytes = append_record ?qid t txn.Transaction.body in
           Trace.add_attr "wal_bytes" (Trace.Int bytes);
           t.db <- state
       | Transaction.Aborted { reason; state } ->
@@ -266,7 +291,7 @@ let commit t txn =
           t.db <- state);
       outcome)
 
-let absorb_batch t txns state =
+let absorb_batch ?(qids = []) t txns state =
   Trace.with_span "store.absorb"
     ~attrs:[ ("txns", Trace.Int (List.length txns)) ]
     (fun () ->
@@ -275,12 +300,14 @@ let absorb_batch t txns state =
       List.iteri
         (fun i txn ->
           Buffer.add_string buf
-            (encode_record (t.next_id + i + 1) txn.Transaction.body))
+            (encode_record ?qid:(List.nth_opt qids i) (t.next_id + i + 1)
+               txn.Transaction.body))
         txns;
       let payload = Buffer.contents buf in
       if String.length payload > 0 then append_durable t payload;
       t.next_id <- t.next_id + List.length txns;
       t.in_log <- t.in_log + List.length txns;
+      t.n_commits <- t.n_commits + List.length txns;
       Trace.add_attr "wal_bytes" (Trace.Int (String.length payload));
       t.db <- state)
 
@@ -298,7 +325,22 @@ let checkpoint t =
       t.vfs.Vfs.truncate (wal_path t.dir) 0;
       t.log <- t.vfs.Vfs.open_append (wal_path t.dir);
       t.good_len <- 0;
-      t.in_log <- 0)
+      t.in_log <- 0;
+      t.wal_bytes <- 0;
+      t.last_checkpoint <- Unix.gettimeofday ())
 
 let close t = t.log.Vfs.h_close ()
 let log_records t = t.in_log
+
+(* Probe for the resource sampler.  Plain mutable-field reads: the
+   store is driven from the main domain while the sampler glances from
+   its own, and none of these reads can tear or crash — stale values
+   are acceptable for telemetry. *)
+let telemetry t () =
+  [
+    ("store.wal_bytes", float_of_int t.wal_bytes);
+    ("store.wal_records", float_of_int t.in_log);
+    ("store.commits", float_of_int t.n_commits);
+    ( "store.since_checkpoint_s",
+      Unix.gettimeofday () -. t.last_checkpoint );
+  ]

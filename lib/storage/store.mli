@@ -53,14 +53,20 @@ val open_dir : ?vfs:Vfs.t -> ?retries:int -> ?backoff_ms:float -> string -> t
 val database : t -> Database.t
 (** The current state (after recovery and any commits so far). *)
 
-val commit : t -> Mxra_core.Transaction.t -> Mxra_core.Transaction.outcome
+val commit :
+  ?qid:string -> t -> Mxra_core.Transaction.t -> Mxra_core.Transaction.outcome
 (** Run a transaction against the current state; if it commits, append
     its record to the log (synced) before returning.  Aborted
-    transactions leave no trace in the log.
+    transactions leave no trace in the log.  [qid] (a
+    {!Mxra_obs.Qid}-minted query id) is stamped into the record's
+    begin/commit markers — [-- begin N q000042] — so the WAL entry is
+    greppable by the same key as the statement's trace spans and JSONL
+    query-log line; replay ignores it.
     @raise Vfs.Injected when the transient-fault retry budget is
     exhausted; the log is left truncated at its last valid boundary. *)
 
-val absorb_batch : t -> Mxra_core.Transaction.t list -> Database.t -> unit
+val absorb_batch :
+  ?qids:string list -> t -> Mxra_core.Transaction.t list -> Database.t -> unit
 (** Make an {e externally executed} batch durable: append one log
     record per transaction and install [state] as the current state,
     with a single sync for the whole batch.  The transactions must be
@@ -68,7 +74,9 @@ val absorb_batch : t -> Mxra_core.Transaction.t list -> Database.t -> unit
     the batch's final state — exactly what
     {!Mxra_concurrency.Scheduler.run} hands back; replaying the records
     serially re-creates [state] because strict 2PL makes the schedule
-    conflict-equivalent to that serial order. *)
+    conflict-equivalent to that serial order.  [qids], when given,
+    pairs with [txns] positionally (commit order) and stamps each
+    record's markers like {!commit}'s [qid]. *)
 
 val checkpoint : t -> unit
 (** Write the current state as the new snapshot and truncate the log.
@@ -89,3 +97,9 @@ val recover_dir : ?vfs:Vfs.t -> string -> Database.t
 (** Recovery alone: what [open_dir] would reconstruct, without keeping
     the store open.  A torn log tail is truncated as a side effect —
     recovery repairs.  Used by crash tests to inspect a "dead" store. *)
+
+val telemetry : t -> unit -> (string * float) list
+(** Sampler probe over this store: [store.wal_bytes] (log bytes since
+    the last checkpoint), [store.wal_records], [store.commits]
+    (records appended by this handle) and [store.since_checkpoint_s].
+    Safe to call from the sampler domain — plain reads, no lock. *)

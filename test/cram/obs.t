@@ -97,6 +97,13 @@ deterministic.
   mxra_scheduler_batch_ms{quantile="0.99"} <ms>
   mxra_scheduler_batch_ms_sum <ms>
   mxra_scheduler_batch_ms_count 1
+  # HELP mxra_statement_ms latency of 'statement' spans
+  # TYPE mxra_statement_ms summary
+  mxra_statement_ms{quantile="0.5"} <ms>
+  mxra_statement_ms{quantile="0.9"} <ms>
+  mxra_statement_ms{quantile="0.99"} <ms>
+  mxra_statement_ms_sum <ms>
+  mxra_statement_ms_count 4
   # HELP mxra_txn_ms latency of 'txn' spans
   # TYPE mxra_txn_ms summary
   mxra_txn_ms{quantile="0.5"} <ms>
@@ -228,6 +235,7 @@ the scheduler batch and its transactions.
   2 "name":"plan"
   2 "name":"query"
   1 "name":"scheduler.batch"
+  4 "name":"statement"
   1 "name":"txn"
   1 "name":"txn-1"
 
@@ -235,8 +243,12 @@ The query log is one JSONL record per query span; timestamps and
 durations are scrubbed, text and row counts are pinned.
 
   $ sed -E 's/"ts":"[^"]*"/"ts":"<ts>"/; s/"ms":[0-9.]+/"ms":<ms>/' queries.jsonl
-  {"ts":"<ts>","span":"query","ms":<ms>,"lang":"xra","text":"project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))","rows":3}
-  {"ts":"<ts>","span":"query","ms":<ms>,"lang":"xra","text":"groupby[%6; AVG(%3)](join[%2 = %4](beer, brewery))","rows":2}
+  {"ts":"<ts>","span":"statement","ms":<ms>,"text":"insert(beer,\nconst(4 tuples))","query_id":"q000001"}
+  {"ts":"<ts>","span":"statement","ms":<ms>,"text":"insert(brewery,\nconst(3 tuples))","query_id":"q000002"}
+  {"ts":"<ts>","span":"query","ms":<ms>,"lang":"xra","text":"project[%1](select[%6 = 'NL'](join[%2 = %4](beer, brewery)))","rows":3,"query_id":"q000003"}
+  {"ts":"<ts>","span":"query","ms":<ms>,"lang":"xra","text":"groupby[%6; AVG(%3)](join[%2 = %4](beer, brewery))","rows":2,"query_id":"q000004"}
+  {"ts":"<ts>","span":"statement","ms":<ms>,"txn":"txn-1","text":"update(beer, select[%2 = 'Guineken'](beer),\n[%1, %2, (%3 * 1.1)])","query_id":"q000005"}
+  {"ts":"<ts>","span":"statement","ms":<ms>,"txn":"txn-1","text":"?select[%2 = 'Guineken'](beer)","query_id":"q000005"}
 
 A slow-query threshold higher than any query suppresses all records.
 

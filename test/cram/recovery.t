@@ -30,15 +30,15 @@ carries the CRC-32 of the record body:
   -- @time 0
   create accounts (owner:str, amount:int);
   $ cat store/wal.xra
-  -- begin 1
+  -- begin 1 q000001
   insert(accounts, rel[(owner:str, amount:int)]{('alice', 10):2, ('bob', 5)})
-  -- commit 1 cdbe8395
-  -- begin 2
+  -- commit 1 67661077 q000001
+  -- begin 2 q000002
   insert(accounts, rel[(owner:str, amount:int)]{('carol', 8)})
-  -- commit 2 299fcfaa
-  -- begin 3
+  -- commit 2 13492a38 q000002
+  -- begin 3 q000003
   delete(accounts, rel[(owner:str, amount:int)]{('alice', 10):5})
-  -- commit 3 552dc2b2
+  -- commit 3 004c3f05 q000003
 
 Reopening the store replays the log: all committed data is back.
 

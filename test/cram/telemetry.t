@@ -1,0 +1,52 @@
+Live telemetry surface.  "bagdb serve" runs a script and then keeps a
+scrape endpoint up; "bagdb top" is its client.  The server picks an
+ephemeral port (--port 0) and announces it through --port-file, the
+cram polls until the sampler has seen the script's relations, pins the
+series catalogue (values vary run to run, names do not), and shuts the
+server down over /quitz so nothing outlives the test.
+
+  $ ../../bin/bagdb.exe serve ../../examples/scripts/beer_session.xra \
+  >   --port 0 --port-file port --interval-ms 50 --duration-ms 30000 \
+  >   >serve.out 2>serve.err &
+  $ for i in $(seq 1 200); do [ -s port ] && break; sleep 0.05; done
+  $ for i in $(seq 1 200); do
+  >   ../../bin/bagdb.exe top --once --port $(cat port) 2>/dev/null \
+  >     | grep -q rel.beer && break
+  >   sleep 0.05
+  > done
+
+The top table: one row per series, sorted; numbers scrubbed.
+
+  $ ../../bin/bagdb.exe top --once --port $(cat port) | awk '{print $1}'
+  series
+  gc.heap_words
+  gc.major_collections
+  gc.major_words
+  gc.minor_collections
+  gc.minor_words
+  gc.promoted_words
+  gc.top_heap_words
+  pool.busy
+  pool.lanes
+  pool.maps
+  pool.queued
+  process.uptime_s
+  rel.beer
+  rel.brewery
+  sched.batches
+  sched.blocks
+  sched.commits
+  sched.deadlocks
+  sched.steps
+
+The JSON dump has the same shape every time.
+
+  $ ../../bin/bagdb.exe top --statz --port $(cat port) | head -c 11
+  {"series":{
+
+Clean remote shutdown: /quitz stops the serve loop, wait reaps it.
+
+  $ ../../bin/bagdb.exe top --quit --port $(cat port)
+  $ wait
+  $ sed -E 's/127\.0\.0\.1:[0-9]+/127.0.0.1:<port>/' serve.err
+  -- serving telemetry on 127.0.0.1:<port>

@@ -139,8 +139,8 @@ let fill l =
   List.iter (H.observe h) l;
   h
 
-let prop name arb p =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:200 arb p)
+let prop ?(count = 200) name arb p =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb p)
 
 let prop_count_conservation =
   prop "count and sum are conserved" samples (fun l ->
@@ -369,6 +369,406 @@ let test_engine_metrics_prometheus () =
       "mxra_wall_ms 1.25";
     ]
 
+(* --- histogram merge (per-domain shard combine) ------------------------ *)
+
+let prop_merge_conservation =
+  prop "merge conserves counts, sums, extrema and buckets"
+    (QCheck.pair samples samples)
+    (fun (l1, l2) ->
+      let a = fill l1 and b = fill l2 in
+      let m = H.copy a in
+      H.merge m b;
+      let both = fill (l1 @ l2) in
+      H.count m = H.count both
+      && Float.abs (H.sum m -. H.sum both)
+         <= 1e-6 *. Float.max 1.0 (Float.abs (H.sum both))
+      && H.min_value m = H.min_value both
+      && H.max_value m = H.max_value both
+      && H.buckets m = H.buckets both
+      (* neither source is disturbed: copy decoupled, merge reads only *)
+      && H.count a = List.length l1
+      && H.count b = List.length l2)
+
+(* --- agg sink hammered from four domains (domain safety) ---------------- *)
+
+let prop_agg_sink_parallel =
+  prop ~count:10 "agg sink survives four writer domains without losing updates"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(100 -- 1000))
+    (fun per_domain ->
+      let agg = Obs.Agg_sink.create () in
+      let sink = Obs.Agg_sink.sink agg in
+      let worker d () =
+        for i = 1 to per_domain do
+          sink.Trace.on_span
+            {
+              Trace.name = "hot";
+              tid = d;
+              start_us = 0.0;
+              dur_us = float_of_int (1 + (i mod 97));
+              attrs = [ ("rows", Trace.Int 1) ];
+            };
+          if i mod 4 = 0 then
+            sink.Trace.on_event
+              { Trace.ev_name = "tick"; ev_tid = d; ts_us = 0.0; ev_attrs = [] }
+        done
+      in
+      let domains = Array.init 4 (fun d -> Stdlib.Domain.spawn (worker d)) in
+      (* Concurrent snapshot reads must neither crash nor tear. *)
+      for _ = 1 to 25 do
+        ignore (Obs.Agg_sink.span_names agg);
+        ignore (Obs.Agg_sink.durations agg "hot");
+        ignore (Obs.Agg_sink.event_counts agg)
+      done;
+      Array.iter Stdlib.Domain.join domains;
+      let total = 4 * per_domain in
+      (match Obs.Agg_sink.durations agg "hot" with
+      | Some h -> H.count h = total
+      | None -> false)
+      && List.exists
+           (fun (s, a, v) -> s = "hot" && a = "rows" && v = float_of_int total)
+           (Obs.Agg_sink.attr_totals agg)
+      && Obs.Agg_sink.event_counts agg = [ ("tick", 4 * (per_domain / 4)) ])
+
+(* --- prometheus exposition checker ------------------------------------- *)
+
+(* A line-by-line recogniser of the Prometheus text format (0.0.4), the
+   property every /metrics page must satisfy: names legal, a TYPE
+   header before any sample of its family, label sets well-formed,
+   values numeric, and histogram families with ascending bounds,
+   monotone cumulative counts and a terminal +Inf bucket equal to
+   _count. *)
+let exposition_ok page =
+  let ok = ref true in
+  let fail () = ok := false in
+  let types = Hashtbl.create 16 in
+  let hist_buckets = Hashtbl.create 16 in (* family -> (le, count) rev list *)
+  let hist_counts = Hashtbl.create 16 in
+  let name_ok n =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         n
+  in
+  let label_key_ok k =
+    k <> ""
+    && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+         k
+  in
+  let family_of name =
+    if Hashtbl.mem types name then Some name
+    else
+      List.find_map
+        (fun suffix ->
+          if Filename.check_suffix name suffix then
+            let base = Filename.chop_suffix name suffix in
+            if Hashtbl.mem types base then Some base else None
+          else None)
+        [ "_sum"; "_count"; "_bucket" ]
+  in
+  let parse_labels s =
+    if s = "" then Some []
+    else
+      let parse_one p =
+        match String.index_opt p '=' with
+        | None -> None
+        | Some i ->
+            let k = String.sub p 0 i in
+            let v = String.sub p (i + 1) (String.length p - i - 1) in
+            if
+              label_key_ok k
+              && String.length v >= 2
+              && v.[0] = '"'
+              && v.[String.length v - 1] = '"'
+            then Some (k, String.sub v 1 (String.length v - 2))
+            else None
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match parse_one p with
+            | Some kv -> go (kv :: acc) rest
+            | None -> None)
+      in
+      go [] (String.split_on_char ',' s)
+  in
+  let sample line =
+    let name_end =
+      match (String.index_opt line '{', String.index_opt line ' ') with
+      | Some b, Some sp -> min b sp
+      | Some b, None -> b
+      | None, Some sp -> sp
+      | None, None -> String.length line
+    in
+    let name = String.sub line 0 name_end in
+    let rest = String.sub line name_end (String.length line - name_end) in
+    let labels, value_s =
+      if rest <> "" && rest.[0] = '{' then
+        match String.index_opt rest '}' with
+        | Some close ->
+            ( parse_labels (String.sub rest 1 (close - 1)),
+              String.trim
+                (String.sub rest (close + 1) (String.length rest - close - 1))
+            )
+        | None -> (None, "")
+      else (Some [], String.trim rest)
+    in
+    let value =
+      match value_s with
+      | "+Inf" -> Some Float.infinity
+      | s -> float_of_string_opt s
+    in
+    match (labels, value, family_of name) with
+    | Some lbls, Some v, Some family ->
+        if
+          Hashtbl.find types family = "histogram"
+          && Filename.check_suffix name "_bucket"
+        then (
+          match List.assoc_opt "le" lbls with
+          | Some le ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt hist_buckets family)
+              in
+              Hashtbl.replace hist_buckets family ((le, v) :: prev)
+          | None -> fail ());
+        if
+          Hashtbl.find types family = "histogram"
+          && Filename.check_suffix name "_count"
+        then Hashtbl.replace hist_counts family v
+    | _ -> fail ()
+  in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let name =
+          match String.index_opt rest ' ' with
+          | Some i -> String.sub rest 0 i
+          | None -> rest
+        in
+        if not (name_ok name) then fail ()
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ _; _; name; kind ]
+          when name_ok name
+               && List.mem kind
+                    [ "counter"; "gauge"; "summary"; "histogram"; "untyped" ]
+          ->
+            Hashtbl.replace types name kind
+        | _ -> fail ()
+      end
+      else if line.[0] = '#' then ()
+      else sample line)
+    (String.split_on_char '\n' page);
+  Hashtbl.iter
+    (fun family rev ->
+      let bs = List.rev rev in
+      let les = List.map fst bs and vs = List.map snd bs in
+      let le_value le =
+        if le = "+Inf" then Some Float.infinity else float_of_string_opt le
+      in
+      if not (List.for_all (fun le -> le_value le <> None) les) then fail ();
+      (match List.rev les with
+      | last :: _ -> if last <> "+Inf" then fail ()
+      | [] -> fail ());
+      let rec mono = function
+        | a :: (b :: _ as t) -> a <= b && mono t
+        | _ -> true
+      in
+      if not (mono vs) then fail ();
+      if not (mono (List.filter_map le_value les)) then fail ();
+      match (Hashtbl.find_opt hist_counts family, List.rev vs) with
+      | Some c, total :: _ -> if c <> total then fail ()
+      | _ -> fail ())
+    hist_buckets;
+  !ok
+
+let prop_exposition =
+  prop "every rendered family parses as valid exposition text" samples
+    (fun l ->
+      let h = fill l in
+      exposition_ok
+        (Obs.Prometheus.counter ~help:"requests" "reqs_total"
+           (float_of_int (List.length l))
+        ^ Obs.Prometheus.gauge "queue_depth" (H.sum h)
+        ^ Obs.Prometheus.summary ~help:"latency" "lat_ms" h
+        ^ Obs.Prometheus.histogram ~help:"latency" "lat_hist_ms" h))
+
+let test_prometheus_histogram () =
+  let h = fill [ 1.0; 2.0; 4.0; 100.0 ] in
+  let s = Obs.Prometheus.histogram ~help:"lat" "lat_ms" h in
+  Alcotest.(check bool) "exposition ok" true (exposition_ok s);
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains needle s))
+    [
+      "# TYPE lat_ms histogram";
+      "lat_ms_bucket{le=\"+Inf\"} 4";
+      "lat_ms_count 4";
+      "lat_ms_sum 107";
+    ]
+
+let test_exposition_rejects () =
+  List.iter
+    (fun (label, page) ->
+      Alcotest.(check bool) label false (exposition_ok page))
+    [
+      ("sample before TYPE", "foo 1\n");
+      ("bad label key", "# TYPE f gauge\nf{9bad=\"x\"} 1\n");
+      ("bad value", "# TYPE f gauge\nf notanumber\n");
+      ( "histogram missing +Inf",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\nh_sum 2\n" );
+      ( "histogram counts not monotone",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 2\n\
+         h_count 2\nh_sum 2\n" );
+    ]
+
+(* --- time-series ring buffer ------------------------------------------- *)
+
+let test_timeseries_ring () =
+  let ts = Obs.Timeseries.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Obs.Timeseries.record ts ~t_s:(float_of_int i)
+      [ ("a", float_of_int i); ("b", float_of_int (-i)) ]
+  done;
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Obs.Timeseries.names ts);
+  Alcotest.(check int) "capacity" 4 (Obs.Timeseries.capacity ts);
+  Alcotest.(check bool) "ring keeps last 4, oldest first" true
+    (Array.to_list (Obs.Timeseries.window ts "a")
+    = [ (7.0, 7.0); (8.0, 8.0); (9.0, 9.0); (10.0, 10.0) ]);
+  Alcotest.(check bool) "bounded window" true
+    (Array.to_list (Obs.Timeseries.window ~n:2 ts "a")
+    = [ (9.0, 9.0); (10.0, 10.0) ]);
+  Alcotest.(check bool) "latest" true
+    (Obs.Timeseries.latest ts "b" = Some (10.0, -10.0));
+  Alcotest.(check bool) "unknown series" true
+    (Obs.Timeseries.window ts "zzz" = [||]);
+  Alcotest.(check bool) "latest_all" true
+    (Obs.Timeseries.latest_all ts = [ ("a", 10.0); ("b", -10.0) ]);
+  Alcotest.(check bool) "statz JSON valid" true
+    (json_valid (Obs.Timeseries.to_json ts));
+  Alcotest.(check bool) "prometheus gauges valid" true
+    (exposition_ok (Obs.Timeseries.to_prometheus ts));
+  Alcotest.(check bool) "top table lists the series" true
+    (contains "a" (Obs.Timeseries.render_top ts))
+
+(* --- background sampler ------------------------------------------------- *)
+
+let test_sampler () =
+  let calls = Atomic.make 0 in
+  let probe () =
+    let n = Atomic.fetch_and_add calls 1 + 1 in
+    [ ("test.calls", float_of_int n) ]
+  in
+  let raising () = failwith "probe boom" in
+  let s = Obs.Sampler.start ~interval_ms:2.0 ~probes:[ raising; probe ] () in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Obs.Sampler.rounds s < 3 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Obs.Sampler.stop s;
+  Obs.Sampler.stop s (* idempotent *);
+  Alcotest.(check bool) "sampled several rounds" true (Obs.Sampler.rounds s >= 3);
+  let store = Obs.Sampler.store s in
+  Alcotest.(check (list string))
+    "raising probe skipped, good one recorded" [ "test.calls" ]
+    (Obs.Timeseries.names store);
+  (match Obs.Timeseries.latest store "test.calls" with
+  | Some (_, v) -> Alcotest.(check bool) "latest counted up" true (v >= 3.0)
+  | None -> Alcotest.fail "no sample recorded");
+  let before = Obs.Sampler.rounds s in
+  Obs.Sampler.sample_now s;
+  Alcotest.(check int) "sample_now adds a round" (before + 1)
+    (Obs.Sampler.rounds s)
+
+(* --- HTTP telemetry server --------------------------------------------- *)
+
+let test_http_server () =
+  let handler = function
+    | "/ok" -> Some (Obs.Http_server.text "hello\n")
+    | "/json" -> Some (Obs.Http_server.json "{\"a\":1}")
+    | "/boom" -> failwith "kaboom"
+    | _ -> None
+  in
+  let srv = Obs.Http_server.start ~port:0 handler in
+  Fun.protect
+    ~finally:(fun () -> Obs.Http_server.stop srv)
+    (fun () ->
+      let port = Obs.Http_server.port srv in
+      Alcotest.(check bool) "ephemeral port resolved" true (port > 0);
+      Alcotest.(check (pair int string))
+        "/ok" (200, "hello\n")
+        (Obs.Http_server.get ~port "/ok");
+      let st, body = Obs.Http_server.get ~port "/json" in
+      Alcotest.(check int) "json status" 200 st;
+      Alcotest.(check bool) "json body valid" true (json_valid body);
+      Alcotest.(check int) "unknown path is 404" 404
+        (fst (Obs.Http_server.get ~port "/missing"));
+      Alcotest.(check int) "raising handler is 500, not a crash" 500
+        (fst (Obs.Http_server.get ~port "/boom"));
+      Alcotest.(check int) "query string stripped before routing" 200
+        (fst (Obs.Http_server.get ~port "/ok?x=1")));
+  Obs.Http_server.stop srv (* idempotent *)
+
+(* --- ambient trace context and query ids -------------------------------- *)
+
+let capture_sink spans events =
+  {
+    Trace.on_span = (fun s -> spans := s :: !spans);
+    on_event = (fun e -> events := e :: !events);
+    on_close = ignore;
+  }
+
+let test_with_context_stamps () =
+  let spans = ref [] and events = ref [] in
+  Trace.set_sinks [ capture_sink spans events ];
+  Fun.protect
+    ~finally:(fun () -> Trace.close ())
+    (fun () ->
+      Trace.with_context [ ("query_id", Trace.Str "q42") ] (fun () ->
+          Trace.with_span "inner" (fun () -> ());
+          Trace.complete "op" ~start_us:0.0 ~dur_us:1.0;
+          Trace.event "tick";
+          Alcotest.(check bool) "context_find sees the key" true
+            (Trace.context_find "query_id" = Some (Trace.Str "q42")));
+      Trace.with_span "outside" (fun () -> ()));
+  let find name = List.find (fun s -> s.Trace.name = name) !spans in
+  let qid s = List.assoc_opt "query_id" s.Trace.attrs in
+  Alcotest.(check bool) "with_span stamped" true
+    (qid (find "inner") = Some (Trace.Str "q42"));
+  Alcotest.(check bool) "complete stamped" true
+    (qid (find "op") = Some (Trace.Str "q42"));
+  Alcotest.(check bool) "outside the context: unstamped" true
+    (qid (find "outside") = None);
+  (match !events with
+  | [ e ] ->
+      Alcotest.(check bool) "event stamped" true
+        (List.assoc_opt "query_id" e.Trace.ev_attrs = Some (Trace.Str "q42"))
+  | _ -> Alcotest.fail "expected exactly one event");
+  Alcotest.(check bool) "context restored on exit" true (Trace.context () = []);
+  (* The context must survive with tracing disabled — the store stamps
+     WAL records from it whether or not a sink is installed. *)
+  Trace.with_context [ ("k", Trace.Bool true) ] (fun () ->
+      Alcotest.(check bool) "context without sinks" true
+        (Trace.context_find "k" = Some (Trace.Bool true)))
+
+let test_qid_mint () =
+  let a = Obs.Qid.mint () and b = Obs.Qid.mint () in
+  Alcotest.(check bool) "ids distinct" true (a <> b);
+  Alcotest.(check string) "attr key" "query_id" Obs.Qid.attr_key;
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "format q%06d" true
+        (String.length q = 7
+        && q.[0] = 'q'
+        && String.for_all
+             (function '0' .. '9' -> true | _ -> false)
+             (String.sub q 1 6)))
+    [ a; b ]
+
 (* --- scheduler output delivery ----------------------------------------- *)
 
 let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
@@ -423,6 +823,77 @@ let test_scheduler_aborted_outputs_empty () =
         (List.length committed)
   | _ -> Alcotest.fail "unexpected outcomes"
 
+(* --- query ids end to end: scheduler spans and WAL stamping ------------- *)
+
+let test_scheduler_query_ids () =
+  let txns =
+    List.init 3 (fun i ->
+        Transaction.make ~name:(Printf.sprintf "t%d" i) [ query_r ])
+  in
+  let r = Mxra_concurrency.Scheduler.run ~seed:1 kv_db txns in
+  let qids = r.Mxra_concurrency.Scheduler.query_ids in
+  Alcotest.(check int) "one qid per transaction" 3 (List.length qids);
+  Alcotest.(check int) "all distinct" 3
+    (List.length (List.sort_uniq String.compare qids))
+
+let test_scheduler_statement_spans () =
+  let spans = ref [] and events = ref [] in
+  Trace.set_sinks [ capture_sink spans events ];
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Trace.close ())
+      (fun () ->
+        Mxra_concurrency.Scheduler.run ~seed:3 kv_db
+          [ Transaction.make ~name:"w" [ query_r; query_r ] ])
+  in
+  let qid =
+    match r.Mxra_concurrency.Scheduler.query_ids with
+    | [ q ] -> q
+    | _ -> Alcotest.fail "expected one query id"
+  in
+  let stmts = List.filter (fun s -> s.Trace.name = "statement") !spans in
+  Alcotest.(check int) "one span per executed statement" 2 (List.length stmts);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "statement span carries the txn's qid" true
+        (List.assoc_opt "query_id" s.Trace.attrs = Some (Trace.Str qid)))
+    stmts;
+  let txn_span = List.find (fun s -> s.Trace.name = "txn") !spans in
+  Alcotest.(check bool) "txn span carries the qid" true
+    (List.assoc_opt "query_id" txn_span.Trace.attrs = Some (Trace.Str qid))
+
+let test_store_qid_stamping () =
+  let module Store = Mxra_storage.Store in
+  let dir = Filename.temp_file "mxra_store_qid" "" in
+  Sys.remove dir;
+  let s = Store.open_dir dir in
+  Store.absorb_batch s [] kv_db;
+  Store.checkpoint s;
+  let txn =
+    Transaction.make ~name:"double"
+      [ Statement.Insert ("r", Expr.rel "r") ]
+  in
+  (match Store.commit ~qid:"q424242" s txn with
+  | Transaction.Committed _ -> ()
+  | Transaction.Aborted { reason; _ } -> Alcotest.fail reason);
+  let telemetry = Store.telemetry s () in
+  Alcotest.(check bool) "telemetry counts the commit" true
+    (List.assoc_opt "store.commits" telemetry = Some 1.0
+    && List.assoc_opt "store.wal_records" telemetry = Some 1.0);
+  Store.close s;
+  let wal =
+    In_channel.with_open_text (Filename.concat dir "wal.xra")
+      In_channel.input_all
+  in
+  Alcotest.(check bool) "begin marker stamped" true
+    (contains "-- begin 1 q424242" wal);
+  Alcotest.(check int) "qid on begin and commit markers" 2
+    (count_occurrences "q424242" wal);
+  (* The stamp is metadata: recovery replays the record unchanged. *)
+  let db = Store.recover_dir dir in
+  Alcotest.(check int) "stamped record replays" 4
+    (Relation.cardinal (Database.find "r" db))
+
 let suite =
   ( "obs",
     [
@@ -456,4 +927,23 @@ let suite =
         test_scheduler_outputs_match_serial;
       Alcotest.test_case "aborted transactions deliver no outputs" `Quick
         test_scheduler_aborted_outputs_empty;
+      prop_merge_conservation;
+      prop_agg_sink_parallel;
+      prop_exposition;
+      Alcotest.test_case "prometheus histogram rendering" `Quick
+        test_prometheus_histogram;
+      Alcotest.test_case "exposition checker rejects malformed pages" `Quick
+        test_exposition_rejects;
+      Alcotest.test_case "time-series ring buffer" `Quick test_timeseries_ring;
+      Alcotest.test_case "background sampler" `Quick test_sampler;
+      Alcotest.test_case "http telemetry server" `Quick test_http_server;
+      Alcotest.test_case "ambient context stamps spans and events" `Quick
+        test_with_context_stamps;
+      Alcotest.test_case "query id minting" `Quick test_qid_mint;
+      Alcotest.test_case "scheduler mints per-transaction query ids" `Quick
+        test_scheduler_query_ids;
+      Alcotest.test_case "statement spans carry the transaction qid" `Quick
+        test_scheduler_statement_spans;
+      Alcotest.test_case "store stamps qids into WAL markers" `Quick
+        test_store_qid_stamping;
     ] )
