@@ -197,7 +197,10 @@ let scheduler_batch ctx db programs =
   end;
   r.Scheduler.final
 
-let run_xra ctx db path =
+(* [on_step] sees the database after every command — `bagdb serve` uses
+   it to keep the sampler's relation-cardinality probe pointed at the
+   live state while a script runs, instead of the preload snapshot. *)
+let run_xra ?(on_step = fun (_ : Database.t) -> ()) ctx db path =
   let source = In_channel.with_open_text path In_channel.input_all in
   let rec go db = function
     | [] -> db
@@ -207,23 +210,33 @@ let run_xra ctx db path =
           | rest -> (List.rev acc, rest)
         in
         let programs, rest = split [] cmds in
-        go (scheduler_batch ctx db programs) rest
+        let db = scheduler_batch ctx db programs in
+        on_step db;
+        go db rest
     | Xra.Parser.Cmd_statement stmt :: rest ->
-        go (exec_statement ctx db stmt) rest
+        let db = exec_statement ctx db stmt in
+        on_step db;
+        go db rest
     | Xra.Parser.Cmd_create (name, schema) :: rest ->
-        go (apply_create ctx db name schema) rest
+        let db = apply_create ctx db name schema in
+        on_step db;
+        go db rest
   in
   go db (Xra.Parser.script_of_string source)
 
-let run_sql ctx db path =
+let run_sql ?(on_step = fun (_ : Database.t) -> ()) ctx db path =
   let source = In_channel.with_open_text path In_channel.input_all in
   let step db ast =
-    match Sql.Translate.translate (Typecheck.env_of_database db) ast with
-    | Sql.Translate.Query e ->
-        run_query ctx ~lang:"sql" db e;
-        db
-    | Sql.Translate.Statement stmt -> exec_statement ctx db stmt
-    | Sql.Translate.Create (name, schema) -> apply_create ctx db name schema
+    let db =
+      match Sql.Translate.translate (Typecheck.env_of_database db) ast with
+      | Sql.Translate.Query e ->
+          run_query ctx ~lang:"sql" db e;
+          db
+      | Sql.Translate.Statement stmt -> exec_statement ctx db stmt
+      | Sql.Translate.Create (name, schema) -> apply_create ctx db name schema
+    in
+    on_step db;
+    db
   in
   List.fold_left step db (Sql.Sql_parser.parse_script source)
 
@@ -407,8 +420,13 @@ let script_cmd name ~doc runner =
       $ no_optimize_flag $ trace_flag $ query_log_flag $ slow_flag $ db_flag
       $ no_checkpoint_flag $ seed_flag $ jobs_flag $ path_arg)
 
-let run_cmd = script_cmd "run" ~doc:"Execute an XRA script." run_xra
-let sql_cmd = script_cmd "sql" ~doc:"Execute a SQL script." run_sql
+let run_cmd =
+  script_cmd "run" ~doc:"Execute an XRA script." (fun ctx db path ->
+      run_xra ctx db path)
+
+let sql_cmd =
+  script_cmd "sql" ~doc:"Execute a SQL script." (fun ctx db path ->
+      run_sql ctx db path)
 
 let metrics_cmd =
   let action beer gen retail no_opt seed jobs path =
@@ -640,7 +658,13 @@ let serve_cmd =
                           if Filename.check_suffix path ".sql" then run_sql
                           else run_xra
                         in
-                        db_ref := runner ctx !db_ref path
+                        (* Publish the state after every statement so
+                           the sampler's cardinality series track the
+                           script as it runs, not just its end. *)
+                        db_ref :=
+                          runner
+                            ~on_step:(fun db -> db_ref := db)
+                            ctx !db_ref path
                     | None -> ());
                     (* Make sure the series reflect the script's final
                        state even if no interval tick has fired yet. *)

@@ -36,6 +36,17 @@ type t = {
   mutable thread : Thread.t option;
 }
 
+(* A write to a peer that already hung up (curl --max-time, a cancelled
+   scrape) must surface as EPIPE — which the accept loop swallows — not
+   as SIGPIPE, whose default action kills the whole process: the
+   telemetry port must never be a kill switch for the database.  Forced
+   once, on first server or client use; harmless where SIGPIPE does not
+   exist. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
 let status_text = function
   | 200 -> "OK"
   | 404 -> "Not Found"
@@ -126,6 +137,15 @@ let accept_loop t handler =
     | _ :: _, _, _ -> (
         match Unix.accept t.sock with
         | fd, _ -> (
+            (* A peer that connects and then goes silent must not park
+               the single-threaded loop in [read] forever, wedging every
+               endpoint and [stop]'s join: bound both directions so a
+               stalled connection errors out (EAGAIN, swallowed below)
+               and the loop returns to [select]. *)
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0
+             with Unix.Unix_error _ | Invalid_argument _ -> ());
             try serve_connection handler fd
             with Unix.Unix_error _ | Sys_error _ -> ())
         | exception Unix.Unix_error _ -> ())
@@ -134,6 +154,7 @@ let accept_loop t handler =
   (try Unix.close t.sock with Unix.Unix_error _ -> ())
 
 let start ?(host = "127.0.0.1") ~port handler =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -168,6 +189,7 @@ let stop t =
    dialect the server speaks keeps both ends dependency-free. *)
 
 let get ?(host = "127.0.0.1") ~port path =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())

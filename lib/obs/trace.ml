@@ -42,7 +42,12 @@ let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
    while the context is open.  Maintained even when tracing is disabled
    (the cost is one list swap per context, not per span) so non-sink
    consumers — the store stamping a query id into its WAL records — can
-   read it unconditionally. *)
+   read it unconditionally.
+
+   Single-mutator invariant (see trace.mli): only the main statement
+   thread calls [with_context]; worker domains and systhreads only
+   read.  A plain ref suffices under that discipline — reads cannot
+   tear — but concurrent mutators would cross-stamp contexts. *)
 let ctx : (string * value) list ref = ref []
 
 let context () = !ctx

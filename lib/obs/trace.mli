@@ -89,7 +89,20 @@ val event : ?tid:int -> ?attrs:(string * value) list -> string -> unit
     threading an argument through every layer.  The context is
     maintained even when tracing is disabled, so non-sink consumers
     (the store stamping a query id into WAL records) can always read
-    it. *)
+    it.
+
+    {b Concurrency invariant — single mutator.}  The context is one
+    global, and only the main statement-executing thread may call
+    {!with_context}.  Other parties — Exchange worker domains stamping
+    lane spans, the sampler and HTTP-server systhreads — may {e read}
+    it ({!context}, {!context_find}, or implicitly via span emission);
+    a read never tears (the ref holds an immutable list) and sees
+    either the pre- or post-swap context.  This holds today because
+    the main thread blocks while workers run one statement's lanes.
+    Concurrent statement execution, or a background thread opening a
+    context of its own, would cross-stamp attributes onto the wrong
+    spans and requires moving the context into domain/thread-local
+    storage first. *)
 
 val with_context : (string * value) list -> (unit -> 'a) -> 'a
 (** Append [attrs] to the ambient context for the duration of the

@@ -296,12 +296,13 @@ let absorb_batch ?(qids = []) t txns state =
     ~attrs:[ ("txns", Trace.Int (List.length txns)) ]
     (fun () ->
       (* One payload, one write, one sync for the whole batch. *)
+      let qids = Array.of_list qids in
       let buf = Buffer.create 1024 in
       List.iteri
         (fun i txn ->
+          let qid = if i < Array.length qids then Some qids.(i) else None in
           Buffer.add_string buf
-            (encode_record ?qid:(List.nth_opt qids i) (t.next_id + i + 1)
-               txn.Transaction.body))
+            (encode_record ?qid (t.next_id + i + 1) txn.Transaction.body))
         txns;
       let payload = Buffer.contents buf in
       if String.length payload > 0 then append_durable t payload;
