@@ -365,7 +365,20 @@ let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduler interleaving seed for transaction batches." ~docv:"N")
 
 let jobs_flag =
-  Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Execute plans on $(docv) domains: the planner inserts Exchange operators above large scans, joins and aggregates, and fragments run on a shared domain pool." ~docv:"N")
+  Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Execute plans on $(docv) domains: the planner inserts Exchange operators above large scans, joins and aggregates when profitable on this host's cores, and fragments run on a shared domain pool." ~docv:"N")
+
+(* [--chunk-size N]: morsel size of the chunked executor; the default
+   (or the MXRA_CHUNK_SIZE environment variable) is nursery-sized.
+   Results are bag-equal at every size — this knob exists for
+   experiments and for degenerate-size testing. *)
+let chunk_size_flag =
+  Arg.(value & opt (some int) None & info [ "chunk-size" ] ~doc:"Execute with $(docv)-tuple chunks instead of the default (MXRA_CHUNK_SIZE or 255). Results are identical at every size." ~docv:"N")
+
+let set_chunk_size = function
+  | None -> ()
+  | Some n ->
+      if n < 1 then invalid_arg "--chunk-size must be at least 1";
+      Mxra_engine.Exec.set_chunk_size n
 
 let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
 let expr_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR")
@@ -396,8 +409,9 @@ let guarded f =
 
 let script_cmd name ~doc runner =
   let action beer gen retail stats no_opt trace qlog slow db_dir no_ckpt seed
-      jobs path =
+      jobs chunk path =
     guarded (fun () ->
+        set_chunk_size chunk;
         with_tracing ~trace ~query_log:qlog ~slow_ms:slow (fun () ->
             with_store ~checkpoint:(not no_ckpt) db_dir
               (preload beer gen retail) (fun store db ->
@@ -418,7 +432,7 @@ let script_cmd name ~doc runner =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ stats_flag
       $ no_optimize_flag $ trace_flag $ query_log_flag $ slow_flag $ db_flag
-      $ no_checkpoint_flag $ seed_flag $ jobs_flag $ path_arg)
+      $ no_checkpoint_flag $ seed_flag $ jobs_flag $ chunk_size_flag $ path_arg)
 
 let run_cmd =
   script_cmd "run" ~doc:"Execute an XRA script." (fun ctx db path ->
@@ -429,8 +443,9 @@ let sql_cmd =
       run_sql ctx db path)
 
 let metrics_cmd =
-  let action beer gen retail no_opt seed jobs path =
+  let action beer gen retail no_opt seed jobs chunk path =
     guarded (fun () ->
+        set_chunk_size chunk;
         let agg = Obs.Agg_sink.create () in
         let totals = Mxra_engine.Metrics.create () in
         let ctx =
@@ -460,7 +475,7 @@ let metrics_cmd =
           in Prometheus text format.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
-      $ seed_flag $ jobs_flag $ path_arg)
+      $ seed_flag $ jobs_flag $ chunk_size_flag $ path_arg)
 
 let analyze_flag =
   Arg.(
@@ -471,14 +486,15 @@ let analyze_flag =
            estimated vs actual rows, per-operator q-error and wall time.")
 
 let explain_cmd =
-  let action beer gen retail analyze jobs expr =
+  let action beer gen retail analyze jobs chunk expr =
     guarded (fun () ->
+        set_chunk_size chunk;
         explain ~analyze ~jobs:(set_jobs jobs) (preload beer gen retail) expr)
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize an XRA expression and show plans.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ analyze_flag
-      $ jobs_flag $ expr_arg)
+      $ jobs_flag $ chunk_size_flag $ expr_arg)
 
 (* Crash-recovery torture sweep over the in-memory fault-injecting VFS.
    On an oracle violation the reproduction command line (with the
@@ -577,8 +593,9 @@ let torture_cmd =
    live relation cardinalities. *)
 let serve_cmd =
   let action beer gen retail no_opt trace qlog slow db_dir no_ckpt seed jobs
-      port port_file interval_ms duration_ms script =
+      chunk port port_file interval_ms duration_ms script =
     guarded (fun () ->
+        set_chunk_size chunk;
         let agg = Obs.Agg_sink.create () in
         with_tracing ~trace ~query_log:qlog ~slow_ms:slow ~agg (fun () ->
             with_store ~checkpoint:(not no_ckpt) db_dir
@@ -710,7 +727,8 @@ let serve_cmd =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
       $ trace_flag $ query_log_flag $ slow_flag $ db_flag $ no_checkpoint_flag
-      $ seed_flag $ jobs_flag $ port $ port_file $ interval_ms $ duration_ms
+      $ seed_flag $ jobs_flag $ chunk_size_flag $ port $ port_file
+      $ interval_ms $ duration_ms
       $ script)
 
 (* [bagdb top]: the client side — fetch /topz from a running serve and

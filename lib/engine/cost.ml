@@ -222,3 +222,16 @@ let rec cost ~stats ~schemas e =
         cost ~stats ~schemas e1 +. cost ~stats ~schemas e2
   in
   own +. children
+
+(* An Exchange's overhead — partition, pool dispatch, merge — is paid
+   per input tuple and per fragment, so the break-even input size grows
+   with the fragment count: splitting 600 rows four ways leaves
+   fragments too small to amortise a dispatch even though 600 clears a
+   512-row bar for two-way splitting. *)
+let exchange_floor ~parts ~threshold ~feedback_rows =
+  let static = float_of_int threshold in
+  let measured =
+    match feedback_rows with Some r -> float_of_int r | None -> static
+  in
+  let per_fragment = float_of_int (threshold * parts) /. 2.0 in
+  Float.max (Float.max static measured) per_fragment

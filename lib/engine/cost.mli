@@ -49,3 +49,14 @@ val q_error : estimated:float -> actual:int -> float
     A q-error of [q] means the estimate is off by a factor of [q] in one
     direction or the other; join-order quality degrades roughly with the
     product of the q-errors along the join tree. *)
+
+val exchange_floor :
+  parts:int -> threshold:int -> feedback_rows:int option -> float
+(** Minimum estimated input cardinality at which inserting an
+    [Exchange] with [parts] fragments is predicted to pay: the static
+    [threshold], raised to any measured break-even
+    ({!Mxra_ext.Parallel.Feedback.min_profitable_rows}) when one is
+    given, and scaled with the fragment count so each fragment still
+    clears half the threshold on its own.  Callers that force a
+    threshold (tests passing 0) should pass [feedback_rows:None] so the
+    floor stays exactly what they asked for. *)

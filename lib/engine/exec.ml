@@ -2,6 +2,7 @@ open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
 module Pool = Mxra_ext.Pool
+module Feedback = Mxra_ext.Parallel.Feedback
 
 module TH = Hashtbl.Make (struct
   type t = Tuple.t
@@ -74,88 +75,217 @@ type fragment_out = {
   frag_dur : float;
 }
 
+(* --- chunked streams --------------------------------------------------- *)
+
+(* The executor's unit of data flow is a [chunk]: a non-empty array of
+   counted tuples.  Operators process a chunk in a tight loop, so the
+   per-element cost of a lazy [Seq] — one closure and one [Cons] cell
+   per tuple — is paid once per chunk instead.  On the spine of a
+   pipeline chunks hold at most [chunk_size] elements, but operators
+   that naturally produce bigger batches (a probe chunk fanning out
+   against a hash table, an Exchange fragment's whole output) may emit
+   longer ones: the only invariant is that chunks are non-empty.
+
+   A chunk stream is consumed at most once per materialisation; the
+   probe-side operators reuse one scratch buffer across chunks, so
+   interleaving two traversals of the same stream is not supported
+   (materialise instead). *)
+
+type chunk = (Tuple.t * int) array
+
+(* 255 elements + header = 256 words, the largest array the OCaml
+   runtime still allocates on the minor heap (Max_young_wosize).  Bigger
+   chunks go straight to the major heap, every store into them pays the
+   slow write-barrier path, and the tuples they hold get promoted at the
+   next minor collection — measured on E15 as twice the major-heap
+   allocation and a ~20% slowdown at 1024. *)
+let default_chunk_size = 255
+let chunk_ref = ref default_chunk_size
+let set_chunk_size n = chunk_ref := max 1 n
+let chunk_size () = !chunk_ref
+
+let () =
+  (* MXRA_CHUNK_SIZE=1 degrades every chunk to a single element — the CI
+     leg that drags all tests across the chunk-boundary edge cases. *)
+  match Option.bind (Sys.getenv_opt "MXRA_CHUNK_SIZE") int_of_string_opt with
+  | Some n when n >= 1 -> chunk_ref := n
+  | Some _ | None -> ()
+
+(* A growable row buffer (OCaml 5.1 has no Stdlib.Dynarray yet): the
+   expanding operators fill one of these per input chunk and flush it as
+   an output chunk, reusing the backing store across chunks. *)
+module Vec = struct
+  type t = { mutable arr : chunk; mutable len : int }
+
+  let dummy = (Tuple.unit, 0)
+  let create n = { arr = Array.make (max 1 n) dummy; len = 0 }
+
+  let push v x =
+    (if v.len = Array.length v.arr then begin
+       let bigger = Array.make (2 * v.len) dummy in
+       Array.blit v.arr 0 bigger 0 v.len;
+       v.arr <- bigger
+     end);
+    v.arr.(v.len) <- x;
+    v.len <- v.len + 1
+
+  (* Contents as a chunk; the vector resets for reuse.  An exactly-full
+     vector hands over its backing array instead of copying. *)
+  let flush v =
+    let c =
+      if v.len = Array.length v.arr then begin
+        let a = v.arr in
+        v.arr <- Array.make (Array.length a) dummy;
+        a
+      end
+      else Array.sub v.arr 0 v.len
+    in
+    v.len <- 0;
+    c
+end
+
+(* Cut a counted-tuple sequence into chunks of [size] (the last may be
+   shorter), pulling lazily: used above the table-driven operators whose
+   outputs are hashtable traversals. *)
+let chunks_of_seq size s =
+  let rec next s () =
+    match s () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) ->
+        let buf = Array.make size x in
+        let n = ref 1 in
+        let rec fill s =
+          if !n = size then s
+          else
+            match s () with
+            | Seq.Nil -> Seq.empty
+            | Seq.Cons (x, rest) ->
+                buf.(!n) <- x;
+                incr n;
+                fill rest
+        in
+        let rest = fill rest in
+        let c = if !n = size then buf else Array.sub buf 0 !n in
+        Seq.Cons (c, next rest)
+  in
+  next s
+
+(* Scans chunk lazily: materialising a scan's chunk list up front would
+   keep every chunk live for the whole query, promoting its tuples out
+   of the nursery at each minor collection (measured on E15 as double
+   the promoted words). *)
+let chunks_of_bag size bag =
+  chunks_of_seq size (Relation.Bag.to_counted_seq bag)
+
+let concat_chunks cs = Array.concat (List.of_seq cs)
+
 (* --- plan execution ---------------------------------------------------- *)
 
-(* Collapse a counted stream into a per-tuple count table. *)
-let count_table stream =
+(* Collapse a chunk stream into a per-tuple count table. *)
+let count_table chunks =
   let table = TH.create 64 in
   Seq.iter
-    (fun (t, n) ->
-      match TH.find_opt table t with
-      | Some c -> TH.replace table t (c + n)
-      | None -> TH.add table t n)
-    stream;
+    (Array.iter (fun (t, n) ->
+         match TH.find_opt table t with
+         | Some c -> TH.replace table t (c + n)
+         | None -> TH.add table t n))
+    chunks;
   table
 
 (* Instrumentation hooks.  [around node thunk] wraps the construction of
-   an operator's output stream (eager work — hash builds, sorts —
-   happens inside the thunk) and may wrap the stream itself, seeing
-   every counted-tuple element the operator emits; summing over
-   operators measures the tuple traffic of the plan, and weighting by
-   arity measures the data volume.  [observe node key value] reports an
-   operator-specific gauge (hash-build size, group count, materialised
-   inner cardinality). *)
+   an operator's output chunk stream (eager work — hash builds, sorts,
+   scan chunking — happens inside the thunk) and may wrap the stream
+   itself, seeing every chunk the operator emits; summing the chunk
+   contents over operators measures the tuple traffic of the plan, and
+   weighting by arity measures the data volume.  [observe node key
+   value] reports an operator-specific gauge (hash-build size, group
+   count, materialised inner cardinality). *)
 type hooks = {
-  around :
-    Physical.t -> (unit -> (Tuple.t * int) Seq.t) -> (Tuple.t * int) Seq.t;
+  around : Physical.t -> (unit -> chunk Seq.t) -> chunk Seq.t;
   observe : Physical.t -> string -> int -> unit;
 }
 
 let no_hooks = { around = (fun _ f -> f ()); observe = (fun _ _ _ -> ()) }
 
-let rec exec ~hooks db plan : (Tuple.t * int) Seq.t =
-  hooks.around plan (fun () -> exec_node ~hooks db plan)
+let rec exec ~hooks ~size db plan : chunk Seq.t =
+  hooks.around plan (fun () -> exec_node ~hooks ~size db plan)
 
-and exec_node ~hooks db plan : (Tuple.t * int) Seq.t =
+and exec_node ~hooks ~size db plan : chunk Seq.t =
   match plan with
-  | Physical.Const_scan r -> Relation.Bag.to_counted_seq (Relation.bag r)
+  | Physical.Const_scan r -> chunks_of_bag size (Relation.bag r)
   | Physical.Seq_scan name ->
-      Relation.Bag.to_counted_seq (Relation.bag (Database.find name db))
+      chunks_of_bag size (Relation.bag (Database.find name db))
   | Physical.Filter (p, t) ->
-      Seq.filter (fun (tuple, _) -> Pred.eval tuple p) (exec ~hooks db t)
+      Seq.filter_map
+        (fun c ->
+          let n = Array.length c in
+          let out = Array.make n c.(0) in
+          let k = ref 0 in
+          for i = 0 to n - 1 do
+            let (tuple, _) as x = c.(i) in
+            if Pred.eval tuple p then begin
+              out.(!k) <- x;
+              incr k
+            end
+          done;
+          if !k = 0 then None
+          else if !k = n then Some out
+          else Some (Array.sub out 0 !k))
+        (exec ~hooks ~size db t)
   | Physical.Project_op (exprs, t) ->
       let image tuple = Tuple.of_list (List.map (Scalar.eval tuple) exprs) in
-      Seq.map (fun (tuple, n) -> (image tuple, n)) (exec ~hooks db t)
+      Seq.map
+        (fun c -> Array.map (fun (tuple, n) -> (image tuple, n)) c)
+        (exec ~hooks ~size db t)
   | Physical.Hash_join { left_keys; right_keys; residual; left; right; _ } ->
-      (* Build on the right, probe (pipelined) from the left. *)
+      (* Build on the right, probe (pipelined, chunk at a time) from the
+         left. *)
       let table = TH.create 256 in
       let entries = ref 0 in
       Seq.iter
-        (fun (tuple, n) ->
-          let key = Tuple.project right_keys tuple in
-          let existing = Option.value ~default:[] (TH.find_opt table key) in
-          incr entries;
-          TH.replace table key ((tuple, n) :: existing))
-        (exec ~hooks db right);
+        (Array.iter (fun (tuple, n) ->
+             let key = Tuple.project right_keys tuple in
+             let existing = Option.value ~default:[] (TH.find_opt table key) in
+             incr entries;
+             TH.replace table key ((tuple, n) :: existing)))
+        (exec ~hooks ~size db right);
       hooks.observe plan "build" !entries;
       hooks.observe plan "keys" (TH.length table);
-      let probe (ltuple, ln) =
-        let key = Tuple.project left_keys ltuple in
-        match TH.find_opt table key with
-        | None -> Seq.empty
-        | Some matches ->
-            List.to_seq matches
-            |> Seq.filter_map (fun (rtuple, rn) ->
-                   let combined = Tuple.concat ltuple rtuple in
-                   if Pred.eval combined residual then
-                     Some (combined, ln * rn)
-                   else None)
+      let out = Vec.create size in
+      let expand c =
+        let outs = ref [] in
+        let push x =
+          Vec.push out x;
+          if out.Vec.len >= size then outs := Vec.flush out :: !outs
+        in
+        Array.iter
+          (fun (ltuple, ln) ->
+            match TH.find_opt table (Tuple.project left_keys ltuple) with
+            | None -> ()
+            | Some matches ->
+                List.iter
+                  (fun (rtuple, rn) ->
+                    let combined = Tuple.concat ltuple rtuple in
+                    if Pred.eval combined residual then
+                      push (combined, ln * rn))
+                  matches)
+          c;
+        if out.Vec.len > 0 then outs := Vec.flush out :: !outs;
+        List.to_seq (List.rev !outs)
       in
-      Seq.concat_map probe (exec ~hooks db left)
+      Seq.concat_map expand (exec ~hooks ~size db left)
   | Physical.Merge_join { left_keys; right_keys; residual; left; right; _ } ->
       (* Sort both inputs by their key projections and merge key groups.
          Both sides materialise; output is emitted lazily per group
          pair. *)
-      let keyed keys rows =
-        let arr =
-          Array.of_seq
-            (Seq.map (fun (t, n) -> (Tuple.project keys t, t, n)) rows)
-        in
+      let keyed keys chunks =
+        let rows = concat_chunks chunks in
+        let arr = Array.map (fun (t, n) -> (Tuple.project keys t, t, n)) rows in
         Array.sort (fun (k1, _, _) (k2, _, _) -> Tuple.compare k1 k2) arr;
         arr
       in
-      let ls = keyed left_keys (exec ~hooks db left) in
-      let rs = keyed right_keys (exec ~hooks db right) in
+      let ls = keyed left_keys (exec ~hooks ~size db left) in
+      let rs = keyed right_keys (exec ~hooks ~size db right) in
       hooks.observe plan "sorted-left" (Array.length ls);
       hooks.observe plan "sorted-right" (Array.length rs);
       let group arr i =
@@ -168,6 +298,7 @@ and exec_node ~hooks db plan : (Tuple.t * int) Seq.t =
         in
         (key, last i)
       in
+      let out = Vec.create size in
       let rec merge i j () =
         if i >= Array.length ls || j >= Array.length rs then Seq.Nil
         else
@@ -176,56 +307,86 @@ and exec_node ~hooks db plan : (Tuple.t * int) Seq.t =
           let c = Tuple.compare lk rk in
           if c < 0 then merge (li + 1) j ()
           else if c > 0 then merge i (rj + 1) ()
-          else
-            let pairs =
-              Seq.concat_map
-                (fun a ->
-                  Seq.filter_map
-                    (fun b ->
-                      let _, lt, ln = ls.(a) and _, rt, rn = rs.(b) in
-                      let combined = Tuple.concat lt rt in
-                      if Pred.eval combined residual then
-                        Some (combined, ln * rn)
-                      else None)
-                    (Seq.init (rj - j + 1) (fun k -> j + k)))
-                (Seq.init (li - i + 1) (fun k -> i + k))
+          else begin
+            (* Output chunks per matching group pair, re-chunked at
+               [size] so large groups stay nursery-sized. *)
+            let outs = ref [] in
+            let push x =
+              Vec.push out x;
+              if out.Vec.len >= size then outs := Vec.flush out :: !outs
             in
-            Seq.append pairs (merge (li + 1) (rj + 1)) ()
+            for a = i to li do
+              for b = j to rj do
+                let _, lt, ln = ls.(a) and _, rt, rn = rs.(b) in
+                let combined = Tuple.concat lt rt in
+                if Pred.eval combined residual then push (combined, ln * rn)
+              done
+            done;
+            if out.Vec.len > 0 then outs := Vec.flush out :: !outs;
+            match List.rev !outs with
+            | [] -> merge (li + 1) (rj + 1) ()
+            | cs -> Seq.append (List.to_seq cs) (merge (li + 1) (rj + 1)) ()
+          end
       in
       merge 0 0
   | Physical.Nested_loop (p, l, r) ->
-      let right_rows = List.of_seq (exec ~hooks db r) in
-      hooks.observe plan "inner" (List.length right_rows);
-      let expand (ltuple, ln) =
-        List.to_seq right_rows
-        |> Seq.filter_map (fun (rtuple, rn) ->
-               let combined = Tuple.concat ltuple rtuple in
-               if Pred.eval combined p then Some (combined, ln * rn) else None)
+      let right_rows = concat_chunks (exec ~hooks ~size db r) in
+      hooks.observe plan "inner" (Array.length right_rows);
+      let out = Vec.create size in
+      let expand c =
+        let outs = ref [] in
+        let push x =
+          Vec.push out x;
+          if out.Vec.len >= size then outs := Vec.flush out :: !outs
+        in
+        Array.iter
+          (fun (ltuple, ln) ->
+            Array.iter
+              (fun (rtuple, rn) ->
+                let combined = Tuple.concat ltuple rtuple in
+                if Pred.eval combined p then push (combined, ln * rn))
+              right_rows)
+          c;
+        if out.Vec.len > 0 then outs := Vec.flush out :: !outs;
+        List.to_seq (List.rev !outs)
       in
-      Seq.concat_map expand (exec ~hooks db l)
+      Seq.concat_map expand (exec ~hooks ~size db l)
   | Physical.Cross_product (l, r) ->
-      let right_rows = List.of_seq (exec ~hooks db r) in
-      hooks.observe plan "inner" (List.length right_rows);
-      let expand (ltuple, ln) =
-        List.to_seq right_rows
-        |> Seq.map (fun (rtuple, rn) -> (Tuple.concat ltuple rtuple, ln * rn))
+      let right_rows = concat_chunks (exec ~hooks ~size db r) in
+      hooks.observe plan "inner" (Array.length right_rows);
+      let out = Vec.create size in
+      let expand c =
+        let outs = ref [] in
+        let push x =
+          Vec.push out x;
+          if out.Vec.len >= size then outs := Vec.flush out :: !outs
+        in
+        Array.iter
+          (fun (ltuple, ln) ->
+            Array.iter
+              (fun (rtuple, rn) ->
+                push (Tuple.concat ltuple rtuple, ln * rn))
+              right_rows)
+          c;
+        if out.Vec.len > 0 then outs := Vec.flush out :: !outs;
+        List.to_seq (List.rev !outs)
       in
-      Seq.concat_map expand (exec ~hooks db l)
+      Seq.concat_map expand (exec ~hooks ~size db l)
   | Physical.Union_all (l, r) ->
-      Seq.append (exec ~hooks db l) (exec ~hooks db r)
+      Seq.append (exec ~hooks ~size db l) (exec ~hooks ~size db r)
   | Physical.Hash_diff (l, r) ->
-      let left_counts = count_table (exec ~hooks db l) in
-      let right_counts = count_table (exec ~hooks db r) in
+      let left_counts = count_table (exec ~hooks ~size db l) in
+      let right_counts = count_table (exec ~hooks ~size db r) in
       hooks.observe plan "left-keys" (TH.length left_counts);
       hooks.observe plan "right-keys" (TH.length right_counts);
       let monus (t, ln) =
         let rn = Option.value ~default:0 (TH.find_opt right_counts t) in
         if ln > rn then Some (t, ln - rn) else None
       in
-      Seq.filter_map monus (TH.to_seq left_counts)
+      chunks_of_seq size (Seq.filter_map monus (TH.to_seq left_counts))
   | Physical.Hash_intersect (l, r) ->
-      let left_counts = count_table (exec ~hooks db l) in
-      let right_counts = count_table (exec ~hooks db r) in
+      let left_counts = count_table (exec ~hooks ~size db l) in
+      let right_counts = count_table (exec ~hooks ~size db r) in
       hooks.observe plan "left-keys" (TH.length left_counts);
       hooks.observe plan "right-keys" (TH.length right_counts);
       let pointwise_min (t, ln) =
@@ -233,18 +394,18 @@ and exec_node ~hooks db plan : (Tuple.t * int) Seq.t =
         | Some rn -> Some (t, min ln rn)
         | None -> None
       in
-      Seq.filter_map pointwise_min (TH.to_seq left_counts)
+      chunks_of_seq size (Seq.filter_map pointwise_min (TH.to_seq left_counts))
   | Physical.Hash_distinct t ->
       let seen = TH.create 64 in
       Seq.iter
-        (fun (tuple, _) -> TH.replace seen tuple ())
-        (exec ~hooks db t);
+        (Array.iter (fun (tuple, _) -> TH.replace seen tuple ()))
+        (exec ~hooks ~size db t);
       hooks.observe plan "distinct" (TH.length seen);
-      Seq.map (fun (tuple, ()) -> (tuple, 1)) (TH.to_seq seen)
+      chunks_of_seq size (Seq.map (fun (tuple, ()) -> (tuple, 1)) (TH.to_seq seen))
   | Physical.Hash_aggregate (attrs, aggs, t) ->
-      exec_aggregate ~hooks db plan attrs aggs t
+      exec_aggregate ~hooks ~size db plan attrs aggs t
   | Physical.Exchange { parts; child } ->
-      exec_exchange ~hooks db plan parts child
+      exec_exchange ~hooks ~size db plan parts child
 
 (* --- parallel execution of an Exchange node ---------------------------- *)
 
@@ -287,16 +448,16 @@ and slices parts arr =
       let lo = i * n / parts and hi = (i + 1) * n / parts in
       Array.sub arr lo (hi - lo))
 
-(* Hash-partition a counted stream into [parts] buckets on the projected
-   key tuple; co-partitioning two streams on equal-length key lists
-   aligns matching tuples in same-numbered buckets. *)
-and bucket_by parts keys stream =
+(* Hash-partition materialised rows into [parts] buckets on the
+   projected key tuple; co-partitioning two inputs on equal-length key
+   lists aligns matching tuples in same-numbered buckets. *)
+and bucket_rows parts keys rows =
   let buckets = Array.make parts [] in
-  Seq.iter
+  Array.iter
     (fun (t, n) ->
       let slot = Tuple.hash (Tuple.project keys t) land max_int mod parts in
       buckets.(slot) <- (t, n) :: buckets.(slot))
-    stream;
+    rows;
   buckets
 
 (* The maximal σ/π pipeline above a source, as one per-tuple function. *)
@@ -396,34 +557,60 @@ and combine_state a b =
   | (S_cnt _ | S_sum_int _ | S_min _ | S_max _ | S_column _), _ ->
       invalid_arg "Exec: mismatched partial aggregate states"
 
-and exec_exchange ~hooks db plan parts child =
+and exec_exchange ~hooks ~size db plan parts child =
   (* The fused child never runs as a standalone stream, so route the
      merged fragment output through its instrumentation hook — its
      EXPLAIN ANALYZE row then shows the rows its fragments produced
-     (operators deeper inside a fused σ/π chain still read zero). *)
+     (operators deeper inside a fused σ/π chain still read zero).  Each
+     fragment's whole output is one chunk. *)
   let emit outs =
     hooks.observe plan "parts" (Array.length outs);
     hooks.around child (fun () ->
-        Seq.concat_map
-          (fun o -> Array.to_seq o.frag_rows)
+        Seq.filter_map
+          (fun o ->
+            if Array.length o.frag_rows = 0 then None else Some o.frag_rows)
           (Array.to_seq outs))
+  in
+  (* Profitability feedback for the adaptive planner.  Inputs are
+     materialised before [t0], so [wall] covers exactly the Exchange's
+     own machinery — partition, pool dispatch, fragments — while [busy]
+     is the summed fragment work alone.  [busy - wall] is the time the
+     pool saved over running the fragments inline: negative means this
+     Exchange should not have been inserted at this input size. *)
+  let note ~rows t0 busy_ms =
+    let wall_ms = (Trace.now_us () -. t0) /. 1000.0 in
+    Feedback.note ~rows ~parts ~gain_ms:(busy_ms -. wall_ms)
+  in
+  let busy_of outs =
+    Array.fold_left (fun acc o -> acc +. o.frag_dur) 0.0 outs /. 1000.0
   in
   match child with
   | Physical.Hash_join { left_keys; right_keys; residual; left; right; _ } ->
-      let lb = bucket_by parts left_keys (exec ~hooks db left) in
-      let rb = bucket_by parts right_keys (exec ~hooks db right) in
-      emit
-        (on_pool ~name:"join-worker"
-           (Array.init parts (fun i () ->
-                join_fragment ~left_keys ~right_keys ~residual lb.(i) rb.(i))))
+      let lrows = concat_chunks (exec ~hooks ~size db left) in
+      let rrows = concat_chunks (exec ~hooks ~size db right) in
+      let t0 = Trace.now_us () in
+      let lb = bucket_rows parts left_keys lrows in
+      let rb = bucket_rows parts right_keys rrows in
+      let outs =
+        on_pool ~name:"join-worker"
+          (Array.init parts (fun i () ->
+               join_fragment ~left_keys ~right_keys ~residual lb.(i) rb.(i)))
+      in
+      note ~rows:(Array.length lrows + Array.length rrows) t0 (busy_of outs);
+      emit outs
   | Physical.Hash_aggregate ((_ :: _ as attrs), aggs, src) ->
       let input_schema = Typecheck.infer_db db (Physical.to_logical src) in
-      let buckets = bucket_by parts attrs (exec ~hooks db src) in
-      emit
-        (on_pool ~name:"agg-worker"
-           (Array.map
-              (fun bucket () -> aggregate_fragment input_schema attrs aggs bucket)
-              buckets))
+      let rows = concat_chunks (exec ~hooks ~size db src) in
+      let t0 = Trace.now_us () in
+      let buckets = bucket_rows parts attrs rows in
+      let outs =
+        on_pool ~name:"agg-worker"
+          (Array.map
+             (fun bucket () -> aggregate_fragment input_schema attrs aggs bucket)
+             buckets)
+      in
+      note ~rows:(Array.length rows) t0 (busy_of outs);
+      emit outs
   | Physical.Hash_aggregate ([], aggs, src) ->
       (* Global aggregate: per-fragment partial states, combined on the
          coordinating domain, finalized into the single output tuple
@@ -437,7 +624,8 @@ and exec_exchange ~hooks db plan parts child =
              aggs)
       in
       let positions = Array.of_list (List.map snd aggs) in
-      let rows = Array.of_seq (exec ~hooks db src) in
+      let rows = concat_chunks (exec ~hooks ~size db src) in
+      let t0 = Trace.now_us () in
       let partial slice =
         let states = fresh_states () in
         Array.iter
@@ -451,41 +639,54 @@ and exec_exchange ~hooks db plan parts child =
         states
       in
       let pool = Pool.global () in
-      let partials = Pool.map_array ~chunk:1 pool partial (slices parts rows) in
+      let timed =
+        Pool.map_array ~chunk:1 pool
+          (fun slice ->
+            let f0 = Trace.now_us () in
+            let states = partial slice in
+            (states, Trace.now_us () -. f0))
+          (slices parts rows)
+      in
       hooks.observe plan "parts" parts;
+      let busy = Array.fold_left (fun a (_, d) -> a +. d) 0.0 timed /. 1000.0 in
+      note ~rows:(Array.length rows) t0 busy;
       let states =
         Array.fold_left
-          (fun acc s ->
+          (fun acc (s, _) ->
             match acc with
             | None -> Some s
             | Some acc -> Some (Array.map2 combine_state acc s))
-          None partials
+          None timed
         |> Option.value ~default:(fresh_states ())
       in
       let values = Array.to_list (Array.map finalize_state states) in
-      hooks.around child (fun () -> Seq.return (Tuple.of_list values, 1))
+      hooks.around child (fun () -> Seq.return [| (Tuple.of_list values, 1) |])
   | Physical.Filter _ | Physical.Project_op _ ->
       let src, f = pipeline_stages child in
-      let rows = Array.of_seq (exec ~hooks db src) in
-      emit
-        (on_pool ~name:"scan-worker"
-           (Array.map
-              (fun slice () ->
-                let out = ref [] in
-                Array.iter
-                  (fun tn ->
-                    match f tn with
-                    | Some r -> out := r :: !out
-                    | None -> ())
-                  slice;
-                Array.of_list (List.rev !out))
-              (slices parts rows)))
+      let rows = concat_chunks (exec ~hooks ~size db src) in
+      let t0 = Trace.now_us () in
+      let outs =
+        on_pool ~name:"scan-worker"
+          (Array.map
+             (fun slice () ->
+               let out = ref [] in
+               Array.iter
+                 (fun tn ->
+                   match f tn with
+                   | Some r -> out := r :: !out
+                   | None -> ())
+                 slice;
+               Array.of_list (List.rev !out))
+             (slices parts rows))
+      in
+      note ~rows:(Array.length rows) t0 (busy_of outs);
+      emit outs
   | child ->
       (* The planner only wraps the shapes above; anything else is
          executed sequentially — Exchange is then a no-op. *)
-      exec ~hooks db child
+      exec ~hooks ~size db child
 
-and exec_aggregate ~hooks db plan attrs aggs t =
+and exec_aggregate ~hooks ~size db plan attrs aggs t =
   let input_schema =
     Typecheck.infer_db db (Physical.to_logical t)
   in
@@ -498,21 +699,21 @@ and exec_aggregate ~hooks db plan attrs aggs t =
   let positions = Array.of_list (List.map snd aggs) in
   let groups = TH.create 64 in
   Seq.iter
-    (fun (tuple, n) ->
-      let key = Tuple.project attrs tuple in
-      let states =
-        match TH.find_opt groups key with
-        | Some states -> states
-        | None ->
-            let states = fresh_states () in
-            TH.add groups key states;
-            states
-      in
-      Array.iteri
-        (fun i state ->
-          states.(i) <- update_state state (Tuple.attr tuple positions.(i)) n)
-        states)
-    (exec ~hooks db t);
+    (Array.iter (fun (tuple, n) ->
+         let key = Tuple.project attrs tuple in
+         let states =
+           match TH.find_opt groups key with
+           | Some states -> states
+           | None ->
+               let states = fresh_states () in
+               TH.add groups key states;
+               states
+         in
+         Array.iteri
+           (fun i state ->
+             states.(i) <- update_state state (Tuple.attr tuple positions.(i)) n)
+           states))
+    (exec ~hooks ~size db t);
   (* Definition 3.4: with an empty grouping list the result is one tuple
      even over the empty input. *)
   if attrs = [] && TH.length groups = 0 then
@@ -522,24 +723,41 @@ and exec_aggregate ~hooks db plan attrs aggs t =
     let values = Array.to_list (Array.map finalize_state states) in
     (Tuple.concat key (Tuple.of_list values), 1)
   in
-  Seq.map finalize (TH.to_seq groups)
+  chunks_of_seq size (Seq.map finalize (TH.to_seq groups))
 
-let materialize db plan stream =
+let materialize db plan chunks =
   let schema = Typecheck.infer_db db (Physical.to_logical plan) in
-  Relation.of_bag_unchecked schema (Relation.Bag.of_counted_seq stream)
+  let bag =
+    Seq.fold_left
+      (fun bag c ->
+        Array.fold_left
+          (fun bag (t, n) -> Relation.Bag.add ~count:n t bag)
+          bag c)
+      Relation.Bag.empty chunks
+  in
+  Relation.of_bag_unchecked schema bag
 
-let run db plan = materialize db plan (exec ~hooks:no_hooks db plan)
-let stream db plan = exec ~hooks:no_hooks db plan
+let resolve_size = function Some n -> max 1 n | None -> !chunk_ref
+
+let run ?chunk_size db plan =
+  let size = resolve_size chunk_size in
+  materialize db plan (exec ~hooks:no_hooks ~size db plan)
+
+let stream ?chunk_size db plan =
+  let size = resolve_size chunk_size in
+  Seq.concat_map Array.to_seq (exec ~hooks:no_hooks ~size db plan)
 
 (* Hooks that invoke [tick] with every counted-tuple element every
    operator emits, regardless of which operator it is. *)
 let tick_hooks tick =
   { no_hooks with
-    around = (fun _ f -> Seq.map (fun x -> tick x; x) (f ())) }
+    around = (fun _ f -> Seq.map (fun c -> Array.iter tick c; c) (f ())) }
 
 let tuples_moved db plan =
   let moved = ref 0 in
-  let s = exec ~hooks:(tick_hooks (fun _ -> incr moved)) db plan in
+  let s =
+    exec ~hooks:(tick_hooks (fun _ -> incr moved)) ~size:!chunk_ref db plan
+  in
   Seq.iter (fun _ -> ()) s;
   !moved
 
@@ -548,12 +766,12 @@ let cells_moved db plan =
   let s =
     exec
       ~hooks:(tick_hooks (fun (t, _) -> moved := !moved + Tuple.arity t))
-      db plan
+      ~size:!chunk_ref db plan
   in
   Seq.iter (fun _ -> ()) s;
   !moved
 
-let run_expr db e = run db (Planner.plan db e)
+let run_expr ?chunk_size db e = run ?chunk_size db (Planner.plan db e)
 
 (* --- instrumented execution ------------------------------------------- *)
 
@@ -595,9 +813,11 @@ let op_table plan =
   let entries = !table in
   fun p -> snd (List.find (fun (q, _) -> q == p) entries)
 
-(* Wrap a stream so each step is timed (inclusive of child pulls, as in
-   EXPLAIN ANALYZE's actual time) and each element is counted.
-   [on_end] fires once, at the first exhaustion of the stream. *)
+(* Wrap a chunk stream so each pull is timed (inclusive of child pulls,
+   as in EXPLAIN ANALYZE's actual time) and each chunk's contents are
+   counted — element, row and cell totals are identical to what the
+   tuple-at-a-time engine reported, only the accounting granularity
+   changed.  [on_end] fires once, at the first exhaustion. *)
 let instrument_stream ?on_end (m : Metrics.op) s =
   let ended = ref false in
   let rec go s () =
@@ -609,11 +829,14 @@ let instrument_stream ?on_end (m : Metrics.op) s =
             f ()
         | Some _ | None -> ());
         Seq.Nil
-    | Seq.Cons ((t, n) as x, rest) ->
-        Metrics.incr m.Metrics.elems;
-        Metrics.add m.Metrics.rows n;
-        Metrics.add m.Metrics.cells (Tuple.arity t);
-        Seq.Cons (x, go rest)
+    | Seq.Cons (c, rest) ->
+        Array.iter
+          (fun (t, n) ->
+            Metrics.incr m.Metrics.elems;
+            Metrics.add m.Metrics.rows n;
+            Metrics.add m.Metrics.cells (Tuple.arity t))
+          c;
+        Seq.Cons (c, go rest)
   in
   go s
 
@@ -629,7 +852,8 @@ let op_span_attrs p (m : Metrics.op) =
   :: ("wall_ms", Trace.Float (Metrics.elapsed_ms m.Metrics.wall))
   :: List.map (fun (k, v) -> (k, Trace.Int v)) (Metrics.details m)
 
-let run_instrumented db plan =
+let run_instrumented ?chunk_size db plan =
+  let size = resolve_size chunk_size in
   let find = op_table plan in
   let traced = Trace.enabled () in
   let hooks =
@@ -656,7 +880,7 @@ let run_instrumented db plan =
         Trace.with_span "execute"
           ~attrs:[ ("operators", Trace.Int (Physical.size plan)) ]
           (fun () ->
-            let r = materialize db plan (exec ~hooks db plan) in
+            let r = materialize db plan (exec ~hooks ~size db plan) in
             Trace.add_attr "rows" (Trace.Int (Relation.cardinal r));
             r))
   in
@@ -697,7 +921,8 @@ let run_instrumented db plan =
   Metrics.add_ms (Metrics.timer totals "wall") (Metrics.elapsed_ms total);
   { result; total_ms = Metrics.elapsed_ms total; root; totals }
 
-let explain_analyze ?jobs db e = run_instrumented db (Planner.plan ?jobs db e)
+let explain_analyze ?chunk_size ?jobs db e =
+  run_instrumented ?chunk_size db (Planner.plan ?jobs db e)
 
 (* --- report rendering --------------------------------------------------- *)
 

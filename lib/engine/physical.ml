@@ -73,6 +73,23 @@ let rec size = function
   | Hash_intersect (l, r) ->
       1 + size l + size r
 
+let rec exchange_count plan =
+  let own = match plan with Exchange _ -> 1 | _ -> 0 in
+  match plan with
+  | Const_scan _ | Seq_scan _ -> own
+  | Filter (_, t) | Project_op (_, t) | Hash_distinct t
+  | Hash_aggregate (_, _, t)
+  | Exchange { child = t; _ } ->
+      own + exchange_count t
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+      own + exchange_count left + exchange_count right
+  | Nested_loop (_, l, r)
+  | Cross_product (l, r)
+  | Union_all (l, r)
+  | Hash_diff (l, r)
+  | Hash_intersect (l, r) ->
+      own + exchange_count l + exchange_count r
+
 let children = function
   | Const_scan _ | Seq_scan _ -> []
   | Filter (_, t) | Project_op (_, t) | Hash_distinct t

@@ -73,6 +73,12 @@ val size : t -> int
 val children : t -> t list
 (** Direct operands, left to right. *)
 
+val exchange_count : t -> int
+(** Number of [Exchange] nodes anywhere in the plan — zero exactly when
+    the plan is purely sequential.  The adaptive planner's 1-core
+    guarantee ([parallelize] never parallelizes with one core) is pinned
+    against this. *)
+
 val label : t -> string
 (** One-line description of the operator itself, without children —
     what {!pp} prints on the operator's own line. *)

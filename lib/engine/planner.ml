@@ -70,19 +70,47 @@ let plan_with ?(join_algorithm = Hash) env e =
 
 let default_parallel_threshold = 512
 
+(* How many cores this process can actually use.  MXRA_CORES overrides
+   the probe so tests and cram scripts can pin plans to a core count the
+   host does not have (in either direction). *)
+let available_cores () =
+  match Option.bind (Sys.getenv_opt "MXRA_CORES") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Stdlib.Domain.recommended_domain_count ()
+
 (* Insert Exchange nodes above the operators the executor knows how to
    fragment — maximal σ/π pipelines, hash joins, hash aggregates — when
-   the estimated input cardinality clears the threshold.  Below it the
-   partition/merge overhead dominates any per-tuple win. *)
-let parallelize ~stats ~schemas ~jobs
-    ?(threshold = default_parallel_threshold) plan =
-  if jobs <= 1 then plan
+   the estimated input cardinality clears the profitability floor.
+   Below it the partition/merge overhead dominates any per-tuple win.
+
+   The pass is adaptive on three inputs: the host's core count caps the
+   fragment count (one core ⇒ no Exchange at all — fragments would just
+   queue behind each other plus pay partition/merge); the cost model
+   turns the threshold into a per-fragment floor ({!Cost.exchange_floor});
+   and measured Exchange outcomes ({!Mxra_ext.Parallel.Feedback}) raise
+   or lower that floor as the process learns what actually pays here.
+   An explicit [threshold] disables the feedback term so forced-parallel
+   tests stay deterministic. *)
+let parallelize ~stats ~schemas ~jobs ?cores ?threshold plan =
+  let cores =
+    match cores with Some c -> max 1 c | None -> available_cores ()
+  in
+  let parts = min jobs cores in
+  if parts <= 1 then plan
   else
+    let feedback_rows =
+      match threshold with
+      | Some _ -> None
+      | None -> Mxra_ext.Parallel.Feedback.min_profitable_rows ()
+    in
+    let threshold =
+      Option.value ~default:default_parallel_threshold threshold
+    in
     let est p =
       Cost.estimate_cardinality ~stats ~schemas (Physical.to_logical p)
     in
-    let thr = float_of_int threshold in
-    let exchange child = Physical.Exchange { parts = jobs; child } in
+    let thr = Cost.exchange_floor ~parts ~threshold ~feedback_rows in
+    let exchange child = Physical.Exchange { parts; child } in
     (* A σ/π chain split into its source and a rebuilding context, so
        the whole pipeline lands under one Exchange. *)
     let rec split_pipeline = function
@@ -129,7 +157,7 @@ let parallelize ~stats ~schemas ~jobs
     in
     go plan
 
-let plan ?join_algorithm ?(jobs = 1) ?parallel_threshold db e =
+let plan ?join_algorithm ?(jobs = 1) ?cores ?parallel_threshold db e =
   Mxra_obs.Trace.with_span "plan" (fun () ->
       let schemas = Typecheck.env_of_database db in
       let p = plan_with ?join_algorithm schemas e in
@@ -138,7 +166,7 @@ let plan ?join_algorithm ?(jobs = 1) ?parallel_threshold db e =
         else
           parallelize
             ~stats:(Stats.env_of_database db)
-            ~schemas ~jobs ?threshold:parallel_threshold p
+            ~schemas ~jobs ?cores ?threshold:parallel_threshold p
       in
       Mxra_obs.Trace.add_attr "operators"
         (Mxra_obs.Trace.Int (Physical.size p));

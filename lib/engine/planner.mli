@@ -21,31 +21,48 @@ type join_algorithm =
 val plan :
   ?join_algorithm:join_algorithm ->
   ?jobs:int ->
+  ?cores:int ->
   ?parallel_threshold:int ->
   Database.t ->
   Expr.t ->
   Physical.t
 (** Translate a well-typed expression.  With [jobs > 1] the result is
-    additionally run through {!parallelize} with [parts = jobs] (the
-    default, [jobs = 1], plans purely sequentially).
+    additionally run through {!parallelize} (the default, [jobs = 1],
+    plans purely sequentially); [cores] and [parallel_threshold] are
+    forwarded to it.
     @raise Typecheck.Type_error on an ill-typed expression. *)
 
 val default_parallel_threshold : int
 (** Estimated input cardinality below which {!parallelize} leaves an
     operator sequential (512). *)
 
+val available_cores : unit -> int
+(** How many cores plans may assume: the [MXRA_CORES] environment
+    variable when set to a positive integer (so tests and cram scripts
+    can pin plan shapes on any host), otherwise
+    [Stdlib.Domain.recommended_domain_count ()]. *)
+
 val parallelize :
   stats:Stats.env ->
   schemas:Typecheck.env ->
   jobs:int ->
+  ?cores:int ->
   ?threshold:int ->
   Physical.t ->
   Physical.t
 (** Insert {!Physical.Exchange} nodes above the fragmentable operators —
     maximal σ/π pipelines, hash joins and hash aggregates — whose
     estimated input cardinality ({!Cost.estimate_cardinality} of the
-    logical image; for a join, the sum over both operands) reaches
-    [threshold].  [jobs <= 1] returns the plan unchanged. *)
+    logical image; for a join, the sum over both operands) reaches the
+    profitability floor ({!Cost.exchange_floor}).
+
+    Adaptive: the fragment count is [min jobs cores] with [cores]
+    defaulting to {!available_cores} — on one core the plan is returned
+    unchanged, parallelizing there is a planner bug — and, when no
+    explicit [threshold] is given, the floor folds in the measured
+    break-even from {!Mxra_ext.Parallel.Feedback}.  Passing [threshold]
+    (tests pass 0 to force Exchange everywhere) disables the feedback
+    term. *)
 
 val plan_with :
   ?join_algorithm:join_algorithm -> Typecheck.env -> Expr.t -> Physical.t

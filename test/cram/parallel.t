@@ -1,9 +1,11 @@
 Parallel execution: with --jobs N the planner inserts Exchange
-operators above large scans, joins and aggregates, and the executor
-runs their fragments on a shared domain pool.  The plan shape and the
-estimates are deterministic, so EXPLAIN output is pinned exactly:
+operators above large scans, joins and aggregates — but only when
+min(jobs, cores) > 1 and the estimated input clears the profitability
+floor.  MXRA_CORES pins the core count so the plan shape is the same
+on any host.  On four cores the plan shape and the estimates are
+deterministic, so EXPLAIN output is pinned exactly:
 
-  $ ../../bin/bagdb.exe explain --jobs 4 --retail 2000 "groupby[%1; SUM(%2)](project[%3, %9 * %10](join[%4 = %7](join[%1 = %5](customer, orders), lineitem)))"
+  $ MXRA_CORES=4 ../../bin/bagdb.exe explain --jobs 4 --retail 2000 "groupby[%1; SUM(%2)](project[%3, %9 * %10](join[%4 = %7](join[%1 = %5](customer, orders), lineitem)))"
   input:      groupby[%1; SUM(%2)](project[%3, (%9 * %10)](join[%4 = %7](join[%1 = %5](
                                                              customer, orders),
                                                              lineitem)))
@@ -36,16 +38,41 @@ estimates are deterministic, so EXPLAIN output is pinned exactly:
   
 
 
+On a single core the same --jobs 4 request must plan purely
+sequentially — fragmenting work that one core runs anyway only adds
+partition and merge overhead (this regression test pins the fix for
+the old unconditional 512-row threshold, which parallelized here and
+made queries slower):
+
+  $ MXRA_CORES=1 ../../bin/bagdb.exe explain --jobs 4 --retail 2000 "groupby[%1; SUM(%2)](project[%3, %9 * %10](join[%4 = %7](join[%1 = %5](customer, orders), lineitem)))" | sed -n '/physical:/,$p'
+  physical:
+  HashAggregate keys=[%1] aggs=[SUM(%2)]         (est=6)
+    Project [%1, (%4 * %5)]                      (est=12876)
+      HashJoin keys=%2=%1 residual=[true]        (est=12876)
+        Project [%2, %3]                         (est=2000)
+          HashJoin keys=%1=%2 residual=[true]    (est=2000)
+            Project [%1, %3]                     (est=200)
+              SeqScan customer                   (est=200)
+            Project [%1, %2]                     (est=2000)
+              SeqScan orders                     (est=2000)
+        Project [%1, %3, %4]                     (est=12876)
+          SeqScan lineitem                       (est=12876)
+  
+
 A parallel run computes the same bag as the sequential one — the
-distribution laws of Theorem 3.2 made operational:
+distribution laws of Theorem 3.2 made operational — and the chunk
+size is pure plumbing, so a degenerate one-tuple-chunk run is
+identical too:
 
   $ cat > revenue.xra << 'EOF'
   > ?groupby[%1; SUM(%2)](project[%3, %9 * %10](join[%4 = %7](join[%1 = %5](customer, orders), lineitem)));
   > EOF
 
   $ ../../bin/bagdb.exe run --retail 2000 --jobs 1 revenue.xra > seq.out
-  $ ../../bin/bagdb.exe run --retail 2000 --jobs 4 revenue.xra > par.out
+  $ MXRA_CORES=4 ../../bin/bagdb.exe run --retail 2000 --jobs 4 revenue.xra > par.out
+  $ ../../bin/bagdb.exe run --retail 2000 --chunk-size 1 revenue.xra > chunk1.out
   $ diff seq.out par.out
+  $ diff seq.out chunk1.out
   $ cat par.out
   +---------+---------------+---+
   | country | sum_(%4 * %5) | # |
@@ -60,19 +87,23 @@ distribution laws of Theorem 3.2 made operational:
 
 The bench harness measures the speedup curve (E15); timings are
 nondeterministic, so the test normalises numbers and spacing and pins
-the table shape, the bag-equality column and the JSON artifact:
+the table shape, the adaptive no-Exchange column, the 1-core
+guarantee line and the JSON artifact:
 
-  $ ../../bench/main.exe quick e15 --jobs 2 | sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e 's/ +/ /g'
+  $ MXRA_CORES=1 ../../bench/main.exe quick e15 --jobs 2 | sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e 's/chunk size [0-9]+/chunk size _/' -e 's/ +/ /g'
   mxra benchmark harness: experiments E1..E15 of DESIGN.md section 5 (quick mode)
   
   === E15 multicore speedup (retail join+aggregate, domain pool) ===
-   4000 orders, 6 result rows, sequential best-of-3 _ ms
-   jobs | ms | speedup | bag-equal
-   1 | _ | _x | true
-   2 | _ | _x | true
+   4000 orders, 6 result rows, 1 cores, chunk size _
+   jobs | ms | speedup | exchanges | bag-equal
+   1 | _ | _x | 0 | true
+   2 | _ | _x | 0 | true
+   sequential _ ms chunked, _ ms tuple-at-a-time (chunk 1)
    wrote BENCH_parallel.json
+   1-core guarantee holds: no Exchange, all speedups >= _x
   
   done.
+
 
 
 

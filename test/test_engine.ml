@@ -402,6 +402,30 @@ let counters_match_moved =
     (QCheck.Test.make ~name:"per-operator counters = tuples/cells_moved"
        ~count:200 QCheck.small_nat test)
 
+(* Satellite: instrumentation counts physical facts — elements, rows,
+   cells — not plumbing, so they must not change with the chunk size
+   (and EXPLAIN ANALYZE output stays pinnable in the cram tests even
+   under the chunk-size-1 CI leg). *)
+let counters_chunk_size_independent =
+  let test seed =
+    let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+    let db = scen.W.Gen_expr.db in
+    let plan = Planner.plan db scen.W.Gen_expr.expr in
+    let counts chunk_size =
+      let a = Exec.run_instrumented ~chunk_size db plan in
+      List.map
+        (fun (r : Exec.report) ->
+          (r.Exec.actual.Exec.out_elems, r.Exec.actual.Exec.out_rows,
+           r.Exec.actual.Exec.out_cells))
+        (flatten_report a.Exec.root)
+    in
+    let reference = counts 255 in
+    List.for_all (fun cs -> counts cs = reference) [ 1; 7; 64; 1024 ]
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"instrumented counts independent of chunk size"
+       ~count:100 QCheck.small_nat test)
+
 (* --- the central property: engine = reference evaluator -------------------- *)
 
 let engine_matches_reference =
@@ -440,5 +464,6 @@ let suite =
       merge_join_matches_reference;
       instrumented_matches_reference;
       counters_match_moved;
+      counters_chunk_size_independent;
       engine_matches_reference;
     ] )

@@ -124,12 +124,292 @@ let exchange_plans_match =
       let schemas = Typecheck.env_of_database db in
       List.for_all
         (fun e ->
+          (* [cores:parts] because the planner's 1-core guard would
+             otherwise (correctly) refuse to insert Exchange on a
+             single-core test host. *)
           let plan =
-            Engine.Planner.parallelize ~stats ~schemas ~jobs:parts ~threshold:0
+            Engine.Planner.parallelize ~stats ~schemas ~jobs:parts ~cores:parts
+              ~threshold:0
               (Engine.Planner.plan db e)
           in
           Relation.equal (Eval.eval db e) (Engine.Exec.run db plan))
         (queries (Expr.Const a)))
+
+(* --- chunked execution: the differential harness ----------------------- *)
+
+(* The tentpole contract: chunked execution is bag-equal to the
+   reference evaluator for {e every} physical operator, at every chunk
+   size in {1, 7, 64, 1024} (degenerate, ragged, nursery-sized, beyond
+   the minor-heap limit) and every fragment count in {1, 2, 4}. *)
+
+let chunk_sizes = [ 1; 7; 64; 1024 ]
+let jobs_list = [ 1; 2; 4 ]
+
+let diff_db seed =
+  let rng = W.Rng.make (seed + 1) in
+  let a = random_bag seed in
+  let b, c = W.Synth.join_pair ~rng ~left:30 ~right:20 ~key_range:6 in
+  (a, Database.of_relations [ ("a", a); ("b", b); ("c", c) ])
+
+(* One expression per physical operator (the planner maps the join to
+   Hash_join or Merge_join depending on [join_algorithm], the non-equi
+   join to Nested_loop); [operator_coverage] below pins that this list
+   really does reach every constructor. *)
+let operator_exprs a =
+  let eq13 = Pred.eq (Scalar.attr 1) (Scalar.attr 3) in
+  let j = Expr.join eq13 (Expr.rel "b") (Expr.rel "c") in
+  [
+    Expr.Const a;
+    Expr.rel "a";
+    Expr.select (Pred.lt (Scalar.attr 2) (Scalar.int 6)) (Expr.rel "a");
+    Expr.project [ Scalar.add (Scalar.attr 1) (Scalar.attr 2) ] (Expr.rel "a");
+    j;
+    Expr.join (Pred.lt (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "b")
+      (Expr.rel "c");
+    Expr.product (Expr.rel "a") (Expr.rel "c");
+    Expr.union (Expr.rel "a") (Expr.rel "a");
+    Expr.diff (Expr.rel "a") (Expr.rel "b");
+    Expr.intersect (Expr.rel "a") (Expr.rel "b");
+    Expr.unique (Expr.rel "a");
+    Expr.group_by [ 1 ] [ (Aggregate.Sum, 2); (Aggregate.Cnt, 1) ] j;
+    Expr.group_by []
+      [ (Aggregate.Cnt, 1); (Aggregate.Sum, 2); (Aggregate.Avg, 2) ]
+      (Expr.rel "a");
+  ]
+
+let all_plans ~jobs db e =
+  List.map
+    (fun join_algorithm ->
+      (* [cores:jobs] so the plan shape is host-independent; threshold 0
+         forces Exchange above every eligible operator when jobs > 1. *)
+      Engine.Planner.plan ~join_algorithm ~jobs ~cores:jobs
+        ~parallel_threshold:0 db e)
+    [ Engine.Planner.Hash; Engine.Planner.Merge ]
+
+let test_operator_coverage () =
+  let a, db = diff_db 0 in
+  let rec kinds plan acc =
+    List.fold_left
+      (fun acc child -> kinds child acc)
+      (Engine.Physical.kind plan :: acc)
+      (Engine.Physical.children plan)
+  in
+  let reached =
+    List.concat_map
+      (fun e -> List.concat_map (fun p -> kinds p []) (all_plans ~jobs:4 db e))
+      (operator_exprs a)
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        ("differential harness reaches " ^ k)
+        true (List.mem k reached))
+    [
+      "ConstScan"; "SeqScan"; "Filter"; "Project"; "HashJoin"; "MergeJoin";
+      "NestedLoop"; "CrossProduct"; "UnionAll"; "HashDiff"; "HashIntersect";
+      "HashDistinct"; "HashAggregate"; "Exchange";
+    ]
+
+let chunked_operators_match_eval =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"chunked exec = Eval, all operators × chunk sizes × jobs"
+       ~count:25 QCheck.small_nat (fun seed ->
+         let a, db = diff_db seed in
+         List.for_all
+           (fun e ->
+             let expected = Eval.eval db e in
+             List.for_all
+               (fun jobs ->
+                 List.for_all
+                   (fun plan ->
+                     List.for_all
+                       (fun chunk_size ->
+                         Relation.equal expected
+                           (Engine.Exec.run ~chunk_size db plan))
+                       chunk_sizes)
+                   (all_plans ~jobs db e))
+               jobs_list)
+           (operator_exprs a)))
+
+(* Metamorphic: beyond matching Eval, every (chunk size, jobs) pair must
+   agree with every other — on random well-typed expressions, so shapes
+   the hand-written operator list misses are covered too. *)
+let metamorphic_chunk_jobs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"identical results across all (chunk, jobs) pairs"
+       ~count:40 QCheck.small_nat (fun seed ->
+         let scen = W.Gen_expr.scenario ~seed ~depth:4 in
+         let db = scen.W.Gen_expr.db in
+         match
+           List.concat_map
+             (fun jobs ->
+               let plan =
+                 Engine.Planner.plan ~jobs ~cores:jobs ~parallel_threshold:0 db
+                   scen.W.Gen_expr.expr
+               in
+               List.map
+                 (fun chunk_size -> Engine.Exec.run ~chunk_size db plan)
+                 chunk_sizes)
+             jobs_list
+         with
+         | [] -> true
+         | r0 :: rest -> List.for_all (Relation.equal r0) rest
+         | exception Aggregate.Undefined _ -> true))
+
+(* --- chunk-boundary edge cases ----------------------------------------- *)
+
+let s_kv = Schema.of_list [ ("k", Domain.DInt); ("v", Domain.DInt) ]
+let kv a b = Tuple.of_list [ Value.Int a; Value.Int b ]
+
+let check_chunked_equals_eval name db e =
+  let expected = Eval.eval db e in
+  List.iter
+    (fun chunk_size ->
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun plan ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s (chunk=%d, jobs=%d)" name chunk_size jobs)
+                true
+                (Relation.equal expected (Engine.Exec.run ~chunk_size db plan)))
+            (all_plans ~jobs db e))
+        jobs_list)
+    (chunk_sizes @ [ Engine.Exec.default_chunk_size ])
+
+let test_chunk_boundary_empty () =
+  let db =
+    Database.of_relations
+      [
+        ("a", Relation.empty s_kv);
+        ("b", Relation.empty s_kv);
+        ("c", Relation.of_counted_list s_kv [ (kv 1 1, 2) ]);
+      ]
+  in
+  List.iter
+    (fun (name, e) -> check_chunked_equals_eval name db e)
+    [
+      ("σ over empty", Expr.select (Pred.lt (Scalar.attr 1) (Scalar.int 3)) (Expr.rel "a"));
+      ("empty ⋈ non-empty", Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "a") (Expr.rel "c"));
+      ("non-empty − all", Expr.diff (Expr.rel "c") (Expr.rel "c"));
+      ("Γ keys over empty", Expr.group_by [ 1 ] [ (Aggregate.Cnt, 1) ] (Expr.rel "a"));
+    ]
+
+let test_chunk_boundary_exact_multiple () =
+  (* Cardinality an exact multiple of the chunk size: 510 = 2 × 255
+     distinct rows, so the final chunk is exactly full and no ragged
+     tail chunk exists (the lazy chunker must still terminate cleanly,
+     not emit a trailing empty chunk). *)
+  let rows = List.init 510 (fun i -> (kv (i mod 17) i, 1)) in
+  let db = Database.of_relations [ ("a", Relation.of_counted_list s_kv rows) ] in
+  List.iter
+    (fun (name, e) -> check_chunked_equals_eval name db e)
+    [
+      ("σ at exact multiple", Expr.select (Pred.lt (Scalar.attr 1) (Scalar.int 9)) (Expr.rel "a"));
+      ("δ at exact multiple", Expr.unique (Expr.project_attrs [ 1 ] (Expr.rel "a")));
+      ("Γ at exact multiple", Expr.group_by [ 1 ] [ (Aggregate.Sum, 2) ] (Expr.rel "a"));
+    ];
+  (* ... and with the chunk size equal to the whole cardinality, and to
+     exact divisors, the same plans must still agree. *)
+  let e = Expr.group_by [ 1 ] [ (Aggregate.Cnt, 1) ] (Expr.rel "a") in
+  let expected = Eval.eval db e in
+  List.iter
+    (fun chunk_size ->
+      Alcotest.(check bool)
+        (Printf.sprintf "divisor chunk %d" chunk_size)
+        true
+        (Relation.equal expected
+           (Engine.Exec.run ~chunk_size db
+              (Engine.Planner.plan db e))))
+    [ 2; 3; 5; 6; 10; 17; 30; 51; 85; 102; 170; 255; 510 ]
+
+let test_chunk_boundary_duplicates () =
+  (* Duplicate-heavy bags: multiplicities well past any chunk size, and
+     a ⊎-chain whose equal tuples arrive in different chunks — at chunk
+     size 1, every counted element is its own chunk, so merging equal
+     tuples across chunk boundaries is fully exercised. *)
+  let heavy =
+    Relation.of_counted_list s_kv
+      [ (kv 1 1, 1000); (kv 2 2, 997); (kv 3 3, 1) ]
+  in
+  let db = Database.of_relations [ ("a", heavy) ] in
+  let chain =
+    Expr.union (Expr.rel "a") (Expr.union (Expr.rel "a") (Expr.rel "a"))
+  in
+  List.iter
+    (fun (name, e) -> check_chunked_equals_eval name db e)
+    [
+      ("δ over multiplicity 1000", Expr.unique (Expr.rel "a"));
+      ("Γ over multiplicity 1000", Expr.group_by [ 1 ] [ (Aggregate.Cnt, 1); (Aggregate.Sum, 2) ] (Expr.rel "a"));
+      ("⊎-chain of duplicates", chain);
+      ("δ over ⊎-chain", Expr.unique chain);
+      ("self-⋈ of duplicates", Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "a") (Expr.rel "a"));
+      ("3·bag − 2·bag", Expr.diff chain (Expr.union (Expr.rel "a") (Expr.rel "a")));
+    ]
+
+(* --- the adaptive planner's 1-core guarantee --------------------------- *)
+
+let test_one_core_never_exchanges () =
+  let a, db = diff_db 3 in
+  let exprs = operator_exprs a in
+  (* jobs=4 on a 1-core host: every plan must be purely sequential, even
+     with the profitability floor forced to zero. *)
+  List.iter
+    (fun e ->
+      let plan = Engine.Planner.plan ~jobs:4 ~cores:1 ~parallel_threshold:0 db e in
+      Alcotest.(check int)
+        ("no Exchange on one core: " ^ Expr.to_string e)
+        0
+        (Engine.Physical.exchange_count plan))
+    exprs;
+  (* Sanity: the same request on a 4-core host does parallelize. *)
+  let some_exchange =
+    List.exists
+      (fun e ->
+        Engine.Physical.exchange_count
+          (Engine.Planner.plan ~jobs:4 ~cores:4 ~parallel_threshold:0 db e)
+        > 0)
+      exprs
+  in
+  Alcotest.(check bool) "four cores do parallelize" true some_exchange;
+  (* And parallelize itself honours the guard, not just plan. *)
+  let stats = Engine.Stats.env_of_database db in
+  let schemas = Typecheck.env_of_database db in
+  let seq = Engine.Planner.plan db (List.nth exprs 4) in
+  Alcotest.(check int) "parallelize is the identity on one core" 0
+    (Engine.Physical.exchange_count
+       (Engine.Planner.parallelize ~stats ~schemas ~jobs:8 ~cores:1
+          ~threshold:0 seq))
+
+let test_feedback_bar () =
+  Parallel.Feedback.reset ();
+  Alcotest.(check (option int)) "no observations, no bar" None
+    (Parallel.Feedback.min_profitable_rows ());
+  (* A loss at 1000 rows: only inputs past 2000 are worth trying. *)
+  Parallel.Feedback.note ~rows:1000 ~parts:4 ~gain_ms:(-2.0);
+  Alcotest.(check (option int)) "loss doubles the bar" (Some 2000)
+    (Parallel.Feedback.min_profitable_rows ());
+  (* A win at 5000 rows cannot lower the bar below the observed loss
+     region's ceiling... *)
+  Parallel.Feedback.note ~rows:5000 ~parts:4 ~gain_ms:1.5;
+  Alcotest.(check (option int)) "win above the bar keeps it" (Some 2000)
+    (Parallel.Feedback.min_profitable_rows ());
+  (* ...but a win at a smaller size pulls it down. *)
+  Parallel.Feedback.note ~rows:800 ~parts:2 ~gain_ms:0.5;
+  Alcotest.(check (option int)) "smaller win lowers the bar" (Some 800)
+    (Parallel.Feedback.min_profitable_rows ());
+  Alcotest.(check int) "observations counted" 3
+    (Parallel.Feedback.observations ());
+  (* Zero-row reports are noise and must be ignored. *)
+  Parallel.Feedback.note ~rows:0 ~parts:2 ~gain_ms:(-1.0);
+  Alcotest.(check (option int)) "zero rows ignored" (Some 800)
+    (Parallel.Feedback.min_profitable_rows ());
+  Parallel.Feedback.reset ();
+  Alcotest.(check (option int)) "reset clears the bar" None
+    (Parallel.Feedback.min_profitable_rows ());
+  Alcotest.(check int) "reset clears the count" 0
+    (Parallel.Feedback.observations ())
 
 let suite =
   ( "parallel",
@@ -142,4 +422,17 @@ let suite =
       par_group_by_multi_attr_matches;
       par_global_aggregate_matches;
       exchange_plans_match;
+      Alcotest.test_case "differential harness reaches every operator" `Quick
+        test_operator_coverage;
+      chunked_operators_match_eval;
+      metamorphic_chunk_jobs;
+      Alcotest.test_case "chunk boundaries: empty inputs" `Quick
+        test_chunk_boundary_empty;
+      Alcotest.test_case "chunk boundaries: exact multiples" `Quick
+        test_chunk_boundary_exact_multiple;
+      Alcotest.test_case "chunk boundaries: duplicate-heavy bags" `Quick
+        test_chunk_boundary_duplicates;
+      Alcotest.test_case "adaptive planner: one core, no Exchange" `Quick
+        test_one_core_never_exchanges;
+      Alcotest.test_case "Exchange feedback bar" `Quick test_feedback_bar;
     ] )
