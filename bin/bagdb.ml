@@ -27,6 +27,7 @@ module Trace = Mxra_obs.Trace
 module Store = Mxra_storage.Store
 module Torture = Mxra_storage.Torture
 module Scheduler = Mxra_concurrency.Scheduler
+module Syscat = Mxra_engine.Syscat
 
 let preload beer gen_beers retail =
   if retail > 0 then
@@ -78,10 +79,17 @@ let run_query ctx ~lang db e =
      query_id, so one grep correlates the JSONL query log, the Chrome
      trace and EXPLAIN ANALYZE output. *)
   let qid = Obs.Qid.mint () in
+  let text = Expr.to_string e in
+  let record ~rows ?tuples ~wall_ms () =
+    Obs.Stmt_stats.record ~lang ~qid ~rows ?tuples ~wall_ms text
+  in
   Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
   Trace.with_span "query"
-    ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str (Expr.to_string e)) ]
+    ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str text) ]
     (fun () ->
+      (* Queries over sys.* see the catalog snapshot taken here — the
+         in-flight query itself is recorded only after it finishes. *)
+      let db = Syscat.attach_for db e in
       let e =
         if ctx.optimize then Mxra_optimizer.Optimizer.optimize_db db e else e
       in
@@ -93,6 +101,13 @@ let run_query ctx ~lang db e =
         let a = Mxra_engine.Exec.run_instrumented db plan in
         Trace.add_attr "rows"
           (Trace.Int (Relation.cardinal a.Mxra_engine.Exec.result));
+        record
+          ~rows:(Relation.cardinal a.Mxra_engine.Exec.result)
+          ~tuples:
+            (Mxra_engine.Metrics.count
+               (Mxra_engine.Metrics.counter a.Mxra_engine.Exec.totals
+                  "tuples-moved"))
+          ~wall_ms:a.Mxra_engine.Exec.total_ms ();
         Option.iter (fun m -> merge_totals m a.Mxra_engine.Exec.totals)
           ctx.totals;
         if not ctx.quiet then
@@ -107,7 +122,11 @@ let run_query ctx ~lang db e =
             a.Mxra_engine.Exec.total_ms moved
       end
       else begin
+        let t0 = Trace.now_us () in
         let r = Mxra_engine.Exec.run db plan in
+        record ~rows:(Relation.cardinal r)
+          ~wall_ms:((Trace.now_us () -. t0) /. 1000.0)
+          ();
         Trace.add_attr "rows" (Trace.Int (Relation.cardinal r));
         if not ctx.quiet then Format.printf "%a@." Relation.pp_table r
       end)
@@ -117,6 +136,12 @@ let exec_statement ctx db stmt =
   | Statement.Query e ->
       run_query ctx ~lang:"xra" db e;
       db
+  | Statement.Insert (name, _) | Statement.Delete (name, _)
+  | Statement.Update (name, _, _) | Statement.Assign (name, _)
+    when Syscat.is_sys_name name ->
+      (* The catalog is read-only: writing a sys.* name is refused
+         before any transaction machinery sees it. *)
+      raise (Syscat.Reserved name)
   | Statement.Insert _ | Statement.Delete _ | Statement.Update _
   | Statement.Assign _ ->
       (* Data statements get the same treatment as queries: a minted
@@ -127,12 +152,18 @@ let exec_statement ctx db stmt =
       Trace.with_span "statement"
         ~attrs:[ ("text", Trace.Str (Statement.to_string stmt)) ]
         (fun () ->
+          let t0 = Trace.now_us () in
           let txn = Transaction.make [ stmt ] in
           let outcome =
             match ctx.store with
             | Some s -> Store.commit ~qid s txn
             | None -> Transaction.run db txn
           in
+          (* Recorded after the commit so the WAL bytes appended under
+             this qid drain straight into the entry. *)
+          Obs.Stmt_stats.record ~qid
+            ~wall_ms:((Trace.now_us () -. t0) /. 1000.0)
+            (Statement.to_string stmt);
           match outcome with
           | Transaction.Committed { state; _ } -> state
           | Transaction.Aborted { state; reason } ->
@@ -146,6 +177,7 @@ let exec_statement ctx db stmt =
    it follows.  (Without this, a create existed only in the session's
    in-memory state and every subsequent durable insert aborted.) *)
 let apply_create ctx db name schema =
+  Syscat.check_not_reserved name;
   let db' = Database.create name schema db in
   (match ctx.store with
   | Some s ->
@@ -228,7 +260,9 @@ let run_sql ?(on_step = fun (_ : Database.t) -> ()) ctx db path =
   let source = In_channel.with_open_text path In_channel.input_all in
   let step db ast =
     let db =
-      match Sql.Translate.translate (Typecheck.env_of_database db) ast with
+      (* The translation env includes the sys.* schemas, so FROM
+         sys.statements resolves before the catalog is attached. *)
+      match Sql.Translate.translate (Syscat.env db) ast with
       | Sql.Translate.Query e ->
           run_query ctx ~lang:"sql" db e;
           db
@@ -242,6 +276,7 @@ let run_sql ?(on_step = fun (_ : Database.t) -> ()) ctx db path =
 
 let explain ~analyze ~jobs db src =
   let e = Xra.Parser.expr_of_string src in
+  let db = Syscat.attach_for db e in
   let optimized, report =
     if analyze then Mxra_optimizer.Optimizer.explain_db db e
     else
@@ -402,6 +437,8 @@ let guarded f =
       Format.eprintf "unknown relation: %s@." name; 1
   | exception Database.Duplicate_relation name ->
       Format.eprintf "relation exists: %s@." name; 1
+  | exception Syscat.Reserved name ->
+      Format.eprintf "reserved name: %s is a system catalog relation@." name; 1
   | exception Sys_error msg ->
       Format.eprintf "i/o error: %s@." msg; 1
   | exception Unix.Unix_error (e, fn, _) ->
@@ -476,6 +513,52 @@ let metrics_cmd =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
       $ seed_flag $ jobs_flag $ chunk_size_flag $ path_arg)
+
+(* [bagdb stats]: run a script quietly (if given), then render the
+   cumulative fingerprinted statement statistics — the same registry
+   sys.statements materializes and /stmtz serves. *)
+let stats_cmd =
+  let action beer gen retail no_opt seed jobs chunk json limit path =
+    guarded (fun () ->
+        set_chunk_size chunk;
+        let ctx =
+          {
+            optimize = not no_opt;
+            stats = false;
+            quiet = true;
+            seed;
+            jobs = set_jobs jobs;
+            store = None;
+            totals = None;
+          }
+        in
+        (match path with
+        | Some path ->
+            let runner =
+              if Filename.check_suffix path ".sql" then run_sql else run_xra
+            in
+            ignore (runner ctx (preload beer gen retail) path)
+        | None -> ());
+        if json then print_string (Obs.Stmt_stats.to_json ())
+        else print_string (Obs.Stmt_stats.render_top ~limit ()))
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump the registry as JSON.")
+  and limit =
+    Arg.(value & opt int 20
+         & info [ "limit" ] ~doc:"Show the top $(docv) statements." ~docv:"N")
+  and path =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a script with output suppressed and print cumulative \
+          per-statement statistics keyed by fingerprint: calls, wall-time \
+          quantiles, rows, WAL bytes and lock waits.")
+    Term.(
+      const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
+      $ seed_flag $ jobs_flag $ chunk_size_flag $ json $ limit $ path)
 
 let analyze_flag =
   Arg.(
@@ -638,6 +721,9 @@ let serve_cmd =
                     ~probes ()
                 in
                 let ts = Obs.Sampler.store sampler in
+                (* sys.series materializes from the live sampler store
+                   while this server runs. *)
+                Syscat.set_series_store (Some ts);
                 let quit = Atomic.make false in
                 let handler path =
                   match path with
@@ -645,12 +731,17 @@ let serve_cmd =
                       Some
                         (Obs.Http_server.text
                            (Obs.Prometheus.of_aggregate agg
-                           ^ Obs.Timeseries.to_prometheus ts))
+                           ^ Obs.Timeseries.to_prometheus ts
+                           ^ Obs.Stmt_stats.to_prometheus ()))
                   | "/healthz" -> Some (Obs.Http_server.text "ok\n")
                   | "/statz" ->
                       Some (Obs.Http_server.json (Obs.Timeseries.to_json ts))
                   | "/topz" ->
                       Some (Obs.Http_server.text (Obs.Timeseries.render_top ts))
+                  | "/stmtz" ->
+                      Some (Obs.Http_server.text (Obs.Stmt_stats.render_top ()))
+                  | "/stmtz.json" ->
+                      Some (Obs.Http_server.json (Obs.Stmt_stats.to_json ()))
                   | "/quitz" ->
                       Atomic.set quit true;
                       Some (Obs.Http_server.text "bye\n")
@@ -736,11 +827,14 @@ let serve_cmd =
    frame for scripts, --statz dumps the raw JSON, --quit asks the
    server to shut down. *)
 let top_cmd =
-  let action host port once statz quit interval_ms =
+  let action host port once statz stmtz quit interval_ms =
     guarded (fun () ->
         if quit then ignore (Obs.Http_server.get ~host ~port "/quitz")
         else if statz then
           let _, body = Obs.Http_server.get ~host ~port "/statz" in
+          print_string body
+        else if stmtz then
+          let _, body = Obs.Http_server.get ~host ~port "/stmtz" in
           print_string body
         else if once then
           let _, body = Obs.Http_server.get ~host ~port "/topz" in
@@ -748,9 +842,18 @@ let top_cmd =
         else
           let rec loop () =
             let _, body = Obs.Http_server.get ~host ~port "/topz" in
+            (* Top statements ride below the series table on the live
+               refresh; --once keeps the bare /topz frame for scripts. *)
+            let statements =
+              match Obs.Http_server.get ~host ~port "/stmtz" with
+              | _, s when String.trim s <> "" -> "\n-- statements --\n" ^ s
+              | _ -> ""
+              | exception _ -> ""
+            in
             (* Clear screen, home cursor, redraw. *)
             print_string "\027[2J\027[H";
             print_string body;
+            print_string statements;
             flush stdout;
             Unix.sleepf (float_of_int (max 50 interval_ms) /. 1000.0);
             loop ()
@@ -768,6 +871,10 @@ let top_cmd =
   and statz =
     Arg.(value & flag
          & info [ "statz" ] ~doc:"Dump the raw /statz JSON instead of the table.")
+  and stmtz =
+    Arg.(value & flag
+         & info [ "stmtz" ]
+             ~doc:"Print the fingerprinted statement table (/stmtz) and exit.")
   and quit =
     Arg.(value & flag
          & info [ "quit" ] ~doc:"Ask the server to shut down (/quitz) and exit.")
@@ -781,15 +888,19 @@ let top_cmd =
          "Watch a running $(b,bagdb serve): fetch its /topz table and \
           refresh in place.")
     Term.(
-      const action $ host $ port $ once $ statz $ quit $ interval_ms)
+      const action $ host $ port $ once $ statz $ stmtz $ quit $ interval_ms)
 
 let () =
+  (* sys.locks materializes from the scheduler's process counters; the
+     engine cannot name the scheduler (layering), so the host wires the
+     probe — same inversion the sampler uses. *)
+  Syscat.set_probe "sys.locks" Scheduler.telemetry;
   let doc = "a multi-set extended relational algebra database (ICDE 1994)" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bagdb" ~doc)
           [
-            run_cmd; sql_cmd; explain_cmd; metrics_cmd; torture_cmd; serve_cmd;
-            top_cmd;
+            run_cmd; sql_cmd; explain_cmd; metrics_cmd; stats_cmd; torture_cmd;
+            serve_cmd; top_cmd;
           ]))

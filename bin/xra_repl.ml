@@ -21,6 +21,8 @@ open Mxra_relational
 open Mxra_core
 module Xra = Mxra_xra
 module Sql = Mxra_sql
+module Obs = Mxra_obs
+module Syscat = Mxra_engine.Syscat
 module Trace = Mxra_obs.Trace
 
 let print_relation r = Format.printf "%a@." Relation.pp_table r
@@ -41,18 +43,27 @@ let trace_on path =
   Format.printf "tracing to %s (load in Perfetto); .trace off to finish@."
     path
 
-let run_query db e =
+let run_query ?(lang = "xra") db e =
+  let qid = Obs.Qid.mint () in
+  Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
   Trace.with_span "query"
-    ~attrs:[ ("lang", Trace.Str "xra"); ("text", Trace.Str (Expr.to_string e)) ]
+    ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str (Expr.to_string e)) ]
     (fun () ->
+      (* sys.* queries see the catalog snapshot taken here — the query
+         in flight is recorded only after it finishes. *)
+      let db = Syscat.attach_for db e in
       let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
       let plan = Mxra_engine.Planner.plan db optimized in
+      let t0 = Trace.now_us () in
       let r =
         (* The instrumented run emits the per-operator spans. *)
         if Trace.enabled () then
           (Mxra_engine.Exec.run_instrumented db plan).Mxra_engine.Exec.result
         else Mxra_engine.Exec.run db plan
       in
+      Obs.Stmt_stats.record ~lang ~qid ~rows:(Relation.cardinal r)
+        ~wall_ms:((Trace.now_us () -. t0) /. 1000.0)
+        (Expr.to_string e);
       Trace.add_attr "rows" (Trace.Int (Relation.cardinal r));
       r)
 
@@ -61,9 +72,20 @@ let exec_statement db stmt =
   | Statement.Query e ->
       print_relation (run_query db e);
       db
+  | Statement.Insert (name, _) | Statement.Delete (name, _)
+  | Statement.Update (name, _, _) | Statement.Assign (name, _)
+    when Syscat.is_sys_name name ->
+      (* The catalog is read-only. *)
+      raise (Syscat.Reserved name)
   | Statement.Insert _ | Statement.Delete _ | Statement.Update _
   | Statement.Assign _ -> (
-      match Transaction.run db (Transaction.make [ stmt ]) with
+      let qid = Obs.Qid.mint () in
+      let t0 = Trace.now_us () in
+      let outcome = Transaction.run db (Transaction.make [ stmt ]) in
+      Obs.Stmt_stats.record ~qid
+        ~wall_ms:((Trace.now_us () -. t0) /. 1000.0)
+        (Statement.to_string stmt);
+      match outcome with
       | Transaction.Committed { state; _ } ->
           Format.printf "ok@.";
           state
@@ -85,14 +107,15 @@ let exec_command db = function
   | Xra.Parser.Cmd_statement stmt -> exec_statement db stmt
   | Xra.Parser.Cmd_transaction program -> exec_transaction db program
   | Xra.Parser.Cmd_create (name, schema) ->
+      Syscat.check_not_reserved name;
       let db = Database.create name schema db in
       Format.printf "created %s %s@." name (Schema.to_string schema);
       db
 
 let exec_sql db src =
-  match Sql.Translate.translate_string (Typecheck.env_of_database db) src with
+  match Sql.Translate.translate_string (Syscat.env db) src with
   | Sql.Translate.Query e ->
-      print_relation (run_query db e);
+      print_relation (run_query ~lang:"sql" db e);
       db
   | Sql.Translate.Statement stmt -> exec_statement db stmt
   | Sql.Translate.Create (name, schema) ->
@@ -100,6 +123,7 @@ let exec_sql db src =
 
 let show_plan db src =
   let e = Xra.Parser.expr_of_string src in
+  let db = Syscat.attach_for db e in
   let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
   Format.printf "logical (optimized):@.  %s@." (Expr.to_string optimized);
   Format.printf "physical:@.%s@."
@@ -111,6 +135,7 @@ let show_plan db src =
    time. *)
 let explain_query db ~analyze src =
   let e = Xra.Parser.expr_of_string src in
+  let db = Syscat.attach_for db e in
   let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
   if analyze then
     Format.printf "%a@."
@@ -127,6 +152,9 @@ let help () =
      Meta: .help .quit .tables .show R .schema R .beer .sql STMT .plan E\n\
     \  .load FILE .save DIR .open DIR .import FILE R .export R FILE\n\
     \  .trace on [FILE] / .trace off   Chrome trace of query execution\n\
+    \  .stats   cumulative per-statement stats (also: ? sys.statements)\n\
+     Catalog: sys.statements sys.operators sys.relations sys.locks\n\
+    \  sys.pool sys.series are queryable read-only relations\n\
      Profiling: explain E (estimated rows per operator)\n\
     \  explain analyze E (estimated vs actual rows, q-error, time)\n"
 
@@ -159,6 +187,9 @@ and dispatch db line =
         Format.printf "loaded beer database@.";
         Mxra_workload.Beer.tiny
     | ".sql" :: rest -> exec_sql db (String.concat " " rest)
+    | ".stats" :: _ ->
+        print_string (Obs.Stmt_stats.render_top ());
+        db
     | ".plan" :: rest -> show_plan db (String.concat " " rest); db
     | [ ".load"; path ] -> run_script db path
     | [ ".save"; dir ] ->
@@ -250,6 +281,9 @@ let safely f db =
       db
   | exception Database.Duplicate_relation name ->
       Format.printf "relation exists: %s@." name;
+      db
+  | exception Syscat.Reserved name ->
+      Format.printf "reserved name: %s is a system catalog relation@." name;
       db
   | exception Mxra_workload.Csv.Csv_error (msg, line) ->
       Format.printf "csv error at line %d: %s@." line msg;

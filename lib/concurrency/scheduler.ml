@@ -11,6 +11,10 @@ let total_deadlocks = Atomic.make 0
 let total_commits = Atomic.make 0
 let total_batches = Atomic.make 0
 
+(* Wall time transactions spent blocked on locks, in microseconds —
+   an int so one atomic add suffices. *)
+let total_lock_wait_us = Atomic.make 0
+
 let telemetry () =
   [
     ("sched.steps", float_of_int (Atomic.get total_steps));
@@ -18,6 +22,7 @@ let telemetry () =
     ("sched.deadlocks", float_of_int (Atomic.get total_deadlocks));
     ("sched.commits", float_of_int (Atomic.get total_commits));
     ("sched.batches", float_of_int (Atomic.get total_batches));
+    ("sched.lock_wait_ms", float_of_int (Atomic.get total_lock_wait_us) /. 1000.0);
   ]
 
 type outcome =
@@ -71,7 +76,21 @@ type txn_exec = {
   mutable outputs : Relation.t list;  (* ?E results, reversed *)
   mutable n_blocks : int;  (* this transaction's share of stats.blocks *)
   mutable started_us : float;  (* trace span start; nan before first step *)
+  mutable blocked_since : float;  (* lock-wait start (us); nan when runnable *)
 }
+
+(* Close an open lock-wait interval: the wait runs from the first
+   failed acquisition to the moment the transaction proceeds (locks
+   granted) or dies (deadlock victim).  The time lands in the process
+   counter and, via the transaction's qid, on the statement entry in
+   {!Mxra_obs.Stmt_stats}. *)
+let settle_wait t =
+  if not (Float.is_nan t.blocked_since) then begin
+    let wait_us = Trace.now_us () -. t.blocked_since in
+    t.blocked_since <- Float.nan;
+    ignore (Atomic.fetch_and_add total_lock_wait_us (int_of_float wait_us));
+    Mxra_obs.Stmt_stats.add_lock_wait ~qid:t.qid (wait_us /. 1000.0)
+  end
 
 (* Relations a statement reads (expressions) and writes (the target). *)
 let accesses stmt =
@@ -227,6 +246,7 @@ let undo sched t =
   t.temps <- []
 
 let finish sched t outcome =
+  settle_wait t;
   (match outcome with
   | Committed ->
       sched.commits <- t.index :: sched.commits;
@@ -293,6 +313,7 @@ let step sched t =
                     | Exclusive -> "exclusive") );
               ];
           t.status <- Blocked (want_name, want_mode);
+          if Float.is_nan t.blocked_since then t.blocked_since <- Trace.now_us ();
           if wait_for_cycle sched [] t.index then begin
             sched.n_deadlocks <- sched.n_deadlocks + 1;
             Atomic.incr total_deadlocks;
@@ -301,11 +322,13 @@ let step sched t =
             finish sched t (Aborted "deadlock victim")
           end
       | [] -> (
+          settle_wait t;
           sched.n_steps <- sched.n_steps + 1;
           Atomic.incr total_steps;
           backup_before_write sched t stmt;
+          let stats_on = Mxra_obs.Stmt_stats.enabled () in
           let stmt_start =
-            if Trace.enabled () then Trace.now_us () else Float.nan
+            if Trace.enabled () || stats_on then Trace.now_us () else Float.nan
           in
           match Statement.exec (view_of sched t) stmt with
           | view', output ->
@@ -321,6 +344,15 @@ let step sched t =
                       ("text", Trace.Str (Statement.to_string stmt));
                       (Qid.attr_key, Trace.Str t.qid);
                     ];
+              (* Fold the statement into the cumulative fingerprint
+                 registry under the transaction's qid, which also makes
+                 commit-time WAL bytes attributable to it. *)
+              if stats_on then
+                Mxra_obs.Stmt_stats.record ~qid:t.qid
+                  ~rows:
+                    (match output with Some r -> Relation.cardinal r | None -> 0)
+                  ~wall_ms:((Trace.now_us () -. stmt_start) /. 1000.0)
+                  (Statement.to_string stmt);
               (match output with
               | Some r -> t.outputs <- r :: t.outputs
               | None -> ());
@@ -364,6 +396,7 @@ let run ~seed db txns =
                  outputs = [];
                  n_blocks = 0;
                  started_us = Float.nan;
+                 blocked_since = Float.nan;
                })
              txns);
       n_steps = 0;

@@ -919,6 +919,18 @@ let run_instrumented ?chunk_size db plan =
   Metrics.add (Metrics.counter totals "rows-out") root.actual.out_rows;
   Metrics.add (Metrics.counter totals "operators") (Physical.size plan);
   Metrics.add_ms (Metrics.timer totals "wall") (Metrics.elapsed_ms total);
+  (* Fold this execution into the cumulative per-operator registry
+     that [sys.operators] materializes.  Wall time is inclusive of
+     children, same convention as the EXPLAIN ANALYZE report rows. *)
+  if Mxra_obs.Stmt_stats.enabled () then begin
+    let rec feed r =
+      Mxra_obs.Op_stats.record ~op:(Physical.kind r.node)
+        ~elems:r.actual.out_elems ~rows:r.actual.out_rows
+        ~cells:r.actual.out_cells ~wall_ms:r.actual.wall_ms;
+      List.iter feed r.inputs
+    in
+    feed root
+  end;
   { result; total_ms = Metrics.elapsed_ms total; root; totals }
 
 let explain_analyze ?chunk_size ?jobs db e =

@@ -1,0 +1,241 @@
+(* The system catalog: telemetry served back through the algebra.
+
+   Reserved [sys.*] names resolve to ordinary bag relations that are
+   materialized *on attach* from the live registries — the statement
+   stats registry, the per-operator registry, the database catalog
+   itself, the domain pool, and whatever lock / timeseries sources the
+   host process registers.  [attach] binds them as temporary relations
+   on a [Database.t], so downstream of name resolution nothing in the
+   optimizer → planner → exec pipeline knows they are special: they
+   select, join, project and aggregate like any other relation, with
+   snapshot semantics (the catalog is frozen at attach time, one
+   consistent instant per query).
+
+   Layering: mxra_engine cannot see the scheduler or the store (they
+   sit above it), so [sys.locks] and [sys.series] are fed through
+   registered closures — the same inversion the {!Mxra_obs.Sampler}
+   probes use.  [sys.pool] comes straight from [Mxra_ext.Pool], which
+   the engine already depends on. *)
+
+open Mxra_relational
+open Mxra_core
+module Obs = Mxra_obs
+
+exception Reserved of string
+(* Raised when a statement tries to create or assign a [sys.*] name. *)
+
+let prefix = "sys."
+
+let is_sys_name name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+let check_not_reserved name = if is_sys_name name then raise (Reserved name)
+
+(* --- registered sources ------------------------------------------------- *)
+
+(* Counter-shaped sources for sys.locks: name -> probe.  The host
+   registers e.g. Scheduler.telemetry under "sys.locks". *)
+let probes : (string, unit -> (string * float) list) Hashtbl.t = Hashtbl.create 4
+
+let set_probe name probe = Hashtbl.replace probes name probe
+
+(* The pool is below the engine, so its source needs no host wiring. *)
+let () = set_probe "sys.pool" Mxra_ext.Pool.telemetry
+
+let series_store : Obs.Timeseries.t option ref = ref None
+let set_series_store s = series_store := s
+
+(* --- schemas ------------------------------------------------------------ *)
+
+open Domain
+
+let statements_schema =
+  Schema.of_list
+    [
+      ("fingerprint", DStr);
+      ("statement", DStr);
+      ("lang", DStr);
+      ("calls", DInt);
+      ("rows", DInt);
+      ("tuples", DInt);
+      ("wal_bytes", DInt);
+      ("lock_wait_ms", DFloat);
+      ("total_ms", DFloat);
+      ("min_ms", DFloat);
+      ("max_ms", DFloat);
+      ("p50_ms", DFloat);
+      ("p99_ms", DFloat);
+      ("last_qid", DStr);
+    ]
+
+let operators_schema =
+  Schema.of_list
+    [
+      ("op", DStr);
+      ("execs", DInt);
+      ("elems", DInt);
+      ("rows", DInt);
+      ("cells", DInt);
+      ("wall_ms", DFloat);
+    ]
+
+let relations_schema =
+  Schema.of_list
+    [
+      ("name", DStr);
+      ("arity", DInt);
+      ("tuples", DInt);
+      ("distinct", DInt);
+      ("temporary", DBool);
+    ]
+
+let counters_schema = Schema.of_list [ ("counter", DStr); ("value", DFloat) ]
+
+let series_schema =
+  Schema.of_list
+    [ ("series", DStr); ("t_s", DFloat); ("value", DFloat); ("points", DInt) ]
+
+let schemas =
+  [
+    ("sys.statements", statements_schema);
+    ("sys.operators", operators_schema);
+    ("sys.relations", relations_schema);
+    ("sys.locks", counters_schema);
+    ("sys.pool", counters_schema);
+    ("sys.series", series_schema);
+  ]
+
+let names () = List.map fst schemas
+let schema name = List.assoc_opt name schemas
+
+(* --- materialization ---------------------------------------------------- *)
+
+let str s = Value.Str s
+let int n = Value.Int n
+let flt f = Value.Float (if Float.is_nan f then 0.0 else f)
+
+let statements_now () =
+  Relation.of_counted_list statements_schema
+    (List.map
+       (fun (r : Obs.Stmt_stats.row) ->
+         ( Tuple.of_list
+             [
+               str r.r_fingerprint;
+               str r.r_text;
+               str r.r_lang;
+               int r.r_calls;
+               int r.r_rows;
+               int r.r_tuples;
+               int r.r_wal_bytes;
+               flt r.r_lock_wait_ms;
+               flt r.r_total_ms;
+               flt r.r_min_ms;
+               flt r.r_max_ms;
+               flt r.r_p50_ms;
+               flt r.r_p99_ms;
+               str r.r_last_qid;
+             ],
+           1 ))
+       (Obs.Stmt_stats.snapshot ()))
+
+let operators_now () =
+  Relation.of_counted_list operators_schema
+    (List.map
+       (fun (r : Obs.Op_stats.row) ->
+         ( Tuple.of_list
+             [
+               str r.o_op;
+               int r.o_execs;
+               int r.o_elems;
+               int r.o_rows;
+               int r.o_cells;
+               flt r.o_wall_ms;
+             ],
+           1 ))
+       (Obs.Op_stats.snapshot ()))
+
+(* The catalog of the *base* database: sys.* temporaries themselves are
+   excluded so the relation describes user data, not its own scaffolding. *)
+let relations_now db =
+  Relation.of_counted_list relations_schema
+    (List.filter_map
+       (fun name ->
+         if is_sys_name name then None
+         else
+           let r = Database.find name db in
+           Some
+             ( Tuple.of_list
+                 [
+                   str name;
+                   int (Schema.arity (Relation.schema r));
+                   int (Relation.cardinal r);
+                   int (Relation.support_size r);
+                   Value.Bool (Database.is_temporary name db);
+                 ],
+               1 ))
+       (Database.relation_names db))
+
+let counters_now name =
+  let samples =
+    match Hashtbl.find_opt probes name with
+    | None -> []
+    | Some probe -> ( try probe () with _ -> [])
+  in
+  Relation.of_counted_list counters_schema
+    (List.map (fun (k, v) -> (Tuple.of_list [ str k; flt v ], 1)) samples)
+
+let series_now () =
+  let rows =
+    match !series_store with
+    | None -> []
+    | Some ts ->
+        List.filter_map
+          (fun name ->
+            match Obs.Timeseries.latest ts name with
+            | None -> None
+            | Some (t_s, v) ->
+                let points = Array.length (Obs.Timeseries.window ts name) in
+                Some
+                  ( Tuple.of_list [ str name; flt t_s; flt v; int points ],
+                    1 ))
+          (Obs.Timeseries.names ts)
+  in
+  Relation.of_counted_list series_schema rows
+
+let materialize db name =
+  match name with
+  | "sys.statements" -> Some (statements_now ())
+  | "sys.operators" -> Some (operators_now ())
+  | "sys.relations" -> Some (relations_now db)
+  | "sys.locks" -> Some (counters_now "sys.locks")
+  | "sys.pool" -> Some (counters_now "sys.pool")
+  | "sys.series" -> Some (series_now ())
+  | _ -> None
+
+(* --- attachment --------------------------------------------------------- *)
+
+let mentions e = List.exists is_sys_name (Expr.relations e)
+
+let attach db =
+  List.fold_left
+    (fun db (name, _) ->
+      (* A persistent relation squatting on a sys.* name (only possible
+         through pre-catalog snapshots) wins: never shadow user data. *)
+      if Database.mem name db && not (Database.is_temporary name db) then db
+      else
+        match materialize db name with
+        | Some r -> Database.assign_temporary name r db
+        | None -> db)
+    db schemas
+
+(* Attach only when the expression actually scans a sys.* name: every
+   other query pays one list walk over its relation names and nothing
+   else.  Unknown sys.* names ("sys.nonsense") are left unresolved on
+   purpose — the scan then raises the ordinary
+   [Database.Unknown_relation], exactly like any other missing name. *)
+let attach_for db e = if mentions e then attach db else db
+
+let env db =
+  let base = Typecheck.env_of_database db in
+  fun name -> (match base name with Some s -> Some s | None -> schema name)

@@ -1,0 +1,124 @@
+(* Statement fingerprinting: map statement text onto a stable identity
+   that survives the two kinds of noise that make raw text useless as a
+   registry key — literal constants and formatting.  [normalize] folds
+   case, strips comments and whitespace, and replaces every literal
+   (quoted string or number) with [?]; [fingerprint] hashes the result
+   with FNV-1a 64 so the key is short enough for a label value and a
+   table column.
+
+   The scan is purely lexical and deliberately front-end agnostic: it
+   does not parse XRA or SQL, it only has to agree with both lexers on
+   what a string literal, a number, an identifier and a comment look
+   like.  Attribute references like [%1] keep their digits — the index
+   is shape, not data; [amount > 100] and [amount > 250] are the same
+   shape, [%1 > ?] and [%2 > ?] are not. *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Characters that must stay separated by a space when the source had
+   one: two identifiers, an identifier and a placeholder, etc.
+   Punctuation binds tightly, so [select [%1>3]] and [select[ %1 > 3 ]]
+   normalize identically. *)
+let identish = function
+  | 'a' .. 'z' | '0' .. '9' | '_' | '?' | '%' | '.' -> true
+  | _ -> false
+
+let normalize src =
+  let n = String.length src in
+  let buf = Buffer.create n in
+  let pending_space = ref false in
+  let last () =
+    if Buffer.length buf = 0 then '\000' else Buffer.nth buf (Buffer.length buf - 1)
+  in
+  let emit c =
+    if !pending_space then begin
+      if identish (last ()) && identish c then Buffer.add_char buf ' ';
+      pending_space := false
+    end;
+    Buffer.add_char buf (Char.lowercase_ascii c)
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+      pending_space := true;
+      incr i
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment: gone, like whitespace *)
+      while !i < n && src.[!i] <> '\n' do incr i done;
+      pending_space := true
+    end
+    else if c = '\'' then begin
+      (* quoted string ('' escapes itself in both front-ends) -> ? *)
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then i := !i + 2
+          else begin
+            closed := true;
+            incr i
+          end
+        else incr i
+      done;
+      emit '?'
+    end
+    else if is_digit c && last () = '%' && not !pending_space then
+      (* attribute reference %k: the index is part of the shape *)
+      while !i < n && is_digit src.[!i] do
+        emit src.[!i];
+        incr i
+      done
+    else if is_digit c then begin
+      (* numeric literal: digits [. digits] [e[+-]digits] -> ? *)
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do incr j done;
+      if !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1] then begin
+        incr j;
+        while !j < n && is_digit src.[!j] do incr j done
+      end;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        let k = if !j + 1 < n && (src.[!j + 1] = '+' || src.[!j + 1] = '-') then !j + 2 else !j + 1 in
+        if k < n && is_digit src.[k] then begin
+          j := k;
+          while !j < n && is_digit src.[!j] do incr j done
+        end
+      end;
+      emit '?';
+      i := !j
+    end
+    else if is_ident_start c then
+      (* identifier, possibly dotted (sys.statements, t.col) *)
+      while
+        !i < n
+        && (is_ident_char src.[!i]
+           || (src.[!i] = '.' && !i + 1 < n && is_ident_start src.[!i + 1]))
+      do
+        emit src.[!i];
+        incr i
+      done
+    else begin
+      emit c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* FNV-1a, 64-bit: tiny, dependency-free, and stable across runs and
+   platforms — exactly what a fingerprint printed into WAL-adjacent
+   artifacts needs (Hashtbl.hash is documented as unstable). *)
+let hash64 s =
+  let open Int64 in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := logxor !h (of_int (Char.code c));
+      h := mul !h 0x100000001b3L)
+    s;
+  !h
+
+let fingerprint src = Printf.sprintf "%016Lx" (hash64 (normalize src))

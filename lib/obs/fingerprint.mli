@@ -1,0 +1,23 @@
+(** Statement fingerprinting.
+
+    Two statements that differ only in literal constants, comments,
+    case or whitespace share a fingerprint; statements of different
+    shape get different fingerprints (up to 64-bit hash collision).
+    This is the key under which {!Stmt_stats} accumulates cumulative
+    per-statement figures — the classic pg_stat_statements trick,
+    done lexically so one scanner serves both the XRA and SQL
+    front-ends. *)
+
+val normalize : string -> string
+(** Canonical shape of a statement: case-folded, comments stripped,
+    whitespace reduced to the separations that matter, every quoted
+    string and numeric literal replaced by [?].  Attribute references
+    ([%1], [%2], ...) keep their index — they are shape, not data. *)
+
+val hash64 : string -> int64
+(** FNV-1a 64-bit over the given string; stable across runs and
+    platforms. *)
+
+val fingerprint : string -> string
+(** [fingerprint src] = 16 lowercase hex digits of
+    [hash64 (normalize src)]. *)

@@ -9,6 +9,32 @@ let sanitize name =
   | _ -> body
   | exception Invalid_argument _ -> "_"
 
+(* Exposition format 0.0.4 label-value escaping: backslash, double
+   quote and line feed are the only characters that need it; everything
+   else (including UTF-8 bytes, braces, commas) passes through raw. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let label_set labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+             labels)
+      ^ "}"
+
 let number v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
@@ -29,6 +55,17 @@ let counter ?help name v =
 let gauge ?help name v =
   let name = sanitize name in
   header ?help name "gauge" ^ Printf.sprintf "%s %s\n" name (number v)
+
+let labeled ?help ~kind name samples =
+  let name = sanitize name in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (header ?help name kind);
+  List.iter
+    (fun (labels, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (label_set labels) (number v)))
+    samples;
+  Buffer.contents buf
 
 let summary ?help name h =
   let name = sanitize name in

@@ -12,8 +12,20 @@ val sanitize : string -> string
 (** Coerce an arbitrary name into [[a-zA-Z_:][a-zA-Z0-9_:]*]: illegal
     characters become ['_'], a leading digit is prefixed. *)
 
+val escape_label : string -> string
+(** Escape a label {e value} per the exposition format: backslash
+    becomes backslash-backslash, double quote becomes backslash-quote,
+    line feed becomes backslash-n.  Everything else — UTF-8 bytes,
+    braces, commas — is legal inside the quotes and passes through. *)
+
 val counter : ?help:string -> string -> float -> string
 val gauge : ?help:string -> string -> float -> string
+
+val labeled : ?help:string -> kind:string -> string -> ((string * string) list * float) list -> string
+(** One metric family with labeled samples: a [# TYPE name kind]
+    header, then [name{k="v",...} value] per sample.  Label names are
+    {!sanitize}d, label values {!escape_label}ed; an empty label list
+    renders a bare sample. *)
 
 val summary : ?help:string -> string -> Histogram.t -> string
 (** Quantile samples 0.5, 0.9, 0.99 (omitted when the histogram is

@@ -51,9 +51,23 @@ let loop t =
       end
     end
   in
+  (* Ticks are scheduled against absolute deadlines (epoch + k·interval)
+     rather than "now + interval": sleeping a fixed interval *after* the
+     probes run makes the real cadence interval + probe-time, drifting
+     further behind the wall clock the busier the process gets.  When a
+     round overruns its deadline entirely, the missed ticks are skipped
+     rather than fired back-to-back — a late sampler must not burst. *)
+  let interval_s = t.interval_ms /. 1000.0 in
+  let epoch = Unix.gettimeofday () in
+  let tick = ref 0 in
   while Atomic.get t.running do
     take_sample t;
-    sleep_until (Unix.gettimeofday () +. (t.interval_ms /. 1000.0))
+    incr tick;
+    let now = Unix.gettimeofday () in
+    while epoch +. (float_of_int !tick *. interval_s) <= now do
+      incr tick
+    done;
+    sleep_until (epoch +. (float_of_int !tick *. interval_s))
   done
 
 let start ?(interval_ms = 1000.0) ?capacity ~probes () =

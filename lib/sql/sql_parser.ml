@@ -58,13 +58,28 @@ let comma_separated st parse_item =
 
 (* --- scalar expressions and predicates ------------------------------------ *)
 
+(* A dotted name: one or more identifiers joined by '.'.  Table names
+   may themselves be dotted (the reserved sys.* catalog), so a column
+   reference can be [name], [table.name] or [sys.table.name]. *)
+let parse_dotted st =
+  let rec more acc =
+    if peek st = Sql_lexer.DOT then (
+      advance st;
+      more (expect_name st :: acc))
+    else List.rev acc
+  in
+  more [ expect_name st ]
+
+let parse_table_name st = String.concat "." (parse_dotted st)
+
 let parse_column st =
-  let first = expect_name st in
-  if peek st = Sql_lexer.DOT then (
-    advance st;
-    let name = expect_name st in
-    { Sql_ast.table = Some first; name })
-  else { Sql_ast.table = None; name = first }
+  match parse_dotted st with
+  | [ name ] -> { Sql_ast.table = None; name }
+  | parts ->
+      let n = List.length parts in
+      let name = List.nth parts (n - 1) in
+      let table = String.concat "." (List.filteri (fun i _ -> i < n - 1) parts) in
+      { Sql_ast.table = Some table; name }
 
 let rec parse_sexpr st = parse_additive st
 
@@ -189,7 +204,7 @@ let parse_sel_item st =
       Sql_ast.Sel_expr (e, parse_alias st)
 
 let parse_table_ref st =
-  let name = expect_name st in
+  let name = parse_table_name st in
   let alias =
     match peek st with
     | Sql_lexer.IDENT s when not (List.mem (String.uppercase_ascii s) reserved) ->
@@ -220,7 +235,7 @@ and parse_stmt st =
   if is_kw st "SELECT" then Sql_ast.Select (parse_query st)
   else if eat_kw st "INSERT" then (
     expect_kw st "INTO";
-    let table = expect_name st in
+    let table = parse_table_name st in
     if eat_kw st "VALUES" then
       let parse_row st =
         expect st Sql_lexer.LPAREN;
@@ -242,11 +257,11 @@ and parse_stmt st =
     else fail st "expected VALUES or SELECT after INSERT INTO %s" table)
   else if eat_kw st "DELETE" then (
     expect_kw st "FROM";
-    let table = expect_name st in
+    let table = parse_table_name st in
     let where = if eat_kw st "WHERE" then Some (parse_pred st) else None in
     Sql_ast.Delete (table, where))
   else if eat_kw st "UPDATE" then (
-    let table = expect_name st in
+    let table = parse_table_name st in
     expect_kw st "SET";
     let assignment st =
       let col = expect_name st in
@@ -258,7 +273,7 @@ and parse_stmt st =
     Sql_ast.Update (table, sets, where))
   else if eat_kw st "CREATE" then (
     expect_kw st "TABLE";
-    let table = expect_name st in
+    let table = parse_table_name st in
     expect st Sql_lexer.LPAREN;
     let column st =
       let name = expect_name st in

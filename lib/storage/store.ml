@@ -273,6 +273,11 @@ let append_record ?qid t body =
   t.next_id <- id;
   t.in_log <- t.in_log + 1;
   t.n_commits <- t.n_commits + 1;
+  (* WAL bytes attributed to the statement executing under [qid] — the
+     sys.statements wal_bytes column. *)
+  Option.iter
+    (fun q -> Mxra_obs.Stmt_stats.add_wal_bytes ~qid:q (String.length payload))
+    qid;
   String.length payload
 
 let commit ?qid t txn =
@@ -301,8 +306,13 @@ let absorb_batch ?(qids = []) t txns state =
       List.iteri
         (fun i txn ->
           let qid = if i < Array.length qids then Some qids.(i) else None in
-          Buffer.add_string buf
-            (encode_record ?qid (t.next_id + i + 1) txn.Transaction.body))
+          let record = encode_record ?qid (t.next_id + i + 1) txn.Transaction.body in
+          (* Per-record attribution even though the batch is one write:
+             each transaction's share of the payload lands on its qid. *)
+          Option.iter
+            (fun q -> Mxra_obs.Stmt_stats.add_wal_bytes ~qid:q (String.length record))
+            qid;
+          Buffer.add_string buf record)
         txns;
       let payload = Buffer.contents buf in
       if String.length payload > 0 then append_durable t payload;

@@ -44,7 +44,14 @@ let tokenize src =
     go (i0 + 1)
   in
   let ident i0 =
-    let rec go i = if i < n && is_ident_char src.[i] then go (i + 1) else i in
+    (* Identifiers may be dotted (sys.statements): a '.' continues the
+       identifier only when followed by an identifier-start character,
+       so "1." stays a number and a trailing dot stays an error. *)
+    let rec go i =
+      if i < n && is_ident_char src.[i] then go (i + 1)
+      else if i + 1 < n && src.[i] = '.' && is_ident_start src.[i + 1] then go (i + 2)
+      else i
+    in
     let j = go i0 in
     (Token.IDENT (String.sub src i0 (j - i0)), j)
   in

@@ -1,0 +1,98 @@
+The system catalog: sys.* names are ordinary bag relations served from
+the live telemetry registries.  Two selections of the same shape but
+different literals share a fingerprint, so by the time the third query
+scans sys.statements the select-shape has two calls.  (Timings vary
+run to run; fingerprints, calls, langs and row counts do not.)
+
+  $ cat > session.xra <<'EOF'
+  > ?select[%2 = 'Grolsch'](beer)
+  > ?select[%2 = 'Chimay'](beer)
+  > ?project[%1, %3, %4](select[%4 >= 2](sys.statements))
+  > EOF
+  $ ../../bin/bagdb.exe run --beer session.xra
+  +------------+-----------+---------+---+
+  | name       | brewery   | alcperc | # |
+  +------------+-----------+---------+---+
+  | 'Bock'     | 'Grolsch' | 6.4     | 1 |
+  | 'Pilsener' | 'Grolsch' | 5.2     | 1 |
+  +------------+-----------+---------+---+ (2 tuples, 2 distinct)
+  +----------+----------+---------+---+
+  | name     | brewery  | alcperc | # |
+  +----------+----------+---------+---+
+  | 'Blauw'  | 'Chimay' | 9       | 1 |
+  | 'Tripel' | 'Chimay' | 8.1     | 1 |
+  +----------+----------+---------+---+ (2 tuples, 2 distinct)
+  +--------------------+-------+-------+---+
+  | fingerprint        | lang  | calls | # |
+  +--------------------+-------+-------+---+
+  | '100382a218979a41' | 'xra' | 2     | 1 |
+  +--------------------+-------+-------+---+ (1 tuples, 1 distinct)
+
+bagdb stats runs a script and prints the cumulative registry, heaviest
+statement first (timing columns scrubbed; the exemplar text is the
+normalized shape, literals folded to ?).
+
+  $ ../../bin/bagdb.exe stats --beer session.xra | awk '{print $1, $2, $6, $9, $10}'
+  fingerprint calls rows lang statement
+  100382a218979a41 2 4 xra select[%2=?](beer)
+  b866f12471121773 1 1 xra project[%1,%3,%4](select[%4>=?](sys.statements))
+
+The catalog also answers SQL, by name:
+
+  $ cat > session.sql <<'EOF'
+  > SELECT name, alcperc FROM beer WHERE alcperc > 6.0;
+  > SELECT lang, calls FROM sys.statements;
+  > EOF
+  $ ../../bin/bagdb.exe sql --beer session.sql
+  +----------+---------+---+
+  | name     | alcperc | # |
+  +----------+---------+---+
+  | 'Blauw'  | 9       | 1 |
+  | 'Bock'   | 6.4     | 1 |
+  | 'Bock'   | 6.5     | 1 |
+  | 'Tripel' | 8       | 1 |
+  | 'Tripel' | 8.1     | 1 |
+  +----------+---------+---+ (5 tuples, 5 distinct)
+  +-------+-------+---+
+  | lang  | calls | # |
+  +-------+-------+---+
+  | 'sql' | 1     | 1 |
+  +-------+-------+---+ (1 tuples, 1 distinct)
+
+Writes to sys.* names are refused before any transaction machinery
+sees them:
+
+  $ echo "create sys.mine (a:int);" > bad.xra
+  $ ../../bin/bagdb.exe run --beer bad.xra
+  reserved name: sys.mine is a system catalog relation
+  [1]
+
+An absent sys.* name is just an unknown relation — same error, same
+exit code as any other missing name:
+
+  $ echo "?sys.nonsense" > missing.xra
+  $ ../../bin/bagdb.exe run --beer missing.xra
+  type error: unknown relation sys.nonsense
+  [1]
+  $ echo "?nosuch" > missing2.xra
+  $ ../../bin/bagdb.exe run --beer missing2.xra
+  type error: unknown relation nosuch
+  [1]
+
+The REPL sees the same catalog (and its .stats meta command renders
+the registry):
+
+  $ echo ".beer
+  > ?project[%1](sys.relations)
+  > sys.grab := beer
+  > .quit" | ../../bin/xra_repl.exe
+  mxra :: multi-set extended relational algebra shell (.help)
+  xra> loaded beer database
+  xra> +-----------+---+
+  | name      | # |
+  +-----------+---+
+  | 'beer'    | 1 |
+  | 'brewery' | 1 |
+  +-----------+---+ (2 tuples, 2 distinct)
+  xra> reserved name: sys.grab is a system catalog relation
+  xra> 

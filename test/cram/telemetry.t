@@ -37,12 +37,22 @@ The top table: one row per series, sorted; numbers scrubbed.
   sched.blocks
   sched.commits
   sched.deadlocks
+  sched.lock_wait_ms
   sched.steps
 
 The JSON dump has the same shape every time.
 
   $ ../../bin/bagdb.exe top --statz --port $(cat port) | head -c 11
   {"series":{
+
+The statement registry is live at /stmtz: the serve script's own
+statements appear fingerprinted (values vary, the header and the
+presence of rows do not).
+
+  $ ../../bin/bagdb.exe top --stmtz --port $(cat port) | awk 'NR==1{print $1, $2, $NF}'
+  fingerprint calls statement
+  $ test $(../../bin/bagdb.exe top --stmtz --port $(cat port) | wc -l) -ge 2 && echo populated
+  populated
 
 Clean remote shutdown: /quitz stops the serve loop, wait reaps it.
 

@@ -22,4 +22,5 @@ let () =
       Test_concurrency.suite;
       Test_language.suite;
       Test_obs.suite;
+      Test_syscat.suite;
     ]

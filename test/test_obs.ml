@@ -431,6 +431,82 @@ let prop_agg_sink_parallel =
 
 (* --- prometheus exposition checker ------------------------------------- *)
 
+exception Bad_labels
+
+let label_key_ok k =
+  k <> ""
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+(* Scan a label block [{k="v",...}] starting at [start] (which must be
+   the ['{']), honouring the exposition format's backslash escapes
+   inside quoted values — so values containing quotes, commas, braces
+   or escaped newlines parse correctly.  Returns the pairs with values
+   unescaped, and the index just past the closing ['}'].  Raises
+   {!Bad_labels} on malformed input. *)
+let parse_label_block s start =
+  let n = String.length s in
+  let i = ref (start + 1) in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i else raise Bad_labels
+  in
+  let key () =
+    let j = ref !i in
+    while !j < n && s.[!j] <> '=' do incr j done;
+    if !j >= n then raise Bad_labels;
+    let k = String.sub s !i (!j - !i) in
+    i := !j;
+    k
+  in
+  let value () =
+    expect '"';
+    let b = Buffer.create 8 in
+    let rec go () =
+      if !i >= n then raise Bad_labels
+      else
+        match s.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+            if !i + 1 >= n then raise Bad_labels;
+            (match s.[!i + 1] with
+            | '\\' -> Buffer.add_char b '\\'
+            | '"' -> Buffer.add_char b '"'
+            | 'n' -> Buffer.add_char b '\n'
+            | _ -> raise Bad_labels);
+            i := !i + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr i;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  if !i < n && s.[!i] = '}' then begin
+    incr i;
+    ([], !i)
+  end
+  else begin
+    let pairs = ref [] in
+    let rec pair () =
+      let k = key () in
+      if not (label_key_ok k) then raise Bad_labels;
+      expect '=';
+      let v = value () in
+      pairs := (k, v) :: !pairs;
+      if !i < n && s.[!i] = ',' then begin
+        incr i;
+        pair ()
+      end
+      else expect '}'
+    in
+    pair ();
+    (List.rev !pairs, !i)
+  end
+
 (* A line-by-line recogniser of the Prometheus text format (0.0.4), the
    property every /metrics page must satisfy: names legal, a TYPE
    header before any sample of its family, label sets well-formed,
@@ -450,13 +526,6 @@ let exposition_ok page =
          (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
          n
   in
-  let label_key_ok k =
-    k <> ""
-    && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
-    && String.for_all
-         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
-         k
-  in
   let family_of name =
     if Hashtbl.mem types name then Some name
     else
@@ -467,32 +536,6 @@ let exposition_ok page =
             if Hashtbl.mem types base then Some base else None
           else None)
         [ "_sum"; "_count"; "_bucket" ]
-  in
-  let parse_labels s =
-    if s = "" then Some []
-    else
-      let parse_one p =
-        match String.index_opt p '=' with
-        | None -> None
-        | Some i ->
-            let k = String.sub p 0 i in
-            let v = String.sub p (i + 1) (String.length p - i - 1) in
-            if
-              label_key_ok k
-              && String.length v >= 2
-              && v.[0] = '"'
-              && v.[String.length v - 1] = '"'
-            then Some (k, String.sub v 1 (String.length v - 2))
-            else None
-      in
-      let rec go acc = function
-        | [] -> Some (List.rev acc)
-        | p :: rest -> (
-            match parse_one p with
-            | Some kv -> go (kv :: acc) rest
-            | None -> None)
-      in
-      go [] (String.split_on_char ',' s)
   in
   let sample line =
     let name_end =
@@ -506,13 +549,12 @@ let exposition_ok page =
     let rest = String.sub line name_end (String.length line - name_end) in
     let labels, value_s =
       if rest <> "" && rest.[0] = '{' then
-        match String.index_opt rest '}' with
-        | Some close ->
-            ( parse_labels (String.sub rest 1 (close - 1)),
+        match parse_label_block rest 0 with
+        | pairs, close ->
+            ( Some pairs,
               String.trim
-                (String.sub rest (close + 1) (String.length rest - close - 1))
-            )
-        | None -> (None, "")
+                (String.sub rest close (String.length rest - close)) )
+        | exception Bad_labels -> (None, "")
       else (Some [], String.trim rest)
     in
     let value =
@@ -626,6 +668,241 @@ let test_exposition_rejects () =
          h_count 2\nh_sum 2\n" );
     ]
 
+(* --- label escaping: round-trip through the exposition parser ---------- *)
+
+let arb_label_value =
+  (* Strings salted with the characters that need escaping (and a few
+     that merely look scary), so the generator actually exercises the
+     escape paths instead of praying for them. *)
+  let salt = [| '"'; '\\'; '\n'; ','; '{'; '}'; '='; ' ' |] in
+  QCheck.map
+    (fun (s, picks) ->
+      let b = Buffer.create (String.length s + List.length picks) in
+      String.iteri
+        (fun i c ->
+          Buffer.add_char b c;
+          List.iter
+            (fun (at, k) ->
+              if at = i then Buffer.add_char b salt.(k mod Array.length salt))
+            picks)
+        s;
+      if s = "" then
+        List.iter (fun (_, k) -> Buffer.add_char b salt.(k mod Array.length salt)) picks;
+      Buffer.contents b)
+    (QCheck.pair QCheck.printable_string
+       (QCheck.small_list (QCheck.pair QCheck.small_nat QCheck.small_nat)))
+
+let prop_escape_label_roundtrip =
+  prop "escaped label values round-trip through the exposition parser"
+    (QCheck.pair arb_label_value arb_label_value)
+    (fun (v1, v2) ->
+      let page =
+        Obs.Prometheus.labeled ~help:"statements" ~kind:"counter"
+          "stmt_calls_total"
+          [
+            ([ ("fingerprint", v1); ("lang", v2) ], 3.0);
+            ([ ("fingerprint", "plain") ], 1.0);
+          ]
+      in
+      exposition_ok page
+      &&
+      (* Re-parse the first sample line and demand the exact originals
+         back: escaping must be injective and the parser its inverse. *)
+      let line =
+        List.find
+          (fun l -> l <> "" && l.[0] <> '#')
+          (String.split_on_char '\n' page)
+      in
+      match String.index_opt line '{' with
+      | None -> false
+      | Some b -> (
+          match parse_label_block line b with
+          | pairs, _ ->
+              List.assoc_opt "fingerprint" pairs = Some v1
+              && List.assoc_opt "lang" pairs = Some v2
+          | exception Bad_labels -> false))
+
+let test_labeled_rendering () =
+  let page =
+    Obs.Prometheus.labeled ~help:"ops" ~kind:"counter" "ops_total"
+      [
+        ([ ("op", "a\"b\\c\nd") ], 2.0);
+        ([], 5.0);
+      ]
+  in
+  Alcotest.(check bool) "exposition ok" true (exposition_ok page);
+  Alcotest.(check bool) "escapes rendered" true
+    (contains "{op=\"a\\\"b\\\\c\\nd\"} 2" page);
+  Alcotest.(check bool) "bare sample" true (contains "\nops_total 5" page);
+  Alcotest.(check bool) "single TYPE header" true
+    (count_occurrences "# TYPE ops_total counter" page = 1)
+
+(* --- statement fingerprinting ------------------------------------------ *)
+
+let test_fingerprint_normalize () =
+  List.iter
+    (fun (label, src, expected) ->
+      Alcotest.(check string) label expected (Obs.Fingerprint.normalize src))
+    [
+      ( "literals and case fold",
+        "SELECT[%6 = 'NL'] ( Beer )",
+        "select[%6=?](beer)" );
+      ("numbers fold", "select[%3 > 42.5e1](beer)", "select[%3>?](beer)");
+      ("attribute indexes kept", "project[%1, %12](r)", "project[%1,%12](r)");
+      ("comments stripped", "r -- trailing note", "r");
+      ("quoted quote", "select[%1 = 'O''Brien'](r)", "select[%1=?](r)");
+      ("identifier spacing survives", "delete from r where a = 1",
+        "delete from r where a=?");
+      ("dotted names are one identifier", "SYS.Statements", "sys.statements");
+    ]
+
+let prop_fingerprint_invariance =
+  prop "fingerprint ignores literals, case and whitespace"
+    (QCheck.triple (QCheck.int_range 0 100000) (QCheck.int_range 0 9)
+       QCheck.printable_string)
+    (fun (n, pad, lit) ->
+      let spaces = String.make pad ' ' in
+      (* The generated literal is quoted; double any embedded quotes so
+         the statement stays well-formed. *)
+      let b = Buffer.create (String.length lit) in
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+        lit;
+      let quoted = "'" ^ Buffer.contents b ^ "'" in
+      let v1 =
+        Printf.sprintf "select[%%3 > %d](join[%%2 = %s](beer, brewery))" n
+          quoted
+      in
+      let v2 =
+        Printf.sprintf "%sSELECT[ %%3 >  0 ]%s(JOIN[%%2='x'](Beer,%sBrewery))"
+          spaces spaces spaces
+      in
+      Obs.Fingerprint.fingerprint v1 = Obs.Fingerprint.fingerprint v2)
+
+let test_fingerprint_distinct_shapes () =
+  let corpus =
+    [
+      "beer";
+      "brewery";
+      "sys.statements";
+      "select[%1 = 'x'](beer)";
+      "select[%2 = 'x'](beer)";
+      "select[%1 = 'x'](brewery)";
+      "project[%1](beer)";
+      "project[%1, %2](beer)";
+      "unique(beer)";
+      "join[%2 = %4](beer, brewery)";
+      "join[%2 = %5](beer, brewery)";
+      "groupby[%6; AVG(%3)](join[%2 = %4](beer, brewery))";
+      "insert(beer, rel[(a:int)]{(1)})";
+      "delete(beer, select[%1 = 'x'](beer))";
+      "SELECT name FROM beer WHERE alcperc > 5";
+      "SELECT name FROM beer GROUP BY name";
+    ]
+  in
+  let fps = List.map Obs.Fingerprint.fingerprint corpus in
+  Alcotest.(check int) "no collisions on distinct shapes"
+    (List.length corpus)
+    (List.length (List.sort_uniq String.compare fps));
+  List.iter
+    (fun fp ->
+      Alcotest.(check bool) "16 hex digits" true
+        (String.length fp = 16
+        && String.for_all
+             (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+             fp))
+    fps
+
+(* --- statement stats registry ------------------------------------------ *)
+
+let test_stmt_stats_accumulates () =
+  Obs.Stmt_stats.clear ();
+  Obs.Stmt_stats.set_enabled true;
+  Obs.Stmt_stats.record ~lang:"xra" ~qid:"q000101" ~rows:10 ~tuples:40
+    ~wall_ms:2.0 "select[%1 = 'a'](beer)";
+  Obs.Stmt_stats.record ~lang:"xra" ~qid:"q000102" ~rows:5 ~tuples:20
+    ~wall_ms:4.0 "select[%1 = 'b'](beer)";
+  Obs.Stmt_stats.record ~wall_ms:1.0 "brewery";
+  Alcotest.(check int) "two fingerprints" 2 (Obs.Stmt_stats.cardinality ());
+  (match Obs.Stmt_stats.snapshot () with
+  | [ top; second ] ->
+      Alcotest.(check int) "variants merged" 2 top.Obs.Stmt_stats.r_calls;
+      Alcotest.(check (float 1e-9)) "total" 6.0 top.Obs.Stmt_stats.r_total_ms;
+      Alcotest.(check (float 1e-9)) "min" 2.0 top.Obs.Stmt_stats.r_min_ms;
+      Alcotest.(check (float 1e-9)) "max" 4.0 top.Obs.Stmt_stats.r_max_ms;
+      Alcotest.(check int) "rows" 15 top.Obs.Stmt_stats.r_rows;
+      Alcotest.(check int) "tuples" 60 top.Obs.Stmt_stats.r_tuples;
+      Alcotest.(check string) "last qid" "q000102"
+        top.Obs.Stmt_stats.r_last_qid;
+      Alcotest.(check string) "normalized exemplar" "select[%1=?](beer)"
+        top.Obs.Stmt_stats.r_text;
+      Alcotest.(check bool) "sorted by total desc" true
+        (second.Obs.Stmt_stats.r_total_ms <= top.Obs.Stmt_stats.r_total_ms)
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  Alcotest.(check bool) "json valid" true
+    (json_valid (Obs.Stmt_stats.to_json ()));
+  Alcotest.(check bool) "prometheus valid" true
+    (exposition_ok (Obs.Stmt_stats.to_prometheus ()));
+  Alcotest.(check bool) "top table mentions the statement" true
+    (contains "select[%1=?](beer)" (Obs.Stmt_stats.render_top ()));
+  Obs.Stmt_stats.clear ();
+  Alcotest.(check int) "clear empties" 0 (Obs.Stmt_stats.cardinality ())
+
+let test_stmt_stats_attribution () =
+  Obs.Stmt_stats.clear ();
+  Obs.Stmt_stats.set_enabled true;
+  (* WAL bytes and lock waits land under the qid *before* the statement
+     itself is recorded: they must buffer, then drain into the entry. *)
+  Obs.Stmt_stats.add_wal_bytes ~qid:"q000201" 100;
+  Obs.Stmt_stats.add_wal_bytes ~qid:"q000201" 28;
+  Obs.Stmt_stats.add_lock_wait ~qid:"q000201" 1.5;
+  Obs.Stmt_stats.record ~qid:"q000201" ~wall_ms:1.0 "insert(r, s)";
+  (* Late attribution after the record resolves through the qid map. *)
+  Obs.Stmt_stats.add_wal_bytes ~qid:"q000201" 12;
+  Obs.Stmt_stats.add_lock_wait ~qid:"q000201" 0.5;
+  (* Unknown qids buffer harmlessly and never create entries. *)
+  Obs.Stmt_stats.add_wal_bytes ~qid:"q999999" 7;
+  (match Obs.Stmt_stats.snapshot () with
+  | [ r ] ->
+      Alcotest.(check int) "wal bytes drained + late" 140
+        r.Obs.Stmt_stats.r_wal_bytes;
+      Alcotest.(check (float 1e-9)) "lock wait drained + late" 2.0
+        r.Obs.Stmt_stats.r_lock_wait_ms
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+  Alcotest.(check int) "unknown qid created nothing" 1
+    (Obs.Stmt_stats.cardinality ());
+  Obs.Stmt_stats.clear ()
+
+let test_stmt_stats_disabled () =
+  Obs.Stmt_stats.clear ();
+  Obs.Stmt_stats.set_enabled false;
+  Obs.Stmt_stats.record ~wall_ms:1.0 "beer";
+  Obs.Stmt_stats.add_wal_bytes ~qid:"q000301" 10;
+  Alcotest.(check int) "disabled records nothing" 0
+    (Obs.Stmt_stats.cardinality ());
+  Obs.Stmt_stats.set_enabled true;
+  Alcotest.(check bool) "re-enabled" true (Obs.Stmt_stats.enabled ())
+
+let test_op_stats () =
+  Obs.Stmt_stats.set_enabled true;
+  Obs.Op_stats.clear ();
+  Obs.Op_stats.record ~op:"HashJoin" ~elems:10 ~rows:4 ~cells:12 ~wall_ms:1.0;
+  Obs.Op_stats.record ~op:"HashJoin" ~elems:6 ~rows:2 ~cells:6 ~wall_ms:0.5;
+  Obs.Op_stats.record ~op:"Scan" ~elems:0 ~rows:10 ~cells:30 ~wall_ms:0.1;
+  (match Obs.Op_stats.snapshot () with
+  | [ hj; scan ] ->
+      Alcotest.(check string) "sorted by op" "HashJoin" hj.Obs.Op_stats.o_op;
+      Alcotest.(check int) "execs" 2 hj.Obs.Op_stats.o_execs;
+      Alcotest.(check int) "elems" 16 hj.Obs.Op_stats.o_elems;
+      Alcotest.(check int) "rows" 6 hj.Obs.Op_stats.o_rows;
+      Alcotest.(check (float 1e-9)) "wall" 1.5 hj.Obs.Op_stats.o_wall_ms;
+      Alcotest.(check string) "scan second" "Scan" scan.Obs.Op_stats.o_op
+  | rows -> Alcotest.failf "expected 2 ops, got %d" (List.length rows));
+  Obs.Op_stats.clear ();
+  Alcotest.(check int) "clear empties" 0
+    (List.length (Obs.Op_stats.snapshot ()))
+
 (* --- time-series ring buffer ------------------------------------------- *)
 
 let test_timeseries_ring () =
@@ -683,6 +960,28 @@ let test_sampler () =
   Obs.Sampler.sample_now s;
   Alcotest.(check int) "sample_now adds a round" (before + 1)
     (Obs.Sampler.rounds s)
+
+let test_sampler_cadence () =
+  (* A probe that burns more than half the interval: the old loop slept
+     a full interval *after* the probes, so its real period was
+     interval + probe-time (~40 ms here, ≤ ~30 rounds over the window).
+     Absolute deadlines keep the period at the interval itself (~48
+     rounds).  The threshold sits between the two with margin for CI
+     jitter; the upper bound catches a sampler that bursts to catch
+     up after falling behind. *)
+  let interval_ms = 25.0 in
+  let busy () =
+    Unix.sleepf 0.015;
+    [ ("busy.val", 1.0) ]
+  in
+  let s = Obs.Sampler.start ~interval_ms ~probes:[ busy ] () in
+  Unix.sleepf 1.2;
+  Obs.Sampler.stop s;
+  let rounds = Obs.Sampler.rounds s in
+  Alcotest.(check bool)
+    (Printf.sprintf "cadence held under load (%d rounds)" rounds)
+    true
+    (rounds >= 35 && rounds <= 60)
 
 (* --- HTTP telemetry server --------------------------------------------- *)
 
@@ -934,8 +1233,26 @@ let suite =
         test_prometheus_histogram;
       Alcotest.test_case "exposition checker rejects malformed pages" `Quick
         test_exposition_rejects;
+      prop_escape_label_roundtrip;
+      Alcotest.test_case "labeled family rendering" `Quick
+        test_labeled_rendering;
+      Alcotest.test_case "fingerprint normalization" `Quick
+        test_fingerprint_normalize;
+      prop_fingerprint_invariance;
+      Alcotest.test_case "fingerprints of distinct shapes stay distinct"
+        `Quick test_fingerprint_distinct_shapes;
+      Alcotest.test_case "statement stats accumulate by fingerprint" `Quick
+        test_stmt_stats_accumulates;
+      Alcotest.test_case "wal and lock-wait attribution by qid" `Quick
+        test_stmt_stats_attribution;
+      Alcotest.test_case "disabled registry records nothing" `Quick
+        test_stmt_stats_disabled;
+      Alcotest.test_case "operator stats accumulate by kind" `Quick
+        test_op_stats;
       Alcotest.test_case "time-series ring buffer" `Quick test_timeseries_ring;
       Alcotest.test_case "background sampler" `Quick test_sampler;
+      Alcotest.test_case "sampler cadence under busy probes" `Slow
+        test_sampler_cadence;
       Alcotest.test_case "http telemetry server" `Quick test_http_server;
       Alcotest.test_case "ambient context stamps spans and events" `Quick
         test_with_context_stamps;

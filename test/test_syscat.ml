@@ -1,0 +1,190 @@
+(* System catalog tests: sys.* names resolving to ordinary bag
+   relations, served through the normal optimizer → planner → exec
+   pipeline; the differential law (catalog scans through Exec bag-equal
+   to the reference evaluator); reserved-name refusal; and the unknown
+   sys.* name raising the ordinary [Database.Unknown_relation]. *)
+
+open Mxra_relational
+open Mxra_core
+module Obs = Mxra_obs
+module Syscat = Mxra_engine.Syscat
+module Xra = Mxra_xra
+module Sql = Mxra_sql
+module W = Mxra_workload
+
+let beer = W.Beer.tiny
+
+(* The same statement text sent twice with different literals plus one
+   other shape: two fingerprints, one with calls = 2. *)
+let seed_registry () =
+  Obs.Stmt_stats.clear ();
+  Obs.Op_stats.clear ();
+  Obs.Stmt_stats.set_enabled true;
+  Obs.Stmt_stats.record ~lang:"xra" ~qid:"q000901" ~rows:10 ~wall_ms:2.0
+    "select[%2 = 'Grolsch'](beer)";
+  Obs.Stmt_stats.record ~lang:"xra" ~qid:"q000902" ~rows:3 ~wall_ms:1.0
+    "select[%2 = 'Chimay'](beer)";
+  Obs.Stmt_stats.record ~lang:"sql" ~qid:"q000903" ~rows:6 ~wall_ms:0.5
+    "SELECT name FROM brewery"
+
+let run_exec db e =
+  let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
+  Mxra_engine.Exec.run db (Mxra_engine.Planner.plan db optimized)
+
+let xra src = Xra.Parser.expr_of_string src
+
+let test_attach_and_query () =
+  seed_registry ();
+  let e = xra "select[%4 >= 2](sys.statements)" in
+  Alcotest.(check bool) "mentions sys.*" true (Syscat.mentions e);
+  Alcotest.(check bool) "plain names don't" false
+    (Syscat.mentions (xra "beer"));
+  let db = Syscat.attach_for beer e in
+  let r = run_exec db e in
+  Alcotest.(check int) "one statement with two calls" 1 (Relation.cardinal r);
+  (* The untouched base database gained nothing. *)
+  Alcotest.(check bool) "base db unchanged" false
+    (Database.mem "sys.statements" beer)
+
+let test_snapshot_semantics () =
+  seed_registry ();
+  (* Attach freezes the catalog: records arriving after the attach are
+     invisible to this query's view. *)
+  let db = Syscat.attach beer in
+  Obs.Stmt_stats.record ~wall_ms:1.0 "groupby[%1; CNT(%2)](beer)";
+  let r = run_exec db (xra "sys.statements") in
+  Alcotest.(check int) "frozen at attach time" 2 (Relation.cardinal r)
+
+let test_relations_catalog () =
+  seed_registry ();
+  let db = Syscat.attach beer in
+  let r = run_exec db (xra "sys.relations") in
+  (* beer and brewery only: sys.* temporaries never describe themselves. *)
+  Alcotest.(check int) "two base relations" 2 (Relation.cardinal r);
+  let names =
+    run_exec db (xra "project[%1](sys.relations)") |> Relation.to_list
+    |> List.map (fun t -> Tuple.attr t 1)
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) n true (List.mem (Value.Str n) names))
+    [ "beer"; "brewery" ];
+  (* Arity and cardinality agree with the live database. *)
+  let by_beer =
+    run_exec db (xra "select[%1 = 'beer'](sys.relations)")
+    |> Relation.to_list |> List.hd
+  in
+  Alcotest.(check bool) "beer arity 3" true (Tuple.attr by_beer 2 = Value.Int 3);
+  Alcotest.(check bool) "beer cardinality" true
+    (Tuple.attr by_beer 3 = Value.Int (Relation.cardinal (Database.find "beer" beer)))
+
+(* The tentpole law: a catalog scan is an ordinary expression, so the
+   physical engine and the reference evaluator must agree bag-for-bag
+   on any query over an attached database. *)
+let test_differential_exec_vs_eval () =
+  seed_registry ();
+  let db = Syscat.attach beer in
+  List.iter
+    (fun src ->
+      let e = xra src in
+      let fast = run_exec db e in
+      let slow = Eval.eval db e in
+      Alcotest.(check bool) (Printf.sprintf "bag-equal: %s" src) true
+        (Relation.equal fast slow))
+    [
+      "sys.statements";
+      "select[%4 >= 2](sys.statements)";
+      "project[%1, %3, %4](sys.statements)";
+      "unique(project[%3](sys.statements))";
+      "groupby[%3; CNT(%1), SUM(%4)](sys.statements)";
+      "sys.relations";
+      "join[%1 = %1](sys.relations, sys.relations)";
+      "product(sys.pool, sys.relations)";
+      "sys.operators";
+      "sys.locks";
+      "sys.series";
+    ]
+
+let test_sql_end_to_end () =
+  seed_registry ();
+  let env = Syscat.env beer in
+  let translated =
+    Sql.Translate.query_of_string env
+      "SELECT fingerprint, calls FROM sys.statements WHERE calls >= 2"
+  in
+  let db = Syscat.attach_for beer translated in
+  let r = run_exec db translated in
+  Alcotest.(check int) "sql reaches the catalog" 1 (Relation.cardinal r);
+  Alcotest.(check bool) "matches the reference evaluator" true
+    (Relation.equal r (Eval.eval db translated));
+  (* Qualified columns resolve through the dotted table name. *)
+  let qualified =
+    Sql.Translate.query_of_string env
+      "SELECT sys.relations.name FROM sys.relations"
+  in
+  Alcotest.(check int) "qualified projection" 2
+    (Relation.cardinal (run_exec (Syscat.attach beer) qualified))
+
+let test_unknown_sys_name () =
+  seed_registry ();
+  let db = Syscat.attach beer in
+  (* Absent sys.* names stay ordinary missing names — no special
+     registry error leaks out of any layer.  The typechecking path
+     (optimizer) reports it like any unknown name... *)
+  (match run_exec db (Expr.rel "sys.nonsense") with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Typecheck.Type_error msg ->
+      Alcotest.(check string) "ordinary typecheck message"
+        "unknown relation sys.nonsense" msg);
+  (* ...exactly the message an unknown plain name gets... *)
+  (match run_exec db (Expr.rel "nosuch") with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Typecheck.Type_error msg ->
+      Alcotest.(check string) "same shape as a plain unknown name"
+        "unknown relation nosuch" msg);
+  (* ...and below the typechecker, the catalog lookup raises the plain
+     database exception, not anything registry-specific. *)
+  match Database.find "sys.nonsense" db with
+  | _ -> Alcotest.fail "expected Unknown_relation"
+  | exception Database.Unknown_relation name ->
+      Alcotest.(check string) "the plain exception" "sys.nonsense" name
+
+let test_reserved_names () =
+  Alcotest.(check bool) "is_sys_name" true (Syscat.is_sys_name "sys.locks");
+  Alcotest.(check bool) "prefix only" false (Syscat.is_sys_name "system");
+  (match Syscat.check_not_reserved "sys.anything" with
+  | () -> Alcotest.fail "expected Reserved"
+  | exception Syscat.Reserved name ->
+      Alcotest.(check string) "named" "sys.anything" name);
+  Syscat.check_not_reserved "beer" (* and plain names pass *)
+
+let test_operators_populated () =
+  seed_registry ();
+  (* An instrumented execution feeds sys.operators. *)
+  let e = xra "select[%3 > 5.0](beer)" in
+  let plan = Mxra_engine.Planner.plan beer e in
+  ignore (Mxra_engine.Exec.run_instrumented beer plan);
+  let db = Syscat.attach beer in
+  let r = run_exec db (xra "sys.operators") in
+  Alcotest.(check bool) "operator rows present" true (Relation.cardinal r > 0)
+
+let suite =
+  ( "syscat",
+    [
+      Alcotest.test_case "attach serves sys.* as bag relations" `Quick
+        test_attach_and_query;
+      Alcotest.test_case "attach snapshots the registry" `Quick
+        test_snapshot_semantics;
+      Alcotest.test_case "sys.relations describes the base catalog" `Quick
+        test_relations_catalog;
+      Alcotest.test_case "catalog scans: Exec bag-equal to Eval" `Quick
+        test_differential_exec_vs_eval;
+      Alcotest.test_case "sql reaches the catalog end to end" `Quick
+        test_sql_end_to_end;
+      Alcotest.test_case "unknown sys.* name raises Unknown_relation" `Quick
+        test_unknown_sys_name;
+      Alcotest.test_case "reserved names are refused" `Quick
+        test_reserved_names;
+      Alcotest.test_case "instrumented runs feed sys.operators" `Quick
+        test_operators_populated;
+    ] )
