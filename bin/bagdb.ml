@@ -176,15 +176,28 @@ let exec_statement ctx db stmt =
    per DDL keeps every logged record replayable against the snapshot
    it follows.  (Without this, a create existed only in the session's
    in-memory state and every subsequent durable insert aborted.) *)
-let apply_create ctx db name schema =
-  Syscat.check_not_reserved name;
-  let db' = Database.create name schema db in
+let apply_ddl ctx db' =
   (match ctx.store with
   | Some s ->
       Store.absorb_batch s [] db';
       Store.checkpoint s
   | None -> ());
   db'
+
+let apply_create ctx db name schema =
+  Syscat.check_not_reserved name;
+  apply_ddl ctx (Database.create name schema db)
+
+(* Index DDL is durable the same way: definitions live in the snapshot
+   (codec emits them as create-index commands), never in the WAL. *)
+let apply_create_index ctx db (d : Database.index_def) =
+  Syscat.check_not_reserved d.idx_name;
+  Syscat.check_not_reserved d.idx_rel;
+  apply_ddl ctx
+    (Database.create_index ~name:d.idx_name ~rel:d.idx_rel ~cols:d.idx_cols
+       ~kind:d.idx_kind db)
+
+let apply_drop_index ctx db name = apply_ddl ctx (Database.drop_index name db)
 
 (* Consecutive transaction brackets run as one batch under the 2PL
    scheduler: a seeded interleaving instead of serial execution, with
@@ -253,6 +266,14 @@ let run_xra ?(on_step = fun (_ : Database.t) -> ()) ctx db path =
         let db = apply_create ctx db name schema in
         on_step db;
         go db rest
+    | Xra.Parser.Cmd_create_index d :: rest ->
+        let db = apply_create_index ctx db d in
+        on_step db;
+        go db rest
+    | Xra.Parser.Cmd_drop_index name :: rest ->
+        let db = apply_drop_index ctx db name in
+        on_step db;
+        go db rest
   in
   go db (Xra.Parser.script_of_string source)
 
@@ -268,6 +289,8 @@ let run_sql ?(on_step = fun (_ : Database.t) -> ()) ctx db path =
           db
       | Sql.Translate.Statement stmt -> exec_statement ctx db stmt
       | Sql.Translate.Create (name, schema) -> apply_create ctx db name schema
+      | Sql.Translate.Create_index d -> apply_create_index ctx db d
+      | Sql.Translate.Drop_index name -> apply_drop_index ctx db name
     in
     on_step db;
     db
@@ -437,6 +460,12 @@ let guarded f =
       Format.eprintf "unknown relation: %s@." name; 1
   | exception Database.Duplicate_relation name ->
       Format.eprintf "relation exists: %s@." name; 1
+  | exception Database.Unknown_index name ->
+      Format.eprintf "unknown index: %s@." name; 1
+  | exception Database.Duplicate_index name ->
+      Format.eprintf "index exists: %s@." name; 1
+  | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg; 1
   | exception Syscat.Reserved name ->
       Format.eprintf "reserved name: %s is a system catalog relation@." name; 1
   | exception Sys_error msg ->
@@ -569,15 +598,19 @@ let analyze_flag =
            estimated vs actual rows, per-operator q-error and wall time.")
 
 let explain_cmd =
-  let action beer gen retail analyze jobs chunk expr =
+  let action beer gen retail analyze jobs chunk db_dir expr =
     guarded (fun () ->
         set_chunk_size chunk;
-        explain ~analyze ~jobs:(set_jobs jobs) (preload beer gen retail) expr)
+        (* --db opens an existing store read-only (no checkpoint): the
+           plan is explained against its recovered relations and index
+           definitions — how index-path selection is pinned in tests. *)
+        with_store ~checkpoint:false db_dir (preload beer gen retail)
+          (fun _ db -> explain ~analyze ~jobs:(set_jobs jobs) db expr))
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize an XRA expression and show plans.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ analyze_flag
-      $ jobs_flag $ chunk_size_flag $ expr_arg)
+      $ jobs_flag $ chunk_size_flag $ db_flag $ expr_arg)
 
 (* Crash-recovery torture sweep over the in-memory fault-injecting VFS.
    On an oracle violation the reproduction command line (with the
@@ -709,6 +742,7 @@ let serve_cmd =
                     Obs.Sampler.gc_probe;
                     Obs.Sampler.uptime_probe;
                     Mxra_ext.Pool.telemetry;
+                    Mxra_ext.Index.telemetry;
                     Scheduler.telemetry;
                     rel_probe;
                   ]

@@ -111,6 +111,19 @@ let exec_command db = function
       let db = Database.create name schema db in
       Format.printf "created %s %s@." name (Schema.to_string schema);
       db
+  | Xra.Parser.Cmd_create_index d ->
+      Syscat.check_not_reserved d.idx_name;
+      Syscat.check_not_reserved d.idx_rel;
+      let db =
+        Database.create_index ~name:d.idx_name ~rel:d.idx_rel ~cols:d.idx_cols
+          ~kind:d.idx_kind db
+      in
+      Format.printf "created index %s on %s@." d.idx_name d.idx_rel;
+      db
+  | Xra.Parser.Cmd_drop_index name ->
+      let db = Database.drop_index name db in
+      Format.printf "dropped index %s@." name;
+      db
 
 let exec_sql db src =
   match Sql.Translate.translate_string (Syscat.env db) src with
@@ -120,6 +133,10 @@ let exec_sql db src =
   | Sql.Translate.Statement stmt -> exec_statement db stmt
   | Sql.Translate.Create (name, schema) ->
       exec_command db (Xra.Parser.Cmd_create (name, schema))
+  | Sql.Translate.Create_index d ->
+      exec_command db (Xra.Parser.Cmd_create_index d)
+  | Sql.Translate.Drop_index name ->
+      exec_command db (Xra.Parser.Cmd_drop_index name)
 
 let show_plan db src =
   let e = Xra.Parser.expr_of_string src in
@@ -147,14 +164,15 @@ let help () =
   print_string
     "XRA shell.  Statements: insert(R,E)  delete(R,E)  update(R,E,[a,...])\n\
     \  R := E   ?E   begin s1; s2 end   create R (a:int, b:str)\n\
+    \  create index I on R (%i, ...) using hash|ordered   drop index I\n\
      Expressions: union diff product intersect join[p] select[p]\n\
     \  project[a,...] unique groupby[keys; AGG(%i),...] rel[(..)]{..}\n\
      Meta: .help .quit .tables .show R .schema R .beer .sql STMT .plan E\n\
     \  .load FILE .save DIR .open DIR .import FILE R .export R FILE\n\
     \  .trace on [FILE] / .trace off   Chrome trace of query execution\n\
     \  .stats   cumulative per-statement stats (also: ? sys.statements)\n\
-     Catalog: sys.statements sys.operators sys.relations sys.locks\n\
-    \  sys.pool sys.series are queryable read-only relations\n\
+     Catalog: sys.statements sys.operators sys.relations sys.indexes\n\
+    \  sys.locks sys.pool sys.series are queryable read-only relations\n\
      Profiling: explain E (estimated rows per operator)\n\
     \  explain analyze E (estimated vs actual rows, q-error, time)\n"
 
@@ -281,6 +299,15 @@ let safely f db =
       db
   | exception Database.Duplicate_relation name ->
       Format.printf "relation exists: %s@." name;
+      db
+  | exception Database.Unknown_index name ->
+      Format.printf "unknown index: %s@." name;
+      db
+  | exception Database.Duplicate_index name ->
+      Format.printf "index exists: %s@." name;
+      db
+  | exception Invalid_argument msg ->
+      Format.printf "error: %s@." msg;
       db
   | exception Syscat.Reserved name ->
       Format.printf "reserved name: %s is a system catalog relation@." name;

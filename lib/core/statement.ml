@@ -11,6 +11,40 @@ exception Exec_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
 
+(* Write observation: an inversion-of-control hook so layers above core
+   (secondary index maintenance in [Mxra_ext.Index]) can see each
+   update's exact delta without core depending on them.  The deltas are
+   the *effective* bags: what the statement actually added to / removed
+   from the target, multiplicities included, so that
+   [bag before − removed ⊎ added = bag after] always holds. *)
+type write = {
+  w_db : Database.t;  (* state the statement executed against *)
+  w_name : string;
+  w_before : Relation.t;
+  w_after : Relation.t;
+  w_added : Relation.Bag.t;
+  w_removed : Relation.Bag.t;
+}
+
+let write_observer : (write -> unit) option ref = ref None
+let set_write_observer f = write_observer := f
+
+(* Deltas are only computed when someone is listening: the no-observer
+   fast path is a single ref read. *)
+let observe_write db name ~before ~after ~added ~removed =
+  match !write_observer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          w_db = db;
+          w_name = name;
+          w_before = before;
+          w_after = after;
+          w_added = added ();
+          w_removed = removed ();
+        }
+
 let target_relation db name =
   match Database.find_opt name db with
   | Some r -> r
@@ -48,12 +82,21 @@ let exec db = function
       let target = target_relation db name in
       let value = Eval.eval db e in
       require_same_schema "insert" name target value;
-      (Database.set name (Eval.union target value) db, None)
+      let after = Eval.union target value in
+      observe_write db name ~before:target ~after
+        ~added:(fun () -> Relation.bag value)
+        ~removed:(fun () -> Relation.Bag.empty);
+      (Database.set name after db, None)
   | Delete (name, e) ->
       let target = target_relation db name in
       let value = Eval.eval db e in
       require_same_schema "delete" name target value;
-      (Database.set name (Eval.diff target value) db, None)
+      let after = Eval.diff target value in
+      observe_write db name ~before:target ~after
+        ~added:(fun () -> Relation.Bag.empty)
+          (* Monus: only what was actually present leaves the bag. *)
+        ~removed:(fun () -> Relation.bag (Eval.intersect target value));
+      (Database.set name after db, None)
   | Update (name, e, exprs) ->
       let target = target_relation db name in
       let value = Eval.eval db e in
@@ -67,7 +110,11 @@ let exec db = function
         Relation.of_bag_unchecked (Relation.schema target)
           (Relation.bag (Eval.project exprs touched))
       in
-      (Database.set name (Eval.union untouched modified) db, None)
+      let after = Eval.union untouched modified in
+      observe_write db name ~before:target ~after
+        ~added:(fun () -> Relation.bag modified)
+        ~removed:(fun () -> Relation.bag touched);
+      (Database.set name after db, None)
   | Assign (name, e) ->
       let value = Eval.eval db e in
       (Database.assign_temporary name value db, None)

@@ -34,6 +34,28 @@ val exec : Database.t -> t -> Database.t * Relation.t option
     @raise Exec_error on statement-level failure, and whatever {!Eval}
     raises on expression-level failure. *)
 
+(** {1 Write observation}
+
+    Layers above core (secondary index maintenance, change capture) can
+    register a hook that sees every update statement's exact delta.
+    The invariant, with bags over the target relation:
+    [bag w_before − w_removed ⊎ w_added = bag w_after].  Multiplicities
+    are exact: a delete of a tuple present 3 times removes it with
+    count 3 (or less, by monus, if the deleted bag carries fewer). *)
+type write = {
+  w_db : Database.t;  (** State the statement executed against. *)
+  w_name : string;  (** Target relation name. *)
+  w_before : Relation.t;
+  w_after : Relation.t;
+  w_added : Relation.Bag.t;
+  w_removed : Relation.Bag.t;
+}
+
+val set_write_observer : (write -> unit) option -> unit
+(** Install (or clear) the process-wide write observer.  When [None]
+    (the default) updates pay a single ref read; deltas are computed
+    only while an observer is installed. *)
+
 val infer : Database.t -> t -> unit
 (** Statically check the statement against the database schema without
     executing it (the [Assign] case cannot extend the environment here;

@@ -223,6 +223,23 @@ let rec cost ~stats ~schemas e =
   in
   own +. children
 
+(* --- index access paths -------------------------------------------------
+
+   The units are "rows touched", comparable with the tuple-flow model
+   above: a sequential scan touches the whole relation, an index probe
+   touches log(keys) tree nodes plus the matching postings, and an index
+   nested-loop join pays one probe per outer row where a hash join pays
+   a full build of the inner. *)
+
+let index_probe_cost ~keys ~matching =
+  Float.log2 (Float.max 2.0 keys) +. Float.max 0.0 matching
+
+let index_scan_wins ~keys ~matching ~total =
+  index_probe_cost ~keys ~matching < total
+
+let index_join_wins ~keys ~outer ~inner =
+  Float.max 1.0 outer *. Float.log2 (Float.max 2.0 keys) < inner
+
 (* An Exchange's overhead — partition, pool dispatch, merge — is paid
    per input tuple and per fragment, so the break-even input size grows
    with the fragment count: splitting 600 rows four ways leaves

@@ -50,6 +50,21 @@ val q_error : estimated:float -> actual:int -> float
     direction or the other; join-order quality degrades roughly with the
     product of the q-errors along the join tree. *)
 
+val index_probe_cost : keys:float -> matching:float -> float
+(** Rows touched by one index probe: [log2 keys] tree nodes plus the
+    [matching] postings — the quantity compared against a scan's
+    cardinality.  [keys] is the distinct-key estimate
+    ({!Stats.distinct_keys}); [matching] comes from the histogram
+    selectivity of the access predicate. *)
+
+val index_scan_wins : keys:float -> matching:float -> total:float -> bool
+(** Whether answering a selection through an index beats scanning all
+    [total] rows. *)
+
+val index_join_wins : keys:float -> outer:float -> inner:float -> bool
+(** Whether an index nested-loop join — one probe per [outer] row — is
+    predicted to beat a hash join's full build over [inner] rows. *)
+
 val exchange_floor :
   parts:int -> threshold:int -> feedback_rows:int option -> float
 (** Minimum estimated input cardinality at which inserting an

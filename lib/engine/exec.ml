@@ -2,6 +2,7 @@ open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
 module Pool = Mxra_ext.Pool
+module Index = Mxra_ext.Index
 module Feedback = Mxra_ext.Parallel.Feedback
 
 module TH = Hashtbl.Make (struct
@@ -215,6 +216,41 @@ and exec_node ~hooks ~size db plan : chunk Seq.t =
   | Physical.Const_scan r -> chunks_of_bag size (Relation.bag r)
   | Physical.Seq_scan name ->
       chunks_of_bag size (Relation.bag (Database.find name db))
+  | Physical.Index_scan { def; access; residual } ->
+      let idx = Index.get def (Database.find def.idx_rel db) in
+      hooks.observe plan "keys" (Index.distinct_keys idx);
+      let matches = Index.probe idx access in
+      let matches =
+        match residual with
+        | Pred.True -> matches
+        | p -> Seq.filter (fun (t, _) -> Pred.eval t p) matches
+      in
+      chunks_of_seq size matches
+  | Physical.Index_join { def; outer_keys; residual; outer; _ } ->
+      (* Probe the inner relation's index once per outer row — no build
+         phase; the structure is shared via the index cache. *)
+      let idx = Index.get def (Database.find def.idx_rel db) in
+      hooks.observe plan "keys" (Index.distinct_keys idx);
+      let out = Vec.create size in
+      let expand c =
+        let outs = ref [] in
+        let push x =
+          Vec.push out x;
+          if out.Vec.len >= size then outs := Vec.flush out :: !outs
+        in
+        Array.iter
+          (fun (ltuple, ln) ->
+            let key = List.map (fun i -> Tuple.attr ltuple i) outer_keys in
+            Relation.Bag.iter
+              (fun rtuple rn ->
+                let combined = Tuple.concat ltuple rtuple in
+                if Pred.eval combined residual then push (combined, ln * rn))
+              (Index.probe_point idx key))
+          c;
+        if out.Vec.len > 0 then outs := Vec.flush out :: !outs;
+        List.to_seq (List.rev !outs)
+      in
+      Seq.concat_map expand (exec ~hooks ~size db outer)
   | Physical.Filter (p, t) ->
       Seq.filter_map
         (fun c ->

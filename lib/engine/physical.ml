@@ -1,8 +1,24 @@
 open Mxra_core
+module Index = Mxra_ext.Index
 
 type t =
   | Const_scan of Mxra_relational.Relation.t
   | Seq_scan of string
+  | Index_scan of {
+      def : Mxra_relational.Database.index_def;
+      access : Index.access;
+      residual : Pred.t;
+    }
+  | Index_join of {
+      (* Index nested-loop join: probe [def]'s index on the inner
+         relation once per outer row, key values taken from the outer
+         row's [outer_keys] (aligned with [def.idx_cols]). *)
+      def : Mxra_relational.Database.index_def;
+      outer_keys : int list;
+      left_arity : int;
+      residual : Pred.t;
+      outer : t;
+    }
   | Filter of Pred.t * t
   | Project_op of Scalar.t list * t
   | Hash_join of {
@@ -32,10 +48,48 @@ type t =
 
 (* The logical join condition of a hash join: key equalities (right keys
    reindexed past the left arity) conjoined with the residual. *)
+(* The predicate an index access path stands for, over the indexed
+   relation's own schema: one condition per consumed conjunct. *)
+let access_pred (def : Mxra_relational.Database.index_def)
+    (access : Index.access) =
+  match access with
+  | Index.Point vals ->
+      List.map2
+        (fun c v -> Pred.eq (Scalar.attr c) (Scalar.Lit v))
+        def.idx_cols vals
+  | Index.Range (lo, hi) ->
+      let col = List.hd def.idx_cols in
+      List.filter_map Fun.id
+        [
+          Option.map
+            (fun { Index.b_value; b_incl } ->
+              (if b_incl then Pred.ge else Pred.gt)
+                (Scalar.attr col) (Scalar.Lit b_value))
+            lo;
+          Option.map
+            (fun { Index.b_value; b_incl } ->
+              (if b_incl then Pred.le else Pred.lt)
+                (Scalar.attr col) (Scalar.Lit b_value))
+            hi;
+        ]
+
 let rec to_logical plan =
   match plan with
   | Const_scan r -> Expr.Const r
   | Seq_scan name -> Expr.Rel name
+  | Index_scan { def; access; residual } ->
+      Expr.Select
+        ( Pred.simplify (Pred.conj (access_pred def access @ [ residual ])),
+          Expr.Rel def.idx_rel )
+  | Index_join { def; outer_keys; left_arity; residual; outer } ->
+      let key_conds =
+        List.map2
+          (fun i c -> Pred.eq (Scalar.attr i) (Scalar.attr (c + left_arity)))
+          outer_keys def.idx_cols
+      in
+      Expr.Join
+        ( Pred.simplify (Pred.conj (key_conds @ [ residual ])),
+          to_logical outer, Expr.Rel def.idx_rel )
   | Filter (p, t) -> Expr.Select (p, to_logical t)
   | Project_op (exprs, t) -> Expr.Project (exprs, to_logical t)
   | Hash_join { left_keys; right_keys; left_arity; residual; left; right }
@@ -59,7 +113,8 @@ let rec to_logical plan =
   | Exchange { child; _ } -> to_logical child
 
 let rec size = function
-  | Const_scan _ | Seq_scan _ -> 1
+  | Const_scan _ | Seq_scan _ | Index_scan _ -> 1
+  | Index_join { outer; _ } -> 1 + size outer
   | Filter (_, t) | Project_op (_, t) | Hash_distinct t
   | Hash_aggregate (_, _, t)
   | Exchange { child = t; _ } ->
@@ -76,7 +131,8 @@ let rec size = function
 let rec exchange_count plan =
   let own = match plan with Exchange _ -> 1 | _ -> 0 in
   match plan with
-  | Const_scan _ | Seq_scan _ -> own
+  | Const_scan _ | Seq_scan _ | Index_scan _ -> own
+  | Index_join { outer; _ } -> own + exchange_count outer
   | Filter (_, t) | Project_op (_, t) | Hash_distinct t
   | Hash_aggregate (_, _, t)
   | Exchange { child = t; _ } ->
@@ -91,7 +147,8 @@ let rec exchange_count plan =
       own + exchange_count l + exchange_count r
 
 let children = function
-  | Const_scan _ | Seq_scan _ -> []
+  | Const_scan _ | Seq_scan _ | Index_scan _ -> []
+  | Index_join { outer; _ } -> [ outer ]
   | Filter (_, t) | Project_op (_, t) | Hash_distinct t
   | Hash_aggregate (_, _, t)
   | Exchange { child = t; _ } ->
@@ -108,6 +165,8 @@ let children = function
 let kind = function
   | Const_scan _ -> "ConstScan"
   | Seq_scan _ -> "SeqScan"
+  | Index_scan _ -> "IndexScan"
+  | Index_join _ -> "IndexNestedLoopJoin"
   | Filter _ -> "Filter"
   | Project_op _ -> "Project"
   | Hash_join _ -> "HashJoin"
@@ -133,6 +192,18 @@ let label plan =
       Format.asprintf "ConstScan (%d tuples)"
         (Mxra_relational.Relation.cardinal r)
   | Seq_scan name -> "SeqScan " ^ name
+  | Index_scan { def; access; residual } ->
+      Format.asprintf "IndexScan %s via %s [%a]%s" def.idx_rel def.idx_name
+        Index.pp_access access
+        (match residual with
+        | Pred.True -> ""
+        | p -> Format.asprintf " residual=[%a]" Pred.pp p)
+  | Index_join { def; outer_keys; residual; _ } ->
+      Format.asprintf "IndexNestedLoopJoin %s via %s keys=%a=%a%s" def.idx_rel
+        def.idx_name pp_keys outer_keys pp_keys def.idx_cols
+        (match residual with
+        | Pred.True -> ""
+        | p -> Format.asprintf " residual=[%a]" Pred.pp p)
   | Filter (p, _) -> Format.asprintf "Filter [%a]" Pred.pp p
   | Project_op (exprs, _) ->
       Format.asprintf "Project [%a]"

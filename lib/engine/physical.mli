@@ -17,6 +17,29 @@ open Mxra_core
 type t =
   | Const_scan of Relation.t
   | Seq_scan of string  (** Scan a named database relation. *)
+  | Index_scan of {
+      def : Database.index_def;
+      access : Mxra_ext.Index.access;
+          (** Key conditions consumed by the index probe. *)
+      residual : Pred.t;
+          (** Remaining conjuncts, evaluated on each posted tuple;
+              [Pred.True] when the index covers the whole predicate. *)
+    }
+      (** Selection over a named relation answered by a secondary index:
+          probe the index, filter postings by the residual. *)
+  | Index_join of {
+      def : Database.index_def;
+      outer_keys : int list;
+          (** Outer-schema attributes supplying the key values, aligned
+              position-for-position with [def.idx_cols]. *)
+      left_arity : int;
+      residual : Pred.t;
+      outer : t;
+    }
+      (** Index nested-loop join: for each outer row, probe the inner
+          relation's index with the outer key values and emit matches —
+          the inner side is the indexed relation itself, never a
+          subplan. *)
   | Filter of Pred.t * t
   | Project_op of Scalar.t list * t
   | Hash_join of {
@@ -61,6 +84,12 @@ type t =
           and key-aligned partitioning (docs/PARALLELISM.md).  The
           planner inserts it above filters, projections, hash joins and
           hash aggregates whose estimated input exceeds a threshold. *)
+
+val access_pred : Database.index_def -> Mxra_ext.Index.access -> Pred.t list
+(** The conjuncts an index access stands for, over the indexed
+    relation's own schema — what the probe answers, residual excluded.
+    [to_logical] conjoins them back; the planner estimates matching rows
+    from them. *)
 
 val to_logical : t -> Expr.t
 (** The logical expression this plan computes.  A [Hash_join] maps to a

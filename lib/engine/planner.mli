@@ -65,9 +65,23 @@ val parallelize :
     term. *)
 
 val plan_with :
-  ?join_algorithm:join_algorithm -> Typecheck.env -> Expr.t -> Physical.t
+  ?join_algorithm:join_algorithm ->
+  ?stats:Stats.env ->
+  ?indexes:(string -> Database.index_def list) ->
+  Typecheck.env ->
+  Expr.t ->
+  Physical.t
 (** Translation against an explicit schema environment (used by the
-    optimizer when costing candidate plans without a live database). *)
+    optimizer when costing candidate plans without a live database).
+    [indexes] lists the secondary-index definitions available on a named
+    relation (default: none, so index paths are never chosen); [stats]
+    feeds the index-vs-scan cost comparison (default: no statistics,
+    heuristic estimates). *)
+
+val force_index : unit -> bool
+(** Whether [MXRA_FORCE_INDEX] is set to [1]/[true]/[yes]: the planner
+    then takes an index path whenever a candidate exists, regardless of
+    estimated cost — full-suite coverage for the index operators. *)
 
 val join_keys :
   left_arity:int -> Pred.t -> (int * int) list * Pred.t

@@ -70,6 +70,20 @@ let column t i =
     invalid_arg (Printf.sprintf "Stats.column: index %%%d out of range" i)
   else t.columns.(i - 1)
 
+(* Distinct composite keys over a column set: the per-column distinct
+   counts multiplied (independence), capped by the support — a key set
+   can never distinguish more than the distinct tuples do. *)
+let distinct_keys t cols =
+  match cols with
+  | [] -> invalid_arg "Stats.distinct_keys: empty column list"
+  | _ ->
+      let prod =
+        List.fold_left
+          (fun acc i -> acc *. float_of_int (column t i).distinct)
+          1.0 cols
+      in
+      int_of_float (Float.max 1.0 (Float.min (float_of_int t.support) prod))
+
 let dup_factor t =
   if t.support = 0 then 1.0
   else float_of_int t.cardinality /. float_of_int t.support

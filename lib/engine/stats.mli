@@ -31,6 +31,13 @@ val column : t -> int -> column
 (** 1-based, matching attribute addressing.
     @raise Invalid_argument when out of range. *)
 
+val distinct_keys : t -> int list -> int
+(** [distinct_keys s cols]: estimated distinct composite keys over the
+    1-based columns [cols] — per-column distinct counts multiplied,
+    capped by the support.  At least 1.  Index metadata for the cost
+    model.
+    @raise Invalid_argument on an empty or out-of-range column list. *)
+
 val dup_factor : t -> float
 (** [cardinality / support]; 1.0 for duplicate-free relations, and by
     convention 1.0 for the empty relation. *)

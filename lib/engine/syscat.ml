@@ -92,6 +92,17 @@ let relations_schema =
 
 let counters_schema = Schema.of_list [ ("counter", DStr); ("value", DFloat) ]
 
+let indexes_schema =
+  Schema.of_list
+    [
+      ("name", DStr);
+      ("relation", DStr);
+      ("columns", DStr);
+      ("kind", DStr);
+      ("keys", DInt);
+      ("entries", DInt);
+    ]
+
 let series_schema =
   Schema.of_list
     [ ("series", DStr); ("t_s", DFloat); ("value", DFloat); ("points", DInt) ]
@@ -101,6 +112,7 @@ let schemas =
     ("sys.statements", statements_schema);
     ("sys.operators", operators_schema);
     ("sys.relations", relations_schema);
+    ("sys.indexes", indexes_schema);
     ("sys.locks", counters_schema);
     ("sys.pool", counters_schema);
     ("sys.series", series_schema);
@@ -176,6 +188,30 @@ let relations_now db =
                1 ))
        (Database.relation_names db))
 
+(* Forces each index structure (cached or built on the spot), so keys
+   and entries reflect the relation contents at attach time. *)
+let indexes_now db =
+  Relation.of_counted_list indexes_schema
+    (List.map
+       (fun (d : Database.index_def) ->
+         let idx = Mxra_ext.Index.get d (Database.find d.idx_rel db) in
+         ( Tuple.of_list
+             [
+               str d.idx_name;
+               str d.idx_rel;
+               str
+                 (String.concat ","
+                    (List.map (fun c -> Printf.sprintf "%%%d" c) d.idx_cols));
+               str
+                 (match d.idx_kind with
+                 | Database.Hash -> "hash"
+                 | Database.Ordered -> "ordered");
+               int (Mxra_ext.Index.distinct_keys idx);
+               int (Mxra_ext.Index.entry_count idx);
+             ],
+           1 ))
+       (Database.index_defs db))
+
 let counters_now name =
   let samples =
     match Hashtbl.find_opt probes name with
@@ -208,6 +244,7 @@ let materialize db name =
   | "sys.statements" -> Some (statements_now ())
   | "sys.operators" -> Some (operators_now ())
   | "sys.relations" -> Some (relations_now db)
+  | "sys.indexes" -> Some (indexes_now db)
   | "sys.locks" -> Some (counters_now "sys.locks")
   | "sys.pool" -> Some (counters_now "sys.pool")
   | "sys.series" -> Some (series_now ())

@@ -10,6 +10,9 @@
        operator kind.}
     {- [sys.relations] — the database catalog itself: name, arity,
        cardinality, support size, temporary flag (sys.* rows excluded).}
+    {- [sys.indexes] — secondary-index definitions with live structure
+       statistics: name, relation, columns, kind, distinct keys, posted
+       entries ({!Mxra_ext.Index}).}
     {- [sys.locks] — counter/value pairs from the probe registered
        under ["sys.locks"] (the host wires
        [Mxra_concurrency.Scheduler.telemetry]); empty otherwise.}

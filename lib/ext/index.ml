@@ -1,0 +1,302 @@
+(* Multiplicity-aware secondary indexes.
+
+   An index maps a key — the values of the indexed attributes — to the
+   *posting bag* of full tuples carrying that key, with their
+   multiplicities (Definition 2.1: a relation is a function dom(R) → ℕ,
+   so an access path must return counted tuples, never a set).  Two
+   shapes exist, mirroring {!Database.index_kind}:
+
+   - [Hash]: equality probes on one or more columns.  Stored as a
+     balanced map keyed by the key tuple — persistent so that
+     incremental maintenance can share structure between successive
+     database states; probes are O(log distinct-keys).
+   - [Ordered]: a single column under {!Value.compare} (the same order
+     {!Ordered.compare_by} sorts by within a domain), supporting point
+     probes and range scans in O(log n + matches).
+
+   Structures are derived data over immutable relation values, so
+   consistency is by construction: the cache below keys every built
+   structure by the *physical identity* of the source bag.  A database
+   state obtained by abort/undo re-installs the old relation value,
+   whose cache entry is still valid; a state the maintenance hook never
+   saw simply misses the cache and rebuilds.  Incremental maintenance
+   (via {!Statement.set_write_observer}) is therefore purely a
+   performance device — correctness never depends on it. *)
+
+open Mxra_relational
+open Mxra_core
+
+type bound = { b_value : Value.t; b_incl : bool }
+
+type access =
+  | Point of Value.t list
+  | Range of bound option * bound option
+
+module KMap = Map.Make (Tuple)
+module VMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type repr =
+  | Hashed of Relation.Bag.t KMap.t
+  | Ranged of Relation.Bag.t VMap.t
+
+type t = {
+  def : Database.index_def;
+  repr : repr;
+  card : (int * int) Lazy.t;
+      (* (distinct keys, entries), memoized per structure version so
+         per-run statistics probes are O(1) — a Map.cardinal walk per
+         executed operator showed up as O(n) in the E18 curve.  Not
+         forced on the write path, so maintenance stays O(delta). *)
+}
+
+(* Lazy.force is not domain-safe; serialize it (suspensions are cheap
+   and forced at most once per structure version). *)
+let card_lock = Mutex.create ()
+
+let card_of repr =
+  match repr with
+  | Hashed m ->
+      KMap.fold (fun _ b (k, e) -> (k + 1, e + Relation.Bag.cardinal b)) m (0, 0)
+  | Ranged m ->
+      VMap.fold (fun _ b (k, e) -> (k + 1, e + Relation.Bag.cardinal b)) m (0, 0)
+
+let card idx =
+  Mutex.lock card_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock card_lock) (fun () ->
+      Lazy.force idx.card)
+
+(* --- telemetry ---------------------------------------------------------- *)
+
+let builds = Atomic.make 0
+let maintained = Atomic.make 0
+let probes = Atomic.make 0
+let cache_hits = Atomic.make 0
+
+let telemetry () =
+  [
+    ("index.builds", float_of_int (Atomic.get builds));
+    ("index.maintained", float_of_int (Atomic.get maintained));
+    ("index.probes", float_of_int (Atomic.get probes));
+    ("index.cache_hits", float_of_int (Atomic.get cache_hits));
+  ]
+
+(* --- construction ------------------------------------------------------- *)
+
+let key_values (def : Database.index_def) t =
+  List.map (fun c -> Tuple.attr t c) def.idx_cols
+
+let key_tuple def t = Tuple.of_list (key_values def t)
+
+let single_col (def : Database.index_def) =
+  match def.idx_cols with
+  | [ c ] -> c
+  | _ -> invalid_arg "Index: ordered index must have exactly one column"
+
+let add_posting t n = function
+  | None -> Some (Relation.Bag.add ~count:n t Relation.Bag.empty)
+  | Some bag -> Some (Relation.Bag.add ~count:n t bag)
+
+let remove_posting t n = function
+  | None -> None
+  | Some bag ->
+      let bag = Relation.Bag.remove ~count:n t bag in
+      if Relation.Bag.is_empty bag then None else Some bag
+
+let build (def : Database.index_def) r =
+  Atomic.incr builds;
+  let bag = Relation.bag r in
+  let repr =
+    match def.idx_kind with
+    | Database.Hash ->
+        Hashed
+          (Relation.Bag.fold
+             (fun t n m -> KMap.update (key_tuple def t) (add_posting t n) m)
+             bag KMap.empty)
+    | Database.Ordered ->
+        let col = single_col def in
+        Ranged
+          (Relation.Bag.fold
+             (fun t n m ->
+               VMap.update (Tuple.attr t col) (add_posting t n) m)
+             bag VMap.empty)
+  in
+  { def; repr; card = lazy (card_of repr) }
+
+(* Apply a write delta: remove first, then add, exactly mirroring the
+   statement semantics R ← (R − removed) ⊎ added. *)
+let apply idx ~added ~removed =
+  Atomic.incr maintained;
+  let def = idx.def in
+  let repr =
+    match idx.repr with
+    | Hashed m ->
+        let m =
+          Relation.Bag.fold
+            (fun t n m -> KMap.update (key_tuple def t) (remove_posting t n) m)
+            removed m
+        in
+        Hashed
+          (Relation.Bag.fold
+             (fun t n m -> KMap.update (key_tuple def t) (add_posting t n) m)
+             added m)
+    | Ranged m ->
+        let col = single_col def in
+        let key t = Tuple.attr t col in
+        let m =
+          Relation.Bag.fold
+            (fun t n m -> VMap.update (key t) (remove_posting t n) m)
+            removed m
+        in
+        Ranged
+          (Relation.Bag.fold
+             (fun t n m -> VMap.update (key t) (add_posting t n) m)
+             added m)
+  in
+  { def; repr; card = lazy (card_of repr) }
+
+(* --- probing ------------------------------------------------------------ *)
+
+let probe_point idx vals =
+  Atomic.incr probes;
+  match idx.repr with
+  | Hashed m -> (
+      match KMap.find_opt (Tuple.of_list vals) m with
+      | Some bag -> bag
+      | None -> Relation.Bag.empty)
+  | Ranged m -> (
+      match vals with
+      | [ v ] -> (
+          match VMap.find_opt v m with
+          | Some bag -> bag
+          | None -> Relation.Bag.empty)
+      | _ -> invalid_arg "Index.probe_point: ordered index takes one value")
+
+let probe_range idx lo hi =
+  Atomic.incr probes;
+  match idx.repr with
+  | Hashed _ -> invalid_arg "Index.probe_range: hash index has no key order"
+  | Ranged m ->
+      let from_lo =
+        match lo with
+        | None -> VMap.to_seq m
+        | Some { b_value; b_incl } ->
+            (* [to_seq_from] starts at the least key >= b_value; an
+               exclusive bound additionally skips the key itself. *)
+            let s = VMap.to_seq_from b_value m in
+            if b_incl then s
+            else Seq.drop_while (fun (k, _) -> Value.compare k b_value = 0) s
+      in
+      let bounded =
+        match hi with
+        | None -> from_lo
+        | Some { b_value; b_incl } ->
+            Seq.take_while
+              (fun (k, _) ->
+                let c = Value.compare k b_value in
+                if b_incl then c <= 0 else c < 0)
+              from_lo
+      in
+      Seq.concat_map (fun (_, bag) -> Relation.Bag.to_counted_seq bag) bounded
+
+let probe idx = function
+  | Point vals -> Relation.Bag.to_counted_seq (probe_point idx vals)
+  | Range (lo, hi) -> probe_range idx lo hi
+
+let pp_access ppf = function
+  | Point vals ->
+      Format.fprintf ppf "= %s"
+        (String.concat ", " (List.map Value.to_string vals))
+  | Range (lo, hi) ->
+      let side op_incl op_excl = function
+        | { b_value; b_incl } ->
+            Printf.sprintf "%s%s"
+              (if b_incl then op_incl else op_excl)
+              (Value.to_string b_value)
+      in
+      let parts =
+        List.filter_map Fun.id
+          [
+            Option.map (side ">= " "> ") lo;
+            Option.map (side "<= " "< ") hi;
+          ]
+      in
+      Format.pp_print_string ppf
+        (match parts with [] -> "all" | ps -> String.concat " and " ps)
+
+let access_to_string a = Format.asprintf "%a" pp_access a
+
+(* --- statistics --------------------------------------------------------- *)
+
+let distinct_keys idx = fst (card idx)
+let entry_count idx = snd (card idx)
+
+(* --- cache and maintenance ---------------------------------------------- *)
+
+(* Per-definition cache of built structures, keyed by physical identity
+   of the source bag.  Two entries cover the common transactional
+   pattern: the committed value plus one in-flight successor (or the
+   before-image an abort will re-install). *)
+let cache : (string, (Relation.Bag.t * t) list) Hashtbl.t = Hashtbl.create 16
+let cache_cap = 2
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let cached_for name bag =
+  locked (fun () ->
+      match Hashtbl.find_opt cache name with
+      | None -> None
+      | Some entries ->
+          List.find_opt (fun (src, _) -> src == bag) entries
+          |> Option.map snd)
+
+let store_entry name bag idx =
+  locked (fun () ->
+      let entries =
+        Option.value ~default:[] (Hashtbl.find_opt cache name)
+        |> List.filter (fun (src, _) -> src != bag)
+      in
+      let entries = (bag, idx) :: entries in
+      let entries = List.filteri (fun i _ -> i < cache_cap) entries in
+      Hashtbl.replace cache name entries)
+
+let invalidate name = locked (fun () -> Hashtbl.remove cache name)
+
+(* The structure for [def] over [r]: cached when the exact relation
+   value was seen before, rebuilt otherwise. *)
+let get (def : Database.index_def) r =
+  let bag = Relation.bag r in
+  match cached_for def.idx_name bag with
+  | Some idx ->
+      Atomic.incr cache_hits;
+      idx
+  | None ->
+      let idx = build def r in
+      store_entry def.idx_name bag idx;
+      idx
+
+(* Write hook: roll every cached structure over the before-image forward
+   to the after-image by applying the statement's delta.  A miss is
+   fine — the next probe rebuilds. *)
+let on_write (w : Statement.write) =
+  match Database.indexes_on w.w_name w.w_db with
+  | [] -> ()
+  | defs ->
+      let before = Relation.bag w.w_before in
+      let after = Relation.bag w.w_after in
+      List.iter
+        (fun (def : Database.index_def) ->
+          match cached_for def.idx_name before with
+          | None -> ()
+          | Some idx ->
+              store_entry def.idx_name after
+                (apply idx ~added:w.w_added ~removed:w.w_removed))
+        defs
+
+let () = Statement.set_write_observer (Some on_write)

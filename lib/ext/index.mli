@@ -1,0 +1,76 @@
+(** Multiplicity-aware secondary indexes.
+
+    An index maps the values of the indexed attributes to the {e posting
+    bag} of full tuples carrying them — counted tuples, per the multiset
+    model (Definition 2.1), so an index-driven access path yields exactly
+    the bag a sequential scan would.
+
+    Structures are derived data over immutable relation values.  The
+    cache keys each built structure by the physical identity of the
+    source bag, so a stale structure can never be served for a different
+    relation value: abort/undo re-installs the old value (whose entry is
+    still valid) and unseen states simply rebuild.  Incremental
+    maintenance through {!Mxra_core.Statement.set_write_observer} — the
+    observer is installed as a side effect of linking this module — is a
+    performance device only. *)
+
+open Mxra_relational
+
+type t
+(** A built index structure for one {!Database.index_def}. *)
+
+(** {1 Access paths} *)
+
+type bound = { b_value : Value.t; b_incl : bool }
+
+(** What the planner extracted from a predicate: an exact key, or a
+    one-column range with optional bounds. *)
+type access =
+  | Point of Value.t list  (** One value per indexed column, in order. *)
+  | Range of bound option * bound option  (** [lo], [hi]; ordered only. *)
+
+val pp_access : Format.formatter -> access -> unit
+val access_to_string : access -> string
+
+(** {1 Construction and maintenance} *)
+
+val build : Database.index_def -> Relation.t -> t
+(** Build from scratch: O(n log n). *)
+
+val apply : t -> added:Relation.Bag.t -> removed:Relation.Bag.t -> t
+(** Roll a structure forward over a write delta (removals first, then
+    additions — the statement semantics [R ← (R − r) ⊎ a]). *)
+
+val get : Database.index_def -> Relation.t -> t
+(** The structure for this definition over this exact relation value:
+    served from the cache when available, built (and cached) otherwise. *)
+
+val invalidate : string -> unit
+(** Drop all cached structures for an index name (e.g. on [drop index]). *)
+
+(** {1 Probing} *)
+
+val probe_point : t -> Value.t list -> Relation.Bag.t
+(** Posting bag for an exact key; empty when absent.  O(log keys). *)
+
+val probe_range : t -> bound option -> bound option -> (Tuple.t * int) Seq.t
+(** Counted tuples with key in the bound interval, in key order.
+    O(log n + matches).
+    @raise Invalid_argument on a hash index. *)
+
+val probe : t -> access -> (Tuple.t * int) Seq.t
+(** {!probe_point} / {!probe_range}, uniformly as a counted stream. *)
+
+(** {1 Statistics} *)
+
+val distinct_keys : t -> int
+(** Number of distinct keys. *)
+
+val entry_count : t -> int
+(** Total posted tuples, counted with multiplicity. *)
+
+(** {1 Telemetry} *)
+
+val telemetry : unit -> (string * float) list
+(** Build / maintenance / probe counters, in the resource-sampler probe
+    shape (cf. {!Pool.telemetry}). *)

@@ -5,15 +5,27 @@ type entry = {
   temporary : bool;
 }
 
+type index_kind = Hash | Ordered
+
+type index_def = {
+  idx_name : string;
+  idx_rel : string;
+  idx_cols : int list;
+  idx_kind : index_kind;
+}
+
 type t = {
   catalog : entry Catalog.t;
+  indexes : index_def Catalog.t;
   time : int;
 }
 
 exception Unknown_relation of string
 exception Duplicate_relation of string
+exception Unknown_index of string
+exception Duplicate_index of string
 
-let empty = { catalog = Catalog.empty; time = 0 }
+let empty = { catalog = Catalog.empty; indexes = Catalog.empty; time = 0 }
 
 let find_entry name db =
   match Catalog.find_opt name db.catalog with
@@ -56,10 +68,59 @@ let is_temporary name db = (find_entry name db).temporary
 
 let drop name db =
   if not (Catalog.mem name db.catalog) then raise (Unknown_relation name);
-  { db with catalog = Catalog.remove name db.catalog }
+  {
+    db with
+    catalog = Catalog.remove name db.catalog;
+    (* An index without its relation is meaningless: drop them together. *)
+    indexes = Catalog.filter (fun _ d -> d.idx_rel <> name) db.indexes;
+  }
 
 let drop_temporaries db =
   { db with catalog = Catalog.filter (fun _ e -> not e.temporary) db.catalog }
+
+(* --- secondary index definitions ---------------------------------------- *)
+
+let create_index ~name ~rel ~cols ~kind db =
+  if Catalog.mem name db.indexes then raise (Duplicate_index name);
+  let e =
+    match Catalog.find_opt rel db.catalog with
+    | Some e -> e
+    | None -> raise (Unknown_relation rel)
+  in
+  if e.temporary then
+    invalid_arg
+      (Printf.sprintf "Database.create_index: %s is a temporary relation" rel);
+  let arity = Schema.arity (Relation.schema e.relation) in
+  if cols = [] then invalid_arg "Database.create_index: empty column list";
+  List.iter
+    (fun c ->
+      if c < 1 || c > arity then
+        invalid_arg
+          (Printf.sprintf "Database.create_index: column %%%d out of range for %s"
+             c rel))
+    cols;
+  (match kind with
+  | Ordered when List.length cols <> 1 ->
+      invalid_arg "Database.create_index: ordered indexes take exactly one column"
+  | Hash | Ordered -> ());
+  let def = { idx_name = name; idx_rel = rel; idx_cols = cols; idx_kind = kind } in
+  { db with indexes = Catalog.add name def db.indexes }
+
+let drop_index name db =
+  if not (Catalog.mem name db.indexes) then raise (Unknown_index name);
+  { db with indexes = Catalog.remove name db.indexes }
+
+let find_index name db =
+  match Catalog.find_opt name db.indexes with
+  | Some d -> d
+  | None -> raise (Unknown_index name)
+
+let find_index_opt name db = Catalog.find_opt name db.indexes
+let index_defs db = List.map snd (Catalog.bindings db.indexes)
+
+let indexes_on rel db =
+  Catalog.bindings db.indexes
+  |> List.filter_map (fun (_, d) -> if d.idx_rel = rel then Some d else None)
 
 let relation_names db = List.map fst (Catalog.bindings db.catalog)
 
@@ -99,4 +160,11 @@ let pp ppf db =
         (Relation.schema e.relation)
         (Relation.cardinal e.relation))
     (Catalog.bindings db.catalog);
+  List.iter
+    (fun (_, d) ->
+      Format.fprintf ppf "  index %s on %s (%s) %s@," d.idx_name d.idx_rel
+        (String.concat ", "
+           (List.map (fun c -> Printf.sprintf "%%%d" c) d.idx_cols))
+        (match d.idx_kind with Hash -> "hash" | Ordered -> "ordered"))
+    (Catalog.bindings db.indexes);
   Format.fprintf ppf "@]"

@@ -25,6 +25,12 @@ exception Unknown_relation of string
 exception Duplicate_relation of string
 (** Raised when creating a relation under an existing name. *)
 
+exception Unknown_index of string
+(** Raised when addressing an index name absent from the catalog. *)
+
+exception Duplicate_index of string
+(** Raised when creating an index under an existing index name. *)
+
 (** {1 Construction} *)
 
 val empty : t
@@ -77,6 +83,48 @@ val drop : string -> t -> t
 val drop_temporaries : t -> t
 (** Remove all temporary relations — the commit half of the transaction
     end-bracket. *)
+
+(** {1 Secondary indexes}
+
+    Index {e definitions} live in the catalog; the index {e structures}
+    themselves are derived data maintained outside this module (see
+    [Mxra_ext.Index]).  Because states are persistent values, an aborted
+    transaction's definitions vanish with the state that carried them —
+    no compensation logic needed. *)
+
+(** Access-path shape of an index: hash for equality probes, ordered
+    (single column) for range scans. *)
+type index_kind = Hash | Ordered
+
+type index_def = {
+  idx_name : string;
+  idx_rel : string;  (** Indexed relation. *)
+  idx_cols : int list;  (** 1-based attribute positions ([%i]). *)
+  idx_kind : index_kind;
+}
+
+val create_index :
+  name:string -> rel:string -> cols:int list -> kind:index_kind -> t -> t
+(** Register a secondary index definition.
+    @raise Duplicate_index if the index name is taken.
+    @raise Unknown_relation if [rel] is absent.
+    @raise Invalid_argument on a temporary relation, an empty or
+    out-of-range column list, or a multi-column ordered index. *)
+
+val drop_index : string -> t -> t
+(** @raise Unknown_index if absent. *)
+
+val find_index : string -> t -> index_def
+(** @raise Unknown_index if absent. *)
+
+val find_index_opt : string -> t -> index_def option
+
+val index_defs : t -> index_def list
+(** All index definitions, sorted by index name. *)
+
+val indexes_on : string -> t -> index_def list
+(** Definitions over one relation, sorted by index name.  Dropping the
+    relation drops them. *)
 
 val relation_names : t -> string list
 (** All names, sorted; temporaries included. *)

@@ -45,3 +45,7 @@ type stmt =
   | Delete of string * spred option
   | Update of string * (string * sexpr) list * spred option
   | Create of string * (string * Domain.t) list
+  | Create_index of string * string * string list * Database.index_kind
+      (* CREATE INDEX name ON table (col, ...) [USING HASH|ORDERED];
+         columns are unresolved names here, positions after Translate *)
+  | Drop_index of string

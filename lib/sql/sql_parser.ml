@@ -272,6 +272,30 @@ and parse_stmt st =
     let where = if eat_kw st "WHERE" then Some (parse_pred st) else None in
     Sql_ast.Update (table, sets, where))
   else if eat_kw st "CREATE" then (
+    if eat_kw st "INDEX" then (
+      let name = expect_name st in
+      expect_kw st "ON";
+      let table = parse_table_name st in
+      expect st Sql_lexer.LPAREN;
+      let cols = comma_separated st expect_name in
+      expect st Sql_lexer.RPAREN;
+      let kind =
+        if eat_kw st "USING" then
+          if eat_kw st "HASH" then Database.Hash
+          else if eat_kw st "ORDERED" then Database.Ordered
+          else
+            fail st "expected HASH or ORDERED, found %s"
+              (Sql_lexer.token_to_string (peek st))
+        else Database.Hash
+      in
+      Sql_ast.Create_index (name, table, cols, kind))
+    else parse_create_table st)
+  else if eat_kw st "DROP" then (
+    expect_kw st "INDEX";
+    Sql_ast.Drop_index (expect_name st))
+  else fail st "expected statement, found %s" (Sql_lexer.token_to_string (peek st))
+
+and parse_create_table st =
     expect_kw st "TABLE";
     let table = parse_table_name st in
     expect st Sql_lexer.LPAREN;
@@ -284,8 +308,7 @@ and parse_stmt st =
     in
     let cols = comma_separated st column in
     expect st Sql_lexer.RPAREN;
-    Sql_ast.Create (table, cols))
-  else fail st "expected statement, found %s" (Sql_lexer.token_to_string (peek st))
+    Sql_ast.Create (table, cols)
 
 let parse src =
   let st = { tokens = Sql_lexer.tokenize src; pos = 0 } in

@@ -7,6 +7,8 @@ type result =
   | Query of Expr.t
   | Statement of Statement.t
   | Create of string * Schema.t
+  | Create_index of Database.index_def
+  | Drop_index of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Translate_error s)) fmt
 
@@ -255,6 +257,24 @@ let translate_ast env = function
   | Sql_ast.Update (table, sets, where) ->
       Statement (translate_update env table sets where)
   | Sql_ast.Create (table, cols) -> Create (table, Schema.of_list cols)
+  | Sql_ast.Create_index (name, table, cols, kind) ->
+      let schema = table_schema env table in
+      let positions =
+        List.map
+          (fun c ->
+            match Schema.index_of_name schema c with
+            | Some i -> i
+            | None -> error "unknown column %s in CREATE INDEX ON %s" c table)
+          cols
+      in
+      Create_index
+        {
+          Database.idx_name = name;
+          idx_rel = table;
+          idx_cols = positions;
+          idx_kind = kind;
+        }
+  | Sql_ast.Drop_index name -> Drop_index name
 
 let translate env ast =
   Mxra_obs.Trace.with_span "sql.translate" (fun () -> translate_ast env ast)
@@ -268,4 +288,5 @@ let translate_string env src =
 let query_of_string env src =
   match translate_string env src with
   | Query e -> e
-  | Statement _ | Create _ -> error "expected a SELECT statement"
+  | Statement _ | Create _ | Create_index _ | Drop_index _ ->
+      error "expected a SELECT statement"

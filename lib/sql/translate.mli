@@ -24,6 +24,9 @@ type result =
   | Query of Expr.t  (** A SELECT: run as [?E]. *)
   | Statement of Statement.t  (** INSERT/DELETE/UPDATE. *)
   | Create of string * Schema.t  (** CREATE TABLE. *)
+  | Create_index of Database.index_def
+      (** CREATE INDEX, column names resolved to 1-based positions. *)
+  | Drop_index of string  (** DROP INDEX. *)
 
 val translate : Typecheck.env -> Sql_ast.stmt -> result
 (** @raise Translate_error on unknown/ambiguous names, a non-grouped

@@ -34,6 +34,13 @@ let encode_database_body ?(wal_covered = 0) db =
           (Format.asprintf "insert(%s, %a);\n" name
              Xra.Printer.pp_relation_literal r))
     (Database.persistent_names db);
+  (* Index definitions follow the relations they refer to; structures
+     are rebuilt on demand after decode, only the DDL is persisted. *)
+  List.iter
+    (fun def ->
+      Buffer.add_string buf
+        (Format.asprintf "%a;\n" Xra.Printer.pp_index_def def))
+    (Database.index_defs db);
   Buffer.contents buf
 
 let encode_database ?wal_covered db =
@@ -114,6 +121,10 @@ let decode_snapshot_body source =
       (fun db command ->
         match command with
         | Xra.Parser.Cmd_create (name, schema) -> Database.create name schema db
+        | Xra.Parser.Cmd_create_index d ->
+            Database.create_index ~name:d.idx_name ~rel:d.idx_rel
+              ~cols:d.idx_cols ~kind:d.idx_kind db
+        | Xra.Parser.Cmd_drop_index name -> Database.drop_index name db
         | Xra.Parser.Cmd_statement stmt -> fst (Mxra_core.Statement.exec db stmt)
         | Xra.Parser.Cmd_transaction program ->
             fst (Mxra_core.Program.exec db program))

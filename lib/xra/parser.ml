@@ -7,6 +7,8 @@ type command =
   | Cmd_statement of Statement.t
   | Cmd_transaction of Program.t
   | Cmd_create of string * Schema.t
+  | Cmd_create_index of Database.index_def
+  | Cmd_drop_index of string
 
 (* Parser state: a token array and a mutable cursor.  Backtracking (for
    the pred/scalar parenthesis ambiguity) saves and restores the
@@ -369,6 +371,26 @@ let parse_program st =
   in
   more [ parse_statement st ]
 
+let parse_index_kind st =
+  if peek st = Token.IDENT "using" then (
+    advance st;
+    match expect_ident st with
+    | "hash" -> Database.Hash
+    | "ordered" -> Database.Ordered
+    | k -> fail st "expected 'hash' or 'ordered', found %s" k)
+  else Database.Hash
+
+let parse_create_index st =
+  let name = expect_ident st in
+  keyword st "on";
+  let rel = expect_ident st in
+  expect st Token.LPAREN;
+  let cols = comma_separated st parse_attr in
+  expect st Token.RPAREN;
+  let kind = parse_index_kind st in
+  Cmd_create_index
+    { Database.idx_name = name; idx_rel = rel; idx_cols = cols; idx_kind = kind }
+
 let parse_command st =
   match peek st with
   | Token.IDENT "begin" ->
@@ -379,8 +401,22 @@ let parse_command st =
   | Token.IDENT "create" ->
       advance st;
       let name = expect_ident st in
-      let schema = parse_schema st in
-      Cmd_create (name, schema)
+      (* [create index i on r (%1)] is index DDL; [create index (a:int)]
+         still creates a relation named "index" — the next token
+         disambiguates. *)
+      if name = "index" && (match peek st with Token.IDENT _ -> true | _ -> false)
+      then parse_create_index st
+      else
+        let schema = parse_schema st in
+        Cmd_create (name, schema)
+  | Token.IDENT "drop"
+    when fst st.tokens.(st.pos + 1) = Token.IDENT "index"
+         && (match fst st.tokens.(st.pos + 2) with
+            | Token.IDENT _ -> true
+            | _ -> false) ->
+      advance st;
+      advance st;
+      Cmd_drop_index (expect_ident st)
   | _ -> Cmd_statement (parse_statement st)
 
 let parse_script st =

@@ -19,6 +19,8 @@
             | update(ident, e, [scalar, ...])
             | ident := e | ? e
     cmd   ::= stmt | begin stmt ; ... end | create ident (name:type, ...)
+            | create index ident on ident (%i, ...) (using hash|ordered)?
+            | drop index ident
     script::= cmd ; ... ;?
     v
     }
@@ -42,6 +44,12 @@ type command =
       (** Schema definition; not part of the paper's language (it defines
           statements over an existing schema) but required to build one
           from a script. *)
+  | Cmd_create_index of Database.index_def
+      (** [create index i on r (%1, %2) using hash] — the kind defaults
+          to [hash] when the [using] clause is omitted.  [create index
+          (a:int)] still creates a {e relation} named "index": the token
+          after the name disambiguates. *)
+  | Cmd_drop_index of string
 
 val expr_of_string : string -> Expr.t
 val statement_of_string : string -> Statement.t

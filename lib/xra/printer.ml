@@ -81,6 +81,18 @@ let pp_program ppf program =
        pp_statement)
     program
 
+(* Emits exactly the parser's create-index grammar — snapshot encoding
+   depends on parse (print d) = d. *)
+let pp_index_def ppf (d : Database.index_def) =
+  Format.fprintf ppf "create index %s on %s (%a) using %s" d.idx_name d.idx_rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf i -> Format.fprintf ppf "%%%d" i))
+    d.idx_cols
+    (match d.idx_kind with
+    | Database.Hash -> "hash"
+    | Database.Ordered -> "ordered")
+
 let expr_to_string e = Format.asprintf "%a" pp_expr e
 let statement_to_string s = Format.asprintf "%a" pp_statement s
 let program_to_string p = Format.asprintf "%a" pp_program p

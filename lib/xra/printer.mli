@@ -19,3 +19,7 @@ val program_to_string : Program.t -> string
 
 val pp_relation_literal : Format.formatter -> Relation.t -> unit
 (** [rel[(a:int)]{(1):2, (3)}] — the literal form of a relation. *)
+
+val pp_index_def : Format.formatter -> Database.index_def -> unit
+(** [create index i on r (%1, %2) using hash] — the DDL command that
+    recreates the definition; what snapshots persist. *)

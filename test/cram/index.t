@@ -1,0 +1,161 @@
+Secondary indexes end to end: DDL through the XRA and SQL front-ends,
+definitions recovered from a durable store, cost-based selection of
+index access paths in EXPLAIN, and the pinned error shapes.
+
+This file pins cost-based access-path choices, so neutralize the
+forced-index CI leg up front; the one forced command below sets the
+variable back explicitly for its own invocation.
+
+  $ export MXRA_FORCE_INDEX=0
+
+Build a durable retail store (seeded, deterministic) and define three
+indexes over it: a hash index on the order key, an ordered index on
+the order day, and a hash index on the lineitem foreign key.
+
+  $ cat > setup.xra <<'EOF'
+  > create index orders_id on orders (%1) using hash;
+  > create index orders_day on orders (%3) using ordered;
+  > create index li_order on lineitem (%1);
+  > ? sys.indexes;
+  > EOF
+  $ ../../bin/bagdb.exe run --retail 300 --db store setup.xra
+  +--------------+------------+---------+-----------+------+---------+---+
+  | name         | relation   | columns | kind      | keys | entries | # |
+  +--------------+------------+---------+-----------+------+---------+---+
+  | 'li_order'   | 'lineitem' | '%1'    | 'hash'    | 300  | 2040    | 1 |
+  | 'orders_day' | 'orders'   | '%3'    | 'ordered' | 191  | 300     | 1 |
+  | 'orders_id'  | 'orders'   | '%1'    | 'hash'    | 300  | 300     | 1 |
+  +--------------+------------+---------+-----------+------+---------+---+ (3 tuples, 3 distinct)
+
+The definitions live in the snapshot, as replayable DDL:
+
+  $ grep 'create index' store/snapshot.xra
+  create index li_order on lineitem (%1) using hash;
+  create index orders_day on orders (%3) using ordered;
+  create index orders_id on orders (%1) using hash;
+
+A point selection on the indexed key is answered by the hash index —
+chosen on cost, no forcing:
+
+  $ ../../bin/bagdb.exe explain --db store 'select[%1 = 17](orders)'
+  input:      select[%1 = 17](orders)
+  optimized:  select[%1 = 17](orders)
+  est. cost:  903 -> 903 tuples
+  physical:
+  IndexScan orders via orders_id [= 17]          (est=1)
+  
+
+
+A range selection on the day column is answered by the ordered index;
+conjuncts the access path does not consume stay as a residual:
+
+  $ ../../bin/bagdb.exe explain --db store 'select[%3 >= 10 and %3 < 20](orders)'
+  input:      select[(%3 >= 10 and %3 < 20)](orders)
+  optimized:  select[(%3 >= 10 and %3 < 20)](orders)
+  est. cost:  944 -> 944 tuples
+  physical:
+  IndexScan orders via orders_day [>= 10 and < 20] (est=15)
+  
+
+
+  $ ../../bin/bagdb.exe explain --db store 'select[%1 = 17 and %2 > 3](orders)'
+  input:      select[(%1 = 17 and %2 > 3)](orders)
+  optimized:  select[(%1 = 17 and %2 > 3)](orders)
+  est. cost:  902 -> 902 tuples
+  physical:
+  IndexScan orders via orders_id [= 17] residual=[%2 > 3] (est=1)
+  
+
+
+A small outer probing a large indexed inner becomes an index
+nested-loop join, again purely on cost:
+
+  $ ../../bin/bagdb.exe explain --db store 'join[%1 = %2](rel[(k:int)]{(3),(7),(11)}, orders)'
+  input:      join[%1 = %2](const(3 tuples), orders)
+  optimized:  join[%1 = %2](const(3 tuples), orders)
+  est. cost:  915 -> 915 tuples
+  physical:
+  IndexNestedLoopJoin orders via orders_id keys=%1=%1 (est=3)
+    ConstScan (3 tuples)                         (est=3)
+  
+
+
+When the estimated probe volume beats nothing, the planner keeps the
+sequential plan; MXRA_FORCE_INDEX=1 overrides the costing (full-suite
+coverage of the index operators):
+
+  $ ../../bin/bagdb.exe explain --db store 'join[%1 = %5](lineitem, orders)' | tail -4
+  HashJoin keys=%1=%1 residual=[true]            (est=2040)
+    SeqScan lineitem                             (est=2040)
+    SeqScan orders                               (est=300)
+  
+  $ MXRA_FORCE_INDEX=1 ../../bin/bagdb.exe explain --db store 'join[%1 = %5](lineitem, orders)' | tail -3
+  IndexNestedLoopJoin orders via orders_id keys=%1=%1 (est=2040)
+    SeqScan lineitem                             (est=2040)
+  
+
+EXPLAIN ANALYZE on the index path reports keys probed and q-error:
+
+  $ ../../bin/bagdb.exe explain --db store --analyze 'select[%1 = 17](orders)' | sed -E -e 's/time=[0-9]+\.[0-9]+ms/time=_/g' -e 's/total: [0-9]+\.[0-9]+ ms/total: _ ms/' -e 's/query id:   q[0-9a-z-]+/query id:   _/' | tail -3
+  explain analyze:
+  IndexScan orders via orders_id [= 17]          (est=1 act=1 q=1.00 time=_ keys=300)
+  total: _ ms, 1 rows
+
+The SQL front-end speaks the same DDL, resolving column names to
+positions; sys.indexes reflects drops immediately:
+
+  $ cat > ddl.sql <<'EOF'
+  > CREATE TABLE t (k int, v str);
+  > INSERT INTO t VALUES (1, 'a'), (2, 'b'), (2, 'c');
+  > CREATE INDEX t_k ON t (k);
+  > CREATE INDEX t_v ON t (v) USING ORDERED;
+  > SELECT name, relation, columns, kind FROM sys.indexes;
+  > DROP INDEX t_v;
+  > SELECT name FROM sys.indexes;
+  > EOF
+  $ ../../bin/bagdb.exe sql ddl.sql
+  +-------+----------+---------+-----------+---+
+  | name  | relation | columns | kind      | # |
+  +-------+----------+---------+-----------+---+
+  | 't_k' | 't'      | '%1'    | 'hash'    | 1 |
+  | 't_v' | 't'      | '%2'    | 'ordered' | 1 |
+  +-------+----------+---------+-----------+---+ (2 tuples, 2 distinct)
+  +-------+---+
+  | name  | # |
+  +-------+---+
+  | 't_k' | 1 |
+  +-------+---+ (1 tuples, 1 distinct)
+
+Error shapes, pinned to match the unknown-relation family:
+
+  $ echo 'drop index nope;' | ../../bin/bagdb.exe run /dev/stdin
+  unknown index: nope
+  [1]
+  $ printf 'create r (a:int);\ncreate index i on r (%%1);\ncreate index i on r (%%1);\n' | ../../bin/bagdb.exe run /dev/stdin
+  index exists: i
+  [1]
+  $ echo 'create index i on nope (%1);' | ../../bin/bagdb.exe run /dev/stdin
+  unknown relation: nope
+  [1]
+  $ echo 'create index sys.i on r (%1);' | ../../bin/bagdb.exe run /dev/stdin
+  reserved name: sys.i is a system catalog relation
+  [1]
+  $ echo 'create index i on sys.pool (%1);' | ../../bin/bagdb.exe run /dev/stdin
+  reserved name: sys.pool is a system catalog relation
+  [1]
+  $ printf 'create r (a:int);\ncreate index i on r (%%4);\n' | ../../bin/bagdb.exe run /dev/stdin
+  error: Database.create_index: column %4 out of range for r
+  [1]
+  $ printf 'create r (a:int, b:int);\ncreate index i on r (%%1, %%2) using ordered;\n' | ../../bin/bagdb.exe run /dev/stdin
+  error: Database.create_index: ordered indexes take exactly one column
+  [1]
+
+A relation may still be named "index" — the token after the name
+disambiguates the DDL:
+
+  $ printf 'create index (a:int);\ninsert(index, rel[(a:int)]{(1)});\n? index;\n' | ../../bin/bagdb.exe run /dev/stdin
+  +---+---+
+  | a | # |
+  +---+---+
+  | 1 | 1 |
+  +---+---+ (1 tuples, 1 distinct)

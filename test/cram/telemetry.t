@@ -26,6 +26,10 @@ The top table: one row per series, sorted; numbers scrubbed.
   gc.minor_words
   gc.promoted_words
   gc.top_heap_words
+  index.builds
+  index.cache_hits
+  index.maintained
+  index.probes
   pool.busy
   pool.lanes
   pool.maps

@@ -23,4 +23,5 @@ let () =
       Test_language.suite;
       Test_obs.suite;
       Test_syscat.suite;
+      Test_index.suite;
     ]
