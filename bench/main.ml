@@ -654,7 +654,9 @@ let e12_isolation () =
       let txns = List.init batch (txn rng tables) in
       let _, serial_ms = time_ms (fun () -> Transaction.run_all db txns) in
       let result, sched_ms =
-        time_ms (fun () -> Mxra_concurrency.Scheduler.run ~seed:1 db txns)
+        time_ms (fun () ->
+            Mxra_concurrency.Scheduler.run
+              ~isolation:Mxra_concurrency.Scheduler.Two_pl ~seed:1 db txns)
       in
       row "  %8d | %10.0f %10.0f | %8d %10d | %12b@." tables
         (float_of_int batch /. (serial_ms /. 1000.0))
@@ -1382,6 +1384,215 @@ let e18_index_scaling () =
     row "  ERROR: geometric-mean q-error %.3f > 2.0 on indexed paths@." mean_q;
     exit 1)
 
+(* --------------------------------------------------------------- E19 *)
+
+(* MVCC snapshot isolation vs locking under a hot writer, plus the
+   group-commit fsync-amortization curve.  Part A: one long writer
+   transaction updates the hot relation while short readers arrive
+   mid-flight; each reader's steps are scripted consecutively (the way
+   a real scheduler would run a short transaction to completion), so
+   under SI a reader's latency is just its own work, while under 2PL
+   its first step blocks on the writer's X lock and it finishes only
+   after the writer commits.  Gates: SI reader p50 within 1.5x of the
+   idle-writer baseline; 2PL reader p50 at least 5x worse than it.
+   Part B: the same transaction count committed in groups of k shares
+   one WAL append + fsync per group — the measured fsync count must
+   follow ceil(M/k) exactly.  Everything lands in BENCH_mvcc.json. *)
+let e19_mvcc () =
+  header "E19  snapshot isolation: readers vs a hot writer, group commit";
+  let module Sched = Mxra_concurrency.Scheduler in
+  let module Store = Mxra_storage.Store in
+  let module Vfs = Mxra_storage.Vfs in
+  let hot_rows = if quick then 1_500 else 4_000 in
+  let readers = 8 and chunks = 5 in
+  let updates = readers * chunks in
+  let schema = Schema.of_list [ ("id", Domain.DInt); ("v", Domain.DInt) ] in
+  let db =
+    Database.of_relations
+      [
+        ( "hot",
+          Relation.of_list schema
+            (List.init hot_rows (fun i ->
+                 Tuple.of_list [ Value.Int i; Value.Int 0 ])) );
+        ( "tiny",
+          Relation.of_list schema [ Tuple.of_list [ Value.Int 0; Value.Int 0 ] ]
+        );
+      ]
+  in
+  let update_hot k =
+    Statement.Update
+      ( "hot",
+        Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int k)) (Expr.rel "hot"),
+        [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int 1) ] )
+  in
+  let hot_writer =
+    Transaction.make ~name:"hot-writer"
+      (List.init updates (fun s -> update_hot (s mod hot_rows)))
+  in
+  let idle_writer =
+    Transaction.make ~name:"idle-writer"
+      (List.init updates (fun _ -> Statement.Query (Expr.rel "tiny")))
+  in
+  let reader i =
+    Transaction.make
+      ~name:(Printf.sprintf "r%d" i)
+      [
+        Statement.Query
+          (Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int i)) (Expr.rel "hot"));
+      ]
+  in
+  (* The arrival script: the writer advances [chunks] statements, then
+     reader i runs its query and commit back to back; the writer's own
+     commit closes the batch.  Entries naming a blocked reader are
+     skipped, which is exactly how 2PL degrades here. *)
+  let script =
+    List.concat
+      (List.init readers (fun i ->
+           List.init chunks (fun _ -> 0) @ [ i + 1; i + 1 ]))
+    @ [ 0 ]
+  in
+  let reader_latencies isolation writer seed =
+    let txns = writer :: List.init readers (fun i -> reader (i + 1)) in
+    let result = Sched.run ~isolation ~schedule:script ~seed db txns in
+    let committed =
+      List.filter
+        (function Sched.Committed -> true | Sched.Aborted _ -> false)
+        result.Sched.outcomes
+    in
+    if List.length committed <> readers + 1 then (
+      row "  ERROR: %d/%d transactions committed under %s@."
+        (List.length committed) (readers + 1)
+        (Sched.isolation_name isolation);
+      exit 1);
+    (result.Sched.stats.Sched.blocks, List.tl result.Sched.latencies_ms)
+  in
+  let rounds = [ 1; 2; 3; 4; 5 ] in
+  let pooled isolation writer =
+    let blocks = ref 0 and lats = ref [] in
+    List.iter
+      (fun seed ->
+        let b, ls = reader_latencies isolation writer seed in
+        blocks := !blocks + b;
+        lats := ls @ !lats)
+      rounds;
+    (!blocks, !lats)
+  in
+  let p50 xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let _, base = pooled Sched.Si idle_writer in
+  let si_blocks, si = pooled Sched.Si hot_writer in
+  let tp_blocks, tp = pooled Sched.Two_pl hot_writer in
+  let base_p50 = p50 base and si_p50 = p50 si and tp_p50 = p50 tp in
+  let si_ratio = si_p50 /. base_p50 and tp_ratio = tp_p50 /. base_p50 in
+  row "  %d hot rows, %d writer updates, %d readers x %d rounds@." hot_rows
+    updates readers (List.length rounds);
+  row "  %16s | %12s | %10s | %7s@." "mode" "reader p50" "vs idle" "blocks";
+  row "  %16s | %9.3f ms | %9s | %7d@." "idle writer (si)" base_p50 "1.00x" 0;
+  row "  %16s | %9.3f ms | %9.2fx | %7d@." "si" si_p50 si_ratio si_blocks;
+  row "  %16s | %9.3f ms | %9.2fx | %7d@." "2pl" tp_p50 tp_ratio tp_blocks;
+  (* Part B: fsync amortization on the in-memory VFS (pure syscall
+     counts; timing on a memory "disk" is informational only). *)
+  let m = 64 in
+  let initial =
+    Database.of_relations
+      [
+        ( "t",
+          Relation.of_list schema
+            (List.init 100 (fun i -> Tuple.of_list [ Value.Int i; Value.Int 0 ]))
+        );
+      ]
+  in
+  let insert_txn i =
+    Transaction.make
+      [
+        Statement.Insert
+          ( "t",
+            Expr.const
+              (Relation.of_list schema
+                 [ Tuple.of_list [ Value.Int (1000 + i); Value.Int i ] ]) );
+      ]
+  in
+  row "  %8s | %8s %10s | %10s@." "group" "fsyncs" "expected" "ms / txn";
+  let curve =
+    List.map
+      (fun k ->
+        let vfs = Vfs.memory () in
+        let dir = "bench-group" in
+        vfs.Vfs.write_file
+          (Filename.concat dir "snapshot.xra")
+          (Mxra_storage.Codec.encode_database initial);
+        let store = Store.open_dir ~vfs dir in
+        let _, ms =
+          time_ms (fun () ->
+              let rec go i =
+                if i < m then begin
+                  let g = min k (m - i) in
+                  ignore
+                    (Store.commit_group store
+                       (List.init g (fun j -> insert_txn (i + j))));
+                  go (i + g)
+                end
+              in
+              go 0)
+        in
+        let fsyncs = Store.fsyncs store in
+        let expected = (m + k - 1) / k in
+        let records = Store.log_records store in
+        Store.close store;
+        row "  %8d | %8d %10d | %10.4f@." k fsyncs expected
+          (ms /. float_of_int m);
+        (k, fsyncs, expected, records, ms))
+      [ 1; 2; 4; 8; 16 ]
+  in
+  let gate_si = si_ratio <= 1.5 in
+  let gate_2pl = tp_ratio >= 5.0 in
+  let gate_fsync =
+    List.for_all (fun (_, f, e, r, _) -> f = e && r = m) curve
+  in
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"experiment\": \"E19-mvcc-group-commit\",\n";
+  bpf "  \"hot_rows\": %d,\n  \"readers\": %d,\n  \"writer_updates\": %d,\n"
+    hot_rows readers updates;
+  bpf "  \"baseline_p50_ms\": %.4f,\n  \"si_p50_ms\": %.4f,\n" base_p50 si_p50;
+  bpf "  \"twopl_p50_ms\": %.4f,\n" tp_p50;
+  bpf "  \"si_ratio\": %.3f,\n  \"twopl_ratio\": %.3f,\n" si_ratio tp_ratio;
+  bpf "  \"si_blocks\": %d,\n  \"twopl_blocks\": %d,\n" si_blocks tp_blocks;
+  bpf "  \"fsync_curve\": [";
+  List.iteri
+    (fun i (k, f, e, _, ms) ->
+      if i > 0 then bpf ",";
+      bpf "\n    {\"group\": %d, \"fsyncs\": %d, \"expected\": %d, \
+           \"ms_per_txn\": %.5f}"
+        k f e
+        (ms /. float_of_int m))
+    curve;
+  bpf "\n  ],\n";
+  bpf
+    "  \"gates\": {\"si_readers_unaffected\": %b, \"twopl_degrades\": %b, \
+     \"fsync_amortization\": %b}\n}\n"
+    gate_si gate_2pl gate_fsync;
+  let path = "BENCH_mvcc.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  row "  wrote %s@." path;
+  if not gate_si then (
+    row "  ERROR: SI reader p50 %.2fx the idle-writer baseline (gate 1.5x) — \
+         readers are not isolated from the hot writer@."
+      si_ratio;
+    exit 1);
+  if not gate_2pl then (
+    row "  ERROR: 2PL reader p50 only %.2fx the baseline (gate 5x) — the \
+         locking contrast has vanished, the workload no longer contends@."
+      tp_ratio;
+    exit 1);
+  if not gate_fsync then (
+    row "  ERROR: group commit did not amortize fsyncs as ceil(M/k)@.";
+    exit 1)
+
 (* ------------------------------------------------- bechamel suite *)
 
 let bechamel_suite () =
@@ -1502,7 +1713,7 @@ let bechamel_suite () =
 
 let () =
   Format.printf
-    "mxra benchmark harness: experiments E1..E18 of DESIGN.md section 5%s@."
+    "mxra benchmark harness: experiments E1..E19 of DESIGN.md section 5%s@."
     (if quick then " (quick mode)" else "");
   let run name f = if wants name then f () in
   run "e1" e1_dup_removal;
@@ -1522,5 +1733,6 @@ let () =
   run "e15" e15_parallel_speedup;
   run "e17" e17_catalog_overhead;
   run "e18" e18_index_scaling;
+  run "e19" e19_mvcc;
   run "bechamel" bechamel_suite;
   Format.printf "@.done.@."

@@ -14,9 +14,11 @@
    physical operator, scheduler transactions and storage I/O;
    --query-log FILE appends one JSONL record per query, filtered by
    --slow-query-ms.  Consecutive transaction brackets in a script run
-   as one interleaved batch under the strict-2PL scheduler (--seed
-   picks the interleaving), and --db DIR makes the run durable:
-   recover on open, log commits, checkpoint on exit. *)
+   as one interleaved batch under the scheduler (--seed picks the
+   interleaving; --isolation si|2pl picks snapshot isolation — the
+   default — or strict 2PL), and --db DIR makes the run durable:
+   recover on open, log commits in one group-committed append,
+   checkpoint on exit. *)
 
 open Mxra_relational
 open Mxra_core
@@ -49,6 +51,7 @@ type ctx = {
   stats : bool;
   quiet : bool;  (** suppress result tables ([metrics] mode) *)
   seed : int;  (** scheduler interleaving seed *)
+  isolation : Scheduler.isolation;  (** [--isolation si|2pl] *)
   jobs : int;  (** domains for parallel plans ([--jobs]) *)
   store : Store.t option;  (** durability, when [--db] is given *)
   totals : Mxra_engine.Metrics.t option;
@@ -199,18 +202,20 @@ let apply_create_index ctx db (d : Database.index_def) =
 
 let apply_drop_index ctx db name = apply_ddl ctx (Database.drop_index name db)
 
-(* Consecutive transaction brackets run as one batch under the 2PL
-   scheduler: a seeded interleaving instead of serial execution, with
-   outputs delivered per transaction in input order (empty for aborted
-   ones).  Committed transactions reach the log in commit order — the
-   serial order the schedule is conflict-equivalent to. *)
+(* Consecutive transaction brackets run as one batch under the
+   scheduler — snapshot isolation by default, strict 2PL with
+   --isolation 2pl — with a seeded interleaving instead of serial
+   execution and outputs delivered per transaction in input order
+   (empty for aborted ones).  Committed transactions reach the log in
+   commit order — the serial order the schedule is equivalent to — as
+   one group-committed append (a single fsync for the batch). *)
 let scheduler_batch ctx db programs =
   let txns =
     List.mapi
       (fun i p -> Transaction.make ~name:(Printf.sprintf "txn-%d" (i + 1)) p)
       programs
   in
-  let r = Scheduler.run ~seed:ctx.seed db txns in
+  let r = Scheduler.run ~isolation:ctx.isolation ~seed:ctx.seed db txns in
   List.iter2
     (fun outcome outputs ->
       match outcome with
@@ -235,10 +240,11 @@ let scheduler_batch ctx db programs =
     let st = r.Scheduler.stats in
     Format.printf
       "-- scheduler: %d txns, %d committed, %d steps, %d blocks, %d \
-       deadlocks@."
+       conflicts, %d deadlocks@."
       (List.length txns)
       (List.length r.Scheduler.commit_order)
-      st.Scheduler.steps st.Scheduler.blocks st.Scheduler.deadlocks
+      st.Scheduler.steps st.Scheduler.blocks st.Scheduler.conflicts
+      st.Scheduler.deadlocks
   end;
   r.Scheduler.final
 
@@ -422,6 +428,27 @@ let no_checkpoint_flag =
 let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduler interleaving seed for transaction batches." ~docv:"N")
 
+(* [--isolation si|2pl]: concurrency control for transaction batches.
+   Unset falls back to MXRA_ISOLATION, then snapshot isolation — the
+   old strict-2PL scheduler stays selectable for differential runs. *)
+let isolation_flag =
+  let mode = Arg.enum [ ("si", Scheduler.Si); ("2pl", Scheduler.Two_pl) ] in
+  Arg.(
+    value
+    & opt (some mode) None
+    & info [ "isolation" ]
+        ~doc:
+          "Concurrency control for transaction batches: $(b,si) \
+           (multi-version snapshot isolation with first-committer-wins, \
+           the default) or $(b,2pl) (strict two-phase locking, kept \
+           selectable for differential testing).  Unset, the \
+           MXRA_ISOLATION environment variable decides."
+        ~docv:"MODE")
+
+let resolve_isolation = function
+  | Some i -> i
+  | None -> Scheduler.default_isolation ()
+
 let jobs_flag =
   Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Execute plans on $(docv) domains: the planner inserts Exchange operators above large scans, joins and aggregates when profitable on this host's cores, and fragments run on a shared domain pool." ~docv:"N")
 
@@ -475,7 +502,7 @@ let guarded f =
 
 let script_cmd name ~doc runner =
   let action beer gen retail stats no_opt trace qlog slow db_dir no_ckpt seed
-      jobs chunk path =
+      isolation jobs chunk path =
     guarded (fun () ->
         set_chunk_size chunk;
         with_tracing ~trace ~query_log:qlog ~slow_ms:slow (fun () ->
@@ -487,6 +514,7 @@ let script_cmd name ~doc runner =
                     stats;
                     quiet = false;
                     seed;
+                    isolation = resolve_isolation isolation;
                     jobs = set_jobs jobs;
                     store;
                     totals = None;
@@ -498,7 +526,8 @@ let script_cmd name ~doc runner =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ stats_flag
       $ no_optimize_flag $ trace_flag $ query_log_flag $ slow_flag $ db_flag
-      $ no_checkpoint_flag $ seed_flag $ jobs_flag $ chunk_size_flag $ path_arg)
+      $ no_checkpoint_flag $ seed_flag $ isolation_flag $ jobs_flag
+      $ chunk_size_flag $ path_arg)
 
 let run_cmd =
   script_cmd "run" ~doc:"Execute an XRA script." (fun ctx db path ->
@@ -509,7 +538,7 @@ let sql_cmd =
       run_sql ctx db path)
 
 let metrics_cmd =
-  let action beer gen retail no_opt seed jobs chunk path =
+  let action beer gen retail no_opt seed isolation jobs chunk path =
     guarded (fun () ->
         set_chunk_size chunk;
         let agg = Obs.Agg_sink.create () in
@@ -520,6 +549,7 @@ let metrics_cmd =
             stats = false;
             quiet = true;
             seed;
+            isolation = resolve_isolation isolation;
             jobs = set_jobs jobs;
             store = None;
             totals = Some totals;
@@ -541,13 +571,13 @@ let metrics_cmd =
           in Prometheus text format.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
-      $ seed_flag $ jobs_flag $ chunk_size_flag $ path_arg)
+      $ seed_flag $ isolation_flag $ jobs_flag $ chunk_size_flag $ path_arg)
 
 (* [bagdb stats]: run a script quietly (if given), then render the
    cumulative fingerprinted statement statistics — the same registry
    sys.statements materializes and /stmtz serves. *)
 let stats_cmd =
-  let action beer gen retail no_opt seed jobs chunk json limit path =
+  let action beer gen retail no_opt seed isolation jobs chunk json limit path =
     guarded (fun () ->
         set_chunk_size chunk;
         let ctx =
@@ -556,6 +586,7 @@ let stats_cmd =
             stats = false;
             quiet = true;
             seed;
+            isolation = resolve_isolation isolation;
             jobs = set_jobs jobs;
             store = None;
             totals = None;
@@ -587,7 +618,8 @@ let stats_cmd =
           quantiles, rows, WAL bytes and lock waits.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
-      $ seed_flag $ jobs_flag $ chunk_size_flag $ json $ limit $ path)
+      $ seed_flag $ isolation_flag $ jobs_flag $ chunk_size_flag $ json $ limit
+      $ path)
 
 let analyze_flag =
   Arg.(
@@ -617,8 +649,8 @@ let explain_cmd =
    failing seed and crash point) is written to --failure-file so CI can
    upload it as an artifact. *)
 let torture_cmd =
-  let action txns seed crash_points checkpoint_every fail_every no_continue
-      failure_file =
+  let action txns seed crash_points checkpoint_every fail_every group
+      no_continue failure_file =
     let cfg =
       {
         Torture.txns;
@@ -627,6 +659,7 @@ let torture_cmd =
         checkpoint_every;
         fail_every;
         continue_after = not no_continue;
+        group_commit = group;
       }
     in
     let progress d t =
@@ -644,8 +677,9 @@ let torture_cmd =
         let repro =
           Printf.sprintf
             "bagdb torture --txns %d --seed %d --crash-points %d \
-             --checkpoint-every %d --fail-every %d"
+             --checkpoint-every %d --fail-every %d --group %d"
             txns f.Torture.fail_seed crash_points checkpoint_every fail_every
+            group
         in
         Format.eprintf
           "torture FAILED at crash point %d (seed %d): %s@.reproduce with: \
@@ -678,6 +712,12 @@ let torture_cmd =
          & info [ "fail-every" ]
              ~doc:"Transient-fault cadence for the retry sweep; 0 skips it."
              ~docv:"N")
+  and group =
+    Arg.(value & opt int Torture.default.Torture.group_commit
+         & info [ "group" ]
+             ~doc:"Coalesce up to $(docv) transactions per group commit \
+                   (one WAL append + fsync per group); 1 disables grouping."
+             ~docv:"N")
   and no_continue =
     Arg.(value & flag
          & info [ "no-continue" ]
@@ -696,7 +736,7 @@ let torture_cmd =
           against an in-memory shadow.")
     Term.(
       const action $ txns $ seed $ crash_points $ checkpoint_every
-      $ fail_every $ no_continue $ failure_file)
+      $ fail_every $ group $ no_continue $ failure_file)
 
 (* --- live telemetry: bagdb serve / bagdb top --------------------------- *)
 
@@ -708,8 +748,8 @@ let torture_cmd =
    each layer: GC, the domain pool, the 2PL scheduler, the WAL and the
    live relation cardinalities. *)
 let serve_cmd =
-  let action beer gen retail no_opt trace qlog slow db_dir no_ckpt seed jobs
-      chunk port port_file interval_ms duration_ms script =
+  let action beer gen retail no_opt trace qlog slow db_dir no_ckpt seed
+      isolation jobs chunk port port_file interval_ms duration_ms script =
     guarded (fun () ->
         set_chunk_size chunk;
         let agg = Obs.Agg_sink.create () in
@@ -722,6 +762,7 @@ let serve_cmd =
                     stats = false;
                     quiet = false;
                     seed;
+                    isolation = resolve_isolation isolation;
                     jobs = set_jobs jobs;
                     store;
                     totals = None;
@@ -852,8 +893,8 @@ let serve_cmd =
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
       $ trace_flag $ query_log_flag $ slow_flag $ db_flag $ no_checkpoint_flag
-      $ seed_flag $ jobs_flag $ chunk_size_flag $ port $ port_file
-      $ interval_ms $ duration_ms
+      $ seed_flag $ isolation_flag $ jobs_flag $ chunk_size_flag $ port
+      $ port_file $ interval_ms $ duration_ms
       $ script)
 
 (* [bagdb top]: the client side — fetch /topz from a running serve and

@@ -85,27 +85,35 @@ let () =
     (Database.equal_states before_crash (Store.database store));
   Store.close store;
 
-  (* 5. Isolation: run 100 transfers interleaved under strict 2PL and
-     check the schedule is equivalent to a serial one. *)
+  (* 5. Isolation: run 100 interleaved transfers under both concurrency
+     controls and check each schedule is equivalent to a serial one.
+     Snapshot isolation aborts conflicting writers (first committer
+     wins, no waiting); strict 2PL blocks them and breaks deadlocks. *)
   let db = recovered in
   let txns =
     List.init 100 (fun _ ->
         transfer (W.Rng.int rng accounts) (W.Rng.int rng accounts)
           (1 + W.Rng.int rng 100))
   in
-  let result = Scheduler.run ~seed:7 db txns in
-  let commits =
-    List.length
-      (List.filter
-         (function Scheduler.Committed -> true | Scheduler.Aborted _ -> false)
-         result.Scheduler.outcomes)
-  in
-  Format.printf
-    "interleaved run: %d/%d committed, %d lock waits, %d deadlocks@." commits
-    (List.length txns) result.Scheduler.stats.Scheduler.blocks
-    result.Scheduler.stats.Scheduler.deadlocks;
-  Format.printf "schedule equivalent to serial commit order: %b@."
-    (Scheduler.equivalent_serial db txns result);
-  Format.printf "money conserved under interleaving: %b (total %d)@."
-    (total result.Scheduler.final = total db)
-    (total result.Scheduler.final)
+  List.iter
+    (fun isolation ->
+      let result = Scheduler.run ~isolation ~seed:7 db txns in
+      let commits =
+        List.length
+          (List.filter
+             (function
+               | Scheduler.Committed -> true | Scheduler.Aborted _ -> false)
+             result.Scheduler.outcomes)
+      in
+      Format.printf
+        "%s run: %d/%d committed, %d conflicts, %d lock waits, %d deadlocks@."
+        (Scheduler.isolation_name isolation)
+        commits (List.length txns) result.Scheduler.stats.Scheduler.conflicts
+        result.Scheduler.stats.Scheduler.blocks
+        result.Scheduler.stats.Scheduler.deadlocks;
+      Format.printf "schedule equivalent to serial commit order: %b@."
+        (Scheduler.equivalent_serial db txns result);
+      Format.printf "money conserved under interleaving: %b (total %d)@."
+        (total result.Scheduler.final = total db)
+        (total result.Scheduler.final))
+    [ Scheduler.Si; Scheduler.Two_pl ]

@@ -61,6 +61,7 @@ let statements_schema =
       ("tuples", DInt);
       ("wal_bytes", DInt);
       ("lock_wait_ms", DFloat);
+      ("conflicts", DInt);
       ("total_ms", DFloat);
       ("min_ms", DFloat);
       ("max_ms", DFloat);
@@ -141,6 +142,7 @@ let statements_now () =
                int r.r_tuples;
                int r.r_wal_bytes;
                flt r.r_lock_wait_ms;
+               int r.r_conflicts;
                flt r.r_total_ms;
                flt r.r_min_ms;
                flt r.r_max_ms;

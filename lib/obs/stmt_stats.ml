@@ -25,6 +25,7 @@ type row = {
   r_tuples : int;
   r_wal_bytes : int;
   r_lock_wait_ms : float;
+  r_conflicts : int;
   r_total_ms : float;
   r_min_ms : float;
   r_max_ms : float;
@@ -42,6 +43,7 @@ type entry = {
   mutable tuples : int;
   mutable wal_bytes : int;
   mutable lock_wait_ms : float;
+  mutable conflicts : int;
   hist : Histogram.t;  (* wall ms: exact count/sum/min/max, p50/p99 *)
   mutable last_qid : string;
 }
@@ -72,6 +74,7 @@ let max_qids = 4096
 (* Attribution that arrived before its statement was recorded. *)
 let pending_wal : (string, int) Hashtbl.t = Hashtbl.create 16
 let pending_wait : (string, float) Hashtbl.t = Hashtbl.create 16
+let pending_conflicts : (string, int) Hashtbl.t = Hashtbl.create 16
 let max_pending = 4096
 
 let bind_qid q e =
@@ -100,6 +103,7 @@ let record ?(lang = "xra") ?qid ?(rows = 0) ?(tuples = 0) ~wall_ms text =
                   tuples = 0;
                   wal_bytes = 0;
                   lock_wait_ms = 0.0;
+                  conflicts = 0;
                   hist = Histogram.create ();
                   last_qid = "";
                 }
@@ -126,6 +130,11 @@ let record ?(lang = "xra") ?qid ?(rows = 0) ?(tuples = 0) ~wall_ms text =
                 e.lock_wait_ms <- e.lock_wait_ms +. w;
                 Hashtbl.remove pending_wait q
             | None -> ());
+            (match Hashtbl.find_opt pending_conflicts q with
+            | Some c ->
+                e.conflicts <- e.conflicts + c;
+                Hashtbl.remove pending_conflicts q
+            | None -> ());
             bind_qid q e)
   end
 
@@ -148,13 +157,25 @@ let add_lock_wait ~qid ms =
         | Some e -> e.lock_wait_ms <- e.lock_wait_ms +. ms
         | None -> add_pending pending_wait qid ms ( +. ) 0.0)
 
+(* A snapshot-isolation first-committer-wins abort, attributed to the
+   transaction's statements via its qid — the SI counterpart of
+   lock-wait attribution (conflicts are where SI pays what 2PL pays in
+   waits). *)
+let add_conflict ~qid =
+  if enabled () then
+    with_lock (fun () ->
+        match Hashtbl.find_opt by_qid qid with
+        | Some e -> e.conflicts <- e.conflicts + 1
+        | None -> add_pending pending_conflicts qid 1 ( + ) 0)
+
 let clear () =
   with_lock (fun () ->
       Hashtbl.reset entries;
       Hashtbl.reset by_qid;
       Queue.clear qid_order;
       Hashtbl.reset pending_wal;
-      Hashtbl.reset pending_wait)
+      Hashtbl.reset pending_wait;
+      Hashtbl.reset pending_conflicts)
 
 let cardinality () = with_lock (fun () -> Hashtbl.length entries)
 
@@ -174,6 +195,7 @@ let row_of_entry e =
     r_tuples = e.tuples;
     r_wal_bytes = e.wal_bytes;
     r_lock_wait_ms = e.lock_wait_ms;
+    r_conflicts = e.conflicts;
     r_total_ms = Histogram.sum e.hist;
     r_min_ms = finite_or_zero (Histogram.min_value e.hist);
     r_max_ms = finite_or_zero (Histogram.max_value e.hist);
@@ -203,14 +225,16 @@ let render_top ?(limit = 20) () =
   let shown = List.filteri (fun i _ -> i < limit) rows in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-16s %6s %10s %8s %8s %8s %9s %8s %-4s %s\n" "fingerprint"
-       "calls" "total_ms" "p50_ms" "p99_ms" "rows" "wal_B" "lock_ms" "lang" "statement");
+    (Printf.sprintf "%-16s %6s %10s %8s %8s %8s %9s %8s %6s %-4s %s\n"
+       "fingerprint" "calls" "total_ms" "p50_ms" "p99_ms" "rows" "wal_B"
+       "lock_ms" "confl" "lang" "statement");
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%-16s %6d %10.2f %8.2f %8.2f %8d %9d %8.2f %-4s %s\n"
+        (Printf.sprintf "%-16s %6d %10.2f %8.2f %8.2f %8d %9d %8.2f %6d %-4s %s\n"
            r.r_fingerprint r.r_calls r.r_total_ms r.r_p50_ms r.r_p99_ms r.r_rows
-           r.r_wal_bytes r.r_lock_wait_ms r.r_lang (truncate_text r.r_text)))
+           r.r_wal_bytes r.r_lock_wait_ms r.r_conflicts r.r_lang
+           (truncate_text r.r_text)))
     shown;
   if List.length rows > limit then
     Buffer.add_string buf (Printf.sprintf "… %d more\n" (List.length rows - limit));
@@ -240,9 +264,10 @@ let to_json () =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"fingerprint\":\"%s\",\"text\":\"%s\",\"lang\":\"%s\",\"calls\":%d,\"rows\":%d,\"tuples\":%d,\"wal_bytes\":%d,\"lock_wait_ms\":%.3f,\"total_ms\":%.3f,\"min_ms\":%.3f,\"max_ms\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"last_qid\":\"%s\"}"
+           "{\"fingerprint\":\"%s\",\"text\":\"%s\",\"lang\":\"%s\",\"calls\":%d,\"rows\":%d,\"tuples\":%d,\"wal_bytes\":%d,\"lock_wait_ms\":%.3f,\"conflicts\":%d,\"total_ms\":%.3f,\"min_ms\":%.3f,\"max_ms\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"last_qid\":\"%s\"}"
            r.r_fingerprint (json_escape r.r_text) (json_escape r.r_lang) r.r_calls
-           r.r_rows r.r_tuples r.r_wal_bytes r.r_lock_wait_ms r.r_total_ms r.r_min_ms
+           r.r_rows r.r_tuples r.r_wal_bytes r.r_lock_wait_ms r.r_conflicts
+           r.r_total_ms r.r_min_ms
            r.r_max_ms r.r_p50_ms r.r_p99_ms (json_escape r.r_last_qid)))
     rows;
   Buffer.add_string buf "]}";
@@ -265,3 +290,6 @@ let to_prometheus ?(prefix = "mxra_stmt_") () =
       (fun r -> float_of_int r.r_wal_bytes)
   ^ family "counter" "lock_wait_ms_total" "lock-wait ms per statement fingerprint"
       (fun r -> r.r_lock_wait_ms)
+  ^ family "counter" "conflicts_total"
+      "snapshot-isolation write-write conflict aborts per statement fingerprint"
+      (fun r -> float_of_int r.r_conflicts)

@@ -42,6 +42,13 @@ val add_lock_wait : qid:string -> float -> unit
 (** Attribute milliseconds spent blocked on locks to [qid]; buffered
     like {!add_wal_bytes}. *)
 
+val add_conflict : qid:string -> unit
+(** Attribute one snapshot-isolation write-write conflict abort
+    (first-committer-wins validation failure) to the transaction
+    executing as [qid]; buffered like {!add_wal_bytes}.  The SI
+    counterpart of {!add_lock_wait}: where 2PL statements pay in lock
+    waits, SI transactions pay in conflict aborts. *)
+
 (** One statement's cumulative figures, as materialized into
     [sys.statements]. *)
 type row = {
@@ -53,6 +60,7 @@ type row = {
   r_tuples : int;
   r_wal_bytes : int;
   r_lock_wait_ms : float;
+  r_conflicts : int;  (** SI write-write conflict aborts *)
   r_total_ms : float;
   r_min_ms : float;
   r_max_ms : float;
@@ -78,9 +86,9 @@ val to_json : unit -> string
 val to_prometheus : ?prefix:string -> unit -> string
 (** Labeled counter families ([<prefix>calls_total],
     [<prefix>ms_total], [<prefix>rows_total],
-    [<prefix>wal_bytes_total], [<prefix>lock_wait_ms_total]) with
-    [fingerprint] and [lang] labels; [prefix] defaults to
-    ["mxra_stmt_"]. *)
+    [<prefix>wal_bytes_total], [<prefix>lock_wait_ms_total],
+    [<prefix>conflicts_total]) with [fingerprint] and [lang] labels;
+    [prefix] defaults to ["mxra_stmt_"]. *)
 
 val clear : unit -> unit
 (** Drop everything (tests and bench baselines). *)

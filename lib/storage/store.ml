@@ -18,6 +18,9 @@ type t = {
   mutable in_log : int;  (* records currently in the log *)
   mutable wal_bytes : int;  (* bytes appended since the last checkpoint *)
   mutable n_commits : int;  (* records ever appended by this handle *)
+  mutable n_syncs : int;  (* acknowledged WAL fsyncs (one per append) *)
+  mutable n_groups : int;  (* record-carrying appends: the fsync unit *)
+  mutable n_grouped : int;  (* records across those appends *)
   mutable last_checkpoint : float;  (* wall clock of open or checkpoint *)
 }
 
@@ -226,6 +229,9 @@ let open_dir ?(vfs = Vfs.real) ?(retries = 4) ?(backoff_ms = 1.0) dir =
     in_log = r.r_records;
     wal_bytes = r.r_good_len;
     n_commits = 0;
+    n_syncs = 0;
+    n_groups = 0;
+    n_grouped = 0;
     last_checkpoint = Unix.gettimeofday ();
   }
 
@@ -263,6 +269,7 @@ let append_durable t payload =
         attempt (k + 1)
   in
   attempt 0;
+  t.n_syncs <- t.n_syncs + 1;
   t.good_len <- t.good_len + String.length payload;
   t.wal_bytes <- t.good_len
 
@@ -273,6 +280,8 @@ let append_record ?qid t body =
   t.next_id <- id;
   t.in_log <- t.in_log + 1;
   t.n_commits <- t.n_commits + 1;
+  t.n_groups <- t.n_groups + 1;
+  t.n_grouped <- t.n_grouped + 1;
   (* WAL bytes attributed to the statement executing under [qid] — the
      sys.statements wal_bytes column. *)
   Option.iter
@@ -315,12 +324,68 @@ let absorb_batch ?(qids = []) t txns state =
           Buffer.add_string buf record)
         txns;
       let payload = Buffer.contents buf in
-      if String.length payload > 0 then append_durable t payload;
+      if String.length payload > 0 then begin
+        append_durable t payload;
+        t.n_groups <- t.n_groups + 1;
+        t.n_grouped <- t.n_grouped + List.length txns
+      end;
       t.next_id <- t.next_id + List.length txns;
       t.in_log <- t.in_log + List.length txns;
       t.n_commits <- t.n_commits + List.length txns;
       Trace.add_attr "wal_bytes" (Trace.Int (String.length payload));
       t.db <- state)
+
+(* Group commit for transactions the store itself executes: run the
+   group serially against the current state, encode the committed
+   members as consecutive records, then make them all durable with one
+   write + one fsync.  Each constituent keeps its own record — its own
+   begin/commit markers, CRC and qid stamp — so replay and attribution
+   are per transaction; only the durability cost is shared.  A crash
+   mid-append tears the tail of the single payload, and because replay
+   stops at the first invalid record, recovery always yields a prefix
+   of the group's commit order, never a subset (the property the
+   torture harness checks at every syscall). *)
+let commit_group ?(qids = []) t txns =
+  Trace.with_span "store.group_commit"
+    ~attrs:[ ("txns", Trace.Int (List.length txns)) ]
+    (fun () ->
+      let qids = Array.of_list qids in
+      let buf = Buffer.create 1024 in
+      let committed = ref 0 in
+      let outcomes =
+        List.mapi
+          (fun i txn ->
+            let qid = if i < Array.length qids then Some qids.(i) else None in
+            let outcome = Transaction.run t.db txn in
+            (match outcome with
+            | Transaction.Committed { state; _ } ->
+                let id = t.next_id + !committed + 1 in
+                incr committed;
+                let record = encode_record ?qid id txn.Transaction.body in
+                Option.iter
+                  (fun q ->
+                    Mxra_obs.Stmt_stats.add_wal_bytes ~qid:q
+                      (String.length record))
+                  qid;
+                Buffer.add_string buf record;
+                t.db <- state
+            | Transaction.Aborted { state; _ } -> t.db <- state);
+            outcome)
+          txns
+      in
+      let payload = Buffer.contents buf in
+      (* All-or-prefix durability before any member is acknowledged. *)
+      if String.length payload > 0 then begin
+        append_durable t payload;
+        t.n_groups <- t.n_groups + 1;
+        t.n_grouped <- t.n_grouped + !committed
+      end;
+      t.next_id <- t.next_id + !committed;
+      t.in_log <- t.in_log + !committed;
+      t.n_commits <- t.n_commits + !committed;
+      Trace.add_attr "wal_bytes" (Trace.Int (String.length payload));
+      Trace.add_attr "group_size" (Trace.Int !committed);
+      outcomes)
 
 let checkpoint t =
   Trace.with_span "store.checkpoint" (fun () ->
@@ -342,6 +407,7 @@ let checkpoint t =
 
 let close t = t.log.Vfs.h_close ()
 let log_records t = t.in_log
+let fsyncs t = t.n_syncs
 
 (* Probe for the resource sampler.  Plain mutable-field reads: the
    store is driven from the main domain while the sampler glances from
@@ -352,6 +418,10 @@ let telemetry t () =
     ("store.wal_bytes", float_of_int t.wal_bytes);
     ("store.wal_records", float_of_int t.in_log);
     ("store.commits", float_of_int t.n_commits);
+    ("store.fsyncs", float_of_int t.n_syncs);
+    ( "wal.group_size",
+      if t.n_groups = 0 then 0.0
+      else float_of_int t.n_grouped /. float_of_int t.n_groups );
     ( "store.since_checkpoint_s",
       Unix.gettimeofday () -. t.last_checkpoint );
   ]

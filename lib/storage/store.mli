@@ -65,6 +65,24 @@ val commit :
     @raise Vfs.Injected when the transient-fault retry budget is
     exhausted; the log is left truncated at its last valid boundary. *)
 
+val commit_group :
+  ?qids:string list ->
+  t ->
+  Mxra_core.Transaction.t list ->
+  Mxra_core.Transaction.outcome list
+(** Group commit: run the transactions serially against the current
+    state (each sees its predecessors' effects), then append every
+    committed member's record as {e one} payload made durable with a
+    {e single} write + fsync before any of them is acknowledged.  Each
+    constituent keeps its own begin/commit markers, CRC and [qids]
+    stamp (paired positionally), so recovery and per-statement WAL
+    attribution stay per transaction — the group only shares the fsync.
+    Crash-safety: a crash mid-append tears the single payload's tail,
+    and since replay stops at the first invalid record, recovery yields
+    a {e prefix} of the group's commit order, never a subset.  Outcomes
+    are returned per input transaction in order.
+    @raise Vfs.Injected like {!commit}. *)
+
 val absorb_batch :
   ?qids:string list -> t -> Mxra_core.Transaction.t list -> Database.t -> unit
 (** Make an {e externally executed} batch durable: append one log
@@ -73,10 +91,12 @@ val absorb_batch :
     the {e committed} ones of the batch in commit order, and [state]
     the batch's final state — exactly what
     {!Mxra_concurrency.Scheduler.run} hands back; replaying the records
-    serially re-creates [state] because strict 2PL makes the schedule
-    conflict-equivalent to that serial order.  [qids], when given,
-    pairs with [txns] positionally (commit order) and stamps each
-    record's markers like {!commit}'s [qid]. *)
+    serially re-creates [state] because both isolation modes make the
+    schedule equivalent to that serial order (strict 2PL by
+    conflict-serializability; SI by first-committer-wins over
+    write-covered reads).  [qids], when given, pairs with [txns]
+    positionally (commit order) and stamps each record's markers like
+    {!commit}'s [qid]. *)
 
 val checkpoint : t -> unit
 (** Write the current state as the new snapshot and truncate the log.
@@ -93,6 +113,11 @@ val log_records : t -> int
 (** Committed transaction records in the current log (for tests and the
     durability benchmark). *)
 
+val fsyncs : t -> int
+(** Acknowledged WAL fsyncs by this handle (one per durable append,
+    however many records the append carried) — the numerator of the
+    E19 fsync-amortization curve. *)
+
 val recover_dir : ?vfs:Vfs.t -> string -> Database.t
 (** Recovery alone: what [open_dir] would reconstruct, without keeping
     the store open.  A torn log tail is truncated as a side effect —
@@ -101,5 +126,8 @@ val recover_dir : ?vfs:Vfs.t -> string -> Database.t
 val telemetry : t -> unit -> (string * float) list
 (** Sampler probe over this store: [store.wal_bytes] (log bytes since
     the last checkpoint), [store.wal_records], [store.commits]
-    (records appended by this handle) and [store.since_checkpoint_s].
-    Safe to call from the sampler domain — plain reads, no lock. *)
+    (records appended by this handle), [store.fsyncs],
+    [wal.group_size] (mean records per durable append — 1.0 with no
+    grouping, rising as group commit amortizes) and
+    [store.since_checkpoint_s].  Safe to call from the sampler domain —
+    plain reads, no lock. *)

@@ -9,6 +9,7 @@ type config = {
   checkpoint_every : int;
   fail_every : int;
   continue_after : bool;
+  group_commit : int;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     checkpoint_every = 25;
     fail_every = 7;
     continue_after = true;
+    group_commit = 1;
   }
 
 type report = {
@@ -84,23 +86,55 @@ let random_txn rng i =
   in
   Transaction.make ~name:(Printf.sprintf "torture-%d" i) body
 
-type step = Commit of Transaction.t | Checkpoint
+type step =
+  | Commit of Transaction.t
+  | Group of Transaction.t list  (* one WAL append + fsync for all *)
+  | Checkpoint
 
 let build_steps cfg rng =
-  List.concat
-    (List.init cfg.txns (fun i ->
-         let txn = Commit (random_txn rng (i + 1)) in
-         if
-           cfg.checkpoint_every > 0
-           && (i + 1) mod cfg.checkpoint_every = 0
-         then [ txn; Checkpoint ]
-         else [ txn ]))
+  let checkpoint_after i =
+    cfg.checkpoint_every > 0 && (i + 1) mod cfg.checkpoint_every = 0
+  in
+  if cfg.group_commit <= 1 then
+    List.concat
+      (List.init cfg.txns (fun i ->
+           let txn = Commit (random_txn rng (i + 1)) in
+           if checkpoint_after i then [ txn; Checkpoint ] else [ txn ]))
+  else begin
+    (* Coalesce the stream into randomly sized group commits (1 to
+       [group_commit] transactions per fsync); a checkpoint boundary
+       cuts the open group short, exactly as a real commit coalescer
+       would flush before checkpointing. *)
+    let steps = ref [] in
+    let group = ref [] in
+    let want = ref (Rng.int_in rng 1 cfg.group_commit) in
+    let flush () =
+      (match List.rev !group with
+      | [] -> ()
+      | [ t ] -> steps := Commit t :: !steps
+      | ts -> steps := Group ts :: !steps);
+      group := [];
+      want := Rng.int_in rng 1 cfg.group_commit
+    in
+    for i = 0 to cfg.txns - 1 do
+      group := random_txn rng (i + 1) :: !group;
+      if List.length !group >= !want then flush ();
+      if checkpoint_after i then begin
+        flush ();
+        steps := Checkpoint :: !steps
+      end
+    done;
+    flush ();
+    List.rev !steps
+  end
 
 (* The shadow history: states.(i) is the pure in-memory instance after
    the first [i] transactions — the oracle recovery is matched against. *)
 let shadow_states initial steps =
   let commits =
-    List.filter_map (function Commit t -> Some t | Checkpoint -> None) steps
+    List.concat_map
+      (function Commit t -> [ t ] | Group ts -> ts | Checkpoint -> [])
+      steps
   in
   Array.of_list
     (List.rev
@@ -113,8 +147,10 @@ let shadow_states initial steps =
 (* --- driver ------------------------------------------------------------- *)
 
 type track = {
-  mutable acked : int;  (* Store.commit calls that returned *)
-  mutable in_flight : bool;  (* a commit is between call and return *)
+  mutable acked : int;  (* transactions whose commit call returned *)
+  mutable in_flight : int;
+      (* transactions inside a commit / commit_group call right now:
+         1 for a plain commit, the group size for a group commit *)
   mutable baseline : bool;  (* the initial absorb+checkpoint finished *)
 }
 
@@ -134,10 +170,16 @@ let drive ~vfs ~initial ~steps track =
   List.iter
     (function
       | Commit txn ->
-          track.in_flight <- true;
+          track.in_flight <- 1;
           ignore (Store.commit s txn);
-          track.in_flight <- false;
+          track.in_flight <- 0;
           track.acked <- track.acked + 1
+      | Group txns ->
+          let n = List.length txns in
+          track.in_flight <- n;
+          ignore (Store.commit_group s txns);
+          track.in_flight <- 0;
+          track.acked <- track.acked + n
       | Checkpoint -> Store.checkpoint s)
     steps;
   Store.close s;
@@ -145,14 +187,30 @@ let drive ~vfs ~initial ~steps track =
 
 (* Steps remaining once [j] transactions are already reflected in the
    recovered state.  Checkpoints before that point are dropped — their
-   only effect is on storage layout, which recovery has superseded. *)
+   only effect is on storage layout, which recovery has superseded.
+   When [j] lands {e inside} a group (a partially fsynced group commit
+   recovered as a prefix), the group's unrecovered suffix is what
+   resumes. *)
 let resume_steps steps j =
+  let rec drop_txns n l =
+    if n <= 0 then l
+    else match l with [] -> [] | _ :: rest -> drop_txns (n - 1) rest
+  in
   if j <= 0 then steps
   else
     let rec drop k = function
       | [] -> []
       | Commit _ :: rest when k + 1 = j -> rest
       | Commit _ :: rest -> drop (k + 1) rest
+      | Group ts :: rest ->
+          let g = List.length ts in
+          if k + g = j then rest
+          else if k + g < j then drop (k + g) rest
+          else (
+            match drop_txns (j - k) ts with
+            | [] -> rest
+            | [ t ] -> Commit t :: rest
+            | ts' -> Group ts' :: rest)
       | Checkpoint :: rest -> drop k rest
     in
     drop 0 steps
@@ -166,12 +224,16 @@ let pp_names db = String.concat "," (Database.persistent_names db)
    equal a legal prefix of the shadow history.  Legal prefixes: the
    pre-baseline empty store (only until the first checkpoint returned),
    everything acknowledged, plus — when the crash interrupted a commit
-   call — that one in-flight transaction. *)
+   or group-commit call — any {e leading prefix} of the in-flight
+   transactions, in commit order.  A subset of the group that is not a
+   prefix (a later member surviving an earlier one's loss) can never
+   match, because it is not a candidate: that is the
+   transaction-granularity guarantee group commit must preserve. *)
 let check_crash_point cfg ~initial ~steps ~states c =
   let inj =
     Vfs.inject ~seed:(cfg.seed + c) { Vfs.no_faults with Vfs.crash_at = c }
   in
-  let track = { acked = 0; in_flight = false; baseline = false } in
+  let track = { acked = 0; in_flight = 0; baseline = false } in
   let total = Array.length states - 1 in
   let fail detail = Error { crash_point = c; fail_seed = cfg.seed; detail } in
   match drive ~vfs:inj.Vfs.vfs ~initial ~steps track with
@@ -182,8 +244,10 @@ let check_crash_point cfg ~initial ~steps ~states c =
   | exception Vfs.Crash -> (
       let recovered = Store.recover_dir ~vfs:inj.Vfs.base dir in
       let candidates =
-        (if track.in_flight then [ (track.acked + 1, states.(track.acked + 1)) ]
-         else [])
+        (* Longest in-flight prefix first, down to the acked state. *)
+        List.init track.in_flight (fun i ->
+            let j = track.acked + track.in_flight - i in
+            (j, states.(j)))
         @ [ (track.acked, states.(track.acked)) ]
         @ if not track.baseline then [ (-1, Database.empty) ] else []
       in
@@ -196,13 +260,13 @@ let check_crash_point cfg ~initial ~steps ~states c =
           fail
             (Printf.sprintf
                "recovered state (relations %s) matches no committed prefix \
-                (acked %d, in-flight %b)"
+                (acked %d, in-flight %d)"
                (pp_names recovered) track.acked track.in_flight)
       | Some (j, _) ->
           if not cfg.continue_after then Ok true
           else
             let rest = resume_steps steps j in
-            let track' = { acked = 0; in_flight = false; baseline = false } in
+            let track' = { acked = 0; in_flight = 0; baseline = false } in
             let final = drive ~vfs:inj.Vfs.base ~initial ~steps:rest track' in
             if Database.equal_states final states.(total) then Ok true
             else
@@ -221,7 +285,7 @@ let run ?(progress = fun _ _ -> ()) cfg =
   (* Crash-free run over a counting (but not faulting) vfs: yields the
      syscall budget and sanity-checks the WAL round trip. *)
   let clean = Vfs.inject ~seed:cfg.seed Vfs.no_faults in
-  let track = { acked = 0; in_flight = false; baseline = false } in
+  let track = { acked = 0; in_flight = 0; baseline = false } in
   let final = drive ~vfs:clean.Vfs.vfs ~initial ~steps track in
   let syscalls = clean.Vfs.syscalls () in
   if not (Database.equal_states final states.(total)) then
@@ -253,7 +317,7 @@ let run ?(progress = fun _ _ -> ()) cfg =
           Vfs.inject ~seed:cfg.seed
             { Vfs.no_faults with Vfs.fail_every = cfg.fail_every }
         in
-        let track = { acked = 0; in_flight = false; baseline = false } in
+        let track = { acked = 0; in_flight = 0; baseline = false } in
         match drive ~vfs:inj.Vfs.vfs ~initial ~steps track with
         | final when Database.equal_states final states.(total) ->
             let n = inj.Vfs.transients () in

@@ -9,7 +9,13 @@
     instance is bag-equal (per relation) to the instance produced by
     some prefix of the acknowledged transaction sequence; every
     acknowledged transaction survives, an unacknowledged in-flight one
-    may or may not, and nothing else changes.
+    may or may not, and nothing else changes.  With group commit
+    ([group_commit > 1]) the in-flight unit is a whole group sharing
+    one WAL append + fsync, and the oracle is correspondingly stricter
+    at {e transaction} granularity: a partially fsynced group must
+    recover to a {e leading prefix} of the group's commit order — never
+    a subset in which a later member survives an earlier member's
+    loss.
 
     The harness generates a seeded random transaction workload
     (inserts, deletes, updates, temporaries; periodic checkpoints),
@@ -34,11 +40,16 @@ type config = {
   continue_after : bool;
       (** After each recovery, replay the rest of the workload and check
           the final state too. *)
+  group_commit : int;
+      (** Maximum transactions coalesced into one group commit (sizes
+          are drawn in [1..group_commit] per group); [<= 1] commits one
+          transaction per fsync.  When recovery lands mid-group, the
+          continuation resumes with the group's unrecovered suffix. *)
 }
 
 val default : config
 (** 200 txns, seed 42, every crash point, checkpoint every 25,
-    transient sweep at cadence 7, continuation on. *)
+    transient sweep at cadence 7, continuation on, no group commit. *)
 
 type report = {
   syscalls : int;  (** Mutating syscalls in the crash-free run. *)

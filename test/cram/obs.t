@@ -189,6 +189,9 @@ deterministic.
   # HELP mxra_scheduler_batch_blocks_total sum of 'blocks' over 'scheduler.batch' spans
   # TYPE mxra_scheduler_batch_blocks_total counter
   mxra_scheduler_batch_blocks_total 0
+  # HELP mxra_scheduler_batch_conflicts_total sum of 'conflicts' over 'scheduler.batch' spans
+  # TYPE mxra_scheduler_batch_conflicts_total counter
+  mxra_scheduler_batch_conflicts_total 0
   # HELP mxra_scheduler_batch_deadlocks_total sum of 'deadlocks' over 'scheduler.batch' spans
   # TYPE mxra_scheduler_batch_deadlocks_total counter
   mxra_scheduler_batch_deadlocks_total 0
@@ -261,4 +264,4 @@ Transaction batches report scheduler statistics under --stats.
 
   $ ../../bin/bagdb.exe run --stats ../../examples/scripts/beer_session.xra \
   >   | grep scheduler
-  -- scheduler: 1 txns, 1 committed, 2 steps, 0 blocks, 0 deadlocks
+  -- scheduler: 1 txns, 1 committed, 2 steps, 0 blocks, 0 conflicts, 0 deadlocks

@@ -32,10 +32,32 @@ bagdb stats runs a script and prints the cumulative registry, heaviest
 statement first (timing columns scrubbed; the exemplar text is the
 normalized shape, literals folded to ?).
 
-  $ ../../bin/bagdb.exe stats --beer session.xra | awk '{print $1, $2, $6, $9, $10}'
+  $ ../../bin/bagdb.exe stats --beer session.xra | awk '{print $1, $2, $6, $10, $11}'
   fingerprint calls rows lang statement
   100382a218979a41 2 4 xra select[%2=?](beer)
   b866f12471121773 1 1 xra project[%1,%3,%4](select[%4>=?](sys.statements))
+
+sys.locks serves the scheduler's process counters as a relation.  The
+counter set is the SI-era one — conflict aborts (sched.conflicts,
+txn.conflicts, txn.snapshot_age) next to the 2PL lock-wait series,
+which stays meaningful because --isolation 2pl is still selectable.
+Values vary; the counter names do not.
+
+  $ echo "?project[%1](sys.locks)" > locks.xra
+  $ ../../bin/bagdb.exe run --beer locks.xra
+  +----------------------+---+
+  | counter              | # |
+  +----------------------+---+
+  | 'sched.batches'      | 1 |
+  | 'sched.blocks'       | 1 |
+  | 'sched.commits'      | 1 |
+  | 'sched.conflicts'    | 1 |
+  | 'sched.deadlocks'    | 1 |
+  | 'sched.lock_wait_ms' | 1 |
+  | 'sched.steps'        | 1 |
+  | 'txn.conflicts'      | 1 |
+  | 'txn.snapshot_age'   | 1 |
+  +----------------------+---+ (9 tuples, 9 distinct)
 
 The catalog also answers SQL, by name:
 

@@ -40,9 +40,12 @@ The top table: one row per series, sorted; numbers scrubbed.
   sched.batches
   sched.blocks
   sched.commits
+  sched.conflicts
   sched.deadlocks
   sched.lock_wait_ms
   sched.steps
+  txn.conflicts
+  txn.snapshot_age
 
 The JSON dump has the same shape every time.
 

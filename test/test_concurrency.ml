@@ -1,6 +1,10 @@
-(* Isolation tests: the strict-2PL scheduler's schedules are equivalent
-   to serial execution (the paper's isolation semantics), deadlocks are
-   broken, and aborted victims leave no trace. *)
+(* Isolation tests: scheduler batches are equivalent to serial
+   execution (the paper's isolation semantics) and aborted victims
+   leave no trace.  Most tests run under the session default isolation
+   (CI exercises both MXRA_ISOLATION=si and =2pl); the lock-protocol
+   tests pin [~isolation:Scheduler.Two_pl] because blocking and
+   deadlocks only exist there.  SI-specific anomalies live in
+   test_mvcc.ml. *)
 
 open Mxra_relational
 open Mxra_core
@@ -110,12 +114,15 @@ let test_abort_if_guard () =
 let test_conflicting_writers_serialize () =
   (* Two transactions writing the same relation must not interleave
      between each other's statements: with relation-level X locks the
-     second blocks until the first finishes. *)
+     second blocks until the first finishes.  (2PL-specific: under SI
+     the second writer aborts instead — see test_mvcc.ml.) *)
   let db = bank 2 in
   let t1 = transfer 0 1 10 and t2 = transfer 1 0 25 in
   List.iter
     (fun seed ->
-      let result = Scheduler.run ~seed db [ t1; t2 ] in
+      let result =
+        Scheduler.run ~isolation:Scheduler.Two_pl ~seed db [ t1; t2 ]
+      in
       Alcotest.(check (list bool)) "both committed" [ true; true ]
         (List.map
            (function Scheduler.Committed -> true | Scheduler.Aborted _ -> false)
@@ -134,7 +141,8 @@ let test_readers_share () =
 
 let test_deadlock_broken () =
   (* Writers on two relations in opposite orders: a classic deadlock.
-     The scheduler must abort a victim and finish the other. *)
+     The scheduler must abort a victim and finish the other.
+     (2PL-specific: SI takes no locks, so deadlock cannot arise.) *)
   let schema = Schema.of_list [ ("x", Domain.DInt) ] in
   let one = Relation.of_list schema [ Tuple.of_list [ Value.Int 1 ] ] in
   let db = Database.of_relations [ ("r", one); ("s", one) ] in
@@ -144,7 +152,9 @@ let test_deadlock_broken () =
   let saw_deadlock = ref false in
   List.iter
     (fun seed ->
-      let result = Scheduler.run ~seed db [ t_rs; t_sr ] in
+      let result =
+        Scheduler.run ~isolation:Scheduler.Two_pl ~seed db [ t_rs; t_sr ]
+      in
       if result.Scheduler.stats.Scheduler.deadlocks > 0 then begin
         saw_deadlock := true;
         (* Exactly one victim; the survivor's effects are intact. *)
@@ -217,7 +227,7 @@ let serializability_property =
     && total result.Scheduler.final = total db
   in
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~name:"2PL schedules are serializable" ~count:200
+    (QCheck.Test.make ~name:"schedules are serializable" ~count:200
        QCheck.small_nat test)
 
 let suite =

@@ -20,6 +20,7 @@ let () =
       Test_storage.suite;
       Test_torture.suite;
       Test_concurrency.suite;
+      Test_mvcc.suite;
       Test_language.suite;
       Test_obs.suite;
       Test_syscat.suite;

@@ -110,6 +110,101 @@ let test_aborted_leaves_no_trace () =
   Alcotest.(check bool) "state unchanged after restart" true
     (Database.equal_states sample_db recovered)
 
+(* --- group commit ------------------------------------------------------- *)
+
+let test_group_commit_amortizes_fsyncs () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  with_store dir (fun store ->
+      let before = Store.fsyncs store in
+      let outcomes =
+        Store.commit_group store
+          [ insert_txn 10 "ten"; insert_txn 11 "eleven"; insert_txn 12 "twelve" ]
+      in
+      Alcotest.(check (list bool)) "all committed" [ true; true; true ]
+        (List.map Transaction.committed outcomes);
+      Alcotest.(check int) "one record per transaction" 3
+        (Store.log_records store);
+      Alcotest.(check int) "one fsync for the whole group" 1
+        (Store.fsyncs store - before));
+  let recovered = Store.recover_dir dir in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "group member %d survived restart" k)
+        1
+        (Relation.multiplicity (tup k v) (Database.find "items" recovered)))
+    [ (10, "ten"); (11, "eleven"); (12, "twelve") ]
+
+let test_group_commit_skips_aborted () =
+  (* An abort inside the group neither blocks its peers nor leaves a
+     record: each member still runs atomically, the group only shares
+     the fsync. *)
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  let failing =
+    Transaction.make
+      [
+        Statement.Insert ("items", Expr.const (Relation.of_list s_kv [ tup 5 "x" ]));
+        Statement.Insert ("missing", Expr.rel "items");
+      ]
+  in
+  with_store dir (fun store ->
+      let outcomes =
+        Store.commit_group store [ insert_txn 20 "a"; failing; insert_txn 21 "b" ]
+      in
+      Alcotest.(check (list bool)) "abort confined to its member"
+        [ true; false; true ]
+        (List.map Transaction.committed outcomes);
+      Alcotest.(check int) "only committed members logged" 2
+        (Store.log_records store));
+  let recovered = Store.recover_dir dir in
+  Alcotest.(check int) "first member survived" 1
+    (Relation.multiplicity (tup 20 "a") (Database.find "items" recovered));
+  Alcotest.(check int) "third member survived" 1
+    (Relation.multiplicity (tup 21 "b") (Database.find "items" recovered));
+  Alcotest.(check int) "aborted member left nothing" 0
+    (Relation.multiplicity (tup 5 "x") (Database.find "items" recovered))
+
+let test_group_commit_empty_and_all_aborted () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  with_store dir (fun store ->
+      let before = Store.fsyncs store in
+      Alcotest.(check int) "empty group is a no-op" 0
+        (List.length (Store.commit_group store []));
+      let failing = Transaction.make [ Statement.Insert ("missing", Expr.rel "items") ] in
+      let outcomes = Store.commit_group store [ failing; failing ] in
+      Alcotest.(check (list bool)) "all aborted" [ false; false ]
+        (List.map Transaction.committed outcomes);
+      Alcotest.(check int) "nothing logged" 0 (Store.log_records store);
+      Alcotest.(check int) "nothing synced" 0 (Store.fsyncs store - before))
+
+let test_group_commit_stamps_qids () =
+  let dir = fresh_dir () in
+  write_snapshot dir sample_db;
+  with_store dir (fun store ->
+      ignore
+        (Store.commit_group store
+           ~qids:[ "q000123"; "q000124" ]
+           [ insert_txn 30 "p"; insert_txn 31 "q" ]));
+  let wal =
+    In_channel.with_open_text
+      (Filename.concat dir "wal.xra")
+      In_channel.input_all
+  in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun qid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s stamped into its member's markers" qid)
+        true (contains qid wal))
+    [ "q000123"; "q000124" ]
+
 (* A WAL record as [Store.append_record] writes it: begin marker,
    statement lines, commit marker carrying the CRC of everything
    before it. *)
@@ -395,6 +490,14 @@ let suite =
       qcheck prop_codec_corruption_rejected;
       Alcotest.test_case "commit and recover" `Quick test_store_commit_and_recover;
       Alcotest.test_case "aborts leave no trace" `Quick test_aborted_leaves_no_trace;
+      Alcotest.test_case "group commit amortizes fsyncs" `Quick
+        test_group_commit_amortizes_fsyncs;
+      Alcotest.test_case "group commit skips aborted members" `Quick
+        test_group_commit_skips_aborted;
+      Alcotest.test_case "group commit empty and all-aborted" `Quick
+        test_group_commit_empty_and_all_aborted;
+      Alcotest.test_case "group commit stamps qids" `Quick
+        test_group_commit_stamps_qids;
       Alcotest.test_case "torn tail discarded" `Quick test_torn_tail_discarded;
       Alcotest.test_case "corrupt record discarded" `Quick test_corrupt_record_discarded;
       Alcotest.test_case "checkpoint truncates log" `Quick test_checkpoint_truncates;

@@ -65,6 +65,68 @@ let test_other_seeds () =
         })
     [ 1; 1994 ]
 
+(* Group commit: batches share one WAL append + fsync, so a crash can
+   tear the batch's single payload anywhere — the oracle then demands a
+   leading prefix of the group's commit order at transaction
+   granularity, never a subset.  Exhaustive over every syscall of a
+   small workload. *)
+let test_group_commit_exhaustive () =
+  check_ok "group commit exhaustive"
+    {
+      Torture.default with
+      Torture.txns = 24;
+      Torture.checkpoint_every = 7;
+      Torture.crash_points = 0;
+      Torture.group_commit = 4;
+    }
+
+(* Bigger groups over a checkpoint-free log: the torn tail can cut a
+   long multi-record payload at any record boundary or mid-record. *)
+let test_group_commit_large_groups () =
+  check_ok "large groups"
+    {
+      Torture.default with
+      Torture.txns = 30;
+      Torture.checkpoint_every = 0;
+      Torture.crash_points = 0;
+      Torture.group_commit = 8;
+    }
+
+(* Seed sweep with grouping on: shifts group sizes, crash alignment and
+   checkpoint interleaving at once. *)
+let test_group_commit_seeds () =
+  List.iter
+    (fun seed ->
+      check_ok
+        (Printf.sprintf "group seed %d" seed)
+        {
+          Torture.default with
+          Torture.txns = 16;
+          Torture.seed = seed;
+          Torture.checkpoint_every = 5;
+          Torture.group_commit = 3;
+        })
+    [ 2; 1994 ]
+
+(* Transient faults against grouped appends: a short write or failed
+   sync of the multi-record payload must be absorbed by the same
+   truncate-and-retry path, never acknowledged half-durable. *)
+let test_group_commit_transients () =
+  match
+    Torture.run
+      {
+        Torture.default with
+        Torture.txns = 40;
+        Torture.crash_points = 1;
+        Torture.fail_every = 5;
+        Torture.group_commit = 4;
+      }
+  with
+  | Ok r ->
+      Alcotest.(check bool) "transients absorbed under grouping" true
+        (r.Torture.transients > 0)
+  | Error f -> Alcotest.fail f.Torture.detail
+
 (* The transient-fault sweep alone, at a cadence that hammers the retry
    path hard (but stays off the retry cycle's own period, see
    test_storage). *)
@@ -90,5 +152,12 @@ let suite =
       Alcotest.test_case "sampled larger sweep" `Quick test_sampled_larger;
       Alcotest.test_case "no checkpoints" `Quick test_no_checkpoints;
       Alcotest.test_case "other seeds" `Quick test_other_seeds;
+      Alcotest.test_case "group commit exhaustive sweep" `Quick
+        test_group_commit_exhaustive;
+      Alcotest.test_case "group commit large groups" `Quick
+        test_group_commit_large_groups;
+      Alcotest.test_case "group commit seeds" `Quick test_group_commit_seeds;
+      Alcotest.test_case "group commit transients" `Quick
+        test_group_commit_transients;
       Alcotest.test_case "transients only" `Quick test_transients_only;
     ] )
