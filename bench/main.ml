@@ -1593,6 +1593,241 @@ let e19_mvcc () =
     row "  ERROR: group commit did not amortize fsyncs as ceil(M/k)@.";
     exit 1)
 
+(* --------------------------------------------------------------- E20 *)
+
+(* Wait-event instrumentation and the ASH: three claims.  (a) The
+   always-on hooks plus registration, progress tracking and ring
+   pushes cost <= 5% on a real query workload — measured with the E17
+   paired-median discipline, ASH enabled vs disabled, everything else
+   identical.  (b) One contended MVCC workload (two writers in
+   opposite orders under SI then 2PL, a durable commit on the memory
+   VFS, a parallel map on a 2-domain pool, cadence samples via the
+   scheduler's on_step) lights up every wait class — lock, conflict,
+   io.fsync, io.wal, pool.queue, cpu.exec — read back through the
+   engine from sys.ash like any relation.  (c) sys.progress for an
+   in-flight query advances monotonically as the stream is pulled.
+   Results land in BENCH_ash.json. *)
+
+let e20_ash () =
+  header "E20  wait events + ASH: overhead, class coverage, live progress";
+  let module Obs = Mxra_obs in
+  let module Sched = Mxra_concurrency.Scheduler in
+  let module Store = Mxra_storage.Store in
+  let module Vfs = Mxra_storage.Vfs in
+  let module Pool = Ext.Pool in
+  (* Part A: overhead.  The E17 workload — two beer examples and a
+     three-way join — run with the full per-query ASH lifecycle
+     (register, ambient slot so the executor's progress hook attaches,
+     finish) against the same loop with ASH disabled, where register
+     returns the inert slot and the hook never installs. *)
+  let n = if quick then 2_000 else 10_000 in
+  let beer_db =
+    W.Beer.generate ~rng:(W.Rng.make 13) ~breweries:(n / 100) ~beers:n ()
+  in
+  let rng = W.Rng.make 2020 in
+  let a = W.Synth.two_column_int ~rng ~size:(n / 4) ~distinct:500 in
+  let b = W.Synth.two_column_int ~rng ~size:n ~distinct:500 in
+  let c = W.Synth.two_column_int ~rng ~size:60 ~distinct:500 in
+  let abc = Database.of_relations [ ("a", a); ("b", b); ("c", c) ] in
+  let three_way =
+    Expr.join
+      (Pred.eq (Scalar.attr 4) (Scalar.attr 5))
+      (Expr.join (Pred.eq (Scalar.attr 1) (Scalar.attr 3)) (Expr.rel "a")
+         (Expr.rel "b"))
+      (Expr.rel "c")
+  in
+  let queries =
+    [
+      (beer_db, W.Beer.example_3_1);
+      (beer_db, W.Beer.example_3_2);
+      (abc, three_way);
+    ]
+  in
+  let plans =
+    List.map
+      (fun (db, e) ->
+        ( db,
+          Expr.to_string e,
+          Planner.plan db (Opt.Optimizer.optimize_db db e) ))
+      queries
+  in
+  let reps = if quick then 3 else 10 in
+  let sample () =
+    for _ = 1 to reps do
+      List.iter
+        (fun (db, text, plan) ->
+          let qid = Obs.Qid.mint () in
+          let slot = Obs.Ash.register ~lang:"xra" ~text ~qid () in
+          Obs.Ash.with_slot slot (fun () -> ignore (Exec.run db plan));
+          Obs.Ash.finish slot)
+        plans
+    done
+  in
+  let was_enabled = Obs.Ash.enabled () in
+  Obs.Ash.set_enabled false;
+  sample () (* warm-up *);
+  let rounds = if quick then 5 else 9 in
+  let enabled_min, disabled_min, ratio =
+    interleaved_compare rounds
+      (fun () ->
+        Obs.Ash.set_enabled true;
+        sample ())
+      (fun () ->
+        Obs.Ash.set_enabled false;
+        sample ())
+  in
+  let pct = (ratio -. 1.0) *. 100.0 in
+  row "  %-14s | %10s %10s@." "config" "min ms" "overhead";
+  row "  %-14s | %10.3f %9.1f%%@." "ash off" disabled_min 0.0;
+  row "  %-14s | %10.3f %9.1f%%  (paired median)@." "ash on" enabled_min pct;
+  (* Part B: class coverage.  Fresh ring, then one contended pass:
+     w1 updates rows (1,2), w2 updates (2,1), fully interleaved.
+     Under SI the second committer loses first-committer-wins
+     (conflict); under 2PL w2 blocks on the relation lock and its
+     settled wait lands as a lock event.  on_step samples the running
+     sessions (cpu.exec); a durable group commit on the memory VFS
+     emits io.wal and io.fsync; a chunked parallel map on a 2-domain
+     pool makes the submitting thread wait out the drain
+     (pool.queue). *)
+  Obs.Ash.set_enabled true;
+  Obs.Ash.clear ();
+  let schema = Schema.of_list [ ("id", Domain.DInt); ("v", Domain.DInt) ] in
+  let mk_rows m =
+    List.init m (fun i -> Tuple.of_list [ Value.Int i; Value.Int 0 ])
+  in
+  let cdb =
+    Database.of_relations [ ("hot", Relation.of_list schema (mk_rows 64)) ]
+  in
+  let update_k k =
+    Statement.Update
+      ( "hot",
+        Expr.select (Pred.eq (Scalar.attr 1) (Scalar.int k)) (Expr.rel "hot"),
+        [ Scalar.attr 1; Scalar.add (Scalar.attr 2) (Scalar.int 1) ] )
+  in
+  let w1 () = Transaction.make ~name:"w1" [ update_k 1; update_k 2 ] in
+  let w2 () = Transaction.make ~name:"w2" [ update_k 2; update_k 1 ] in
+  let on_step () = ignore (Obs.Ash.sample_now ()) in
+  let interleaved = [ 0; 1; 0; 1; 0; 1; 0; 1 ] in
+  ignore
+    (Sched.run ~isolation:Sched.Si ~schedule:interleaved ~on_step ~seed:7 cdb
+       [ w1 (); w2 () ]);
+  ignore
+    (Sched.run ~isolation:Sched.Two_pl ~schedule:interleaved ~on_step ~seed:7
+       cdb
+       [ w1 (); w2 () ]);
+  (let vfs = Vfs.memory () in
+   let dir = "bench-ash" in
+   vfs.Vfs.write_file
+     (Filename.concat dir "snapshot.xra")
+     (Mxra_storage.Codec.encode_database cdb);
+   let store = Store.open_dir ~vfs dir in
+   ignore (Store.commit_group store [ w1 () ]);
+   Store.close store);
+  (* The drain wait only exists when a worker domain is still inside a
+     morsel as the caller runs out — a race the caller can lose on a
+     fast map, so sleep-heavy morsels and a bounded retry make the
+     event certain without ever faking one. *)
+  (let before = Obs.Wait.count Obs.Wait.Pool_queue in
+   let tries = ref 0 in
+   while Obs.Wait.count Obs.Wait.Pool_queue = before && !tries < 5 do
+     incr tries;
+     Pool.with_pool 2 (fun p ->
+         ignore
+           (Pool.map_array ~chunk:1 p
+              (fun _ -> Unix.sleepf 0.002)
+              (Array.init 32 Fun.id)))
+   done);
+  let ash_rel = Exec.run_expr (Syscat.attach cdb) (Expr.rel "sys.ash") in
+  let classes =
+    List.fold_left
+      (fun acc t ->
+        match Tuple.attr t 4 with
+        | Value.Str s when not (List.mem s acc) -> s :: acc
+        | _ -> acc)
+      []
+      (Relation.to_list ash_rel)
+    |> List.sort compare
+  in
+  let required = [ "conflict"; "cpu.exec"; "io.fsync"; "lock"; "pool.queue" ] in
+  let missing = List.filter (fun c -> not (List.mem c classes)) required in
+  row "  ash rows: %d   classes: %s@."
+    (Relation.cardinal ash_rel)
+    (String.concat ", " classes);
+  (* Part C: progress monotonicity.  Stream a selection over 20k rows
+     pull-at-a-time with a live slot; every ~1k tuples read the
+     statement's sys.progress row and require rows and chunks never to
+     move backwards. *)
+  let big =
+    W.Synth.two_column_int ~rng ~size:(if quick then 5_000 else 20_000)
+      ~distinct:100
+  in
+  let pdb = Database.of_relations [ ("big", big) ] in
+  let pexpr =
+    Expr.select (Pred.ge (Scalar.attr 2) (Scalar.int 0)) (Expr.rel "big")
+  in
+  let pplan = Planner.plan pdb (Opt.Optimizer.optimize_db pdb pexpr) in
+  let pqid = Obs.Qid.mint () in
+  let pslot = Obs.Ash.register ~lang:"xra" ~text:"progress probe" ~qid:pqid () in
+  Obs.Ash.set_estimate pslot (float_of_int (Relation.cardinal big));
+  let mono = ref true and probes = ref 0 and lr = ref 0 and lc = ref 0 in
+  let pulled = ref 0 in
+  Obs.Ash.with_slot pslot (fun () ->
+      Exec.stream ~chunk_size:256 pdb pplan
+      |> Seq.iter (fun _ ->
+             incr pulled;
+             if !pulled mod 997 = 0 then
+               match
+                 List.find_opt
+                   (fun p -> p.Obs.Ash.p_qid = pqid)
+                   (Obs.Ash.progress ())
+               with
+               | Some p ->
+                   incr probes;
+                   if p.Obs.Ash.p_rows < !lr || p.Obs.Ash.p_chunks < !lc then
+                     mono := false;
+                   if p.Obs.Ash.p_pct > 100.0 then mono := false;
+                   lr := p.Obs.Ash.p_rows;
+                   lc := p.Obs.Ash.p_chunks
+               | None -> mono := false));
+  Obs.Ash.finish pslot;
+  Obs.Ash.set_enabled was_enabled;
+  let gate_overhead = pct <= 5.0 in
+  let gate_classes = missing = [] in
+  let gate_progress = !mono && !probes > 0 && !lr > 0 in
+  row "  progress probes: %d  final rows seen: %d  monotonic: %b@." !probes
+    !lr !mono;
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"experiment\": \"E20-ash-wait-events\",\n";
+  bpf "  \"reps\": %d, \"queries\": %d,\n" reps (List.length plans);
+  bpf "  \"ash_off_ms\": %.3f,\n  \"ash_on_ms\": %.3f,\n" disabled_min
+    enabled_min;
+  bpf "  \"overhead_pct\": %.2f,\n" pct;
+  bpf "  \"wait_classes\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") classes));
+  bpf "  \"progress_probes\": %d,\n  \"progress_rows\": %d,\n" !probes !lr;
+  bpf
+    "  \"gates\": {\"overhead_within_5pct\": %b, \"all_wait_classes\": %b, \
+     \"progress_monotonic\": %b}\n}\n"
+    gate_overhead gate_classes gate_progress;
+  let path = "BENCH_ash.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  row "  wrote %s@." path;
+  if not gate_overhead then (
+    row
+      "  ERROR: ASH overhead %.1f%% exceeds the 5%% budget (ISSUE \
+       acceptance)@."
+      pct;
+    exit 1);
+  if not gate_classes then (
+    row "  ERROR: wait classes missing from sys.ash: %s@."
+      (String.concat ", " missing);
+    exit 1);
+  if not gate_progress then (
+    row "  ERROR: sys.progress went backwards or never advanced@.";
+    exit 1)
+
 (* ------------------------------------------------- bechamel suite *)
 
 let bechamel_suite () =
@@ -1713,7 +1948,7 @@ let bechamel_suite () =
 
 let () =
   Format.printf
-    "mxra benchmark harness: experiments E1..E19 of DESIGN.md section 5%s@."
+    "mxra benchmark harness: experiments E1..E20 of DESIGN.md section 5%s@."
     (if quick then " (quick mode)" else "");
   let run name f = if wants name then f () in
   run "e1" e1_dup_removal;
@@ -1734,5 +1969,6 @@ let () =
   run "e17" e17_catalog_overhead;
   run "e18" e18_index_scaling;
   run "e19" e19_mvcc;
+  run "e20" e20_ash;
   run "bechamel" bechamel_suite;
   Format.printf "@.done.@."

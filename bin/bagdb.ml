@@ -86,6 +86,12 @@ let run_query ctx ~lang db e =
   let record ~rows ?tuples ~wall_ms () =
     Obs.Stmt_stats.record ~lang ~qid ~rows ?tuples ~wall_ms text
   in
+  (* The activity-registry entry: from here to [finish] the statement
+     is visible in sys.progress, and ASH samples attribute to its qid
+     and fingerprint.  With MXRA_ASH=0 the slot is inert and nothing
+     below pays for it. *)
+  let slot = Obs.Ash.register ~lang ~text ~qid () in
+  Fun.protect ~finally:(fun () -> Obs.Ash.finish slot) @@ fun () ->
   Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
   Trace.with_span "query"
     ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str text) ]
@@ -97,6 +103,18 @@ let run_query ctx ~lang db e =
         if ctx.optimize then Mxra_optimizer.Optimizer.optimize_db db e else e
       in
       let plan = Mxra_engine.Planner.plan ~jobs:ctx.jobs db e in
+      if Obs.Ash.live slot then begin
+        (* Root-cardinality estimate, so sys.progress can report rows
+           against the planner's expectation. *)
+        (try
+           Obs.Ash.set_estimate slot
+             (Mxra_engine.Cost.estimate_cardinality
+                ~stats:(Mxra_engine.Stats.env_of_database db)
+                ~schemas:(Typecheck.env_of_database db)
+                e)
+         with _ -> ())
+      end;
+      Obs.Ash.with_slot slot @@ fun () ->
       if ctx.stats || Option.is_some ctx.totals || Trace.enabled () then begin
         (* One instrumented run yields the result, the timing and the
            tuple traffic — no second execution to count what already
@@ -151,6 +169,10 @@ let exec_statement ctx db stmt =
          query_id on a "statement" span (hence the JSONL log), and the
          same id stamped into the WAL record's begin/commit markers. *)
       let qid = Obs.Qid.mint () in
+      let slot =
+        Obs.Ash.register ~lang:"xra" ~text:(Statement.to_string stmt) ~qid ()
+      in
+      Fun.protect ~finally:(fun () -> Obs.Ash.finish slot) @@ fun () ->
       Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
       Trace.with_span "statement"
         ~attrs:[ ("text", Trace.Str (Statement.to_string stmt)) ]
@@ -785,6 +807,10 @@ let serve_cmd =
                     Mxra_ext.Pool.telemetry;
                     Mxra_ext.Index.telemetry;
                     Scheduler.telemetry;
+                    Obs.Wait.telemetry;
+                    (* The ASH cadence rides the sampler: every tick
+                       snapshots the activity registry into the ring. *)
+                    Obs.Ash.probe;
                     rel_probe;
                   ]
                   @ (match store with
@@ -807,7 +833,8 @@ let serve_cmd =
                         (Obs.Http_server.text
                            (Obs.Prometheus.of_aggregate agg
                            ^ Obs.Timeseries.to_prometheus ts
-                           ^ Obs.Stmt_stats.to_prometheus ()))
+                           ^ Obs.Stmt_stats.to_prometheus ()
+                           ^ Obs.Wait.to_prometheus ()))
                   | "/healthz" -> Some (Obs.Http_server.text "ok\n")
                   | "/statz" ->
                       Some (Obs.Http_server.json (Obs.Timeseries.to_json ts))
@@ -817,6 +844,10 @@ let serve_cmd =
                       Some (Obs.Http_server.text (Obs.Stmt_stats.render_top ()))
                   | "/stmtz.json" ->
                       Some (Obs.Http_server.json (Obs.Stmt_stats.to_json ()))
+                  | "/ashz" ->
+                      Some (Obs.Http_server.text (Obs.Ash.render_ash ()))
+                  | "/progressz" ->
+                      Some (Obs.Http_server.text (Obs.Ash.render_progress ()))
                   | "/quitz" ->
                       Atomic.set quit true;
                       Some (Obs.Http_server.text "bye\n")
@@ -888,8 +919,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run an optional script, then serve live telemetry over HTTP: \
-          /metrics (Prometheus), /healthz, /statz (JSON time series), /topz \
-          and /quitz.")
+          /metrics (Prometheus), /healthz, /statz (JSON time series), /topz, \
+          /stmtz, /ashz (Active Session History), /progressz (live query \
+          progress) and /quitz.")
     Term.(
       const action $ beer_flag $ gen_flag $ retail_flag $ no_optimize_flag
       $ trace_flag $ query_log_flag $ slow_flag $ db_flag $ no_checkpoint_flag
@@ -902,7 +934,7 @@ let serve_cmd =
    frame for scripts, --statz dumps the raw JSON, --quit asks the
    server to shut down. *)
 let top_cmd =
-  let action host port once statz stmtz quit interval_ms =
+  let action host port once statz stmtz ash progress quit interval_ms =
     guarded (fun () ->
         if quit then ignore (Obs.Http_server.get ~host ~port "/quitz")
         else if statz then
@@ -910,6 +942,12 @@ let top_cmd =
           print_string body
         else if stmtz then
           let _, body = Obs.Http_server.get ~host ~port "/stmtz" in
+          print_string body
+        else if ash then
+          let _, body = Obs.Http_server.get ~host ~port "/ashz" in
+          print_string body
+        else if progress then
+          let _, body = Obs.Http_server.get ~host ~port "/progressz" in
           print_string body
         else if once then
           let _, body = Obs.Http_server.get ~host ~port "/topz" in
@@ -950,6 +988,14 @@ let top_cmd =
     Arg.(value & flag
          & info [ "stmtz" ]
              ~doc:"Print the fingerprinted statement table (/stmtz) and exit.")
+  and ash =
+    Arg.(value & flag
+         & info [ "ash" ]
+             ~doc:"Print the Active Session History (/ashz) and exit.")
+  and progress =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Print live query progress (/progressz) and exit.")
   and quit =
     Arg.(value & flag
          & info [ "quit" ] ~doc:"Ask the server to shut down (/quitz) and exit.")
@@ -963,7 +1009,8 @@ let top_cmd =
          "Watch a running $(b,bagdb serve): fetch its /topz table and \
           refresh in place.")
     Term.(
-      const action $ host $ port $ once $ statz $ stmtz $ quit $ interval_ms)
+      const action $ host $ port $ once $ statz $ stmtz $ ash $ progress
+      $ quit $ interval_ms)
 
 let () =
   (* sys.locks materializes from the scheduler's process counters; the

@@ -45,16 +45,20 @@ let trace_on path =
 
 let run_query ?(lang = "xra") db e =
   let qid = Obs.Qid.mint () in
+  let slot = Obs.Ash.register ~lang ~text:(Expr.to_string e) ~qid () in
+  Fun.protect ~finally:(fun () -> Obs.Ash.finish slot) @@ fun () ->
   Trace.with_context [ (Obs.Qid.attr_key, Trace.Str qid) ] @@ fun () ->
   Trace.with_span "query"
     ~attrs:[ ("lang", Trace.Str lang); ("text", Trace.Str (Expr.to_string e)) ]
     (fun () ->
       (* sys.* queries see the catalog snapshot taken here — the query
-         in flight is recorded only after it finishes. *)
+         in flight is recorded only after it finishes, but its activity
+         slot is already registered, so sys.progress sees it live. *)
       let db = Syscat.attach_for db e in
       let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
       let plan = Mxra_engine.Planner.plan db optimized in
       let t0 = Trace.now_us () in
+      Obs.Ash.with_slot slot @@ fun () ->
       let r =
         (* The instrumented run emits the per-operator spans. *)
         if Trace.enabled () then

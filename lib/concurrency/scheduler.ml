@@ -2,6 +2,8 @@ open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
 module Qid = Mxra_obs.Qid
+module Wait = Mxra_obs.Wait
+module Ash = Mxra_obs.Ash
 
 (* Process-lifetime counters for the resource sampler: cheap atomics,
    summed across every batch this process has run. *)
@@ -100,6 +102,7 @@ type txn_exec = {
   txn : Transaction.t;
   index : int;
   qid : string;  (* minted per transaction; the correlation key *)
+  ash : Ash.slot;  (* activity-registry entry, live for the batch *)
   mutable remaining : Statement.t list;
   mutable temps : (string * Relation.t) list;
   (* 2PL state: *)
@@ -127,7 +130,14 @@ let settle_wait t =
     let wait_us = Trace.now_us () -. t.blocked_since in
     t.blocked_since <- Float.nan;
     ignore (Atomic.fetch_and_add total_lock_wait_us (int_of_float wait_us));
-    Mxra_obs.Stmt_stats.add_lock_wait ~qid:t.qid (wait_us /. 1000.0)
+    Mxra_obs.Stmt_stats.add_lock_wait ~qid:t.qid (wait_us /. 1000.0);
+    (* Close the ASH wait interval: one [lock] event row with the true
+       duration, and the session samples as running again. *)
+    let detail =
+      match Ash.current_wait t.ash with Some (_, d) -> d | None -> ""
+    in
+    Ash.slot_event t.ash Wait.Lock ~detail ~dur_us:wait_us;
+    Ash.set_wait t.ash None
   end
 
 (* Relations a statement reads (expressions) and writes (the target). *)
@@ -329,6 +339,7 @@ let finish sched t outcome =
   t.temps <- [];
   t.status <- Finished outcome;
   release_locks sched t;
+  Ash.finish t.ash;
   if not (Float.is_nan t.started_us) then begin
     let dur_us = Trace.now_us () -. t.started_us in
     t.latency_ms <- dur_us /. 1000.0;
@@ -368,6 +379,9 @@ let si_try_commit sched t =
       sched.n_conflicts <- sched.n_conflicts + 1;
       Atomic.incr total_conflicts;
       Mxra_obs.Stmt_stats.add_conflict ~qid:t.qid;
+      (* A conflict abort is instantaneous, not an interval: the event
+         row carries the relation that failed validation, duration 0. *)
+      Ash.slot_event t.ash Wait.Conflict ~detail:name ~dur_us:0.0;
       Trace.event "txn.conflict" ~tid:t.index
         ~attrs:
           [
@@ -402,6 +416,10 @@ let execute_statement sched t stmt rest =
   let stmt_start =
     if Trace.enabled () || stats_on then Trace.now_us () else Float.nan
   in
+  (* ASH samples of this session now attribute to the statement being
+     run, not just the transaction wrapper. *)
+  if Ash.live t.ash then
+    Ash.set_statement t.ash ~lang:"txn" (Statement.to_string stmt);
   match Statement.exec (view_of sched t) stmt with
   | view', output ->
       (* A per-statement span carrying the transaction's query_id: the
@@ -494,6 +512,7 @@ let step sched t =
               t.status <- Blocked (want_name, want_mode);
               if Float.is_nan t.blocked_since then
                 t.blocked_since <- Trace.now_us ();
+              Ash.set_wait t.ash (Some (Wait.Lock, want_name));
               if wait_for_cycle sched [] t.index then begin
                 sched.n_deadlocks <- sched.n_deadlocks + 1;
                 Atomic.incr total_deadlocks;
@@ -503,7 +522,7 @@ let step sched t =
               end
           | [] -> execute_statement sched t stmt rest))
 
-let run ?isolation ?schedule ~seed db txns =
+let run ?isolation ?schedule ?(on_step = fun () -> ()) ~seed db txns =
   let isolation =
     match isolation with Some i -> i | None -> default_isolation ()
   in
@@ -520,10 +539,13 @@ let run ?isolation ?schedule ~seed db txns =
         Array.of_list
           (List.mapi
              (fun index txn ->
+               let qid = Qid.mint () in
                {
                  txn;
                  index;
-                 qid = Qid.mint ();
+                 qid;
+                 ash =
+                   Ash.register ~lang:"txn" ~text:txn.Transaction.name ~qid ();
                  remaining = txn.Transaction.body;
                  temps = [];
                  held = [];
@@ -597,6 +619,7 @@ let run ?isolation ?schedule ~seed db txns =
         let t = pick candidates in
         t.status <- Running;
         step sched t;
+        on_step ();
         loop ()
   in
   Trace.with_span "scheduler.batch"

@@ -102,6 +102,7 @@ type result = {
 val run :
   ?isolation:isolation ->
   ?schedule:int list ->
+  ?on_step:(unit -> unit) ->
   seed:int ->
   Database.t ->
   Transaction.t list ->
@@ -112,7 +113,17 @@ val run :
     (entries naming finished — or, under 2PL, still-blocked —
     transactions are skipped); once exhausted, the seeded pseudo-random
     interleaving takes over.  The anomaly battery uses it to pin exact
-    interleavings.  [isolation] defaults to {!default_isolation}. *)
+    interleavings.  [isolation] defaults to {!default_isolation}.
+
+    [on_step], when given, runs after every scheduling step — the
+    deterministic stand-in for the wall-clock sampler cadence: a bench
+    or test passes [fun () -> ignore (Mxra_obs.Ash.sample_now ())] and
+    gets an ASH row per live transaction per step, independent of
+    timing.  Each transaction also registers in the activity registry
+    for the batch, so blocked transactions sample as [lock] waits,
+    conflict aborts and settled lock waits push event rows, and the
+    process-wide wait-class counters advance whether or not anyone
+    samples. *)
 
 val equivalent_serial : Database.t -> Transaction.t list -> result -> bool
 (** The serialization check (the replay oracle the qcheck differential

@@ -1,6 +1,7 @@
 open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
+module Ash = Mxra_obs.Ash
 module Pool = Mxra_ext.Pool
 module Index = Mxra_ext.Index
 module Feedback = Mxra_ext.Parallel.Feedback
@@ -207,6 +208,41 @@ type hooks = {
 }
 
 let no_hooks = { around = (fun _ f -> f ()); observe = (fun _ _ _ -> ()) }
+
+(* Live-progress hooks, composed over whatever instrumentation is
+   already in place: when a statement registered itself in the activity
+   registry ({!Mxra_obs.Ash.with_slot} around the execution), every
+   chunk any operator emits stamps that operator as the one currently
+   producing, and chunks leaving the plan [root] advance the
+   statement's row/chunk counters — sys.progress moves while the query
+   runs, at chunk granularity.  With no ambient slot (registry off, or
+   a bare [run]) the hooks are returned untouched: the hot path pays
+   nothing. *)
+let with_progress root base =
+  match Ash.current () with
+  | None -> base
+  | Some slot ->
+      {
+        base with
+        around =
+          (fun p thunk ->
+            let s = base.around p thunk in
+            let kind = Physical.kind p in
+            if p == root then
+              Seq.map
+                (fun c ->
+                  Ash.set_operator slot kind;
+                  Ash.advance slot
+                    ~rows:(Array.fold_left (fun acc (_, n) -> acc + n) 0 c);
+                  c)
+                s
+            else
+              Seq.map
+                (fun c ->
+                  Ash.set_operator slot kind;
+                  c)
+                s);
+      }
 
 let rec exec ~hooks ~size db plan : chunk Seq.t =
   hooks.around plan (fun () -> exec_node ~hooks ~size db plan)
@@ -777,11 +813,12 @@ let resolve_size = function Some n -> max 1 n | None -> !chunk_ref
 
 let run ?chunk_size db plan =
   let size = resolve_size chunk_size in
-  materialize db plan (exec ~hooks:no_hooks ~size db plan)
+  materialize db plan (exec ~hooks:(with_progress plan no_hooks) ~size db plan)
 
 let stream ?chunk_size db plan =
   let size = resolve_size chunk_size in
-  Seq.concat_map Array.to_seq (exec ~hooks:no_hooks ~size db plan)
+  Seq.concat_map Array.to_seq
+    (exec ~hooks:(with_progress plan no_hooks) ~size db plan)
 
 (* Hooks that invoke [tick] with every counted-tuple element every
    operator emits, regardless of which operator it is. *)
@@ -910,6 +947,7 @@ let run_instrumented ?chunk_size db plan =
       observe = (fun p key v -> Metrics.set_detail (find p) key v);
     }
   in
+  let hooks = with_progress plan hooks in
   let total = Metrics.make_timer () in
   let result =
     Metrics.record total (fun () ->

@@ -108,6 +108,34 @@ let series_schema =
   Schema.of_list
     [ ("series", DStr); ("t_s", DFloat); ("value", DFloat); ("points", DInt) ]
 
+let ash_schema =
+  Schema.of_list
+    [
+      ("t_s", DFloat);
+      ("qid", DStr);
+      ("fingerprint", DStr);
+      ("wait_class", DStr);
+      ("detail", DStr);
+      ("wait_ms", DFloat);
+      ("kind", DStr);
+    ]
+
+let progress_schema =
+  Schema.of_list
+    [
+      ("qid", DStr);
+      ("fingerprint", DStr);
+      ("lang", DStr);
+      ("statement", DStr);
+      ("operator", DStr);
+      ("chunks", DInt);
+      ("rows", DInt);
+      ("est_rows", DFloat);
+      ("pct", DFloat);
+      ("elapsed_ms", DFloat);
+      ("wait_class", DStr);
+    ]
+
 let schemas =
   [
     ("sys.statements", statements_schema);
@@ -117,6 +145,8 @@ let schemas =
     ("sys.locks", counters_schema);
     ("sys.pool", counters_schema);
     ("sys.series", series_schema);
+    ("sys.ash", ash_schema);
+    ("sys.progress", progress_schema);
   ]
 
 let names () = List.map fst schemas
@@ -241,6 +271,47 @@ let series_now () =
   in
   Relation.of_counted_list series_schema rows
 
+(* Equal samples in the ring (same wait, same instant) fold into one
+   tuple with multiplicity > 1 — ASH is a bag in the paper's sense, and
+   of_counted_list sums duplicate tuples' counts. *)
+let ash_now () =
+  Relation.of_counted_list ash_schema
+    (List.map
+       (fun (s : Obs.Ash.sample) ->
+         ( Tuple.of_list
+             [
+               flt s.a_t_s;
+               str s.a_qid;
+               str s.a_fingerprint;
+               str (Obs.Wait.name s.a_class);
+               str s.a_detail;
+               flt s.a_wait_ms;
+               str s.a_kind;
+             ],
+           1 ))
+       (Obs.Ash.snapshot ()))
+
+let progress_now () =
+  Relation.of_counted_list progress_schema
+    (List.map
+       (fun (p : Obs.Ash.progress) ->
+         ( Tuple.of_list
+             [
+               str p.p_qid;
+               str p.p_fingerprint;
+               str p.p_lang;
+               str p.p_text;
+               str p.p_operator;
+               int p.p_chunks;
+               int p.p_rows;
+               flt p.p_est_rows;
+               flt p.p_pct;
+               flt p.p_elapsed_ms;
+               str p.p_wait;
+             ],
+           1 ))
+       (Obs.Ash.progress ()))
+
 let materialize db name =
   match name with
   | "sys.statements" -> Some (statements_now ())
@@ -250,6 +321,8 @@ let materialize db name =
   | "sys.locks" -> Some (counters_now "sys.locks")
   | "sys.pool" -> Some (counters_now "sys.pool")
   | "sys.series" -> Some (series_now ())
+  | "sys.ash" -> Some (ash_now ())
+  | "sys.progress" -> Some (progress_now ())
   | _ -> None
 
 (* --- attachment --------------------------------------------------------- *)

@@ -19,7 +19,16 @@
     {- [sys.pool] — counter/value pairs from the probe registered under
        ["sys.pool"] ([Mxra_ext.Pool.telemetry] by default).}
     {- [sys.series] — latest point per series of the registered
-       {!Mxra_obs.Timeseries} store; empty when none registered.}}
+       {!Mxra_obs.Timeseries} store; empty when none registered.}
+    {- [sys.ash] — the Active Session History ring
+       ({!Mxra_obs.Ash.snapshot}): one row per sample or wait event
+       (timestamp, qid, fingerprint, wait class, detail, wait ms,
+       kind); identical samples fold into one tuple with
+       multiplicity.}
+    {- [sys.progress] — live statements from the activity registry
+       ({!Mxra_obs.Ash.progress}): current operator, chunks/rows
+       produced at the plan root, planner estimate and percent,
+       elapsed ms, current wait class.}}
 
     [attach] binds each as a {e temporary} relation
     ({!Mxra_relational.Database.assign_temporary}), so the catalog is a

@@ -128,11 +128,24 @@ let mapi_array ?chunk pool f arr =
       Mutex.unlock pool.lock
     end;
     run_morsels ();
+    (* The caller lane has run out of morsels; what remains is the
+       drain — waiting for worker domains still inside theirs.  That
+       interval is the [pool.queue] wait.  Only a real pool can have
+       one (sequential fallback finishes everything on the caller), so
+       single-lane runs stay event-free. *)
+    let drain_from =
+      if Array.length pool.domains > 0 && Atomic.get remaining > 0 then
+        Mxra_obs.Wait.now_us ()
+      else Float.nan
+    in
     Mutex.lock done_lock;
     while Atomic.get remaining > 0 do
       Condition.wait all_done done_lock
     done;
     Mutex.unlock done_lock;
+    if not (Float.is_nan drain_from) then
+      Mxra_obs.Ash.event Mxra_obs.Wait.Pool_queue ~detail:"map.drain"
+        ~dur_us:(Mxra_obs.Wait.now_us () -. drain_from);
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->

@@ -34,11 +34,15 @@ let normalize src =
     if Buffer.length buf = 0 then '\000' else Buffer.nth buf (Buffer.length buf - 1)
   in
   let emit c =
+    (* Fold case before the separation test: the buffer is lowercase,
+       so an uppercase identifier start ('FROM' after 'wait_class')
+       must count as identish exactly like its lowercase form. *)
+    let c = Char.lowercase_ascii c in
     if !pending_space then begin
       if identish (last ()) && identish c then Buffer.add_char buf ' ';
       pending_space := false
     end;
-    Buffer.add_char buf (Char.lowercase_ascii c)
+    Buffer.add_char buf c
   in
   let i = ref 0 in
   while !i < n do

@@ -106,10 +106,19 @@ let quantile t p =
     let p = Float.max 0.0 (Float.min 1.0 p) in
     let rank = max 1 (int_of_float (Float.ceil (p *. float_of_int t.count))) in
     let clamp v = Float.max t.vmin (Float.min t.vmax v) in
+    (* Report the midpoint of the bucket holding the rank, not its
+       upper bound: with one sample (or every sample in one bucket) the
+       upper bound over-reports by up to a whole bucket width, and a
+       degenerate histogram must still answer inside [vmin, vmax].  A
+       bucket with upper bound [b] covers (b/γ, b], so its midpoint is
+       b·(1+1/γ)/2 — within half a bucket width (~9%) of any sample in
+       it; the clamp keeps degenerate cases inside the observed range. *)
     let rec walk cum = function
       | [] -> clamp t.vmax
       | (bound, n) :: rest ->
-          if cum + n >= rank then clamp bound else walk (cum + n) rest
+          if cum + n >= rank then
+            clamp ((bound /. gamma +. bound) /. 2.0)
+          else walk (cum + n) rest
     in
     walk 0 (buckets t)
   end

@@ -32,10 +32,12 @@ val max_value : t -> float
 (** Largest observation; [nan] when empty. *)
 
 val quantile : t -> float -> float
-(** [quantile t p] for [p ∈ [0,1]]: the bucket-resolution estimate of
-    the [p]-quantile, clamped into [[min_value, max_value]] so the
-    estimates are always ordered [min ≤ q(p) ≤ max] and monotone in
-    [p].  [nan] when empty. *)
+(** [quantile t p] for [p ∈ [0,1]]: the midpoint of the bucket holding
+    the [p]-th ranked observation, clamped into
+    [[min_value, max_value]] so the estimates are always ordered
+    [min ≤ q(p) ≤ max] and monotone in [p].  A single-sample (or
+    single-bucket) histogram therefore answers inside the observed
+    range rather than a bucket boundary.  [nan] when empty. *)
 
 val buckets : t -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending; the

@@ -21,10 +21,12 @@ type probe = unit -> (string * float) list
 
 type t = {
   store : Timeseries.t;
-  probes : probe list;
+  probes : (probe * bool ref) list;
+      (* the ref marks "already logged a failure for this probe" *)
   interval_ms : float;
   running : bool Atomic.t;
   rounds : int Atomic.t;
+  failures : int Atomic.t;
   mutable thread : Thread.t option;
 }
 
@@ -32,10 +34,28 @@ let take_sample t =
   let now = Unix.gettimeofday () in
   let samples =
     List.concat_map
-      (fun probe -> match probe () with s -> s | exception _ -> [])
+      (fun (probe, warned) ->
+        match probe () with
+        | s -> s
+        | exception exn ->
+            (* A raising probe is skipped for the round, never fatal:
+               telemetry must not take the process down.  Complain once
+               per probe — a broken closure on a 100 ms cadence would
+               otherwise flood stderr. *)
+            Atomic.incr t.failures;
+            if not !warned then begin
+              warned := true;
+              Printf.eprintf "sampler: probe raised %s; skipping it this round\n%!"
+                (Printexc.to_string exn)
+            end;
+            [])
       t.probes
   in
-  Timeseries.record t.store ~t_s:now samples;
+  (match Timeseries.record t.store ~t_s:now samples with
+  | () -> ()
+  | exception exn ->
+      Atomic.incr t.failures;
+      Printf.eprintf "sampler: record failed: %s\n%!" (Printexc.to_string exn));
   Atomic.incr t.rounds
 
 let sample_now = take_sample
@@ -74,10 +94,11 @@ let start ?(interval_ms = 1000.0) ?capacity ~probes () =
   let t =
     {
       store = Timeseries.create ?capacity ();
-      probes;
+      probes = List.map (fun p -> (p, ref false)) probes;
       interval_ms = Float.max 1.0 interval_ms;
       running = Atomic.make true;
       rounds = Atomic.make 0;
+      failures = Atomic.make 0;
       thread = None;
     }
   in
@@ -86,6 +107,7 @@ let start ?(interval_ms = 1000.0) ?capacity ~probes () =
 
 let store t = t.store
 let rounds t = Atomic.get t.rounds
+let failures t = Atomic.get t.failures
 
 let stop t =
   if Atomic.exchange t.running false then

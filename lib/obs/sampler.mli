@@ -13,8 +13,11 @@
     [Mxra_storage.Store.telemetry], live relation cardinalities from
     the CLI — so lib/obs stays at the bottom of the dependency order.
 
-    A probe that raises is skipped for that round; telemetry never
-    takes the process down. *)
+    A probe that raises is skipped for that round and the thread keeps
+    running; the first failure per probe is logged to stderr (once, so
+    a broken closure cannot flood the log on a fast cadence) and every
+    failure counts in {!failures}.  Telemetry never takes the process
+    down. *)
 
 type probe = unit -> (string * float) list
 (** One sampling source: a list of [(series, value)] pairs. *)
@@ -31,6 +34,9 @@ val store : t -> Timeseries.t
 
 val rounds : t -> int
 (** Sampling rounds completed so far. *)
+
+val failures : t -> int
+(** Probe invocations that raised (each skipped, never fatal). *)
 
 val sample_now : t -> unit
 (** Take one synchronous sample on the calling thread — used by

@@ -76,6 +76,10 @@ val snapshot : unit -> row list
 val cardinality : unit -> int
 (** Number of distinct fingerprints. *)
 
+val truncate_text : ?width:int -> string -> string
+(** Statement text clipped to [width] (default 48) with an ellipsis —
+    the one-line form the fixed-width tables print. *)
+
 val render_top : ?limit:int -> unit -> string
 (** Fixed-width text table of the top [limit] (default 20) statements
     by cumulative wall time — the [/stmtz] and [bagdb stats] view. *)

@@ -1,0 +1,84 @@
+(* The wait-event taxonomy: a fixed, closed set of classes naming what
+   a session can be doing when it is not making progress on its own
+   CPU — blocked on a 2PL lock, aborted by first-committer-wins
+   validation, inside a WAL write or fsync, or drained behind the
+   domain pool's morsel queue — plus [cpu.exec], the "not waiting"
+   class an ASH sample reports for a running statement.
+
+   Accounting is two atomics per class (occurrences and cumulative
+   microseconds), so the begin/end paths the engine threads through
+   Scheduler / Store / Pool stay cheap enough to leave on in
+   production: one [note] is an atomic increment and an atomic add.
+   Per-session attribution (which qid is waiting right now, the ASH
+   ring) lives in {!Ash}; this module is only the taxonomy and the
+   process-lifetime counters. *)
+
+type class_ =
+  | Lock  (** 2PL: blocked acquiring a relation lock *)
+  | Conflict  (** SI: first-committer-wins validation abort *)
+  | Io_fsync  (** WAL fsync (including the shared group-commit sync) *)
+  | Io_wal  (** WAL append write *)
+  | Pool_queue  (** domain-pool morsel-queue drain *)
+  | Cpu_exec  (** on CPU executing operators — the non-wait class *)
+
+let all = [ Lock; Conflict; Io_fsync; Io_wal; Pool_queue; Cpu_exec ]
+
+let name = function
+  | Lock -> "lock"
+  | Conflict -> "conflict"
+  | Io_fsync -> "io.fsync"
+  | Io_wal -> "io.wal"
+  | Pool_queue -> "pool.queue"
+  | Cpu_exec -> "cpu.exec"
+
+let of_name s =
+  List.find_opt (fun c -> name c = s) all
+
+let slot = function
+  | Lock -> 0
+  | Conflict -> 1
+  | Io_fsync -> 2
+  | Io_wal -> 3
+  | Pool_queue -> 4
+  | Cpu_exec -> 5
+
+let n_classes = 6
+let counts = Array.init n_classes (fun _ -> Atomic.make 0)
+let total_us = Array.init n_classes (fun _ -> Atomic.make 0)
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let note cls dur_us =
+  let i = slot cls in
+  Atomic.incr counts.(i);
+  ignore
+    (Atomic.fetch_and_add total_us.(i)
+       (int_of_float (Float.max 0.0 dur_us)))
+
+let count cls = Atomic.get counts.(slot cls)
+let waited_ms cls = float_of_int (Atomic.get total_us.(slot cls)) /. 1000.0
+
+let reset () =
+  Array.iter (fun a -> Atomic.set a 0) counts;
+  Array.iter (fun a -> Atomic.set a 0) total_us
+
+(* Sampler probe: one count and one cumulative-ms series per class,
+   always present so the series catalogue is stable from the first
+   scrape. *)
+let telemetry () =
+  List.concat_map
+    (fun cls ->
+      [
+        ("wait." ^ name cls ^ "_count", float_of_int (count cls));
+        ("wait." ^ name cls ^ "_ms", waited_ms cls);
+      ])
+    all
+
+let to_prometheus ?(prefix = "mxra_wait_") () =
+  let per_class pick = List.map (fun c -> ([ ("class", name c) ], pick c)) all in
+  Prometheus.labeled ~help:"wait events observed, by wait class"
+    ~kind:"counter" (prefix ^ "events_total")
+    (per_class (fun c -> float_of_int (count c)))
+  ^ Prometheus.labeled ~help:"cumulative wait milliseconds, by wait class"
+      ~kind:"counter" (prefix ^ "ms_total")
+      (per_class waited_ms)

@@ -1,0 +1,54 @@
+(** Wait-event taxonomy and always-on per-class counters.
+
+    The closed set of things a session can be doing when sampled:
+    waiting on a 2PL lock, dying to a snapshot-isolation validation
+    conflict, inside a WAL append or fsync, drained behind the domain
+    pool's morsel queue — or on CPU ([Cpu_exec], the non-wait class).
+    Each class carries two process-lifetime atomics (occurrences,
+    cumulative wait time) cheap enough to leave enabled in production;
+    per-session attribution and the Active Session History ring live
+    in {!Ash}. *)
+
+type class_ =
+  | Lock  (** 2PL: blocked acquiring a relation lock *)
+  | Conflict  (** SI: first-committer-wins validation abort *)
+  | Io_fsync  (** WAL fsync (including the shared group-commit sync) *)
+  | Io_wal  (** WAL append write *)
+  | Pool_queue  (** domain-pool morsel-queue drain *)
+  | Cpu_exec  (** on CPU executing operators — the non-wait class *)
+
+val all : class_ list
+(** Every class, in a fixed order. *)
+
+val name : class_ -> string
+(** The wire name: ["lock"], ["conflict"], ["io.fsync"], ["io.wal"],
+    ["pool.queue"], ["cpu.exec"]. *)
+
+val of_name : string -> class_ option
+
+val now_us : unit -> float
+(** Wall clock in microseconds — the unit every wait interval uses. *)
+
+val note : class_ -> float -> unit
+(** [note cls dur_us] records one completed wait of [dur_us]
+    microseconds: one atomic increment plus one atomic add.
+    Durations clamp at zero; [Conflict] events pass 0. *)
+
+val count : class_ -> int
+(** Occurrences recorded for the class since process start (or
+    {!reset}). *)
+
+val waited_ms : class_ -> float
+(** Cumulative wait time recorded for the class, in milliseconds. *)
+
+val reset : unit -> unit
+(** Zero every counter — tests and benches only. *)
+
+val telemetry : unit -> (string * float) list
+(** Sampler probe: [wait.<class>_count] and [wait.<class>_ms] for
+    every class, always all present. *)
+
+val to_prometheus : ?prefix:string -> unit -> string
+(** Two counter families labeled by class:
+    [mxra_wait_events_total{class="lock"} …] and
+    [mxra_wait_ms_total{class="lock"} …]. *)

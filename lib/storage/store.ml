@@ -1,6 +1,8 @@
 open Mxra_relational
 open Mxra_core
 module Trace = Mxra_obs.Trace
+module Wait = Mxra_obs.Wait
+module Ash = Mxra_obs.Ash
 
 type t = {
   vfs : Vfs.t;
@@ -249,8 +251,18 @@ let append_durable t payload =
   let wal = wal_path t.dir in
   let rec attempt k =
     match
+      let t0 = Wait.now_us () in
       t.log.Vfs.h_write payload;
-      t.log.Vfs.h_sync ()
+      let t1 = Wait.now_us () in
+      t.log.Vfs.h_sync ();
+      (* Wait attribution only for the attempt that succeeded: a write
+         or sync that raised produced no durable work, and the retry
+         re-measures from scratch.  The append and the sync are split
+         into [io.wal] and [io.fsync] — under group commit the one
+         shared sync is one event, however many transactions ride it. *)
+      let t2 = Wait.now_us () in
+      Ash.event Wait.Io_wal ~detail:"wal.append" ~dur_us:(t1 -. t0);
+      Ash.event Wait.Io_fsync ~detail:"wal.fsync" ~dur_us:(t2 -. t1)
     with
     | () -> if k > 0 then Trace.add_attr "retries" (Trace.Int k)
     | exception Vfs.Injected reason when k < t.retries ->

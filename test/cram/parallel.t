@@ -91,7 +91,7 @@ the table shape, the adaptive no-Exchange column, the 1-core
 guarantee line and the JSON artifact:
 
   $ MXRA_CORES=1 ../../bench/main.exe quick e15 --jobs 2 | sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e 's/chunk size [0-9]+/chunk size _/' -e 's/ +/ /g'
-  mxra benchmark harness: experiments E1..E19 of DESIGN.md section 5 (quick mode)
+  mxra benchmark harness: experiments E1..E20 of DESIGN.md section 5 (quick mode)
   
   === E15 multicore speedup (retail join+aggregate, domain pool) ===
    4000 orders, 6 result rows, 1 cores, chunk size _

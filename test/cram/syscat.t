@@ -29,13 +29,16 @@ run to run; fingerprints, calls, langs and row counts do not.)
   +--------------------+-------+-------+---+ (1 tuples, 1 distinct)
 
 bagdb stats runs a script and prints the cumulative registry, heaviest
-statement first (timing columns scrubbed; the exemplar text is the
-normalized shape, literals folded to ?).
+statement first.  Heaviest-first is a wall-clock order, so the pin
+sorts by fingerprint instead; the timing columns are scrubbed and the
+stable ones kept — including confl, the per-statement conflict-abort
+tally (zero here: no write-write contention in this session).  The
+exemplar text is the normalized shape, literals folded to ?.
 
-  $ ../../bin/bagdb.exe stats --beer session.xra | awk '{print $1, $2, $6, $10, $11}'
-  fingerprint calls rows lang statement
-  100382a218979a41 2 4 xra select[%2=?](beer)
-  b866f12471121773 1 1 xra project[%1,%3,%4](select[%4>=?](sys.statements))
+  $ ../../bin/bagdb.exe stats --beer session.xra | awk 'NR == 1 || /xra/ {print $1, $2, $6, $9, $10, $11}' | sort -r
+  fingerprint calls rows confl lang statement
+  b866f12471121773 1 1 0 xra project[%1,%3,%4](select[%4>=?](sys.statements))
+  100382a218979a41 2 4 0 xra select[%2=?](beer)
 
 sys.locks serves the scheduler's process counters as a relation.  The
 counter set is the SI-era one — conflict aborts (sched.conflicts,
@@ -58,6 +61,57 @@ Values vary; the counter names do not.
   | 'txn.conflicts'      | 1 |
   | 'txn.snapshot_age'   | 1 |
   +----------------------+---+ (9 tuples, 9 distinct)
+
+sys.ash is the Active Session History ring: wait events pushed as
+they complete, queryable like any relation.  Two transactions that
+update the same rows in opposite orders contend; under strict 2PL the
+loser blocks and its settled wait lands in the ring as a lock event
+against the relation it waited on.  (The --isolation flag beats the
+MXRA_ISOLATION environment leg, so the pin holds on every tier-1
+run.)  sys.progress snapshots the live registry at attach time, so
+the scan sees exactly one in-flight query — itself, just registered,
+zero chunks in, attributed to cpu.exec.
+
+  $ cat > contended.xra <<'EOF'
+  > begin
+  >   update(beer, select[%2 = 'Grolsch'](beer), [%1, %2, %3 + 0.1]);
+  >   update(beer, select[%2 = 'Chimay'](beer), [%1, %2, %3 + 0.1])
+  > end;
+  > begin
+  >   update(beer, select[%2 = 'Chimay'](beer), [%1, %2, %3 + 0.2]);
+  >   update(beer, select[%2 = 'Grolsch'](beer), [%1, %2, %3 + 0.2])
+  > end;
+  > ?project[%2, %4, %5](select[%7 = 'event'](sys.ash));
+  > ?project[%1, %3, %5, %11](sys.progress)
+  > EOF
+  $ ../../bin/bagdb.exe run --beer --isolation 2pl contended.xra
+  +-----------+------------+--------+---+
+  | qid       | wait_class | detail | # |
+  +-----------+------------+--------+---+
+  | 'q000001' | 'lock'     | 'beer' | 1 |
+  +-----------+------------+--------+---+ (1 tuples, 1 distinct)
+  +-----------+-------+----------+------------+---+
+  | qid       | lang  | operator | wait_class | # |
+  +-----------+-------+----------+------------+---+
+  | 'q000004' | 'xra' | ''       | 'cpu.exec' | 1 |
+  +-----------+-------+----------+------------+---+ (1 tuples, 1 distinct)
+
+The same schedule under snapshot isolation never blocks — the second
+writer loses first-committer-wins instead, and the ring records a
+conflict event where 2PL recorded a lock wait:
+
+  $ ../../bin/bagdb.exe run --beer --isolation si contended.xra
+  aborted: write-write conflict on beer
+  +-----------+------------+--------+---+
+  | qid       | wait_class | detail | # |
+  +-----------+------------+--------+---+
+  | 'q000001' | 'conflict' | 'beer' | 1 |
+  +-----------+------------+--------+---+ (1 tuples, 1 distinct)
+  +-----------+-------+----------+------------+---+
+  | qid       | lang  | operator | wait_class | # |
+  +-----------+-------+----------+------------+---+
+  | 'q000004' | 'xra' | ''       | 'cpu.exec' | 1 |
+  +-----------+-------+----------+------------+---+ (1 tuples, 1 distinct)
 
 The catalog also answers SQL, by name:
 

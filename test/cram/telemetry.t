@@ -19,6 +19,8 @@ The top table: one row per series, sorted; numbers scrubbed.
 
   $ ../../bin/bagdb.exe top --once --port $(cat port) | awk '{print $1}'
   series
+  ash.live
+  ash.samples
   gc.heap_words
   gc.major_collections
   gc.major_words
@@ -46,6 +48,18 @@ The top table: one row per series, sorted; numbers scrubbed.
   sched.steps
   txn.conflicts
   txn.snapshot_age
+  wait.conflict_count
+  wait.conflict_ms
+  wait.cpu.exec_count
+  wait.cpu.exec_ms
+  wait.io.fsync_count
+  wait.io.fsync_ms
+  wait.io.wal_count
+  wait.io.wal_ms
+  wait.lock_count
+  wait.lock_ms
+  wait.pool.queue_count
+  wait.pool.queue_ms
 
 The JSON dump has the same shape every time.
 

@@ -192,6 +192,38 @@ let test_histogram_ignores_nonfinite () =
   Alcotest.(check int) "count" 2 (H.count h);
   Alcotest.(check (float 1e-9)) "sum" 3.0 (H.sum h)
 
+let prop_p50_in_range =
+  prop "p50 of any non-empty histogram lies in [min, max]" samples (fun l ->
+      let h = fill l in
+      let p50 = H.quantile h 0.5 in
+      H.min_value h <= p50 && p50 <= H.max_value h)
+
+(* One observation: every percentile is that observation — the clamp
+   into [vmin, vmax] collapses the bucket midpoint onto the sample, so
+   a single 3 ms latency reports p50 = p99 = 3 ms, not a bucket
+   boundary and never 0. *)
+let test_histogram_single_sample () =
+  let h = fill [ 3.0 ] in
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (H.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 3.0 (H.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p0" 3.0 (H.quantile h 0.0)
+
+(* Every sample in one geometric bucket (ratios below γ = 2^¼): the
+   quantiles must land inside the observed range, not on the bucket's
+   upper bound above it, and must not be 0. *)
+let test_histogram_one_bucket () =
+  let l = [ 10.0; 10.5; 11.0; 11.5 ] in
+  let h = fill l in
+  List.iter
+    (fun p ->
+      let q = H.quantile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "q(%.2f) = %g within [10, 11.5]" p q)
+        true
+        (10.0 <= q && q <= 11.5))
+    [ 0.5; 0.9; 0.99 ];
+  Alcotest.(check bool) "nonzero" true (H.quantile h 0.5 > 0.0)
+
 (* --- Chrome sink ------------------------------------------------------- *)
 
 let with_chrome_trace f =
@@ -814,6 +846,40 @@ let test_fingerprint_distinct_shapes () =
              fp))
     fps
 
+(* Dotted sys.* identifiers: the qualified name is one token — it must
+   normalize stably across case and spacing, and never collapse onto
+   the unqualified name or a sibling catalog relation. *)
+let test_fingerprint_dotted_names () =
+  let fp = Obs.Fingerprint.fingerprint in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%S ~ %S" a b)
+        (fp a) (fp b))
+    [
+      ("sys.ash", "  SYS.ASH  ");
+      ("select[%4 = 'lock'](sys.ash)", "SELECT[ %4='lock' ](Sys.Ash)");
+      ( "project[%1, %2](sys.progress)",
+        "project[ %1 , %2 ]( SYS.progress )" );
+      ("SELECT wait_class FROM sys.ash", "select wait_class from SYS.ASH");
+    ];
+  let distinct =
+    [
+      "sys.ash";
+      "ash";
+      "sys.progress";
+      "progress";
+      "sys.statements";
+      "statements";
+      "sysash";
+      "select[%1 = 'q'](sys.progress)";
+      "select[%1 = 'q'](progress)";
+    ]
+  in
+  Alcotest.(check int) "qualified and unqualified stay distinct"
+    (List.length distinct)
+    (List.length (List.sort_uniq String.compare (List.map fp distinct)))
+
 (* --- statement stats registry ------------------------------------------ *)
 
 let test_stmt_stats_accumulates () =
@@ -949,6 +1015,11 @@ let test_sampler () =
   Obs.Sampler.stop s;
   Obs.Sampler.stop s (* idempotent *);
   Alcotest.(check bool) "sampled several rounds" true (Obs.Sampler.rounds s >= 3);
+  (* The raising probe was skipped every round — and the thread
+     survived it every round: rounds kept advancing and the healthy
+     probe kept recording alongside it. *)
+  Alcotest.(check bool) "failures counted" true
+    (Obs.Sampler.failures s >= Obs.Sampler.rounds s);
   let store = Obs.Sampler.store s in
   Alcotest.(check (list string))
     "raising probe skipped, good one recorded" [ "test.calls" ]
@@ -982,6 +1053,147 @@ let test_sampler_cadence () =
     (Printf.sprintf "cadence held under load (%d rounds)" rounds)
     true
     (rounds >= 35 && rounds <= 60)
+
+(* --- wait events and the Active Session History ------------------------ *)
+
+let test_wait_counters () =
+  Obs.Wait.reset ();
+  Obs.Wait.note Obs.Wait.Lock 1500.0;
+  Obs.Wait.note Obs.Wait.Lock 500.0;
+  Obs.Wait.note Obs.Wait.Conflict 0.0;
+  Alcotest.(check int) "lock count" 2 (Obs.Wait.count Obs.Wait.Lock);
+  Alcotest.(check (float 1e-9)) "lock ms" 2.0 (Obs.Wait.waited_ms Obs.Wait.Lock);
+  Alcotest.(check int) "conflict count" 1 (Obs.Wait.count Obs.Wait.Conflict);
+  Alcotest.(check (float 1e-9)) "conflict ms" 0.0
+    (Obs.Wait.waited_ms Obs.Wait.Conflict);
+  Alcotest.(check int) "io.fsync untouched" 0 (Obs.Wait.count Obs.Wait.Io_fsync);
+  (* Negative durations clamp rather than rewind the counter. *)
+  Obs.Wait.note Obs.Wait.Io_wal (-50.0);
+  Alcotest.(check (float 1e-9)) "clamped" 0.0 (Obs.Wait.waited_ms Obs.Wait.Io_wal);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        ("of_name roundtrips " ^ Obs.Wait.name c)
+        true
+        (Obs.Wait.of_name (Obs.Wait.name c) = Some c))
+    Obs.Wait.all;
+  Alcotest.(check int) "telemetry: two series per class"
+    (2 * List.length Obs.Wait.all)
+    (List.length (Obs.Wait.telemetry ()));
+  Alcotest.(check bool) "prometheus exposition valid" true
+    (exposition_ok (Obs.Wait.to_prometheus ()));
+  Obs.Wait.reset ();
+  Alcotest.(check int) "reset" 0 (Obs.Wait.count Obs.Wait.Lock)
+
+let test_ash_registry () =
+  Obs.Ash.set_enabled true;
+  Obs.Ash.clear ();
+  let slot = Obs.Ash.register ~lang:"xra" ~text:"select[%1 = 1](beer)" ~qid:"q-1" () in
+  Alcotest.(check bool) "slot live" true (Obs.Ash.live slot);
+  Alcotest.(check int) "registered" 1 (Obs.Ash.live_count ());
+  Obs.Ash.set_estimate slot 100.0;
+  Obs.Ash.set_operator slot "seq_scan";
+  Obs.Ash.advance slot ~rows:30;
+  Obs.Ash.advance slot ~rows:20;
+  (match Obs.Ash.progress () with
+  | [ p ] ->
+      Alcotest.(check string) "qid" "q-1" p.Obs.Ash.p_qid;
+      Alcotest.(check string) "operator" "seq_scan" p.Obs.Ash.p_operator;
+      Alcotest.(check int) "rows" 50 p.Obs.Ash.p_rows;
+      Alcotest.(check int) "chunks" 2 p.Obs.Ash.p_chunks;
+      Alcotest.(check (float 1e-9)) "pct" 50.0 p.Obs.Ash.p_pct;
+      Alcotest.(check string) "running = cpu.exec" "cpu.exec" p.Obs.Ash.p_wait
+  | l -> Alcotest.failf "expected one progress row, got %d" (List.length l));
+  (* A cadence sample of a running session is a cpu.exec row on its
+     current operator; of a blocked one, its wait class. *)
+  Alcotest.(check int) "one live session sampled" 1 (Obs.Ash.sample_now ());
+  Obs.Ash.set_wait slot (Some (Obs.Wait.Lock, "beer"));
+  ignore (Obs.Ash.sample_now ());
+  Obs.Ash.set_wait slot None;
+  Obs.Ash.slot_event slot Obs.Wait.Io_fsync ~detail:"wal.fsync" ~dur_us:2000.0;
+  let rows = Obs.Ash.snapshot () in
+  let by kind cls =
+    List.filter
+      (fun (s : Obs.Ash.sample) -> s.a_kind = kind && s.a_class = cls)
+      rows
+  in
+  (match by "sample" Obs.Wait.Cpu_exec with
+  | s :: _ ->
+      Alcotest.(check string) "cpu sample detail" "seq_scan" s.Obs.Ash.a_detail;
+      Alcotest.(check string) "cpu sample qid" "q-1" s.Obs.Ash.a_qid
+  | [] -> Alcotest.fail "no cpu.exec sample");
+  (match by "sample" Obs.Wait.Lock with
+  | s :: _ -> Alcotest.(check string) "lock sample detail" "beer" s.Obs.Ash.a_detail
+  | [] -> Alcotest.fail "no lock sample");
+  (match by "event" Obs.Wait.Io_fsync with
+  | s :: _ ->
+      Alcotest.(check (float 1e-9)) "event carries duration" 2.0
+        s.Obs.Ash.a_wait_ms;
+      Alcotest.(check string) "event fingerprint" (Obs.Fingerprint.fingerprint "select[%1 = 1](beer)")
+        s.Obs.Ash.a_fingerprint
+  | [] -> Alcotest.fail "no io.fsync event");
+  Obs.Ash.finish slot;
+  Alcotest.(check int) "finished" 0 (Obs.Ash.live_count ());
+  Obs.Ash.finish slot (* idempotent *);
+  Alcotest.(check int) "no sessions, nothing sampled" 0 (Obs.Ash.sample_now ());
+  Obs.Ash.clear ()
+
+let test_ash_ring_wrap () =
+  Obs.Ash.set_enabled true;
+  Obs.Ash.set_capacity 16;
+  for i = 1 to 40 do
+    Obs.Ash.event Obs.Wait.Io_wal ~detail:(string_of_int i) ~dur_us:1.0
+  done;
+  let rows = Obs.Ash.snapshot () in
+  Alcotest.(check int) "ring bounded" 16 (List.length rows);
+  Alcotest.(check int) "lifetime count survives wrap" 40
+    (Obs.Ash.pushed_total ());
+  (* Oldest first, and the survivors are the newest 16 (25..40). *)
+  (match rows with
+  | first :: _ -> Alcotest.(check string) "oldest survivor" "25" first.Obs.Ash.a_detail
+  | [] -> Alcotest.fail "empty ring");
+  (match List.rev rows with
+  | last :: _ -> Alcotest.(check string) "newest last" "40" last.Obs.Ash.a_detail
+  | [] -> Alcotest.fail "empty ring");
+  Obs.Ash.set_capacity 4096;
+  Obs.Ash.clear ()
+
+let test_ash_disabled () =
+  Obs.Ash.set_enabled true;
+  Obs.Ash.clear ();
+  Obs.Wait.reset ();
+  Obs.Ash.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.Ash.set_enabled true) @@ fun () ->
+  let slot = Obs.Ash.register ~text:"ignored" ~qid:"q-off" () in
+  Alcotest.(check bool) "inert slot" false (Obs.Ash.live slot);
+  Alcotest.(check int) "not registered" 0 (Obs.Ash.live_count ());
+  (* The hot-path operations absorb harmlessly. *)
+  Obs.Ash.set_operator slot "x";
+  Obs.Ash.advance slot ~rows:10;
+  Obs.Ash.set_wait slot (Some (Obs.Wait.Lock, "r"));
+  Obs.Ash.finish slot;
+  Alcotest.(check int) "nothing sampled" 0 (Obs.Ash.sample_now ());
+  (* Wait-class counters stay on even with ASH off... *)
+  Obs.Ash.event Obs.Wait.Io_fsync ~detail:"d" ~dur_us:500.0;
+  Alcotest.(check int) "counters still fed" 1 (Obs.Wait.count Obs.Wait.Io_fsync);
+  (* ...but no ring row lands. *)
+  Alcotest.(check int) "ring untouched" 0 (List.length (Obs.Ash.snapshot ()))
+
+let test_ash_track () =
+  Obs.Ash.set_enabled true;
+  Obs.Ash.clear ();
+  let r =
+    Obs.Ash.track ~qid:"q-t" Obs.Wait.Pool_queue ~detail:"map.drain" (fun () ->
+        Unix.sleepf 0.002;
+        17)
+  in
+  Alcotest.(check int) "value through" 17 r;
+  (match Obs.Ash.snapshot () with
+  | [ s ] ->
+      Alcotest.(check string) "kind" "event" s.Obs.Ash.a_kind;
+      Alcotest.(check bool) "duration measured" true (s.Obs.Ash.a_wait_ms >= 1.0)
+  | l -> Alcotest.failf "expected one event, got %d" (List.length l));
+  Obs.Ash.clear ()
 
 (* --- HTTP telemetry server --------------------------------------------- *)
 
@@ -1200,8 +1412,13 @@ let suite =
       prop_quantile_ordering;
       prop_quantile_monotone;
       prop_quantile_accuracy;
+      prop_p50_in_range;
       Alcotest.test_case "non-finite observations ignored" `Quick
         test_histogram_ignores_nonfinite;
+      Alcotest.test_case "single-sample percentiles are the sample" `Quick
+        test_histogram_single_sample;
+      Alcotest.test_case "one-bucket percentiles stay in range" `Quick
+        test_histogram_one_bucket;
       Alcotest.test_case "Chrome sink: valid JSON under exceptions" `Quick
         test_chrome_sink_valid_json;
       Alcotest.test_case "Chrome sink: empty trace is valid" `Quick
@@ -1239,6 +1456,8 @@ let suite =
       Alcotest.test_case "fingerprint normalization" `Quick
         test_fingerprint_normalize;
       prop_fingerprint_invariance;
+      Alcotest.test_case "dotted sys.* fingerprints are stable and distinct"
+        `Quick test_fingerprint_dotted_names;
       Alcotest.test_case "fingerprints of distinct shapes stay distinct"
         `Quick test_fingerprint_distinct_shapes;
       Alcotest.test_case "statement stats accumulate by fingerprint" `Quick
@@ -1253,6 +1472,12 @@ let suite =
       Alcotest.test_case "background sampler" `Quick test_sampler;
       Alcotest.test_case "sampler cadence under busy probes" `Slow
         test_sampler_cadence;
+      Alcotest.test_case "wait-class counters" `Quick test_wait_counters;
+      Alcotest.test_case "ash: registry, sampling and events" `Quick
+        test_ash_registry;
+      Alcotest.test_case "ash: bounded ring wraps" `Quick test_ash_ring_wrap;
+      Alcotest.test_case "ash: disabled mode is inert" `Quick test_ash_disabled;
+      Alcotest.test_case "ash: track times an interval" `Quick test_ash_track;
       Alcotest.test_case "http telemetry server" `Quick test_http_server;
       Alcotest.test_case "ambient context stamps spans and events" `Quick
         test_with_context_stamps;

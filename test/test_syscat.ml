@@ -27,6 +27,32 @@ let seed_registry () =
   Obs.Stmt_stats.record ~lang:"sql" ~qid:"q000903" ~rows:6 ~wall_ms:0.5
     "SELECT name FROM brewery"
 
+(* A deterministic ASH state: one running session with progress, one
+   blocked on a lock, plus one completed-wait event row in the ring.
+   Returns the slots so callers can [finish] them when done. *)
+let seed_ash () =
+  Obs.Ash.set_enabled true;
+  Obs.Ash.clear ();
+  let running =
+    Obs.Ash.register ~lang:"xra" ~text:"select[%3 > 5.0](beer)" ~qid:"q-run" ()
+  in
+  Obs.Ash.set_estimate running 10.0;
+  Obs.Ash.set_operator running "seq_scan";
+  Obs.Ash.advance running ~rows:4;
+  let blocked =
+    Obs.Ash.register ~lang:"txn" ~text:"update(beer, beer, %3+1)" ~qid:"q-blk" ()
+  in
+  Obs.Ash.set_wait blocked (Some (Obs.Wait.Lock, "beer"));
+  Obs.Ash.slot_event running Obs.Wait.Io_fsync ~detail:"wal.fsync"
+    ~dur_us:1500.0;
+  ignore (Obs.Ash.sample_now ());
+  (running, blocked)
+
+let finish_ash (running, blocked) =
+  Obs.Ash.finish running;
+  Obs.Ash.finish blocked;
+  Obs.Ash.clear ()
+
 let run_exec db e =
   let optimized = Mxra_optimizer.Optimizer.optimize_db db e in
   Mxra_engine.Exec.run db (Mxra_engine.Planner.plan db optimized)
@@ -83,7 +109,11 @@ let test_relations_catalog () =
    on any query over an attached database. *)
 let test_differential_exec_vs_eval () =
   seed_registry ();
+  let slots = seed_ash () in
   let db = Syscat.attach beer in
+  finish_ash slots;
+  (* The attach froze everything — finishing the sessions above proves
+     the snapshot really is a snapshot even for the live registry. *)
   List.iter
     (fun src ->
       let e = xra src in
@@ -103,6 +133,14 @@ let test_differential_exec_vs_eval () =
       "sys.operators";
       "sys.locks";
       "sys.series";
+      "sys.ash";
+      "select[%4 = 'lock'](sys.ash)";
+      "unique(project[%4](sys.ash))";
+      "groupby[%4; CNT(%2)](sys.ash)";
+      "sys.progress";
+      "project[%1, %5, %7](sys.progress)";
+      "select[%11 = 'lock'](sys.progress)";
+      "join[%1 = %3](project[%2, %3](sys.ash), project[%1, %2](sys.progress))";
     ]
 
 let test_sql_end_to_end () =
@@ -158,6 +196,50 @@ let test_reserved_names () =
       Alcotest.(check string) "named" "sys.anything" name);
   Syscat.check_not_reserved "beer" (* and plain names pass *)
 
+let test_ash_catalog () =
+  seed_registry ();
+  let slots = seed_ash () in
+  let db = Syscat.attach beer in
+  (* sys.ash: the fsync event plus one sample per live session. *)
+  let ash = run_exec db (xra "sys.ash") in
+  Alcotest.(check int) "event + two samples" 3 (Relation.cardinal ash);
+  Alcotest.(check int) "one fsync event" 1
+    (Relation.cardinal
+       (run_exec db (xra "select[%4 = 'io.fsync' and %7 = 'event'](sys.ash)")));
+  Alcotest.(check int) "blocked session sampled as lock on beer" 1
+    (Relation.cardinal
+       (run_exec db (xra "select[%4 = 'lock' and %5 = 'beer'](sys.ash)")));
+  Alcotest.(check int) "running session sampled as cpu.exec" 1
+    (Relation.cardinal
+       (run_exec db (xra "select[%4 = 'cpu.exec' and %2 = 'q-run'](sys.ash)")));
+  (* sys.progress: both live sessions, with the counters the running
+     one advanced. *)
+  let prog = run_exec db (xra "sys.progress") in
+  Alcotest.(check int) "two live sessions" 2 (Relation.cardinal prog);
+  (match
+     Relation.to_list (run_exec db (xra "select[%1 = 'q-run'](sys.progress)"))
+   with
+  | [ t ] ->
+      Alcotest.(check bool) "operator" true
+        (Tuple.attr t 5 = Value.Str "seq_scan");
+      Alcotest.(check bool) "rows" true (Tuple.attr t 7 = Value.Int 4);
+      Alcotest.(check bool) "pct = 40%" true
+        (Tuple.attr t 9 = Value.Float 40.0);
+      Alcotest.(check bool) "running = cpu.exec" true
+        (Tuple.attr t 11 = Value.Str "cpu.exec")
+  | l -> Alcotest.failf "expected the running session, got %d rows"
+           (List.length l));
+  (* Finished sessions leave sys.progress: a fresh attach sees the new
+     registry state... *)
+  finish_ash slots;
+  ignore (Obs.Ash.sample_now ());
+  let db' = Syscat.attach beer in
+  Alcotest.(check int) "progress empty after finish" 0
+    (Relation.cardinal (run_exec db' (xra "sys.progress")));
+  (* ...while the frozen first attachment still serves the old rows. *)
+  Alcotest.(check int) "first snapshot unchanged" 2
+    (Relation.cardinal (run_exec db (xra "sys.progress")))
+
 let test_operators_populated () =
   seed_registry ();
   (* An instrumented execution feeds sys.operators. *)
@@ -185,6 +267,8 @@ let suite =
         test_unknown_sys_name;
       Alcotest.test_case "reserved names are refused" `Quick
         test_reserved_names;
+      Alcotest.test_case "sys.ash and sys.progress serve the live registry"
+        `Quick test_ash_catalog;
       Alcotest.test_case "instrumented runs feed sys.operators" `Quick
         test_operators_populated;
     ] )
